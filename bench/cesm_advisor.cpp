@@ -1,0 +1,55 @@
+// §IV-C extension: "Another important HSLB application may be the
+// prediction of the optimal nodes to run a job. The definition of optimal
+// depends on the goal; it could be a cost-efficient goal where nodes are
+// increased until scaling is reduced to a predefined limit or it could be
+// the shortest time to solution."
+//
+// This bench runs the advisor at both resolutions and prints the
+// recommended node counts under several efficiency floors.
+#include <cstdio>
+
+#include "cesm/advisor.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace hslb;
+  using namespace hslb::cesm;
+
+  std::printf("=== Node-count advisor (cost-efficient vs fastest) ===\n\n");
+
+  for (Resolution r : {Resolution::Deg1, Resolution::EighthDeg}) {
+    std::array<perf::Model, 4> models;
+    for (Component c : kComponents) models[index(c)] = ground_truth(r, c);
+
+    AdvisorOptions opt;
+    opt.min_nodes = r == Resolution::Deg1 ? 128 : 1024;
+    opt.max_nodes = 40960;
+    opt.sweep_points = 7;
+    const auto sweep = advise_node_count(r, Layout::Hybrid, models, true, opt);
+
+    Table t({"nodes", "predicted s", "scaling efficiency"});
+    t.set_title(std::string("CESM ") + to_string(r) + ", layout 1");
+    for (const auto& pt : sweep.sweep) {
+      t.add_row({Table::num(static_cast<long long>(pt.nodes)),
+                 Table::num(pt.predicted_seconds, 2),
+                 Table::num(pt.efficiency, 3)});
+    }
+    std::printf("%s", t.str().c_str());
+
+    for (double floor : {0.8, 0.5, 0.3}) {
+      AdvisorOptions f = opt;
+      f.efficiency_floor = floor;
+      const auto advice = advise_node_count(r, Layout::Hybrid, models, true, f);
+      std::printf("  efficiency floor %.1f -> request %lld nodes "
+                  "(%.1f s predicted)\n",
+                  floor, advice.cost_efficient_nodes,
+                  advice.cost_efficient_seconds);
+    }
+    std::printf("  shortest time to solution: %lld nodes (%.1f s)\n\n",
+                sweep.fastest_nodes, sweep.fastest_seconds);
+  }
+  std::printf("claims: the cost-efficient recommendation grows as the "
+              "efficiency floor is relaxed, and never exceeds the "
+              "shortest-time request.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Coupling-barrier overhead study (simulator extension).
+//
+// The paper's wall-clock model, T = max(max(ice,lnd)+atm, ocn), treats the
+// 5-day run as one block. The real coupler synchronizes the component
+// blocks every coupling period; with run-to-run noise each barrier waits
+// for the slowest side, so the true wall clock exceeds the formula by a
+// noise-dependent amount. This bench quantifies that loss on the
+// event-driven coupled simulator — relevant to how well any *static*
+// balancer (manual or HSLB) can possibly do.
+#include <cstdio>
+
+#include "cesm/simulator.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace hslb;
+  using namespace hslb::cesm;
+
+  std::printf("=== Coupler-barrier overhead vs run-to-run noise ===\n\n");
+
+  // The paper's 1-degree HSLB allocation at 128 nodes.
+  const std::array<long long, 4> nodes{15, 89, 104, 24};
+
+  Table t({"noise cv", "formula total s", "coupled total s", "loss s",
+           "loss %", "DES events"});
+  t.set_title("Layout 1, 1 degree, 128 nodes, 24 coupling periods");
+  for (double cv : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    SimulatorOptions opt;
+    opt.noise_cv = cv;
+    opt.ice_noise_cv = 2.0 * cv;
+    Simulator sim(Resolution::Deg1, opt);
+    const auto run = sim.run_coupled(Layout::Hybrid, nodes, 24);
+    const double formula =
+        run.total_seconds - run.coupling_loss_seconds;
+    t.add_row({Table::num(cv, 2), Table::num(formula, 2),
+               Table::num(run.total_seconds, 2),
+               Table::num(run.coupling_loss_seconds, 2),
+               Table::num(100.0 * run.coupling_loss_seconds / formula, 2),
+               Table::num(static_cast<long long>(run.events))});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("claims: zero noise reproduces the paper's formula exactly "
+              "(loss 0); barrier loss grows with noise but stays small at "
+              "the ~2-6%% noise levels of real runs — the formula (and a\n"
+              "static balancer built on it) remains a good model of the "
+              "coupled execution.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fine-tuning ablation (§II): adding the coupler and river models that the
+// paper's HSLB models exclude because "the contribution to the total time
+// is small".
+//
+// Claims to check: (a) including them changes the optimal allocation only
+// slightly, (b) evaluating the plain allocation under the fine-tuned
+// semantics costs only a few percent versus re-optimizing — i.e. the
+// paper's exclusion is justified, and the machinery is there for the
+// promised later fine-tuning.
+#include <cstdio>
+
+#include "cesm/finetuning.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace hslb;
+  using namespace hslb::cesm;
+
+  std::printf("=== Fine tuning: coupler + river components (layout 1) ===\n\n");
+
+  std::array<perf::Model, 4> models;
+  for (Component c : kComponents)
+    models[index(c)] = ground_truth(Resolution::Deg1, c);
+  const auto minor = synthetic_minor_components(models);
+
+  Table t({"total nodes", "variant", "lnd", "ice", "atm", "ocn",
+           "fine-tuned total s"});
+  double worst_gap = 0.0;
+  for (long long n : {128LL, 512LL, 2048LL}) {
+    const auto problem = make_problem(Resolution::Deg1, Layout::Hybrid, n, models);
+    const auto plain = solve_layout(problem);
+    const auto tuned = solve_finetuned(problem, minor);
+
+    const double plain_total = finetuned_total(problem, minor, plain.nodes);
+    const double tuned_total = finetuned_total(problem, minor, tuned.nodes);
+    worst_gap = std::max(worst_gap, plain_total / tuned_total - 1.0);
+
+    auto row = [&](const char* name, const Solution& s, double total) {
+      t.add_row({Table::num(static_cast<long long>(n)), name,
+                 Table::num(s.nodes[0]), Table::num(s.nodes[1]),
+                 Table::num(s.nodes[2]), Table::num(s.nodes[3]),
+                 Table::num(total, 3)});
+    };
+    row("4-component optimum", plain, plain_total);
+    row("6-component optimum", tuned, tuned_total);
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("claims: re-optimizing with coupler+river shifts the optimum "
+              "by at most %.2f%% here —\nconsistent with the paper's choice "
+              "to exclude them and revisit \"for fine tuning\".\n",
+              100.0 * worst_gap);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Branching-rule ablation: most-fractional vs pseudocost variable
+// selection in the LP/NLP branch-and-bound, on the integer-heavy CESM
+// instances (unconstrained ocean and free lnd/ice at 1/8 degree give wide
+// integer ranges where branching order matters).
+#include <cstdio>
+
+#include "cesm/layouts.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace hslb;
+  using namespace hslb::cesm;
+
+  std::printf("=== Branch-rule ablation: most-fractional vs pseudocost ===\n\n");
+
+  std::array<perf::Model, 4> models;
+  for (Component c : kComponents)
+    models[index(c)] = ground_truth(Resolution::EighthDeg, c);
+
+  Table t({"total nodes", "rule", "bnb nodes", "LP solves", "seconds",
+           "objective"});
+  for (long long n : {8192LL, 32768LL}) {
+    auto p = make_problem(Resolution::EighthDeg, Layout::Hybrid, n, models,
+                          /*ocean_constrained=*/false);
+    double objectives[2] = {0.0, 0.0};
+    int idx = 0;
+    for (auto rule :
+         {minlp::BranchRule::MostFractional, minlp::BranchRule::PseudoCost}) {
+      minlp::BnbOptions opt;
+      opt.branch_rule = rule;
+      const auto sol = solve_layout(p, opt);
+      objectives[idx++] = sol.predicted_total;
+      t.add_row({Table::num(static_cast<long long>(n)),
+                 rule == minlp::BranchRule::MostFractional ? "most-fractional"
+                                                           : "pseudocost",
+                 Table::num(static_cast<long long>(sol.stats.nodes)),
+                 Table::num(static_cast<long long>(sol.stats.lp_solves)),
+                 Table::num(sol.stats.seconds, 3),
+                 Table::num(sol.predicted_total, 3)});
+    }
+    t.add_rule();
+    // Both rules must find the same (global) optimum.
+    if (std::abs(objectives[0] - objectives[1]) >
+        1e-4 * (1.0 + objectives[0])) {
+      std::printf("ERROR: rules disagree on the optimum!\n");
+      return 1;
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("claims: both rules prove the same optimum; node counts differ "
+              "by the quality of the branching order.\n");
+  return 0;
+}

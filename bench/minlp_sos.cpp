@@ -1,0 +1,58 @@
+// §III-E ablation: special-ordered-set branching vs branching on the
+// individual selector binaries.
+//
+// "we implemented these discrete choices as a special-ordered set, and
+// forced the MINLP solver to branch on the special-ordered set, rather
+// than on individual binary variables, which improved the runtime of the
+// MINLP solver by two orders of magnitude."
+//
+// We solve the full 1-degree layout-1 model (ocean set: 241 candidates,
+// atmosphere set: up to 1639 candidates) both ways and compare node counts
+// and wall time.
+#include <cstdio>
+
+#include "cesm/layouts.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace hslb;
+  using namespace hslb::cesm;
+
+  std::printf("=== SOS branching vs individual-binary branching ===\n\n");
+
+  // Fixed plausible component models (ground-truth calibrated curves).
+  std::array<perf::Model, 4> models;
+  for (Component c : kComponents)
+    models[index(c)] = ground_truth(Resolution::Deg1, c);
+
+  Table t({"total nodes", "branching", "bnb nodes", "LP solves", "seconds",
+           "objective"});
+  double speedup_sum = 0.0;
+  int speedup_count = 0;
+  for (long long n : {512LL, 1024LL, 2048LL}) {
+    auto p = make_problem(Resolution::Deg1, Layout::Hybrid, n, models);
+    double secs[2];
+    for (int pass = 0; pass < 2; ++pass) {
+      minlp::BnbOptions opt;
+      opt.use_sos_branching = pass == 0;
+      const auto sol = solve_layout(p, opt);
+      secs[pass] = sol.stats.seconds;
+      t.add_row({Table::num(static_cast<long long>(n)),
+                 pass == 0 ? "SOS sets" : "binaries",
+                 Table::num(static_cast<long long>(sol.stats.nodes)),
+                 Table::num(static_cast<long long>(sol.stats.lp_solves)),
+                 Table::num(sol.stats.seconds, 3),
+                 Table::num(sol.predicted_total, 3)});
+    }
+    t.add_rule();
+    if (secs[0] > 0.0) {
+      speedup_sum += secs[1] / secs[0];
+      ++speedup_count;
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("paper: SOS branching ~100x faster than binary branching.\n");
+  std::printf("ours : mean speedup %.1fx on this model family.\n",
+              speedup_sum / speedup_count);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Microbenchmarks of the Fit step: box-constrained Levenberg-Marquardt with
+// multistart on the paper's performance-function family.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "perf/fit.hpp"
+
+namespace {
+
+using namespace hslb;
+
+perf::SampleSet make_samples(std::size_t points, double noise_cv,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const perf::Model truth{27459.0, 1.9e-4, 1.23, 43.7};  // 1-degree atm-like
+  perf::SampleSet samples;
+  double n = 8.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    samples.push_back({n, truth.eval(n) * rng.lognormal_unit_mean(noise_cv)});
+    n *= 2.3;
+  }
+  return samples;
+}
+
+void BM_FitSingleComponent(benchmark::State& state) {
+  const auto samples =
+      make_samples(static_cast<std::size_t>(state.range(0)), 0.02, 5);
+  for (auto _ : state) {
+    const auto fit = perf::fit(samples);
+    benchmark::DoNotOptimize(fit.sse);
+  }
+}
+BENCHMARK(BM_FitSingleComponent)->Arg(4)->Arg(6)->Arg(10);
+
+void BM_FitManyFragments(benchmark::State& state) {
+  // The FMO pipeline fits one model per fragment: hundreds of small fits.
+  const auto fragments = static_cast<std::size_t>(state.range(0));
+  std::vector<perf::SampleSet> all;
+  for (std::size_t f = 0; f < fragments; ++f)
+    all.push_back(make_samples(5, 0.03, 100 + f));
+  perf::FitOptions opt;
+  opt.num_starts = 8;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& s : all) acc += perf::fit(s, opt).r2;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FitManyFragments)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+# Bench binaries are placed in ${CMAKE_BINARY_DIR}/bench (binaries only; the
+# repro loop executes every file in that directory, so nothing else may be
+# written there).
+set(HSLB_BENCH_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(hslb_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE ${ARGN})
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${HSLB_BENCH_DIR})
+endfunction()
+
+# Paper tables and figures (text-table generators).
+hslb_add_bench(cesm_table3 hslb_cesm)
+hslb_add_bench(cesm_fig2_scaling hslb_cesm)
+hslb_add_bench(cesm_fig3_highres hslb_cesm)
+hslb_add_bench(cesm_fig4_layouts hslb_cesm)
+hslb_add_bench(fmo_scaling hslb_fmo)
+hslb_add_bench(fmo_weakscaling hslb_fmo)
+hslb_add_bench(fmo_fit_quality hslb_fmo)
+hslb_add_bench(fmo_objectives hslb_fmo)
+hslb_add_bench(fmo_imbalance hslb_fmo)
+hslb_add_bench(fmo_predicted_vs_actual hslb_fmo)
+hslb_add_bench(fmo_solver_crosscheck hslb_fmo)
+
+# Ablations called out in DESIGN.md.
+hslb_add_bench(minlp_sos hslb_cesm)
+hslb_add_bench(minlp_branchrule hslb_cesm)
+hslb_add_bench(cesm_tsync_ablation hslb_cesm)
+hslb_add_bench(cesm_finetuning hslb_cesm)
+hslb_add_bench(cesm_coupling_overhead hslb_cesm)
+hslb_add_bench(cesm_advisor hslb_cesm)
+hslb_add_bench(fit_points_ablation hslb_cesm)
+hslb_add_bench(fit_multistart_ablation hslb_cesm)
+
+# Microbenchmarks (google-benchmark).
+hslb_add_bench(minlp_solvetime hslb_cesm benchmark::benchmark)
+hslb_add_bench(lp_simplex_bench hslb_lp benchmark::benchmark)
+hslb_add_bench(nlsq_fit_bench hslb_perf benchmark::benchmark)

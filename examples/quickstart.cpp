@@ -1,0 +1,61 @@
+// Quickstart: the four HSLB steps on a toy two-task problem.
+//
+//   $ ./build/examples/quickstart
+//
+// A "simulation" with two components — a heavy solver and a light
+// analysis — must share 64 nodes. We benchmark both at a few node counts,
+// fit the paper's performance function T(n) = a/n + b*n^c + d to each,
+// solve the min-max allocation, and compare against a naive even split.
+#include <cstdio>
+
+#include "hslb/budget.hpp"
+#include "hslb/gather.hpp"
+#include "perf/fit.hpp"
+#include "sim/noise.hpp"
+
+int main() {
+  using namespace hslb;
+
+  // The "application" we pretend to benchmark: true scaling behaviour that
+  // the pipeline has to discover from noisy timings.
+  const perf::Model solver_truth{1200.0, 0.0, 1.0, 3.0};   // heavy
+  const perf::Model analysis_truth{150.0, 0.0, 1.0, 1.0};  // light
+  sim::NoiseModel noise(0.02, /*seed=*/7);
+  const BenchmarkFn probe = [&](const std::string& task, long long nodes,
+                                std::uint64_t) {
+    const auto& truth = task == "solver" ? solver_truth : analysis_truth;
+    return noise.perturb(truth.eval(static_cast<double>(nodes)));
+  };
+
+  // Step 1 — Gather: benchmark both tasks at 5 geometric node counts.
+  const auto counts = geometric_node_counts(1, 64, 5);
+  const auto bench = gather({"solver", "analysis"}, counts, probe);
+  std::printf("step 1 (gather): %zu samples per task at node counts 1..64\n",
+              bench.tasks.front().samples.size());
+
+  // Step 2 — Fit: one performance model per task.
+  const auto fits = perf::fit_all(bench);
+  std::vector<BudgetTask> tasks;
+  for (const auto& [name, fit] : fits) {
+    std::printf("step 2 (fit):    %-8s %s  (R^2 = %.4f)\n", name.c_str(),
+                fit.model.str().c_str(), fit.r2);
+    tasks.push_back(BudgetTask{name, fit.model, 1, 64});
+  }
+
+  // Step 3 — Solve: min-max node allocation under a 64-node budget.
+  const auto alloc = solve_min_max(tasks, 64);
+  std::printf("step 3 (solve):\n%s", alloc.str().c_str());
+
+  // Step 4 — Execute: compare against the naive 32/32 split on the truth.
+  const double hslb_makespan =
+      std::max(solver_truth.eval(static_cast<double>(alloc.find("solver").nodes)),
+               analysis_truth.eval(
+                   static_cast<double>(alloc.find("analysis").nodes)));
+  const double even_makespan =
+      std::max(solver_truth.eval(32.0), analysis_truth.eval(32.0));
+  std::printf("step 4 (execute): HSLB makespan %.2f s vs even-split %.2f s "
+              "(%.0f%% faster)\n",
+              hslb_makespan, even_makespan,
+              100.0 * (1.0 - hslb_makespan / even_makespan));
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "cesm/component.hpp"
+
+#include "common/contracts.hpp"
+
+namespace hslb::cesm {
+
+const std::string& to_string(Component c) {
+  static const std::array<std::string, 4> names{"lnd", "ice", "atm", "ocn"};
+  return names[index(c)];
+}
+
+std::size_t index(Component c) {
+  const auto i = static_cast<std::size_t>(c);
+  HSLB_EXPECTS(i < 4);
+  return i;
+}
+
+Component component_from_string(const std::string& name) {
+  for (Component c : kComponents)
+    if (to_string(c) == name) return c;
+  HSLB_EXPECTS(!"unknown CESM component");
+  return Component::Lnd;  // unreachable
+}
+
+}  // namespace hslb::cesm

@@ -1,0 +1,29 @@
+// CESM model components (§II).
+//
+// CESM1.1.1 couples atmosphere (CAM), ocean (POP), sea ice (CICE), land
+// (CLM), river (RTM), and land ice (CISM) through the CPL7 coupler. As in
+// the paper, the river, land-ice, and coupler components are excluded from
+// the optimization ("the contribution to the total time is small"), leaving
+// C = {ice, lnd, atm, ocn}.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace hslb::cesm {
+
+enum class Component { Lnd = 0, Ice = 1, Atm = 2, Ocn = 3 };
+
+inline constexpr std::array<Component, 4> kComponents{
+    Component::Lnd, Component::Ice, Component::Atm, Component::Ocn};
+
+/// Short name used in tables ("lnd", "ice", "atm", "ocn").
+const std::string& to_string(Component c);
+
+/// Index in [0, 4) for array-keyed storage.
+std::size_t index(Component c);
+
+/// Parses a short name; throws ContractViolation on unknown names.
+Component component_from_string(const std::string& name);
+
+}  // namespace hslb::cesm

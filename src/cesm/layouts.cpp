@@ -1,0 +1,269 @@
+#include "cesm/layouts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace hslb::cesm {
+
+const char* to_string(Layout l) {
+  switch (l) {
+    case Layout::Hybrid: return "layout-1-hybrid";
+    case Layout::SequentialAtmGroup: return "layout-2-seq-atm-group";
+    case Layout::FullySequential: return "layout-3-fully-sequential";
+  }
+  return "?";
+}
+
+double layout_total(Layout l, const std::array<double, 4>& s) {
+  const double lnd = s[index(Component::Lnd)];
+  const double ice = s[index(Component::Ice)];
+  const double atm = s[index(Component::Atm)];
+  const double ocn = s[index(Component::Ocn)];
+  switch (l) {
+    case Layout::Hybrid:
+      return std::max(std::max(ice, lnd) + atm, ocn);
+    case Layout::SequentialAtmGroup:
+      return std::max(ice + lnd + atm, ocn);
+    case Layout::FullySequential:
+      return ice + lnd + atm + ocn;
+  }
+  HSLB_ASSERT(!"unreachable");
+  return 0.0;
+}
+
+LayoutProblem make_problem(Resolution r, Layout layout, long long total_nodes,
+                           const std::array<perf::Model, 4>& models,
+                           bool ocean_constrained) {
+  HSLB_EXPECTS(total_nodes >= 8);
+  LayoutProblem p;
+  p.layout = layout;
+  p.total_nodes = total_nodes;
+  p.models = models;
+
+  auto filtered = [total_nodes](const std::vector<long long>& set) {
+    std::vector<long long> out;
+    for (long long v : set)
+      if (v >= 1 && v <= total_nodes) out.push_back(v);
+    return out;
+  };
+
+  // lnd / ice: free integer ranges.
+  for (Component c : {Component::Lnd, Component::Ice}) {
+    p.choices[index(c)].lo = 1;
+    p.choices[index(c)].hi = total_nodes;
+  }
+  // atm: published set at 1 degree, free range at 1/8 degree.
+  if (r == Resolution::Deg1) {
+    p.choices[index(Component::Atm)].allowed = filtered(atm_allowed_nodes_deg1());
+  } else {
+    p.choices[index(Component::Atm)].lo = 1;
+    p.choices[index(Component::Atm)].hi = total_nodes;
+  }
+  // ocn: published sweet spots, or a free range when unconstrained (§IV-B).
+  if (ocean_constrained) {
+    p.choices[index(Component::Ocn)].allowed = filtered(ocean_allowed_nodes(r));
+    HSLB_EXPECTS(!p.choices[index(Component::Ocn)].allowed.empty());
+  } else {
+    p.choices[index(Component::Ocn)].lo = 2;
+    p.choices[index(Component::Ocn)].hi = total_nodes;
+  }
+  return p;
+}
+
+namespace {
+
+/// Per-component variable bundle inside the MINLP.
+struct CompVars {
+  std::size_t n = 0;  ///< node-count variable
+  std::size_t t = 0;  ///< component-time variable
+  bool exact = false; ///< t is an exact linear expression (set-based)
+};
+
+long long lowest_choice(const Choices& ch) {
+  return ch.allowed.empty() ? ch.lo : ch.allowed.front();
+}
+
+/// Adds one component's variables and node/time structure.
+CompVars add_component(minlp::Model& m, Component c, const Choices& ch,
+                       const perf::Model& pm, long long total_nodes,
+                       double t_max) {
+  const std::string name = to_string(c);
+  CompVars v;
+  if (!ch.allowed.empty()) {
+    // Sweet-spot set: z_k binaries, SOS1, exact linear time.
+    HSLB_EXPECTS(std::is_sorted(ch.allowed.begin(), ch.allowed.end()));
+    v.exact = true;
+    // n is fully determined by the binary selectors, so it can stay
+    // continuous — integrality comes from the z_k link (fewer branch
+    // candidates for the tree search).
+    v.n = m.add_continuous(static_cast<double>(ch.allowed.front()),
+                           static_cast<double>(ch.allowed.back()), "n_" + name);
+    v.t = m.add_continuous(0.0, t_max, "t_" + name);
+    std::vector<std::size_t> zs;
+    std::vector<double> weights;
+    std::vector<lp::Coeff> ones, node_link, time_link;
+    for (long long cand : ch.allowed) {
+      const auto z = m.add_binary("z_" + name + "_" + std::to_string(cand));
+      zs.push_back(z);
+      weights.push_back(static_cast<double>(cand));
+      ones.push_back({z, 1.0});
+      node_link.push_back({z, static_cast<double>(cand)});
+      time_link.push_back({z, pm.eval(static_cast<double>(cand))});
+    }
+    m.add_linear(ones, 1.0, 1.0, "pick_" + name);
+    node_link.push_back({v.n, -1.0});
+    m.add_linear(node_link, 0.0, 0.0, "link_n_" + name);
+    time_link.push_back({v.t, -1.0});
+    m.add_linear(time_link, 0.0, 0.0, "link_t_" + name);
+    m.add_sos1(minlp::Sos1{"sos_" + name, std::move(zs), std::move(weights)});
+  } else {
+    const long long hi = ch.hi == 0 ? total_nodes : ch.hi;
+    HSLB_EXPECTS(ch.lo >= 1 && hi >= ch.lo);
+    v.n = m.add_integer(static_cast<double>(ch.lo), static_cast<double>(hi),
+                        "n_" + name);
+    v.t = m.add_continuous(0.0, t_max, "t_" + name);
+    // Convex epigraph: pm(n) - t <= 0, outer-approximated during the solve.
+    minlp::NonlinearConstraint con;
+    con.name = "T_" + name;
+    con.formula = pm.expr("n_" + name) + " - t_" + name + " <= 0";
+    con.vars = {v.n, v.t};
+    const auto n_var = v.n;
+    const auto t_var = v.t;
+    con.value = [n_var, t_var, pm](std::span<const double> x) {
+      return pm.eval(x[n_var]) - x[t_var];
+    };
+    con.gradient = [n_var, t_var, pm](std::span<const double> x) {
+      return std::vector<minlp::GradEntry>{{n_var, pm.deriv_n(x[n_var])},
+                                           {t_var, -1.0}};
+    };
+    m.add_nonlinear(std::move(con));
+  }
+  return v;
+}
+
+}  // namespace
+
+minlp::Model build_layout_minlp(const LayoutProblem& p,
+                                std::array<std::size_t, 4>* n_vars_out) {
+  HSLB_EXPECTS(p.total_nodes >= 4);
+  for (const auto& model : p.models) HSLB_EXPECTS(model.is_convex());
+
+  // Generous finite bound on every time variable: the sum of all component
+  // times at their smallest feasible allocations.
+  double t_max = 0.0;
+  for (Component c : kComponents) {
+    t_max += p.models[index(c)].eval(
+        static_cast<double>(lowest_choice(p.choices[index(c)])));
+  }
+  t_max *= 1.01;
+
+  minlp::Model m;
+  // A finite T_sync couples the lnd and ice *time values*; the convex
+  // epigraph surrogates t >= T(n) would let those float and make the
+  // constraint vacuous. Upgrade both components to the exact set-based
+  // encoding (a candidate grid of at most ~1k counts: dense at the low
+  // end, geometric beyond), where t = sum z_k T(v_k) is exact.
+  std::array<Choices, 4> choices = p.choices;
+  if (std::isfinite(p.tsync)) {
+    for (Component c : {Component::Lnd, Component::Ice}) {
+      Choices& ch = choices[index(c)];
+      if (!ch.allowed.empty()) continue;
+      const long long hi = ch.hi == 0 ? p.total_nodes : ch.hi;
+      std::vector<long long> grid;
+      for (long long v = ch.lo; v <= std::min<long long>(hi, 512); ++v)
+        grid.push_back(v);
+      double v = 512.0;
+      while (static_cast<long long>(v) < hi) {
+        v *= 1.02;
+        const auto iv = std::min<long long>(static_cast<long long>(v), hi);
+        if (grid.empty() || iv > grid.back()) grid.push_back(iv);
+      }
+      ch.allowed = std::move(grid);
+    }
+  }
+
+  std::array<CompVars, 4> comp;
+  for (Component c : kComponents) {
+    comp[index(c)] = add_component(m, c, choices[index(c)],
+                                   p.models[index(c)], p.total_nodes, t_max);
+  }
+  const auto& lnd = comp[index(Component::Lnd)];
+  const auto& ice = comp[index(Component::Ice)];
+  const auto& atm = comp[index(Component::Atm)];
+  const auto& ocn = comp[index(Component::Ocn)];
+
+  const auto T = m.add_continuous(0.0, t_max, "T");
+  m.set_objective(T, 1.0);
+  const double inf = lp::kInf;
+  const auto N = static_cast<double>(p.total_nodes);
+
+  switch (p.layout) {
+    case Layout::Hybrid: {
+      // T_icelnd >= t_ice, t_lnd; T >= T_icelnd + t_atm; T >= t_ocn;
+      // n_atm + n_ocn <= N; n_ice + n_lnd <= n_atm.   (Table I, lines 14-21)
+      const auto t_icelnd = m.add_continuous(0.0, t_max, "T_icelnd");
+      m.add_linear({{t_icelnd, 1.0}, {ice.t, -1.0}}, 0.0, inf, "icelnd_ge_ice");
+      m.add_linear({{t_icelnd, 1.0}, {lnd.t, -1.0}}, 0.0, inf, "icelnd_ge_lnd");
+      m.add_linear({{T, 1.0}, {t_icelnd, -1.0}, {atm.t, -1.0}}, 0.0, inf,
+                   "T_ge_icelnd_plus_atm");
+      m.add_linear({{T, 1.0}, {ocn.t, -1.0}}, 0.0, inf, "T_ge_ocn");
+      m.add_linear({{atm.n, 1.0}, {ocn.n, 1.0}}, -inf, N, "atm_ocn_budget");
+      m.add_linear({{ice.n, 1.0}, {lnd.n, 1.0}, {atm.n, -1.0}}, -inf, 0.0,
+                   "icelnd_within_atm");
+      if (std::isfinite(p.tsync)) {
+        // |t_lnd - t_ice| <= tsync  (Table I, lines 18-19). Both components
+        // were upgraded to the exact set-based encoding above, so t_lnd and
+        // t_ice are the true model values and the tolerance really binds.
+        m.add_linear({{lnd.t, 1.0}, {ice.t, -1.0}}, -p.tsync, p.tsync, "tsync");
+      }
+      break;
+    }
+    case Layout::SequentialAtmGroup: {
+      // T >= t_ice + t_lnd + t_atm; T >= t_ocn; n_j <= N - n_ocn.
+      m.add_linear({{T, 1.0}, {ice.t, -1.0}, {lnd.t, -1.0}, {atm.t, -1.0}},
+                   0.0, inf, "T_ge_seq");
+      m.add_linear({{T, 1.0}, {ocn.t, -1.0}}, 0.0, inf, "T_ge_ocn");
+      for (const auto* cv : {&lnd, &ice, &atm}) {
+        m.add_linear({{cv->n, 1.0}, {ocn.n, 1.0}}, -inf, N, "within_rest");
+      }
+      break;
+    }
+    case Layout::FullySequential: {
+      // T >= sum of all four; every component may span all nodes.
+      m.add_linear({{T, 1.0},
+                    {ice.t, -1.0},
+                    {lnd.t, -1.0},
+                    {atm.t, -1.0},
+                    {ocn.t, -1.0}},
+                   0.0, inf, "T_ge_all");
+      // n_j <= N is already the variable bound.
+      break;
+    }
+  }
+
+  if (n_vars_out) {
+    (*n_vars_out) = {lnd.n, ice.n, atm.n, ocn.n};
+  }
+  return m;
+}
+
+Solution solve_layout(const LayoutProblem& p, const minlp::BnbOptions& options) {
+  std::array<std::size_t, 4> n_vars{};
+  const auto model = build_layout_minlp(p, &n_vars);
+  Solution sol;
+  sol.stats = minlp::solve(model, options);
+  HSLB_EXPECTS(sol.stats.has_solution);
+  for (Component c : kComponents) {
+    const auto i = index(c);
+    sol.nodes[i] = std::llround(sol.stats.x[n_vars[i]]);
+    sol.predicted_seconds[i] =
+        p.models[i].eval(static_cast<double>(sol.nodes[i]));
+  }
+  sol.predicted_total = sol.stats.objective;
+  return sol;
+}
+
+}  // namespace hslb::cesm

@@ -1,0 +1,83 @@
+// The three CESM component-layout MINLP models of Table I / Figure 1.
+//
+//   Layout 1 (hybrid, the paper's focus): atmosphere runs sequentially
+//     after {ice || lnd} on one processor block, ocean concurrently on the
+//     rest:            T = max( max(T_ice, T_lnd) + T_atm, T_ocn )
+//   Layout 2: ice + lnd + atm sequential on one block, ocean concurrent:
+//                      T = max( T_ice + T_lnd + T_atm, T_ocn )
+//   Layout 3: everything sequential on all nodes:
+//                      T = T_ice + T_lnd + T_atm + T_ocn
+//
+// Components whose feasible node counts are an explicit "sweet spot" set
+// (ocean always; atmosphere at 1 degree) are modeled with binary selectors
+// z_k tied by sum(z)=1 and sum(z_k v_k) = n (Table I lines 29-31), declared
+// as an SOS1 so the solver can branch on the set. Their component time is
+// then *exactly* linear: t = sum(z_k T(v_k)). Free components use an
+// integer range and a convex outer-approximated epigraph t >= T(n).
+//
+// The optional T_sync constraint (Table I lines 9, 18-19) balances lnd and
+// ice within a tolerance; §III-A warns it can reduce performance, and it is
+// off by default (bench/cesm_tsync_ablation explores it).
+#pragma once
+
+#include <array>
+#include <limits>
+#include <vector>
+
+#include "cesm/component.hpp"
+#include "cesm/data.hpp"
+#include "minlp/bnb.hpp"
+#include "perf/model.hpp"
+
+namespace hslb::cesm {
+
+enum class Layout { Hybrid = 1, SequentialAtmGroup = 2, FullySequential = 3 };
+
+const char* to_string(Layout l);
+
+/// Combines per-component times into the layout's total wall-clock time.
+double layout_total(Layout l, const std::array<double, 4>& seconds);
+
+/// How node counts may be chosen for one component.
+struct Choices {
+  /// Explicit sweet-spot set (sorted ascending); empty = integer range.
+  std::vector<long long> allowed;
+  long long lo = 1;  ///< used when allowed is empty
+  long long hi = 0;  ///< used when allowed is empty (0 = total nodes)
+};
+
+struct LayoutProblem {
+  Layout layout = Layout::Hybrid;
+  long long total_nodes = 0;
+  /// Fitted performance models, indexed by component (lnd, ice, atm, ocn).
+  std::array<perf::Model, 4> models;
+  std::array<Choices, 4> choices;
+  /// Absolute lnd/ice synchronization tolerance in seconds; infinity = off.
+  double tsync = std::numeric_limits<double>::infinity();
+};
+
+/// Standard problem setup for a resolution: ocean gets its published
+/// sweet-spot set (or a free range when `ocean_constrained` is false),
+/// atmosphere gets the published set at 1 degree and a free range at 1/8,
+/// land and ice get free ranges.
+LayoutProblem make_problem(Resolution r, Layout layout, long long total_nodes,
+                           const std::array<perf::Model, 4>& models,
+                           bool ocean_constrained = true);
+
+struct Solution {
+  std::array<long long, 4> nodes{};
+  std::array<double, 4> predicted_seconds{};  ///< model value at nodes
+  double predicted_total = 0.0;               ///< MINLP objective T
+  minlp::BnbResult stats;                     ///< solver diagnostics
+};
+
+/// Builds the MINLP of Table I for the problem. `n_vars_out`, if non-null,
+/// receives the variable indices of (n_lnd, n_ice, n_atm, n_ocn).
+minlp::Model build_layout_minlp(const LayoutProblem& problem,
+                                std::array<std::size_t, 4>* n_vars_out = nullptr);
+
+/// Solves the layout allocation to proven global optimality.
+Solution solve_layout(const LayoutProblem& problem,
+                      const minlp::BnbOptions& options = {});
+
+}  // namespace hslb::cesm

@@ -1,0 +1,97 @@
+#include "cesm/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "hslb/gather.hpp"
+
+namespace hslb::cesm {
+
+double PipelineResult::min_r2() const {
+  double m = 1.0;
+  for (const auto& f : fits) m = std::min(m, f.r2);
+  return m;
+}
+
+std::vector<std::pair<std::string, std::vector<long long>>> gather_plan(
+    Resolution r, long long total_nodes, bool ocean_constrained,
+    std::size_t fit_points) {
+  HSLB_EXPECTS(total_nodes >= 8);
+  HSLB_EXPECTS(fit_points >= 2);
+
+  std::vector<std::pair<std::string, std::vector<long long>>> plan;
+  // Memory floor: CESM cannot run on arbitrarily few nodes at scale; probe
+  // from ~N/256 up to the full partition (§III-C: smallest feasible to
+  // largest possible).
+  const long long lo = std::max<long long>(2, total_nodes / 256);
+
+  for (Component c : kComponents) {
+    std::vector<long long> counts;
+    if (c == Component::Ocn && ocean_constrained) {
+      // Probe only allowed sweet spots: pick fit_points of them spread
+      // geometrically across the available set.
+      const auto& allowed = ocean_allowed_nodes(r);
+      std::vector<long long> usable;
+      for (long long v : allowed)
+        if (v <= total_nodes) usable.push_back(v);
+      HSLB_EXPECTS(!usable.empty());
+      std::set<long long> picked{usable.front(), usable.back()};
+      for (std::size_t i = 1; i + 1 < fit_points; ++i) {
+        const double f =
+            static_cast<double>(i) / static_cast<double>(fit_points - 1);
+        const auto idx = static_cast<std::size_t>(std::llround(
+            f * static_cast<double>(usable.size() - 1)));
+        picked.insert(usable[idx]);
+      }
+      counts.assign(picked.begin(), picked.end());
+    } else {
+      long long hi = total_nodes;
+      if (c == Component::Atm && r == Resolution::Deg1)
+        hi = std::min<long long>(hi, atm_allowed_nodes_deg1().back());
+      counts = geometric_node_counts(std::min(lo, hi), hi, fit_points);
+    }
+    plan.emplace_back(to_string(c), counts);
+  }
+  return plan;
+}
+
+PipelineResult run_pipeline(Resolution r, long long total_nodes,
+                            const PipelineOptions& options) {
+  PipelineResult out;
+  Simulator sim(r, options.sim);
+
+  // -- Step 1: Gather -------------------------------------------------------
+  const auto plan =
+      gather_plan(r, total_nodes, options.ocean_constrained, options.fit_points);
+  GatherOptions gopt;
+  gopt.repetitions = options.repetitions;
+  out.bench = gather(
+      plan,
+      [&](const std::string& task, long long nodes, std::uint64_t) {
+        return sim.benchmark(component_from_string(task), nodes);
+      },
+      gopt);
+
+  // -- Step 2: Fit ----------------------------------------------------------
+  std::array<perf::Model, 4> models;
+  for (Component c : kComponents) {
+    const auto& samples = out.bench.find(to_string(c)).samples;
+    out.fits[index(c)] = perf::fit(samples, options.fit);
+    models[index(c)] = out.fits[index(c)].model;
+  }
+
+  // -- Step 3: Solve --------------------------------------------------------
+  LayoutProblem problem = make_problem(r, options.layout, total_nodes, models,
+                                       options.ocean_constrained);
+  problem.tsync = options.tsync;
+  out.solution = solve_layout(problem, options.bnb);
+
+  // -- Step 4: Execute ------------------------------------------------------
+  out.actual_seconds = sim.run_components(out.solution.nodes);
+  out.actual_total = layout_total(options.layout, out.actual_seconds);
+  return out;
+}
+
+}  // namespace hslb::cesm

@@ -1,0 +1,53 @@
+// End-to-end CESM pipeline: the four HSLB steps (§III-F) wired to the CESM
+// substrate.
+//
+//   1. Gather  — run the simulated model at ~5 node counts per component
+//                (ocean probes only its sweet-spot counts);
+//   2. Fit     — per-component performance models with R^2 diagnostics;
+//   3. Solve   — the layout MINLP of Table I via LP/NLP branch-and-bound;
+//   4. Execute — a full simulated run at the chosen allocation, reported
+//                next to the prediction exactly like Table III's
+//                "Predicted Time" / "Actual Time" columns.
+#pragma once
+
+#include <array>
+
+#include "cesm/layouts.hpp"
+#include "cesm/simulator.hpp"
+#include "perf/fit.hpp"
+
+namespace hslb::cesm {
+
+struct PipelineOptions {
+  Layout layout = Layout::Hybrid;
+  bool ocean_constrained = true;
+  std::size_t fit_points = 5;
+  std::size_t repetitions = 1;
+  perf::FitOptions fit;
+  minlp::BnbOptions bnb;
+  SimulatorOptions sim;
+  /// lnd/ice synchronization tolerance (seconds); infinity = off.
+  double tsync = std::numeric_limits<double>::infinity();
+};
+
+struct PipelineResult {
+  perf::BenchTable bench;                  ///< Gather output
+  std::array<perf::FitResult, 4> fits;     ///< Fit output
+  Solution solution;                       ///< Solve output (predicted)
+  std::array<double, 4> actual_seconds{};  ///< Execute output
+  double actual_total = 0.0;
+
+  double min_r2() const;
+};
+
+/// Runs the full pipeline for one configuration.
+PipelineResult run_pipeline(Resolution r, long long total_nodes,
+                            const PipelineOptions& options = {});
+
+/// The Gather plan the pipeline uses: per-component benchmark node counts
+/// (exposed for tests and the data-gathering ablation bench).
+std::vector<std::pair<std::string, std::vector<long long>>> gather_plan(
+    Resolution r, long long total_nodes, bool ocean_constrained,
+    std::size_t fit_points);
+
+}  // namespace hslb::cesm

@@ -1,0 +1,72 @@
+// The simulated CESM run: stands in for "submit to the Intrepid queue and
+// wait" (§II: five to ten manual iterations of exactly that is what HSLB
+// eliminates).
+//
+// Component wall-clock times come from the calibrated ground-truth curves
+// (data.hpp) perturbed by run-to-run noise. The sea-ice component gets a
+// larger noise level, reproducing §IV-A's observation that CICE's
+// decomposition/block-size variability made its timings noisy and its fit
+// worse than the others.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cesm/data.hpp"
+#include "cesm/layouts.hpp"
+#include "sim/noise.hpp"
+
+namespace hslb::cesm {
+
+struct SimulatorOptions {
+  double noise_cv = 0.02;      ///< run-to-run noise for lnd/atm/ocn
+  double ice_noise_cv = 0.06;  ///< extra-noisy CICE timings (§IV-A)
+  std::uint64_t seed = 11;
+};
+
+class Simulator {
+ public:
+  Simulator(Resolution r, SimulatorOptions options = {});
+
+  /// One benchmark probe: component `c` run on `nodes` nodes (noisy).
+  double benchmark(Component c, long long nodes);
+
+  /// A full coupled run at the given allocation: per-component times.
+  std::array<double, 4> run_components(const std::array<long long, 4>& nodes);
+
+  /// Full-run wall-clock under a layout's sequencing semantics.
+  double run_total(Layout layout, const std::array<long long, 4>& nodes);
+
+  /// Noise-free component time (for oracle comparisons in tests/benches).
+  double true_seconds(Component c, long long nodes) const;
+
+  Resolution resolution() const { return resolution_; }
+
+  /// Result of an event-driven coupled run (see run_coupled).
+  struct CoupledRun {
+    std::array<double, 4> component_seconds{};  ///< summed over intervals
+    double total_seconds = 0.0;                 ///< makespan with barriers
+    int intervals = 0;
+    std::size_t events = 0;                     ///< DES events processed
+    /// total_seconds minus the barrier-free layout total: the time lost to
+    /// per-interval synchronization under run-to-run noise.
+    double coupling_loss_seconds = 0.0;
+  };
+
+  /// Simulates the run the way the coupler actually drives it: the 5-day
+  /// simulation is split into `intervals` coupling periods; within each
+  /// period the components execute under the layout's sequencing
+  /// (discrete-event simulation), and a coupler barrier joins everything
+  /// before the next period. With noisy per-period times the barriers cost
+  /// real time that the paper's wall-clock formula (layout_total) cannot
+  /// see — run_coupled measures that loss.
+  CoupledRun run_coupled(Layout layout, const std::array<long long, 4>& nodes,
+                         int intervals = 24);
+
+ private:
+  Resolution resolution_;
+  sim::NoiseModel noise_;
+  sim::NoiseModel ice_noise_;
+};
+
+}  // namespace hslb::cesm

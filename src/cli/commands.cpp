@@ -1,0 +1,216 @@
+#include "cli/commands.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "cesm/advisor.hpp"
+#include "cesm/pipeline.hpp"
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "fmo/driver.hpp"
+#include "hslb/budget.hpp"
+#include "minlp/ampl.hpp"
+#include "perf/fit.hpp"
+#include "perf/modelio.hpp"
+
+namespace hslb::cli {
+
+namespace {
+
+Objective parse_objective(const std::string& s) {
+  if (s == "min-max") return Objective::MinMax;
+  if (s == "max-min") return Objective::MaxMin;
+  if (s == "min-sum") return Objective::MinSum;
+  HSLB_EXPECTS(!"unknown objective (use min-max, max-min, or min-sum)");
+  return Objective::MinMax;
+}
+
+cesm::Resolution parse_resolution(long long r) {
+  HSLB_EXPECTS(r == 1 || r == 8);
+  return r == 1 ? cesm::Resolution::Deg1 : cesm::Resolution::EighthDeg;
+}
+
+}  // namespace
+
+int usage(int code) {
+  std::printf(
+      "hslb — heuristic static load balancing via MINLP\n"
+      "\n"
+      "usage:\n"
+      "  hslb fit    --bench bench.csv [--out models.csv] [--min-c C]\n"
+      "              [--starts N]       fit T(n)=a/n+b*n^c+d per task\n"
+      "  hslb solve  --models models.csv --nodes N [--objective min-max]\n"
+      "                                 budgeted node allocation\n"
+      "  hslb cesm   --resolution 1|8 --nodes N [--layout 1|2|3]\n"
+      "              [--unconstrained-ocean] [--tsync S]\n"
+      "              [--export-ampl out.mod]   full simulated pipeline\n"
+      "  hslb fmo    --fragments F --nodes N [--peptide]\n"
+      "              [--objective min-max]     full simulated pipeline\n"
+      "  hslb advise --resolution 1|8 [--layout 1|2|3] [--efficiency 0.5]\n"
+      "              [--min-nodes A] [--max-nodes B]  node-count planning\n");
+  return code;
+}
+
+int cmd_fit(const Args& args) {
+  const auto bench_path = args.value("bench");
+  HSLB_EXPECTS(bench_path.has_value());
+  const auto table = perf::BenchTable::load(*bench_path);
+
+  perf::FitOptions opt;
+  opt.min_c = args.get("min-c", 1.0);
+  opt.num_starts = static_cast<std::size_t>(args.get("starts", 24LL));
+  const auto fits = perf::fit_all(table, opt);
+
+  Table out({"task", "a", "b", "c", "d", "R^2", "RMSE"});
+  std::vector<perf::NamedModel> models;
+  for (const auto& [task, fit] : fits) {
+    out.add_row({task, Table::num(fit.model.a, 4), Table::num(fit.model.b, 8),
+                 Table::num(fit.model.c, 4), Table::num(fit.model.d, 4),
+                 Table::num(fit.r2, 5), Table::num(fit.rmse, 4)});
+    models.push_back({task, fit.model, 1, 0});
+  }
+  std::printf("%s", out.str().c_str());
+  if (const auto out_path = args.value("out")) {
+    perf::save_models(*out_path, models);
+    std::printf("models written to %s\n", out_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const auto models_path = args.value("models");
+  HSLB_EXPECTS(models_path.has_value());
+  const long long nodes = args.get("nodes", 0LL);
+  HSLB_EXPECTS(nodes >= 1);
+  const auto objective = parse_objective(args.get("objective", "min-max"));
+
+  const auto named = perf::load_models(*models_path);
+  std::vector<BudgetTask> tasks;
+  for (const auto& m : named) {
+    tasks.push_back(BudgetTask{m.task, m.model, std::max<long long>(1, m.min_nodes),
+                               m.max_nodes > 0 ? m.max_nodes : nodes});
+  }
+  const auto alloc = solve_budget(tasks, nodes, objective);
+  std::printf("%s objective over %zu tasks, %lld-node budget:\n\n%s",
+              to_string(objective).c_str(), tasks.size(), nodes,
+              alloc.str().c_str());
+  return 0;
+}
+
+int cmd_cesm(const Args& args) {
+  const auto r = parse_resolution(args.get("resolution", 1LL));
+  const long long nodes = args.get("nodes", 128LL);
+  cesm::PipelineOptions opt;
+  opt.layout = static_cast<cesm::Layout>(args.get("layout", 1LL));
+  opt.ocean_constrained = !args.flag("unconstrained-ocean");
+  opt.tsync = args.get("tsync", std::numeric_limits<double>::infinity());
+
+  const auto res = cesm::run_pipeline(r, nodes, opt);
+
+  Table t({"component", "nodes", "fit R^2", "predicted s", "actual s"});
+  for (cesm::Component c : cesm::kComponents) {
+    const auto i = cesm::index(c);
+    t.add_row({cesm::to_string(c),
+               Table::num(static_cast<long long>(res.solution.nodes[i])),
+               Table::num(res.fits[i].r2, 4),
+               Table::num(res.solution.predicted_seconds[i], 2),
+               Table::num(res.actual_seconds[i], 2)});
+  }
+  std::printf("CESM %s, %s, %lld nodes%s\n\n%s", cesm::to_string(r),
+              cesm::to_string(opt.layout), nodes,
+              opt.ocean_constrained ? "" : " (unconstrained ocean)",
+              t.str().c_str());
+  std::printf("total: predicted %.2f s, actual %.2f s "
+              "(bnb: %zu nodes, %zu cuts, %.3f s, %s)\n",
+              res.solution.predicted_total, res.actual_total,
+              res.solution.stats.nodes, res.solution.stats.cuts,
+              res.solution.stats.seconds,
+              minlp::to_string(res.solution.stats.status).c_str());
+
+  if (const auto path = args.value("export-ampl")) {
+    std::array<perf::Model, 4> models;
+    for (cesm::Component c : cesm::kComponents)
+      models[cesm::index(c)] = res.fits[cesm::index(c)].model;
+    auto problem = cesm::make_problem(r, opt.layout, nodes, models,
+                                      opt.ocean_constrained);
+    problem.tsync = opt.tsync;
+    minlp::AmplOptions ampl;
+    ampl.header = strings::format("CESM %s %s, %lld nodes (Table I layout %d)",
+                                  cesm::to_string(r),
+                                  cesm::to_string(opt.layout), nodes,
+                                  static_cast<int>(opt.layout));
+    std::ofstream out(*path);
+    HSLB_EXPECTS(out.good());
+    out << minlp::to_ampl(cesm::build_layout_minlp(problem), ampl);
+    std::printf("AMPL model written to %s\n", path->c_str());
+  }
+  return 0;
+}
+
+int cmd_fmo(const Args& args) {
+  const long long fragments = args.get("fragments", 48LL);
+  HSLB_EXPECTS(fragments >= 1);
+  const long long nodes = args.get("nodes", fragments * 16);
+  fmo::PipelineOptions opt;
+  opt.objective = parse_objective(args.get("objective", "min-max"));
+
+  const auto sys =
+      args.flag("peptide")
+          ? fmo::polypeptide({.residues = static_cast<std::size_t>(fragments),
+                              .scf_cutoff_angstrom = 6.0,
+                              .seed = 3})
+          : fmo::water_cluster({.fragments = static_cast<std::size_t>(fragments),
+                                .merge_fraction = 0.4,
+                                .scf_cutoff_angstrom = 4.5,
+                                .seed = 3});
+  fmo::CostModel cost;
+  const auto res = fmo::run_pipeline(sys, cost, nodes, opt);
+
+  std::printf("%s: %zu fragments on %lld nodes (%s objective)\n",
+              sys.name.c_str(), sys.num_fragments(), nodes,
+              to_string(opt.objective).c_str());
+  std::printf("fits: mean R^2 %.4f (min %.4f)\n", res.mean_r2, res.min_r2);
+  std::printf("HSLB: %.3f s total (SCC %.3f s pred %.3f, dimers %.3f s), "
+              "efficiency %.3f\n",
+              res.hslb.total_seconds, res.hslb.scc_seconds,
+              res.predicted_scc_seconds, res.hslb.dimer_seconds,
+              res.hslb.efficiency(nodes));
+  std::printf("DLB : %.3f s total, efficiency %.3f  =>  HSLB speedup %.2fx\n",
+              res.dlb.total_seconds, res.dlb.efficiency(nodes),
+              res.dlb.total_seconds / res.hslb.total_seconds);
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  const auto r = parse_resolution(args.get("resolution", 1LL));
+  const auto layout = static_cast<cesm::Layout>(args.get("layout", 1LL));
+
+  std::array<perf::Model, 4> models;
+  for (cesm::Component c : cesm::kComponents)
+    models[cesm::index(c)] = cesm::ground_truth(r, c);
+
+  cesm::AdvisorOptions opt;
+  opt.min_nodes = args.get("min-nodes", 128LL);
+  opt.max_nodes = args.get("max-nodes", 40960LL);
+  opt.efficiency_floor = args.get("efficiency", 0.5);
+  const auto advice =
+      cesm::advise_node_count(r, layout, models, true, opt);
+
+  Table t({"nodes", "predicted s", "scaling efficiency"});
+  for (const auto& pt : advice.sweep) {
+    t.add_row({Table::num(static_cast<long long>(pt.nodes)),
+               Table::num(pt.predicted_seconds, 2),
+               Table::num(pt.efficiency, 3)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("cost-efficient request (efficiency >= %.2f): %lld nodes "
+              "(%.2f s predicted)\n",
+              opt.efficiency_floor, advice.cost_efficient_nodes,
+              advice.cost_efficient_seconds);
+  std::printf("shortest time to solution: %lld nodes (%.2f s predicted)\n",
+              advice.fastest_nodes, advice.fastest_seconds);
+  return 0;
+}
+
+}  // namespace hslb::cli

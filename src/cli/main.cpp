@@ -1,0 +1,43 @@
+// Entry point of the `hslb` tool; see commands.hpp for the subcommands.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hslb::cli;
+  if (argc < 2) return usage(1);
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(0);
+
+  try {
+    if (cmd == "fit") {
+      return cmd_fit(Args(argc - 1, argv + 1, {}, {"bench", "out", "min-c",
+                                                   "starts"}));
+    }
+    if (cmd == "solve") {
+      return cmd_solve(
+          Args(argc - 1, argv + 1, {}, {"models", "nodes", "objective"}));
+    }
+    if (cmd == "cesm") {
+      return cmd_cesm(Args(argc - 1, argv + 1, {"unconstrained-ocean"},
+                           {"resolution", "nodes", "layout", "tsync",
+                            "export-ampl"}));
+    }
+    if (cmd == "fmo") {
+      return cmd_fmo(Args(argc - 1, argv + 1, {"peptide"},
+                          {"fragments", "nodes", "objective"}));
+    }
+    if (cmd == "advise") {
+      return cmd_advise(Args(argc - 1, argv + 1, {},
+                             {"resolution", "layout", "min-nodes", "max-nodes",
+                              "efficiency"}));
+    }
+    std::fprintf(stderr, "unknown command: %s\n\n", cmd.c_str());
+    return usage(1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,62 @@
+#include "common/cli.hpp"
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace hslb::cli {
+
+Args::Args(int argc, const char* const* argv, std::set<std::string> known_flags,
+           std::set<std::string> known_keys)
+    : known_flags_(std::move(known_flags)), known_keys_(std::move(known_keys)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = arg.substr(0, eq);
+      HSLB_EXPECTS(known_keys_.count(key) > 0);
+      values_[key] = arg.substr(eq + 1);
+      continue;
+    }
+    if (known_flags_.count(arg)) {
+      flags_set_.insert(arg);
+      continue;
+    }
+    HSLB_EXPECTS(known_keys_.count(arg) > 0);
+    HSLB_EXPECTS(i + 1 < argc);  // --key requires a value
+    values_[arg] = argv[++i];
+  }
+}
+
+bool Args::flag(const std::string& name) const {
+  HSLB_EXPECTS(known_flags_.count(name) > 0);
+  return flags_set_.count(name) > 0;
+}
+
+std::optional<std::string> Args::value(const std::string& key) const {
+  HSLB_EXPECTS(known_keys_.count(key) > 0);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  const auto v = value(key);
+  return v ? *v : fallback;
+}
+
+long long Args::get(const std::string& key, long long fallback) const {
+  const auto v = value(key);
+  return v ? strings::to_int(*v) : fallback;
+}
+
+double Args::get(const std::string& key, double fallback) const {
+  const auto v = value(key);
+  return v ? strings::to_double(*v) : fallback;
+}
+
+}  // namespace hslb::cli

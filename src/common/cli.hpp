@@ -1,0 +1,41 @@
+// Tiny command-line parsing helper for the hslb tool and the examples.
+//
+// Supports `--flag`, `--key value`, `--key=value`, and positional
+// arguments; unknown keys throw so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hslb::cli {
+
+class Args {
+ public:
+  /// Parses argv[1..); `known_flags` are boolean switches, `known_keys`
+  /// expect a value. Anything not starting with "--" is positional.
+  Args(int argc, const char* const* argv, std::set<std::string> known_flags,
+       std::set<std::string> known_keys);
+
+  bool flag(const std::string& name) const;
+
+  /// Value of --key; empty when absent.
+  std::optional<std::string> value(const std::string& key) const;
+
+  /// Typed access with defaults.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get(const std::string& key, long long fallback) const;
+  double get(const std::string& key, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::set<std::string> flags_set_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::set<std::string> known_flags_, known_keys_;
+};
+
+}  // namespace hslb::cli

@@ -1,0 +1,46 @@
+// Contract-checking macros in the style of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions", I.8 Ensures()).
+//
+// Violations throw hslb::ContractViolation rather than aborting so that the
+// test suite can assert on them and long-running benchmark harnesses fail
+// with a diagnosable message instead of a core dump.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hslb {
+
+/// Thrown when an HSLB_EXPECTS / HSLB_ENSURES / HSLB_ASSERT condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + cond + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace hslb
+
+#define HSLB_EXPECTS(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::hslb::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define HSLB_ENSURES(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::hslb::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define HSLB_ASSERT(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::hslb::detail::contract_fail("assertion", #cond, __FILE__, __LINE__); \
+  } while (false)

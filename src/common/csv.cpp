@@ -1,0 +1,134 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace hslb::csv {
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  if (!needs_quoting(cell)) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+void write_row(std::ostringstream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out << ',';
+    out << quote(row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+std::size_t Document::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  HSLB_EXPECTS(!"csv column not found");
+  return 0;  // unreachable
+}
+
+std::string write(const Document& doc) {
+  std::ostringstream out;
+  write_row(out, doc.header);
+  for (const auto& row : doc.rows) {
+    HSLB_EXPECTS(row.size() == doc.header.size());
+    write_row(out, row);
+  }
+  return out.str();
+}
+
+Document parse(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    record.push_back(cell);
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_record = [&] {
+    end_cell();
+    records.push_back(record);
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // a comma always opens the next cell
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        cell += ch;
+        cell_started = true;
+        break;
+    }
+  }
+  HSLB_EXPECTS(!in_quotes);  // unterminated quoted cell
+  if (cell_started || !cell.empty() || !record.empty()) end_record();
+
+  Document doc;
+  HSLB_EXPECTS(!records.empty());
+  doc.header = records.front();
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    HSLB_EXPECTS(records[r].size() == doc.header.size());
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+Document read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HSLB_EXPECTS(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void write_file(const std::string& path, const Document& doc) {
+  std::ofstream out(path, std::ios::binary);
+  HSLB_EXPECTS(out.good());
+  out << write(doc);
+}
+
+}  // namespace hslb::csv

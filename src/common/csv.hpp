@@ -1,0 +1,33 @@
+// Minimal CSV reading/writing used to persist benchmark tables between the
+// Gather and Fit steps of the HSLB pipeline (mirrors how the authors passed
+// hand-collected timing files to their AMPL scripts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hslb::csv {
+
+/// A parsed CSV document: a header row plus data rows of equal arity.
+struct Document {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws ContractViolation if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Serializes rows with a header; cells containing commas/quotes/newlines
+/// are quoted per RFC 4180.
+std::string write(const Document& doc);
+
+/// Parses RFC-4180-style CSV text (quoted cells, embedded commas and
+/// newlines, doubled quotes). Throws ContractViolation on ragged rows or
+/// unterminated quotes.
+Document parse(const std::string& text);
+
+/// Reads/writes a document to a file path; read throws on I/O failure.
+Document read_file(const std::string& path);
+void write_file(const std::string& path, const Document& doc);
+
+}  // namespace hslb::csv

@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hslb::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Trace: return "trace";
+    case Level::Debug: return "debug";
+    case Level::Info:  return "info";
+    case Level::Warn:  return "warn";
+    case Level::Error: return "error";
+    case Level::Off:   return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+bool enabled(Level lvl) {
+  return static_cast<int>(lvl) >= static_cast<int>(level());
+}
+
+void emit(Level lvl, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), message.c_str());
+}
+
+}  // namespace hslb::log

@@ -1,0 +1,50 @@
+// Leveled logging with a global severity threshold.
+//
+// The MINLP solver and simulators log node counts, cut statistics, and
+// event traces at Debug/Trace level; benches run at Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hslb::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets/reads the process-wide threshold. Messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// True when messages at `level` would be emitted.
+bool enabled(Level level);
+
+/// Emits one formatted line ("[level] message") to stderr.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+class LineLogger {
+ public:
+  explicit LineLogger(Level level) : level_(level) {}
+  ~LineLogger() { if (enabled(level_)) emit(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    if (enabled(level_)) stream_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LineLogger trace() { return detail::LineLogger(Level::Trace); }
+inline detail::LineLogger debug() { return detail::LineLogger(Level::Debug); }
+inline detail::LineLogger info() { return detail::LineLogger(Level::Info); }
+inline detail::LineLogger warn() { return detail::LineLogger(Level::Warn); }
+inline detail::LineLogger error() { return detail::LineLogger(Level::Error); }
+
+}  // namespace hslb::log

@@ -1,0 +1,101 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace hslb::stats {
+
+double mean(std::span<const double> xs) {
+  HSLB_EXPECTS(!xs.empty());
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  HSLB_EXPECTS(xs.size() >= 2);
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  HSLB_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  HSLB_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double sum(std::span<const double> xs) {
+  // Kahan summation: benchmark tables can mix O(1e-3) and O(1e4) values.
+  double s = 0.0, c = 0.0;
+  for (double x : xs) {
+    double y = x - c;
+    double t = s + y;
+    c = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  HSLB_EXPECTS(!xs.empty());
+  HSLB_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double sse(std::span<const double> observed, std::span<const double> predicted) {
+  HSLB_EXPECTS(observed.size() == predicted.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double r = observed[i] - predicted[i];
+    acc += r * r;
+  }
+  return acc;
+}
+
+double rmse(std::span<const double> observed, std::span<const double> predicted) {
+  HSLB_EXPECTS(!observed.empty());
+  return std::sqrt(sse(observed, predicted) / static_cast<double>(observed.size()));
+}
+
+double r_squared(std::span<const double> observed, std::span<const double> predicted) {
+  HSLB_EXPECTS(!observed.empty());
+  HSLB_EXPECTS(observed.size() == predicted.size());
+  const double m = mean(observed);
+  double ss_tot = 0.0;
+  for (double y : observed) ss_tot += (y - m) * (y - m);
+  const double ss_res = sse(observed, predicted);
+  if (ss_tot <= 0.0) return ss_res <= 1e-30 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double imbalance(std::span<const double> busy_times) {
+  const double m = mean(busy_times);
+  HSLB_EXPECTS(m > 0.0);
+  return max(busy_times) / m - 1.0;
+}
+
+double efficiency(std::span<const double> busy_times, double makespan) {
+  HSLB_EXPECTS(makespan > 0.0);
+  HSLB_EXPECTS(!busy_times.empty());
+  return sum(busy_times) /
+         (makespan * static_cast<double>(busy_times.size()));
+}
+
+}  // namespace hslb::stats

@@ -1,0 +1,56 @@
+// Small descriptive-statistics helpers shared by the fitting pipeline,
+// the simulators, and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hslb::stats {
+
+/// Arithmetic mean. Requires a non-empty input.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+double variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation. Requires size >= 2.
+double stddev(std::span<const double> xs);
+
+/// Smallest / largest element. Require non-empty input.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Sum of elements (empty input gives 0).
+double sum(std::span<const double> xs);
+
+/// Median (average of the two middle order statistics for even sizes).
+/// Requires a non-empty input. Does not modify the input.
+double median(std::span<const double> xs);
+
+/// p-th percentile in [0, 100] by linear interpolation between order
+/// statistics. Requires a non-empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot for observed ys
+/// against model predictions. When all observations are identical, SS_tot
+/// is zero; returns 1 if the residuals are also (numerically) zero and 0
+/// otherwise. Requires equal non-zero lengths.
+double r_squared(std::span<const double> observed, std::span<const double> predicted);
+
+/// Sum of squared residuals between observed and predicted.
+double sse(std::span<const double> observed, std::span<const double> predicted);
+
+/// Root-mean-square error between observed and predicted.
+double rmse(std::span<const double> observed, std::span<const double> predicted);
+
+/// Load-imbalance ratio of a set of per-worker busy times:
+/// max / mean - 1. Zero means perfectly balanced. Requires non-empty input
+/// with positive mean.
+double imbalance(std::span<const double> busy_times);
+
+/// Parallel efficiency of `busy` work given total makespan * workers:
+/// sum(busy) / (workers * makespan). Requires makespan > 0, non-empty input.
+double efficiency(std::span<const double> busy_times, double makespan);
+
+}  // namespace hslb::stats

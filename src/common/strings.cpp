@@ -1,0 +1,75 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+
+namespace hslb::strings {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  const char* ws = " \t\r\n\f\v";
+  const auto b = s.find_first_not_of(ws);
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+double to_double(const std::string& s) {
+  const std::string t = trim(s);
+  HSLB_EXPECTS(!t.empty());
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  HSLB_EXPECTS(end == t.c_str() + t.size());
+  return v;
+}
+
+long long to_int(const std::string& s) {
+  const std::string t = trim(s);
+  HSLB_EXPECTS(!t.empty());
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  HSLB_EXPECTS(end == t.c_str() + t.size());
+  return v;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  HSLB_EXPECTS(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace hslb::strings

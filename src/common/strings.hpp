@@ -1,0 +1,25 @@
+// Small string helpers used across modules and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hslb::strings {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Joins elements with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Parses a double/long; throws ContractViolation on malformed input.
+double to_double(const std::string& s);
+long long to_int(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hslb::strings

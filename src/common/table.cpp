@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace hslb {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HSLB_EXPECTS(!headers_.empty());
+}
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+void Table::add_row(std::vector<std::string> cells) {
+  HSLB_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_rule() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(long long v) { return std::to_string(v); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& r : rows_) {
+    if (r.is_rule) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << hline() << line(headers_) << hline();
+  for (const Row& r : rows_) {
+    if (r.is_rule)
+      out << hline();
+    else
+      out << line(r.cells);
+  }
+  out << hline();
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) { return os << t.str(); }
+
+}  // namespace hslb

@@ -1,0 +1,53 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench/ binary reproduces a table or figure of the paper; this class
+// renders them in a fixed-width layout comparable side by side with the
+// published rows (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hslb {
+
+/// Column-aligned ASCII table with an optional title and rule lines.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Optional title printed above the table.
+  void set_title(std::string title);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule (printed as a dashed line).
+  void add_rule();
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Convenience: formats an integer.
+  static std::string num(long long v);
+
+  /// Renders the full table.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  struct Row {
+    bool is_rule = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hslb

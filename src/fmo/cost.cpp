@@ -1,0 +1,48 @@
+#include "fmo/cost.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace hslb::fmo {
+
+CostModel::CostModel(CostModelOptions options) : opt_(options) {
+  HSLB_EXPECTS(opt_.seconds_per_nbf3 > 0.0);
+  HSLB_EXPECTS(opt_.parallel_fraction > 0.0 && opt_.parallel_fraction <= 1.0);
+  HSLB_EXPECTS(opt_.serial_fraction >= 0.0);
+  HSLB_EXPECTS(opt_.parallel_fraction + opt_.serial_fraction <= 1.0 + 1e-12);
+  HSLB_EXPECTS(opt_.comm_per_nbf2 >= 0.0);
+  HSLB_EXPECTS(opt_.comm_exponent >= 1.0);  // keep the true model convex
+  HSLB_EXPECTS(opt_.dimer_work_factor > 0.0);
+}
+
+perf::Model CostModel::from_work(double single_node_seconds, double nbf) const {
+  perf::Model m;
+  m.a = opt_.parallel_fraction * single_node_seconds;
+  m.d = opt_.serial_fraction * single_node_seconds;
+  m.b = opt_.comm_per_nbf2 * nbf * nbf;
+  m.c = opt_.comm_exponent;
+  return m;
+}
+
+perf::Model CostModel::monomer(const Fragment& f) const {
+  HSLB_EXPECTS(f.basis_functions > 0);
+  const double nbf = static_cast<double>(f.basis_functions);
+  return from_work(opt_.seconds_per_nbf3 * nbf * nbf * nbf, nbf);
+}
+
+perf::Model CostModel::dimer(const Fragment& i, const Fragment& j) const {
+  HSLB_EXPECTS(i.basis_functions > 0 && j.basis_functions > 0);
+  const double nbf =
+      static_cast<double>(i.basis_functions + j.basis_functions);
+  return from_work(opt_.dimer_work_factor * opt_.seconds_per_nbf3 * nbf * nbf * nbf,
+                   nbf);
+}
+
+double CostModel::es_dimer_time(const System& sys, long long nodes) const {
+  HSLB_EXPECTS(nodes >= 1);
+  return opt_.es_dimer_seconds * static_cast<double>(sys.es_dimers) /
+         static_cast<double>(nodes);
+}
+
+}  // namespace hslb::fmo

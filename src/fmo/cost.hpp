@@ -1,0 +1,62 @@
+// Ground-truth cost model for simulated FMO fragment calculations.
+//
+// Plays the role GAMESS-on-Intrepid plays in the title paper: given a
+// fragment and a group size, it defines the *true* wall-clock time of one
+// monomer SCF (per SCC iteration) or one dimer SCF. The functional family
+// is the paper's own performance model,
+//
+//     T(n) = a/n + b n^c + d,
+//
+// with coefficients derived from fragment size: SCF work scales as
+// O(nbf^3) (Fock build + diagonalization), the serial remainder and the
+// communication term grow with nbf^2. The Gather step observes these times
+// through a noise model; HSLB must then re-discover good allocations
+// without access to the ground truth.
+#pragma once
+
+#include "fmo/fragment.hpp"
+#include "perf/model.hpp"
+
+namespace hslb::fmo {
+
+struct CostModelOptions {
+  /// Seconds per basis-function-cubed on one node (sets the overall scale;
+  /// default calibrated so a single water monomer SCF iteration ~ 0.3 s).
+  double seconds_per_nbf3 = 2.0e-5;
+  /// Fraction of single-node work that parallelizes perfectly (the a/n term).
+  double parallel_fraction = 0.985;
+  /// Fraction of single-node work that is serial (the d term).
+  double serial_fraction = 0.004;
+  /// Communication coefficient: b = comm_per_nbf2 * nbf^2, with exponent c.
+  double comm_per_nbf2 = 2.0e-9;
+  double comm_exponent = 1.15;
+  /// Dimer SCF discount: dimers start from converged monomer densities and
+  /// need fewer iterations.
+  double dimer_work_factor = 0.4;
+  /// Seconds per ES-approximated dimer on one node (cheap, embarrassingly
+  /// parallel across the whole partition).
+  double es_dimer_seconds = 1.0e-4;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelOptions options = {});
+
+  /// True performance model of one monomer SCF iteration of `f`.
+  perf::Model monomer(const Fragment& f) const;
+
+  /// True performance model of a full dimer SCF of the pair (i, j).
+  perf::Model dimer(const Fragment& i, const Fragment& j) const;
+
+  /// Aggregate ES-dimer seconds for the whole system when spread over
+  /// `nodes` nodes.
+  double es_dimer_time(const System& sys, long long nodes) const;
+
+  const CostModelOptions& options() const { return opt_; }
+
+ private:
+  perf::Model from_work(double single_node_seconds, double nbf) const;
+  CostModelOptions opt_;
+};
+
+}  // namespace hslb::fmo

@@ -1,0 +1,165 @@
+#include "fmo/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "sim/noise.hpp"
+
+namespace hslb::fmo {
+
+long long probe_ceiling(const System& sys, long long nodes) {
+  HSLB_EXPECTS(nodes >= static_cast<long long>(sys.num_fragments()));
+  const auto frags = static_cast<long long>(sys.num_fragments());
+  // A fragment can never get more than budget - (F-1) nodes; probing much
+  // beyond several fair shares is wasted benchmark time.
+  const long long fair = std::max<long long>(1, nodes / frags);
+  return std::max<long long>(8, std::min(nodes - frags + 1, 8 * fair));
+}
+
+std::vector<BudgetTask> make_budget_tasks(
+    const System& sys,
+    const std::vector<std::pair<std::string, perf::FitResult>>& fits,
+    long long max_nodes_per_fragment) {
+  HSLB_EXPECTS(fits.size() == sys.num_fragments());
+  std::vector<BudgetTask> tasks;
+  tasks.reserve(fits.size());
+  for (const auto& [name, fit] : fits) {
+    tasks.push_back(BudgetTask{name, fit.model, 1, max_nodes_per_fragment});
+  }
+  return tasks;
+}
+
+PipelineResult run_pipeline(const System& sys, const CostModel& cost,
+                            long long nodes, const PipelineOptions& options) {
+  HSLB_EXPECTS(nodes >= static_cast<long long>(sys.num_fragments()));
+  HSLB_EXPECTS(options.fit_points >= 2);
+  PipelineResult out;
+
+  // -- Step 1: Gather ------------------------------------------------------
+  const long long hi = probe_ceiling(sys, nodes);
+  const auto counts = geometric_node_counts(1, hi, options.fit_points);
+  sim::NoiseModel bench_noise(options.bench_noise_cv, options.seed);
+
+  std::vector<perf::Model> truth;
+  std::vector<std::string> names;
+  truth.reserve(sys.num_fragments());
+  for (const auto& f : sys.fragments) {
+    truth.push_back(cost.monomer(f));
+    names.push_back(f.name);
+  }
+  GatherOptions gopt;
+  gopt.repetitions = options.repetitions;
+  out.bench = gather(
+      names, counts,
+      [&](const std::string& task, long long n, std::uint64_t) {
+        // Locate the fragment for this task name (names are unique).
+        for (std::size_t f = 0; f < names.size(); ++f) {
+          if (names[f] == task)
+            return bench_noise.perturb(truth[f].eval(static_cast<double>(n)));
+        }
+        HSLB_ASSERT(!"unknown task");
+        return 0.0;
+      },
+      gopt);
+
+  // -- Step 2: Fit ----------------------------------------------------------
+  out.fits = perf::fit_all(out.bench, options.fit);
+  out.min_r2 = 1.0;
+  double r2_sum = 0.0;
+  for (const auto& [name, fit] : out.fits) {
+    out.min_r2 = std::min(out.min_r2, fit.r2);
+    r2_sum += fit.r2;
+  }
+  out.mean_r2 = r2_sum / static_cast<double>(out.fits.size());
+
+  // -- Step 3: Solve --------------------------------------------------------
+  const auto tasks = make_budget_tasks(sys, out.fits, hi);
+  out.allocation = solve_budget(tasks, nodes, options.objective);
+  // Predicted SCC loop: every iteration runs one wave of all fragments.
+  const double wave = [&] {
+    double w = 0.0;
+    for (const auto& t : out.allocation.tasks)
+      w = std::max(w, t.predicted_seconds);
+    return w;
+  }();
+  out.predicted_scc_seconds =
+      static_cast<double>(options.run.scc_iterations) *
+      (wave + options.run.sync_overhead);
+
+  // -- Steps 1b/2b: probe and fit a representative dimer subset -------------
+  if (options.dimer_probe_count > 0 && !sys.scf_dimers.empty()) {
+    // Pick probes spread across the combined-size range.
+    std::vector<std::size_t> by_size(sys.scf_dimers.size());
+    for (std::size_t d = 0; d < by_size.size(); ++d) by_size[d] = d;
+    auto size_of = [&](std::size_t d) {
+      return sys.fragments[sys.scf_dimers[d].i].basis_functions +
+             sys.fragments[sys.scf_dimers[d].j].basis_functions;
+    };
+    std::sort(by_size.begin(), by_size.end(),
+              [&](std::size_t a, std::size_t b) { return size_of(a) < size_of(b); });
+    std::vector<std::size_t> probes;
+    const std::size_t want =
+        std::min(options.dimer_probe_count, sys.scf_dimers.size());
+    for (std::size_t k = 0; k < want; ++k) {
+      const auto pos = want == 1 ? 0
+                                 : k * (by_size.size() - 1) / (want - 1);
+      if (probes.empty() || probes.back() != by_size[pos])
+        probes.push_back(by_size[pos]);
+    }
+
+    // Probe + fit each selected dimer at the same node counts.
+    struct Probed {
+      double nbf;
+      perf::Model model;
+    };
+    std::vector<Probed> fitted;
+    for (std::size_t d : probes) {
+      const auto& pair = sys.scf_dimers[d];
+      const auto true_model =
+          cost.dimer(sys.fragments[pair.i], sys.fragments[pair.j]);
+      perf::SampleSet samples;
+      for (long long n : counts) {
+        for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+          samples.push_back(
+              {static_cast<double>(n),
+               bench_noise.perturb(true_model.eval(static_cast<double>(n)))});
+        }
+      }
+      const auto fit = perf::fit(samples, options.fit);
+      out.dimer_min_r2 = std::min(out.dimer_min_r2, fit.r2);
+      fitted.push_back(
+          Probed{static_cast<double>(size_of(d)), fit.model});
+    }
+
+    // Scale every dimer's model from the nearest probed size: SCF work
+    // grows ~ nbf^3 (a, d) and communication ~ nbf^2 (b).
+    out.dimer_predictions.models.resize(sys.scf_dimers.size());
+    for (std::size_t d = 0; d < sys.scf_dimers.size(); ++d) {
+      const double s = static_cast<double>(size_of(d));
+      const Probed* nearest = &fitted.front();
+      for (const auto& p : fitted) {
+        if (std::fabs(p.nbf - s) < std::fabs(nearest->nbf - s)) nearest = &p;
+      }
+      const double work_ratio = std::pow(s / nearest->nbf, 3.0);
+      const double comm_ratio = std::pow(s / nearest->nbf, 2.0);
+      perf::Model m = nearest->model;
+      m.a *= work_ratio;
+      m.d *= work_ratio;
+      m.b *= comm_ratio;
+      out.dimer_predictions.models[d] = m;
+    }
+  }
+
+  // -- Step 4: Execute ------------------------------------------------------
+  out.hslb = run_hslb(sys, cost, out.allocation, nodes, out.dimer_predictions,
+                      options.run);
+
+  const std::size_t dlb_groups =
+      options.dlb_groups == 0 ? sys.num_fragments() : options.dlb_groups;
+  out.dlb = run_dlb(sys, cost, GroupLayout::uniform(nodes, dlb_groups),
+                    options.run);
+  return out;
+}
+
+}  // namespace hslb::fmo

@@ -1,0 +1,88 @@
+// End-to-end FMO pipeline: the four HSLB steps (§III-F) wired to the FMO
+// substrate, plus the DLB baseline for comparison.
+//
+//   1. Gather  — probe every fragment's monomer SCF at a few group sizes
+//                (noisy observations of the ground-truth cost model);
+//   2. Fit     — per-fragment performance models (Levenberg-Marquardt
+//                multistart, R^2 diagnostics);
+//   3. Solve   — min-max node allocation over the fitted models (exact
+//                greedy; build_budget_minlp/branch-and-bound cross-check
+//                available for small systems);
+//   4. Execute — run the simulated FMO2 calculation under the static
+//                allocation; run the DLB baseline on the same system.
+#pragma once
+
+#include "fmo/cost.hpp"
+#include "fmo/molecule.hpp"
+#include "fmo/schedulers.hpp"
+#include "hslb/budget.hpp"
+#include "hslb/gather.hpp"
+#include "hslb/objective.hpp"
+#include "perf/fit.hpp"
+
+namespace hslb::fmo {
+
+struct PipelineOptions {
+  /// Gather: node counts per fragment (geometric between 1 and the
+  /// per-fragment probe ceiling) and repeated measurements per count.
+  std::size_t fit_points = 5;
+  std::size_t repetitions = 1;
+  /// Noise applied to gather probes (benchmark runs are noisy too).
+  double bench_noise_cv = 0.03;
+  std::uint64_t seed = 42;
+
+  Objective objective = Objective::MinMax;
+  perf::FitOptions fit;
+
+  /// Number of representative SCF dimers probed during Gather (spread over
+  /// the combined-size range); models for the remaining dimers are scaled
+  /// from the nearest probed size. 0 disables dimer probing (the dimer
+  /// phase then falls back to size-proxy ECT on the monomer groups).
+  std::size_t dimer_probe_count = 8;
+
+  /// Execution options (shared by the HSLB run and the DLB baseline).
+  RunOptions run;
+  /// DLB baseline group count; 0 means one group per fragment.
+  std::size_t dlb_groups = 0;
+};
+
+struct PipelineResult {
+  perf::BenchTable bench;  ///< Gather output (monomer probes)
+  std::vector<std::pair<std::string, perf::FitResult>> fits;
+  Allocation allocation;   ///< Solve output: nodes per fragment
+
+  /// Predicted models for every SCF dimer (from the probed subset), used
+  /// by the Execute step's dimer-wave re-partition.
+  DimerPredictions dimer_predictions;
+  double dimer_min_r2 = 1.0;  ///< fit quality over the probed dimers
+
+  /// Predicted SCC-loop seconds (the phase the allocation optimizes):
+  /// scc_iterations * (predicted wave + sync overhead).
+  double predicted_scc_seconds = 0.0;
+
+  ExecutionResult hslb;  ///< Execute under the static allocation
+  ExecutionResult dlb;   ///< stock dynamic baseline
+
+  /// Fit-quality summary over fragments.
+  double min_r2 = 0.0;
+  double mean_r2 = 0.0;
+};
+
+/// Runs the full pipeline on `nodes` nodes. Requires nodes >= #fragments
+/// (HSLB gives every fragment at least one node).
+PipelineResult run_pipeline(const System& sys, const CostModel& cost,
+                            long long nodes, const PipelineOptions& options = {});
+
+/// The Solve step in isolation: budget tasks from fitted models.
+/// Probe ceiling / model validity range is [1, max_nodes_per_fragment].
+std::vector<BudgetTask> make_budget_tasks(
+    const System& sys,
+    const std::vector<std::pair<std::string, perf::FitResult>>& fits,
+    long long max_nodes_per_fragment);
+
+/// Per-fragment probe ceiling used by Gather (also the per-fragment upper
+/// bound in the Solve step, so predictions interpolate rather than
+/// extrapolate, as §III-C recommends).
+long long probe_ceiling(const System& sys, long long nodes);
+
+}  // namespace hslb::fmo

@@ -1,0 +1,27 @@
+#include "fmo/fragment.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace hslb::fmo {
+
+long long System::total_basis_functions() const {
+  long long total = 0;
+  for (const auto& f : fragments) total += f.basis_functions;
+  return total;
+}
+
+double System::size_diversity() const {
+  HSLB_EXPECTS(!fragments.empty());
+  int lo = fragments.front().basis_functions;
+  int hi = lo;
+  for (const auto& f : fragments) {
+    lo = std::min(lo, f.basis_functions);
+    hi = std::max(hi, f.basis_functions);
+  }
+  HSLB_EXPECTS(lo > 0);
+  return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+}  // namespace hslb::fmo

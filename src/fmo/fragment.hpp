@@ -1,0 +1,57 @@
+// Fragment molecular orbital (FMO) workload description.
+//
+// FMO (Fedorov & Kitaura) partitions a molecule into fragments; the FMO2
+// energy is assembled from fragment (monomer) SCF calculations iterated to
+// self-consistent charge (SCC), plus pair (dimer) corrections: full SCF
+// dimers for spatially close pairs and a cheap electrostatic (ES)
+// approximation for separated pairs. In GAMESS the fragment calculations
+// are distributed over GDDI processor groups. The title paper's insight:
+// with *few large fragments of diverse size*, dynamic load balancing of
+// fragments over equal-size groups wastes nodes, while HSLB can size each
+// fragment's group by solving a min-max MINLP over fitted per-fragment
+// performance models.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hslb::fmo {
+
+struct Fragment {
+  std::size_t id = 0;
+  std::string name;
+  /// Number of atoms (drives integral counts).
+  int atoms = 0;
+  /// Number of basis functions: the size measure driving O(nbf^3) SCF cost.
+  int basis_functions = 0;
+  /// Centroid coordinates in Angstrom (for dimer cutoffs).
+  std::array<double, 3> center{};
+};
+
+/// A pair of fragments requiring a full dimer SCF.
+struct DimerPair {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double separation = 0.0;  ///< centroid distance, Angstrom
+};
+
+/// A complete FMO system: fragments plus its dimer lists.
+struct System {
+  std::string name;
+  std::vector<Fragment> fragments;
+  std::vector<DimerPair> scf_dimers;  ///< near pairs: full dimer SCF
+  std::size_t es_dimers = 0;          ///< far pairs: ES approximation count
+
+  std::size_t num_fragments() const { return fragments.size(); }
+
+  /// Total basis functions (system size indicator).
+  long long total_basis_functions() const;
+
+  /// max/min fragment basis functions: the "diverse size" ratio that makes
+  /// DLB struggle and motivates HSLB.
+  double size_diversity() const;
+};
+
+}  // namespace hslb::fmo

@@ -1,0 +1,27 @@
+#include "fmo/gddi.hpp"
+
+#include "common/contracts.hpp"
+
+namespace hslb::fmo {
+
+long long GroupLayout::total_nodes() const {
+  long long t = 0;
+  for (long long s : sizes) t += s;
+  return t;
+}
+
+GroupLayout GroupLayout::uniform(long long nodes, std::size_t groups) {
+  HSLB_EXPECTS(nodes >= 1);
+  HSLB_EXPECTS(groups >= 1);
+  HSLB_EXPECTS(static_cast<long long>(groups) <= nodes);
+  GroupLayout layout;
+  const long long base = nodes / static_cast<long long>(groups);
+  long long rem = nodes % static_cast<long long>(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    layout.sizes.push_back(base + (rem > 0 ? 1 : 0));
+    if (rem > 0) --rem;
+  }
+  return layout;
+}
+
+}  // namespace hslb::fmo

@@ -1,0 +1,26 @@
+// GDDI-style processor-group layouts.
+//
+// GAMESS's Generalized Distributed Data Interface (GDDI) splits the machine
+// into groups; each fragment calculation runs within one group. The stock
+// scheme uses equal-size groups with dynamic assignment; HSLB instead sizes
+// groups per fragment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hslb::fmo {
+
+struct GroupLayout {
+  /// Node count of each group, in group order.
+  std::vector<long long> sizes;
+
+  long long total_nodes() const;
+  std::size_t num_groups() const { return sizes.size(); }
+
+  /// Equal split of `nodes` into `groups` groups (remainder spread over the
+  /// first groups), the stock GDDI/DLB configuration.
+  static GroupLayout uniform(long long nodes, std::size_t groups);
+};
+
+}  // namespace hslb::fmo

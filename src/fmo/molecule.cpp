@@ -1,0 +1,101 @@
+#include "fmo/molecule.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace hslb::fmo {
+
+namespace {
+
+double distance(const std::array<double, 3>& a, const std::array<double, 3>& b) {
+  double acc = 0.0;
+  for (int k = 0; k < 3; ++k) acc += (a[k] - b[k]) * (a[k] - b[k]);
+  return std::sqrt(acc);
+}
+
+/// Builds the SCF/ES dimer lists from fragment centroids and a cutoff.
+void build_dimers(System& sys, double cutoff) {
+  const std::size_t n = sys.fragments.size();
+  sys.scf_dimers.clear();
+  sys.es_dimers = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = distance(sys.fragments[i].center, sys.fragments[j].center);
+      if (d <= cutoff) {
+        sys.scf_dimers.push_back({i, j, d});
+      } else {
+        ++sys.es_dimers;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+System water_cluster(const WaterClusterOptions& options) {
+  HSLB_EXPECTS(options.fragments >= 1);
+  HSLB_EXPECTS(options.merge_fraction >= 0.0 && options.merge_fraction <= 1.0);
+  Rng rng(options.seed);
+  System sys;
+  sys.name = strings::format("water_cluster_%zu", options.fragments);
+
+  // Lay fragments out on a cubic lattice with jitter; side chosen to hold
+  // all fragments.
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(options.fragments))));
+  const double spacing = 3.0;  // Angstrom, typical O...O distance ~2.8-3.0
+
+  for (std::size_t f = 0; f < options.fragments; ++f) {
+    Fragment frag;
+    frag.id = f;
+    // Merge some fragments into 2- or 3-water units for size diversity.
+    int waters = 1;
+    if (rng.uniform() < options.merge_fraction)
+      waters = static_cast<int>(rng.uniform_int(2, 3));
+    frag.atoms = 3 * waters;
+    frag.basis_functions = 25 * waters;  // ~25 bf per water (6-31G*-like)
+    frag.name = strings::format("w%zu(x%d)", f, waters);
+    const std::size_t ix = f % side;
+    const std::size_t iy = (f / side) % side;
+    const std::size_t iz = f / (side * side);
+    frag.center = {spacing * static_cast<double>(ix) + rng.uniform(-0.4, 0.4),
+                   spacing * static_cast<double>(iy) + rng.uniform(-0.4, 0.4),
+                   spacing * static_cast<double>(iz) + rng.uniform(-0.4, 0.4)};
+    sys.fragments.push_back(std::move(frag));
+  }
+  build_dimers(sys, options.scf_cutoff_angstrom);
+  return sys;
+}
+
+System polypeptide(const PolypeptideOptions& options) {
+  HSLB_EXPECTS(options.residues >= 1);
+  Rng rng(options.seed);
+  System sys;
+  sys.name = strings::format("polypeptide_%zu", options.residues);
+
+  // Coiled backbone: helix with ~1.5 A rise and 5 residues per turn.
+  const double rise = 1.5, radius = 2.3;
+  for (std::size_t r = 0; r < options.residues; ++r) {
+    Fragment frag;
+    frag.id = r;
+    // Residue sizes from glycine (7 heavy+H atoms, ~40 bf) to tryptophan
+    // (~27 atoms, ~180 bf): large size diversity.
+    const double size_draw = rng.uniform();
+    frag.atoms = static_cast<int>(7 + size_draw * 20);
+    frag.basis_functions = static_cast<int>(40 + size_draw * 140);
+    frag.name = strings::format("res%zu", r);
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(r) / 5.0;
+    frag.center = {radius * std::cos(theta), radius * std::sin(theta),
+                   rise * static_cast<double>(r)};
+    sys.fragments.push_back(std::move(frag));
+  }
+  build_dimers(sys, options.scf_cutoff_angstrom);
+  return sys;
+}
+
+}  // namespace hslb::fmo

@@ -1,0 +1,43 @@
+// Synthetic molecular system generators.
+//
+// The SC 2012 evaluation ran water clusters and protein-like systems on
+// Intrepid; the actual geometries are not available, so these generators
+// build systems with the same *scheduling-relevant* structure: fragment
+// counts, heterogeneous fragment sizes (merged multi-water fragments /
+// residues of different sizes), and distance-based SCF-dimer lists
+// (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+
+#include "fmo/fragment.hpp"
+
+namespace hslb::fmo {
+
+struct WaterClusterOptions {
+  std::size_t fragments = 64;
+  /// Fraction of fragments merged into 2- or 3-water "large" fragments
+  /// (size heterogeneity; 0 = uniform single waters).
+  double merge_fraction = 0.3;
+  /// Centroid distance below which a pair becomes a full SCF dimer.
+  double scf_cutoff_angstrom = 4.5;
+  std::uint64_t seed = 1;
+};
+
+/// Water cluster on a jittered cubic lattice (~3 A spacing); a water
+/// monomer has 3 atoms and ~25 basis functions (6-31G*-like).
+System water_cluster(const WaterClusterOptions& options = {});
+
+struct PolypeptideOptions {
+  std::size_t residues = 64;
+  /// One fragment per residue; residue sizes drawn from a glycine..tryptophan
+  /// -like range, giving larger size diversity than water.
+  double scf_cutoff_angstrom = 6.0;
+  std::uint64_t seed = 2;
+};
+
+/// Protein-like chain: fragments along a coiled backbone; sequential and
+/// i/i+2 neighbours fall inside the SCF dimer cutoff.
+System polypeptide(const PolypeptideOptions& options = {});
+
+}  // namespace hslb::fmo

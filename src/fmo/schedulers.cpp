@@ -1,0 +1,255 @@
+#include "fmo/schedulers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "hslb/budget.hpp"
+#include "sim/noise.hpp"
+
+namespace hslb::fmo {
+
+namespace {
+
+/// Tasks (by fragment or dimer index) in descending work order — the shared
+/// counter in GAMESS hands out big fragments first.
+template <typename SizeOf>
+std::vector<std::size_t> descending_order(std::size_t count, SizeOf&& size_of) {
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return size_of(a) > size_of(b);
+  });
+  return order;
+}
+
+/// One dynamically-balanced phase: tasks pulled by the earliest-free group.
+/// Returns the phase makespan; adds per-group busy time into `busy` and
+/// node-seconds into `busy_node_seconds`.
+double dlb_phase(const std::vector<perf::Model>& task_models,
+                 const std::vector<std::size_t>& order,
+                 const GroupLayout& layout, sim::NoiseModel& noise,
+                 std::vector<double>& busy, double& busy_node_seconds) {
+  using Entry = std::pair<double, std::size_t>;  // (free time, group)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> groups;
+  for (std::size_t g = 0; g < layout.num_groups(); ++g) groups.push({0.0, g});
+
+  double makespan = 0.0;
+  for (std::size_t t : order) {
+    auto [free_at, g] = groups.top();
+    groups.pop();
+    const double duration = noise.perturb(
+        task_models[t].eval(static_cast<double>(layout.sizes[g])));
+    busy[g] += duration;
+    busy_node_seconds += duration * static_cast<double>(layout.sizes[g]);
+    const double end = free_at + duration;
+    makespan = std::max(makespan, end);
+    groups.push({end, g});
+  }
+  return makespan;
+}
+
+/// Combined dimer size key (basis functions).
+double dimer_nbf(const System& sys, std::size_t d) {
+  return static_cast<double>(sys.fragments[sys.scf_dimers[d].i].basis_functions +
+                             sys.fragments[sys.scf_dimers[d].j].basis_functions);
+}
+
+}  // namespace
+
+double ExecutionResult::efficiency(long long total_nodes) const {
+  HSLB_EXPECTS(total_nodes >= 1);
+  if (total_seconds <= 0.0) return 1.0;
+  return busy_node_seconds / (static_cast<double>(total_nodes) * total_seconds);
+}
+
+double ExecutionResult::group_imbalance() const {
+  if (group_busy.empty()) return 0.0;
+  return stats::imbalance(group_busy);
+}
+
+ExecutionResult run_dlb(const System& sys, const CostModel& cost,
+                        const GroupLayout& layout, const RunOptions& options) {
+  HSLB_EXPECTS(!sys.fragments.empty());
+  HSLB_EXPECTS(layout.num_groups() >= 1);
+  HSLB_EXPECTS(options.scc_iterations >= 1);
+  sim::NoiseModel noise(options.noise_cv, options.seed);
+
+  ExecutionResult out;
+  out.scc_iterations = options.scc_iterations;
+  out.group_busy.assign(layout.num_groups(), 0.0);
+  out.group_nodes = layout.sizes;
+
+  // Monomer models are reused every SCC iteration.
+  std::vector<perf::Model> monomers;
+  monomers.reserve(sys.fragments.size());
+  for (const auto& f : sys.fragments) monomers.push_back(cost.monomer(f));
+  const auto monomer_order = descending_order(
+      sys.fragments.size(),
+      [&](std::size_t i) { return sys.fragments[i].basis_functions; });
+
+  for (int iter = 0; iter < options.scc_iterations; ++iter) {
+    out.scc_seconds += dlb_phase(monomers, monomer_order, layout, noise,
+                                 out.group_busy, out.busy_node_seconds) +
+                       options.sync_overhead;
+    if (iter + 1 == options.scc_iterations) {
+      // Converged densities: record the monomer energies in pull order.
+      for (std::size_t f : monomer_order)
+        out.energy.monomer += monomer_energy(sys.fragments[f]);
+    }
+  }
+
+  // Dimer phase.
+  std::vector<perf::Model> dimers;
+  dimers.reserve(sys.scf_dimers.size());
+  for (const auto& d : sys.scf_dimers)
+    dimers.push_back(cost.dimer(sys.fragments[d.i], sys.fragments[d.j]));
+  const auto dimer_order = descending_order(
+      dimers.size(), [&](std::size_t i) { return dimer_nbf(sys, i); });
+  if (!dimers.empty()) {
+    out.dimer_seconds = dlb_phase(dimers, dimer_order, layout, noise,
+                                  out.group_busy, out.busy_node_seconds);
+    for (std::size_t i : dimer_order) {
+      const auto& d = sys.scf_dimers[i];
+      out.energy.scf_dimer += scf_dimer_correction(
+          sys.fragments[d.i], sys.fragments[d.j], d.separation);
+    }
+  }
+  out.dimer_seconds += cost.es_dimer_time(sys, layout.total_nodes());
+  out.energy.es_dimer = fmo2_energy(sys).es_dimer;
+
+  out.total_seconds = out.scc_seconds + out.dimer_seconds;
+  return out;
+}
+
+ExecutionResult run_hslb(const System& sys, const CostModel& cost,
+                         const Allocation& allocation, long long total_nodes,
+                         const DimerPredictions& dimers,
+                         const RunOptions& options) {
+  HSLB_EXPECTS(!sys.fragments.empty());
+  HSLB_EXPECTS(allocation.tasks.size() == sys.fragments.size());
+  HSLB_EXPECTS(options.scc_iterations >= 1);
+  HSLB_EXPECTS(total_nodes >= allocation.total_nodes());
+  HSLB_EXPECTS(dimers.models.empty() ||
+               dimers.models.size() == sys.scf_dimers.size());
+  sim::NoiseModel noise(options.noise_cv, options.seed);
+
+  ExecutionResult out;
+  out.scc_iterations = options.scc_iterations;
+  out.group_busy.assign(sys.fragments.size(), 0.0);
+  out.group_nodes.resize(sys.fragments.size());
+
+  std::vector<perf::Model> monomers;
+  monomers.reserve(sys.fragments.size());
+  for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+    monomers.push_back(cost.monomer(sys.fragments[f]));
+    const auto& entry = allocation.find(sys.fragments[f].name);
+    HSLB_EXPECTS(entry.nodes >= 1);
+    out.group_nodes[f] = entry.nodes;
+  }
+
+  // SCC loop: one concurrent wave per iteration; the wave ends when the
+  // slowest fragment finishes.
+  for (int iter = 0; iter < options.scc_iterations; ++iter) {
+    double wave = 0.0;
+    for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+      const double t = noise.perturb(
+          monomers[f].eval(static_cast<double>(out.group_nodes[f])));
+      out.group_busy[f] += t;
+      out.busy_node_seconds += t * static_cast<double>(out.group_nodes[f]);
+      wave = std::max(wave, t);
+    }
+    out.scc_seconds += wave + options.sync_overhead;
+    if (iter + 1 == options.scc_iterations) {
+      for (std::size_t f = 0; f < sys.fragments.size(); ++f)
+        out.energy.monomer += monomer_energy(sys.fragments[f]);
+    }
+  }
+
+  // Dimer phase.
+  if (!sys.scf_dimers.empty()) {
+    const bool can_repartition =
+        !dimers.models.empty() &&
+        static_cast<long long>(sys.scf_dimers.size()) <= total_nodes;
+    if (can_repartition) {
+      // GDDI re-split: a fresh min-max allocation runs every SCF dimer as
+      // one concurrent wave, sized by the *predicted* dimer models (the
+      // greedy caps each group at the predicted argmin, so communication
+      // growth is respected).
+      std::vector<BudgetTask> tasks;
+      tasks.reserve(sys.scf_dimers.size());
+      for (std::size_t d = 0; d < sys.scf_dimers.size(); ++d) {
+        tasks.push_back(BudgetTask{"d" + std::to_string(d), dimers.models[d],
+                                   1, total_nodes});
+      }
+      const auto wave_alloc = solve_min_max(tasks, total_nodes);
+      double wave = 0.0;
+      for (std::size_t d = 0; d < sys.scf_dimers.size(); ++d) {
+        const auto& pair = sys.scf_dimers[d];
+        const auto model = cost.dimer(sys.fragments[pair.i], sys.fragments[pair.j]);
+        const long long n = wave_alloc.tasks[d].nodes;
+        const double t = noise.perturb(model.eval(static_cast<double>(n)));
+        out.busy_node_seconds += t * static_cast<double>(n);
+        wave = std::max(wave, t);
+        out.energy.scf_dimer += scf_dimer_correction(
+            sys.fragments[pair.i], sys.fragments[pair.j], pair.separation);
+      }
+      out.dimer_seconds = wave;
+    } else {
+      // Static earliest-completion-time assignment onto the monomer groups,
+      // longest dimer first, using predicted times when available and the
+      // (nbf^3 / nodes) size proxy otherwise.
+      const auto order = descending_order(
+          sys.scf_dimers.size(), [&](std::size_t i) { return dimer_nbf(sys, i); });
+      const std::size_t groups = out.group_nodes.size();
+      std::vector<double> pred_finish(groups, 0.0);
+      std::vector<double> actual_finish(groups, 0.0);
+      for (std::size_t i : order) {
+        const auto& d = sys.scf_dimers[i];
+        // Static choice: group with the earliest predicted completion.
+        std::size_t best = 0;
+        double best_eta = std::numeric_limits<double>::infinity();
+        for (std::size_t g = 0; g < groups; ++g) {
+          const double ng = static_cast<double>(out.group_nodes[g]);
+          const double pred =
+              dimers.models.empty()
+                  ? dimer_nbf(sys, i) * dimer_nbf(sys, i) * dimer_nbf(sys, i) / ng
+                  : dimers.models[i].eval(ng);
+          const double eta = pred_finish[g] + pred;
+          if (eta < best_eta) {
+            best_eta = eta;
+            best = g;
+          }
+        }
+        pred_finish[best] = best_eta;
+        const auto model = cost.dimer(sys.fragments[d.i], sys.fragments[d.j]);
+        const double t = noise.perturb(
+            model.eval(static_cast<double>(out.group_nodes[best])));
+        out.group_busy[best] += t;
+        out.busy_node_seconds += t * static_cast<double>(out.group_nodes[best]);
+        actual_finish[best] += t;
+        out.energy.scf_dimer += scf_dimer_correction(
+            sys.fragments[d.i], sys.fragments[d.j], d.separation);
+      }
+      out.dimer_seconds =
+          *std::max_element(actual_finish.begin(), actual_finish.end());
+    }
+  }
+  out.dimer_seconds += cost.es_dimer_time(sys, total_nodes);
+  out.energy.es_dimer = fmo2_energy(sys).es_dimer;
+
+  out.total_seconds = out.scc_seconds + out.dimer_seconds;
+  return out;
+}
+
+ExecutionResult run_hslb(const System& sys, const CostModel& cost,
+                         const Allocation& allocation, long long total_nodes,
+                         const RunOptions& options) {
+  return run_hslb(sys, cost, allocation, total_nodes, DimerPredictions{}, options);
+}
+
+}  // namespace hslb::fmo

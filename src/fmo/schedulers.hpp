@@ -1,0 +1,97 @@
+// FMO execution schedulers: the dynamic-load-balancing baseline (stock
+// GAMESS/GDDI behaviour) and the HSLB static schedule.
+//
+// Both simulate a full FMO2 run:
+//   1. the monomer SCC loop — `scc_iterations` rounds; in each round every
+//      fragment's monomer SCF must complete, followed by a global
+//      synchronization (charge exchange);
+//   2. one dimer phase — all SCF dimers plus the aggregated ES dimers.
+//
+// DLB: equal-size groups pull fragments from a shared counter (largest
+// first), exactly the regime where "the number of tasks is much smaller
+// than the number of processors" defeats dynamic balancing (§I).
+//
+// HSLB: one group per fragment, sized by the min-max MINLP solution; every
+// SCC round is a single concurrent wave. For the dimer phase the machine
+// is re-partitioned (GDDI allows re-splitting groups between phases): when
+// predicted dimer models are available and the dimers fit, a second
+// min-max allocation runs all SCF dimers as one concurrent wave; otherwise
+// dimers are statically assigned to the monomer groups by predicted
+// earliest completion time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fmo/cost.hpp"
+#include "fmo/energy.hpp"
+#include "fmo/fragment.hpp"
+#include "fmo/gddi.hpp"
+#include "hslb/allocation.hpp"
+#include "perf/model.hpp"
+
+namespace hslb::fmo {
+
+struct RunOptions {
+  int scc_iterations = 10;
+  /// Per-iteration global synchronization / charge-exchange overhead (s).
+  double sync_overhead = 0.05;
+  /// Coefficient of variation of per-task execution noise.
+  double noise_cv = 0.02;
+  std::uint64_t seed = 7;
+};
+
+struct ExecutionResult {
+  double total_seconds = 0.0;
+  double scc_seconds = 0.0;    ///< monomer loop including syncs
+  double dimer_seconds = 0.0;  ///< dimer phase including ES contribution
+  int scc_iterations = 0;
+
+  /// Busy seconds of each *monomer-phase* group (work time only).
+  std::vector<double> group_busy;
+  /// Node count of each monomer-phase group.
+  std::vector<long long> group_nodes;
+  /// Busy node-seconds over the whole run (both phases).
+  double busy_node_seconds = 0.0;
+
+  /// FMO2 energy assembled *during execution* (monomer terms on the final
+  /// SCC iteration, dimer corrections as each dimer completes, ES tail at
+  /// the end). Load balancing must not change the chemistry: both
+  /// schedulers report the same energy as the pure fmo2_energy() reference
+  /// (up to floating-point summation order).
+  EnergyBreakdown energy;
+
+  /// Node-weighted parallel efficiency: busy node-seconds over
+  /// total-node-seconds of the whole run.
+  double efficiency(long long total_nodes) const;
+
+  /// Monomer-phase busy-time imbalance across groups: max/mean - 1.
+  double group_imbalance() const;
+};
+
+/// Predicted performance models for the SCF dimers, parallel to
+/// System::scf_dimers. Produced by the pipeline's dimer probing; an empty
+/// `models` vector disables the dimer-wave re-partition.
+struct DimerPredictions {
+  std::vector<perf::Model> models;
+};
+
+/// Stock dynamic load balancing over `layout` equal (or given) groups.
+ExecutionResult run_dlb(const System& sys, const CostModel& cost,
+                        const GroupLayout& layout, const RunOptions& options);
+
+/// HSLB static execution on `total_nodes` nodes: `allocation` must contain
+/// one entry per fragment (task names = fragment names) giving its group's
+/// node count. `dimers` optionally carries predicted dimer models (see
+/// DimerPredictions).
+ExecutionResult run_hslb(const System& sys, const CostModel& cost,
+                         const Allocation& allocation, long long total_nodes,
+                         const DimerPredictions& dimers,
+                         const RunOptions& options);
+
+/// Convenience overload without dimer predictions (ECT fallback policy).
+ExecutionResult run_hslb(const System& sys, const CostModel& cost,
+                         const Allocation& allocation, long long total_nodes,
+                         const RunOptions& options);
+
+}  // namespace hslb::fmo

@@ -1,0 +1,30 @@
+// Allocation results: the output of the Solve step and the input to the
+// Execute step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hslb {
+
+struct TaskAllocation {
+  std::string task;
+  long long nodes = 0;
+  double predicted_seconds = 0.0;  ///< model prediction at `nodes`
+};
+
+struct Allocation {
+  std::vector<TaskAllocation> tasks;
+  /// Objective value under the layout semantics (e.g. predicted makespan
+  /// for min-max); what the paper's AMPL script prints as "predicted time".
+  double predicted_total = 0.0;
+
+  const TaskAllocation& find(const std::string& task) const;
+  bool contains(const std::string& task) const;
+  long long total_nodes() const;
+
+  /// Human-readable rendering (component, nodes, predicted seconds).
+  std::string str() const;
+};
+
+}  // namespace hslb

@@ -1,0 +1,263 @@
+#include "hslb/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace hslb {
+
+namespace {
+
+void validate(std::span<const BudgetTask> tasks, long long budget) {
+  HSLB_EXPECTS(!tasks.empty());
+  long long min_total = 0;
+  for (const auto& t : tasks) {
+    HSLB_EXPECTS(t.min_nodes >= 1);
+    HSLB_EXPECTS(t.max_nodes >= t.min_nodes);
+    min_total += t.min_nodes;
+  }
+  HSLB_EXPECTS(min_total <= budget);
+}
+
+double eval(const BudgetTask& t, long long n) {
+  return t.model.eval(static_cast<double>(n));
+}
+
+Allocation finish(std::span<const BudgetTask> tasks,
+                  const std::vector<long long>& nodes, Objective objective) {
+  Allocation out;
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    out.tasks.push_back(
+        TaskAllocation{tasks[f].name, nodes[f], eval(tasks[f], nodes[f])});
+  }
+  out.predicted_total = evaluate_objective(tasks, nodes, objective);
+  return out;
+}
+
+}  // namespace
+
+double evaluate_objective(std::span<const BudgetTask> tasks,
+                          std::span<const long long> nodes,
+                          Objective objective) {
+  HSLB_EXPECTS(tasks.size() == nodes.size());
+  HSLB_EXPECTS(!tasks.empty());
+  double acc = objective == Objective::MinSum ? 0.0 : eval(tasks[0], nodes[0]);
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    const double t = eval(tasks[f], nodes[f]);
+    switch (objective) {
+      case Objective::MinMax: acc = f == 0 ? t : std::max(acc, t); break;
+      case Objective::MaxMin: acc = f == 0 ? t : std::min(acc, t); break;
+      case Objective::MinSum: acc += t; break;
+    }
+  }
+  return acc;
+}
+
+Allocation solve_min_max(std::span<const BudgetTask> tasks, long long budget) {
+  validate(tasks, budget);
+
+  // Cap each task at its own argmin: past it more nodes only hurt.
+  std::vector<long long> cap(tasks.size());
+  std::vector<long long> nodes(tasks.size());
+  long long used = 0;
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    cap[f] = tasks[f].model.argmin_int(tasks[f].min_nodes, tasks[f].max_nodes).first;
+    nodes[f] = tasks[f].min_nodes;
+    used += nodes[f];
+  }
+
+  // Greedy: always feed the currently slowest task; stop when it cannot
+  // improve (then neither can the makespan) or the budget runs out.
+  using Entry = std::pair<double, std::size_t>;  // (-time ordering via less)
+  std::priority_queue<Entry> heap;
+  for (std::size_t f = 0; f < tasks.size(); ++f)
+    heap.push({eval(tasks[f], nodes[f]), f});
+
+  while (used < budget) {
+    const auto [time, f] = heap.top();
+    if (nodes[f] >= cap[f]) break;  // slowest task saturated: done
+    heap.pop();
+    ++nodes[f];
+    ++used;
+    heap.push({eval(tasks[f], nodes[f]), f});
+  }
+  return finish(tasks, nodes, Objective::MinMax);
+}
+
+Allocation solve_min_sum(std::span<const BudgetTask> tasks, long long budget) {
+  validate(tasks, budget);
+  std::vector<long long> nodes(tasks.size());
+  long long used = 0;
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    nodes[f] = tasks[f].min_nodes;
+    used += nodes[f];
+  }
+  // Marginal gains are non-increasing for convex models, so a gain heap
+  // yields the exact optimum.
+  using Entry = std::pair<double, std::size_t>;  // (gain, task)
+  std::priority_queue<Entry> heap;
+  auto gain = [&](std::size_t f) {
+    if (nodes[f] >= tasks[f].max_nodes) return -1.0;
+    return eval(tasks[f], nodes[f]) - eval(tasks[f], nodes[f] + 1);
+  };
+  for (std::size_t f = 0; f < tasks.size(); ++f) heap.push({gain(f), f});
+  while (used < budget && !heap.empty()) {
+    const auto [g, f] = heap.top();
+    heap.pop();
+    if (g <= 0.0) break;  // no further improvement anywhere
+    // The stored gain may be stale; re-validate before applying.
+    const double fresh = gain(f);
+    if (fresh != g) {
+      if (fresh > 0.0) heap.push({fresh, f});
+      continue;
+    }
+    ++nodes[f];
+    ++used;
+    heap.push({gain(f), f});
+  }
+  return finish(tasks, nodes, Objective::MinSum);
+}
+
+Allocation solve_max_min(std::span<const BudgetTask> tasks, long long budget) {
+  validate(tasks, budget);
+  // max-min is an equalization objective: with a "<= budget" constraint it
+  // degenerates (fewest nodes maximize every time), so by convention it
+  // spends the whole budget (all N nodes, as the papers' runs do). Start
+  // from the min-max solution, pour the remaining nodes greedily, then
+  // hill-climb with single-node moves between task pairs.
+  Allocation start = solve_min_max(tasks, budget);
+  std::vector<long long> nodes(tasks.size());
+  long long used = 0;
+  for (std::size_t f = 0; f < tasks.size(); ++f) {
+    nodes[f] = start.tasks[f].nodes;
+    used += nodes[f];
+  }
+  while (used < budget) {
+    // Give the next node wherever it hurts the minimum time least.
+    std::size_t best_f = tasks.size();
+    double best_obj = -1e300;
+    for (std::size_t f = 0; f < tasks.size(); ++f) {
+      if (nodes[f] >= tasks[f].max_nodes) continue;
+      ++nodes[f];
+      const double obj = evaluate_objective(tasks, nodes, Objective::MaxMin);
+      --nodes[f];
+      if (obj > best_obj) {
+        best_obj = obj;
+        best_f = f;
+      }
+    }
+    if (best_f == tasks.size()) break;  // every task at its cap
+    ++nodes[best_f];
+    ++used;
+  }
+
+  double best = evaluate_objective(tasks, nodes, Objective::MaxMin);
+  const std::size_t max_rounds = 10000;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    double round_best = best;
+    std::size_t best_from = tasks.size(), best_to = tasks.size();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (nodes[i] <= tasks[i].min_nodes) continue;
+      for (std::size_t j = 0; j < tasks.size(); ++j) {
+        if (i == j || nodes[j] >= tasks[j].max_nodes) continue;
+        --nodes[i];
+        ++nodes[j];
+        const double v = evaluate_objective(tasks, nodes, Objective::MaxMin);
+        if (v > round_best + 1e-12) {
+          round_best = v;
+          best_from = i;
+          best_to = j;
+        }
+        ++nodes[i];
+        --nodes[j];
+      }
+    }
+    if (best_from == tasks.size()) break;  // local optimum
+    --nodes[best_from];
+    ++nodes[best_to];
+    best = round_best;
+  }
+  return finish(tasks, nodes, Objective::MaxMin);
+}
+
+Allocation solve_budget(std::span<const BudgetTask> tasks, long long budget,
+                        Objective objective) {
+  switch (objective) {
+    case Objective::MinMax: return solve_min_max(tasks, budget);
+    case Objective::MinSum: return solve_min_sum(tasks, budget);
+    case Objective::MaxMin: return solve_max_min(tasks, budget);
+  }
+  HSLB_ASSERT(!"unreachable");
+  return {};
+}
+
+minlp::Model build_budget_minlp(std::span<const BudgetTask> tasks,
+                                long long budget, Objective objective) {
+  HSLB_EXPECTS(objective == Objective::MinMax || objective == Objective::MinSum);
+  validate(tasks, budget);
+  minlp::Model m;
+
+  // n_f variables first (task order), epigraph variable(s) after.
+  std::vector<std::size_t> n_vars;
+  double worst_total = 0.0;
+  for (const auto& t : tasks) {
+    n_vars.push_back(m.add_integer(static_cast<double>(t.min_nodes),
+                                   static_cast<double>(t.max_nodes),
+                                   "n_" + t.name));
+    worst_total += t.model.eval(static_cast<double>(t.min_nodes));
+  }
+
+  auto add_epigraph = [&m](std::size_t n_var, const perf::Model& pm,
+                           std::size_t t_var, const std::string& name) {
+    // pm(n) - t <= 0 (convex because pm is convex and t enters linearly).
+    minlp::NonlinearConstraint c;
+    c.name = name;
+    c.formula = pm.expr(m.var_name(n_var)) + " - " + m.var_name(t_var) + " <= 0";
+    c.vars = {n_var, t_var};
+    c.value = [n_var, t_var, pm](std::span<const double> x) {
+      return pm.eval(x[n_var]) - x[t_var];
+    };
+    c.gradient = [n_var, t_var, pm](std::span<const double> x) {
+      return std::vector<minlp::GradEntry>{{n_var, pm.deriv_n(x[n_var])},
+                                           {t_var, -1.0}};
+    };
+    m.add_nonlinear(std::move(c));
+  };
+
+  if (objective == Objective::MinMax) {
+    const auto t_var = m.add_continuous(0.0, worst_total, "T");
+    m.set_objective(t_var, 1.0);
+    for (std::size_t f = 0; f < tasks.size(); ++f)
+      add_epigraph(n_vars[f], tasks[f].model, t_var, "T_" + tasks[f].name);
+  } else {
+    for (std::size_t f = 0; f < tasks.size(); ++f) {
+      const auto t_var = m.add_continuous(0.0, worst_total, "t_" + tasks[f].name);
+      m.set_objective(t_var, 1.0);
+      add_epigraph(n_vars[f], tasks[f].model, t_var, "T_" + tasks[f].name);
+    }
+  }
+
+  std::vector<lp::Coeff> coeffs;
+  for (auto v : n_vars) coeffs.push_back({v, 1.0});
+  m.add_linear(std::move(coeffs), 0.0, static_cast<double>(budget), "budget");
+  return m;
+}
+
+Allocation allocation_from_minlp(std::span<const BudgetTask> tasks,
+                                 std::span<const double> x,
+                                 Objective objective) {
+  HSLB_EXPECTS(x.size() >= tasks.size());
+  std::vector<long long> nodes(tasks.size());
+  for (std::size_t f = 0; f < tasks.size(); ++f)
+    nodes[f] = std::llround(x[f]);
+  Allocation out;
+  for (std::size_t f = 0; f < tasks.size(); ++f)
+    out.tasks.push_back(TaskAllocation{tasks[f].name, nodes[f],
+                                       eval(tasks[f], nodes[f])});
+  out.predicted_total = evaluate_objective(tasks, nodes, objective);
+  return out;
+}
+
+}  // namespace hslb

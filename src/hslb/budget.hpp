@@ -1,0 +1,77 @@
+// Budgeted node-allocation solvers for "a few large tasks of diverse size"
+// — the FMO form of HSLB (title paper): choose integer n_f for each task f
+//
+//     objective( T_1(n_1), ..., T_F(n_F) )   s.t.  sum_f n_f <= N,
+//     min_nodes_f <= n_f <= max_nodes_f
+//
+// with T_f the fitted performance models. This is the "single constraint
+// resource-constrained MINLP with non-increasing objectives" the paper
+// cites from Ibaraki & Katoh [11] as solvable in polynomial time:
+//
+//  * min-max  — exact greedy (provably optimal for non-increasing T_f:
+//               repeatedly feed the currently slowest task),
+//  * min-sum  — exact marginal-gain greedy (optimal for convex T_f),
+//  * max-min  — pairwise-exchange local search (the objective is not
+//               convexifiable with our cut machinery; §III-D only uses it
+//               as an ablation baseline).
+//
+// build_budget_minlp() expresses the same problem as a general MINLP so the
+// branch-and-bound path can cross-check the specialized solvers
+// (bench/fmo_solver_crosscheck and the property tests do exactly that).
+#pragma once
+
+#include <span>
+
+#include "hslb/allocation.hpp"
+#include "hslb/objective.hpp"
+#include "minlp/model.hpp"
+#include "perf/model.hpp"
+
+namespace hslb {
+
+struct BudgetTask {
+  std::string name;
+  perf::Model model;
+  long long min_nodes = 1;
+  long long max_nodes = 0;  ///< inclusive upper bound (e.g. total nodes)
+};
+
+/// Exact min-max allocation (greedy; optimal for models non-increasing on
+/// the allocated range — allocations are capped at each model's argmin so
+/// this always holds). Requires sum of min_nodes <= budget.
+Allocation solve_min_max(std::span<const BudgetTask> tasks, long long budget);
+
+/// Exact min-sum allocation (marginal-gain greedy; optimal for convex
+/// models). Requires sum of min_nodes <= budget.
+Allocation solve_min_sum(std::span<const BudgetTask> tasks, long long budget);
+
+/// Max-min allocation by pairwise-exchange local search from the min-max
+/// solution. Heuristic (documented ablation baseline). Unlike the other
+/// objectives this one spends the *entire* budget: with a "<=" budget
+/// max-min degenerates (fewer nodes always raise every time), so the
+/// meaningful reading — and the one §III-D compares against — equalizes
+/// component times over all N nodes.
+Allocation solve_max_min(std::span<const BudgetTask> tasks, long long budget);
+
+/// Dispatch on objective.
+Allocation solve_budget(std::span<const BudgetTask> tasks, long long budget,
+                        Objective objective);
+
+/// The same problem as a convex MINLP (min-max or min-sum only):
+/// variables are laid out as n_f = f (task order), then the epigraph
+/// variable(s). Used for branch-and-bound cross-checks.
+minlp::Model build_budget_minlp(std::span<const BudgetTask> tasks,
+                                long long budget, Objective objective);
+
+/// Converts a MINLP solution vector of build_budget_minlp back into an
+/// Allocation (reads the first tasks.size() variables).
+Allocation allocation_from_minlp(std::span<const BudgetTask> tasks,
+                                 std::span<const double> x,
+                                 Objective objective);
+
+/// Objective value of an allocation under the given criterion.
+double evaluate_objective(std::span<const BudgetTask> tasks,
+                          std::span<const long long> nodes,
+                          Objective objective);
+
+}  // namespace hslb

@@ -1,0 +1,60 @@
+#include "hslb/gather.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace hslb {
+
+std::vector<long long> geometric_node_counts(long long min_nodes,
+                                             long long max_nodes,
+                                             std::size_t points) {
+  HSLB_EXPECTS(min_nodes >= 1);
+  HSLB_EXPECTS(max_nodes >= min_nodes);
+  HSLB_EXPECTS(points >= 2);
+  std::set<long long> counts{min_nodes, max_nodes};
+  const double lo = std::log(static_cast<double>(min_nodes));
+  const double hi = std::log(static_cast<double>(max_nodes));
+  for (std::size_t i = 1; i + 1 < points; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+    counts.insert(static_cast<long long>(
+        std::llround(std::exp(lo + f * (hi - lo)))));
+  }
+  return {counts.begin(), counts.end()};
+}
+
+perf::BenchTable gather(const std::vector<std::string>& tasks,
+                        const std::vector<long long>& node_counts,
+                        const BenchmarkFn& benchmark,
+                        const GatherOptions& options) {
+  std::vector<std::pair<std::string, std::vector<long long>>> plan;
+  plan.reserve(tasks.size());
+  for (const auto& t : tasks) plan.emplace_back(t, node_counts);
+  return gather(plan, benchmark, options);
+}
+
+perf::BenchTable gather(
+    const std::vector<std::pair<std::string, std::vector<long long>>>& plan,
+    const BenchmarkFn& benchmark, const GatherOptions& options) {
+  HSLB_EXPECTS(static_cast<bool>(benchmark));
+  HSLB_EXPECTS(options.repetitions >= 1);
+  perf::BenchTable table;
+  for (const auto& [task, counts] : plan) {
+    HSLB_EXPECTS(!counts.empty());
+    perf::TaskBench bench{task, {}};
+    for (long long n : counts) {
+      HSLB_EXPECTS(n >= 1);
+      for (std::uint64_t rep = 0; rep < options.repetitions; ++rep) {
+        const double seconds = benchmark(task, n, rep);
+        HSLB_EXPECTS(seconds > 0.0);
+        bench.samples.push_back({static_cast<double>(n), seconds});
+      }
+    }
+    table.tasks.push_back(std::move(bench));
+  }
+  return table;
+}
+
+}  // namespace hslb

@@ -1,0 +1,46 @@
+// Step 1 of HSLB: Gather benchmarking data.
+//
+// §III-C recommends running "on the minimal number of nodes allowed by
+// memory requirements and on the greatest number of nodes possible",
+// plus "a few simulations ... in between to capture the curvature", at
+// least four points per component. `geometric_node_counts` implements that
+// recommendation; `gather` runs the probes and assembles a BenchTable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perf/benchdata.hpp"
+
+namespace hslb {
+
+/// Callback that benchmarks one task at one node count and returns seconds.
+/// `rep` distinguishes repeated measurements at the same size.
+using BenchmarkFn =
+    std::function<double(const std::string& task, long long nodes,
+                         std::uint64_t rep)>;
+
+struct GatherOptions {
+  std::size_t repetitions = 1;  ///< timed runs per (task, node count)
+};
+
+/// D node counts spread geometrically over [min_nodes, max_nodes]
+/// (endpoints always included; at least 2 points; duplicates removed).
+std::vector<long long> geometric_node_counts(long long min_nodes,
+                                             long long max_nodes,
+                                             std::size_t points);
+
+/// Runs the probes: every task at every node count in `node_counts`.
+perf::BenchTable gather(const std::vector<std::string>& tasks,
+                        const std::vector<long long>& node_counts,
+                        const BenchmarkFn& benchmark,
+                        const GatherOptions& options = {});
+
+/// Per-task node lists (e.g. components with different feasible ranges).
+perf::BenchTable gather(
+    const std::vector<std::pair<std::string, std::vector<long long>>>& plan,
+    const BenchmarkFn& benchmark, const GatherOptions& options = {});
+
+}  // namespace hslb

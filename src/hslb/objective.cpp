@@ -1,0 +1,14 @@
+#include "hslb/objective.hpp"
+
+namespace hslb {
+
+std::string to_string(Objective o) {
+  switch (o) {
+    case Objective::MinMax: return "min-max";
+    case Objective::MaxMin: return "max-min";
+    case Objective::MinSum: return "min-sum";
+  }
+  return "?";
+}
+
+}  // namespace hslb

@@ -1,0 +1,18 @@
+// The three candidate decision-making objectives of §III-D:
+//
+//   (1) min-max: minimize the maximum component time (used in both the FMO
+//       and CESM papers — performed best),
+//   (2) max-min: maximize the minimum component time (slightly worse),
+//   (3) min-sum: minimize the sum of component times (much worse: ignores
+//       the concurrent structure entirely).
+#pragma once
+
+#include <string>
+
+namespace hslb {
+
+enum class Objective { MinMax, MaxMin, MinSum };
+
+std::string to_string(Objective o);
+
+}  // namespace hslb

@@ -1,0 +1,192 @@
+#include "linalg/decomp.hpp"
+
+#include <cmath>
+
+namespace hslb::linalg {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  HSLB_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  HSLB_EXPECTS(b.size() == n);
+  // Forward: L y = b
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
+    y[i] = v / l_(i, i);
+  }
+  // Backward: L^T x = y
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double v = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= l_(k, i) * x[k];
+    x[i] = v / l_(i, i);
+  }
+  return x;
+}
+
+QR::QR(const Matrix& a) : qr_(a), rows_(a.rows()), cols_(a.cols()) {
+  HSLB_EXPECTS(rows_ >= cols_);
+  tau_.assign(cols_, 0.0);
+  for (std::size_t k = 0; k < cols_; ++k) {
+    // Householder vector for column k over rows k..rows-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < rows_; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0 ? -norm : norm;
+    const double v0 = qr_(k, k) - alpha;
+    // Normalize so that the implicit v has v[k] = 1.
+    for (std::size_t i = k + 1; i < rows_; ++i) qr_(i, k) /= v0;
+    tau_[k] = -v0 / alpha;  // = 2 / (v^T v) with v[k]=1 normalization
+    qr_(k, k) = alpha;      // R diagonal
+    // Apply H = I - tau v v^T to remaining columns.
+    for (std::size_t j = k + 1; j < cols_; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < rows_; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < rows_; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+double QR::min_abs_diag_r() const {
+  double m = std::fabs(qr_(0, 0));
+  for (std::size_t k = 1; k < cols_; ++k) m = std::min(m, std::fabs(qr_(k, k)));
+  return m;
+}
+
+Vector QR::solve(std::span<const double> b) const {
+  HSLB_EXPECTS(b.size() == rows_);
+  HSLB_EXPECTS(min_abs_diag_r() > 1e-13 * (1.0 + std::fabs(qr_(0, 0))));
+  Vector y(b.begin(), b.end());
+  // Apply Q^T: product of Householder reflections in order.
+  for (std::size_t k = 0; k < cols_; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < rows_; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < rows_; ++i) y[i] -= s * qr_(i, k);
+  }
+  // Back-substitute R x = y[0..cols).
+  Vector x(cols_);
+  for (std::size_t kk = cols_; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    double v = y[k];
+    for (std::size_t j = k + 1; j < cols_; ++j) v -= qr_(k, j) * x[j];
+    x[k] = v / qr_(k, k);
+  }
+  return x;
+}
+
+std::optional<LU> LU::factor(const Matrix& a, double pivot_tol) {
+  HSLB_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  // Singularity is judged relative to the matrix scale: an absolute
+  // threshold misfires badly when entries span many orders of magnitude
+  // (simplex bases mix +-1 slack columns with O(1e4) cut coefficients).
+  double scale = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) scale = std::max(scale, std::fabs(lu(r, c)));
+  pivot_tol = std::max(pivot_tol, 1e-11 * scale);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t piv = k;
+    double best = std::fabs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best <= pivot_tol) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(piv, j));
+      std::swap(perm[k], perm[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu(i, k) /= lu(k, k);
+      const double m = lu(i, k);
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= m * lu(k, j);
+    }
+  }
+  return LU(std::move(lu), std::move(perm));
+}
+
+Vector LU::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  HSLB_EXPECTS(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) v -= lu_(i, k) * y[k];
+    y[i] = v;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double v = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= lu_(i, k) * x[k];
+    x[i] = v / lu_(i, i);
+  }
+  return x;
+}
+
+Vector LU::solve_transpose(std::span<const double> b) const {
+  // A^T x = b  with  P A = L U  =>  A^T = (P^T L U)^T = U^T L^T P.
+  // Solve U^T z = b, then L^T w = z, then x = P^T w.
+  const std::size_t n = lu_.rows();
+  HSLB_EXPECTS(b.size() == n);
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= lu_(k, i) * z[k];
+    z[i] = v / lu_(i, i);
+  }
+  Vector w(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double v = z[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= lu_(k, i) * w[k];
+    w[i] = v;
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = w[i];
+  return x;
+}
+
+Vector lstsq(const Matrix& a, std::span<const double> b) {
+  return QR(a).solve(b);
+}
+
+}  // namespace hslb::linalg

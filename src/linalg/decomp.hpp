@@ -1,0 +1,69 @@
+// Matrix decompositions and linear solvers:
+//   - Cholesky (SPD solves for the Levenberg-Marquardt normal equations),
+//   - Householder QR (rank-revealing enough for our least-squares sizes),
+//   - LU with partial pivoting (general square solves: simplex basis).
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace hslb::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns std::nullopt if A is not (numerically) positive definite.
+class Cholesky {
+ public:
+  static std::optional<Cholesky> factor(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector solve(std::span<const double> b) const;
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// Householder QR factorization A = Q R for rows >= cols.
+class QR {
+ public:
+  explicit QR(const Matrix& a);
+
+  /// Least-squares solve: minimizes ||A x - b||_2. Requires full column
+  /// rank (throws ContractViolation on numerically rank-deficient R).
+  Vector solve(std::span<const double> b) const;
+
+  /// Absolute value of the smallest diagonal entry of R (rank indicator).
+  double min_abs_diag_r() const;
+
+ private:
+  Matrix qr_;           // Householder vectors below diagonal, R on/above
+  Vector tau_;          // Householder coefficients
+  std::size_t rows_, cols_;
+};
+
+/// LU factorization with partial pivoting: P A = L U.
+class LU {
+ public:
+  /// Returns std::nullopt if A is singular to working precision.
+  static std::optional<LU> factor(const Matrix& a, double pivot_tol = 1e-12);
+
+  /// Solves A x = b.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solves A^T x = b.
+  Vector solve_transpose(std::span<const double> b) const;
+
+ private:
+  LU(Matrix lu, std::vector<std::size_t> perm)
+      : lu_(std::move(lu)), perm_(std::move(perm)) {}
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Convenience: least-squares solution via QR.
+Vector lstsq(const Matrix& a, std::span<const double> b);
+
+}  // namespace hslb::linalg

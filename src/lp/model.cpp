@@ -1,0 +1,122 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <span>
+
+#include "common/contracts.hpp"
+
+namespace hslb::lp {
+
+std::size_t Model::add_variable(double lb, double ub, double objective,
+                                std::string name) {
+  HSLB_EXPECTS(lb <= ub);
+  col_lb_.push_back(lb);
+  col_ub_.push_back(ub);
+  obj_.push_back(objective);
+  if (name.empty()) name = "x" + std::to_string(col_lb_.size() - 1);
+  col_names_.push_back(std::move(name));
+  return col_lb_.size() - 1;
+}
+
+std::size_t Model::add_constraint(std::vector<Coeff> coeffs, double lb,
+                                  double ub, std::string name) {
+  HSLB_EXPECTS(lb <= ub);
+  // Merge duplicate columns, validate indices.
+  std::map<std::size_t, double> merged;
+  for (const auto& [col, v] : coeffs) {
+    HSLB_EXPECTS(col < num_cols());
+    merged[col] += v;
+  }
+  std::vector<Coeff> clean(merged.begin(), merged.end());
+  rows_.push_back(std::move(clean));
+  row_lb_.push_back(lb);
+  row_ub_.push_back(ub);
+  if (name.empty()) name = "r" + std::to_string(rows_.size() - 1);
+  row_names_.push_back(std::move(name));
+  return rows_.size() - 1;
+}
+
+std::size_t Model::add_equality(std::vector<Coeff> coeffs, double rhs,
+                                std::string name) {
+  return add_constraint(std::move(coeffs), rhs, rhs, std::move(name));
+}
+
+void Model::set_col_lower(std::size_t col, double lb) {
+  HSLB_EXPECTS(col < num_cols());
+  col_lb_[col] = lb;
+}
+
+void Model::set_col_upper(std::size_t col, double ub) {
+  HSLB_EXPECTS(col < num_cols());
+  col_ub_[col] = ub;
+}
+
+double Model::col_lower(std::size_t col) const {
+  HSLB_EXPECTS(col < num_cols());
+  return col_lb_[col];
+}
+
+double Model::col_upper(std::size_t col) const {
+  HSLB_EXPECTS(col < num_cols());
+  return col_ub_[col];
+}
+
+void Model::set_objective(std::size_t col, double c) {
+  HSLB_EXPECTS(col < num_cols());
+  obj_[col] = c;
+}
+
+double Model::objective(std::size_t col) const {
+  HSLB_EXPECTS(col < num_cols());
+  return obj_[col];
+}
+
+const std::vector<Coeff>& Model::row(std::size_t r) const {
+  HSLB_EXPECTS(r < num_rows());
+  return rows_[r];
+}
+
+double Model::row_lower(std::size_t r) const {
+  HSLB_EXPECTS(r < num_rows());
+  return row_lb_[r];
+}
+
+double Model::row_upper(std::size_t r) const {
+  HSLB_EXPECTS(r < num_rows());
+  return row_ub_[r];
+}
+
+const std::string& Model::col_name(std::size_t col) const {
+  HSLB_EXPECTS(col < num_cols());
+  return col_names_[col];
+}
+
+const std::string& Model::row_name(std::size_t r) const {
+  HSLB_EXPECTS(r < num_rows());
+  return row_names_[r];
+}
+
+double Model::row_activity(std::size_t r, std::span<const double> x) const {
+  HSLB_EXPECTS(r < num_rows());
+  HSLB_EXPECTS(x.size() == num_cols());
+  double acc = 0.0;
+  for (const auto& [col, v] : rows_[r]) acc += v * x[col];
+  return acc;
+}
+
+bool Model::is_feasible(std::span<const double> x, double tol) const {
+  HSLB_EXPECTS(x.size() == num_cols());
+  for (std::size_t j = 0; j < num_cols(); ++j) {
+    if (x[j] < col_lb_[j] - tol || x[j] > col_ub_[j] + tol) return false;
+  }
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    const double a = row_activity(r, x);
+    const double scale = 1.0 + std::max(std::abs(row_lb_[r] == -kInf ? 0.0 : row_lb_[r]),
+                                        std::abs(row_ub_[r] == kInf ? 0.0 : row_ub_[r]));
+    if (a < row_lb_[r] - tol * scale || a > row_ub_[r] + tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace hslb::lp

@@ -1,0 +1,389 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+#include "linalg/decomp.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hslb::lp {
+
+std::string to_string(Status s) {
+  switch (s) {
+    case Status::Optimal: return "optimal";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+    case Status::IterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class VarStatus { Basic, AtLower, AtUpper, Free };
+
+/// Internal computational form:
+///   rows:        sum_j a_rj x_j - s_r + sigma_r * art_r = 0
+///   structurals: model bounds;  slacks: row bounds;  artificials: [0, inf).
+class Tableau {
+ public:
+  Tableau(const Model& model, const Options& opt)
+      : model_(model), opt_(opt), n_(model.num_cols()), m_(model.num_rows()) {
+    const std::size_t total = n_ + 2 * m_;
+    cols_.resize(total);
+    lb_.resize(total);
+    ub_.resize(total);
+    cost_.assign(total, 0.0);
+    status_.resize(total);
+    value_.assign(total, 0.0);
+
+    for (std::size_t j = 0; j < n_; ++j) {
+      lb_[j] = model.col_lower(j);
+      ub_[j] = model.col_upper(j);
+    }
+    // Row equilibration: outer-approximation cuts carry coefficients many
+    // orders of magnitude above the +-1 structural rows; dividing each row
+    // by its largest coefficient keeps the basis numerically sane.
+    row_scale_.assign(m_, 1.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      double s = 0.0;
+      for (const auto& [col, v] : model.row(r)) s = std::max(s, std::fabs(v));
+      row_scale_[r] = s > 0.0 ? s : 1.0;
+    }
+    for (std::size_t r = 0; r < m_; ++r) {
+      for (const auto& [col, v] : model.row(r))
+        cols_[col].push_back({r, v / row_scale_[r]});
+      const std::size_t s = slack(r);
+      cols_[s] = {{r, -1.0}};
+      lb_[s] = model.row_lower(r) == -kInf ? -kInf
+                                           : model.row_lower(r) / row_scale_[r];
+      ub_[s] = model.row_upper(r) == kInf ? kInf
+                                          : model.row_upper(r) / row_scale_[r];
+    }
+
+    // Nonbasic start: every structural at its bound nearest zero (or 0 if
+    // free); slacks clamped to the implied activity; artificials absorb the
+    // residual so the initial basis is the (diagonal) artificial basis.
+    for (std::size_t j = 0; j < n_; ++j) {
+      set_nonbasic_start(j);
+    }
+    std::vector<double> activity(m_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (value_[j] == 0.0) continue;
+      for (const auto& [r, v] : cols_[j]) activity[r] += v * value_[j];
+    }
+    basis_.resize(m_);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t s = slack(r);
+      const std::size_t a = artificial(r);
+      lb_[a] = 0.0;
+      ub_[a] = kInf;
+      if (activity[r] >= lb_[s] && activity[r] <= ub_[s]) {
+        // Row already satisfied: the slack itself is basic at the activity;
+        // the artificial stays nonbasic at zero.
+        value_[s] = activity[r];
+        status_[s] = VarStatus::Basic;
+        basis_[r] = s;
+        cols_[a] = {{r, 1.0}};
+        value_[a] = 0.0;
+        status_[a] = VarStatus::AtLower;
+      } else {
+        // Row violated: park the slack at its nearest bound and let a basic
+        // artificial absorb the (positive, via sigma) residual.
+        value_[s] = std::clamp(activity[r], lb_[s], ub_[s]);
+        status_[s] = value_[s] == lb_[s] ? VarStatus::AtLower : VarStatus::AtUpper;
+        // Row reads: activity - s + sigma*a = 0, so a = -resid/sigma; choose
+        // sigma = -sign(resid) to start the artificial at |resid| >= 0.
+        const double resid = activity[r] - value_[s];
+        cols_[a] = {{r, resid >= 0.0 ? -1.0 : 1.0}};
+        status_[a] = VarStatus::Basic;
+        basis_[r] = a;
+      }
+    }
+  }
+
+  bool singular_failure() const { return singular_failure_; }
+
+  Solution run() {
+    Solution sol;
+
+    // Phase 1: minimize the sum of artificials.
+    for (std::size_t r = 0; r < m_; ++r) cost_[artificial(r)] = 1.0;
+    const auto p1 = iterate(/*phase2=*/false, sol.iterations);
+    if (p1 == Status::IterationLimit) {
+      sol.status = Status::IterationLimit;
+      return sol;
+    }
+    if (phase1_objective() > infeas_tol()) {
+      sol.status = Status::Infeasible;
+      return sol;
+    }
+
+    // Phase 2: real costs; artificials pinned to zero.
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t a = artificial(r);
+      cost_[a] = 0.0;
+      ub_[a] = 0.0;
+      if (status_[a] != VarStatus::Basic) status_[a] = VarStatus::AtLower;
+    }
+    for (std::size_t j = 0; j < n_; ++j) cost_[j] = model_.objective(j);
+    const auto p2 = iterate(/*phase2=*/true, sol.iterations);
+
+    sol.status = p2;
+    sol.x.assign(value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(n_));
+    // Duals of the scaled rows map back by dividing by the row scale.
+    sol.duals = duals_;
+    for (std::size_t r = 0; r < sol.duals.size(); ++r)
+      sol.duals[r] /= row_scale_[r];
+    sol.objective = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) sol.objective += model_.objective(j) * sol.x[j];
+    if (p2 == Status::Optimal) {
+      double viol = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        const double act = model_.row_activity(r, sol.x);
+        if (model_.row_lower(r) != -kInf) viol = std::max(viol, model_.row_lower(r) - act);
+        if (model_.row_upper(r) != kInf) viol = std::max(viol, act - model_.row_upper(r));
+      }
+      sol.max_primal_violation = viol;
+    }
+    return sol;
+  }
+
+ private:
+  std::size_t slack(std::size_t r) const { return n_ + r; }
+  std::size_t artificial(std::size_t r) const { return n_ + m_ + r; }
+  std::size_t total_cols() const { return n_ + 2 * m_; }
+  // Phase-1 acceptance threshold. Rows are equilibrated to O(1)
+  // coefficients, so residual artificial mass is measured against the
+  // scaled row bounds — NOT against variable magnitudes: a leftover of
+  // feasibility_tol * max|x| would silently accept genuinely infeasible
+  // systems whenever some variable is large (observed with pinned-integer
+  // NLP subproblems whose T_sync row cannot be met).
+  double infeas_tol() const {
+    double bound_scale = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t s = slack(r);
+      if (lb_[s] != -kInf) bound_scale = std::max(bound_scale, std::fabs(lb_[s]));
+      if (ub_[s] != kInf) bound_scale = std::max(bound_scale, std::fabs(ub_[s]));
+    }
+    return opt_.feasibility_tol * (1.0 + bound_scale);
+  }
+
+  void set_nonbasic_start(std::size_t j) {
+    if (lb_[j] == -kInf && ub_[j] == kInf) {
+      status_[j] = VarStatus::Free;
+      value_[j] = 0.0;
+    } else if (lb_[j] == -kInf) {
+      status_[j] = VarStatus::AtUpper;
+      value_[j] = ub_[j];
+    } else if (ub_[j] == kInf) {
+      status_[j] = VarStatus::AtLower;
+      value_[j] = lb_[j];
+    } else {
+      // Both bounds finite: start at the one with smaller magnitude.
+      const bool lower = std::fabs(lb_[j]) <= std::fabs(ub_[j]);
+      status_[j] = lower ? VarStatus::AtLower : VarStatus::AtUpper;
+      value_[j] = lower ? lb_[j] : ub_[j];
+    }
+  }
+
+  double phase1_objective() const {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) s += value_[artificial(r)];
+    return s;
+  }
+
+  /// Recomputes basic values x_B = B^{-1} (-N x_N) and the factorization.
+  /// Returns false if the basis is numerically singular.
+  bool refactorize() {
+    if (m_ == 0) return true;
+    linalg::Matrix b(m_, m_);
+    for (std::size_t i = 0; i < m_; ++i)
+      for (const auto& [r, v] : cols_[basis_[i]]) b(r, i) = v;
+    factor_ = linalg::LU::factor(b);
+    if (!factor_) return false;
+
+    std::vector<double> rhs(m_, 0.0);
+    scale_ = 0.0;
+    for (std::size_t j = 0; j < total_cols(); ++j) {
+      if (status_[j] == VarStatus::Basic || value_[j] == 0.0) continue;
+      for (const auto& [r, v] : cols_[j]) rhs[r] -= v * value_[j];
+      scale_ = std::max(scale_, std::fabs(value_[j]));
+    }
+    const auto xb = factor_->solve(rhs);
+    for (std::size_t i = 0; i < m_; ++i) {
+      value_[basis_[i]] = xb[i];
+      scale_ = std::max(scale_, std::fabs(xb[i]));
+    }
+    return true;
+  }
+
+  /// One simplex phase. Updates `iterations` cumulatively.
+  Status iterate(bool phase2, std::size_t& iterations) {
+    std::size_t degenerate_run = 0;
+    while (iterations < opt_.max_iterations) {
+      if (!refactorize()) {
+        // Numerical trouble: a pivot sequence drove the basis singular.
+        // Flag it so solve() can retry the whole solve with Bland's rule
+        // (shorter, more conservative pivot paths).
+        log::debug() << "simplex: singular basis (m=" << m_ << ", n=" << n_
+                     << ", iter=" << iterations << ", phase2=" << phase2 << ")";
+        singular_failure_ = true;
+        return Status::Infeasible;
+      }
+
+      // Duals y = B^{-T} c_B and pricing.
+      if (m_ > 0) {
+        std::vector<double> cb(m_);
+        for (std::size_t i = 0; i < m_; ++i) cb[i] = cost_[basis_[i]];
+        duals_ = factor_->solve_transpose(cb);
+      } else {
+        duals_.clear();
+      }
+
+      const bool bland = degenerate_run >= opt_.bland_threshold;
+      std::optional<std::size_t> entering;
+      int direction = 0;
+      double best_score = opt_.optimality_tol;
+      for (std::size_t j = 0; j < total_cols(); ++j) {
+        if (status_[j] == VarStatus::Basic) continue;
+        if (lb_[j] == ub_[j]) continue;  // fixed, cannot move
+        double d = cost_[j];
+        for (const auto& [r, v] : cols_[j]) d -= duals_[r] * v;
+        int dir = 0;
+        if ((status_[j] == VarStatus::AtLower || status_[j] == VarStatus::Free) &&
+            d < -opt_.optimality_tol)
+          dir = +1;
+        else if ((status_[j] == VarStatus::AtUpper || status_[j] == VarStatus::Free) &&
+                 d > opt_.optimality_tol)
+          dir = -1;
+        if (dir == 0) continue;
+        if (bland) {
+          entering = j;
+          direction = dir;
+          break;  // smallest index
+        }
+        if (std::fabs(d) > best_score) {
+          best_score = std::fabs(d);
+          entering = j;
+          direction = dir;
+        }
+      }
+      if (!entering) return Status::Optimal;  // phase optimum reached
+
+      const std::size_t q = *entering;
+      ++iterations;
+
+      // Direction of basic variables: delta x_B = -dir * B^{-1} A_q.
+      std::vector<double> w;
+      if (m_ > 0) {
+        std::vector<double> aq(m_, 0.0);
+        for (const auto& [r, v] : cols_[q]) aq[r] = v;
+        w = factor_->solve(aq);
+      }
+
+      // Ratio test. The pivot tolerance is relative to the direction's
+      // scale: accepting a pivot many orders below ||w|| makes the next
+      // basis numerically singular.
+      double wmax = 0.0;
+      for (double wi : w) wmax = std::max(wmax, std::fabs(wi));
+      const double kPivTol = 1e-9 * std::max(1.0, wmax);
+      double t_own = kInf;  // entering variable's own range
+      if (lb_[q] != -kInf && ub_[q] != kInf) t_own = ub_[q] - lb_[q];
+      double t_star = t_own;
+      std::optional<std::size_t> leaving_pos;
+      bool leaving_at_upper = false;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double delta = -direction * w[i];
+        const std::size_t b = basis_[i];
+        double limit = kInf;
+        bool at_upper = false;
+        if (delta > kPivTol) {
+          if (ub_[b] != kInf) {
+            limit = (ub_[b] - value_[b]) / delta;
+            at_upper = true;
+          }
+        } else if (delta < -kPivTol) {
+          if (lb_[b] != -kInf) {
+            limit = (lb_[b] - value_[b]) / delta;
+            at_upper = false;
+          }
+        } else {
+          continue;
+        }
+        limit = std::max(limit, 0.0);  // numerical guard
+        if (limit < t_star - 1e-12 ||
+            (limit < t_star + 1e-12 && leaving_pos &&
+             basis_[i] < basis_[*leaving_pos])) {
+          t_star = limit;
+          leaving_pos = i;
+          leaving_at_upper = at_upper;
+        }
+      }
+
+      if (t_star == kInf) {
+        // No blocking bound anywhere. Phase 1 has a bounded objective, so
+        // this can only legitimately happen in phase 2.
+        return phase2 ? Status::Unbounded : Status::Infeasible;
+      }
+
+      degenerate_run = t_star <= 1e-10 ? degenerate_run + 1 : 0;
+
+      if (!leaving_pos || t_star >= t_own - 1e-12) {
+        // Bound flip: the entering variable runs to its opposite bound.
+        HSLB_ASSERT(t_own != kInf);
+        status_[q] = status_[q] == VarStatus::AtLower ? VarStatus::AtUpper
+                                                      : VarStatus::AtLower;
+        value_[q] = status_[q] == VarStatus::AtLower ? lb_[q] : ub_[q];
+        continue;
+      }
+
+      // Pivot: entering becomes basic, leaving goes to the bound it hit.
+      const std::size_t p = *leaving_pos;
+      const std::size_t leave = basis_[p];
+      value_[q] = value_[q] + direction * t_star;
+      status_[q] = VarStatus::Basic;
+      status_[leave] = leaving_at_upper ? VarStatus::AtUpper : VarStatus::AtLower;
+      value_[leave] = leaving_at_upper ? ub_[leave] : lb_[leave];
+      basis_[p] = q;
+    }
+    return Status::IterationLimit;
+  }
+
+  const Model& model_;
+  const Options& opt_;
+  std::size_t n_, m_;
+  std::vector<std::vector<Coeff>> cols_;
+  std::vector<double> lb_, ub_, cost_, value_;
+  std::vector<VarStatus> status_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> row_scale_;
+  std::optional<linalg::LU> factor_;
+  std::vector<double> duals_;
+  double scale_ = 0.0;
+  bool singular_failure_ = false;
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const Options& options) {
+  Tableau t(model, options);
+  Solution sol = t.run();
+  if (t.singular_failure()) {
+    // Retry once from scratch under Bland's rule: its conservative pivot
+    // choices avoid the aggressive Dantzig path that went singular.
+    Options retry = options;
+    retry.bland_threshold = 0;
+    Tableau t2(model, retry);
+    sol = t2.run();
+    if (t2.singular_failure()) {
+      log::warn() << "simplex: singular basis persisted after Bland retry";
+    }
+  }
+  return sol;
+}
+
+}  // namespace hslb::lp

@@ -1,0 +1,51 @@
+// Bounded-variable primal simplex solver.
+//
+// Two-phase method with per-row artificial variables; range rows are
+// handled with bounded slacks; nonbasic variables sit at either bound
+// (or at zero when free). The basis is refactorized by dense LU each
+// iteration — the HSLB master problems have tens of rows, so dense
+// refactorization is both simple and fast enough (cf. DESIGN.md).
+//
+// Plays the role CLP plays under MINOTAUR in the paper (§III-E).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace hslb::lp {
+
+enum class Status {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+};
+
+/// Human-readable status label.
+std::string to_string(Status s);
+
+struct Options {
+  double feasibility_tol = 1e-8;    ///< row/column feasibility tolerance
+  double optimality_tol = 1e-9;     ///< reduced-cost tolerance
+  std::size_t max_iterations = 50000;
+  /// Switch from Dantzig pricing to Bland's rule after this many
+  /// consecutive degenerate pivots (anti-cycling).
+  std::size_t bland_threshold = 200;
+};
+
+struct Solution {
+  Status status = Status::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;       ///< primal values (structural columns only)
+  std::vector<double> duals;   ///< one multiplier per row (phase-2 y)
+  std::size_t iterations = 0;
+  double max_primal_violation = 0.0;  ///< diagnostic, after polishing
+};
+
+/// Solves the LP; deterministic for a fixed model.
+Solution solve(const Model& model, const Options& options = {});
+
+}  // namespace hslb::lp

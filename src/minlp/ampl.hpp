@@ -1,0 +1,31 @@
+// AMPL export of MINLP models.
+//
+// The paper authored its allocation models in AMPL and solved them through
+// MINOTAUR ("Our MINLP optimization problem is written in AMPL ... it can
+// be used with several different solvers"). This exporter emits our C++
+// models as a standalone .mod file so they can be eyeballed against the
+// paper's Table I, archived with experiment outputs, or fed to an external
+// AMPL-compatible solver.
+//
+// Nonlinear constraints are emitted from their `formula` field (the model
+// builders populate it); constraints without a formula are emitted as a
+// comment, since callbacks cannot be introspected.
+#pragma once
+
+#include <string>
+
+#include "minlp/model.hpp"
+
+namespace hslb::minlp {
+
+struct AmplOptions {
+  /// Objective name in the emitted model.
+  std::string objective_name = "wall_clock";
+  /// Comment header prepended to the file.
+  std::string header;
+};
+
+/// Renders the model as AMPL text.
+std::string to_ampl(const Model& model, const AmplOptions& options = {});
+
+}  // namespace hslb::minlp

@@ -1,0 +1,395 @@
+#include "minlp/bnb.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <queue>
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+#include "lp/simplex.hpp"
+
+namespace hslb::minlp {
+
+std::string to_string(BnbStatus s) {
+  switch (s) {
+    case BnbStatus::Optimal: return "optimal";
+    case BnbStatus::Infeasible: return "infeasible";
+    case BnbStatus::NodeLimit: return "node-limit";
+    case BnbStatus::TimeLimit: return "time-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+struct BoundChange {
+  std::size_t var;
+  bool is_lower;
+  double value;
+};
+
+struct Node {
+  std::ptrdiff_t parent = -1;           ///< index into the node arena
+  std::vector<BoundChange> changes;     ///< changes relative to parent
+  double bound = -lp::kInf;             ///< parent LP objective (ordering key)
+  // Pseudocost bookkeeping: which branching created this node.
+  std::ptrdiff_t branch_var = -1;
+  int branch_dir = 0;                   ///< +1 = up child, -1 = down child
+  double branch_frac = 0.0;             ///< parent fractional distance moved
+};
+
+/// Heap entry: best-bound-first, FIFO among equal bounds for determinism.
+struct HeapEntry {
+  double bound;
+  std::size_t order;
+  std::size_t node;
+  bool operator>(const HeapEntry& o) const {
+    if (bound != o.bound) return bound > o.bound;
+    return order > o.order;
+  }
+};
+
+class Solver {
+ public:
+  Solver(const Model& model, const BnbOptions& opt) : model_(model), opt_(opt) {
+    for (std::size_t v = 0; v < model.num_vars(); ++v) {
+      HSLB_EXPECTS(std::isfinite(model.lower(v)));
+      HSLB_EXPECTS(std::isfinite(model.upper(v)));
+    }
+    pc_sum_up_.assign(model.num_vars(), 0.0);
+    pc_cnt_up_.assign(model.num_vars(), 0.0);
+    pc_sum_dn_.assign(model.num_vars(), 0.0);
+    pc_cnt_dn_.assign(model.num_vars(), 0.0);
+  }
+
+  BnbResult run() {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Root NLP relaxation: seeds the cut pool (the "initial linearization
+    // point" of §III-E) and gives the first global bound.
+    KelleyResult root = solve_relaxation(model_, pool_, opt_.kelley);
+    result_.lp_solves += root.lp_solves;
+    result_.nlp_solves += 1;
+    if (root.status == KelleyResult::Status::Infeasible) {
+      result_.status = BnbStatus::Infeasible;
+      finish(t0);
+      return result_;
+    }
+
+    nodes_.push_back(Node{});
+    nodes_.back().bound = root.objective;
+    heap_.push(HeapEntry{root.objective, next_order_++, 0});
+
+    while (!heap_.empty()) {
+      if (result_.nodes >= opt_.max_nodes) {
+        result_.status = BnbStatus::NodeLimit;
+        finish(t0);
+        return result_;
+      }
+      if (elapsed(t0) > opt_.time_limit_seconds) {
+        result_.status = BnbStatus::TimeLimit;
+        finish(t0);
+        return result_;
+      }
+
+      const HeapEntry top = heap_.top();
+      heap_.pop();
+      if (has_incumbent_ && top.bound >= incumbent_obj_ - opt_.gap_tol) {
+        // Best-bound order: everything remaining is also prunable.
+        break;
+      }
+      ++result_.nodes;
+      process(top.node);
+    }
+
+    result_.status = has_incumbent_ ? BnbStatus::Optimal : BnbStatus::Infeasible;
+    finish(t0);
+    return result_;
+  }
+
+ private:
+  static double elapsed(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  void finish(std::chrono::steady_clock::time_point t0) {
+    result_.seconds = elapsed(t0);
+    result_.cuts = pool_.size();
+    if (has_incumbent_) {
+      result_.objective = incumbent_obj_;
+      result_.x = incumbent_;
+      result_.has_solution = true;
+    }
+    // Remaining proven bound: min over open nodes, or the incumbent itself.
+    double bound = has_incumbent_ ? incumbent_obj_ : lp::kInf;
+    auto heap_copy = heap_;
+    while (!heap_copy.empty()) {
+      bound = std::min(bound, heap_copy.top().bound);
+      heap_copy.pop();
+    }
+    if (result_.status == BnbStatus::Optimal && has_incumbent_) bound = incumbent_obj_;
+    result_.best_bound = bound;
+    result_.gap = has_incumbent_ && std::isfinite(bound)
+                      ? std::max(0.0, incumbent_obj_ - bound)
+                      : lp::kInf;
+    if (result_.status == BnbStatus::Optimal) result_.gap = 0.0;
+  }
+
+  BoundOverrides materialize(std::size_t node) const {
+    BoundOverrides b(model_.num_vars());
+    // Walk to root collecting the chain, then apply root-to-leaf so that
+    // deeper (tighter) changes win.
+    std::vector<std::size_t> chain;
+    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(node); i >= 0;
+         i = nodes_[static_cast<std::size_t>(i)].parent)
+      chain.push_back(static_cast<std::size_t>(i));
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      for (const BoundChange& ch : nodes_[*it].changes) {
+        if (ch.is_lower)
+          b.lower[ch.var] = ch.value;
+        else
+          b.upper[ch.var] = ch.value;
+      }
+    }
+    return b;
+  }
+
+  void maybe_update_incumbent(const std::vector<double>& x, double obj) {
+    // Defense in depth: LP round-off (notably phase-1 residues shifted into
+    // heavily-scaled rows) can surface points that violate a linear row;
+    // an incumbent must be feasible for the *true* model.
+    if (!model_.is_feasible(x, 10 * opt_.feas_tol, 2 * opt_.int_tol)) {
+      log::debug() << "bnb: rejecting infeasible incumbent candidate";
+      return;
+    }
+    if (!has_incumbent_ || obj < incumbent_obj_ - 1e-12 * (1.0 + std::fabs(obj))) {
+      has_incumbent_ = true;
+      incumbent_obj_ = obj;
+      incumbent_ = x;
+      log::debug() << "bnb: incumbent " << obj << " after " << result_.nodes
+                   << " nodes, " << pool_.size() << " cuts";
+    }
+  }
+
+  /// Fractional integer variable chosen by the configured branch rule,
+  /// or nullopt if all are integral.
+  std::optional<std::size_t> pick_branch_var(const std::vector<double>& x) const {
+    std::optional<std::size_t> best;
+    double best_score = -1.0;
+    for (std::size_t v = 0; v < model_.num_vars(); ++v) {
+      if (!model_.is_integer(v)) continue;
+      const double frac = x[v] - std::floor(x[v]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist <= opt_.int_tol) continue;
+      double score = dist;  // most-fractional default
+      if (opt_.branch_rule == BranchRule::PseudoCost) {
+        // Classic product rule with history-averaged unit degradations;
+        // variables without history fall back to the global average.
+        const double up = pc_cnt_up_[v] > 0.0 ? pc_sum_up_[v] / pc_cnt_up_[v]
+                                              : global_pc();
+        const double dn = pc_cnt_dn_[v] > 0.0 ? pc_sum_dn_[v] / pc_cnt_dn_[v]
+                                              : global_pc();
+        constexpr double kEps = 1e-6;
+        score = std::max(up * (1.0 - frac), kEps) * std::max(dn * frac, kEps);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  double global_pc() const {
+    const double cnt = pc_total_cnt_;
+    return cnt > 0.0 ? pc_total_sum_ / cnt : 1.0;
+  }
+
+  /// Records the observed degradation of a child node's first LP solve
+  /// relative to its parent bound (pseudocost learning).
+  void record_pseudocost(const Node& node, double child_obj) {
+    if (node.branch_var < 0 || node.branch_frac <= opt_.int_tol) return;
+    const double degradation =
+        std::max(0.0, child_obj - node.bound) / node.branch_frac;
+    const auto v = static_cast<std::size_t>(node.branch_var);
+    if (node.branch_dir > 0) {
+      pc_sum_up_[v] += degradation;
+      pc_cnt_up_[v] += 1.0;
+    } else {
+      pc_sum_dn_[v] += degradation;
+      pc_cnt_dn_[v] += 1.0;
+    }
+    pc_total_sum_ += degradation;
+    pc_total_cnt_ += 1.0;
+  }
+
+  /// Most violated SOS1 set (mass outside the largest member), if any.
+  std::optional<std::size_t> violated_sos(const std::vector<double>& x) const {
+    std::optional<std::size_t> best;
+    double best_excess = opt_.int_tol;
+    for (std::size_t s = 0; s < model_.sos1().size(); ++s) {
+      const auto& set = model_.sos1()[s];
+      double total = 0.0, largest = 0.0;
+      std::size_t nonzero = 0;
+      for (std::size_t v : set.vars) {
+        const double a = std::fabs(x[v]);
+        total += a;
+        largest = std::max(largest, a);
+        if (a > opt_.int_tol) ++nonzero;
+      }
+      if (nonzero <= 1) continue;
+      const double excess = total - largest;
+      if (excess > best_excess) {
+        best_excess = excess;
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  void push_child(std::size_t parent, std::vector<BoundChange> changes,
+                  double bound) {
+    Node child;
+    child.parent = static_cast<std::ptrdiff_t>(parent);
+    child.changes = std::move(changes);
+    child.bound = bound;
+    nodes_.push_back(std::move(child));
+    heap_.push(HeapEntry{bound, next_order_++, nodes_.size() - 1});
+  }
+
+  void branch_sos(std::size_t node, std::size_t sos_idx,
+                  const std::vector<double>& x, double bound) {
+    const Sos1& set = model_.sos1()[sos_idx];
+    // Split at the weighted mean of the active members, clamped so that each
+    // side keeps at least one member free.
+    double mass = 0.0, wsum = 0.0;
+    for (std::size_t i = 0; i < set.vars.size(); ++i) {
+      const double a = std::fabs(x[set.vars[i]]);
+      mass += a;
+      wsum += a * set.weights[i];
+    }
+    HSLB_ASSERT(mass > 0.0);
+    const double pivot = wsum / mass;
+    std::size_t split = 1;  // first index on the right side
+    while (split < set.vars.size() && set.weights[split] <= pivot) ++split;
+    split = std::clamp<std::size_t>(split, 1, set.vars.size() - 1);
+
+    std::vector<BoundChange> left, right;
+    for (std::size_t i = split; i < set.vars.size(); ++i)
+      left.push_back({set.vars[i], false, 0.0});  // right half pinned to 0
+    for (std::size_t i = 0; i < split; ++i)
+      right.push_back({set.vars[i], false, 0.0});  // left half pinned to 0
+    push_child(node, std::move(left), bound);
+    push_child(node, std::move(right), bound);
+  }
+
+  void branch_integer(std::size_t node, std::size_t var,
+                      const std::vector<double>& x, double bound) {
+    const double v = x[var];
+    const double frac = v - std::floor(v);
+    push_child(node, {{var, false, std::floor(v)}}, bound);  // x <= floor
+    nodes_.back().branch_var = static_cast<std::ptrdiff_t>(var);
+    nodes_.back().branch_dir = -1;
+    nodes_.back().branch_frac = frac;
+    push_child(node, {{var, true, std::ceil(v)}}, bound);    // x >= ceil
+    nodes_.back().branch_var = static_cast<std::ptrdiff_t>(var);
+    nodes_.back().branch_dir = +1;
+    nodes_.back().branch_frac = 1.0 - frac;
+  }
+
+  void process(std::size_t node) {
+    BoundOverrides bounds = materialize(node);
+
+    for (std::size_t pass = 0; pass < opt_.max_passes_per_node; ++pass) {
+      lp::Model relax = build_lp_relaxation(model_, pool_, bounds);
+      const lp::Solution sol = lp::solve(relax, opt_.kelley.lp);
+      ++result_.lp_solves;
+
+      if (sol.status == lp::Status::Infeasible) return;  // fathom
+      HSLB_ASSERT(sol.status == lp::Status::Optimal);
+      if (pass == 0) record_pseudocost(nodes_[node], sol.objective);
+      if (has_incumbent_ && sol.objective >= incumbent_obj_ - opt_.gap_tol)
+        return;  // fathom by bound
+
+      // Branch on SOS sets first: the paper found set branching on the
+      // atmosphere allocation two orders of magnitude faster than binary
+      // branching.
+      if (opt_.use_sos_branching) {
+        if (const auto s = violated_sos(sol.x)) {
+          branch_sos(node, *s, sol.x, sol.objective);
+          return;
+        }
+      }
+      if (const auto v = pick_branch_var(sol.x)) {
+        branch_integer(node, *v, sol.x, sol.objective);
+        return;
+      }
+
+      // Integral (and SOS-feasible unless SOS branching is off; if it is
+      // off, an integral point still satisfies SOS1 because the member
+      // binaries are integral and tied by the sum-to-one row).
+      const double scale = 1.0 + std::fabs(sol.objective);
+      const double viol = model_.max_nonlinear_violation(sol.x);
+      if (viol <= opt_.feas_tol * scale) {
+        maybe_update_incumbent(sol.x, sol.objective);
+        return;  // LP relaxation optimum is feasible: subtree solved
+      }
+
+      // Quesada-Grossmann step: solve the NLP with the integer assignment
+      // fixed; a feasible completion becomes an incumbent and its cuts
+      // tighten every node.
+      BoundOverrides fixed = bounds;
+      for (std::size_t v = 0; v < model_.num_vars(); ++v) {
+        if (!model_.is_integer(v)) continue;
+        const double r = std::round(sol.x[v]);
+        fixed.lower[v] = r;
+        fixed.upper[v] = r;
+      }
+      KelleyResult nlp = solve_relaxation(model_, pool_, fixed, opt_.kelley);
+      result_.lp_solves += nlp.lp_solves;
+      ++result_.nlp_solves;
+      if (nlp.status == KelleyResult::Status::Optimal &&
+          model_.is_feasible(nlp.x, 10 * opt_.feas_tol, opt_.int_tol)) {
+        maybe_update_incumbent(nlp.x, nlp.objective);
+      }
+
+      // Ensure the current integral point itself is cut off before
+      // re-solving; otherwise a numerically stalled pool would loop.
+      const std::size_t added =
+          pool_.add_violated(model_, sol.x, opt_.feas_tol * scale);
+      if (added == 0 && nlp.cuts_added == 0) {
+        log::warn() << "bnb: cut generation stalled (violation " << viol
+                    << "); fathoming node";
+        return;
+      }
+    }
+    log::warn() << "bnb: node pass limit reached; fathoming";
+  }
+
+  const Model& model_;
+  const BnbOptions& opt_;
+  CutPool pool_;
+  std::vector<Node> nodes_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::size_t next_order_ = 0;
+  BnbResult result_;
+  bool has_incumbent_ = false;
+  double incumbent_obj_ = 0.0;
+  std::vector<double> incumbent_;
+  // Pseudocost state (unit objective degradation per branching direction).
+  std::vector<double> pc_sum_up_, pc_cnt_up_, pc_sum_dn_, pc_cnt_dn_;
+  double pc_total_sum_ = 0.0;
+  double pc_total_cnt_ = 0.0;
+};
+
+}  // namespace
+
+BnbResult solve(const Model& model, const BnbOptions& options) {
+  Solver s(model, options);
+  return s.run();
+}
+
+}  // namespace hslb::minlp

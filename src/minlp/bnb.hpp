@@ -1,0 +1,75 @@
+// LP/NLP-based branch-and-bound for convex MINLPs (Quesada-Grossmann),
+// following the algorithm description in §III-E of the paper:
+//
+//  * an initial MILP relaxation is built from linearizations at the solution
+//    of the continuous NLP relaxation;
+//  * the tree search solves LP relaxations; fractional solutions are
+//    branched on; integral solutions that violate a nonlinear constraint
+//    get fresh outer-approximation cuts and the node is re-solved;
+//  * integral solutions feasible for all nonlinear constraints become
+//    incumbents;
+//  * special-ordered sets are branched on as sets (the paper reports this is
+//    ~two orders of magnitude faster than branching the member binaries
+//    individually; bench/minlp_sos reproduces that ablation).
+//
+// Because the HSLB performance functions are convex (a, b, d >= 0, c >= 1),
+// the method terminates with a *proven global* optimum, the property the
+// paper highlights as the key feature of the branch-and-bound approach.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "minlp/kelley.hpp"
+#include "minlp/model.hpp"
+
+namespace hslb::minlp {
+
+enum class BnbStatus {
+  Optimal,        ///< tree exhausted, incumbent is the global optimum
+  Infeasible,     ///< tree exhausted without any feasible point
+  NodeLimit,      ///< stopped early; incumbent (if any) has `gap` slack
+  TimeLimit,
+};
+
+std::string to_string(BnbStatus s);
+
+/// How the fractional integer variable to branch on is chosen.
+enum class BranchRule {
+  MostFractional,  ///< value farthest from an integer (simple, default)
+  PseudoCost,      ///< history-weighted degradation estimates
+};
+
+struct BnbOptions {
+  double int_tol = 1e-6;        ///< integrality tolerance
+  double feas_tol = 1e-7;       ///< nonlinear feasibility tolerance (relative)
+  double gap_tol = 1e-9;        ///< absolute incumbent-vs-bound pruning slack
+  std::size_t max_nodes = 200000;
+  double time_limit_seconds = 300.0;
+  bool use_sos_branching = true;  ///< false: branch member binaries directly
+  BranchRule branch_rule = BranchRule::MostFractional;
+  std::size_t max_passes_per_node = 50;  ///< QG cut-and-resolve passes
+  KelleyOptions kelley;         ///< used for root & fixed-integer NLP solves
+};
+
+struct BnbResult {
+  BnbStatus status = BnbStatus::Infeasible;
+  double objective = 0.0;       ///< incumbent objective (valid if has_solution)
+  std::vector<double> x;        ///< incumbent point
+  bool has_solution = false;
+  double best_bound = 0.0;      ///< proven lower bound on the optimum
+  double gap = 0.0;             ///< objective - best_bound (0 when Optimal)
+  // Statistics.
+  std::size_t nodes = 0;
+  std::size_t lp_solves = 0;
+  std::size_t nlp_solves = 0;
+  std::size_t cuts = 0;
+  double seconds = 0.0;
+};
+
+/// Solves a convex MINLP to global optimality. Every variable must have
+/// finite bounds (the HSLB model builders guarantee this; violations throw).
+BnbResult solve(const Model& model, const BnbOptions& options = {});
+
+}  // namespace hslb::minlp

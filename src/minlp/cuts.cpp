@@ -1,0 +1,67 @@
+#include "minlp/cuts.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace hslb::minlp {
+
+double Cut::violation(std::span<const double> x) const {
+  double activity = 0.0;
+  for (const auto& [v, c] : coeffs) activity += c * x[v];
+  return activity - rhs;
+}
+
+Cut make_oa_cut(const Model& model, std::size_t k, std::span<const double> x) {
+  HSLB_EXPECTS(k < model.nonlinear().size());
+  const auto& con = model.nonlinear()[k];
+  const double fx = con.value(x);
+  const auto grad = con.gradient(x);
+
+  // grad^T x_new <= grad^T x_k - f(x_k)
+  Cut cut;
+  cut.source_constraint = k;
+  double rhs = -fx;
+  for (const auto& [v, g] : grad) {
+    HSLB_EXPECTS(std::isfinite(g));
+    if (g != 0.0) cut.coeffs.push_back({v, g});
+    rhs += g * x[v];
+  }
+  HSLB_EXPECTS(std::isfinite(rhs));
+  cut.rhs = rhs;
+  return cut;
+}
+
+bool CutPool::add(Cut cut) {
+  // Duplicate suppression: same source, same sparsity pattern, coefficients
+  // and rhs within a relative tolerance. Linearizing twice at (nearly) the
+  // same point is common when the solver revisits an incumbent.
+  for (const Cut& c : cuts_) {
+    if (c.source_constraint != cut.source_constraint) continue;
+    if (c.coeffs.size() != cut.coeffs.size()) continue;
+    const double scale = 1.0 + std::fabs(c.rhs);
+    if (std::fabs(c.rhs - cut.rhs) > 1e-9 * scale) continue;
+    bool same = true;
+    for (std::size_t i = 0; i < c.coeffs.size() && same; ++i) {
+      same = c.coeffs[i].first == cut.coeffs[i].first &&
+             std::fabs(c.coeffs[i].second - cut.coeffs[i].second) <=
+                 1e-9 * (1.0 + std::fabs(c.coeffs[i].second));
+    }
+    if (same) return false;
+  }
+  cuts_.push_back(std::move(cut));
+  return true;
+}
+
+std::size_t CutPool::add_violated(const Model& model, std::span<const double> x,
+                                  double tol) {
+  std::size_t added = 0;
+  for (std::size_t k = 0; k < model.nonlinear().size(); ++k) {
+    if (model.nonlinear()[k].value(x) > tol) {
+      if (add(make_oa_cut(model, k, x))) ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace hslb::minlp

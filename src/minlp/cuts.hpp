@@ -1,0 +1,52 @@
+// Outer-approximation cut machinery (§III-E of the paper).
+//
+// Given a convex constraint f(x) <= 0 and a linearization point x_k, the cut
+//
+//     grad f(x_k)^T (x - x_k) + f(x_k) <= 0
+//
+// is globally valid (convexity) and cuts off any point with f > 0 at x_k.
+// Cuts live in a pool shared by the whole branch-and-bound tree, because
+// convexity makes them valid at every node.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "minlp/model.hpp"
+
+namespace hslb::minlp {
+
+/// One linear cut: sum coeffs <= rhs.
+struct Cut {
+  std::vector<lp::Coeff> coeffs;
+  double rhs;
+  std::size_t source_constraint;  ///< index into Model::nonlinear()
+
+  /// Violation of the cut at x (positive means violated).
+  double violation(std::span<const double> x) const;
+};
+
+/// Builds the OA cut for nonlinear constraint `k` of `model` at point `x`.
+Cut make_oa_cut(const Model& model, std::size_t k, std::span<const double> x);
+
+/// Shared pool of globally valid cuts with simple duplicate suppression.
+class CutPool {
+ public:
+  /// Adds a cut unless an (almost) identical one is already present.
+  /// Returns true if the cut was added.
+  bool add(Cut cut);
+
+  const std::vector<Cut>& cuts() const { return cuts_; }
+  std::size_t size() const { return cuts_.size(); }
+
+  /// Adds OA cuts at x for every nonlinear constraint violated beyond tol.
+  /// Returns the number of cuts actually added.
+  std::size_t add_violated(const Model& model, std::span<const double> x,
+                           double tol);
+
+ private:
+  std::vector<Cut> cuts_;
+};
+
+}  // namespace hslb::minlp

@@ -1,0 +1,87 @@
+#include "minlp/kelley.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+#include "lp/simplex.hpp"
+
+namespace hslb::minlp {
+
+lp::Model build_lp_relaxation(const Model& model, const CutPool& pool,
+                              const BoundOverrides& bounds) {
+  lp::Model out;
+  for (std::size_t v = 0; v < model.num_vars(); ++v) {
+    const double lb = bounds.lb(model, v);
+    const double ub = bounds.ub(model, v);
+    // Branching can produce an empty box; encode it as an infeasible pair of
+    // rows rather than violating the lp::Model lb<=ub contract.
+    if (lb > ub) {
+      const std::size_t col = out.add_variable(ub, lb, model.objective_coeff(v),
+                                               model.var_name(v));
+      out.add_constraint({{col, 1.0}}, lb, lp::kInf, "empty_lo");
+      out.add_constraint({{col, 1.0}}, -lp::kInf, ub, "empty_hi");
+      continue;
+    }
+    out.add_variable(lb, ub, model.objective_coeff(v), model.var_name(v));
+  }
+  for (std::size_t r = 0; r < model.num_linear(); ++r) {
+    out.add_constraint(model.linear_coeffs(r), model.linear_lower(r),
+                       model.linear_upper(r));
+  }
+  for (const Cut& c : pool.cuts()) {
+    out.add_constraint(c.coeffs, -lp::kInf, c.rhs, "oa");
+  }
+  return out;
+}
+
+KelleyResult solve_relaxation(const Model& model, CutPool& pool,
+                              const BoundOverrides& bounds,
+                              const KelleyOptions& options) {
+  KelleyResult result{KelleyResult::Status::RoundLimit, 0.0, {}, 0, 0};
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    lp::Model relax = build_lp_relaxation(model, pool, bounds);
+    const lp::Solution sol = lp::solve(relax, options.lp);
+    ++result.lp_solves;
+
+    if (sol.status == lp::Status::Infeasible) {
+      result.status = KelleyResult::Status::Infeasible;
+      return result;
+    }
+    // The model builders give every variable finite bounds (asserted by the
+    // B&B driver), so the relaxation cannot be unbounded.
+    HSLB_ASSERT(sol.status == lp::Status::Optimal);
+
+    const double scale = 1.0 + std::fabs(sol.objective);
+    const double worst = model.max_nonlinear_violation(sol.x);
+    if (worst <= options.feas_tol * scale) {
+      result.status = KelleyResult::Status::Optimal;
+      result.objective = sol.objective;
+      result.x = sol.x;
+      return result;
+    }
+
+    const std::size_t added =
+        pool.add_violated(model, sol.x, options.feas_tol * scale);
+    result.cuts_added += added;
+    if (added == 0) {
+      // Numerically stalled: violation persists but the linearization no
+      // longer separates. Accept the point as the relaxation solution; the
+      // residual violation is below what the cut arithmetic can resolve.
+      log::debug() << "kelley: stalled with violation " << worst;
+      result.status = KelleyResult::Status::Optimal;
+      result.objective = sol.objective;
+      result.x = sol.x;
+      return result;
+    }
+  }
+  return result;
+}
+
+KelleyResult solve_relaxation(const Model& model, CutPool& pool,
+                              const KelleyOptions& options) {
+  return solve_relaxation(model, pool, BoundOverrides(model.num_vars()), options);
+}
+
+}  // namespace hslb::minlp

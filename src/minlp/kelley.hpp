@@ -1,0 +1,63 @@
+// Kelley cutting-plane solver for the *continuous* convex relaxation of a
+// MINLP (integrality dropped, SOS1 dropped).
+//
+// Iterates: solve the LP made of the linear constraints plus all OA cuts;
+// if some nonlinear constraint is violated at the LP optimum, linearize it
+// there and repeat. For convex constraints over a bounded box this
+// converges to the NLP optimum — it fills the role filterSQP plays under
+// MINOTAUR for this problem class (every NLP we solve is convex).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "minlp/cuts.hpp"
+#include "minlp/model.hpp"
+
+namespace hslb::minlp {
+
+struct KelleyOptions {
+  double feas_tol = 1e-7;       ///< max allowed nonlinear violation (relative)
+  std::size_t max_rounds = 200; ///< LP solves before giving up
+  lp::Options lp;               ///< inner simplex options
+};
+
+struct KelleyResult {
+  enum class Status { Optimal, Infeasible, RoundLimit } status;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t lp_solves = 0;
+  std::size_t cuts_added = 0;
+};
+
+/// Per-variable bound overrides used by branch-and-bound nodes; an entry of
+/// std::nullopt keeps the model bound.
+struct BoundOverrides {
+  std::vector<std::optional<double>> lower, upper;
+
+  explicit BoundOverrides(std::size_t n) : lower(n), upper(n) {}
+  double lb(const Model& m, std::size_t v) const {
+    return lower[v] ? *lower[v] : m.lower(v);
+  }
+  double ub(const Model& m, std::size_t v) const {
+    return upper[v] ? *upper[v] : m.upper(v);
+  }
+};
+
+/// Builds the LP relaxation (linear rows + pool cuts) with the given bound
+/// overrides. Shared by Kelley and branch-and-bound.
+lp::Model build_lp_relaxation(const Model& model, const CutPool& pool,
+                              const BoundOverrides& bounds);
+
+/// Solves the continuous relaxation; new cuts are appended to `pool` (they
+/// are globally valid and reused by the caller's tree search).
+KelleyResult solve_relaxation(const Model& model, CutPool& pool,
+                              const BoundOverrides& bounds,
+                              const KelleyOptions& options = {});
+
+/// Convenience overload with no overrides.
+KelleyResult solve_relaxation(const Model& model, CutPool& pool,
+                              const KelleyOptions& options = {});
+
+}  // namespace hslb::minlp

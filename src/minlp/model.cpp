@@ -1,0 +1,165 @@
+#include "minlp/model.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace hslb::minlp {
+
+std::size_t Model::add_var(double lb, double ub, bool integer, std::string name) {
+  HSLB_EXPECTS(lb <= ub);
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  obj_.push_back(0.0);
+  integer_.push_back(integer);
+  if (name.empty()) name = (integer ? "i" : "x") + std::to_string(lb_.size() - 1);
+  names_.push_back(std::move(name));
+  return lb_.size() - 1;
+}
+
+std::size_t Model::add_continuous(double lb, double ub, std::string name) {
+  return add_var(lb, ub, false, std::move(name));
+}
+
+std::size_t Model::add_integer(double lb, double ub, std::string name) {
+  HSLB_EXPECTS(std::isfinite(lb) && std::isfinite(ub));
+  return add_var(std::ceil(lb - 1e-9), std::floor(ub + 1e-9), true, std::move(name));
+}
+
+std::size_t Model::add_binary(std::string name) {
+  return add_var(0.0, 1.0, true, std::move(name));
+}
+
+void Model::set_objective(std::size_t var, double coeff) {
+  HSLB_EXPECTS(var < num_vars());
+  obj_[var] = coeff;
+}
+
+std::size_t Model::add_linear(std::vector<lp::Coeff> coeffs, double lb,
+                              double ub, std::string name) {
+  HSLB_EXPECTS(lb <= ub);
+  for (const auto& [v, c] : coeffs) {
+    HSLB_EXPECTS(v < num_vars());
+    (void)c;
+  }
+  lin_coeffs_.push_back(std::move(coeffs));
+  lin_lb_.push_back(lb);
+  lin_ub_.push_back(ub);
+  if (name.empty()) name = "lin" + std::to_string(lin_coeffs_.size() - 1);
+  lin_names_.push_back(std::move(name));
+  return lin_coeffs_.size() - 1;
+}
+
+std::size_t Model::add_nonlinear(NonlinearConstraint c) {
+  HSLB_EXPECTS(static_cast<bool>(c.value));
+  HSLB_EXPECTS(static_cast<bool>(c.gradient));
+  HSLB_EXPECTS(!c.vars.empty());
+  for (std::size_t v : c.vars) HSLB_EXPECTS(v < num_vars());
+  nonlin_.push_back(std::move(c));
+  return nonlin_.size() - 1;
+}
+
+std::size_t Model::add_sos1(Sos1 s) {
+  HSLB_EXPECTS(s.vars.size() == s.weights.size());
+  HSLB_EXPECTS(s.vars.size() >= 2);
+  for (std::size_t v : s.vars) HSLB_EXPECTS(v < num_vars());
+  for (std::size_t i = 1; i < s.weights.size(); ++i)
+    HSLB_EXPECTS(s.weights[i] > s.weights[i - 1]);
+  sos_.push_back(std::move(s));
+  return sos_.size() - 1;
+}
+
+double Model::lower(std::size_t v) const {
+  HSLB_EXPECTS(v < num_vars());
+  return lb_[v];
+}
+
+double Model::upper(std::size_t v) const {
+  HSLB_EXPECTS(v < num_vars());
+  return ub_[v];
+}
+
+bool Model::is_integer(std::size_t v) const {
+  HSLB_EXPECTS(v < num_vars());
+  return integer_[v];
+}
+
+double Model::objective_coeff(std::size_t v) const {
+  HSLB_EXPECTS(v < num_vars());
+  return obj_[v];
+}
+
+const std::string& Model::var_name(std::size_t v) const {
+  HSLB_EXPECTS(v < num_vars());
+  return names_[v];
+}
+
+const std::vector<lp::Coeff>& Model::linear_coeffs(std::size_t r) const {
+  HSLB_EXPECTS(r < num_linear());
+  return lin_coeffs_[r];
+}
+
+double Model::linear_lower(std::size_t r) const {
+  HSLB_EXPECTS(r < num_linear());
+  return lin_lb_[r];
+}
+
+double Model::linear_upper(std::size_t r) const {
+  HSLB_EXPECTS(r < num_linear());
+  return lin_ub_[r];
+}
+
+const std::string& Model::linear_name(std::size_t r) const {
+  HSLB_EXPECTS(r < num_linear());
+  return lin_names_[r];
+}
+
+double Model::objective_value(std::span<const double> x) const {
+  HSLB_EXPECTS(x.size() == num_vars());
+  double acc = 0.0;
+  for (std::size_t v = 0; v < num_vars(); ++v) acc += obj_[v] * x[v];
+  return acc;
+}
+
+double Model::max_nonlinear_violation(std::span<const double> x) const {
+  double worst = 0.0;
+  for (const auto& c : nonlin_) worst = std::max(worst, c.value(x));
+  return worst;
+}
+
+bool Model::is_feasible(std::span<const double> x, double feas_tol,
+                        double int_tol) const {
+  HSLB_EXPECTS(x.size() == num_vars());
+  for (std::size_t v = 0; v < num_vars(); ++v) {
+    if (x[v] < lb_[v] - feas_tol || x[v] > ub_[v] + feas_tol) return false;
+    if (integer_[v] && std::fabs(x[v] - std::round(x[v])) > int_tol) return false;
+  }
+  for (std::size_t r = 0; r < num_linear(); ++r) {
+    double a = 0.0, mag = 0.0;
+    for (const auto& [v, c] : lin_coeffs_[r]) {
+      a += c * x[v];
+      mag += std::fabs(c * x[v]);
+    }
+    // Tolerance scales with both the bounds and the summand magnitudes so
+    // that rows mixing O(1e4) coefficients with cancellation are judged
+    // relative to their own arithmetic, not absolutely.
+    const double scale =
+        1.0 + mag +
+        std::max(std::isfinite(lin_lb_[r]) ? std::fabs(lin_lb_[r]) : 0.0,
+                 std::isfinite(lin_ub_[r]) ? std::fabs(lin_ub_[r]) : 0.0);
+    if (a < lin_lb_[r] - feas_tol * scale || a > lin_ub_[r] + feas_tol * scale)
+      return false;
+  }
+  for (const auto& c : nonlin_) {
+    if (c.value(x) > feas_tol * (1.0 + std::fabs(objective_value(x)))) return false;
+  }
+  for (const auto& s : sos_) {
+    std::size_t nonzero = 0;
+    for (std::size_t v : s.vars)
+      if (std::fabs(x[v]) > int_tol) ++nonzero;
+    if (nonzero > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace hslb::minlp

@@ -1,0 +1,125 @@
+// Mixed-integer nonlinear program (MINLP) model:
+//
+//   minimize    c^T x
+//   subject to  rowlb <= A x <= rowub          (linear constraints)
+//               f_k(x) <= 0                    (convex nonlinear constraints)
+//               x_j integer for j in I
+//               SOS1(S): at most one variable in S is nonzero
+//               collb <= x <= colub
+//
+// Nonlinear objectives are expressed in epigraph form by the model builders
+// (add variable t, minimize t, constrain f(x) - t <= 0), exactly as the
+// paper's Table I does with its wall-clock variable T.
+//
+// This is the C++ analogue of the AMPL models in the paper; the solver in
+// bnb.hpp plays MINOTAUR's role.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace hslb::minlp {
+
+using lp::kInf;
+
+/// Sparse gradient entry of a nonlinear function.
+struct GradEntry {
+  std::size_t var;
+  double value;
+};
+
+/// A smooth convex constraint f(x) <= 0 supplied as callbacks.
+///
+/// `vars` lists the variables f depends on; `value` and `gradient` receive
+/// the *full* solution vector (indexed by model variable) and the gradient
+/// callback returns entries only for `vars`.
+struct NonlinearConstraint {
+  std::string name;
+  std::vector<std::size_t> vars;
+  std::function<double(std::span<const double>)> value;
+  std::function<std::vector<GradEntry>(std::span<const double>)> gradient;
+  /// Optional human/AMPL-readable algebraic form, e.g.
+  /// "27459.7/n_atm + 0.000193*n_atm^1.2285 + 43.73 - t_atm <= 0".
+  /// Used by the AMPL exporter (see minlp/ampl.hpp); purely informational.
+  std::string formula;
+};
+
+/// Special ordered set of type 1: at most one member variable nonzero.
+/// `weights` give the branching order (e.g. the node counts O_k / A_k the
+/// binary selects); must be strictly increasing.
+struct Sos1 {
+  std::string name;
+  std::vector<std::size_t> vars;
+  std::vector<double> weights;
+};
+
+class Model {
+ public:
+  /// Adds a continuous variable; returns its index.
+  std::size_t add_continuous(double lb, double ub, std::string name = "");
+
+  /// Adds an integer variable; returns its index.
+  std::size_t add_integer(double lb, double ub, std::string name = "");
+
+  /// Adds a binary variable (integer in [0,1]).
+  std::size_t add_binary(std::string name = "");
+
+  /// Sets the (linear) objective coefficient of a variable.
+  void set_objective(std::size_t var, double coeff);
+
+  /// Adds a linear range constraint.
+  std::size_t add_linear(std::vector<lp::Coeff> coeffs, double lb, double ub,
+                         std::string name = "");
+
+  /// Adds a convex nonlinear constraint f(x) <= 0.
+  std::size_t add_nonlinear(NonlinearConstraint c);
+
+  /// Declares an SOS1 set over existing variables.
+  std::size_t add_sos1(Sos1 s);
+
+  // Accessors.
+  std::size_t num_vars() const { return lb_.size(); }
+  double lower(std::size_t v) const;
+  double upper(std::size_t v) const;
+  bool is_integer(std::size_t v) const;
+  double objective_coeff(std::size_t v) const;
+  const std::string& var_name(std::size_t v) const;
+
+  std::size_t num_linear() const { return lin_coeffs_.size(); }
+  const std::vector<lp::Coeff>& linear_coeffs(std::size_t r) const;
+  double linear_lower(std::size_t r) const;
+  double linear_upper(std::size_t r) const;
+  const std::string& linear_name(std::size_t r) const;
+
+  const std::vector<NonlinearConstraint>& nonlinear() const { return nonlin_; }
+  const std::vector<Sos1>& sos1() const { return sos_; }
+
+  /// Objective value c^T x.
+  double objective_value(std::span<const double> x) const;
+
+  /// Max violation of nonlinear constraints at x (0 if none).
+  double max_nonlinear_violation(std::span<const double> x) const;
+
+  /// True when x satisfies bounds, linear rows, nonlinear constraints,
+  /// integrality, and SOS1 conditions within the given tolerances.
+  bool is_feasible(std::span<const double> x, double feas_tol = 1e-6,
+                   double int_tol = 1e-6) const;
+
+ private:
+  std::size_t add_var(double lb, double ub, bool integer, std::string name);
+
+  std::vector<double> lb_, ub_, obj_;
+  std::vector<bool> integer_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<lp::Coeff>> lin_coeffs_;
+  std::vector<double> lin_lb_, lin_ub_;
+  std::vector<std::string> lin_names_;
+  std::vector<NonlinearConstraint> nonlin_;
+  std::vector<Sos1> sos_;
+};
+
+}  // namespace hslb::minlp

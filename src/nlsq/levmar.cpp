@@ -1,0 +1,149 @@
+#include "nlsq/levmar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "linalg/decomp.hpp"
+
+namespace hslb::nlsq {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double clamp_to_box(const Problem& pb, std::size_t i, double v) {
+  const double lo = pb.lower.empty() ? -kInf : pb.lower[i];
+  const double hi = pb.upper.empty() ? kInf : pb.upper[i];
+  return std::clamp(v, lo, hi);
+}
+}  // namespace
+
+double Problem::cost(std::span<const double> p) const {
+  const auto r = residuals(p);
+  double acc = 0.0;
+  for (double v : r) acc += v * v;
+  return acc;
+}
+
+linalg::Matrix numeric_jacobian(const Problem& problem,
+                                std::span<const double> p) {
+  linalg::Matrix jac(problem.num_residuals, problem.num_params);
+  linalg::Vector q(p.begin(), p.end());
+  for (std::size_t j = 0; j < problem.num_params; ++j) {
+    const double h = 1e-7 * (1.0 + std::fabs(q[j]));
+    // Respect the box: fall back to one-sided differences at a bound.
+    const double lo = problem.lower.empty() ? -kInf : problem.lower[j];
+    const double hi = problem.upper.empty() ? kInf : problem.upper[j];
+    const double fwd = std::min(q[j] + h, hi);
+    const double bwd = std::max(q[j] - h, lo);
+    HSLB_ASSERT(fwd > bwd);
+    const double saved = q[j];
+    q[j] = fwd;
+    const auto r_fwd = problem.residuals(q);
+    q[j] = bwd;
+    const auto r_bwd = problem.residuals(q);
+    q[j] = saved;
+    for (std::size_t i = 0; i < problem.num_residuals; ++i)
+      jac(i, j) = (r_fwd[i] - r_bwd[i]) / (fwd - bwd);
+  }
+  return jac;
+}
+
+LevMarResult minimize(const Problem& problem, std::span<const double> start,
+                      const LevMarOptions& options) {
+  HSLB_EXPECTS(problem.num_params > 0);
+  HSLB_EXPECTS(problem.num_residuals >= 1);
+  HSLB_EXPECTS(start.size() == problem.num_params);
+  HSLB_EXPECTS(problem.lower.empty() || problem.lower.size() == problem.num_params);
+  HSLB_EXPECTS(problem.upper.empty() || problem.upper.size() == problem.num_params);
+
+  linalg::Vector x(start.begin(), start.end());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = clamp_to_box(problem, i, x[i]);
+
+  LevMarResult result;
+  double cost = problem.cost(x);
+  double lambda = options.initial_lambda;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const auto r = problem.residuals(x);
+    const auto jac = problem.jacobian ? problem.jacobian(x)
+                                      : numeric_jacobian(problem, x);
+    HSLB_ASSERT(jac.rows() == problem.num_residuals);
+    HSLB_ASSERT(jac.cols() == problem.num_params);
+
+    // Gradient of SSE: g = 2 J^T r (factor 2 irrelevant for tests below).
+    const auto g = jac.mul_transpose(r);
+
+    // Projected-gradient convergence test: components pushing out of the
+    // box at an active bound do not count.
+    double gmax = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double lo = problem.lower.empty() ? -kInf : problem.lower[i];
+      const double hi = problem.upper.empty() ? kInf : problem.upper[i];
+      double gi = g[i];
+      if (x[i] <= lo && gi > 0) gi = 0;   // descent would leave the box
+      if (x[i] >= hi && gi < 0) gi = 0;
+      gmax = std::max(gmax, std::fabs(gi));
+    }
+    if (gmax < options.gradient_tol * (1.0 + cost)) {
+      result.converged = true;
+      break;
+    }
+
+    const auto jtj = jac.gram();
+
+    bool stepped = false;
+    while (lambda <= options.max_lambda) {
+      // (J^T J + lambda * diag(J^T J) + eps I) delta = -J^T r
+      linalg::Matrix a = jtj;
+      for (std::size_t i = 0; i < a.rows(); ++i)
+        a(i, i) += lambda * std::max(jtj(i, i), 1e-12);
+      const auto chol = linalg::Cholesky::factor(a);
+      if (!chol) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      auto delta = chol->solve(g);
+      for (double& d : delta) d = -d;
+
+      linalg::Vector x_new(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i)
+        x_new[i] = clamp_to_box(problem, i, x[i] + delta[i]);
+
+      const double new_cost = problem.cost(x_new);
+      if (new_cost < cost) {
+        // Accept.
+        double step = 0.0, scale = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          step = std::max(step, std::fabs(x_new[i] - x[i]));
+          scale = std::max(scale, std::fabs(x[i]));
+        }
+        const bool tiny_step = step < options.step_tol * (1.0 + scale);
+        const bool tiny_decrease =
+            (cost - new_cost) < options.cost_tol * (1.0 + cost);
+        x = std::move(x_new);
+        cost = new_cost;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        stepped = true;
+        if (tiny_step || tiny_decrease) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!stepped || result.converged) {
+      // lambda exhausted: we are at a (numerical) local minimum.
+      result.converged = result.converged || !stepped;
+      break;
+    }
+  }
+
+  result.params = std::move(x);
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace hslb::nlsq

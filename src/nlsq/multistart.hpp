@@ -1,0 +1,38 @@
+// Multistart wrapper around Levenberg-Marquardt.
+//
+// §III-C: "Since nonlinear optimization algorithms are iterative, selecting
+// a different starting point may lead the solver to a different local
+// solution. We experimented with different starting solutions..." — this
+// class does that systematically: deterministic pseudo-random starts inside
+// a user-given start box, best SSE wins.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nlsq/levmar.hpp"
+
+namespace hslb::nlsq {
+
+struct MultistartOptions {
+  std::size_t num_starts = 16;
+  std::uint64_t seed = 42;
+  LevMarOptions levmar;
+};
+
+struct MultistartResult {
+  LevMarResult best;
+  std::size_t starts_tried = 0;
+  std::size_t starts_converged = 0;
+  /// SSE of every start's local solution, in start order (diagnostics for
+  /// the paper's observation that different local optima have similar SSE).
+  std::vector<double> local_costs;
+};
+
+/// Runs LM from `num_starts` points sampled log-uniformly (for positive
+/// boxes) or uniformly inside [start_lower, start_upper], plus the box
+/// midpoint. Requires finite start bounds.
+MultistartResult minimize_multistart(const Problem& problem,
+                                     std::span<const double> start_lower,
+                                     std::span<const double> start_upper,
+                                     const MultistartOptions& options = {});
+
+}  // namespace hslb::nlsq

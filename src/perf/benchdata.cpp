@@ -1,0 +1,63 @@
+#include "perf/benchdata.hpp"
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace hslb::perf {
+
+const TaskBench& BenchTable::find(const std::string& task) const {
+  for (const auto& t : tasks)
+    if (t.task == task) return t;
+  HSLB_EXPECTS(!"benchmark task not found");
+  return tasks.front();  // unreachable
+}
+
+bool BenchTable::contains(const std::string& task) const {
+  for (const auto& t : tasks)
+    if (t.task == task) return true;
+  return false;
+}
+
+std::string BenchTable::to_csv() const {
+  csv::Document doc;
+  doc.header = {"task", "nodes", "seconds"};
+  for (const auto& t : tasks) {
+    for (const auto& s : t.samples) {
+      doc.rows.push_back({t.task, strings::format("%.17g", s.nodes),
+                          strings::format("%.17g", s.seconds)});
+    }
+  }
+  return csv::write(doc);
+}
+
+BenchTable BenchTable::from_csv(const std::string& text) {
+  const auto doc = csv::parse(text);
+  const auto ct = doc.column("task");
+  const auto cn = doc.column("nodes");
+  const auto cs = doc.column("seconds");
+  BenchTable table;
+  for (const auto& row : doc.rows) {
+    const std::string& name = row[ct];
+    TaskBench* entry = nullptr;
+    for (auto& t : table.tasks)
+      if (t.task == name) entry = &t;
+    if (!entry) {
+      table.tasks.push_back(TaskBench{name, {}});
+      entry = &table.tasks.back();
+    }
+    entry->samples.push_back(
+        Sample{strings::to_double(row[cn]), strings::to_double(row[cs])});
+  }
+  return table;
+}
+
+void BenchTable::save(const std::string& path) const {
+  csv::write_file(path, csv::parse(to_csv()));
+}
+
+BenchTable BenchTable::load(const std::string& path) {
+  return from_csv(csv::write(csv::read_file(path)));
+}
+
+}  // namespace hslb::perf

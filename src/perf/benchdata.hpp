@@ -1,0 +1,43 @@
+// Benchmark observations: the artifact produced by the Gather step and
+// consumed by the Fit step (Table II, lines 8-9: n_ji node counts, y_ji
+// observed times).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hslb::perf {
+
+/// One timed run: `nodes` allocated, `seconds` of component wall time.
+struct Sample {
+  double nodes = 0.0;
+  double seconds = 0.0;
+};
+
+using SampleSet = std::vector<Sample>;
+
+/// Benchmark data for one named task/component.
+struct TaskBench {
+  std::string task;
+  SampleSet samples;
+};
+
+/// A full gather result: one entry per component/fragment.
+struct BenchTable {
+  std::vector<TaskBench> tasks;
+
+  /// Lookup by name; throws ContractViolation if absent.
+  const TaskBench& find(const std::string& task) const;
+  bool contains(const std::string& task) const;
+
+  /// CSV round-trip with columns task,nodes,seconds (the format the Gather
+  /// step writes and the Fit step reads; stands in for the authors' timing
+  /// files fed to AMPL).
+  std::string to_csv() const;
+  static BenchTable from_csv(const std::string& text);
+
+  void save(const std::string& path) const;
+  static BenchTable load(const std::string& path);
+};
+
+}  // namespace hslb::perf

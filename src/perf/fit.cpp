@@ -1,0 +1,93 @@
+#include "perf/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "nlsq/multistart.hpp"
+
+namespace hslb::perf {
+
+FitResult fit(const SampleSet& samples, const FitOptions& options) {
+  HSLB_EXPECTS(samples.size() >= 2);
+  std::set<double> distinct;
+  double max_y = 0.0, min_y = samples.front().seconds;
+  double max_an = 0.0;  // bound for the scalable coefficient a
+  for (const auto& s : samples) {
+    HSLB_EXPECTS(s.nodes >= 1.0);
+    HSLB_EXPECTS(s.seconds > 0.0);
+    distinct.insert(s.nodes);
+    max_y = std::max(max_y, s.seconds);
+    min_y = std::min(min_y, s.seconds);
+    max_an = std::max(max_an, s.seconds * s.nodes);
+  }
+  HSLB_EXPECTS(distinct.size() >= 2);
+
+  nlsq::Problem problem;
+  problem.num_params = 4;
+  problem.num_residuals = samples.size();
+  problem.residuals = [&samples](std::span<const double> p) {
+    const Model m{p[0], p[1], p[2], p[3]};
+    linalg::Vector r(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      r[i] = samples[i].seconds - m.eval(samples[i].nodes);
+    return r;
+  };
+  problem.jacobian = [&samples](std::span<const double> p) {
+    const Model m{p[0], p[1], p[2], p[3]};
+    linalg::Matrix jac(samples.size(), 4);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto g = m.grad_params(samples[i].nodes);
+      for (std::size_t j = 0; j < 4; ++j) jac(i, j) = -g[j];
+    }
+    return jac;
+  };
+
+  // Positivity constraints (Table II, line 11) and the convexity-preserving
+  // exponent window.
+  const double a_hi = options.a_scale * max_an;
+  const double d_hi = options.d_scale * min_y;
+  const double b_hi = std::max(max_y, 1.0);
+  problem.lower = {0.0, 0.0, options.min_c, 0.0};
+  problem.upper = {a_hi, b_hi, options.max_c, d_hi};
+
+  // Start box strictly inside the positive orthant (log-uniform sampling).
+  const linalg::Vector start_lo = {1e-6 * std::max(max_an, 1.0), 1e-12,
+                                   options.min_c, 1e-9 * std::max(min_y, 1e-3)};
+  const linalg::Vector start_hi = {a_hi, 1e-2 * b_hi, options.max_c,
+                                   std::max(d_hi, 2e-9)};
+
+  nlsq::MultistartOptions ms;
+  ms.num_starts = options.num_starts;
+  ms.seed = options.seed;
+  const auto res = nlsq::minimize_multistart(problem, start_lo, start_hi, ms);
+
+  FitResult out;
+  out.model = Model{res.best.params[0], res.best.params[1], res.best.params[2],
+                    res.best.params[3]};
+  out.sse = res.best.cost;
+  out.starts_tried = res.starts_tried;
+  out.starts_converged = res.starts_converged;
+  out.converged = res.best.converged;
+
+  std::vector<double> observed, predicted;
+  for (const auto& s : samples) {
+    observed.push_back(s.seconds);
+    predicted.push_back(out.model.eval(s.nodes));
+  }
+  out.r2 = stats::r_squared(observed, predicted);
+  out.rmse = stats::rmse(observed, predicted);
+  return out;
+}
+
+std::vector<std::pair<std::string, FitResult>> fit_all(
+    const BenchTable& table, const FitOptions& options) {
+  std::vector<std::pair<std::string, FitResult>> out;
+  out.reserve(table.tasks.size());
+  for (const auto& t : table.tasks) out.emplace_back(t.task, fit(t.samples, options));
+  return out;
+}
+
+}  // namespace hslb::perf

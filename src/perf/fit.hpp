@@ -1,0 +1,50 @@
+// The Fit step of HSLB (Table II, line 10):
+//
+//   min_{a,b,c,d >= 0}  sum_i ( y_i - a/n_i - b*n_i^c - d )^2
+//
+// solved by box-constrained Levenberg-Marquardt with multistart, with
+// data-driven start boxes. By default the exponent c is constrained to
+// [1, c_max] so that the fitted model is convex and the allocation MINLP is
+// solved to proven global optimality (§III-E); the paper observed b, c
+// "almost equal to zero" on Intrepid, which the convex fit reproduces with
+// b ~ 0.
+#pragma once
+
+#include "perf/benchdata.hpp"
+#include "perf/model.hpp"
+
+namespace hslb::perf {
+
+struct FitOptions {
+  std::size_t num_starts = 24;
+  std::uint64_t seed = 1234;
+  /// Exponent bounds. Lower bound 1.0 keeps the model convex; set
+  /// min_c < 1 to reproduce the paper's unconstrained-c discussion.
+  double min_c = 1.0;
+  double max_c = 3.0;
+  /// Upper bounds as multiples of data scales (see fit() implementation).
+  double a_scale = 50.0;
+  double d_scale = 2.0;
+};
+
+struct FitResult {
+  Model model;
+  double sse = 0.0;
+  double rmse = 0.0;
+  double r2 = 0.0;             ///< the paper's fit-quality criterion (§III-C)
+  std::size_t starts_tried = 0;
+  std::size_t starts_converged = 0;
+  bool converged = false;
+};
+
+/// Fits one component's samples. Requires >= 2 distinct node counts; the
+/// paper recommends >= 4 samples ("at least greater than four") — fewer is
+/// allowed but flagged by the returned diagnostics (r2 of a saturated fit
+/// is trivially 1).
+FitResult fit(const SampleSet& samples, const FitOptions& options = {});
+
+/// Fits every task in a gather table.
+std::vector<std::pair<std::string, FitResult>> fit_all(
+    const BenchTable& table, const FitOptions& options = {});
+
+}  // namespace hslb::perf

@@ -1,0 +1,39 @@
+#include "sim/engine.hpp"
+
+#include "common/contracts.hpp"
+
+namespace hslb::sim {
+
+void Engine::schedule(Time t, std::function<void()> fn) {
+  HSLB_EXPECTS(t >= now_);
+  HSLB_EXPECTS(static_cast<bool>(fn));
+  queue_.push(Item{t, seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(Time dt, std::function<void()> fn) {
+  HSLB_EXPECTS(dt >= 0.0);
+  schedule(now_ + dt, std::move(fn));
+}
+
+void Engine::step() {
+  // Copy out before pop: the callback may schedule new events.
+  auto fn = queue_.top().fn;
+  now_ = queue_.top().time;
+  queue_.pop();
+  ++processed_;
+  fn();
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) step();
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  HSLB_EXPECTS(deadline >= now_);
+  while (!queue_.empty() && queue_.top().time <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace hslb::sim

@@ -1,0 +1,58 @@
+// Deterministic discrete-event simulation engine.
+//
+// Stands in for the physical machine of the paper (Intrepid, the Blue
+// Gene/P at ALCF): all "execution" in this library is simulated by
+// advancing virtual time through scheduled events. Determinism is exact:
+// ties in event time are broken by schedule order, never by wall-clock or
+// container iteration artifacts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hslb::sim {
+
+using Time = double;
+
+class Engine {
+ public:
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void schedule(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` at now() + dt (dt >= 0).
+  void schedule_in(Time dt, std::function<void()> fn);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  Time run();
+
+  /// Runs until `deadline` (events at exactly `deadline` are executed).
+  Time run_until(Time deadline);
+
+  Time now() const { return now_; }
+  std::size_t events_processed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Item {
+    Time time;
+    std::size_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  void step();
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  Time now_ = 0.0;
+  std::size_t seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace hslb::sim

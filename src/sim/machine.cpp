@@ -1,0 +1,19 @@
+#include "sim/machine.hpp"
+
+#include "common/contracts.hpp"
+
+namespace hslb::sim {
+
+Machine Machine::intrepid() { return Machine{"intrepid", 40960, 4}; }
+
+Machine Machine::intrepid_partition(std::size_t nodes) {
+  HSLB_EXPECTS(nodes >= 1 && nodes <= 40960);
+  return Machine{"intrepid", nodes, 4};
+}
+
+Machine Machine::workstation(std::size_t nodes) {
+  HSLB_EXPECTS(nodes >= 1);
+  return Machine{"workstation", nodes, 1};
+}
+
+}  // namespace hslb::sim

@@ -1,0 +1,33 @@
+// Machine description: the physical computing units HSLB allocates.
+//
+// §III-C: "nodes were used to represent the physical computing unit in our
+// algorithm. On Intrepid, there are 4 cores per node and CESM is run with
+// 1 MPI task and 4 threads per task on each node."
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hslb::sim {
+
+struct Machine {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t cores_per_node = 1;
+
+  std::size_t total_cores() const { return nodes * cores_per_node; }
+
+  /// Intrepid: IBM Blue Gene/P at the Argonne Leadership Computing
+  /// Facility — 40,960 quad-core nodes (163,840 cores). The paper's runs
+  /// use up to 32,768 nodes (131,072 cores) of it.
+  static Machine intrepid();
+
+  /// A partition of Intrepid with the given node count (BG/P partitions are
+  /// powers of two times 512, but we accept any size for experiments).
+  static Machine intrepid_partition(std::size_t nodes);
+
+  /// Small machine for unit tests and the quickstart example.
+  static Machine workstation(std::size_t nodes = 16);
+};
+
+}  // namespace hslb::sim

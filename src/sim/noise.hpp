@@ -1,0 +1,31 @@
+// Measurement-noise models for the simulated Gather step.
+//
+// Real benchmark timings are noisy; §IV-A singles out the sea-ice (CICE)
+// component, whose decomposition-dependent block sizes "increased the noise
+// in the sea ice performance curve fit". We model multiplicative lognormal
+// noise with unit mean and a per-task coefficient of variation, so noisy
+// timings stay positive and unbiased.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace hslb::sim {
+
+class NoiseModel {
+ public:
+  /// cv = coefficient of variation of the multiplicative factor (0 = exact).
+  explicit NoiseModel(double cv, std::uint64_t seed = 2024);
+
+  /// Applies one noise draw to a true duration (> 0 stays > 0).
+  double perturb(double true_seconds);
+
+  double cv() const { return cv_; }
+
+ private:
+  double cv_;
+  Rng rng_;
+};
+
+}  // namespace hslb::sim

@@ -1,0 +1,77 @@
+// Task graphs executed on node sets: the execution model of the Execute
+// step.
+//
+// A task occupies a contiguous range of machine nodes for `duration`
+// seconds and may depend on other tasks. Execution is event-driven list
+// scheduling: a task starts as soon as (a) all dependencies completed and
+// (b) all of its nodes are free. This captures both CESM's
+// sequential/concurrent component layouts (Figure 1) and FMO's
+// fragment-on-group waves.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hslb::sim {
+
+/// Contiguous range of node indices [first, first + count).
+struct NodeSet {
+  std::size_t first = 0;
+  std::size_t count = 0;
+
+  std::size_t end() const { return first + count; }
+  bool overlaps(const NodeSet& other) const;
+};
+
+struct Task {
+  std::string name;
+  double duration = 0.0;
+  NodeSet nodes;
+  std::vector<std::size_t> deps;  ///< indices of prerequisite tasks
+};
+
+struct ScheduledTask {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct Schedule {
+  std::vector<ScheduledTask> tasks;
+  double makespan = 0.0;
+
+  /// Busy seconds per node over the machine (indexible by node id).
+  std::vector<double> node_busy;
+
+  /// sum(node_busy) / (nodes * makespan); nodes defaults to node_busy size.
+  double efficiency() const;
+
+  /// max(node_busy)/mean(node_busy) - 1 over nodes that were ever used.
+  double imbalance() const;
+};
+
+class TaskGraph {
+ public:
+  /// Total nodes available; tasks must fit inside [0, nodes).
+  explicit TaskGraph(std::size_t nodes);
+
+  /// Adds a task; deps must reference earlier tasks. Returns the task id.
+  std::size_t add_task(std::string name, double duration, NodeSet nodes,
+                       std::vector<std::size_t> deps = {});
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const Task& task(std::size_t id) const;
+  std::size_t nodes() const { return num_nodes_; }
+
+  /// Deterministic event-driven schedule of all tasks.
+  Schedule run() const;
+
+  /// ASCII Gantt chart of a schedule (one row per task), for the examples.
+  std::string gantt(const Schedule& s, std::size_t width = 60) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace hslb::sim

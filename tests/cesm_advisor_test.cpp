@@ -1,0 +1,100 @@
+#include "cesm/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+std::array<perf::Model, 4> truth(Resolution r) {
+  std::array<perf::Model, 4> m;
+  for (Component c : kComponents) m[index(c)] = ground_truth(r, c);
+  return m;
+}
+
+TEST(Advisor, SweepCoversRequestedRange) {
+  AdvisorOptions opt;
+  opt.min_nodes = 128;
+  opt.max_nodes = 2048;
+  opt.sweep_points = 5;
+  const auto advice = advise_node_count(Resolution::Deg1, Layout::Hybrid,
+                                        truth(Resolution::Deg1), true, opt);
+  ASSERT_GE(advice.sweep.size(), 2u);
+  EXPECT_EQ(advice.sweep.front().nodes, 128);
+  EXPECT_EQ(advice.sweep.back().nodes, 2048);
+  EXPECT_DOUBLE_EQ(advice.sweep.front().efficiency, 1.0);
+}
+
+TEST(Advisor, PredictedTimesDecreaseWithNodes) {
+  AdvisorOptions opt;
+  opt.min_nodes = 128;
+  opt.max_nodes = 2048;
+  opt.sweep_points = 5;
+  const auto advice = advise_node_count(Resolution::Deg1, Layout::Hybrid,
+                                        truth(Resolution::Deg1), true, opt);
+  for (std::size_t i = 1; i < advice.sweep.size(); ++i) {
+    EXPECT_LE(advice.sweep[i].predicted_seconds,
+              advice.sweep[i - 1].predicted_seconds * 1.0001);
+  }
+  EXPECT_EQ(advice.fastest_nodes, advice.sweep.back().nodes);
+}
+
+TEST(Advisor, EfficiencyFloorBindsRecommendation) {
+  AdvisorOptions strict;
+  strict.min_nodes = 128;
+  strict.max_nodes = 8192;
+  strict.sweep_points = 7;
+  strict.efficiency_floor = 0.95;
+  AdvisorOptions loose = strict;
+  loose.efficiency_floor = 0.3;
+  const auto models = truth(Resolution::Deg1);
+  const auto a = advise_node_count(Resolution::Deg1, Layout::Hybrid, models,
+                                   true, strict);
+  const auto b = advise_node_count(Resolution::Deg1, Layout::Hybrid, models,
+                                   true, loose);
+  EXPECT_LE(a.cost_efficient_nodes, b.cost_efficient_nodes);
+  // Every point at or below the strict recommendation satisfies the floor.
+  for (const auto& pt : a.sweep) {
+    if (pt.nodes == a.cost_efficient_nodes) {
+      EXPECT_GE(pt.efficiency, strict.efficiency_floor);
+    }
+  }
+}
+
+TEST(Advisor, ValidatesOptions) {
+  AdvisorOptions opt;
+  opt.min_nodes = 4;  // too small
+  EXPECT_THROW(advise_node_count(Resolution::Deg1, Layout::Hybrid,
+                                 truth(Resolution::Deg1), true, opt),
+               ContractViolation);
+}
+
+TEST(ComponentSwap, FasterOceanImprovesOceanBoundConfig) {
+  // At 1/8 degree, the constrained-ocean configuration is ocean-bound;
+  // replacing the ocean with a 2x faster model must improve the optimum.
+  const auto models = truth(Resolution::EighthDeg);
+  const auto base = make_problem(Resolution::EighthDeg, Layout::Hybrid, 8192,
+                                 models);
+  const auto before = solve_layout(base);
+
+  perf::Model faster = models[index(Component::Ocn)];
+  faster.a *= 0.5;
+  faster.d *= 0.5;
+  const auto after = predict_component_swap(base, Component::Ocn, faster);
+  EXPECT_LT(after.predicted_total, before.predicted_total);
+}
+
+TEST(ComponentSwap, RejectsNonConvexReplacement) {
+  const auto models = truth(Resolution::Deg1);
+  const auto base = make_problem(Resolution::Deg1, Layout::Hybrid, 128, models);
+  perf::Model bad;
+  bad.a = 10.0;
+  bad.b = 1.0;
+  bad.c = 0.5;  // concave term
+  EXPECT_THROW(predict_component_swap(base, Component::Atm, bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hslb::cesm

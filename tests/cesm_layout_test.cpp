@@ -1,0 +1,195 @@
+#include "cesm/layouts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace hslb::cesm {
+namespace {
+
+std::array<perf::Model, 4> simple_models() {
+  // lnd, ice, atm, ocn — pure Amdahl curves with different scales.
+  return {perf::Model{1500.0, 0.0, 1.0, 2.0}, perf::Model{8400.0, 0.0, 1.0, 12.0},
+          perf::Model{27500.0, 0.0, 1.0, 44.0}, perf::Model{7650.0, 0.0, 1.0, 46.0}};
+}
+
+TEST(LayoutTotal, FormulasMatchTableI) {
+  const std::array<double, 4> s{10.0, 20.0, 100.0, 90.0};  // lnd ice atm ocn
+  EXPECT_DOUBLE_EQ(layout_total(Layout::Hybrid, s), 120.0);
+  EXPECT_DOUBLE_EQ(layout_total(Layout::SequentialAtmGroup, s), 130.0);
+  EXPECT_DOUBLE_EQ(layout_total(Layout::FullySequential, s), 220.0);
+}
+
+TEST(LayoutTotal, OceanBoundCase) {
+  const std::array<double, 4> s{10.0, 20.0, 100.0, 500.0};
+  EXPECT_DOUBLE_EQ(layout_total(Layout::Hybrid, s), 500.0);
+  EXPECT_DOUBLE_EQ(layout_total(Layout::SequentialAtmGroup, s), 500.0);
+}
+
+TEST(MakeProblem, Deg1UsesPublishedSets) {
+  const auto p = make_problem(Resolution::Deg1, Layout::Hybrid, 2048,
+                              simple_models());
+  EXPECT_FALSE(p.choices[index(Component::Ocn)].allowed.empty());
+  EXPECT_FALSE(p.choices[index(Component::Atm)].allowed.empty());
+  EXPECT_TRUE(p.choices[index(Component::Lnd)].allowed.empty());
+  // Sets are filtered to the partition size.
+  for (long long v : p.choices[index(Component::Atm)].allowed)
+    EXPECT_LE(v, 2048);
+}
+
+TEST(MakeProblem, UnconstrainedOceanIsRange) {
+  const auto p = make_problem(Resolution::EighthDeg, Layout::Hybrid, 8192,
+                              simple_models(), /*ocean_constrained=*/false);
+  EXPECT_TRUE(p.choices[index(Component::Ocn)].allowed.empty());
+  EXPECT_EQ(p.choices[index(Component::Ocn)].lo, 2);
+}
+
+TEST(SolveLayout, RespectsAllConstraintsHybrid) {
+  auto p = make_problem(Resolution::Deg1, Layout::Hybrid, 128, simple_models());
+  const auto sol = solve_layout(p);
+  ASSERT_EQ(sol.stats.status, minlp::BnbStatus::Optimal);
+  const auto lnd = sol.nodes[index(Component::Lnd)];
+  const auto ice = sol.nodes[index(Component::Ice)];
+  const auto atm = sol.nodes[index(Component::Atm)];
+  const auto ocn = sol.nodes[index(Component::Ocn)];
+  EXPECT_LE(atm + ocn, 128);
+  EXPECT_LE(ice + lnd, atm);
+  const auto& allowed = ocean_allowed_nodes(Resolution::Deg1);
+  EXPECT_NE(std::find(allowed.begin(), allowed.end(), ocn), allowed.end());
+  // Objective equals the layout formula applied to the predictions.
+  EXPECT_NEAR(sol.predicted_total,
+              layout_total(Layout::Hybrid, sol.predicted_seconds),
+              1e-4 * sol.predicted_total);
+}
+
+TEST(SolveLayout, SequentialLayoutBudget) {
+  auto p = make_problem(Resolution::Deg1, Layout::SequentialAtmGroup, 128,
+                        simple_models());
+  const auto sol = solve_layout(p);
+  ASSERT_EQ(sol.stats.status, minlp::BnbStatus::Optimal);
+  for (Component c : {Component::Lnd, Component::Ice, Component::Atm}) {
+    EXPECT_LE(sol.nodes[index(c)] + sol.nodes[index(Component::Ocn)], 128);
+  }
+  EXPECT_NEAR(sol.predicted_total,
+              layout_total(Layout::SequentialAtmGroup, sol.predicted_seconds),
+              1e-4 * sol.predicted_total);
+}
+
+TEST(SolveLayout, FullySequentialUsesWholeMachinePerComponent) {
+  auto p = make_problem(Resolution::Deg1, Layout::FullySequential, 128,
+                        simple_models());
+  const auto sol = solve_layout(p);
+  ASSERT_EQ(sol.stats.status, minlp::BnbStatus::Optimal);
+  // With sequential execution each component can (and here should) use many
+  // nodes; total is the sum formula.
+  EXPECT_NEAR(sol.predicted_total,
+              layout_total(Layout::FullySequential, sol.predicted_seconds),
+              1e-4 * sol.predicted_total);
+}
+
+TEST(SolveLayout, LayoutOrderingMatchesFigure4) {
+  // Figure 4: layouts 1 and 2 perform similarly, layout 3 is worst.
+  const auto models = simple_models();
+  std::array<double, 3> totals{};
+  for (int l = 1; l <= 3; ++l) {
+    auto p = make_problem(Resolution::Deg1, static_cast<Layout>(l), 512, models);
+    totals[static_cast<std::size_t>(l - 1)] = solve_layout(p).predicted_total;
+  }
+  EXPECT_LE(totals[0], totals[1] * 1.001);  // hybrid <= seq-group
+  EXPECT_LT(totals[1], totals[2]);          // seq-group < fully sequential
+}
+
+TEST(SolveLayout, MoreNodesNeverWorse) {
+  const auto models = simple_models();
+  double prev = 1e300;
+  for (long long n : {128, 256, 512, 1024, 2048}) {
+    auto p = make_problem(Resolution::Deg1, Layout::Hybrid, n, models);
+    const auto sol = solve_layout(p);
+    EXPECT_LE(sol.predicted_total, prev * 1.0001) << "N=" << n;
+    prev = sol.predicted_total;
+  }
+}
+
+TEST(SolveLayout, TsyncTightensLndIceGap) {
+  auto p = make_problem(Resolution::Deg1, Layout::Hybrid, 512, simple_models());
+  // Solve free, then with a tight tolerance on the surrogate gap.
+  const auto free_sol = solve_layout(p);
+  p.tsync = 1.0;
+  const auto sync_sol = solve_layout(p);
+  ASSERT_EQ(sync_sol.stats.status, minlp::BnbStatus::Optimal);
+  // §III-A: extra constraints can only make the optimum worse or equal.
+  EXPECT_GE(sync_sol.predicted_total, free_sol.predicted_total - 1e-6);
+}
+
+TEST(SolveLayout, OceanSetBindsSolution) {
+  // With a severely restricted ocean set, the solution must pick from it
+  // even when a neighbouring count would be better.
+  auto p = make_problem(Resolution::EighthDeg, Layout::Hybrid, 8192,
+                        std::array<perf::Model, 4>{
+                            perf::Model{59000.0, 0.0, 1.0, 22.0},
+                            perf::Model{1.7e6, 0.0, 1.0, 156.0},
+                            perf::Model{1.34e7, 0.0, 1.0, 271.0},
+                            perf::Model{8.1e6, 0.0, 1.0, 395.0}});
+  const auto sol = solve_layout(p);
+  const auto ocn = sol.nodes[index(Component::Ocn)];
+  const auto& allowed = ocean_allowed_nodes(Resolution::EighthDeg);
+  EXPECT_NE(std::find(allowed.begin(), allowed.end(), ocn), allowed.end());
+  // 19460 exceeds what atm+ocn budget allows here, so it must be <= 6124.
+  EXPECT_LE(ocn, 6124);
+}
+
+TEST(BuildLayoutMinlp, ConvexModelsRequired) {
+  auto models = simple_models();
+  models[0].b = 1.0;
+  models[0].c = 0.5;  // non-convex
+  LayoutProblem p;
+  p.layout = Layout::Hybrid;
+  p.total_nodes = 128;
+  p.models = models;
+  for (auto& ch : p.choices) {
+    ch.lo = 1;
+    ch.hi = 128;
+  }
+  EXPECT_THROW(build_layout_minlp(p), ContractViolation);
+}
+
+TEST(BuildLayoutMinlp, ExposesNodeVariables) {
+  auto p = make_problem(Resolution::Deg1, Layout::Hybrid, 128, simple_models());
+  std::array<std::size_t, 4> vars{};
+  const auto m = build_layout_minlp(p, &vars);
+  // Node variables must carry the component names.
+  EXPECT_EQ(m.var_name(vars[index(Component::Lnd)]), "n_lnd");
+  EXPECT_EQ(m.var_name(vars[index(Component::Ocn)]), "n_ocn");
+}
+
+class LayoutRandomModels : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutRandomModels, SolutionsAlwaysFeasible) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9341 + 3);
+  std::array<perf::Model, 4> models;
+  for (auto& m : models) {
+    m.a = rng.uniform(100.0, 50000.0);
+    m.b = 0.0;
+    m.c = 1.0;
+    m.d = rng.uniform(0.1, 50.0);
+  }
+  const long long n = 1LL << rng.uniform_int(7, 12);
+  const auto layout = static_cast<Layout>(rng.uniform_int(1, 3));
+  auto p = make_problem(Resolution::Deg1, layout, n, models);
+  const auto sol = solve_layout(p);
+  ASSERT_EQ(sol.stats.status, minlp::BnbStatus::Optimal);
+  EXPECT_NEAR(sol.predicted_total, layout_total(layout, sol.predicted_seconds),
+              1e-3 * sol.predicted_total);
+  for (Component c : kComponents) {
+    EXPECT_GE(sol.nodes[index(c)], 1);
+    EXPECT_LE(sol.nodes[index(c)], n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LayoutRandomModels, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace hslb::cesm

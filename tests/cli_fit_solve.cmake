@@ -1,0 +1,50 @@
+# CTest script: end-to-end `hslb fit` -> `hslb solve` through CSV files.
+# Invoked as: cmake -DTOOL=<path-to-hslb> -DWORK=<scratch-dir> -P cli_fit_solve.cmake
+if(NOT DEFINED TOOL OR NOT DEFINED WORK)
+  message(FATAL_ERROR "TOOL and WORK must be defined")
+endif()
+
+file(MAKE_DIRECTORY ${WORK})
+set(BENCH ${WORK}/bench.csv)
+set(MODELS ${WORK}/models.csv)
+
+file(WRITE ${BENCH}
+"task,nodes,seconds
+solver,1,1203.2
+solver,4,302.5
+solver,16,78.1
+solver,64,22.3
+analysis,1,151.0
+analysis,4,38.9
+analysis,16,10.5
+analysis,64,3.4
+")
+
+execute_process(COMMAND ${TOOL} fit --bench ${BENCH} --out ${MODELS}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fit failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "solver")
+  message(FATAL_ERROR "fit output missing task row: ${out}")
+endif()
+if(NOT EXISTS ${MODELS})
+  message(FATAL_ERROR "fit did not write ${MODELS}")
+endif()
+
+execute_process(COMMAND ${TOOL} solve --models ${MODELS} --nodes 64
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "solve failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "min-max objective over 2 tasks")
+  message(FATAL_ERROR "solve output unexpected: ${out}")
+endif()
+
+# The heavy solver must receive the lion's share of the 64 nodes.
+string(REGEX MATCH "solver +([0-9]+) nodes" m "${out}")
+if(NOT CMAKE_MATCH_1 GREATER 40)
+  message(FATAL_ERROR "solver allocation looks wrong: ${out}")
+endif()
+
+message(STATUS "cli fit->solve round trip ok")

@@ -1,0 +1,65 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace hslb::cli {
+namespace {
+
+Args make(std::vector<const char*> argv, std::set<std::string> flags,
+          std::set<std::string> keys) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data(), std::move(flags),
+              std::move(keys));
+}
+
+TEST(Cli, FlagsAndKeys) {
+  const auto args = make({"--verbose", "--nodes", "128"}, {"verbose"}, {"nodes"});
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_EQ(args.get("nodes", 0LL), 128);
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto args = make({"--nodes=2048"}, {}, {"nodes"});
+  EXPECT_EQ(args.get("nodes", 0LL), 2048);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = make({}, {"verbose"}, {"nodes", "ratio", "name"});
+  EXPECT_FALSE(args.flag("verbose"));
+  EXPECT_EQ(args.get("nodes", 7LL), 7);
+  EXPECT_DOUBLE_EQ(args.get("ratio", 0.5), 0.5);
+  EXPECT_EQ(args.get("name", "x"), "x");
+  EXPECT_FALSE(args.value("nodes").has_value());
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = make({"first", "--k", "v", "second"}, {}, {"k"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(Cli, UnknownKeyRejected) {
+  EXPECT_THROW(make({"--oops", "1"}, {}, {"nodes"}), ContractViolation);
+  EXPECT_THROW(make({"--oops=1"}, {}, {"nodes"}), ContractViolation);
+}
+
+TEST(Cli, MissingValueRejected) {
+  EXPECT_THROW(make({"--nodes"}, {}, {"nodes"}), ContractViolation);
+}
+
+TEST(Cli, QueryingUnknownNameIsAnError) {
+  const auto args = make({}, {"v"}, {"k"});
+  EXPECT_THROW(args.flag("nope"), ContractViolation);
+  EXPECT_THROW(args.value("nope"), ContractViolation);
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = make({"--tsync", "2.5"}, {}, {"tsync"});
+  EXPECT_DOUBLE_EQ(args.get("tsync", 0.0), 2.5);
+}
+
+}  // namespace
+}  // namespace hslb::cli

@@ -1,0 +1,82 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace hslb::csv {
+namespace {
+
+TEST(Csv, RoundTripSimple) {
+  Document doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"1", "2"}, {"3", "4"}};
+  const auto parsed = parse(write(doc));
+  EXPECT_EQ(parsed.header, doc.header);
+  EXPECT_EQ(parsed.rows, doc.rows);
+}
+
+TEST(Csv, QuotedCommaAndNewline) {
+  Document doc;
+  doc.header = {"name", "value"};
+  doc.rows = {{"a,b", "line1\nline2"}, {"quote\"inside", "plain"}};
+  const auto parsed = parse(write(doc));
+  EXPECT_EQ(parsed.rows, doc.rows);
+}
+
+TEST(Csv, ParsesCrlf) {
+  const auto doc = parse("x,y\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, MissingTrailingNewlineOk) {
+  const auto doc = parse("x,y\n1,2");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, EmptyTrailingFieldPreserved) {
+  const auto doc = parse("x,y\n1,\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "");
+}
+
+TEST(Csv, RaggedRowRejected) {
+  EXPECT_THROW(parse("x,y\n1\n"), ContractViolation);
+}
+
+TEST(Csv, UnterminatedQuoteRejected) {
+  EXPECT_THROW(parse("x\n\"abc\n"), ContractViolation);
+}
+
+TEST(Csv, ColumnLookup) {
+  const auto doc = parse("task,nodes,seconds\natm,10,1.5\n");
+  EXPECT_EQ(doc.column("nodes"), 1u);
+  EXPECT_THROW(doc.column("missing"), ContractViolation);
+}
+
+TEST(Csv, HeaderOnlyDocument) {
+  const auto doc = parse("a,b\n");
+  EXPECT_TRUE(doc.rows.empty());
+  EXPECT_EQ(doc.header.size(), 2u);
+}
+
+TEST(Csv, FileRoundTrip) {
+  Document doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"alpha", "1"}};
+  const std::string path = ::testing::TempDir() + "/hslb_csv_test.csv";
+  write_file(path, doc);
+  const auto loaded = read_file(path);
+  EXPECT_EQ(loaded.rows, doc.rows);
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/definitely_missing.csv"),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hslb::csv

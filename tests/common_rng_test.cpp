@@ -1,0 +1,130 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace hslb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 10.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 10.25);
+  }
+}
+
+TEST(Rng, UniformMeanApproachesHalf) {
+  Rng rng(5);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.uniform();
+  EXPECT_NEAR(stats::mean(xs), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 9);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(8);
+  EXPECT_THROW(rng.uniform_int(5, 4), ContractViolation);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(9);
+  std::vector<double> xs(40000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(stats::mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stats::stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(10);
+  std::vector<double> xs(40000);
+  for (auto& x : xs) x = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(stats::mean(xs), 5.0, 0.05);
+  EXPECT_NEAR(stats::stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalUnitMeanHasUnitMean) {
+  Rng rng(11);
+  std::vector<double> xs(60000);
+  for (auto& x : xs) x = rng.lognormal_unit_mean(0.1);
+  EXPECT_NEAR(stats::mean(xs), 1.0, 0.005);
+  EXPECT_NEAR(stats::stddev(xs), 0.1, 0.01);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, LognormalZeroCvIsIdentity) {
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.lognormal_unit_mean(0.0), 1.0);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(13);
+  for (std::size_t n : {0u, 1u, 2u, 17u, 100u}) {
+    const auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::set<std::size_t> s(p.begin(), p.end());
+    EXPECT_EQ(s.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(*s.begin(), 0u);
+      EXPECT_EQ(*s.rbegin(), n - 1);
+    }
+  }
+}
+
+TEST(Rng, SpawnStreamsAreIndependent) {
+  Rng parent(14);
+  Rng child1 = parent.spawn();
+  Rng child2 = parent.spawn();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child1.next() == child2.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace hslb

@@ -1,0 +1,117 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace hslb::stats {
+namespace {
+
+TEST(Stats, MeanOfConstants) {
+  std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  std::vector<double> xs;
+  EXPECT_THROW(mean(xs), ContractViolation);
+}
+
+TEST(Stats, VarianceKnownValue) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceNeedsTwo) {
+  std::vector<double> xs{1.0};
+  EXPECT_THROW(variance(xs), ContractViolation);
+}
+
+TEST(Stats, SumKahanHandlesMixedScales) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(1e10);
+    xs.push_back(1e-3);
+  }
+  // naive summation would lose the small terms entirely
+  EXPECT_NEAR(sum(xs) - 1e13, 1.0, 1e-6);
+}
+
+TEST(Stats, MedianOddEven) {
+  std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileDoesNotModifyInput) {
+  std::vector<double> xs{3.0, 1.0, 2.0};
+  (void)percentile(xs, 50.0);
+  EXPECT_EQ(xs[0], 3.0);
+  EXPECT_EQ(xs[1], 1.0);
+}
+
+TEST(Stats, RSquaredPerfectFit) {
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictorIsZero) {
+  std::vector<double> y{1.0, 2.0, 3.0};
+  std::vector<double> p{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, p), 0.0);
+}
+
+TEST(Stats, RSquaredConstantObservations) {
+  std::vector<double> y{2.0, 2.0};
+  std::vector<double> exact{2.0, 2.0};
+  std::vector<double> off{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, exact), 1.0);
+  EXPECT_DOUBLE_EQ(r_squared(y, off), 0.0);
+}
+
+TEST(Stats, SseAndRmse) {
+  std::vector<double> y{1.0, 2.0};
+  std::vector<double> p{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(sse(y, p), 5.0);
+  EXPECT_NEAR(rmse(y, p), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, ImbalancePerfectBalance) {
+  std::vector<double> xs{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalance(xs), 0.0);
+}
+
+TEST(Stats, ImbalanceKnownValue) {
+  std::vector<double> xs{1.0, 3.0};  // mean 2, max 3
+  EXPECT_DOUBLE_EQ(imbalance(xs), 0.5);
+}
+
+TEST(Stats, EfficiencyFullyBusy) {
+  std::vector<double> xs{10.0, 10.0};
+  EXPECT_DOUBLE_EQ(efficiency(xs, 10.0), 1.0);
+}
+
+TEST(Stats, EfficiencyHalfIdle) {
+  std::vector<double> xs{10.0, 0.0};
+  EXPECT_DOUBLE_EQ(efficiency(xs, 10.0), 0.5);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+}  // namespace
+}  // namespace hslb::stats

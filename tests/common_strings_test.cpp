@@ -1,0 +1,62 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace hslb::strings {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello\t\n"), "hello");
+  EXPECT_EQ(trim("nowhitespace"), "nowhitespace");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ToDoubleParses) {
+  EXPECT_DOUBLE_EQ(to_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(to_double("  -1e3 "), -1000.0);
+}
+
+TEST(Strings, ToDoubleRejectsJunk) {
+  EXPECT_THROW(to_double("abc"), ContractViolation);
+  EXPECT_THROW(to_double("1.5x"), ContractViolation);
+  EXPECT_THROW(to_double(""), ContractViolation);
+}
+
+TEST(Strings, ToIntParses) {
+  EXPECT_EQ(to_int("42"), 42);
+  EXPECT_EQ(to_int(" -7 "), -7);
+}
+
+TEST(Strings, ToIntRejectsFloats) {
+  EXPECT_THROW(to_int("1.5"), ContractViolation);
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(format("%.2f", 1.239), "1.24");
+}
+
+}  // namespace
+}  // namespace hslb::strings

@@ -1,0 +1,88 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace hslb {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"component", "nodes", "time"});
+  t.add_row({"atm", "104", "306.952"});
+  t.add_row({"ocn", "24", "362.669"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("component"), std::string::npos);
+  EXPECT_NE(s.find("306.952"), std::string::npos);
+  EXPECT_NE(s.find("ocn"), std::string::npos);
+}
+
+TEST(Table, TitleAppearsFirst) {
+  Table t({"a"});
+  t.set_title("Table III");
+  t.add_row({"x"});
+  const std::string s = t.str();
+  EXPECT_EQ(s.rfind("Table III", 0), 0u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"x", "longheader"});
+  t.add_row({"longvalue", "y"});
+  const std::string s = t.str();
+  // Every rendered line has equal length.
+  std::size_t expected = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto nl = s.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const std::size_t len = nl - pos;
+    if (expected == std::string::npos) expected = len;
+    EXPECT_EQ(len, expected);
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, ArityMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+TEST(Table, RuleRendersAsSeparator) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.str();
+  // 5 horizontal rules: top, under header, mid rule, bottom, plus the rule we
+  // added => count '+' corners at line starts.
+  int plus_lines = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    if (s[pos] == '+') ++plus_lines;
+    const auto nl = s.find('\n', pos);
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(plus_lines, 4);
+}
+
+TEST(Table, RowsCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_rule();
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace hslb

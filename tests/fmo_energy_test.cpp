@@ -1,0 +1,94 @@
+#include "fmo/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "fmo/driver.hpp"
+#include "fmo/molecule.hpp"
+#include "fmo/schedulers.hpp"
+
+namespace hslb::fmo {
+namespace {
+
+TEST(Energy, MonomerScalesWithSize) {
+  Fragment one{0, "w", 3, 25, {}};
+  Fragment three{1, "w3", 9, 75, {}};
+  EXPECT_NEAR(monomer_energy(one), -76.0, 0.1);
+  EXPECT_NEAR(monomer_energy(three), -228.0, 0.1);
+}
+
+TEST(Energy, MonomerDeterministicPerFragment) {
+  Fragment a{5, "a", 3, 25, {}};
+  Fragment b{5, "b", 3, 25, {}};  // same id => same energy
+  EXPECT_DOUBLE_EQ(monomer_energy(a), monomer_energy(b));
+  Fragment c{6, "c", 3, 25, {}};
+  EXPECT_NE(monomer_energy(a), monomer_energy(c));
+}
+
+TEST(Energy, DimerCorrectionsAttractiveAndDecaying) {
+  Fragment a{0, "a", 3, 25, {}};
+  Fragment b{1, "b", 3, 25, {}};
+  const double near = scf_dimer_correction(a, b, 2.8);
+  const double far = scf_dimer_correction(a, b, 4.4);
+  EXPECT_LT(near, 0.0);
+  EXPECT_LT(far, 0.0);
+  EXPECT_LT(near, far);  // closer pair binds more strongly
+  EXPECT_LT(std::fabs(es_dimer_correction(a, b, 8.0)),
+            std::fabs(scf_dimer_correction(a, b, 4.4)));
+}
+
+TEST(Energy, Fmo2BreakdownSums) {
+  const auto sys = water_cluster({.fragments = 27, .merge_fraction = 0.3,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 12});
+  const auto e = fmo2_energy(sys);
+  EXPECT_LT(e.monomer, 0.0);
+  EXPECT_LT(e.scf_dimer, 0.0);
+  EXPECT_LT(e.es_dimer, 0.0);
+  EXPECT_DOUBLE_EQ(e.total(), e.monomer + e.scf_dimer + e.es_dimer);
+  // Monomer part dominates (chemistry sanity: corrections are small).
+  EXPECT_LT(std::fabs(e.scf_dimer + e.es_dimer), 0.05 * std::fabs(e.monomer));
+}
+
+TEST(Energy, ScheduleIndependence) {
+  // The headline invariant: DLB and HSLB executions report the same FMO2
+  // energy as the pure reference, regardless of noise or allocation.
+  const auto sys = water_cluster({.fragments = 20, .merge_fraction = 0.5,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 13});
+  CostModel cost;
+  const auto reference = fmo2_energy(sys);
+
+  RunOptions run;
+  run.noise_cv = 0.05;  // noisy timings must not affect the energy
+  const auto dlb = run_dlb(sys, cost, GroupLayout::uniform(80, 10), run);
+
+  PipelineOptions opt;
+  const auto pipeline = run_pipeline(sys, cost, 160, opt);
+
+  const double scale = std::fabs(reference.total());
+  EXPECT_NEAR(dlb.energy.total(), reference.total(), 1e-9 * scale);
+  EXPECT_NEAR(pipeline.hslb.energy.total(), reference.total(), 1e-9 * scale);
+  EXPECT_NEAR(dlb.energy.total(), pipeline.hslb.energy.total(), 1e-9 * scale);
+  // Component-wise too.
+  EXPECT_NEAR(dlb.energy.scf_dimer, reference.scf_dimer, 1e-9);
+  EXPECT_NEAR(pipeline.hslb.energy.monomer, reference.monomer, 1e-9);
+}
+
+TEST(Energy, PolypeptideEnergyFinite) {
+  const auto sys = polypeptide({.residues = 24, .scf_cutoff_angstrom = 6.0,
+                                .seed = 14});
+  const auto e = fmo2_energy(sys);
+  EXPECT_TRUE(std::isfinite(e.total()));
+  EXPECT_LT(e.total(), 0.0);
+}
+
+TEST(Energy, RejectsDegenerateInput) {
+  Fragment bad{0, "x", 0, 0, {}};
+  EXPECT_THROW(monomer_energy(bad), ContractViolation);
+  Fragment ok{0, "x", 3, 25, {}};
+  EXPECT_THROW(scf_dimer_correction(ok, ok, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hslb::fmo

@@ -1,0 +1,133 @@
+#include "fmo/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "fmo/molecule.hpp"
+#include "minlp/bnb.hpp"
+
+namespace hslb::fmo {
+namespace {
+
+TEST(FmoPipeline, AllStepsProduceOutput) {
+  const auto sys = water_cluster({.fragments = 12, .merge_fraction = 0.4,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 40});
+  CostModel cost;
+  const auto res = run_pipeline(sys, cost, 96);
+
+  // Gather: every fragment probed.
+  EXPECT_EQ(res.bench.tasks.size(), 12u);
+  // Fit: good quality on a smooth simulated substrate.
+  EXPECT_EQ(res.fits.size(), 12u);
+  EXPECT_GT(res.min_r2, 0.95);
+  EXPECT_GT(res.mean_r2, 0.99);
+  // Solve: every fragment got >= 1 node within budget.
+  EXPECT_EQ(res.allocation.tasks.size(), 12u);
+  EXPECT_LE(res.allocation.total_nodes(), 96);
+  for (const auto& t : res.allocation.tasks) EXPECT_GE(t.nodes, 1);
+  // Execute: both runs happened.
+  EXPECT_GT(res.hslb.total_seconds, 0.0);
+  EXPECT_GT(res.dlb.total_seconds, 0.0);
+  EXPECT_GT(res.predicted_scc_seconds, 0.0);
+}
+
+TEST(FmoPipeline, PredictionCloseToActual) {
+  // FMO-5: static predictions land within a few percent of the executed
+  // SCC loop on the (smooth) simulated substrate.
+  const auto sys = water_cluster({.fragments = 16, .merge_fraction = 0.4,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 41});
+  CostModel cost;
+  PipelineOptions opt;
+  opt.run.noise_cv = 0.01;
+  opt.bench_noise_cv = 0.01;
+  const auto res = run_pipeline(sys, cost, 128, opt);
+  const double rel = std::fabs(res.predicted_scc_seconds - res.hslb.scc_seconds) /
+                     res.hslb.scc_seconds;
+  EXPECT_LT(rel, 0.10);
+}
+
+TEST(FmoPipeline, LargerFragmentsGetMoreNodes) {
+  const auto sys = water_cluster({.fragments = 20, .merge_fraction = 0.5,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 42});
+  CostModel cost;
+  const auto res = run_pipeline(sys, cost, 200);
+  // Compare average allocation of the largest vs smallest size class.
+  double large_nodes = 0.0, small_nodes = 0.0;
+  int large_count = 0, small_count = 0;
+  for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+    const auto n = res.allocation.find(sys.fragments[f].name).nodes;
+    if (sys.fragments[f].basis_functions >= 75) {
+      large_nodes += static_cast<double>(n);
+      ++large_count;
+    } else if (sys.fragments[f].basis_functions == 25) {
+      small_nodes += static_cast<double>(n);
+      ++small_count;
+    }
+  }
+  if (large_count > 0 && small_count > 0) {
+    EXPECT_GT(large_nodes / large_count, small_nodes / small_count);
+  }
+}
+
+TEST(FmoPipeline, DeterministicPerSeed) {
+  const auto sys = water_cluster({.fragments = 8, .merge_fraction = 0.4,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 43});
+  CostModel cost;
+  const auto a = run_pipeline(sys, cost, 64);
+  const auto b = run_pipeline(sys, cost, 64);
+  EXPECT_EQ(a.hslb.total_seconds, b.hslb.total_seconds);
+  EXPECT_EQ(a.dlb.total_seconds, b.dlb.total_seconds);
+  for (std::size_t i = 0; i < a.allocation.tasks.size(); ++i)
+    EXPECT_EQ(a.allocation.tasks[i].nodes, b.allocation.tasks[i].nodes);
+}
+
+TEST(FmoPipeline, RequiresEnoughNodes) {
+  const auto sys = water_cluster({.fragments = 16, .merge_fraction = 0.0,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 44});
+  CostModel cost;
+  EXPECT_THROW(run_pipeline(sys, cost, 8), ContractViolation);
+}
+
+TEST(FmoPipeline, GreedyMatchesBnbOnFittedModels) {
+  // FMO-6 on the real pipeline artifacts (not just synthetic models).
+  const auto sys = water_cluster({.fragments = 6, .merge_fraction = 0.5,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 45});
+  CostModel cost;
+  const auto res = run_pipeline(sys, cost, 24);
+  const auto tasks = make_budget_tasks(sys, res.fits, probe_ceiling(sys, 24));
+  const auto model = build_budget_minlp(tasks, 24, Objective::MinMax);
+  const auto bnb = minlp::solve(model);
+  ASSERT_EQ(bnb.status, minlp::BnbStatus::Optimal);
+  EXPECT_NEAR(bnb.objective, res.allocation.predicted_total,
+              1e-4 * (1.0 + bnb.objective));
+}
+
+TEST(FmoPipeline, DimerProbingImprovesOnFallback) {
+  // With probing disabled the dimer phase falls back to size-proxy ECT on
+  // the monomer groups; probing enables the dimer-wave re-partition, which
+  // must not be slower (and is typically much faster at scale).
+  const auto sys = water_cluster({.fragments = 24, .merge_fraction = 0.4,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 47});
+  CostModel cost;
+  PipelineOptions with, without;
+  without.dimer_probe_count = 0;
+  const auto a = run_pipeline(sys, cost, 24 * 32, with);
+  const auto b = run_pipeline(sys, cost, 24 * 32, without);
+  EXPECT_TRUE(b.dimer_predictions.models.empty());
+  EXPECT_EQ(a.dimer_predictions.models.size(), sys.scf_dimers.size());
+  EXPECT_GT(a.dimer_min_r2, 0.95);
+  EXPECT_LE(a.hslb.dimer_seconds, b.hslb.dimer_seconds * 1.1);
+}
+
+TEST(ProbeCeiling, ScalesWithBudget) {
+  const auto sys = water_cluster({.fragments = 16, .merge_fraction = 0.0,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 46});
+  EXPECT_GE(probe_ceiling(sys, 16), 1);
+  EXPECT_GT(probe_ceiling(sys, 1600), probe_ceiling(sys, 64));
+  EXPECT_LE(probe_ceiling(sys, 1600), 1600 - 15);
+}
+
+}  // namespace
+}  // namespace hslb::fmo

@@ -1,0 +1,145 @@
+#include "fmo/schedulers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "fmo/driver.hpp"
+#include "fmo/molecule.hpp"
+
+namespace hslb::fmo {
+namespace {
+
+System small_system(std::size_t fragments = 16) {
+  return water_cluster({.fragments = fragments, .merge_fraction = 0.4,
+                        .scf_cutoff_angstrom = 4.5, .seed = 21});
+}
+
+Allocation even_allocation(const System& sys, long long per_fragment) {
+  Allocation a;
+  for (const auto& f : sys.fragments) {
+    a.tasks.push_back({f.name, per_fragment, 0.0});
+  }
+  return a;
+}
+
+TEST(Dlb, PhaseStructureAccounting) {
+  const auto sys = small_system();
+  CostModel cost;
+  RunOptions opt;
+  opt.scc_iterations = 5;
+  opt.noise_cv = 0.0;
+  const auto res = run_dlb(sys, cost, GroupLayout::uniform(32, 8), opt);
+  EXPECT_EQ(res.scc_iterations, 5);
+  EXPECT_GT(res.scc_seconds, 0.0);
+  EXPECT_GT(res.dimer_seconds, 0.0);
+  EXPECT_NEAR(res.total_seconds, res.scc_seconds + res.dimer_seconds, 1e-12);
+  EXPECT_EQ(res.group_busy.size(), 8u);
+  EXPECT_EQ(res.group_nodes.size(), 8u);
+}
+
+TEST(Dlb, SyncOverheadAddsPerIteration) {
+  const auto sys = small_system();
+  CostModel cost;
+  RunOptions a, b;
+  a.scc_iterations = b.scc_iterations = 4;
+  a.noise_cv = b.noise_cv = 0.0;
+  a.sync_overhead = 0.0;
+  b.sync_overhead = 1.0;
+  const auto layout = GroupLayout::uniform(32, 8);
+  const auto ra = run_dlb(sys, cost, layout, a);
+  const auto rb = run_dlb(sys, cost, layout, b);
+  EXPECT_NEAR(rb.scc_seconds - ra.scc_seconds, 4.0, 1e-9);
+}
+
+TEST(Dlb, DeterministicPerSeed) {
+  const auto sys = small_system();
+  CostModel cost;
+  RunOptions opt;
+  const auto layout = GroupLayout::uniform(32, 4);
+  const auto a = run_dlb(sys, cost, layout, opt);
+  const auto b = run_dlb(sys, cost, layout, opt);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+}
+
+TEST(Dlb, MoreNodesNotSlowerNoiseFree) {
+  const auto sys = small_system();
+  CostModel cost;
+  RunOptions opt;
+  opt.noise_cv = 0.0;
+  const auto small = run_dlb(sys, cost, GroupLayout::uniform(16, 8), opt);
+  const auto large = run_dlb(sys, cost, GroupLayout::uniform(64, 8), opt);
+  EXPECT_LE(large.total_seconds, small.total_seconds * 1.001);
+}
+
+TEST(Hslb, WaveTimeIsSlowerstFragment) {
+  const auto sys = small_system(4);
+  CostModel cost;
+  RunOptions opt;
+  opt.scc_iterations = 1;
+  opt.noise_cv = 0.0;
+  opt.sync_overhead = 0.0;
+  const auto alloc = even_allocation(sys, 2);
+  const auto res = run_hslb(sys, cost, alloc, 8, opt);
+  double slowest = 0.0;
+  for (const auto& f : sys.fragments)
+    slowest = std::max(slowest, cost.monomer(f).eval(2.0));
+  EXPECT_NEAR(res.scc_seconds, slowest, 1e-9);
+}
+
+TEST(Hslb, GroupBusyTracksAllFragments) {
+  const auto sys = small_system(8);
+  CostModel cost;
+  RunOptions opt;
+  opt.noise_cv = 0.0;
+  const auto res = run_hslb(sys, cost, even_allocation(sys, 3), 24, opt);
+  EXPECT_EQ(res.group_busy.size(), 8u);
+  for (double b : res.group_busy) EXPECT_GT(b, 0.0);
+  for (long long n : res.group_nodes) EXPECT_EQ(n, 3);
+}
+
+TEST(Hslb, EfficiencyInUnitRange) {
+  const auto sys = small_system();
+  CostModel cost;
+  RunOptions opt;
+  const auto res = run_hslb(sys, cost, even_allocation(sys, 2), 32, opt);
+  const double eff = res.efficiency(32);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LE(eff, 1.0 + 1e-9);
+}
+
+TEST(Hslb, RequiresAllFragmentsAllocated) {
+  const auto sys = small_system(4);
+  CostModel cost;
+  Allocation partial;
+  partial.tasks.push_back({sys.fragments[0].name, 2, 0.0});
+  EXPECT_THROW(run_hslb(sys, cost, partial, 8, RunOptions{}), ContractViolation);
+}
+
+TEST(HslbVsDlb, HslbWinsOnDiverseFragments) {
+  // The headline qualitative claim (FMO-1): with few large tasks of
+  // diverse size and nodes >> fragments, HSLB beats equal-group DLB.
+  const auto sys = water_cluster({.fragments = 24, .merge_fraction = 0.5,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 30});
+  CostModel cost;
+  const long long nodes = 24 * 16;  // 16x more nodes than fragments
+  PipelineOptions opt;
+  opt.run.noise_cv = 0.01;
+  const auto res = run_pipeline(sys, cost, nodes, opt);
+  EXPECT_LT(res.hslb.scc_seconds, res.dlb.scc_seconds);
+  EXPECT_LT(res.hslb.total_seconds, res.dlb.total_seconds * 1.05);
+}
+
+TEST(HslbVsDlb, UniformFragmentsRoughlyTie) {
+  // With identical fragments, equal groups are already optimal; HSLB should
+  // not be meaningfully worse.
+  const auto sys = water_cluster({.fragments = 16, .merge_fraction = 0.0,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 31});
+  CostModel cost;
+  PipelineOptions opt;
+  opt.run.noise_cv = 0.005;
+  const auto res = run_pipeline(sys, cost, 16 * 8, opt);
+  EXPECT_LT(res.hslb.scc_seconds, res.dlb.scc_seconds * 1.1);
+}
+
+}  // namespace
+}  // namespace hslb::fmo

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+#include "fmo/cost.hpp"
+#include "fmo/gddi.hpp"
+#include "fmo/molecule.hpp"
+
+namespace hslb::fmo {
+namespace {
+
+TEST(WaterCluster, FragmentCountAndSizes) {
+  const auto sys = water_cluster({.fragments = 100, .merge_fraction = 0.5,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 3});
+  EXPECT_EQ(sys.num_fragments(), 100u);
+  for (const auto& f : sys.fragments) {
+    EXPECT_GE(f.basis_functions, 25);
+    EXPECT_LE(f.basis_functions, 75);
+    EXPECT_EQ(f.basis_functions % 25, 0);
+    EXPECT_EQ(f.atoms, 3 * f.basis_functions / 25);
+  }
+  EXPECT_GT(sys.size_diversity(), 1.0);  // merged fragments exist
+}
+
+TEST(WaterCluster, UniformWhenNoMerging) {
+  const auto sys = water_cluster({.fragments = 50, .merge_fraction = 0.0,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 4});
+  EXPECT_DOUBLE_EQ(sys.size_diversity(), 1.0);
+}
+
+TEST(WaterCluster, DimerListsPartitionPairs) {
+  const auto sys = water_cluster({.fragments = 64, .merge_fraction = 0.3,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 5});
+  const std::size_t pairs = 64 * 63 / 2;
+  EXPECT_EQ(sys.scf_dimers.size() + sys.es_dimers, pairs);
+  EXPECT_GT(sys.scf_dimers.size(), 0u);  // lattice neighbours are close
+  EXPECT_GT(sys.es_dimers, 0u);          // far corners are separated
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const auto& d : sys.scf_dimers) {
+    EXPECT_LT(d.i, d.j);
+    EXPECT_LE(d.separation, 4.5);
+    EXPECT_TRUE(seen.insert({d.i, d.j}).second) << "duplicate dimer";
+  }
+}
+
+TEST(WaterCluster, DeterministicPerSeed) {
+  const auto a = water_cluster({.fragments = 32, .merge_fraction = 0.3,
+                                .scf_cutoff_angstrom = 4.5, .seed = 9});
+  const auto b = water_cluster({.fragments = 32, .merge_fraction = 0.3,
+                                .scf_cutoff_angstrom = 4.5, .seed = 9});
+  ASSERT_EQ(a.num_fragments(), b.num_fragments());
+  for (std::size_t i = 0; i < a.num_fragments(); ++i)
+    EXPECT_EQ(a.fragments[i].basis_functions, b.fragments[i].basis_functions);
+  EXPECT_EQ(a.scf_dimers.size(), b.scf_dimers.size());
+}
+
+TEST(Polypeptide, ChainHasSequentialDimers) {
+  const auto sys = polypeptide({.residues = 40, .scf_cutoff_angstrom = 6.0,
+                                .seed = 6});
+  EXPECT_EQ(sys.num_fragments(), 40u);
+  // Every consecutive residue pair is within the cutoff.
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& d : sys.scf_dimers) pairs.insert({d.i, d.j});
+  for (std::size_t r = 0; r + 1 < 40; ++r)
+    EXPECT_TRUE(pairs.count({r, r + 1})) << "missing backbone dimer " << r;
+  EXPECT_GT(sys.size_diversity(), 1.5);  // residues vary widely
+}
+
+TEST(CostModel, MonomerScalesWithCube) {
+  CostModel cost;
+  Fragment small{0, "s", 3, 25, {}};
+  Fragment large{1, "l", 9, 75, {}};
+  const double t_small = cost.monomer(small).eval(1.0);
+  const double t_large = cost.monomer(large).eval(1.0);
+  EXPECT_NEAR(t_large / t_small, 27.0, 0.5);  // (75/25)^3
+}
+
+TEST(CostModel, ModelsAreConvexAndDecreasingInitially) {
+  CostModel cost;
+  Fragment f{0, "f", 6, 50, {}};
+  const auto m = cost.monomer(f);
+  EXPECT_TRUE(m.is_convex());
+  EXPECT_LT(m.eval(8.0), m.eval(1.0));
+}
+
+TEST(CostModel, DimerCheaperThanCombinedMonomerWork) {
+  CostModel cost;
+  Fragment a{0, "a", 3, 25, {}};
+  Fragment b{1, "b", 3, 25, {}};
+  Fragment combined{2, "c", 6, 50, {}};
+  EXPECT_LT(cost.dimer(a, b).eval(1.0), cost.monomer(combined).eval(1.0));
+}
+
+TEST(CostModel, EsDimersScaleWithPartition) {
+  CostModel cost;
+  const auto sys = water_cluster({.fragments = 27, .merge_fraction = 0.0,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 8});
+  const double t1 = cost.es_dimer_time(sys, 1);
+  const double t4 = cost.es_dimer_time(sys, 4);
+  EXPECT_NEAR(t1 / t4, 4.0, 1e-9);
+}
+
+TEST(CostModel, ValidatesOptions) {
+  CostModelOptions bad;
+  bad.comm_exponent = 0.5;  // would make the ground truth non-convex
+  EXPECT_THROW(CostModel{bad}, ContractViolation);
+}
+
+TEST(GroupLayout, UniformSplit) {
+  const auto g = GroupLayout::uniform(10, 3);
+  EXPECT_EQ(g.sizes, (std::vector<long long>{4, 3, 3}));
+  EXPECT_EQ(g.total_nodes(), 10);
+  EXPECT_EQ(g.num_groups(), 3u);
+}
+
+TEST(GroupLayout, MoreGroupsThanNodesRejected) {
+  EXPECT_THROW(GroupLayout::uniform(2, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hslb::fmo

@@ -1,0 +1,232 @@
+#include "hslb/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "minlp/bnb.hpp"
+
+namespace hslb {
+namespace {
+
+BudgetTask task(const std::string& name, double a, double d, long long max_nodes) {
+  return BudgetTask{name, perf::Model{a, 0.0, 1.0, d}, 1, max_nodes};
+}
+
+TEST(MinMax, TwoIdenticalTasksSplitEvenly) {
+  const std::vector<BudgetTask> tasks{task("a", 100, 0, 64), task("b", 100, 0, 64)};
+  const auto alloc = solve_min_max(tasks, 64);
+  EXPECT_EQ(alloc.tasks[0].nodes, 32);
+  EXPECT_EQ(alloc.tasks[1].nodes, 32);
+  EXPECT_NEAR(alloc.predicted_total, 100.0 / 32.0, 1e-12);
+}
+
+TEST(MinMax, ProportionalToWork) {
+  // Work 300 vs 100 with pure a/n scaling: optimal split ~3:1.
+  const std::vector<BudgetTask> tasks{task("big", 300, 0, 128),
+                                      task("small", 100, 0, 128)};
+  const auto alloc = solve_min_max(tasks, 100);
+  EXPECT_NEAR(static_cast<double>(alloc.tasks[0].nodes), 75.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(alloc.tasks[1].nodes), 25.0, 1.0);
+}
+
+TEST(MinMax, SerialFloorStopsAllocation) {
+  // One task is all serial: feeding it nodes is pointless, so the greedy
+  // stops once it dominates, leaving budget unused.
+  const std::vector<BudgetTask> tasks{task("serial", 0.0, 50.0, 1000),
+                                      task("scalable", 100.0, 0.0, 1000)};
+  const auto alloc = solve_min_max(tasks, 1000);
+  EXPECT_NEAR(alloc.predicted_total, 50.0, 1e-9);
+  // scalable got enough to drop below 50 s, then the greedy stopped.
+  EXPECT_LE(alloc.find("scalable").predicted_seconds, 50.0 + 1e-9);
+  EXPECT_LT(alloc.total_nodes(), 1000);
+}
+
+TEST(MinMax, RespectsMaxNodes) {
+  std::vector<BudgetTask> tasks{task("a", 1000, 0, 8), task("b", 10, 0, 64)};
+  const auto alloc = solve_min_max(tasks, 64);
+  EXPECT_LE(alloc.find("a").nodes, 8);
+}
+
+TEST(MinMax, RequiresFeasibleMinimums) {
+  std::vector<BudgetTask> tasks{task("a", 1, 0, 4), task("b", 1, 0, 4)};
+  EXPECT_THROW(solve_min_max(tasks, 1), ContractViolation);
+}
+
+TEST(MinSum, PrefersHighestMarginalGain) {
+  // min-sum pours nodes where the absolute gain is largest: the big task.
+  const std::vector<BudgetTask> tasks{task("big", 1000, 0, 100),
+                                      task("small", 10, 0, 100)};
+  const auto alloc = solve_min_sum(tasks, 20);
+  EXPECT_GT(alloc.find("big").nodes, alloc.find("small").nodes);
+}
+
+TEST(MinSum, StopsWhenNoGain) {
+  const std::vector<BudgetTask> tasks{task("serial", 0, 5, 100)};
+  const auto alloc = solve_min_sum(tasks, 100);
+  EXPECT_EQ(alloc.tasks[0].nodes, 1);  // extra nodes gain nothing
+}
+
+TEST(MaxMin, UsesExchangeToEqualize) {
+  const std::vector<BudgetTask> tasks{task("a", 100, 0, 64), task("b", 100, 0, 64)};
+  const auto alloc = solve_max_min(tasks, 64);
+  // Any split gives min(T_a, T_b) maximized at the even split.
+  EXPECT_EQ(alloc.tasks[0].nodes + alloc.tasks[1].nodes, 64);
+  EXPECT_NEAR(alloc.predicted_total, 100.0 / 32.0, 0.2);
+}
+
+TEST(Objectives, EvaluateObjectiveSemantics) {
+  const std::vector<BudgetTask> tasks{task("a", 100, 0, 64), task("b", 50, 0, 64)};
+  const std::vector<long long> nodes{10, 10};  // T = 10, 5
+  EXPECT_DOUBLE_EQ(evaluate_objective(tasks, nodes, Objective::MinMax), 10.0);
+  EXPECT_DOUBLE_EQ(evaluate_objective(tasks, nodes, Objective::MaxMin), 5.0);
+  EXPECT_DOUBLE_EQ(evaluate_objective(tasks, nodes, Objective::MinSum), 15.0);
+}
+
+TEST(Objectives, MinMaxBeatsMinSumOnMakespan) {
+  // §III-D: the min-sum objective is "obviously out of consideration";
+  // check it indeed yields a worse makespan on a diverse system.
+  const std::vector<BudgetTask> tasks{task("big", 500, 1.0, 256),
+                                      task("mid", 100, 0.5, 256),
+                                      task("small", 10, 0.1, 256)};
+  const auto mm = solve_min_max(tasks, 64);
+  const auto ms = solve_min_sum(tasks, 64);
+  std::vector<long long> ms_nodes;
+  for (const auto& t : ms.tasks) ms_nodes.push_back(t.nodes);
+  const double ms_makespan =
+      evaluate_objective(tasks, ms_nodes, Objective::MinMax);
+  EXPECT_LE(mm.predicted_total, ms_makespan + 1e-9);
+}
+
+TEST(SolveBudget, DispatchesOnObjective) {
+  const std::vector<BudgetTask> tasks{task("a", 100, 0, 64), task("b", 50, 0, 64)};
+  EXPECT_EQ(solve_budget(tasks, 32, Objective::MinMax).predicted_total,
+            solve_min_max(tasks, 32).predicted_total);
+  EXPECT_EQ(solve_budget(tasks, 32, Objective::MinSum).predicted_total,
+            solve_min_sum(tasks, 32).predicted_total);
+  EXPECT_EQ(solve_budget(tasks, 32, Objective::MaxMin).predicted_total,
+            solve_max_min(tasks, 32).predicted_total);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests.
+// ---------------------------------------------------------------------------
+
+std::vector<BudgetTask> random_tasks(Rng& rng, long long max_nodes) {
+  const int f = static_cast<int>(rng.uniform_int(2, 5));
+  std::vector<BudgetTask> tasks;
+  for (int i = 0; i < f; ++i) {
+    perf::Model m;
+    m.a = rng.uniform(10.0, 2000.0);
+    m.b = rng.uniform() < 0.5 ? 0.0 : rng.uniform(1e-6, 1e-3);
+    m.c = rng.uniform(1.0, 1.6);
+    m.d = rng.uniform(0.0, 5.0);
+    tasks.push_back(BudgetTask{"t" + std::to_string(i), m, 1, max_nodes});
+  }
+  return tasks;
+}
+
+class MinMaxExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinMaxExhaustive, GreedyMatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2711 + 5);
+  const long long budget = rng.uniform_int(4, 18);
+  auto tasks = random_tasks(rng, budget);
+  if (static_cast<long long>(tasks.size()) > budget) return;
+
+  // Brute force over all allocations summing to <= budget.
+  double best = 1e300;
+  std::vector<long long> nodes(tasks.size(), 1);
+  std::function<void(std::size_t, long long)> rec = [&](std::size_t i,
+                                                        long long left) {
+    if (i == tasks.size()) {
+      best = std::min(best, evaluate_objective(tasks, nodes, Objective::MinMax));
+      return;
+    }
+    const long long remaining_min =
+        static_cast<long long>(tasks.size() - i - 1);
+    for (long long n = 1; n <= left - remaining_min; ++n) {
+      nodes[i] = n;
+      rec(i + 1, left - n);
+    }
+  };
+  rec(0, budget);
+
+  const auto greedy = solve_min_max(tasks, budget);
+  EXPECT_NEAR(greedy.predicted_total, best, 1e-9 * (1.0 + best));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinMaxExhaustive, ::testing::Range(0, 40));
+
+class MaxMinExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinExhaustive, ExchangeHeuristicNearBruteForce) {
+  // max-min is a documented heuristic (local search); require it to land
+  // within a few percent of the exhaustive optimum on small instances.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 33391 + 2);
+  const long long budget = rng.uniform_int(4, 14);
+  auto tasks = random_tasks(rng, budget);
+  if (static_cast<long long>(tasks.size()) > budget) return;
+
+  // Brute force over allocations spending the budget exactly (the max-min
+  // convention; see solve_max_min's doc comment).
+  double best = -1e300;
+  std::vector<long long> nodes(tasks.size(), 1);
+  std::function<void(std::size_t, long long)> rec = [&](std::size_t i,
+                                                        long long left) {
+    if (i + 1 == tasks.size()) {
+      nodes[i] = left;
+      best = std::max(best, evaluate_objective(tasks, nodes, Objective::MaxMin));
+      return;
+    }
+    const long long remaining_min =
+        static_cast<long long>(tasks.size() - i - 1);
+    for (long long n = 1; n <= left - remaining_min; ++n) {
+      nodes[i] = n;
+      rec(i + 1, left - n);
+    }
+  };
+  rec(0, budget);
+
+  const auto heuristic = solve_max_min(tasks, budget);
+  EXPECT_GE(heuristic.predicted_total, 0.90 * best);
+  EXPECT_LE(heuristic.predicted_total, best + 1e-9);  // never exceeds optimum
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaxMinExhaustive, ::testing::Range(0, 30));
+
+class BudgetVsBnb : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetVsBnb, GreedyMatchesBranchAndBound) {
+  // FMO-6: the specialized polynomial solver agrees with the general
+  // MINLP branch-and-bound on the same model.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15013 + 1);
+  const long long budget = rng.uniform_int(6, 40);
+  auto tasks = random_tasks(rng, budget);
+  if (static_cast<long long>(tasks.size()) > budget) return;
+
+  for (Objective obj : {Objective::MinMax, Objective::MinSum}) {
+    const auto greedy = solve_budget(tasks, budget, obj);
+    const auto model = build_budget_minlp(tasks, budget, obj);
+    const auto bnb = minlp::solve(model);
+    ASSERT_EQ(bnb.status, minlp::BnbStatus::Optimal);
+    EXPECT_NEAR(bnb.objective, greedy.predicted_total,
+                1e-5 * (1.0 + greedy.predicted_total))
+        << to_string(obj);
+    const auto alloc = allocation_from_minlp(tasks, bnb.x, obj);
+    EXPECT_LE(alloc.total_nodes(), budget);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BudgetVsBnb, ::testing::Range(0, 25));
+
+TEST(BudgetMinlp, RejectsMaxMin) {
+  const std::vector<BudgetTask> tasks{task("a", 10, 0, 8), task("b", 10, 0, 8)};
+  EXPECT_THROW(build_budget_minlp(tasks, 8, Objective::MaxMin),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hslb

@@ -1,0 +1,105 @@
+#include "hslb/gather.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+#include "hslb/allocation.hpp"
+
+namespace hslb {
+namespace {
+
+TEST(GeometricNodeCounts, IncludesEndpoints) {
+  const auto counts = geometric_node_counts(2, 2048, 5);
+  EXPECT_EQ(counts.front(), 2);
+  EXPECT_EQ(counts.back(), 2048);
+  EXPECT_GE(counts.size(), 2u);
+  EXPECT_LE(counts.size(), 5u);
+}
+
+TEST(GeometricNodeCounts, SortedAndUnique) {
+  const auto counts = geometric_node_counts(1, 100000, 8);
+  for (std::size_t i = 1; i < counts.size(); ++i)
+    EXPECT_LT(counts[i - 1], counts[i]);
+}
+
+TEST(GeometricNodeCounts, GeometricSpacing) {
+  const auto counts = geometric_node_counts(1, 4096, 5);
+  // For a power-of-two span the intermediate points are powers too.
+  EXPECT_EQ(counts, (std::vector<long long>{1, 8, 64, 512, 4096}));
+}
+
+TEST(GeometricNodeCounts, DegenerateRange) {
+  const auto counts = geometric_node_counts(7, 7, 4);
+  EXPECT_EQ(counts, (std::vector<long long>{7}));
+}
+
+TEST(GeometricNodeCounts, ValidatesInput) {
+  EXPECT_THROW(geometric_node_counts(0, 10, 4), ContractViolation);
+  EXPECT_THROW(geometric_node_counts(10, 5, 4), ContractViolation);
+  EXPECT_THROW(geometric_node_counts(1, 10, 1), ContractViolation);
+}
+
+TEST(Gather, ProbesEveryTaskAtEveryCount) {
+  std::set<std::pair<std::string, long long>> probed;
+  const auto table = gather(
+      {"atm", "ocn"}, {4, 16, 64},
+      [&](const std::string& task, long long n, std::uint64_t) {
+        probed.insert({task, n});
+        return 1.0 + static_cast<double>(n);
+      });
+  EXPECT_EQ(probed.size(), 6u);
+  ASSERT_EQ(table.tasks.size(), 2u);
+  EXPECT_EQ(table.find("atm").samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(table.find("ocn").samples[1].seconds, 17.0);
+}
+
+TEST(Gather, RepetitionsProduceMultipleSamples) {
+  GatherOptions opt;
+  opt.repetitions = 3;
+  std::size_t calls = 0;
+  const auto table = gather(
+      {"x"}, {8},
+      [&](const std::string&, long long, std::uint64_t rep) {
+        ++calls;
+        return 1.0 + static_cast<double>(rep);
+      },
+      opt);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(table.find("x").samples.size(), 3u);
+}
+
+TEST(Gather, PerTaskPlans) {
+  const auto table = gather(
+      {{"ocn", {2, 4}}, {"atm", {1, 10, 100}}},
+      [](const std::string&, long long n, std::uint64_t) {
+        return static_cast<double>(n);
+      });
+  EXPECT_EQ(table.find("ocn").samples.size(), 2u);
+  EXPECT_EQ(table.find("atm").samples.size(), 3u);
+}
+
+TEST(Gather, RejectsNonPositiveTimings) {
+  EXPECT_THROW(
+      gather({"x"}, {4},
+             [](const std::string&, long long, std::uint64_t) { return 0.0; }),
+      ContractViolation);
+}
+
+TEST(Allocation, LookupAndTotals) {
+  Allocation a;
+  a.tasks = {{"atm", 104, 306.9}, {"ocn", 24, 362.7}};
+  a.predicted_total = 416.0;
+  EXPECT_EQ(a.find("atm").nodes, 104);
+  EXPECT_TRUE(a.contains("ocn"));
+  EXPECT_FALSE(a.contains("ice"));
+  EXPECT_THROW(a.find("ice"), ContractViolation);
+  EXPECT_EQ(a.total_nodes(), 128);
+  const auto s = a.str();
+  EXPECT_NE(s.find("atm"), std::string::npos);
+  EXPECT_NE(s.find("416.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hslb

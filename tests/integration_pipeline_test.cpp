@@ -1,0 +1,116 @@
+// Cross-module integration: the full HSLB workflow persisted through CSV
+// files between steps (the authors' timing-files -> AMPL-scripts workflow,
+// and exactly what the hslb CLI does), plus round-trip fuzzing of the CSV
+// layer those hand-offs depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "hslb/budget.hpp"
+#include "hslb/gather.hpp"
+#include "minlp/ampl.hpp"
+#include "minlp/bnb.hpp"
+#include "perf/fit.hpp"
+#include "perf/modelio.hpp"
+#include "sim/noise.hpp"
+
+namespace hslb {
+namespace {
+
+TEST(Integration, GatherFitSolveThroughCsvFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string bench_path = dir + "/hslb_it_bench.csv";
+  const std::string models_path = dir + "/hslb_it_models.csv";
+
+  // Step 1: Gather against a synthetic application, persist to CSV.
+  const perf::Model heavy{2400.0, 0.0, 1.0, 6.0};
+  const perf::Model light{300.0, 0.0, 1.0, 1.5};
+  sim::NoiseModel noise(0.02, 77);
+  const auto table = gather(
+      {"heavy", "light"}, geometric_node_counts(1, 128, 5),
+      [&](const std::string& task, long long n, std::uint64_t) {
+        const auto& m = task == "heavy" ? heavy : light;
+        return noise.perturb(m.eval(static_cast<double>(n)));
+      });
+  table.save(bench_path);
+
+  // Step 2: a fresh process would load the CSV and fit.
+  const auto loaded = perf::BenchTable::load(bench_path);
+  ASSERT_EQ(loaded.tasks.size(), 2u);
+  const auto fits = perf::fit_all(loaded);
+  std::vector<perf::NamedModel> named;
+  for (const auto& [task, fit] : fits) {
+    EXPECT_GT(fit.r2, 0.999) << task;
+    named.push_back({task, fit.model, 1, 128});
+  }
+  perf::save_models(models_path, named);
+
+  // Step 3: another process loads the models and solves.
+  const auto models = perf::load_models(models_path);
+  std::vector<BudgetTask> tasks;
+  for (const auto& m : models)
+    tasks.push_back({m.task, m.model, m.min_nodes, m.max_nodes});
+  const auto alloc = solve_min_max(tasks, 128);
+
+  // The heavy task gets roughly its work share (2400 : 300 => ~8 : 1).
+  const double ratio =
+      static_cast<double>(alloc.find("heavy").nodes) /
+      static_cast<double>(alloc.find("light").nodes);
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 16.0);
+  EXPECT_LE(alloc.total_nodes(), 128);
+
+  // Step 3b: the same models through the general MINLP agree with the
+  // greedy, and the instance exports as AMPL without losing constraints.
+  const auto minlp_model = build_budget_minlp(tasks, 128, Objective::MinMax);
+  const auto bnb = minlp::solve(minlp_model);
+  ASSERT_EQ(bnb.status, minlp::BnbStatus::Optimal);
+  EXPECT_NEAR(bnb.objective, alloc.predicted_total,
+              1e-5 * (1.0 + bnb.objective));
+  const auto ampl = minlp::to_ampl(minlp_model);
+  EXPECT_NE(ampl.find("subject to budget:"), std::string::npos);
+  EXPECT_NE(ampl.find("T_heavy"), std::string::npos);
+
+  // Step 4: Execute — noise-free oracle check of the allocation quality:
+  // within 5% of the continuous lower bound a/(n_h+n_l) split.
+  const double makespan =
+      std::max(heavy.eval(static_cast<double>(alloc.find("heavy").nodes)),
+               light.eval(static_cast<double>(alloc.find("light").nodes)));
+  EXPECT_LT(makespan, 1.25 * (2400.0 + 300.0) / 128.0 + 6.0 + 1.5);
+}
+
+class CsvFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzz, RandomDocumentsRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271 + 9);
+  csv::Document doc;
+  const int cols = static_cast<int>(rng.uniform_int(1, 6));
+  const auto random_cell = [&rng] {
+    std::string s;
+    const int len = static_cast<int>(rng.uniform_int(0, 12));
+    const std::string alphabet = "ab,\"\n\r xyz0189.-";
+    for (int i = 0; i < len; ++i)
+      s += alphabet[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<long long>(alphabet.size()) - 1))];
+    return s;
+  };
+  for (int c = 0; c < cols; ++c)
+    doc.header.push_back("h" + std::to_string(c) + random_cell());
+  const int rows = static_cast<int>(rng.uniform_int(0, 8));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < cols; ++c) row.push_back(random_cell());
+    doc.rows.push_back(std::move(row));
+  }
+  // Quoted writer output must parse back to the identical document.
+  const auto round = csv::parse(csv::write(doc));
+  EXPECT_EQ(round.header, doc.header);
+  EXPECT_EQ(round.rows, doc.rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CsvFuzz, ::testing::Range(0, 100));
+
+}  // namespace
+}  // namespace hslb

@@ -1,0 +1,133 @@
+#include "linalg/decomp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace hslb::linalg {
+namespace {
+
+Matrix random_matrix(Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+Matrix random_spd(Rng& rng, std::size_t n) {
+  const auto a = random_matrix(rng, n, n);
+  auto spd = a.gram();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 0.5;  // ensure PD
+  return spd;
+}
+
+TEST(Cholesky, SolvesKnownSystem) {
+  const auto a = Matrix::from_rows({{4.0, 2.0}, {2.0, 3.0}});
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const auto x = chol->solve(std::vector<double>{8.0, 7.0});
+  // A x = b with x = (1.25, 1.5): 4*1.25+2*1.5 = 8, 2*1.25+3*1.5 = 7
+  EXPECT_NEAR(x[0], 1.25, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const auto a = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});  // eig -1, 3
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, PropertyRandomSpdResidual) {
+  Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const auto a = random_spd(rng, n);
+    const auto chol = Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value());
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+    const auto x = chol->solve(b);
+    const auto ax = a.mul(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(QR, ExactSolveSquare) {
+  const auto a = Matrix::from_rows({{2.0, 1.0}, {1.0, 3.0}});
+  QR qr(a);
+  const auto x = qr.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(QR, LeastSquaresOverdetermined) {
+  // Fit y = p0 + p1*t through (0,1),(1,3),(2,5): exact line 1 + 2t.
+  const auto a = Matrix::from_rows({{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}});
+  const auto x = lstsq(a, std::vector<double>{1.0, 3.0, 5.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(QR, LeastSquaresResidualOrthogonal) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(3, 10));
+    const std::size_t cols = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(rows)));
+    const auto a = random_matrix(rng, rows, cols);
+    QR qr(a);
+    if (qr.min_abs_diag_r() < 1e-6) continue;  // skip near-singular draws
+    Vector b(rows);
+    for (auto& v : b) v = rng.uniform(-3.0, 3.0);
+    const auto x = qr.solve(b);
+    // Normal equations: A^T (A x - b) = 0.
+    auto r = a.mul(x);
+    for (std::size_t i = 0; i < rows; ++i) r[i] -= b[i];
+    const auto atr = a.mul_transpose(r);
+    for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-8);
+  }
+}
+
+TEST(QR, RankDeficientThrows) {
+  const auto a = Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}});
+  QR qr(a);
+  EXPECT_THROW(qr.solve(std::vector<double>{1.0, 2.0, 3.0}), ContractViolation);
+}
+
+TEST(LU, SolvesKnownSystem) {
+  const auto a = Matrix::from_rows({{0.0, 2.0}, {1.0, 1.0}});  // needs pivoting
+  const auto lu = LU::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const auto x = lu->solve(std::vector<double>{4.0, 3.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LU, DetectsSingular) {
+  const auto a = Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_FALSE(LU::factor(a).has_value());
+}
+
+TEST(LU, PropertyRandomSolveAndTranspose) {
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    auto a = random_matrix(rng, n, n);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
+    const auto lu = LU::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+
+    const auto x = lu->solve(b);
+    const auto ax = a.mul(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+
+    const auto xt = lu->solve_transpose(b);
+    const auto atxt = a.mul_transpose(xt);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(atxt[i], b[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace hslb::linalg

@@ -1,0 +1,79 @@
+#include "lp/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace hslb::lp {
+namespace {
+
+TEST(LpModel, AddVariableReturnsIndices) {
+  Model m;
+  EXPECT_EQ(m.add_variable(0.0, 1.0, 2.0), 0u);
+  EXPECT_EQ(m.add_variable(-kInf, kInf, 0.0), 1u);
+  EXPECT_EQ(m.num_cols(), 2u);
+}
+
+TEST(LpModel, InvertedBoundsRejected) {
+  Model m;
+  EXPECT_THROW(m.add_variable(1.0, 0.0, 0.0), ContractViolation);
+}
+
+TEST(LpModel, ConstraintMergesDuplicates) {
+  Model m;
+  const auto x = m.add_variable(0.0, 10.0, 1.0);
+  const auto r = m.add_constraint({{x, 1.0}, {x, 2.0}}, 0.0, 5.0);
+  ASSERT_EQ(m.row(r).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row(r)[0].second, 3.0);
+}
+
+TEST(LpModel, ConstraintRejectsUnknownColumn) {
+  Model m;
+  EXPECT_THROW(m.add_constraint({{5, 1.0}}, 0.0, 1.0), ContractViolation);
+}
+
+TEST(LpModel, RowActivity) {
+  Model m;
+  const auto x = m.add_variable(0.0, 10.0, 0.0);
+  const auto y = m.add_variable(0.0, 10.0, 0.0);
+  const auto r = m.add_constraint({{x, 2.0}, {y, -1.0}}, -kInf, 4.0);
+  const std::vector<double> point{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(m.row_activity(r, point), 5.0);
+}
+
+TEST(LpModel, FeasibilityCheck) {
+  Model m;
+  const auto x = m.add_variable(0.0, 2.0, 0.0);
+  m.add_constraint({{x, 1.0}}, 0.5, 1.5);
+  EXPECT_TRUE(m.is_feasible(std::vector<double>{1.0}));
+  EXPECT_FALSE(m.is_feasible(std::vector<double>{1.9}));   // row violated
+  EXPECT_FALSE(m.is_feasible(std::vector<double>{-0.5}));  // bound violated
+}
+
+TEST(LpModel, BoundMutation) {
+  Model m;
+  const auto x = m.add_variable(0.0, 5.0, 1.0);
+  m.set_col_lower(x, 2.0);
+  m.set_col_upper(x, 3.0);
+  EXPECT_DOUBLE_EQ(m.col_lower(x), 2.0);
+  EXPECT_DOUBLE_EQ(m.col_upper(x), 3.0);
+}
+
+TEST(LpModel, EqualityHelper) {
+  Model m;
+  const auto x = m.add_variable(0.0, 5.0, 1.0);
+  const auto r = m.add_equality({{x, 1.0}}, 2.5);
+  EXPECT_DOUBLE_EQ(m.row_lower(r), 2.5);
+  EXPECT_DOUBLE_EQ(m.row_upper(r), 2.5);
+}
+
+TEST(LpModel, NamesDefaulted) {
+  Model m;
+  const auto x = m.add_variable(0.0, 1.0, 0.0);
+  EXPECT_EQ(m.col_name(x), "x0");
+  const auto r = m.add_constraint({{x, 1.0}}, 0.0, 1.0);
+  EXPECT_EQ(m.row_name(r), "r0");
+}
+
+}  // namespace
+}  // namespace hslb::lp

@@ -1,0 +1,305 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hslb::lp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hand-constructed instances with known optima.
+// ---------------------------------------------------------------------------
+
+TEST(Simplex, BoxOnlyMinimization) {
+  Model m;
+  m.add_variable(1.0, 5.0, 2.0);    // min at lb
+  m.add_variable(-3.0, 4.0, -1.0);  // min at ub
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 4.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 2.0 - 4.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0
+  // (Dantzig's classic; optimum x=2, y=6, obj 36)
+  Model m;
+  const auto x = m.add_variable(0.0, kInf, -3.0);
+  const auto y = m.add_variable(0.0, kInf, -5.0);
+  m.add_constraint({{x, 1.0}}, -kInf, 4.0);
+  m.add_constraint({{y, 2.0}}, -kInf, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, -kInf, 18.0);
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[y], 6.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 10, 0 <= x <= 6, 0 <= y <= 8  => x=6, y=4.
+  Model m;
+  const auto x = m.add_variable(0.0, 6.0, 1.0);
+  const auto y = m.add_variable(0.0, 8.0, 2.0);
+  m.add_equality({{x, 1.0}, {y, 1.0}}, 10.0);
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  EXPECT_NEAR(sol.x[x], 6.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 4.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 14.0, 1e-9);
+}
+
+TEST(Simplex, RangeConstraintBothSidesActive) {
+  // min x s.t. 2 <= x + y <= 3, y <= 1, x,y >= 0 => x = 1 (y = 1).
+  Model m;
+  const auto x = m.add_variable(0.0, kInf, 1.0);
+  const auto y = m.add_variable(0.0, 1.0, 0.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, 2.0, 3.0);
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const auto x = m.add_variable(0.0, 1.0, 1.0);
+  m.add_constraint({{x, 1.0}}, 2.0, 3.0);  // x in [0,1] cannot reach 2
+  EXPECT_EQ(solve(m).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleConflictingRows) {
+  Model m;
+  const auto x = m.add_variable(-kInf, kInf, 0.0);
+  const auto y = m.add_variable(-kInf, kInf, 0.0);
+  m.add_equality({{x, 1.0}, {y, 1.0}}, 1.0);
+  m.add_equality({{x, 1.0}, {y, 1.0}}, 2.0);
+  EXPECT_EQ(solve(m).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const auto x = m.add_variable(0.0, kInf, -1.0);  // min -x, x unbounded above
+  const auto y = m.add_variable(0.0, 1.0, 0.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, 0.0, kInf);  // x >= y, harmless
+  EXPECT_EQ(solve(m).status, Status::Unbounded);
+}
+
+TEST(Simplex, FreeVariableSolves) {
+  // min |free| style: min x s.t. x >= -7 via row (x free as a column).
+  Model m;
+  const auto x = m.add_variable(-kInf, kInf, 1.0);
+  m.add_constraint({{x, 1.0}}, -7.0, kInf);
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  EXPECT_NEAR(sol.x[x], -7.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariable) {
+  Model m;
+  const auto x = m.add_variable(3.0, 3.0, 5.0);
+  const auto y = m.add_variable(0.0, 10.0, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, 5.0, kInf);
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  EXPECT_NEAR(sol.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple constraints meeting at the optimum (degenerate).
+  Model m;
+  const auto x = m.add_variable(0.0, kInf, -1.0);
+  const auto y = m.add_variable(0.0, kInf, -1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, -kInf, 2.0);
+  m.add_constraint({{x, 1.0}}, -kInf, 1.0);
+  m.add_constraint({{y, 1.0}}, -kInf, 1.0);
+  m.add_constraint({{x, 2.0}, {y, 2.0}}, -kInf, 4.0);  // redundant at optimum
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, EmptyModelNoRows) {
+  Model m;
+  m.add_variable(2.0, 4.0, 1.0);
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-12);
+}
+
+TEST(Simplex, DualsSatisfyStrongDuality) {
+  // For the classic instance, primal obj == dual obj (b^T y with care for
+  // ranges: here all rows are <= with finite uppers).
+  Model m;
+  const auto x = m.add_variable(0.0, kInf, -3.0);
+  const auto y = m.add_variable(0.0, kInf, -5.0);
+  m.add_constraint({{x, 1.0}}, -kInf, 4.0);
+  m.add_constraint({{y, 2.0}}, -kInf, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, -kInf, 18.0);
+  const auto sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  ASSERT_EQ(sol.duals.size(), 3u);
+  const double dual_obj =
+      4.0 * sol.duals[0] + 12.0 * sol.duals[1] + 18.0 * sol.duals[2];
+  EXPECT_NEAR(dual_obj, sol.objective, 1e-7);
+}
+
+TEST(Simplex, ComplementarySlacknessOnRandomLps) {
+  // For optimal LPs: a row with nonzero dual must be tight at a bound.
+  Rng rng(31337);
+  int checked = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Model m;
+    const int n = static_cast<int>(rng.uniform_int(2, 6));
+    for (int j = 0; j < n; ++j)
+      m.add_variable(0.0, rng.uniform(0.5, 3.0), rng.uniform(-1.0, 1.0));
+    const int rows = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Coeff> coeffs;
+      for (int j = 0; j < n; ++j)
+        coeffs.push_back({static_cast<std::size_t>(j), rng.uniform(-1.0, 1.0)});
+      m.add_constraint(std::move(coeffs), -kInf, rng.uniform(0.0, 2.0));
+    }
+    const auto sol = solve(m);
+    if (sol.status != Status::Optimal) continue;
+    for (std::size_t r = 0; r < m.num_rows(); ++r) {
+      if (std::fabs(sol.duals[r]) < 1e-7) continue;
+      const double act = m.row_activity(r, sol.x);
+      EXPECT_NEAR(act, m.row_upper(r), 1e-6)
+          << "dual " << sol.duals[r] << " on slack row " << r;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5);  // the property must actually have been exercised
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random 2-variable LPs vs. brute-force vertex enumeration.
+// ---------------------------------------------------------------------------
+
+struct Random2dLp {
+  Model model;
+  // raw data for the enumerator
+  std::vector<std::array<double, 2>> rows;  // coefficients
+  std::vector<double> ub;                   // a.x <= ub
+  std::array<double, 2> lo{}, hi{}, cost{};
+};
+
+Random2dLp make_random_lp(Rng& rng) {
+  Random2dLp lp;
+  lp.lo = {rng.uniform(-2.0, 0.0), rng.uniform(-2.0, 0.0)};
+  lp.hi = {lp.lo[0] + rng.uniform(0.5, 4.0), lp.lo[1] + rng.uniform(0.5, 4.0)};
+  lp.cost = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)};
+  const auto x = lp.model.add_variable(lp.lo[0], lp.hi[0], lp.cost[0]);
+  const auto y = lp.model.add_variable(lp.lo[1], lp.hi[1], lp.cost[1]);
+  const int nrows = static_cast<int>(rng.uniform_int(1, 4));
+  for (int r = 0; r < nrows; ++r) {
+    std::array<double, 2> a{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const double ub = rng.uniform(-0.5, 2.0);
+    lp.rows.push_back(a);
+    lp.ub.push_back(ub);
+    lp.model.add_constraint({{x, a[0]}, {y, a[1]}}, -kInf, ub);
+  }
+  return lp;
+}
+
+/// Brute force: enumerate all intersections of active-constraint pairs
+/// (rows and box edges), keep feasible ones, take the best objective.
+std::optional<double> brute_force_2d(const Random2dLp& lp) {
+  std::vector<std::array<double, 3>> lines;  // a0 x + a1 y = b
+  for (std::size_t r = 0; r < lp.rows.size(); ++r)
+    lines.push_back({lp.rows[r][0], lp.rows[r][1], lp.ub[r]});
+  lines.push_back({1.0, 0.0, lp.lo[0]});
+  lines.push_back({1.0, 0.0, lp.hi[0]});
+  lines.push_back({0.0, 1.0, lp.lo[1]});
+  lines.push_back({0.0, 1.0, lp.hi[1]});
+
+  auto feasible = [&](double px, double py) {
+    const double tol = 1e-7;
+    if (px < lp.lo[0] - tol || px > lp.hi[0] + tol) return false;
+    if (py < lp.lo[1] - tol || py > lp.hi[1] + tol) return false;
+    for (std::size_t r = 0; r < lp.rows.size(); ++r)
+      if (lp.rows[r][0] * px + lp.rows[r][1] * py > lp.ub[r] + tol) return false;
+    return true;
+  };
+
+  std::optional<double> best;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det = lines[i][0] * lines[j][1] - lines[i][1] * lines[j][0];
+      if (std::fabs(det) < 1e-10) continue;
+      const double px = (lines[i][2] * lines[j][1] - lines[i][1] * lines[j][2]) / det;
+      const double py = (lines[i][0] * lines[j][2] - lines[i][2] * lines[j][0]) / det;
+      if (!feasible(px, py)) continue;
+      const double obj = lp.cost[0] * px + lp.cost[1] * py;
+      if (!best || obj < *best) best = obj;
+    }
+  }
+  return best;
+}
+
+class SimplexRandom2d : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandom2d, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto lp = make_random_lp(rng);
+  const auto expected = brute_force_2d(lp);
+  const auto sol = solve(lp.model);
+  if (!expected) {
+    EXPECT_EQ(sol.status, Status::Infeasible);
+  } else {
+    ASSERT_EQ(sol.status, Status::Optimal)
+        << "brute force found optimum " << *expected;
+    EXPECT_NEAR(sol.objective, *expected, 1e-6);
+    EXPECT_TRUE(lp.model.is_feasible(sol.x, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexRandom2d, ::testing::Range(0, 200));
+
+// ---------------------------------------------------------------------------
+// Larger random LPs: verify feasibility + optimality conditions only.
+// ---------------------------------------------------------------------------
+
+class SimplexRandomWide : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomWide, SolutionFeasibleWhenOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  Model m;
+  const int n = static_cast<int>(rng.uniform_int(3, 12));
+  const int rows = static_cast<int>(rng.uniform_int(1, 8));
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.uniform(-1.0, 0.5);
+    m.add_variable(lo, lo + rng.uniform(0.1, 3.0), rng.uniform(-1.0, 1.0));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Coeff> coeffs;
+    for (int j = 0; j < n; ++j) {
+      if (rng.uniform() < 0.6) coeffs.push_back({static_cast<std::size_t>(j),
+                                                 rng.uniform(-1.0, 1.0)});
+    }
+    if (coeffs.empty()) coeffs.push_back({0, 1.0});
+    const double width = rng.uniform(0.0, 2.0);
+    const double mid = rng.uniform(-1.0, 1.0);
+    m.add_constraint(std::move(coeffs), mid - width, mid + width);
+  }
+  const auto sol = solve(m);
+  // Bounded box => never unbounded.
+  EXPECT_NE(sol.status, Status::Unbounded);
+  if (sol.status == Status::Optimal) {
+    EXPECT_TRUE(m.is_feasible(sol.x, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexRandomWide, ::testing::Range(0, 100));
+
+}  // namespace
+}  // namespace hslb::lp

@@ -1,0 +1,106 @@
+#include "minlp/ampl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hslb::minlp {
+namespace {
+
+Model small_model() {
+  Model m;
+  const auto n = m.add_integer(1.0, 64.0, "n_ocn");
+  const auto t = m.add_continuous(0.0, 500.0, "T");
+  const auto z = m.add_binary("z_pick");
+  m.set_objective(t, 1.0);
+  m.add_linear({{n, 1.0}, {z, 4.0}}, -lp::kInf, 64.0, "budget");
+  m.add_linear({{z, 1.0}}, 1.0, 1.0, "pick");
+  NonlinearConstraint c;
+  c.name = "T_ocn";
+  c.formula = "100/n_ocn - T <= 0";
+  c.vars = {n, t};
+  c.value = [n, t](std::span<const double> x) { return 100.0 / x[n] - x[t]; };
+  c.gradient = [n, t](std::span<const double> x) {
+    return std::vector<GradEntry>{{n, -100.0 / (x[n] * x[n])}, {t, -1.0}};
+  };
+  m.add_nonlinear(std::move(c));
+  return m;
+}
+
+TEST(Ampl, DeclaresAllVariables) {
+  const auto text = to_ampl(small_model());
+  EXPECT_NE(text.find("var n_ocn integer >= 1 <= 64;"), std::string::npos);
+  EXPECT_NE(text.find("var T >= 0 <= 500;"), std::string::npos);
+  EXPECT_NE(text.find("var z_pick binary;"), std::string::npos);
+}
+
+TEST(Ampl, EmitsObjectiveAndConstraints) {
+  const auto text = to_ampl(small_model());
+  EXPECT_NE(text.find("minimize wall_clock: T;"), std::string::npos);
+  EXPECT_NE(text.find("subject to budget: n_ocn + 4*z_pick <= 64;"),
+            std::string::npos);
+  EXPECT_NE(text.find("subject to pick: z_pick = 1;"), std::string::npos);
+  EXPECT_NE(text.find("subject to T_ocn: 100/n_ocn - T <= 0;"),
+            std::string::npos);
+}
+
+TEST(Ampl, HeaderAndObjectiveName) {
+  AmplOptions opt;
+  opt.header = "line one\nline two";
+  opt.objective_name = "makespan";
+  const auto text = to_ampl(small_model(), opt);
+  EXPECT_NE(text.find("# line one"), std::string::npos);
+  EXPECT_NE(text.find("# line two"), std::string::npos);
+  EXPECT_NE(text.find("minimize makespan:"), std::string::npos);
+}
+
+TEST(Ampl, MissingFormulaBecomesComment) {
+  Model m;
+  const auto x = m.add_continuous(0.0, 1.0, "x");
+  m.set_objective(x, 1.0);
+  NonlinearConstraint c;
+  c.name = "opaque";
+  c.vars = {x};
+  c.value = [x](std::span<const double> v) { return v[x] - 1.0; };
+  c.gradient = [x](std::span<const double>) {
+    return std::vector<GradEntry>{{x, 1.0}};
+  };
+  m.add_nonlinear(std::move(c));
+  const auto text = to_ampl(m);
+  EXPECT_NE(text.find("# nonlinear constraint 'opaque'"), std::string::npos);
+}
+
+TEST(Ampl, EmitsSosSuffixes) {
+  Model m;
+  const auto a = m.add_binary("z_a");
+  const auto b = m.add_binary("z_b");
+  m.set_objective(a, 1.0);
+  m.add_sos1(Sos1{"ocn_set", {a, b}, {2.0, 4.0}});
+  const auto text = to_ampl(m);
+  EXPECT_NE(text.find("suffix sosno integer;"), std::string::npos);
+  EXPECT_NE(text.find("let z_a.sosno := 1; let z_a.ref := 2;"),
+            std::string::npos);
+  EXPECT_NE(text.find("let z_b.sosno := 1; let z_b.ref := 4;"),
+            std::string::npos);
+}
+
+TEST(Ampl, RangeRow) {
+  Model m;
+  const auto x = m.add_continuous(0.0, 10.0, "x");
+  m.set_objective(x, 1.0);
+  m.add_linear({{x, 2.0}}, 1.0, 5.0, "range_row");
+  const auto text = to_ampl(m);
+  EXPECT_NE(text.find("subject to range_row: 1 <= 2*x <= 5;"),
+            std::string::npos);
+}
+
+TEST(Ampl, NegativeCoefficientFormatting) {
+  Model m;
+  const auto x = m.add_continuous(0.0, 10.0, "x");
+  const auto y = m.add_continuous(0.0, 10.0, "y");
+  m.set_objective(x, 1.0);
+  m.add_linear({{x, 1.0}, {y, -2.5}}, 0.0, lp::kInf, "r");
+  const auto text = to_ampl(m);
+  EXPECT_NE(text.find("subject to r: x - 2.5*y >= 0;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hslb::minlp

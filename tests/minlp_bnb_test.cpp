@@ -1,0 +1,314 @@
+#include "minlp/bnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "minlp/kelley.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+/// Convex separable quadratic (x - t)^2 <= s epigraph helper used to build
+/// random convex MINLPs with known structure.
+NonlinearConstraint quad_above(std::size_t x, std::size_t t, double center,
+                               double weight) {
+  // weight*(x-center)^2 - t <= 0
+  NonlinearConstraint c;
+  c.vars = {x, t};
+  c.value = [x, t, center, weight](std::span<const double> v) {
+    const double d = v[x] - center;
+    return weight * d * d - v[t];
+  };
+  c.gradient = [x, t, center, weight](std::span<const double> v) {
+    return std::vector<GradEntry>{{x, 2.0 * weight * (v[x] - center)},
+                                  {t, -1.0}};
+  };
+  return c;
+}
+
+TEST(Kelley, SolvesConvexQp) {
+  // min t s.t. (x-1.5)^2 <= t, 0 <= x <= 4, 0 <= t <= 100.
+  Model m;
+  const auto x = m.add_continuous(0.0, 4.0, "x");
+  const auto t = m.add_continuous(0.0, 100.0, "t");
+  m.set_objective(t, 1.0);
+  m.add_nonlinear(quad_above(x, t, 1.5, 1.0));
+  CutPool pool;
+  const auto res = solve_relaxation(m, pool);
+  ASSERT_EQ(res.status, KelleyResult::Status::Optimal);
+  EXPECT_NEAR(res.objective, 0.0, 1e-5);
+  EXPECT_NEAR(res.x[x], 1.5, 1e-2);
+}
+
+TEST(Kelley, BoundOverridesPinVariables) {
+  // min t s.t. (x-1.5)^2 <= t; overriding x's box to [3,3] must move the
+  // optimum to (3-1.5)^2 = 2.25 without touching the model.
+  Model m;
+  const auto x = m.add_continuous(0.0, 4.0, "x");
+  const auto t = m.add_continuous(0.0, 100.0, "t");
+  m.set_objective(t, 1.0);
+  m.add_nonlinear(quad_above(x, t, 1.5, 1.0));
+  CutPool pool;
+  BoundOverrides pin(m.num_vars());
+  pin.lower[x] = 3.0;
+  pin.upper[x] = 3.0;
+  const auto res = solve_relaxation(m, pool, pin);
+  ASSERT_EQ(res.status, KelleyResult::Status::Optimal);
+  EXPECT_NEAR(res.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(res.objective, 2.25, 1e-4);
+  // The model's own bounds are unchanged.
+  EXPECT_DOUBLE_EQ(m.lower(x), 0.0);
+}
+
+TEST(Kelley, CrossedOverrideBoundsAreInfeasible) {
+  Model m;
+  const auto x = m.add_continuous(0.0, 4.0, "x");
+  m.set_objective(x, 1.0);
+  CutPool pool;
+  BoundOverrides crossed(m.num_vars());
+  crossed.lower[x] = 3.0;
+  crossed.upper[x] = 2.0;  // empty box (as produced by deep branching)
+  const auto res = solve_relaxation(m, pool, crossed);
+  EXPECT_EQ(res.status, KelleyResult::Status::Infeasible);
+}
+
+TEST(Kelley, DetectsInfeasible) {
+  Model m;
+  const auto x = m.add_continuous(0.0, 1.0, "x");
+  m.set_objective(x, 1.0);
+  m.add_linear({{x, 1.0}}, 2.0, 3.0);  // impossible
+  CutPool pool;
+  EXPECT_EQ(solve_relaxation(m, pool).status, KelleyResult::Status::Infeasible);
+}
+
+TEST(Bnb, PureIntegerLinear) {
+  // min -x - y s.t. x + y <= 3.5, x,y in {0..3}: optimum -3 at e.g. (3, 0)
+  // ... wait, x+y <= 3.5 allows (3,0),(2,1)... all sum to 3 -> obj -3.
+  Model m;
+  const auto x = m.add_integer(0.0, 3.0, "x");
+  const auto y = m.add_integer(0.0, 3.0, "y");
+  m.set_objective(x, -1.0);
+  m.set_objective(y, -1.0);
+  m.add_linear({{x, 1.0}, {y, 1.0}}, -kInf, 3.5);
+  const auto res = solve(m);
+  ASSERT_EQ(res.status, BnbStatus::Optimal);
+  EXPECT_NEAR(res.objective, -3.0, 1e-6);
+  EXPECT_TRUE(m.is_feasible(res.x));
+}
+
+TEST(Bnb, IntegerPointOfConvexParabola) {
+  // min t s.t. (x-2.4)^2 <= t, x integer in [0,10] -> x=2, t=0.16.
+  Model m;
+  const auto x = m.add_integer(0.0, 10.0, "x");
+  const auto t = m.add_continuous(0.0, 1000.0, "t");
+  m.set_objective(t, 1.0);
+  m.add_nonlinear(quad_above(x, t, 2.4, 1.0));
+  const auto res = solve(m);
+  ASSERT_EQ(res.status, BnbStatus::Optimal);
+  EXPECT_NEAR(res.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(res.objective, 0.16, 1e-4);
+}
+
+TEST(Bnb, InfeasibleIntegerModel) {
+  Model m;
+  const auto x = m.add_integer(0.0, 10.0, "x");
+  m.set_objective(x, 1.0);
+  m.add_linear({{x, 2.0}}, 5.0, 5.0);  // x = 2.5 impossible for integer x
+  const auto res = solve(m);
+  EXPECT_EQ(res.status, BnbStatus::Infeasible);
+  EXPECT_FALSE(res.has_solution);
+}
+
+TEST(Bnb, RequiresFiniteBounds) {
+  Model m;
+  m.add_continuous(0.0, kInf, "x");
+  EXPECT_THROW(solve(m), ContractViolation);
+}
+
+TEST(Bnb, Sos1SelectsBestAllocation) {
+  // Mimics the paper's ocean-allocation structure: z_k pick one node count
+  // from O = {2, 4, 8, 16, 32}; minimize T >= f(n) with f convex decreasing;
+  // plus budget n <= 20. Best feasible pick: n = 16.
+  Model m;
+  const std::vector<double> counts{2.0, 4.0, 8.0, 16.0, 32.0};
+  std::vector<std::size_t> zs;
+  for (std::size_t k = 0; k < counts.size(); ++k)
+    zs.push_back(m.add_binary("z" + std::to_string(k)));
+  const auto n = m.add_continuous(2.0, 32.0, "n");
+  const auto t = m.add_continuous(0.0, 1000.0, "t");
+  m.set_objective(t, 1.0);
+  // sum z = 1; sum z_k O_k = n; n <= 20
+  {
+    std::vector<lp::Coeff> ones, weighted;
+    for (std::size_t k = 0; k < zs.size(); ++k) {
+      ones.push_back({zs[k], 1.0});
+      weighted.push_back({zs[k], counts[k]});
+    }
+    m.add_linear(ones, 1.0, 1.0);
+    weighted.push_back({n, -1.0});
+    m.add_linear(weighted, 0.0, 0.0);
+  }
+  m.add_linear({{n, 1.0}}, -kInf, 20.0);
+  // T >= 100/n  <=>  100/n - T <= 0 (convex in n > 0).
+  NonlinearConstraint c;
+  c.vars = {n, t};
+  c.value = [n, t](std::span<const double> v) { return 100.0 / v[n] - v[t]; };
+  c.gradient = [n, t](std::span<const double> v) {
+    return std::vector<GradEntry>{{n, -100.0 / (v[n] * v[n])}, {t, -1.0}};
+  };
+  m.add_nonlinear(std::move(c));
+  Sos1 sos{"ocn", zs, counts};
+  m.add_sos1(std::move(sos));
+
+  for (bool use_sos : {true, false}) {
+    BnbOptions opt;
+    opt.use_sos_branching = use_sos;
+    const auto res = solve(m, opt);
+    ASSERT_EQ(res.status, BnbStatus::Optimal) << "use_sos=" << use_sos;
+    EXPECT_NEAR(res.x[n], 16.0, 1e-5);
+    EXPECT_NEAR(res.objective, 100.0 / 16.0, 1e-4);
+    EXPECT_TRUE(m.is_feasible(res.x, 1e-5, 1e-5));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random convex MINLPs vs. exhaustive enumeration.
+// ---------------------------------------------------------------------------
+
+struct RandomMinlp {
+  Model model;
+  std::vector<std::size_t> int_vars;
+  std::vector<long long> lo, hi;
+  // ground truth evaluator: given integer assignment, returns optimal
+  // continuous completion objective or nullopt if infeasible.
+  std::function<std::optional<double>(const std::vector<long long>&)> value;
+};
+
+/// Builds: min sum_i t_i  s.t.  w_i (x_i - c_i)^2 <= t_i,  sum x_i <= budget,
+/// x_i integer in [0, hi_i]. The continuous completion is trivial:
+/// t_i = w_i (x_i - c_i)^2.
+RandomMinlp make_random_minlp(Rng& rng) {
+  RandomMinlp out;
+  const int k = static_cast<int>(rng.uniform_int(1, 3));
+  std::vector<double> centers, weights;
+  double budget = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const long long hi = rng.uniform_int(2, 6);
+    const double center = rng.uniform(0.0, static_cast<double>(hi));
+    const double weight = rng.uniform(0.5, 3.0);
+    const auto x = out.model.add_integer(0.0, static_cast<double>(hi));
+    const auto t = out.model.add_continuous(0.0, 1000.0);
+    out.model.set_objective(t, 1.0);
+    out.model.add_nonlinear(quad_above(x, t, center, weight));
+    out.int_vars.push_back(x);
+    out.lo.push_back(0);
+    out.hi.push_back(hi);
+    centers.push_back(center);
+    weights.push_back(weight);
+    budget += static_cast<double>(hi);
+  }
+  budget = std::floor(budget * rng.uniform(0.4, 1.0));
+  std::vector<lp::Coeff> coeffs;
+  for (auto v : out.int_vars) coeffs.push_back({v, 1.0});
+  out.model.add_linear(coeffs, -kInf, budget);
+
+  out.value = [centers, weights, budget](const std::vector<long long>& xs)
+      -> std::optional<double> {
+    double sum = 0.0, obj = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      sum += static_cast<double>(xs[i]);
+      const double d = static_cast<double>(xs[i]) - centers[i];
+      obj += weights[i] * d * d;
+    }
+    if (sum > budget + 1e-9) return std::nullopt;
+    return obj;
+  };
+  return out;
+}
+
+std::optional<double> enumerate_best(const RandomMinlp& p) {
+  std::optional<double> best;
+  std::vector<long long> assign(p.int_vars.size(), 0);
+  std::function<void(std::size_t)> rec = [&](std::size_t i) {
+    if (i == assign.size()) {
+      const auto v = p.value(assign);
+      if (v && (!best || *v < *best)) best = *v;
+      return;
+    }
+    for (long long x = p.lo[i]; x <= p.hi[i]; ++x) {
+      assign[i] = x;
+      rec(i + 1);
+    }
+  };
+  rec(0);
+  return best;
+}
+
+class BnbRandomConvex : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbRandomConvex, MatchesExhaustiveEnumeration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  const auto p = make_random_minlp(rng);
+  const auto expected = enumerate_best(p);
+  const auto res = solve(p.model);
+  ASSERT_TRUE(expected.has_value());  // x = 0 is always feasible (budget >= 0)
+  ASSERT_EQ(res.status, BnbStatus::Optimal);
+  EXPECT_NEAR(res.objective, *expected, 1e-4);
+  EXPECT_TRUE(p.model.is_feasible(res.x, 1e-5, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnbRandomConvex, ::testing::Range(0, 60));
+
+class BnbPseudoCost : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbPseudoCost, MatchesExhaustiveEnumeration) {
+  // The pseudocost branch rule must reach the same proven optimum as the
+  // default most-fractional rule.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7177 + 11);
+  const auto p = make_random_minlp(rng);
+  const auto expected = enumerate_best(p);
+  BnbOptions opt;
+  opt.branch_rule = BranchRule::PseudoCost;
+  const auto res = solve(p.model, opt);
+  ASSERT_TRUE(expected.has_value());
+  ASSERT_EQ(res.status, BnbStatus::Optimal);
+  EXPECT_NEAR(res.objective, *expected, 1e-4);
+  EXPECT_TRUE(p.model.is_feasible(res.x, 1e-5, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnbPseudoCost, ::testing::Range(0, 30));
+
+TEST(Bnb, ReportsStatistics) {
+  Model m;
+  const auto x = m.add_integer(0.0, 10.0, "x");
+  const auto t = m.add_continuous(0.0, 1000.0, "t");
+  m.set_objective(t, 1.0);
+  m.add_nonlinear(quad_above(x, t, 5.7, 2.0));
+  const auto res = solve(m);
+  ASSERT_EQ(res.status, BnbStatus::Optimal);
+  EXPECT_GE(res.nodes, 1u);
+  EXPECT_GE(res.lp_solves, 1u);
+  EXPECT_GT(res.cuts, 0u);
+  EXPECT_EQ(res.gap, 0.0);
+  EXPECT_GT(res.seconds, 0.0);
+}
+
+TEST(Bnb, NodeLimitReturnsIncumbentWithGap) {
+  // Make a slightly larger instance and force a 1-node limit.
+  Rng rng(777);
+  const auto p = make_random_minlp(rng);
+  BnbOptions opt;
+  opt.max_nodes = 1;
+  const auto res = solve(p.model, opt);
+  EXPECT_TRUE(res.status == BnbStatus::NodeLimit ||
+              res.status == BnbStatus::Optimal);
+}
+
+}  // namespace
+}  // namespace hslb::minlp

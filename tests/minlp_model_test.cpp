@@ -1,0 +1,147 @@
+#include "minlp/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "minlp/cuts.hpp"
+
+namespace hslb::minlp {
+namespace {
+
+/// x0^2 - x1 <= 0 as a NonlinearConstraint over variables {0, 1}.
+NonlinearConstraint parabola_con() {
+  NonlinearConstraint c;
+  c.name = "parabola";
+  c.vars = {0, 1};
+  c.value = [](std::span<const double> x) { return x[0] * x[0] - x[1]; };
+  c.gradient = [](std::span<const double> x) {
+    return std::vector<GradEntry>{{0, 2.0 * x[0]}, {1, -1.0}};
+  };
+  return c;
+}
+
+TEST(MinlpModel, VariableKinds) {
+  Model m;
+  const auto x = m.add_continuous(0.0, 1.0);
+  const auto i = m.add_integer(0.0, 5.0);
+  const auto b = m.add_binary();
+  EXPECT_FALSE(m.is_integer(x));
+  EXPECT_TRUE(m.is_integer(i));
+  EXPECT_TRUE(m.is_integer(b));
+  EXPECT_DOUBLE_EQ(m.upper(b), 1.0);
+  EXPECT_EQ(m.num_vars(), 3u);
+}
+
+TEST(MinlpModel, IntegerBoundsSnapped) {
+  Model m;
+  const auto i = m.add_integer(0.3, 4.7);
+  EXPECT_DOUBLE_EQ(m.lower(i), 1.0);
+  EXPECT_DOUBLE_EQ(m.upper(i), 4.0);
+}
+
+TEST(MinlpModel, ObjectiveValue) {
+  Model m;
+  const auto x = m.add_continuous(0.0, 10.0);
+  const auto y = m.add_continuous(0.0, 10.0);
+  m.set_objective(x, 2.0);
+  m.set_objective(y, -1.0);
+  EXPECT_DOUBLE_EQ(m.objective_value(std::vector<double>{3.0, 4.0}), 2.0);
+}
+
+TEST(MinlpModel, NonlinearViolation) {
+  Model m;
+  m.add_continuous(-5.0, 5.0);
+  m.add_continuous(-5.0, 5.0);
+  m.add_nonlinear(parabola_con());
+  EXPECT_DOUBLE_EQ(m.max_nonlinear_violation(std::vector<double>{2.0, 1.0}), 3.0);
+  EXPECT_DOUBLE_EQ(m.max_nonlinear_violation(std::vector<double>{1.0, 2.0}), 0.0);
+}
+
+TEST(MinlpModel, FeasibilityChecksEverything) {
+  Model m;
+  const auto x = m.add_integer(0.0, 5.0);
+  const auto y = m.add_continuous(0.0, 25.0);
+  m.add_nonlinear(parabola_con());
+  m.add_linear({{x, 1.0}, {y, 1.0}}, 0.0, 20.0);
+  EXPECT_TRUE(m.is_feasible(std::vector<double>{2.0, 4.0}));
+  EXPECT_FALSE(m.is_feasible(std::vector<double>{2.5, 7.0}));   // fractional
+  EXPECT_FALSE(m.is_feasible(std::vector<double>{3.0, 4.0}));   // nonlinear
+  EXPECT_FALSE(m.is_feasible(std::vector<double>{2.0, 19.0}));  // linear row
+}
+
+TEST(MinlpModel, Sos1Validation) {
+  Model m;
+  const auto a = m.add_binary();
+  const auto b = m.add_binary();
+  EXPECT_THROW(m.add_sos1(Sos1{"s", {a, b}, {2.0, 1.0}}), ContractViolation);
+  m.add_sos1(Sos1{"s", {a, b}, {1.0, 2.0}});
+  EXPECT_FALSE(m.is_feasible(std::vector<double>{1.0, 1.0}));
+  EXPECT_TRUE(m.is_feasible(std::vector<double>{0.0, 1.0}));
+}
+
+TEST(MinlpModel, NonlinearRequiresCallbacks) {
+  Model m;
+  m.add_continuous(0.0, 1.0);
+  NonlinearConstraint c;
+  c.vars = {0};
+  c.value = [](std::span<const double>) { return 0.0; };
+  EXPECT_THROW(m.add_nonlinear(std::move(c)), ContractViolation);
+}
+
+TEST(OaCut, CutsOffViolatedPoint) {
+  Model m;
+  m.add_continuous(-5.0, 5.0);
+  m.add_continuous(-5.0, 5.0);
+  m.add_nonlinear(parabola_con());
+  const std::vector<double> x{2.0, 1.0};  // f = 3 > 0
+  const auto cut = make_oa_cut(m, 0, x);
+  EXPECT_GT(cut.violation(x), 1e-9);  // the point itself is cut off
+  // A feasible point remains feasible for the cut (global validity).
+  const std::vector<double> ok{1.0, 3.0};
+  EXPECT_LE(cut.violation(ok), 1e-9);
+}
+
+TEST(OaCut, TangentAtFeasiblePointSupports) {
+  Model m;
+  m.add_continuous(-5.0, 5.0);
+  m.add_continuous(-5.0, 5.0);
+  m.add_nonlinear(parabola_con());
+  const std::vector<double> x{1.0, 1.0};  // on the boundary f = 0
+  const auto cut = make_oa_cut(m, 0, x);
+  EXPECT_NEAR(cut.violation(x), 0.0, 1e-12);
+  // Convexity: every feasible point satisfies the tangent cut.
+  for (double t = -2.0; t <= 2.0; t += 0.25) {
+    const std::vector<double> p{t, t * t + 0.5};
+    EXPECT_LE(cut.violation(p), 1e-9) << "at t=" << t;
+  }
+}
+
+TEST(CutPool, SuppressesDuplicates) {
+  Model m;
+  m.add_continuous(-5.0, 5.0);
+  m.add_continuous(-5.0, 5.0);
+  m.add_nonlinear(parabola_con());
+  CutPool pool;
+  const std::vector<double> x{2.0, 1.0};
+  EXPECT_TRUE(pool.add(make_oa_cut(m, 0, x)));
+  EXPECT_FALSE(pool.add(make_oa_cut(m, 0, x)));
+  EXPECT_EQ(pool.size(), 1u);
+  const std::vector<double> x2{2.5, 1.0};
+  EXPECT_TRUE(pool.add(make_oa_cut(m, 0, x2)));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(CutPool, AddViolatedOnlyAddsViolated) {
+  Model m;
+  m.add_continuous(-5.0, 5.0);
+  m.add_continuous(-5.0, 5.0);
+  m.add_nonlinear(parabola_con());
+  CutPool pool;
+  EXPECT_EQ(pool.add_violated(m, std::vector<double>{1.0, 2.0}, 1e-9), 0u);
+  EXPECT_EQ(pool.add_violated(m, std::vector<double>{2.0, 1.0}, 1e-9), 1u);
+}
+
+}  // namespace
+}  // namespace hslb::minlp

@@ -1,0 +1,147 @@
+#include "perf/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "perf/benchdata.hpp"
+
+namespace hslb::perf {
+namespace {
+
+SampleSet sample_model(const Model& truth, const std::vector<double>& nodes,
+                       double noise_cv = 0.0, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  SampleSet out;
+  for (double n : nodes)
+    out.push_back({n, truth.eval(n) * rng.lognormal_unit_mean(noise_cv)});
+  return out;
+}
+
+TEST(Fit, RecoversAmdahlModelExactly) {
+  const Model truth{1200.0, 0.0, 1.0, 4.0};
+  const auto samples = sample_model(truth, {1, 2, 4, 8, 16, 32, 64, 128});
+  const auto res = fit(samples);
+  EXPECT_GT(res.r2, 0.99999);
+  // Predictions must match even if (b,c) trade off against (a,d) slightly.
+  for (double n : {1.0, 3.0, 24.0, 96.0, 200.0}) {
+    EXPECT_NEAR(res.model.eval(n), truth.eval(n),
+                0.02 * truth.eval(n) + 1e-6)
+        << "at n=" << n;
+  }
+}
+
+TEST(Fit, RecoversFullModelParameters) {
+  const Model truth{5000.0, 0.05, 1.3, 10.0};
+  const auto samples =
+      sample_model(truth, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+  const auto res = fit(samples);
+  EXPECT_GT(res.r2, 0.9999);
+  for (double n : {1.0, 10.0, 100.0, 400.0}) {
+    EXPECT_NEAR(res.model.eval(n), truth.eval(n), 0.05 * truth.eval(n));
+  }
+}
+
+TEST(Fit, FittedModelIsConvexByDefault) {
+  const Model truth{900.0, 0.01, 1.8, 2.0};
+  const auto samples = sample_model(truth, {1, 4, 16, 64, 256}, 0.05, 7);
+  const auto res = fit(samples);
+  EXPECT_TRUE(res.model.is_convex());
+  EXPECT_GE(res.model.a, 0.0);
+  EXPECT_GE(res.model.b, 0.0);
+  EXPECT_GE(res.model.c, 1.0);
+  EXPECT_GE(res.model.d, 0.0);
+}
+
+TEST(Fit, NoisyDataStillGoodR2) {
+  // The paper: "R^2 was very close to 1 for each component" with ~5 runs.
+  const Model truth{3000.0, 0.0, 1.0, 20.0};
+  const auto samples =
+      sample_model(truth, {8, 16, 32, 64, 128}, 0.03, 99);
+  const auto res = fit(samples);
+  EXPECT_GT(res.r2, 0.99);
+}
+
+TEST(Fit, FourPointsSufficeForCesmLikeCurves) {
+  // §III-C: "for CESM, four points were enough".
+  const Model truth{8000.0, 0.0, 1.0, 15.0};
+  const auto samples = sample_model(truth, {16, 64, 256, 1024}, 0.02, 3);
+  const auto res = fit(samples);
+  EXPECT_GT(res.r2, 0.995);
+  EXPECT_NEAR(res.model.eval(512.0), truth.eval(512.0),
+              0.1 * truth.eval(512.0));
+}
+
+TEST(Fit, RejectsDegenerateInput) {
+  EXPECT_THROW(fit(SampleSet{}), ContractViolation);
+  EXPECT_THROW(fit(SampleSet{{4.0, 1.0}}), ContractViolation);
+  // Two samples at the same node count: cannot constrain scaling.
+  EXPECT_THROW(fit(SampleSet{{4.0, 1.0}, {4.0, 1.1}}), ContractViolation);
+  // Non-positive times are invalid measurements.
+  EXPECT_THROW(fit(SampleSet{{1.0, 0.0}, {2.0, 1.0}}), ContractViolation);
+}
+
+TEST(Fit, DeterministicForSeed) {
+  const Model truth{700.0, 0.0, 1.0, 3.0};
+  const auto samples = sample_model(truth, {1, 4, 16, 64}, 0.05, 11);
+  const auto r1 = fit(samples);
+  const auto r2 = fit(samples);
+  EXPECT_EQ(r1.model.a, r2.model.a);
+  EXPECT_EQ(r1.model.d, r2.model.d);
+  EXPECT_EQ(r1.sse, r2.sse);
+}
+
+TEST(Fit, MultistartReportsDiagnostics) {
+  const Model truth{700.0, 0.0, 1.0, 3.0};
+  const auto samples = sample_model(truth, {1, 4, 16, 64});
+  FitOptions opt;
+  opt.num_starts = 8;
+  const auto res = fit(samples, opt);
+  EXPECT_EQ(res.starts_tried, 8u);
+  EXPECT_GE(res.starts_converged, 1u);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Fit, UnconstrainedExponentOptionAllowsConcave) {
+  // With min_c < 1, fits may use sub-linear exponents (the paper discusses
+  // c constrained positive, not necessarily >= 1).
+  const Model truth{100.0, 2.0, 0.5, 0.0};  // concave communication growth
+  SampleSet samples;
+  for (double n : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})
+    samples.push_back({n, truth.eval(n)});
+  FitOptions opt;
+  opt.min_c = 0.1;
+  const auto res = fit(samples, opt);
+  EXPECT_GT(res.r2, 0.9999);
+  EXPECT_LT(res.model.c, 1.0);
+}
+
+TEST(FitAll, FitsEveryTask) {
+  BenchTable table;
+  table.tasks.push_back({"atm", sample_model({2000, 0, 1, 10}, {8, 32, 128, 512})});
+  table.tasks.push_back({"ocn", sample_model({4000, 0, 1, 30}, {8, 32, 128, 512})});
+  const auto fits = fit_all(table);
+  ASSERT_EQ(fits.size(), 2u);
+  EXPECT_EQ(fits[0].first, "atm");
+  EXPECT_GT(fits[0].second.r2, 0.999);
+  EXPECT_GT(fits[1].second.r2, 0.999);
+}
+
+TEST(BenchTable, CsvRoundTrip) {
+  BenchTable table;
+  table.tasks.push_back({"ice", {{16.0, 100.5}, {64.0, 30.25}}});
+  table.tasks.push_back({"lnd", {{16.0, 50.0}}});
+  const auto loaded = BenchTable::from_csv(table.to_csv());
+  ASSERT_EQ(loaded.tasks.size(), 2u);
+  EXPECT_EQ(loaded.tasks[0].task, "ice");
+  ASSERT_EQ(loaded.tasks[0].samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.tasks[0].samples[1].seconds, 30.25);
+  EXPECT_TRUE(loaded.contains("lnd"));
+  EXPECT_FALSE(loaded.contains("atm"));
+  EXPECT_THROW(loaded.find("atm"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hslb::perf

@@ -1,0 +1,116 @@
+#include "perf/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace hslb::perf {
+namespace {
+
+TEST(PerfModel, EvalMatchesFormula) {
+  const Model m{100.0, 0.01, 1.5, 2.0};
+  const double n = 16.0;
+  EXPECT_DOUBLE_EQ(m.eval(n), 100.0 / 16.0 + 0.01 * std::pow(16.0, 1.5) + 2.0);
+  EXPECT_DOUBLE_EQ(m.sca(n) + m.nln(n) + m.ser(), m.eval(n));
+}
+
+TEST(PerfModel, RejectsNonPositiveN) {
+  const Model m{1.0, 0.0, 1.0, 0.0};
+  EXPECT_THROW(m.eval(0.0), ContractViolation);
+  EXPECT_THROW(m.eval(-1.0), ContractViolation);
+}
+
+TEST(PerfModel, DerivativeMatchesFiniteDifference) {
+  const Model m{500.0, 0.002, 1.3, 1.0};
+  for (double n : {2.0, 8.0, 100.0, 1000.0}) {
+    const double h = 1e-5 * n;
+    const double fd = (m.eval(n + h) - m.eval(n - h)) / (2.0 * h);
+    EXPECT_NEAR(m.deriv_n(n), fd, 1e-5 * (1.0 + std::fabs(fd)));
+  }
+}
+
+TEST(PerfModel, ParamGradientMatchesFiniteDifference) {
+  const Model m{500.0, 0.002, 1.3, 1.0};
+  const double n = 37.0;
+  const auto g = m.grad_params(n);
+  const double eps = 1e-6;
+  {
+    Model mp = m;
+    mp.a += eps;
+    EXPECT_NEAR(g[0], (mp.eval(n) - m.eval(n)) / eps, 1e-4);
+  }
+  {
+    Model mp = m;
+    mp.b += eps;
+    EXPECT_NEAR(g[1], (mp.eval(n) - m.eval(n)) / eps, 1e-2);
+  }
+  {
+    Model mp = m;
+    mp.c += eps;
+    EXPECT_NEAR(g[2], (mp.eval(n) - m.eval(n)) / eps,
+                1e-4 * (1.0 + std::fabs(g[2])));
+  }
+  {
+    Model mp = m;
+    mp.d += eps;
+    EXPECT_NEAR(g[3], (mp.eval(n) - m.eval(n)) / eps, 1e-6);
+  }
+}
+
+TEST(PerfModel, ConvexityClassification) {
+  EXPECT_TRUE((Model{1.0, 0.5, 1.2, 0.1}).is_convex());
+  EXPECT_TRUE((Model{1.0, 0.0, 0.5, 0.1}).is_convex());   // b = 0: exponent moot
+  EXPECT_FALSE((Model{1.0, 0.5, 0.5, 0.1}).is_convex());  // concave bump
+  EXPECT_FALSE((Model{-1.0, 0.0, 1.0, 0.1}).is_convex());
+}
+
+TEST(PerfModel, ConvexSecondDifferenceNonNegative) {
+  // Property: for convex parameters, discrete second differences >= 0.
+  const Model m{2000.0, 0.004, 1.4, 3.0};
+  ASSERT_TRUE(m.is_convex());
+  for (double n = 2.0; n < 512.0; n *= 1.7) {
+    const double h = 0.3 * n;
+    const double second = m.eval(n - h) - 2.0 * m.eval(n) + m.eval(n + h);
+    EXPECT_GE(second, -1e-9);
+  }
+}
+
+TEST(PerfModel, PureAmdahlIsDecreasing) {
+  const Model m{100.0, 0.0, 1.0, 5.0};
+  EXPECT_TRUE(m.is_decreasing_on(1.0, 1e6));
+  EXPECT_DOUBLE_EQ(m.argmin(1.0, 1024.0), 1024.0);
+}
+
+TEST(PerfModel, ArgminInteriorStationaryPoint) {
+  const Model m{1000.0, 0.1, 1.0, 0.0};
+  // d/dn = -1000/n^2 + 0.1 = 0 => n = 100.
+  EXPECT_NEAR(m.argmin(1.0, 1e6), 100.0, 1e-6);
+  const auto [n_int, t_int] = m.argmin_int(1, 1000000);
+  EXPECT_EQ(n_int, 100);
+  EXPECT_NEAR(t_int, m.eval(100.0), 1e-12);
+}
+
+TEST(PerfModel, ArgminClampsToRange) {
+  const Model m{1000.0, 0.1, 1.0, 0.0};  // stationary at 100
+  EXPECT_DOUBLE_EQ(m.argmin(200.0, 400.0), 200.0);
+  EXPECT_DOUBLE_EQ(m.argmin(10.0, 50.0), 50.0);
+}
+
+TEST(PerfModel, ArgminIntChecksNeighbors) {
+  const Model m{1000.0, 0.1, 1.0, 0.0};
+  const auto [n, t] = m.argmin_int(1, 99);  // stationary point outside
+  EXPECT_EQ(n, 99);
+  EXPECT_DOUBLE_EQ(t, m.eval(99.0));
+}
+
+TEST(PerfModel, StrContainsParameters) {
+  const Model m{1.5, 0.25, 1.1, 0.75};
+  const auto s = m.str();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hslb::perf

@@ -1,0 +1,54 @@
+#include "perf/modelio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace hslb::perf {
+namespace {
+
+TEST(ModelIo, RoundTripPreservesValues) {
+  std::vector<NamedModel> models{
+      {"atm", Model{27459.7, 1.93438e-4, 1.2285, 43.7318}, 1, 1664},
+      {"ocn", Model{7649.0, 0.0, 1.0, 45.6145}, 2, 768},
+  };
+  const auto loaded = models_from_csv(models_to_csv(models));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].task, "atm");
+  EXPECT_DOUBLE_EQ(loaded[0].model.a, models[0].model.a);
+  EXPECT_DOUBLE_EQ(loaded[0].model.b, models[0].model.b);
+  EXPECT_DOUBLE_EQ(loaded[0].model.c, models[0].model.c);
+  EXPECT_DOUBLE_EQ(loaded[0].model.d, models[0].model.d);
+  EXPECT_EQ(loaded[0].max_nodes, 1664);
+  EXPECT_EQ(loaded[1].min_nodes, 2);
+}
+
+TEST(ModelIo, RangeColumnsOptional) {
+  const auto loaded =
+      models_from_csv("task,a,b,c,d\nx,10.5,0,1,2.5\n");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].model.a, 10.5);
+  EXPECT_EQ(loaded[0].min_nodes, 1);
+  EXPECT_EQ(loaded[0].max_nodes, 0);
+}
+
+TEST(ModelIo, NegativeParametersRejected) {
+  EXPECT_THROW(models_from_csv("task,a,b,c,d\nx,-1,0,1,0\n"),
+               ContractViolation);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hslb_models_test.csv";
+  std::vector<NamedModel> models{{"ice", Model{8406.7, 0.0, 1.0, 12.47}, 1, 0}};
+  save_models(path, models);
+  const auto loaded = load_models(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].model.d, 12.47);
+}
+
+TEST(ModelIo, MissingColumnRejected) {
+  EXPECT_THROW(models_from_csv("task,a,b,c\nx,1,0,1\n"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hslb::perf

@@ -1,0 +1,77 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace hslb::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(e.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SimultaneousEventsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) e.schedule(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, CallbacksMayScheduleMore) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 4) e.schedule_in(1.5, chain);
+  };
+  e.schedule(0.0, chain);
+  EXPECT_DOUBLE_EQ(e.run(), 4.5);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(e.events_processed(), 4u);
+}
+
+TEST(Engine, NowAdvancesDuringRun) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule(2.5, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine e;
+  e.schedule(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule(1.0, [] {}), ContractViolation);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&] { ++fired; });
+  e.schedule(10.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(e.run_until(5.0), 5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.empty());
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EmptyRunIsNoop) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.run(), 0.0);
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+}  // namespace
+}  // namespace hslb::sim

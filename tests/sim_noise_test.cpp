@@ -1,0 +1,63 @@
+#include "sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "sim/machine.hpp"
+
+namespace hslb::sim {
+namespace {
+
+TEST(NoiseModel, ZeroCvIsExact) {
+  NoiseModel n(0.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(n.perturb(3.5), 3.5);
+}
+
+TEST(NoiseModel, PositiveAndUnbiased) {
+  NoiseModel n(0.05, 99);
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i) {
+    const double v = n.perturb(10.0);
+    EXPECT_GT(v, 0.0);
+    xs.push_back(v);
+  }
+  EXPECT_NEAR(stats::mean(xs), 10.0, 0.05);
+  EXPECT_NEAR(stats::stddev(xs) / 10.0, 0.05, 0.005);
+}
+
+TEST(NoiseModel, DeterministicPerSeed) {
+  NoiseModel a(0.1, 7), b(0.1, 7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.perturb(1.0), b.perturb(1.0));
+}
+
+TEST(NoiseModel, RejectsNonPositiveDuration) {
+  NoiseModel n(0.1);
+  EXPECT_THROW(n.perturb(0.0), ContractViolation);
+  EXPECT_THROW(n.perturb(-1.0), ContractViolation);
+}
+
+TEST(Machine, IntrepidDimensions) {
+  const auto m = Machine::intrepid();
+  EXPECT_EQ(m.nodes, 40960u);
+  EXPECT_EQ(m.cores_per_node, 4u);
+  EXPECT_EQ(m.total_cores(), 163840u);
+}
+
+TEST(Machine, PartitionBounds) {
+  const auto m = Machine::intrepid_partition(32768);
+  EXPECT_EQ(m.nodes, 32768u);
+  EXPECT_EQ(m.total_cores(), 131072u);  // the paper's 131,072 cores
+  EXPECT_THROW(Machine::intrepid_partition(0), ContractViolation);
+  EXPECT_THROW(Machine::intrepid_partition(50000), ContractViolation);
+}
+
+TEST(Machine, Workstation) {
+  EXPECT_EQ(Machine::workstation().nodes, 16u);
+  EXPECT_EQ(Machine::workstation(4).total_cores(), 4u);
+}
+
+}  // namespace
+}  // namespace hslb::sim

@@ -1,0 +1,131 @@
+#include "sim/taskgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace hslb::sim {
+namespace {
+
+TEST(NodeSet, OverlapDetection) {
+  EXPECT_TRUE((NodeSet{0, 4}).overlaps(NodeSet{3, 2}));
+  EXPECT_FALSE((NodeSet{0, 4}).overlaps(NodeSet{4, 2}));
+  EXPECT_TRUE((NodeSet{2, 1}).overlaps(NodeSet{0, 8}));
+  EXPECT_FALSE((NodeSet{0, 0}).overlaps(NodeSet{0, 8}));
+}
+
+TEST(TaskGraph, IndependentTasksRunConcurrently) {
+  TaskGraph g(8);
+  g.add_task("a", 5.0, {0, 4});
+  g.add_task("b", 3.0, {4, 4});
+  const auto s = g.run();
+  EXPECT_DOUBLE_EQ(s.tasks[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 5.0);
+}
+
+TEST(TaskGraph, SharedNodesSerialize) {
+  TaskGraph g(4);
+  g.add_task("a", 2.0, {0, 4});
+  g.add_task("b", 3.0, {0, 2});  // shares nodes 0-1 with a
+  const auto s = g.run();
+  EXPECT_DOUBLE_EQ(s.tasks[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 5.0);
+}
+
+TEST(TaskGraph, DependenciesHonored) {
+  TaskGraph g(8);
+  const auto a = g.add_task("a", 2.0, {0, 4});
+  g.add_task("b", 1.0, {4, 4}, {a});  // different nodes but depends on a
+  const auto s = g.run();
+  EXPECT_DOUBLE_EQ(s.tasks[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 3.0);
+}
+
+TEST(TaskGraph, Layout1Semantics) {
+  // CESM layout (1): ice || lnd on atm's nodes, then atm; ocn concurrent.
+  // nodes: atm block = [0, 8), ocn block = [8, 12).
+  TaskGraph g(12);
+  const auto ice = g.add_task("ice", 10.0, {0, 5});
+  const auto lnd = g.add_task("lnd", 6.0, {5, 3});
+  g.add_task("atm", 30.0, {0, 8}, {ice, lnd});
+  g.add_task("ocn", 36.0, {8, 4});
+  const auto s = g.run();
+  // T = max(max(ice,lnd) + atm, ocn) = max(40, 36) = 40.
+  EXPECT_DOUBLE_EQ(s.makespan, 40.0);
+  EXPECT_DOUBLE_EQ(s.tasks[2].start, 10.0);
+  EXPECT_DOUBLE_EQ(s.tasks[3].start, 0.0);
+}
+
+TEST(TaskGraph, MakespanIsMaxEnd) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    TaskGraph g(16);
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    for (int t = 0; t < n; ++t) {
+      const auto first = static_cast<std::size_t>(rng.uniform_int(0, 12));
+      const auto count = static_cast<std::size_t>(rng.uniform_int(1, 4));
+      std::vector<std::size_t> deps;
+      if (t > 0 && rng.uniform() < 0.5)
+        deps.push_back(static_cast<std::size_t>(rng.uniform_int(0, t - 1)));
+      g.add_task("t" + std::to_string(t), rng.uniform(0.1, 5.0),
+                 {first, count}, deps);
+    }
+    const auto s = g.run();
+    double max_end = 0.0;
+    for (const auto& st : s.tasks) {
+      max_end = std::max(max_end, st.end);
+      EXPECT_GE(st.start, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(s.makespan, max_end);
+    // No two tasks sharing nodes may overlap in time.
+    for (std::size_t i = 0; i < g.num_tasks(); ++i) {
+      for (std::size_t j = i + 1; j < g.num_tasks(); ++j) {
+        if (!g.task(i).nodes.overlaps(g.task(j).nodes)) continue;
+        const bool disjoint = s.tasks[i].end <= s.tasks[j].start + 1e-12 ||
+                              s.tasks[j].end <= s.tasks[i].start + 1e-12;
+        EXPECT_TRUE(disjoint) << "tasks " << i << "," << j << " overlap";
+      }
+    }
+    // Dependencies: start >= dep end.
+    for (std::size_t i = 0; i < g.num_tasks(); ++i)
+      for (std::size_t d : g.task(i).deps)
+        EXPECT_GE(s.tasks[i].start, s.tasks[d].end - 1e-12);
+  }
+}
+
+TEST(TaskGraph, EfficiencyAndImbalance) {
+  TaskGraph g(2);
+  g.add_task("a", 4.0, {0, 1});
+  g.add_task("b", 2.0, {1, 1});
+  const auto s = g.run();
+  EXPECT_DOUBLE_EQ(s.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(s.efficiency(), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 4.0 / 3.0 - 1.0);
+}
+
+TEST(TaskGraph, RejectsOutOfRangeNodes) {
+  TaskGraph g(4);
+  EXPECT_THROW(g.add_task("x", 1.0, {2, 4}), ContractViolation);
+  EXPECT_THROW(g.add_task("x", 1.0, {0, 0}), ContractViolation);
+}
+
+TEST(TaskGraph, RejectsForwardDeps) {
+  TaskGraph g(4);
+  EXPECT_THROW(g.add_task("x", 1.0, {0, 1}, {5}), ContractViolation);
+}
+
+TEST(TaskGraph, GanttRendersEveryTask) {
+  TaskGraph g(4);
+  g.add_task("alpha", 1.0, {0, 2});
+  g.add_task("beta", 2.0, {2, 2});
+  const auto s = g.run();
+  const auto chart = g.gantt(s);
+  EXPECT_NE(chart.find("alpha"), std::string::npos);
+  EXPECT_NE(chart.find("beta"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hslb::sim
