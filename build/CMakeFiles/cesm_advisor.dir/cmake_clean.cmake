@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_advisor.dir/bench/cesm_advisor.cpp.o"
+  "CMakeFiles/cesm_advisor.dir/bench/cesm_advisor.cpp.o.d"
+  "bench/cesm_advisor"
+  "bench/cesm_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_coupling_overhead.dir/bench/cesm_coupling_overhead.cpp.o"
+  "CMakeFiles/cesm_coupling_overhead.dir/bench/cesm_coupling_overhead.cpp.o.d"
+  "bench/cesm_coupling_overhead"
+  "bench/cesm_coupling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_coupling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

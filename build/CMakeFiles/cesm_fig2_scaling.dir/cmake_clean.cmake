@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_fig2_scaling.dir/bench/cesm_fig2_scaling.cpp.o"
+  "CMakeFiles/cesm_fig2_scaling.dir/bench/cesm_fig2_scaling.cpp.o.d"
+  "bench/cesm_fig2_scaling"
+  "bench/cesm_fig2_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_fig2_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_fig3_highres.dir/bench/cesm_fig3_highres.cpp.o"
+  "CMakeFiles/cesm_fig3_highres.dir/bench/cesm_fig3_highres.cpp.o.d"
+  "bench/cesm_fig3_highres"
+  "bench/cesm_fig3_highres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_fig3_highres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

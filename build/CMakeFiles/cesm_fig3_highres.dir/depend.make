@@ -1,0 +1,2 @@
+# Empty dependencies file for cesm_fig3_highres.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_fig4_layouts.dir/bench/cesm_fig4_layouts.cpp.o"
+  "CMakeFiles/cesm_fig4_layouts.dir/bench/cesm_fig4_layouts.cpp.o.d"
+  "bench/cesm_fig4_layouts"
+  "bench/cesm_fig4_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_fig4_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

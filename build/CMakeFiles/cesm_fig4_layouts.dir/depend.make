@@ -1,0 +1,2 @@
+# Empty dependencies file for cesm_fig4_layouts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_finetuning.dir/bench/cesm_finetuning.cpp.o"
+  "CMakeFiles/cesm_finetuning.dir/bench/cesm_finetuning.cpp.o.d"
+  "bench/cesm_finetuning"
+  "bench/cesm_finetuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_finetuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_table3.dir/bench/cesm_table3.cpp.o"
+  "CMakeFiles/cesm_table3.dir/bench/cesm_table3.cpp.o.d"
+  "bench/cesm_table3"
+  "bench/cesm_table3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_table3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

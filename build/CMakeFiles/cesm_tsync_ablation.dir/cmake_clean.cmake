@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_tsync_ablation.dir/bench/cesm_tsync_ablation.cpp.o"
+  "CMakeFiles/cesm_tsync_ablation.dir/bench/cesm_tsync_ablation.cpp.o.d"
+  "bench/cesm_tsync_ablation"
+  "bench/cesm_tsync_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_tsync_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

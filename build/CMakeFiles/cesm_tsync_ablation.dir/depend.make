@@ -1,0 +1,2 @@
+# Empty dependencies file for cesm_tsync_ablation.
+# This may be replaced when dependencies are built.

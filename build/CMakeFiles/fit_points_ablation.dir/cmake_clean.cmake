@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_points_ablation.dir/bench/fit_points_ablation.cpp.o"
+  "CMakeFiles/fit_points_ablation.dir/bench/fit_points_ablation.cpp.o.d"
+  "bench/fit_points_ablation"
+  "bench/fit_points_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_points_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fit_points_ablation.
+# This may be replaced when dependencies are built.

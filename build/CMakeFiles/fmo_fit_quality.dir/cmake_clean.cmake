@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_fit_quality.dir/bench/fmo_fit_quality.cpp.o"
+  "CMakeFiles/fmo_fit_quality.dir/bench/fmo_fit_quality.cpp.o.d"
+  "bench/fmo_fit_quality"
+  "bench/fmo_fit_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_fit_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

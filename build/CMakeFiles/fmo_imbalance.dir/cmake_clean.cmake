@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_imbalance.dir/bench/fmo_imbalance.cpp.o"
+  "CMakeFiles/fmo_imbalance.dir/bench/fmo_imbalance.cpp.o.d"
+  "bench/fmo_imbalance"
+  "bench/fmo_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_objectives.dir/bench/fmo_objectives.cpp.o"
+  "CMakeFiles/fmo_objectives.dir/bench/fmo_objectives.cpp.o.d"
+  "bench/fmo_objectives"
+  "bench/fmo_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_predicted_vs_actual.dir/bench/fmo_predicted_vs_actual.cpp.o"
+  "CMakeFiles/fmo_predicted_vs_actual.dir/bench/fmo_predicted_vs_actual.cpp.o.d"
+  "bench/fmo_predicted_vs_actual"
+  "bench/fmo_predicted_vs_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_predicted_vs_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

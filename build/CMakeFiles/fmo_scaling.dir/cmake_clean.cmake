@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_scaling.dir/bench/fmo_scaling.cpp.o"
+  "CMakeFiles/fmo_scaling.dir/bench/fmo_scaling.cpp.o.d"
+  "bench/fmo_scaling"
+  "bench/fmo_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

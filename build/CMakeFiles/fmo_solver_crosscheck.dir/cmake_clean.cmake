@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_solver_crosscheck.dir/bench/fmo_solver_crosscheck.cpp.o"
+  "CMakeFiles/fmo_solver_crosscheck.dir/bench/fmo_solver_crosscheck.cpp.o.d"
+  "bench/fmo_solver_crosscheck"
+  "bench/fmo_solver_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_solver_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

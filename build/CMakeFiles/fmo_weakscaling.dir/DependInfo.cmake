@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fmo_weakscaling.cpp" "CMakeFiles/fmo_weakscaling.dir/bench/fmo_weakscaling.cpp.o" "gcc" "CMakeFiles/fmo_weakscaling.dir/bench/fmo_weakscaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fmo/CMakeFiles/hslb_fmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hslb/CMakeFiles/hslb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hslb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlsq/CMakeFiles/hslb_nlsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hslb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minlp/CMakeFiles/hslb_minlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/hslb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_weakscaling.dir/bench/fmo_weakscaling.cpp.o"
+  "CMakeFiles/fmo_weakscaling.dir/bench/fmo_weakscaling.cpp.o.d"
+  "bench/fmo_weakscaling"
+  "bench/fmo_weakscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_weakscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

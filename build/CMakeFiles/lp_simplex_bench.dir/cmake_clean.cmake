@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_simplex_bench.dir/bench/lp_simplex_bench.cpp.o"
+  "CMakeFiles/lp_simplex_bench.dir/bench/lp_simplex_bench.cpp.o.d"
+  "bench/lp_simplex_bench"
+  "bench/lp_simplex_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_simplex_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

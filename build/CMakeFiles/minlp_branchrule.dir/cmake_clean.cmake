@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minlp_branchrule.dir/bench/minlp_branchrule.cpp.o"
+  "CMakeFiles/minlp_branchrule.dir/bench/minlp_branchrule.cpp.o.d"
+  "bench/minlp_branchrule"
+  "bench/minlp_branchrule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minlp_branchrule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

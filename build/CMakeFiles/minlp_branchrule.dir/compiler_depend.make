@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for minlp_branchrule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minlp_solvetime.dir/bench/minlp_solvetime.cpp.o"
+  "CMakeFiles/minlp_solvetime.dir/bench/minlp_solvetime.cpp.o.d"
+  "bench/minlp_solvetime"
+  "bench/minlp_solvetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minlp_solvetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

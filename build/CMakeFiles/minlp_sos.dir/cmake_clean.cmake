@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minlp_sos.dir/bench/minlp_sos.cpp.o"
+  "CMakeFiles/minlp_sos.dir/bench/minlp_sos.cpp.o.d"
+  "bench/minlp_sos"
+  "bench/minlp_sos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minlp_sos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

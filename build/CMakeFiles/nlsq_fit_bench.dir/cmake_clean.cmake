@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlsq_fit_bench.dir/bench/nlsq_fit_bench.cpp.o"
+  "CMakeFiles/nlsq_fit_bench.dir/bench/nlsq_fit_bench.cpp.o.d"
+  "bench/nlsq_fit_bench"
+  "bench/nlsq_fit_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlsq_fit_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nlsq_fit_bench.
+# This may be replaced when dependencies are built.

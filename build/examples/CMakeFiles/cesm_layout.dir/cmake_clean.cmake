@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_layout.dir/cesm_layout.cpp.o"
+  "CMakeFiles/cesm_layout.dir/cesm_layout.cpp.o.d"
+  "cesm_layout"
+  "cesm_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

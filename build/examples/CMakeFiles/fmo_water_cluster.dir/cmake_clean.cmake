@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_water_cluster.dir/fmo_water_cluster.cpp.o"
+  "CMakeFiles/fmo_water_cluster.dir/fmo_water_cluster.cpp.o.d"
+  "fmo_water_cluster"
+  "fmo_water_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_water_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_cesm.dir/advisor.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/advisor.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/component.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/component.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/data.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/data.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/finetuning.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/finetuning.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/layouts.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/layouts.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/pipeline.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hslb_cesm.dir/simulator.cpp.o"
+  "CMakeFiles/hslb_cesm.dir/simulator.cpp.o.d"
+  "libhslb_cesm.a"
+  "libhslb_cesm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_cesm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_tool.dir/commands.cpp.o"
+  "CMakeFiles/hslb_tool.dir/commands.cpp.o.d"
+  "CMakeFiles/hslb_tool.dir/main.cpp.o"
+  "CMakeFiles/hslb_tool.dir/main.cpp.o.d"
+  "hslb"
+  "hslb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

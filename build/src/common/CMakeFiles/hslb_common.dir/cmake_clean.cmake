@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_common.dir/cli.cpp.o"
+  "CMakeFiles/hslb_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hslb_common.dir/csv.cpp.o"
+  "CMakeFiles/hslb_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hslb_common.dir/log.cpp.o"
+  "CMakeFiles/hslb_common.dir/log.cpp.o.d"
+  "CMakeFiles/hslb_common.dir/rng.cpp.o"
+  "CMakeFiles/hslb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hslb_common.dir/stats.cpp.o"
+  "CMakeFiles/hslb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hslb_common.dir/strings.cpp.o"
+  "CMakeFiles/hslb_common.dir/strings.cpp.o.d"
+  "CMakeFiles/hslb_common.dir/table.cpp.o"
+  "CMakeFiles/hslb_common.dir/table.cpp.o.d"
+  "libhslb_common.a"
+  "libhslb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

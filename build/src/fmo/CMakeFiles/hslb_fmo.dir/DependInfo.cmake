@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmo/cost.cpp" "src/fmo/CMakeFiles/hslb_fmo.dir/cost.cpp.o" "gcc" "src/fmo/CMakeFiles/hslb_fmo.dir/cost.cpp.o.d"
+  "/root/repo/src/fmo/driver.cpp" "src/fmo/CMakeFiles/hslb_fmo.dir/driver.cpp.o" "gcc" "src/fmo/CMakeFiles/hslb_fmo.dir/driver.cpp.o.d"
+  "/root/repo/src/fmo/energy.cpp" "src/fmo/CMakeFiles/hslb_fmo.dir/energy.cpp.o" "gcc" "src/fmo/CMakeFiles/hslb_fmo.dir/energy.cpp.o.d"
+  "/root/repo/src/fmo/fragment.cpp" "src/fmo/CMakeFiles/hslb_fmo.dir/fragment.cpp.o" "gcc" "src/fmo/CMakeFiles/hslb_fmo.dir/fragment.cpp.o.d"
+  "/root/repo/src/fmo/gddi.cpp" "src/fmo/CMakeFiles/hslb_fmo.dir/gddi.cpp.o" "gcc" "src/fmo/CMakeFiles/hslb_fmo.dir/gddi.cpp.o.d"
+  "/root/repo/src/fmo/molecule.cpp" "src/fmo/CMakeFiles/hslb_fmo.dir/molecule.cpp.o" "gcc" "src/fmo/CMakeFiles/hslb_fmo.dir/molecule.cpp.o.d"
+  "/root/repo/src/fmo/schedulers.cpp" "src/fmo/CMakeFiles/hslb_fmo.dir/schedulers.cpp.o" "gcc" "src/fmo/CMakeFiles/hslb_fmo.dir/schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hslb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hslb/CMakeFiles/hslb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hslb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minlp/CMakeFiles/hslb_minlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlsq/CMakeFiles/hslb_nlsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/hslb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

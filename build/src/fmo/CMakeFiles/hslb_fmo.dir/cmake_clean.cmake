@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_fmo.dir/cost.cpp.o"
+  "CMakeFiles/hslb_fmo.dir/cost.cpp.o.d"
+  "CMakeFiles/hslb_fmo.dir/driver.cpp.o"
+  "CMakeFiles/hslb_fmo.dir/driver.cpp.o.d"
+  "CMakeFiles/hslb_fmo.dir/energy.cpp.o"
+  "CMakeFiles/hslb_fmo.dir/energy.cpp.o.d"
+  "CMakeFiles/hslb_fmo.dir/fragment.cpp.o"
+  "CMakeFiles/hslb_fmo.dir/fragment.cpp.o.d"
+  "CMakeFiles/hslb_fmo.dir/gddi.cpp.o"
+  "CMakeFiles/hslb_fmo.dir/gddi.cpp.o.d"
+  "CMakeFiles/hslb_fmo.dir/molecule.cpp.o"
+  "CMakeFiles/hslb_fmo.dir/molecule.cpp.o.d"
+  "CMakeFiles/hslb_fmo.dir/schedulers.cpp.o"
+  "CMakeFiles/hslb_fmo.dir/schedulers.cpp.o.d"
+  "libhslb_fmo.a"
+  "libhslb_fmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_fmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_core.dir/allocation.cpp.o"
+  "CMakeFiles/hslb_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/budget.cpp.o"
+  "CMakeFiles/hslb_core.dir/budget.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/gather.cpp.o"
+  "CMakeFiles/hslb_core.dir/gather.cpp.o.d"
+  "CMakeFiles/hslb_core.dir/objective.cpp.o"
+  "CMakeFiles/hslb_core.dir/objective.cpp.o.d"
+  "libhslb_core.a"
+  "libhslb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_linalg.dir/decomp.cpp.o"
+  "CMakeFiles/hslb_linalg.dir/decomp.cpp.o.d"
+  "CMakeFiles/hslb_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/hslb_linalg.dir/matrix.cpp.o.d"
+  "libhslb_linalg.a"
+  "libhslb_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

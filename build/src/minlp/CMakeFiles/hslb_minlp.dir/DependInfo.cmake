@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minlp/ampl.cpp" "src/minlp/CMakeFiles/hslb_minlp.dir/ampl.cpp.o" "gcc" "src/minlp/CMakeFiles/hslb_minlp.dir/ampl.cpp.o.d"
+  "/root/repo/src/minlp/bnb.cpp" "src/minlp/CMakeFiles/hslb_minlp.dir/bnb.cpp.o" "gcc" "src/minlp/CMakeFiles/hslb_minlp.dir/bnb.cpp.o.d"
+  "/root/repo/src/minlp/cuts.cpp" "src/minlp/CMakeFiles/hslb_minlp.dir/cuts.cpp.o" "gcc" "src/minlp/CMakeFiles/hslb_minlp.dir/cuts.cpp.o.d"
+  "/root/repo/src/minlp/kelley.cpp" "src/minlp/CMakeFiles/hslb_minlp.dir/kelley.cpp.o" "gcc" "src/minlp/CMakeFiles/hslb_minlp.dir/kelley.cpp.o.d"
+  "/root/repo/src/minlp/model.cpp" "src/minlp/CMakeFiles/hslb_minlp.dir/model.cpp.o" "gcc" "src/minlp/CMakeFiles/hslb_minlp.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/hslb_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

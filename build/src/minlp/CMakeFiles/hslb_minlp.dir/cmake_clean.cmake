@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_minlp.dir/ampl.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/ampl.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/bnb.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/bnb.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/cuts.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/cuts.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/kelley.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/kelley.cpp.o.d"
+  "CMakeFiles/hslb_minlp.dir/model.cpp.o"
+  "CMakeFiles/hslb_minlp.dir/model.cpp.o.d"
+  "libhslb_minlp.a"
+  "libhslb_minlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_minlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_nlsq.dir/levmar.cpp.o"
+  "CMakeFiles/hslb_nlsq.dir/levmar.cpp.o.d"
+  "CMakeFiles/hslb_nlsq.dir/multistart.cpp.o"
+  "CMakeFiles/hslb_nlsq.dir/multistart.cpp.o.d"
+  "libhslb_nlsq.a"
+  "libhslb_nlsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_nlsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

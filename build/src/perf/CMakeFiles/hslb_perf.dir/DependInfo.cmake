@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/benchdata.cpp" "src/perf/CMakeFiles/hslb_perf.dir/benchdata.cpp.o" "gcc" "src/perf/CMakeFiles/hslb_perf.dir/benchdata.cpp.o.d"
+  "/root/repo/src/perf/fit.cpp" "src/perf/CMakeFiles/hslb_perf.dir/fit.cpp.o" "gcc" "src/perf/CMakeFiles/hslb_perf.dir/fit.cpp.o.d"
+  "/root/repo/src/perf/model.cpp" "src/perf/CMakeFiles/hslb_perf.dir/model.cpp.o" "gcc" "src/perf/CMakeFiles/hslb_perf.dir/model.cpp.o.d"
+  "/root/repo/src/perf/modelio.cpp" "src/perf/CMakeFiles/hslb_perf.dir/modelio.cpp.o" "gcc" "src/perf/CMakeFiles/hslb_perf.dir/modelio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hslb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlsq/CMakeFiles/hslb_nlsq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

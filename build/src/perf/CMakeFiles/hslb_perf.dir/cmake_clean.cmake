@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_perf.dir/benchdata.cpp.o"
+  "CMakeFiles/hslb_perf.dir/benchdata.cpp.o.d"
+  "CMakeFiles/hslb_perf.dir/fit.cpp.o"
+  "CMakeFiles/hslb_perf.dir/fit.cpp.o.d"
+  "CMakeFiles/hslb_perf.dir/model.cpp.o"
+  "CMakeFiles/hslb_perf.dir/model.cpp.o.d"
+  "CMakeFiles/hslb_perf.dir/modelio.cpp.o"
+  "CMakeFiles/hslb_perf.dir/modelio.cpp.o.d"
+  "libhslb_perf.a"
+  "libhslb_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/hslb_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/hslb_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/hslb_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/hslb_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/hslb_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/hslb_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/taskgraph.cpp" "src/sim/CMakeFiles/hslb_sim.dir/taskgraph.cpp.o" "gcc" "src/sim/CMakeFiles/hslb_sim.dir/taskgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hslb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_sim.dir/engine.cpp.o"
+  "CMakeFiles/hslb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hslb_sim.dir/machine.cpp.o"
+  "CMakeFiles/hslb_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/hslb_sim.dir/noise.cpp.o"
+  "CMakeFiles/hslb_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/hslb_sim.dir/taskgraph.cpp.o"
+  "CMakeFiles/hslb_sim.dir/taskgraph.cpp.o.d"
+  "libhslb_sim.a"
+  "libhslb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

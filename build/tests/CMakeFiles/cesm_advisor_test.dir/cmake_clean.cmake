@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_advisor_test.dir/cesm_advisor_test.cpp.o"
+  "CMakeFiles/cesm_advisor_test.dir/cesm_advisor_test.cpp.o.d"
+  "cesm_advisor_test"
+  "cesm_advisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_data_test.dir/cesm_data_test.cpp.o"
+  "CMakeFiles/cesm_data_test.dir/cesm_data_test.cpp.o.d"
+  "cesm_data_test"
+  "cesm_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

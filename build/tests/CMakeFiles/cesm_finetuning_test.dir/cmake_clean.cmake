@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_finetuning_test.dir/cesm_finetuning_test.cpp.o"
+  "CMakeFiles/cesm_finetuning_test.dir/cesm_finetuning_test.cpp.o.d"
+  "cesm_finetuning_test"
+  "cesm_finetuning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_finetuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

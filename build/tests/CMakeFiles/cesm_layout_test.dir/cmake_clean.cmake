@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_layout_test.dir/cesm_layout_test.cpp.o"
+  "CMakeFiles/cesm_layout_test.dir/cesm_layout_test.cpp.o.d"
+  "cesm_layout_test"
+  "cesm_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

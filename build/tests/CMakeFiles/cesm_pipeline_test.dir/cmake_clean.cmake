@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesm_pipeline_test.dir/cesm_pipeline_test.cpp.o"
+  "CMakeFiles/cesm_pipeline_test.dir/cesm_pipeline_test.cpp.o.d"
+  "cesm_pipeline_test"
+  "cesm_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesm_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_energy_test.dir/fmo_energy_test.cpp.o"
+  "CMakeFiles/fmo_energy_test.dir/fmo_energy_test.cpp.o.d"
+  "fmo_energy_test"
+  "fmo_energy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_pipeline_test.dir/fmo_pipeline_test.cpp.o"
+  "CMakeFiles/fmo_pipeline_test.dir/fmo_pipeline_test.cpp.o.d"
+  "fmo_pipeline_test"
+  "fmo_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_scheduler_test.dir/fmo_scheduler_test.cpp.o"
+  "CMakeFiles/fmo_scheduler_test.dir/fmo_scheduler_test.cpp.o.d"
+  "fmo_scheduler_test"
+  "fmo_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

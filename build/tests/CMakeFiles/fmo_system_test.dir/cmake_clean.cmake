@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmo_system_test.dir/fmo_system_test.cpp.o"
+  "CMakeFiles/fmo_system_test.dir/fmo_system_test.cpp.o.d"
+  "fmo_system_test"
+  "fmo_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmo_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_budget_test.dir/hslb_budget_test.cpp.o"
+  "CMakeFiles/hslb_budget_test.dir/hslb_budget_test.cpp.o.d"
+  "hslb_budget_test"
+  "hslb_budget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

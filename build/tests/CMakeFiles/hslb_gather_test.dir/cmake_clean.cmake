@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hslb_gather_test.dir/hslb_gather_test.cpp.o"
+  "CMakeFiles/hslb_gather_test.dir/hslb_gather_test.cpp.o.d"
+  "hslb_gather_test"
+  "hslb_gather_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hslb_gather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

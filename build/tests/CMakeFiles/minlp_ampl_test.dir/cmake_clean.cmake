@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minlp_ampl_test.dir/minlp_ampl_test.cpp.o"
+  "CMakeFiles/minlp_ampl_test.dir/minlp_ampl_test.cpp.o.d"
+  "minlp_ampl_test"
+  "minlp_ampl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minlp_ampl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

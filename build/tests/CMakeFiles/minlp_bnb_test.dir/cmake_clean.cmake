@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minlp_bnb_test.dir/minlp_bnb_test.cpp.o"
+  "CMakeFiles/minlp_bnb_test.dir/minlp_bnb_test.cpp.o.d"
+  "minlp_bnb_test"
+  "minlp_bnb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minlp_bnb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minlp_model_test.dir/minlp_model_test.cpp.o"
+  "CMakeFiles/minlp_model_test.dir/minlp_model_test.cpp.o.d"
+  "minlp_model_test"
+  "minlp_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minlp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlsq_levmar_test.dir/nlsq_levmar_test.cpp.o"
+  "CMakeFiles/nlsq_levmar_test.dir/nlsq_levmar_test.cpp.o.d"
+  "nlsq_levmar_test"
+  "nlsq_levmar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlsq_levmar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

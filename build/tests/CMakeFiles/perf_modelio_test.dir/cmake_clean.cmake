@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_modelio_test.dir/perf_modelio_test.cpp.o"
+  "CMakeFiles/perf_modelio_test.dir/perf_modelio_test.cpp.o.d"
+  "perf_modelio_test"
+  "perf_modelio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_modelio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

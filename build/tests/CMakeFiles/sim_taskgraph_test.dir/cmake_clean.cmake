@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_taskgraph_test.dir/sim_taskgraph_test.cpp.o"
+  "CMakeFiles/sim_taskgraph_test.dir/sim_taskgraph_test.cpp.o.d"
+  "sim_taskgraph_test"
+  "sim_taskgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_taskgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
