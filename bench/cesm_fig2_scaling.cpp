@@ -19,7 +19,7 @@ int main() {
 
   std::printf("=== Figure 2 reproduction: 1-degree component scaling curves ===\n\n");
 
-  PipelineOptions opt;
+  cesm::PipelineOptions opt;
   opt.fit_points = 5;  // the paper's manual procedure used ~5 core counts
   const auto res = run_pipeline(Resolution::Deg1, 2048, opt);
 

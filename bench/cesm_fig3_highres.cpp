@@ -37,7 +37,7 @@ int main() {
   std::vector<Series> series;
   for (const auto& pub : published_cases()) {
     if (pub.resolution != Resolution::EighthDeg) continue;
-    PipelineOptions opt;
+    cesm::PipelineOptions opt;
     opt.ocean_constrained = pub.ocean_constrained;
     const auto res = run_pipeline(pub.resolution, pub.total_nodes, opt);
     Simulator oracle(pub.resolution);

@@ -22,7 +22,7 @@ int main() {
 
   // One gather+fit at the largest partition; reuse the models for the sweep
   // (fits interpolate across the whole node range).
-  PipelineOptions fit_opt;
+  cesm::PipelineOptions fit_opt;
   const auto fitted = run_pipeline(Resolution::Deg1, 2048, fit_opt);
   std::array<perf::Model, 4> models;
   for (Component c : kComponents)

@@ -23,7 +23,7 @@ using namespace hslb;
 using namespace hslb::cesm;
 
 void run_case(const PublishedCase& pub) {
-  PipelineOptions opt;
+  cesm::PipelineOptions opt;
   opt.ocean_constrained = pub.ocean_constrained;
   const auto res = run_pipeline(pub.resolution, pub.total_nodes, opt);
   Simulator oracle(pub.resolution);
@@ -87,7 +87,7 @@ int main() {
               "nodes: %.0f%% (1593 -> 1129 s); actual: %.0f%% (1612 -> 1256 s)\n",
               100.0 * (1.0 - unc.hslb_predicted_total / con.hslb_predicted_total),
               100.0 * (1.0 - unc.hslb_actual_total / con.hslb_actual_total));
-  PipelineOptions copt, uopt;
+  cesm::PipelineOptions copt, uopt;
   copt.ocean_constrained = true;
   uopt.ocean_constrained = false;
   const auto rcon = run_pipeline(Resolution::EighthDeg, 32768, copt);

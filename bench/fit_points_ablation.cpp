@@ -36,7 +36,7 @@ int main() {
            "excess vs best %"});
   t.set_title("Allocation quality vs number of benchmark points");
   for (std::size_t d = 2; d <= 10; ++d) {
-    PipelineOptions opt;
+    cesm::PipelineOptions opt;
     opt.fit_points = d;
     const auto res = run_pipeline(Resolution::Deg1, 2048, opt);
     const double total = oracle_total(res.solution.nodes);

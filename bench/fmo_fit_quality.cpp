@@ -19,7 +19,7 @@ int main() {
   const auto sys = water_cluster({.fragments = 96, .merge_fraction = 0.4,
                                   .scf_cutoff_angstrom = 4.5, .seed = 77});
   CostModel cost;
-  PipelineOptions opt;
+  fmo::PipelineOptions opt;
   opt.fit_points = 6;
   const auto res = run_pipeline(sys, cost, 96 * 8, opt);
 

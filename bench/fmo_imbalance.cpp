@@ -42,7 +42,7 @@ int main() {
   }
   std::printf("%s\n", t.str().c_str());
 
-  PipelineOptions opt;
+  fmo::PipelineOptions opt;
   const auto res = run_pipeline(sys, cost, nodes, opt);
   std::printf("HSLB (one sized group per fragment): total %.3f s, "
               "imbalance %.3f, efficiency %.3f\n\n",

@@ -29,7 +29,7 @@ int main() {
     first_block = false;
     for (Objective obj :
          {Objective::MinMax, Objective::MaxMin, Objective::MinSum}) {
-      PipelineOptions opt;
+      fmo::PipelineOptions opt;
       opt.objective = obj;
       const auto res = run_pipeline(sys, cost, nodes, opt);
       double wave = 0.0;

@@ -21,7 +21,7 @@ int main() {
   double worst_err = 0.0;
   const auto add = [&](const System& sys, long long nodes) {
     CostModel cost;
-    PipelineOptions opt;
+    fmo::PipelineOptions opt;
     const auto res = run_pipeline(sys, cost, nodes, opt);
     const double err = 100.0 *
                        std::fabs(res.predicted_scc_seconds - res.hslb.scc_seconds) /

@@ -36,7 +36,7 @@ int main() {
   // The paper's FMO runs stayed at <= ~64 nodes per fragment; we sweep
   // through that regime and one saturation point beyond it (marked below).
   for (long long nodes = 64; nodes <= 16384; nodes *= 4) {
-    PipelineOptions opt;
+    fmo::PipelineOptions opt;
     const auto res = run_pipeline(sys, cost, nodes, opt);
     const double ratio = res.dlb.total_seconds / res.hslb.total_seconds;
     best_ratio = std::max(best_ratio, ratio);

@@ -30,7 +30,7 @@ int main() {
                        .scf_cutoff_angstrom = 4.5,
                        .seed = 900 + fragments});
     CostModel cost;
-    PipelineOptions opt;
+    fmo::PipelineOptions opt;
     const auto res = run_pipeline(sys, cost, nodes, opt);
     const double speedup = res.dlb.total_seconds / res.hslb.total_seconds;
     min_speedup = std::min(min_speedup, speedup);

@@ -1,0 +1,101 @@
+// Parallel pipeline scaling: wall-clock of the Gather and Fit stages on a
+// 256-fragment FMO system at 1/2/4(/hw) worker threads, plus the
+// determinism check that makes the parallelism safe to use — the solved
+// allocation must be identical for every thread count.
+//
+// The Fit stage is the hot spot HSLB pays per task (multistart
+// Levenberg-Marquardt per fragment, embarrassingly parallel); on a machine
+// with >= 4 real cores the 4-thread fit is expected to land at >= 2x over
+// serial. The speedup column reports whatever the current host delivers
+// (this is a measurement, not an assertion: CI boxes may be oversubscribed
+// or single-core).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "fmo/driver.hpp"
+
+int main() {
+  using namespace hslb;
+  using namespace hslb::fmo;
+  using clock = std::chrono::steady_clock;
+
+  std::printf("=== hslb::Pipeline parallel scaling (256-fragment FMO) ===\n\n");
+
+  const auto sys = water_cluster({.fragments = 256, .merge_fraction = 0.35,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 2012});
+  CostModel cost;
+  const long long nodes = 2048;
+  std::printf("system: %zu fragments, %lld nodes, hardware threads: %zu\n\n",
+              sys.num_fragments(), nodes, ThreadPool::hardware_threads());
+
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (const auto hw = ThreadPool::hardware_threads();
+      std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+      thread_counts.end())
+    thread_counts.push_back(hw);
+
+  Table t({"threads", "gather s", "fit s", "fit speedup", "solve s",
+           "execute s", "total s", "allocation"});
+  t.set_title("per-stage wall time vs worker threads (same seed throughout)");
+
+  fmo::PipelineResult baseline;
+  double serial_fit = 0.0;
+  bool all_identical = true;
+  for (std::size_t threads : thread_counts) {
+    fmo::PipelineOptions opt;
+    opt.threads = threads;
+    const auto res = run_pipeline(sys, cost, nodes, opt);
+    if (threads == 1) {
+      baseline = res;
+      serial_fit = res.report.fit_seconds;
+    }
+    bool identical = true;
+    for (const auto& a : baseline.allocation.tasks)
+      identical &= res.allocation.find(a.task).nodes == a.nodes;
+    identical &= res.allocation.predicted_total ==
+                 baseline.allocation.predicted_total;
+    all_identical &= identical;
+    t.add_row({Table::num(static_cast<long long>(threads)),
+               Table::num(res.report.gather_seconds, 3),
+               Table::num(res.report.fit_seconds, 3),
+               Table::num(serial_fit / std::max(res.report.fit_seconds, 1e-12),
+                          2) +
+                   "x",
+               Table::num(res.report.solve_seconds, 3),
+               Table::num(res.report.execute_seconds, 3),
+               Table::num(res.report.total_seconds(), 3),
+               identical ? "identical" : "DIVERGED"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // The fit stage in isolation (best of 3 repetitions per thread count),
+  // on the gathered table from the serial run.
+  Table f({"threads", "fit_all best-of-3 s", "speedup"});
+  f.set_title("perf::fit_all on the 256-fragment bench table");
+  double serial_best = 0.0;
+  for (std::size_t threads : thread_counts) {
+    perf::FitOptions fopt;
+    fopt.threads = threads;
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      const auto fits = perf::fit_all(baseline.bench, fopt);
+      const std::chrono::duration<double> dt = clock::now() - t0;
+      best = std::min(best, dt.count());
+      if (fits.size() != sys.num_fragments()) return 1;
+    }
+    if (threads == 1) serial_best = best;
+    f.add_row({Table::num(static_cast<long long>(threads)),
+               Table::num(best, 3),
+               Table::num(serial_best / std::max(best, 1e-12), 2) + "x"});
+  }
+  std::printf("%s\n", f.str().c_str());
+
+  std::printf("allocations across thread counts: %s\n",
+              all_identical ? "identical (determinism contract holds)"
+                            : "DIVERGED (bug!)");
+  return all_identical ? 0 : 1;
+}

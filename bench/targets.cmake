@@ -21,6 +21,7 @@ hslb_add_bench(fmo_objectives hslb_fmo)
 hslb_add_bench(fmo_imbalance hslb_fmo)
 hslb_add_bench(fmo_predicted_vs_actual hslb_fmo)
 hslb_add_bench(fmo_solver_crosscheck hslb_fmo)
+hslb_add_bench(pipeline_parallel hslb_fmo)
 
 # Ablations called out in DESIGN.md.
 hslb_add_bench(minlp_sos hslb_cesm)

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   std::printf("CESM %s, %s, %lld nodes\n\n", to_string(res), to_string(layout),
               nodes);
 
-  PipelineOptions opt;
+  cesm::PipelineOptions opt;
   opt.layout = layout;
   const auto result = run_pipeline(res, nodes, opt);
 

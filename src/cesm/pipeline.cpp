@@ -57,40 +57,101 @@ std::vector<std::pair<std::string, std::vector<long long>>> gather_plan(
   return plan;
 }
 
-PipelineResult run_pipeline(Resolution r, long long total_nodes,
-                            const PipelineOptions& options) {
-  PipelineResult out;
-  Simulator sim(r, options.sim);
+namespace {
 
-  // -- Step 1: Gather -------------------------------------------------------
-  const auto plan =
-      gather_plan(r, total_nodes, options.ocean_constrained, options.fit_points);
-  GatherOptions gopt;
-  gopt.repetitions = options.repetitions;
-  out.bench = gather(
-      plan,
-      [&](const std::string& task, long long nodes, std::uint64_t) {
-        return sim.benchmark(component_from_string(task), nodes);
-      },
-      gopt);
+/// The CESM substrate behind the hslb::Pipeline engine: gather_plan's
+/// per-component node counts, order-independent simulator probes, the
+/// Table I layout MINLP as the Solve step, and a full simulated coupled
+/// run as Execute.
+class CesmApplication final : public Application {
+ public:
+  CesmApplication(Resolution r, long long total_nodes,
+                  const PipelineOptions& options)
+      : resolution_(r),
+        total_nodes_(total_nodes),
+        options_(options),
+        sim_(r, options.sim) {}
 
-  // -- Step 2: Fit ----------------------------------------------------------
-  std::array<perf::Model, 4> models;
-  for (Component c : kComponents) {
-    const auto& samples = out.bench.find(to_string(c)).samples;
-    out.fits[index(c)] = perf::fit(samples, options.fit);
-    models[index(c)] = out.fits[index(c)].model;
+  std::string name() const override {
+    return std::string("cesm/") + to_string(resolution_);
   }
 
-  // -- Step 3: Solve --------------------------------------------------------
-  LayoutProblem problem = make_problem(r, options.layout, total_nodes, models,
-                                       options.ocean_constrained);
-  problem.tsync = options.tsync;
-  out.solution = solve_layout(problem, options.bnb);
+  GatherPlan gather_plan() override {
+    return cesm::gather_plan(resolution_, total_nodes_,
+                             options_.ocean_constrained, options_.fit_points);
+  }
 
-  // -- Step 4: Execute ------------------------------------------------------
-  out.actual_seconds = sim.run_components(out.solution.nodes);
-  out.actual_total = layout_total(options.layout, out.actual_seconds);
+  double probe(const std::string& task, long long nodes,
+               std::uint64_t rep) override {
+    return sim_.benchmark_at(component_from_string(task), nodes, rep);
+  }
+
+  perf::FitOptions fit_options() const override { return options_.fit; }
+
+  SolveOutcome solve(const std::vector<std::pair<std::string, perf::FitResult>>&
+                         fits) override {
+    std::array<perf::Model, 4> models;
+    for (const auto& [task, fit] : fits)
+      models[index(component_from_string(task))] = fit.model;
+
+    LayoutProblem problem = make_problem(resolution_, options_.layout,
+                                         total_nodes_, models,
+                                         options_.ocean_constrained);
+    problem.tsync = options_.tsync;
+    solution_ = solve_layout(problem, options_.bnb);
+
+    SolveOutcome out;
+    for (Component c : kComponents) {
+      out.allocation.tasks.push_back(
+          {to_string(c), solution_.nodes[index(c)],
+           solution_.predicted_seconds[index(c)]});
+    }
+    out.allocation.predicted_total = solution_.predicted_total;
+    out.predicted_total = solution_.predicted_total;
+    out.solver.status = minlp::to_string(solution_.stats.status);
+    out.solver.nodes = solution_.stats.nodes;
+    out.solver.cuts = solution_.stats.cuts;
+    out.solver.gap = solution_.stats.gap;
+    out.solver.seconds = solution_.stats.seconds;
+    return out;
+  }
+
+  double execute(const SolveOutcome&) override {
+    actual_seconds_ = sim_.run_components(solution_.nodes);
+    actual_total_ = layout_total(options_.layout, actual_seconds_);
+    return actual_total_;
+  }
+
+  // Substrate-specific outputs copied into PipelineResult by run_pipeline.
+  Solution solution_;
+  std::array<double, 4> actual_seconds_{};
+  double actual_total_ = 0.0;
+
+ private:
+  Resolution resolution_;
+  long long total_nodes_;
+  const PipelineOptions& options_;
+  Simulator sim_;
+};
+
+}  // namespace
+
+PipelineResult run_pipeline(Resolution r, long long total_nodes,
+                            const PipelineOptions& options) {
+  CesmApplication app(r, total_nodes, options);
+  hslb::PipelineOptions engine_options;
+  engine_options.threads = options.threads;
+  engine_options.gather_repetitions = options.repetitions;
+  auto run = Pipeline(engine_options).run(app);
+
+  PipelineResult out;
+  out.bench = std::move(run.bench);
+  for (const auto& [task, fit] : run.fits)
+    out.fits[index(component_from_string(task))] = fit;
+  out.solution = std::move(app.solution_);
+  out.actual_seconds = app.actual_seconds_;
+  out.actual_total = app.actual_total_;
+  out.report = std::move(run.report);
   return out;
 }
 

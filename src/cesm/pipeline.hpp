@@ -14,6 +14,7 @@
 
 #include "cesm/layouts.hpp"
 #include "cesm/simulator.hpp"
+#include "hslb/pipeline.hpp"
 #include "perf/fit.hpp"
 
 namespace hslb::cesm {
@@ -28,6 +29,9 @@ struct PipelineOptions {
   SimulatorOptions sim;
   /// lnd/ice synchronization tolerance (seconds); infinity = off.
   double tsync = std::numeric_limits<double>::infinity();
+  /// Worker threads for the Gather and Fit stages (0 = hardware
+  /// concurrency); allocations are identical for every thread count.
+  std::size_t threads = 1;
 };
 
 struct PipelineResult {
@@ -36,6 +40,9 @@ struct PipelineResult {
   Solution solution;                       ///< Solve output (predicted)
   std::array<double, 4> actual_seconds{};  ///< Execute output
   double actual_total = 0.0;
+
+  /// Per-stage instrumentation from the hslb::Pipeline engine.
+  PipelineReport report;
 
   double min_r2() const;
 };

@@ -11,6 +11,7 @@ namespace hslb::cesm {
 
 Simulator::Simulator(Resolution r, SimulatorOptions options)
     : resolution_(r),
+      options_(options),
       noise_(options.noise_cv, options.seed),
       ice_noise_(options.ice_noise_cv, options.seed ^ 0x9e3779b97f4a7c15ull) {}
 
@@ -22,6 +23,17 @@ double Simulator::true_seconds(Component c, long long nodes) const {
 double Simulator::benchmark(Component c, long long nodes) {
   const double truth = true_seconds(c, nodes);
   return c == Component::Ice ? ice_noise_.perturb(truth) : noise_.perturb(truth);
+}
+
+double Simulator::benchmark_at(Component c, long long nodes,
+                               std::uint64_t rep) const {
+  const double cv =
+      c == Component::Ice ? options_.ice_noise_cv : options_.noise_cv;
+  const std::uint64_t seed =
+      derive_seed(derive_seed(options_.seed, index(c)),
+                  static_cast<std::uint64_t>(nodes) * 4096 + rep);
+  sim::NoiseModel noise(cv, seed);
+  return noise.perturb(true_seconds(c, nodes));
 }
 
 std::array<double, 4> Simulator::run_components(

@@ -29,7 +29,13 @@ class Simulator {
   Simulator(Resolution r, SimulatorOptions options = {});
 
   /// One benchmark probe: component `c` run on `nodes` nodes (noisy).
+  /// Draws from the simulator's shared RNG streams (stateful).
   double benchmark(Component c, long long nodes);
+
+  /// Order-independent probe for the parallel Gather stage: the noise draw
+  /// is derived from (seed, component, nodes, rep) only, so concurrent
+  /// probes return identical values for every thread count and call order.
+  double benchmark_at(Component c, long long nodes, std::uint64_t rep) const;
 
   /// A full coupled run at the given allocation: per-component times.
   std::array<double, 4> run_components(const std::array<long long, 4>& nodes);
@@ -65,6 +71,7 @@ class Simulator {
 
  private:
   Resolution resolution_;
+  SimulatorOptions options_;
   sim::NoiseModel noise_;
   sim::NoiseModel ice_noise_;
 };

@@ -43,12 +43,17 @@ int usage(int code) {
       "  hslb solve  --models models.csv --nodes N [--objective min-max]\n"
       "                                 budgeted node allocation\n"
       "  hslb cesm   --resolution 1|8 --nodes N [--layout 1|2|3]\n"
-      "              [--unconstrained-ocean] [--tsync S]\n"
+      "              [--unconstrained-ocean] [--tsync S] [--threads T]\n"
       "              [--export-ampl out.mod]   full simulated pipeline\n"
       "  hslb fmo    --fragments F --nodes N [--peptide]\n"
-      "              [--objective min-max]     full simulated pipeline\n"
+      "              [--objective min-max] [--threads T]\n"
+      "                                 full simulated pipeline\n"
+      "\n"
       "  hslb advise --resolution 1|8 [--layout 1|2|3] [--efficiency 0.5]\n"
-      "              [--min-nodes A] [--max-nodes B]  node-count planning\n");
+      "              [--min-nodes A] [--max-nodes B]  node-count planning\n"
+      "\n"
+      "  --threads T parallelizes the Gather and Fit stages (0 = hardware\n"
+      "  concurrency; allocations are identical for any T).\n");
   return code;
 }
 
@@ -105,6 +110,9 @@ int cmd_cesm(const Args& args) {
   opt.layout = static_cast<cesm::Layout>(args.get("layout", 1LL));
   opt.ocean_constrained = !args.flag("unconstrained-ocean");
   opt.tsync = args.get("tsync", std::numeric_limits<double>::infinity());
+  const long long threads = args.get("threads", 0LL);
+  HSLB_EXPECTS(threads >= 0);
+  opt.threads = static_cast<std::size_t>(threads);
 
   const auto res = cesm::run_pipeline(r, nodes, opt);
 
@@ -127,6 +135,7 @@ int cmd_cesm(const Args& args) {
               res.solution.stats.nodes, res.solution.stats.cuts,
               res.solution.stats.seconds,
               minlp::to_string(res.solution.stats.status).c_str());
+  std::printf("\n%s", res.report.str().c_str());
 
   if (const auto path = args.value("export-ampl")) {
     std::array<perf::Model, 4> models;
@@ -154,6 +163,9 @@ int cmd_fmo(const Args& args) {
   const long long nodes = args.get("nodes", fragments * 16);
   fmo::PipelineOptions opt;
   opt.objective = parse_objective(args.get("objective", "min-max"));
+  const long long threads = args.get("threads", 0LL);
+  HSLB_EXPECTS(threads >= 0);
+  opt.threads = static_cast<std::size_t>(threads);
 
   const auto sys =
       args.flag("peptide")
@@ -179,6 +191,7 @@ int cmd_fmo(const Args& args) {
   std::printf("DLB : %.3f s total, efficiency %.3f  =>  HSLB speedup %.2fx\n",
               res.dlb.total_seconds, res.dlb.efficiency(nodes),
               res.dlb.total_seconds / res.hslb.total_seconds);
+  std::printf("\n%s", res.report.str().c_str());
   return 0;
 }
 

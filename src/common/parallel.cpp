@@ -1,0 +1,95 @@
+#include "common/parallel.hpp"
+
+#include "common/contracts.hpp"
+
+namespace hslb {
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : size_(threads == 0 ? hardware_threads() : threads) {
+  workers_.reserve(size_ - 1);
+  for (std::size_t w = 1; w < size_; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_indices();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_indices() {
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job_size_) return;
+    try {
+      (*body_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  HSLB_EXPECTS(static_cast<bool>(body));
+  if (n == 0) return;
+  if (size_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HSLB_EXPECTS(body_ == nullptr);  // not reentrant
+    body_ = &body;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_indices();  // the calling thread works too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    body_ = nullptr;
+    job_size_ = 0;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  ThreadPool pool(threads == 0 ? 0 : threads);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace hslb

@@ -105,4 +105,12 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::spawn() { return Rng(next()); }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Two SplitMix64 steps keyed by base and stream; distinct streams land in
+  // well-separated states even for adjacent (base, stream) pairs.
+  std::uint64_t x = base ^ (0x9e3779b97f4a7c15ull * (stream + 1));
+  std::uint64_t s = splitmix64(x);
+  return splitmix64(s);
+}
+
 }  // namespace hslb

@@ -13,6 +13,12 @@
 
 namespace hslb {
 
+/// Mixes a base seed with a stream index into an independent child seed
+/// (SplitMix64 avalanche). Used for deterministic per-task RNG streams:
+/// probes and fits executed in parallel draw from derive_seed(seed, task)
+/// so results are identical for every thread count and execution order.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 /// xoshiro256++ pseudo-random generator with convenience distributions.
 class Rng {
  public:

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "sim/noise.hpp"
 
 namespace hslb::fmo {
@@ -30,112 +33,148 @@ std::vector<BudgetTask> make_budget_tasks(
   return tasks;
 }
 
-PipelineResult run_pipeline(const System& sys, const CostModel& cost,
-                            long long nodes, const PipelineOptions& options) {
-  HSLB_EXPECTS(nodes >= static_cast<long long>(sys.num_fragments()));
-  HSLB_EXPECTS(options.fit_points >= 2);
-  PipelineResult out;
+namespace {
 
-  // -- Step 1: Gather ------------------------------------------------------
-  const long long hi = probe_ceiling(sys, nodes);
-  const auto counts = geometric_node_counts(1, hi, options.fit_points);
-  sim::NoiseModel bench_noise(options.bench_noise_cv, options.seed);
-
-  std::vector<perf::Model> truth;
-  std::vector<std::string> names;
-  truth.reserve(sys.num_fragments());
-  for (const auto& f : sys.fragments) {
-    truth.push_back(cost.monomer(f));
-    names.push_back(f.name);
+/// The FMO substrate behind the hslb::Pipeline engine. Probe noise is
+/// derived per (fragment, node count, repetition) so Gather parallelizes
+/// with identical results for every thread count; stream indices
+/// [0, F) are the monomer fragments, [F, F + #dimers) the probed dimers.
+class FmoApplication final : public Application {
+ public:
+  FmoApplication(const System& sys, const CostModel& cost, long long nodes,
+                 const PipelineOptions& options)
+      : sys_(sys), cost_(cost), nodes_(nodes), options_(options) {
+    hi_ = probe_ceiling(sys, nodes);
+    counts_ = geometric_node_counts(1, hi_, options.fit_points);
+    truth_.reserve(sys.num_fragments());
+    names_.reserve(sys.num_fragments());
+    for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+      truth_.push_back(cost.monomer(sys.fragments[f]));
+      names_.push_back(sys.fragments[f].name);
+      index_of_[sys.fragments[f].name] = f;
+    }
   }
-  GatherOptions gopt;
-  gopt.repetitions = options.repetitions;
-  out.bench = gather(
-      names, counts,
-      [&](const std::string& task, long long n, std::uint64_t) {
-        // Locate the fragment for this task name (names are unique).
-        for (std::size_t f = 0; f < names.size(); ++f) {
-          if (names[f] == task)
-            return bench_noise.perturb(truth[f].eval(static_cast<double>(n)));
-        }
-        HSLB_ASSERT(!"unknown task");
-        return 0.0;
-      },
-      gopt);
 
-  // -- Step 2: Fit ----------------------------------------------------------
-  out.fits = perf::fit_all(out.bench, options.fit);
-  out.min_r2 = 1.0;
-  double r2_sum = 0.0;
-  for (const auto& [name, fit] : out.fits) {
-    out.min_r2 = std::min(out.min_r2, fit.r2);
-    r2_sum += fit.r2;
+  std::string name() const override { return "fmo/" + sys_.name; }
+
+  GatherPlan gather_plan() override {
+    GatherPlan plan;
+    plan.reserve(names_.size());
+    for (const auto& n : names_) plan.emplace_back(n, counts_);
+    return plan;
   }
-  out.mean_r2 = r2_sum / static_cast<double>(out.fits.size());
 
-  // -- Step 3: Solve --------------------------------------------------------
-  const auto tasks = make_budget_tasks(sys, out.fits, hi);
-  out.allocation = solve_budget(tasks, nodes, options.objective);
-  // Predicted SCC loop: every iteration runs one wave of all fragments.
-  const double wave = [&] {
-    double w = 0.0;
+  double probe(const std::string& task, long long n,
+               std::uint64_t rep) override {
+    const auto it = index_of_.find(task);
+    HSLB_ASSERT(it != index_of_.end());
+    return noisy(truth_[it->second].eval(static_cast<double>(n)), it->second,
+                 n, rep);
+  }
+
+  perf::FitOptions fit_options() const override { return options_.fit; }
+
+  SolveOutcome solve(const std::vector<std::pair<std::string, perf::FitResult>>&
+                         fits) override {
+    SolveOutcome out;
+    const auto tasks = make_budget_tasks(sys_, fits, hi_);
+    out.allocation = solve_budget(tasks, nodes_, options_.objective);
+    out.solver.status = to_string(options_.objective) + " exact greedy";
+    // Predicted SCC loop: every iteration runs one wave of all fragments.
+    double wave = 0.0;
     for (const auto& t : out.allocation.tasks)
-      w = std::max(w, t.predicted_seconds);
-    return w;
-  }();
-  out.predicted_scc_seconds =
-      static_cast<double>(options.run.scc_iterations) *
-      (wave + options.run.sync_overhead);
+      wave = std::max(wave, t.predicted_seconds);
+    predicted_scc_seconds_ =
+        static_cast<double>(options_.run.scc_iterations) *
+        (wave + options_.run.sync_overhead);
+    out.predicted_total = predicted_scc_seconds_;
+    return out;
+  }
 
-  // -- Steps 1b/2b: probe and fit a representative dimer subset -------------
-  if (options.dimer_probe_count > 0 && !sys.scf_dimers.empty()) {
+  double execute(const SolveOutcome& solution) override {
+    probe_and_fit_dimers();
+    hslb_ = run_hslb(sys_, cost_, solution.allocation, nodes_,
+                     dimer_predictions_, options_.run);
+    const std::size_t dlb_groups =
+        options_.dlb_groups == 0 ? sys_.num_fragments() : options_.dlb_groups;
+    dlb_ = run_dlb(sys_, cost_, GroupLayout::uniform(nodes_, dlb_groups),
+                   options_.run);
+    return hslb_.scc_seconds;
+  }
+
+  // Substrate-specific outputs copied into PipelineResult by run_pipeline.
+  double predicted_scc_seconds_ = 0.0;
+  DimerPredictions dimer_predictions_;
+  double dimer_min_r2_ = 1.0;
+  ExecutionResult hslb_;
+  ExecutionResult dlb_;
+
+ private:
+  /// One noise draw derived from (stream, node count, repetition).
+  double noisy(double true_seconds, std::size_t stream, long long n,
+               std::uint64_t rep) const {
+    const std::uint64_t seed = derive_seed(
+        derive_seed(options_.seed, stream),
+        static_cast<std::uint64_t>(n) * 4096 + rep);
+    sim::NoiseModel noise(options_.bench_noise_cv, seed);
+    return noise.perturb(true_seconds);
+  }
+
+  // Steps 1b/2b: probe and fit a representative dimer subset, then scale
+  // every dimer's model from the nearest probed size.
+  void probe_and_fit_dimers() {
+    if (options_.dimer_probe_count == 0 || sys_.scf_dimers.empty()) return;
     // Pick probes spread across the combined-size range.
-    std::vector<std::size_t> by_size(sys.scf_dimers.size());
+    std::vector<std::size_t> by_size(sys_.scf_dimers.size());
     for (std::size_t d = 0; d < by_size.size(); ++d) by_size[d] = d;
     auto size_of = [&](std::size_t d) {
-      return sys.fragments[sys.scf_dimers[d].i].basis_functions +
-             sys.fragments[sys.scf_dimers[d].j].basis_functions;
+      return sys_.fragments[sys_.scf_dimers[d].i].basis_functions +
+             sys_.fragments[sys_.scf_dimers[d].j].basis_functions;
     };
-    std::sort(by_size.begin(), by_size.end(),
-              [&](std::size_t a, std::size_t b) { return size_of(a) < size_of(b); });
+    std::sort(by_size.begin(), by_size.end(), [&](std::size_t a, std::size_t b) {
+      return size_of(a) < size_of(b);
+    });
     std::vector<std::size_t> probes;
     const std::size_t want =
-        std::min(options.dimer_probe_count, sys.scf_dimers.size());
+        std::min(options_.dimer_probe_count, sys_.scf_dimers.size());
     for (std::size_t k = 0; k < want; ++k) {
-      const auto pos = want == 1 ? 0
-                                 : k * (by_size.size() - 1) / (want - 1);
+      const auto pos = want == 1 ? 0 : k * (by_size.size() - 1) / (want - 1);
       if (probes.empty() || probes.back() != by_size[pos])
         probes.push_back(by_size[pos]);
     }
 
-    // Probe + fit each selected dimer at the same node counts.
+    // Probe + fit each selected dimer at the same node counts (independent
+    // per dimer, so this parallelizes like the monomer Gather/Fit stages).
     struct Probed {
       double nbf;
       perf::Model model;
+      double r2;
     };
-    std::vector<Probed> fitted;
-    for (std::size_t d : probes) {
-      const auto& pair = sys.scf_dimers[d];
+    std::vector<Probed> fitted(probes.size());
+    parallel_for(options_.threads, probes.size(), [&](std::size_t k) {
+      const std::size_t d = probes[k];
+      const auto& pair = sys_.scf_dimers[d];
       const auto true_model =
-          cost.dimer(sys.fragments[pair.i], sys.fragments[pair.j]);
+          cost_.dimer(sys_.fragments[pair.i], sys_.fragments[pair.j]);
       perf::SampleSet samples;
-      for (long long n : counts) {
-        for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      for (long long n : counts_) {
+        for (std::uint64_t rep = 0; rep < options_.repetitions; ++rep) {
           samples.push_back(
               {static_cast<double>(n),
-               bench_noise.perturb(true_model.eval(static_cast<double>(n)))});
+               noisy(true_model.eval(static_cast<double>(n)),
+                     names_.size() + d, n, rep)});
         }
       }
-      const auto fit = perf::fit(samples, options.fit);
-      out.dimer_min_r2 = std::min(out.dimer_min_r2, fit.r2);
-      fitted.push_back(
-          Probed{static_cast<double>(size_of(d)), fit.model});
-    }
+      const auto fit = perf::fit(samples, options_.fit);
+      fitted[k] = Probed{static_cast<double>(size_of(d)), fit.model, fit.r2};
+    });
+    for (const auto& p : fitted)
+      dimer_min_r2_ = std::min(dimer_min_r2_, p.r2);
 
     // Scale every dimer's model from the nearest probed size: SCF work
     // grows ~ nbf^3 (a, d) and communication ~ nbf^2 (b).
-    out.dimer_predictions.models.resize(sys.scf_dimers.size());
-    for (std::size_t d = 0; d < sys.scf_dimers.size(); ++d) {
+    dimer_predictions_.models.resize(sys_.scf_dimers.size());
+    for (std::size_t d = 0; d < sys_.scf_dimers.size(); ++d) {
       const double s = static_cast<double>(size_of(d));
       const Probed* nearest = &fitted.front();
       for (const auto& p : fitted) {
@@ -147,18 +186,51 @@ PipelineResult run_pipeline(const System& sys, const CostModel& cost,
       m.a *= work_ratio;
       m.d *= work_ratio;
       m.b *= comm_ratio;
-      out.dimer_predictions.models[d] = m;
+      dimer_predictions_.models[d] = m;
     }
   }
 
-  // -- Step 4: Execute ------------------------------------------------------
-  out.hslb = run_hslb(sys, cost, out.allocation, nodes, out.dimer_predictions,
-                      options.run);
+  const System& sys_;
+  const CostModel& cost_;
+  long long nodes_;
+  const PipelineOptions& options_;
+  long long hi_ = 0;
+  std::vector<long long> counts_;
+  std::vector<perf::Model> truth_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> index_of_;
+};
 
-  const std::size_t dlb_groups =
-      options.dlb_groups == 0 ? sys.num_fragments() : options.dlb_groups;
-  out.dlb = run_dlb(sys, cost, GroupLayout::uniform(nodes, dlb_groups),
-                    options.run);
+}  // namespace
+
+PipelineResult run_pipeline(const System& sys, const CostModel& cost,
+                            long long nodes, const PipelineOptions& options) {
+  HSLB_EXPECTS(nodes >= static_cast<long long>(sys.num_fragments()));
+  HSLB_EXPECTS(options.fit_points >= 2);
+
+  FmoApplication app(sys, cost, nodes, options);
+  hslb::PipelineOptions engine_options;
+  engine_options.threads = options.threads;
+  engine_options.gather_repetitions = options.repetitions;
+  auto run = Pipeline(engine_options).run(app);
+
+  PipelineResult out;
+  out.bench = std::move(run.bench);
+  out.fits = std::move(run.fits);
+  out.allocation = std::move(run.solution.allocation);
+  out.min_r2 = 1.0;
+  double r2_sum = 0.0;
+  for (const auto& [name, fit] : out.fits) {
+    out.min_r2 = std::min(out.min_r2, fit.r2);
+    r2_sum += fit.r2;
+  }
+  out.mean_r2 = r2_sum / static_cast<double>(out.fits.size());
+  out.predicted_scc_seconds = app.predicted_scc_seconds_;
+  out.dimer_predictions = std::move(app.dimer_predictions_);
+  out.dimer_min_r2 = app.dimer_min_r2_;
+  out.hslb = std::move(app.hslb_);
+  out.dlb = std::move(app.dlb_);
+  out.report = std::move(run.report);
   return out;
 }
 

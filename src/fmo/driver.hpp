@@ -18,6 +18,7 @@
 #include "hslb/budget.hpp"
 #include "hslb/gather.hpp"
 #include "hslb/objective.hpp"
+#include "hslb/pipeline.hpp"
 #include "perf/fit.hpp"
 
 namespace hslb::fmo {
@@ -44,6 +45,11 @@ struct PipelineOptions {
   RunOptions run;
   /// DLB baseline group count; 0 means one group per fragment.
   std::size_t dlb_groups = 0;
+
+  /// Worker threads for the Gather and Fit stages (0 = hardware
+  /// concurrency). Allocations are identical for every thread count:
+  /// probe noise is derived per (fragment, node count, repetition).
+  std::size_t threads = 1;
 };
 
 struct PipelineResult {
@@ -66,10 +72,15 @@ struct PipelineResult {
   /// Fit-quality summary over fragments.
   double min_r2 = 0.0;
   double mean_r2 = 0.0;
+
+  /// Per-stage instrumentation from the hslb::Pipeline engine (stage wall
+  /// times, per-fragment R², solver stats, predicted-vs-actual SCC).
+  PipelineReport report;
 };
 
-/// Runs the full pipeline on `nodes` nodes. Requires nodes >= #fragments
-/// (HSLB gives every fragment at least one node).
+/// Runs the full pipeline on `nodes` nodes via the shared hslb::Pipeline
+/// engine. Requires nodes >= #fragments (HSLB gives every fragment at
+/// least one node).
 PipelineResult run_pipeline(const System& sys, const CostModel& cost,
                             long long nodes, const PipelineOptions& options = {});
 

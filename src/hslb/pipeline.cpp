@@ -1,0 +1,142 @@
+#include "hslb/pipeline.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+#include "common/strings.hpp"
+
+namespace hslb {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+double PipelineReport::total_seconds() const {
+  return gather_seconds + fit_seconds + solve_seconds + execute_seconds;
+}
+
+double PipelineReport::min_r2() const {
+  double m = 1.0;
+  for (const auto& f : fits) m = std::min(m, f.r2);
+  return m;
+}
+
+double PipelineReport::mean_r2() const {
+  if (fits.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& f : fits) sum += f.r2;
+  return sum / static_cast<double>(fits.size());
+}
+
+double PipelineReport::prediction_error() const {
+  if (predicted_total == 0.0) return 0.0;
+  return (actual_total - predicted_total) / predicted_total;
+}
+
+std::string PipelineReport::str() const {
+  std::string out = strings::format(
+      "pipeline report — %s (%zu thread%s)\n", application.c_str(), threads,
+      threads == 1 ? "" : "s");
+  out += strings::format("  gather   %8.3f s  (%zu probes)\n", gather_seconds,
+                         probes);
+  out += strings::format(
+      "  fit      %8.3f s  (%zu tasks, R^2 min %.4f mean %.4f)\n", fit_seconds,
+      fits.size(), min_r2(), mean_r2());
+  out += strings::format(
+      "  solve    %8.3f s  (%s: %zu nodes, %zu cuts, gap %g, %.3f s)\n",
+      solve_seconds, solver.status.c_str(), solver.nodes, solver.cuts,
+      solver.gap, solver.seconds);
+  out += strings::format("  execute  %8.3f s\n", execute_seconds);
+  out += strings::format(
+      "  predicted %.3f s, actual %.3f s (error %+.1f%%)\n", predicted_total,
+      actual_total, 100.0 * prediction_error());
+  return out;
+}
+
+std::string PipelineReport::csv_header() {
+  return "application,threads,gather_s,fit_s,solve_s,execute_s,probes,tasks,"
+         "min_r2,mean_r2,solver_status,solver_nodes,solver_cuts,solver_gap,"
+         "predicted_s,actual_s";
+}
+
+std::string PipelineReport::csv_row() const {
+  return strings::format(
+      "%s,%zu,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%.6f,%.6f,%s,%zu,%zu,%g,%.6f,%.6f",
+      application.c_str(), threads, gather_seconds, fit_seconds, solve_seconds,
+      execute_seconds, probes, fits.size(), min_r2(), mean_r2(),
+      solver.status.c_str(), solver.nodes, solver.cuts, solver.gap,
+      predicted_total, actual_total);
+}
+
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
+  HSLB_EXPECTS(options_.gather_repetitions >= 1);
+}
+
+PipelineRun Pipeline::run(Application& app) const {
+  PipelineRun out;
+  ThreadPool pool(options_.threads);
+  out.report.application = app.name();
+  out.report.threads = pool.size();
+
+  // -- Step 1: Gather --------------------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  const GatherPlan plan = app.gather_plan();
+  HSLB_EXPECTS(!plan.empty());
+  out.bench.tasks.resize(plan.size());
+  const std::size_t reps = options_.gather_repetitions;
+  // Task-level parallelism: each task's probes run serially in plan order
+  // inside one pool job; results land at the task's index, so the table is
+  // identical for every thread count.
+  pool.parallel_for(plan.size(), [&](std::size_t t) {
+    const auto& [task, counts] = plan[t];
+    HSLB_EXPECTS(!counts.empty());
+    perf::TaskBench bench{task, {}};
+    bench.samples.reserve(counts.size() * reps);
+    for (long long n : counts) {
+      HSLB_EXPECTS(n >= 1);
+      for (std::uint64_t rep = 0; rep < reps; ++rep) {
+        const double seconds = app.probe(task, n, rep);
+        HSLB_EXPECTS(seconds > 0.0);
+        bench.samples.push_back({static_cast<double>(n), seconds});
+      }
+    }
+    out.bench.tasks[t] = std::move(bench);
+  });
+  for (const auto& t : out.bench.tasks) out.report.probes += t.samples.size();
+  out.report.gather_seconds = seconds_since(t0);
+
+  // -- Step 2: Fit -----------------------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  perf::FitOptions fit_opt = app.fit_options();
+  fit_opt.threads = pool.size();
+  out.fits = perf::fit_all(out.bench, fit_opt, &pool);
+  for (const auto& [task, fit] : out.fits)
+    out.report.fits.push_back({task, fit.r2, fit.converged});
+  out.report.fit_seconds = seconds_since(t0);
+
+  // -- Step 3: Solve ---------------------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  out.solution = app.solve(out.fits);
+  if (out.solution.predicted_total == 0.0)
+    out.solution.predicted_total = out.solution.allocation.predicted_total;
+  out.report.solver = out.solution.solver;
+  out.report.predicted_total = out.solution.predicted_total;
+  out.report.solve_seconds = seconds_since(t0);
+
+  // -- Step 4: Execute -------------------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  out.actual_total = app.execute(out.solution);
+  out.report.actual_total = out.actual_total;
+  out.report.execute_seconds = seconds_since(t0);
+
+  return out;
+}
+
+}  // namespace hslb

@@ -1,0 +1,152 @@
+// The substrate-agnostic four-step HSLB engine (§III-F; §V's "black box"):
+//
+//   Gather -> Fit -> Solve -> Execute
+//
+// Any application plugs in via the Application interface — a benchmark
+// plan, a probe function, a problem builder (Solve), and an executor — and
+// the engine runs the four steps, parallelizing the embarrassingly
+// parallel Gather and Fit stages over a fixed-size thread pool, and
+// returns a PipelineReport with per-stage wall time, per-task fit R²,
+// solver statistics, and the predicted-vs-actual delta.
+//
+// Determinism contract: probe() must derive any randomness from its
+// (task, nodes, rep) arguments (see hslb::derive_seed), never from shared
+// mutable state, so allocations are identical for every thread count.
+// Both bundled substrates (fmo::run_pipeline, cesm::run_pipeline) and
+// examples/custom_application.cpp are built on this engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hslb/allocation.hpp"
+#include "hslb/gather.hpp"
+#include "perf/fit.hpp"
+
+namespace hslb {
+
+/// Per-task benchmark node counts, in the order tasks are fitted/reported.
+using GatherPlan = std::vector<std::pair<std::string, std::vector<long long>>>;
+
+/// Solver diagnostics surfaced in the report. The branch-and-bound path
+/// fills node/cut counts and the bound gap; the closed-form greedy solvers
+/// report zeros with their own status string.
+struct SolverStats {
+  std::string status = "optimal";
+  std::size_t nodes = 0;  ///< B&B nodes explored
+  std::size_t cuts = 0;   ///< outer-approximation cuts added
+  double gap = 0.0;       ///< incumbent-vs-bound gap (0 = proven optimal)
+  double seconds = 0.0;   ///< solver-internal wall time
+};
+
+/// What the Solve step hands to the Execute step.
+struct SolveOutcome {
+  Allocation allocation;
+  /// Predicted end-to-end metric the actual run is compared against
+  /// (defaults to allocation.predicted_total when left at 0).
+  double predicted_total = 0.0;
+  SolverStats solver;
+};
+
+/// Fit quality of one task (report row).
+struct TaskFitReport {
+  std::string task;
+  double r2 = 0.0;
+  bool converged = false;
+};
+
+/// Structured per-run observability: every caller and bench can print or
+/// CSV-dump this instead of re-deriving its own diagnostics.
+struct PipelineReport {
+  std::string application;
+  std::size_t threads = 1;
+
+  // Per-stage wall time (seconds).
+  double gather_seconds = 0.0;
+  double fit_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double execute_seconds = 0.0;
+  double total_seconds() const;
+
+  std::size_t probes = 0;  ///< benchmark runs performed during Gather
+
+  std::vector<TaskFitReport> fits;  ///< per-task fit R²
+  double min_r2() const;
+  double mean_r2() const;
+
+  SolverStats solver;
+
+  double predicted_total = 0.0;  ///< Solve's prediction
+  double actual_total = 0.0;     ///< Execute's measurement
+  /// (actual - predicted) / predicted; 0 when predicted is 0.
+  double prediction_error() const;
+
+  /// Human-readable multi-line rendering (what `hslb fmo/cesm` print).
+  std::string str() const;
+
+  /// One-line CSV dump (see csv_header) for bench sweeps.
+  static std::string csv_header();
+  std::string csv_row() const;
+};
+
+/// The substrate interface: implement these hooks and Pipeline::run does
+/// the orchestration. Hooks are called in order: gather_plan, probe (many
+/// times, possibly concurrently), fit_options, solve, execute.
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Label used in reports.
+  virtual std::string name() const = 0;
+
+  // -- Gather ---------------------------------------------------------------
+  virtual GatherPlan gather_plan() = 0;
+
+  /// One benchmark probe: task at `nodes`, repetition `rep`. MUST be
+  /// thread-safe and order-independent (derive randomness from the
+  /// arguments; see the determinism contract above).
+  virtual double probe(const std::string& task, long long nodes,
+                       std::uint64_t rep) = 0;
+
+  // -- Fit ------------------------------------------------------------------
+  virtual perf::FitOptions fit_options() const { return {}; }
+
+  // -- Solve ----------------------------------------------------------------
+  virtual SolveOutcome solve(
+      const std::vector<std::pair<std::string, perf::FitResult>>& fits) = 0;
+
+  // -- Execute --------------------------------------------------------------
+  /// Runs the application under the allocation; returns the actual value of
+  /// the metric `SolveOutcome::predicted_total` predicts.
+  virtual double execute(const SolveOutcome& solution) = 0;
+};
+
+struct PipelineOptions {
+  std::size_t threads = 1;  ///< worker threads; 0 = hardware concurrency
+  std::size_t gather_repetitions = 1;  ///< timed runs per (task, node count)
+};
+
+/// Everything a run produced, stage by stage.
+struct PipelineRun {
+  perf::BenchTable bench;  ///< Gather output
+  std::vector<std::pair<std::string, perf::FitResult>> fits;  ///< Fit output
+  SolveOutcome solution;   ///< Solve output
+  double actual_total = 0.0;  ///< Execute output
+  PipelineReport report;
+};
+
+/// The engine. Stateless apart from its options; run() may be called
+/// repeatedly (each call builds its own thread pool).
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {});
+
+  PipelineRun run(Application& app) const;
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace hslb

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "nlsq/multistart.hpp"
 
@@ -83,10 +84,19 @@ FitResult fit(const SampleSet& samples, const FitOptions& options) {
 }
 
 std::vector<std::pair<std::string, FitResult>> fit_all(
-    const BenchTable& table, const FitOptions& options) {
-  std::vector<std::pair<std::string, FitResult>> out;
-  out.reserve(table.tasks.size());
-  for (const auto& t : table.tasks) out.emplace_back(t.task, fit(t.samples, options));
+    const BenchTable& table, const FitOptions& options, ThreadPool* pool) {
+  std::vector<std::pair<std::string, FitResult>> out(table.tasks.size());
+  const auto fit_one = [&](std::size_t i) {
+    const auto& t = table.tasks[i];
+    out[i] = {t.task, fit(t.samples, options)};
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(out.size(), fit_one);
+  } else if (options.threads == 1) {
+    for (std::size_t i = 0; i < out.size(); ++i) fit_one(i);
+  } else {
+    parallel_for(options.threads, out.size(), fit_one);
+  }
   return out;
 }
 

@@ -13,11 +13,18 @@
 #include "perf/benchdata.hpp"
 #include "perf/model.hpp"
 
+namespace hslb {
+class ThreadPool;
+}
+
 namespace hslb::perf {
 
 struct FitOptions {
   std::size_t num_starts = 24;
   std::uint64_t seed = 1234;
+  /// Worker threads for fit_all (per-task fits are independent; results are
+  /// identical for every thread count). 0 = hardware concurrency.
+  std::size_t threads = 1;
   /// Exponent bounds. Lower bound 1.0 keeps the model convex; set
   /// min_c < 1 to reproduce the paper's unconstrained-c discussion.
   double min_c = 1.0;
@@ -43,8 +50,11 @@ struct FitResult {
 /// is trivially 1).
 FitResult fit(const SampleSet& samples, const FitOptions& options = {});
 
-/// Fits every task in a gather table.
+/// Fits every task in a gather table, `options.threads` tasks at a time.
+/// Passing an existing `pool` reuses its workers (options.threads is then
+/// ignored); otherwise a transient pool is built when threads != 1.
 std::vector<std::pair<std::string, FitResult>> fit_all(
-    const BenchTable& table, const FitOptions& options = {});
+    const BenchTable& table, const FitOptions& options = {},
+    ThreadPool* pool = nullptr);
 
 }  // namespace hslb::perf

@@ -112,6 +112,37 @@ TEST(CesmPipeline, DeterministicPerSeed) {
   EXPECT_EQ(a.actual_total, b.actual_total);
 }
 
+TEST(CesmPipeline, IdenticalAcrossThreadCounts) {
+  // Parallel benchmarking must reproduce the serial run bit-for-bit.
+  PipelineOptions serial, wide;
+  serial.threads = 1;
+  wide.threads = 4;
+  const auto a = run_pipeline(Resolution::Deg1, 256, serial);
+  const auto b = run_pipeline(Resolution::Deg1, 256, wide);
+  for (Component c : kComponents) {
+    EXPECT_EQ(a.solution.nodes[index(c)], b.solution.nodes[index(c)]);
+    EXPECT_DOUBLE_EQ(a.fits[index(c)].model.a, b.fits[index(c)].model.a);
+    EXPECT_DOUBLE_EQ(a.fits[index(c)].r2, b.fits[index(c)].r2);
+  }
+  EXPECT_DOUBLE_EQ(a.solution.predicted_total, b.solution.predicted_total);
+  EXPECT_DOUBLE_EQ(a.actual_total, b.actual_total);
+}
+
+TEST(CesmPipeline, ReportMatchesResult) {
+  PipelineOptions opt;
+  opt.threads = 2;
+  const auto res = run_pipeline(Resolution::Deg1, 128, opt);
+  EXPECT_EQ(res.report.application.rfind("cesm", 0), 0u);
+  EXPECT_EQ(res.report.threads, 2u);
+  ASSERT_EQ(res.report.fits.size(), 4u);
+  EXPECT_DOUBLE_EQ(res.report.min_r2(), res.min_r2());
+  EXPECT_DOUBLE_EQ(res.report.predicted_total, res.solution.predicted_total);
+  EXPECT_DOUBLE_EQ(res.report.actual_total, res.actual_total);
+  EXPECT_EQ(res.report.solver.status, "optimal");
+  EXPECT_GT(res.report.solver.nodes, 0u);
+  EXPECT_NE(res.report.str().find("solve"), std::string::npos);
+}
+
 TEST(CesmPipeline, MinR2Diagnostic) {
   PipelineOptions opt;
   const auto res = run_pipeline(Resolution::Deg1, 128, opt);

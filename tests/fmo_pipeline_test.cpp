@@ -121,6 +121,47 @@ TEST(FmoPipeline, DimerProbingImprovesOnFallback) {
   EXPECT_LE(a.hslb.dimer_seconds, b.hslb.dimer_seconds * 1.1);
 }
 
+TEST(FmoPipeline, IdenticalAcrossThreadCounts) {
+  // The parallel gather/fit/dimer paths must not change any result: probe
+  // noise is derived from the probe coordinates, never from shared state.
+  const auto sys = water_cluster({.fragments = 12, .merge_fraction = 0.4,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 48});
+  CostModel cost;
+  PipelineOptions serial, wide;
+  serial.threads = 1;
+  wide.threads = 4;
+  const auto a = run_pipeline(sys, cost, 96, serial);
+  const auto b = run_pipeline(sys, cost, 96, wide);
+  ASSERT_EQ(a.allocation.tasks.size(), b.allocation.tasks.size());
+  for (std::size_t i = 0; i < a.allocation.tasks.size(); ++i) {
+    EXPECT_EQ(a.allocation.tasks[i].nodes, b.allocation.tasks[i].nodes);
+    EXPECT_DOUBLE_EQ(a.allocation.tasks[i].predicted_seconds,
+                     b.allocation.tasks[i].predicted_seconds);
+  }
+  EXPECT_DOUBLE_EQ(a.allocation.predicted_total, b.allocation.predicted_total);
+  EXPECT_DOUBLE_EQ(a.predicted_scc_seconds, b.predicted_scc_seconds);
+  EXPECT_DOUBLE_EQ(a.hslb.total_seconds, b.hslb.total_seconds);
+  EXPECT_DOUBLE_EQ(a.dlb.total_seconds, b.dlb.total_seconds);
+}
+
+TEST(FmoPipeline, ReportMatchesResult) {
+  // The engine report is a faithful view of the run's artifacts.
+  const auto sys = water_cluster({.fragments = 8, .merge_fraction = 0.4,
+                                  .scf_cutoff_angstrom = 4.5, .seed = 49});
+  CostModel cost;
+  const auto res = run_pipeline(sys, cost, 64);
+  EXPECT_EQ(res.report.application.rfind("fmo", 0), 0u);
+  EXPECT_EQ(res.report.fits.size(), res.fits.size());
+  EXPECT_DOUBLE_EQ(res.report.min_r2(), res.min_r2);
+  EXPECT_DOUBLE_EQ(res.report.mean_r2(), res.mean_r2);
+  EXPECT_DOUBLE_EQ(res.report.predicted_total, res.predicted_scc_seconds);
+  EXPECT_DOUBLE_EQ(res.report.actual_total, res.hslb.scc_seconds);
+  std::size_t probes = 0;
+  for (const auto& t : res.bench.tasks) probes += t.samples.size();
+  EXPECT_EQ(res.report.probes, probes);
+  EXPECT_NE(res.report.str().find("fmo"), std::string::npos);
+}
+
 TEST(ProbeCeiling, ScalesWithBudget) {
   const auto sys = water_cluster({.fragments = 16, .merge_fraction = 0.0,
                                   .scf_cutoff_angstrom = 4.5, .seed = 46});
