@@ -1,0 +1,121 @@
+#include "bench/bench_json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hslb::bench {
+
+namespace {
+
+/// Cursor over the controlled JSON subset write_json emits. This is not a
+/// general JSON parser: it reads exactly {"key": {"key": number, ...}, ...}
+/// and gives up (returning what it has) on anything else.
+struct Scanner {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;  // keep escaped char verbatim
+      out.push_back(s[i++]);
+    }
+    return consume('"');
+  }
+  bool number(double& out) {
+    skip_ws();
+    std::size_t end = i;
+    while (end < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[end])) || s[end] == '-' ||
+            s[end] == '+' || s[end] == '.' || s[end] == 'e' || s[end] == 'E'))
+      ++end;
+    if (end == i) return false;
+    try {
+      out = std::stod(s.substr(i, end - i));
+    } catch (...) {
+      return false;
+    }
+    i = end;
+    return true;
+  }
+};
+
+}  // namespace
+
+JsonMetrics read_json(const std::string& path) {
+  JsonMetrics out;
+  std::ifstream in(path);
+  if (!in.good()) return out;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  Scanner sc{text};
+  if (!sc.consume('{')) return out;
+  while (!sc.peek('}')) {
+    std::string entry;
+    if (!sc.string(entry) || !sc.consume(':') || !sc.consume('{')) return out;
+    auto& metrics = out[entry];
+    while (!sc.peek('}')) {
+      std::string key;
+      double value = 0.0;
+      if (!sc.string(key) || !sc.consume(':') || !sc.number(value)) return out;
+      metrics[key] = value;
+      if (!sc.consume(',')) break;
+    }
+    if (!sc.consume('}')) return out;
+    if (!sc.consume(',')) break;
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const JsonMetrics& metrics) {
+  std::ofstream out(path);
+  if (!out.good()) return;
+  out << "{";
+  bool first_entry = true;
+  for (const auto& [entry, values] : metrics) {
+    if (!first_entry) out << ",";
+    first_entry = false;
+    out << "\n  \"" << entry << "\": {";
+    bool first_metric = true;
+    for (const auto& [key, value] : values) {
+      if (!std::isfinite(value)) continue;
+      if (!first_metric) out << ",";
+      first_metric = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.12g", value);
+      out << "\n    \"" << key << "\": " << buf;
+    }
+    out << "\n  }";
+  }
+  out << "\n}\n";
+}
+
+void merge_json(const std::string& path, const std::string& entry,
+                const std::map<std::string, double>& metrics) {
+  JsonMetrics all = read_json(path);
+  all[entry] = metrics;
+  write_json(path, all);
+}
+
+}  // namespace hslb::bench

@@ -1,0 +1,35 @@
+// Machine-readable bench output.
+//
+// Every solver bench merges its headline numbers into one flat two-level
+// JSON file (default BENCH_solver.json in the working directory):
+//
+//   { "BM_LayoutSolveEighth/40960": { "real_time_s": 0.41, ... },
+//     "warmstart/layout1_N40960":   { "speedup": 4.2, ... } }
+//
+// Merge-on-write semantics: existing entries from other benches are kept,
+// metrics under the same entry name are replaced, and keys are written
+// sorted so repeated runs produce byte-identical files.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace hslb::bench {
+
+/// Two-level metric store: entry name -> metric name -> value.
+using JsonMetrics = std::map<std::string, std::map<std::string, double>>;
+
+/// Parses a file previously written by write_json/merge_json. Returns an
+/// empty map when the file is missing or not in the expected format.
+JsonMetrics read_json(const std::string& path);
+
+/// Overwrites `path` with the given metrics (sorted keys, one entry per
+/// line). Non-finite values are skipped (JSON has no representation).
+void write_json(const std::string& path, const JsonMetrics& metrics);
+
+/// Reads `path` (if present), replaces the metrics under `entry`, and
+/// writes the file back.
+void merge_json(const std::string& path, const std::string& entry,
+                const std::map<std::string, double>& metrics);
+
+}  // namespace hslb::bench

@@ -1,0 +1,54 @@
+// google-benchmark bridge for bench_json: a drop-in replacement for
+// BENCHMARK_MAIN() that additionally merges every benchmark's real time,
+// iteration count, and user counters into BENCH_solver.json.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+
+namespace hslb::bench {
+
+/// Display reporter that forwards to the stock console reporter and
+/// additionally merges one JSON entry per benchmark run. (Wrapping the
+/// display reporter — rather than passing a second "file" reporter — keeps
+/// google-benchmark from demanding --benchmark_out.)
+class JsonMergeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMergeReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.iterations == 0) continue;  // errored / skipped
+      std::map<std::string, double> m;
+      m["real_time_s"] = run.real_accumulated_time /
+                         static_cast<double>(run.iterations);
+      m["iterations"] = static_cast<double>(run.iterations);
+      for (const auto& [name, counter] : run.counters)
+        m[name] = counter.value;
+      merge_json(path_, run.benchmark_name(), m);
+    }
+  }
+
+ private:
+  std::string path_;
+};
+
+/// BENCHMARK_MAIN() body with the JSON reporter attached.
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const std::string& json_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonMergeReporter reporter(json_path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hslb::bench

@@ -3,6 +3,9 @@
 // selector-heavy master problems the CESM models produce.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "bench/bench_json_main.hpp"
 #include "common/rng.hpp"
 #include "lp/simplex.hpp"
 
@@ -72,6 +75,33 @@ void BM_SelectorLp(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectorLp)->Arg(241)->Arg(1639)->Unit(benchmark::kMillisecond);
 
+/// Branch-style re-solve: tighten the node-count variable's upper bound at
+/// the parent optimum and re-solve, either cold or warm from the parent
+/// basis — the exact pattern of a branch-and-bound child node.
+void BM_SelectorLpResolve(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  const auto m = selector_lp(k, 7);
+  const auto parent = solve(m);
+  Model child = m;
+  child.set_col_upper(k, std::floor(parent.x[k] - 0.5));  // branch down
+  Options opt;
+  if (warm) opt.warm_start = &parent.basis;
+  std::size_t pivots = 0;
+  for (auto _ : state) {
+    const auto sol = solve(child, opt);
+    pivots = sol.iterations;
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+BENCHMARK(BM_SelectorLpResolve)
+    ->Args({1639, 0})
+    ->Args({1639, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hslb::bench::run_benchmarks_with_json(argc, argv, "BENCH_solver.json");
+}

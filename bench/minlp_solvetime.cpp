@@ -4,6 +4,7 @@
 // the partition grows to all of Intrepid (40,960 nodes).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.hpp"
 #include "cesm/layouts.hpp"
 
 namespace {
@@ -65,4 +66,6 @@ BENCHMARK(BM_LayoutSolveUnconstrainedOcean)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hslb::bench::run_benchmarks_with_json(argc, argv, "BENCH_solver.json");
+}

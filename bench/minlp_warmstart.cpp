@@ -1,0 +1,221 @@
+// Warm-start / parallel-search acceptance bench for the MINLP
+// branch-and-bound: cold re-solves vs warm-started re-solves vs the
+// deterministic parallel wave search, on the layout-1 CESM instances
+// (N = 2048, 8192, 40960) and on random FMO min-max budget instances.
+//
+// Reported per instance: wall time, tree size, simplex pivots per non-root
+// node, and the warm-solve fraction. All variants must land on identical
+// incumbents (the warm basis and the wave schedule change the *path*, never
+// the answer); the parallel variant must additionally match the serial warm
+// run bit for bit. Headline numbers are merged into BENCH_solver.json.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "cesm/layouts.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hslb/budget.hpp"
+#include "minlp/bnb.hpp"
+
+namespace {
+
+using namespace hslb;
+
+constexpr const char* kJsonPath = "BENCH_solver.json";
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RunStats {
+  double obj = 0.0;
+  double seconds = 0.0;
+  std::vector<double> x;
+  minlp::BnbResult stats;
+};
+
+/// Pivots spent re-solving tree nodes, per non-root node. The root solve is
+/// excluded: it is cold in every variant, and the warm-start claim is about
+/// the children that inherit a parent basis.
+double pivots_per_node(const minlp::BnbResult& r) {
+  if (r.nodes <= 1) return static_cast<double>(r.tree_lp_pivots);
+  return static_cast<double>(r.tree_lp_pivots) /
+         static_cast<double>(r.nodes - 1);
+}
+
+double warm_fraction(const minlp::BnbResult& r) {
+  if (r.lp_solves == 0) return 0.0;
+  return static_cast<double>(r.warm_solves) / static_cast<double>(r.lp_solves);
+}
+
+minlp::BnbOptions variant_options(bool warm, std::size_t threads) {
+  minlp::BnbOptions opt;
+  opt.warm_start = warm;
+  opt.solver_threads = threads;
+  return opt;
+}
+
+std::string fmt(double v, const char* spec = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+/// Times `reps` solves of the model under one option set, keeping the last
+/// solution (they are deterministic, so all reps agree).
+RunStats run_model(const minlp::Model& model, const minlp::BnbOptions& opt,
+                   int reps) {
+  RunStats out;
+  const auto t0 = std::chrono::steady_clock::now();
+  minlp::BnbResult r;
+  for (int i = 0; i < reps; ++i) r = minlp::solve(model, opt);
+  out.seconds = seconds_since(t0) / reps;
+  out.obj = r.objective;
+  out.x = r.x;
+  out.stats = std::move(r);
+  return out;
+}
+
+struct InstanceReport {
+  bool objectives_match = true;
+  bool parallel_identical = true;
+  double speedup = 0.0;
+  double pivot_reduction = 0.0;
+};
+
+/// Runs cold / warm / parallel on one model, prints a table row per variant,
+/// merges the JSON entry, and checks the agreement invariants.
+InstanceReport bench_instance(Table& t, const std::string& label,
+                              const minlp::Model& model, int reps) {
+  std::fprintf(stderr, "[%s] cold...", label.c_str());
+  const RunStats cold = run_model(model, variant_options(false, 1), reps);
+  std::fprintf(stderr, " %.3fs  warm...", cold.seconds);
+  const RunStats warm = run_model(model, variant_options(true, 1), reps);
+  std::fprintf(stderr, " %.3fs  parallel...", warm.seconds);
+  // 0 = all hardware threads.
+  const RunStats par = run_model(model, variant_options(true, 0), reps);
+  std::fprintf(stderr, " %.3fs\n", par.seconds);
+
+  InstanceReport rep;
+  const double scale = 1.0 + std::fabs(cold.obj);
+  rep.objectives_match = std::fabs(cold.obj - warm.obj) / scale < 1e-9 &&
+                         std::fabs(cold.obj - par.obj) / scale < 1e-9;
+  rep.parallel_identical = warm.obj == par.obj && warm.x == par.x;
+  rep.speedup = warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  const double warm_ppn = pivots_per_node(warm.stats);
+  rep.pivot_reduction =
+      warm_ppn > 0.0 ? pivots_per_node(cold.stats) / warm_ppn : 0.0;
+
+  const struct {
+    const char* name;
+    const RunStats& r;
+  } rows[] = {{"cold", cold}, {"warm", warm}, {"parallel", par}};
+  for (const auto& row : rows) {
+    t.add_row({label, row.name, fmt(row.r.obj, "%.8g"),
+               fmt(row.r.seconds * 1e3), std::to_string(row.r.stats.nodes),
+               fmt(pivots_per_node(row.r.stats)),
+               fmt(100.0 * warm_fraction(row.r.stats), "%.1f")});
+  }
+  t.add_rule();
+
+  bench::merge_json(
+      kJsonPath, "warmstart/" + label,
+      {{"cold_s", cold.seconds},
+       {"warm_s", warm.seconds},
+       {"parallel_s", par.seconds},
+       {"speedup_warm", rep.speedup},
+       {"pivots_per_node_cold", pivots_per_node(cold.stats)},
+       {"pivots_per_node_warm", warm_ppn},
+       {"pivot_reduction", rep.pivot_reduction},
+       {"warm_fraction", warm_fraction(warm.stats)},
+       {"bnb_nodes", static_cast<double>(warm.stats.nodes)},
+       {"objectives_match", rep.objectives_match ? 1.0 : 0.0},
+       {"parallel_identical", rep.parallel_identical ? 1.0 : 0.0}});
+  return rep;
+}
+
+minlp::Model layout1_model(long long n) {
+  using namespace hslb::cesm;
+  const Resolution r = n <= 4096 ? Resolution::Deg1 : Resolution::EighthDeg;
+  std::array<perf::Model, 4> models;
+  for (Component c : kComponents) models[index(c)] = ground_truth(r, c);
+  return build_layout_minlp(make_problem(r, Layout::Hybrid, n, models));
+}
+
+minlp::Model fmo_minmax_model(std::size_t tasks, Rng& rng) {
+  std::vector<BudgetTask> model_tasks;
+  const long long budget = static_cast<long long>(tasks) * 12;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    perf::Model m;
+    m.a = rng.uniform(50.0, 5000.0);
+    m.b = 0.0;
+    m.c = 1.0;
+    m.d = rng.uniform(0.0, 2.0);
+    model_tasks.push_back(BudgetTask{"t" + std::to_string(i), m, 1, budget});
+  }
+  return build_budget_minlp(model_tasks, budget, Objective::MinMax);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // One knob: repetitions per (instance, variant). CI smoke uses 1.
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+  }
+  if (reps < 1) reps = 1;
+
+  std::printf(
+      "=== Warm-started re-solves vs cold branch-and-bound (%d rep%s) ===\n\n",
+      reps, reps == 1 ? "" : "s");
+
+  Table t({"instance", "variant", "objective", "ms", "bnb nodes",
+           "pivots/node", "warm %"});
+
+  bool all_match = true;
+  bool all_identical = true;
+  double layout40960_speedup = 0.0;
+  double layout40960_pivot_red = 0.0;
+
+  for (long long n : {2048LL, 8192LL, 40960LL}) {
+    const auto model = layout1_model(n);
+    const auto rep =
+        bench_instance(t, "layout1_N" + std::to_string(n), model, reps);
+    all_match = all_match && rep.objectives_match;
+    all_identical = all_identical && rep.parallel_identical;
+    if (n == 40960) {
+      layout40960_speedup = rep.speedup;
+      layout40960_pivot_red = rep.pivot_reduction;
+    }
+  }
+
+  Rng rng(424242);
+  for (std::size_t tasks : {8u, 16u, 32u}) {
+    const auto model = fmo_minmax_model(tasks, rng);
+    const auto rep = bench_instance(
+        t, "fmo_minmax_T" + std::to_string(tasks), model, reps);
+    all_match = all_match && rep.objectives_match;
+    all_identical = all_identical && rep.parallel_identical;
+  }
+
+  std::printf("%s", t.str().c_str());
+
+  std::printf(
+      "\nlayout1_N40960: warm speedup %.2fx, pivots/node reduced %.2fx\n",
+      layout40960_speedup, layout40960_pivot_red);
+  std::printf("objectives identical across variants: %s\n",
+              all_match ? "yes" : "NO");
+  std::printf("parallel bit-identical to serial:     %s\n",
+              all_identical ? "yes" : "NO");
+
+  if (!all_match || !all_identical) return 1;
+  return 0;
+}

@@ -33,7 +33,15 @@ hslb_add_bench(cesm_advisor hslb_cesm)
 hslb_add_bench(fit_points_ablation hslb_cesm)
 hslb_add_bench(fit_multistart_ablation hslb_cesm)
 
+# Machine-readable bench output (BENCH_solver.json merge helper).
+add_library(hslb_benchjson STATIC ${CMAKE_SOURCE_DIR}/bench/bench_json.cpp)
+target_include_directories(hslb_benchjson PUBLIC ${CMAKE_SOURCE_DIR})
+target_compile_features(hslb_benchjson PUBLIC cxx_std_20)
+
+# Solver acceptance bench: cold vs warm vs parallel branch-and-bound.
+hslb_add_bench(minlp_warmstart hslb_cesm hslb_fmo hslb_benchjson)
+
 # Microbenchmarks (google-benchmark).
-hslb_add_bench(minlp_solvetime hslb_cesm benchmark::benchmark)
-hslb_add_bench(lp_simplex_bench hslb_lp benchmark::benchmark)
+hslb_add_bench(minlp_solvetime hslb_cesm hslb_benchjson benchmark::benchmark)
+hslb_add_bench(lp_simplex_bench hslb_lp hslb_benchjson benchmark::benchmark)
 hslb_add_bench(nlsq_fit_bench hslb_perf benchmark::benchmark)

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "hslb/gather.hpp"
 
 namespace hslb::cesm {
@@ -112,7 +113,15 @@ class CesmApplication final : public Application {
     out.solver.nodes = solution_.stats.nodes;
     out.solver.cuts = solution_.stats.cuts;
     out.solver.gap = solution_.stats.gap;
+    out.solver.rel_gap = solution_.stats.rel_gap;
     out.solver.seconds = solution_.stats.seconds;
+    out.solver.threads = options_.bnb.solver_threads == 0
+                             ? ThreadPool::hardware_threads()
+                             : options_.bnb.solver_threads;
+    out.solver.lp_solves = solution_.stats.lp_solves;
+    out.solver.lp_pivots = solution_.stats.lp_pivots;
+    out.solver.warm_solves = solution_.stats.warm_solves;
+    out.solver.waves = solution_.stats.waves;
     return out;
   }
 

@@ -44,16 +44,21 @@ int usage(int code) {
       "                                 budgeted node allocation\n"
       "  hslb cesm   --resolution 1|8 --nodes N [--layout 1|2|3]\n"
       "              [--unconstrained-ocean] [--tsync S] [--threads T]\n"
-      "              [--export-ampl out.mod]   full simulated pipeline\n"
-      "  hslb fmo    --fragments F --nodes N [--peptide]\n"
-      "              [--objective min-max] [--threads T]\n"
+      "              [--solver-threads S] [--export-ampl out.mod]\n"
       "                                 full simulated pipeline\n"
+      "  hslb fmo    --fragments F --nodes N [--peptide] [--minlp]\n"
+      "              [--objective min-max] [--threads T]\n"
+      "              [--solver-threads S]   full simulated pipeline\n"
       "\n"
       "  hslb advise --resolution 1|8 [--layout 1|2|3] [--efficiency 0.5]\n"
       "              [--min-nodes A] [--max-nodes B]  node-count planning\n"
       "\n"
       "  --threads T parallelizes the Gather and Fit stages (0 = hardware\n"
-      "  concurrency; allocations are identical for any T).\n");
+      "  concurrency; allocations are identical for any T).\n"
+      "  --solver-threads S parallelizes the branch-and-bound node re-solves\n"
+      "  (0 = hardware concurrency; results are bit-identical for any S).\n"
+      "  For fmo, --minlp routes Solve through the branch-and-bound instead\n"
+      "  of the exact greedy (the path --solver-threads parallelizes).\n");
   return code;
 }
 
@@ -113,6 +118,9 @@ int cmd_cesm(const Args& args) {
   const long long threads = args.get("threads", 0LL);
   HSLB_EXPECTS(threads >= 0);
   opt.threads = static_cast<std::size_t>(threads);
+  const long long solver_threads = args.get("solver-threads", 1LL);
+  HSLB_EXPECTS(solver_threads >= 0);
+  opt.bnb.solver_threads = static_cast<std::size_t>(solver_threads);
 
   const auto res = cesm::run_pipeline(r, nodes, opt);
 
@@ -166,6 +174,10 @@ int cmd_fmo(const Args& args) {
   const long long threads = args.get("threads", 0LL);
   HSLB_EXPECTS(threads >= 0);
   opt.threads = static_cast<std::size_t>(threads);
+  opt.solve_with_minlp = args.flag("minlp");
+  const long long solver_threads = args.get("solver-threads", 1LL);
+  HSLB_EXPECTS(solver_threads >= 0);
+  opt.bnb.solver_threads = static_cast<std::size_t>(solver_threads);
 
   const auto sys =
       args.flag("peptide")

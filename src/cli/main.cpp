@@ -23,11 +23,12 @@ int main(int argc, char** argv) {
     if (cmd == "cesm") {
       return cmd_cesm(Args(argc - 1, argv + 1, {"unconstrained-ocean"},
                            {"resolution", "nodes", "layout", "tsync",
-                            "export-ampl", "threads"}));
+                            "export-ampl", "threads", "solver-threads"}));
     }
     if (cmd == "fmo") {
-      return cmd_fmo(Args(argc - 1, argv + 1, {"peptide"},
-                          {"fragments", "nodes", "objective", "threads"}));
+      return cmd_fmo(Args(argc - 1, argv + 1, {"peptide", "minlp"},
+                          {"fragments", "nodes", "objective", "threads",
+                           "solver-threads"}));
     }
     if (cmd == "advise") {
       return cmd_advise(Args(argc - 1, argv + 1, {},

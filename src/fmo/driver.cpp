@@ -78,8 +78,27 @@ class FmoApplication final : public Application {
                          fits) override {
     SolveOutcome out;
     const auto tasks = make_budget_tasks(sys_, fits, hi_);
-    out.allocation = solve_budget(tasks, nodes_, options_.objective);
-    out.solver.status = to_string(options_.objective) + " exact greedy";
+    if (options_.solve_with_minlp) {
+      const auto model = build_budget_minlp(tasks, nodes_, options_.objective);
+      const auto bnb = minlp::solve(model, options_.bnb);
+      out.allocation = allocation_from_minlp(tasks, bnb.x, options_.objective);
+      out.solver.status = minlp::to_string(bnb.status);
+      out.solver.nodes = bnb.nodes;
+      out.solver.cuts = bnb.cuts;
+      out.solver.gap = bnb.gap;
+      out.solver.rel_gap = bnb.rel_gap;
+      out.solver.seconds = bnb.seconds;
+      out.solver.threads = options_.bnb.solver_threads == 0
+                               ? ThreadPool::hardware_threads()
+                               : options_.bnb.solver_threads;
+      out.solver.lp_solves = bnb.lp_solves;
+      out.solver.lp_pivots = bnb.lp_pivots;
+      out.solver.warm_solves = bnb.warm_solves;
+      out.solver.waves = bnb.waves;
+    } else {
+      out.allocation = solve_budget(tasks, nodes_, options_.objective);
+      out.solver.status = to_string(options_.objective) + " exact greedy";
+    }
     // Predicted SCC loop: every iteration runs one wave of all fragments.
     double wave = 0.0;
     for (const auto& t : out.allocation.tasks)

@@ -19,6 +19,7 @@
 #include "hslb/gather.hpp"
 #include "hslb/objective.hpp"
 #include "hslb/pipeline.hpp"
+#include "minlp/bnb.hpp"
 #include "perf/fit.hpp"
 
 namespace hslb::fmo {
@@ -34,6 +35,13 @@ struct PipelineOptions {
 
   Objective objective = Objective::MinMax;
   perf::FitOptions fit;
+
+  /// Route the Solve step through the general MINLP branch-and-bound
+  /// (build_budget_minlp + minlp::solve) instead of the exact greedy —
+  /// the paper's §III-E solver path, and the one `bnb.solver_threads`
+  /// parallelizes. Requires objective != MaxMin (no MINLP encoding).
+  bool solve_with_minlp = false;
+  minlp::BnbOptions bnb;
 
   /// Number of representative SCF dimers probed during Gather (spread over
   /// the combined-size range); models for the remaining dimers are scaled

@@ -50,9 +50,17 @@ std::string PipelineReport::str() const {
       "  fit      %8.3f s  (%zu tasks, R^2 min %.4f mean %.4f)\n", fit_seconds,
       fits.size(), min_r2(), mean_r2());
   out += strings::format(
-      "  solve    %8.3f s  (%s: %zu nodes, %zu cuts, gap %g, %.3f s)\n",
+      "  solve    %8.3f s  (%s: %zu nodes, %zu cuts, gap %g (rel %g), "
+      "%.3f s)\n",
       solve_seconds, solver.status.c_str(), solver.nodes, solver.cuts,
-      solver.gap, solver.seconds);
+      solver.gap, solver.rel_gap, solver.seconds);
+  if (solver.lp_solves > 0) {
+    out += strings::format(
+        "           solver: %zu thread%s, %zu waves, %zu LP solves "
+        "(%zu warm), %zu pivots\n",
+        solver.threads, solver.threads == 1 ? "" : "s", solver.waves,
+        solver.lp_solves, solver.warm_solves, solver.lp_pivots);
+  }
   out += strings::format("  execute  %8.3f s\n", execute_seconds);
   out += strings::format(
       "  predicted %.3f s, actual %.3f s (error %+.1f%%)\n", predicted_total,
@@ -63,16 +71,19 @@ std::string PipelineReport::str() const {
 std::string PipelineReport::csv_header() {
   return "application,threads,gather_s,fit_s,solve_s,execute_s,probes,tasks,"
          "min_r2,mean_r2,solver_status,solver_nodes,solver_cuts,solver_gap,"
-         "predicted_s,actual_s";
+         "solver_rel_gap,solver_threads,solver_waves,solver_lp_solves,"
+         "solver_warm_solves,solver_lp_pivots,predicted_s,actual_s";
 }
 
 std::string PipelineReport::csv_row() const {
   return strings::format(
-      "%s,%zu,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%.6f,%.6f,%s,%zu,%zu,%g,%.6f,%.6f",
+      "%s,%zu,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%.6f,%.6f,%s,%zu,%zu,%g,%g,%zu,%zu,"
+      "%zu,%zu,%zu,%.6f,%.6f",
       application.c_str(), threads, gather_seconds, fit_seconds, solve_seconds,
       execute_seconds, probes, fits.size(), min_r2(), mean_r2(),
       solver.status.c_str(), solver.nodes, solver.cuts, solver.gap,
-      predicted_total, actual_total);
+      solver.rel_gap, solver.threads, solver.waves, solver.lp_solves,
+      solver.warm_solves, solver.lp_pivots, predicted_total, actual_total);
 }
 
 Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {

@@ -38,7 +38,13 @@ struct SolverStats {
   std::size_t nodes = 0;  ///< B&B nodes explored
   std::size_t cuts = 0;   ///< outer-approximation cuts added
   double gap = 0.0;       ///< incumbent-vs-bound gap (0 = proven optimal)
+  double rel_gap = 0.0;   ///< gap / max(1, |objective|)
   double seconds = 0.0;   ///< solver-internal wall time
+  std::size_t threads = 1;     ///< solver_threads the tree search ran with
+  std::size_t lp_solves = 0;   ///< LP relaxations solved
+  std::size_t lp_pivots = 0;   ///< simplex pivots across all LP solves
+  std::size_t warm_solves = 0; ///< LP solves that reused a prior basis
+  std::size_t waves = 0;       ///< synchronized B&B node waves
 };
 
 /// What the Solve step hands to the Execute step.

@@ -23,7 +23,12 @@ std::string to_string(Status s) {
 
 namespace {
 
-enum class VarStatus { Basic, AtLower, AtUpper, Free };
+/// One product-form update: after a pivot in row p with simplex direction
+/// w = B^{-1} A_q, the new basis is B' = B E with E = I except column p = w.
+struct Eta {
+  std::size_t p;
+  std::vector<double> w;
+};
 
 /// Internal computational form:
 ///   rows:        sum_j a_rj x_j - s_r + sigma_r * art_r = 0
@@ -63,10 +68,13 @@ class Tableau {
       ub_[s] = model.row_upper(r) == kInf ? kInf
                                           : model.row_upper(r) / row_scale_[r];
     }
+    basis_.resize(m_);
+  }
 
-    // Nonbasic start: every structural at its bound nearest zero (or 0 if
-    // free); slacks clamped to the implied activity; artificials absorb the
-    // residual so the initial basis is the (diagonal) artificial basis.
+  /// Cold start: every structural at its bound nearest zero (or 0 if free);
+  /// slacks clamped to the implied activity; artificials absorb the residual
+  /// so the initial basis is the (diagonal) artificial basis.
+  void init_cold() {
     for (std::size_t j = 0; j < n_; ++j) {
       set_nonbasic_start(j);
     }
@@ -75,7 +83,6 @@ class Tableau {
       if (value_[j] == 0.0) continue;
       for (const auto& [r, v] : cols_[j]) activity[r] += v * value_[j];
     }
-    basis_.resize(m_);
     for (std::size_t r = 0; r < m_; ++r) {
       const std::size_t s = slack(r);
       const std::size_t a = artificial(r);
@@ -85,38 +92,78 @@ class Tableau {
         // Row already satisfied: the slack itself is basic at the activity;
         // the artificial stays nonbasic at zero.
         value_[s] = activity[r];
-        status_[s] = VarStatus::Basic;
+        status_[s] = BasisStatus::Basic;
         basis_[r] = s;
         cols_[a] = {{r, 1.0}};
         value_[a] = 0.0;
-        status_[a] = VarStatus::AtLower;
+        status_[a] = BasisStatus::AtLower;
       } else {
         // Row violated: park the slack at its nearest bound and let a basic
         // artificial absorb the (positive, via sigma) residual.
         value_[s] = std::clamp(activity[r], lb_[s], ub_[s]);
-        status_[s] = value_[s] == lb_[s] ? VarStatus::AtLower : VarStatus::AtUpper;
+        status_[s] =
+            value_[s] == lb_[s] ? BasisStatus::AtLower : BasisStatus::AtUpper;
         // Row reads: activity - s + sigma*a = 0, so a = -resid/sigma; choose
         // sigma = -sign(resid) to start the artificial at |resid| >= 0.
         const double resid = activity[r] - value_[s];
         cols_[a] = {{r, resid >= 0.0 ? -1.0 : 1.0}};
-        status_[a] = VarStatus::Basic;
+        status_[a] = BasisStatus::Basic;
         basis_[r] = a;
       }
     }
   }
 
-  bool singular_failure() const { return singular_failure_; }
+  /// Warm start from a prior optimal basis. The snapshot must cover exactly
+  /// our structural columns and a prefix of our rows (appended rows start
+  /// with their slack basic). Returns false — leaving the caller to cold
+  /// start — when structurally incompatible or numerically singular.
+  bool init_warm(const Basis& b) {
+    if (b.cols.size() != n_ || b.rows.size() > m_) return false;
+    std::vector<std::size_t> basics;
+    for (std::size_t j = 0; j < n_; ++j) apply_status(j, b.cols[j], basics);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const BasisStatus st =
+          r < b.rows.size() ? b.rows[r] : BasisStatus::Basic;
+      apply_status(slack(r), st, basics);
+    }
+    // Artificials play no part in a warm solve: pinned nonbasic at zero.
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t a = artificial(r);
+      cols_[a] = {{r, 1.0}};
+      lb_[a] = 0.0;
+      ub_[a] = 0.0;
+      value_[a] = 0.0;
+      status_[a] = BasisStatus::AtLower;
+    }
+    if (basics.size() != m_) return false;
+    for (std::size_t i = 0; i < m_; ++i) basis_[i] = basics[i];
+    return refactorize();
+  }
 
-  Solution run() {
+  bool singular_failure() const { return singular_failure_; }
+  bool warm_trouble() const { return warm_trouble_; }
+
+  /// Two-phase cold solve.
+  Solution run_cold() {
     Solution sol;
 
     // Phase 1: minimize the sum of artificials.
     for (std::size_t r = 0; r < m_; ++r) cost_[artificial(r)] = 1.0;
-    const auto p1 = iterate(/*phase2=*/false, sol.iterations);
+    if (!refactorize()) {
+      singular_failure_ = true;
+      sol.status = Status::Infeasible;
+      return sol;
+    }
+    const auto p1 = primal(/*phase2=*/false, sol.iterations);
     if (p1 == Status::IterationLimit) {
       sol.status = Status::IterationLimit;
       return sol;
     }
+    if (singular_failure_) {
+      sol.status = Status::Infeasible;
+      return sol;
+    }
+    polish();  // eta drift could otherwise mis-measure the phase-1 residual
     if (phase1_objective() > infeas_tol()) {
       sol.status = Status::Infeasible;
       return sol;
@@ -127,28 +174,41 @@ class Tableau {
       const std::size_t a = artificial(r);
       cost_[a] = 0.0;
       ub_[a] = 0.0;
-      if (status_[a] != VarStatus::Basic) status_[a] = VarStatus::AtLower;
+      if (status_[a] != BasisStatus::Basic) status_[a] = BasisStatus::AtLower;
     }
     for (std::size_t j = 0; j < n_; ++j) cost_[j] = model_.objective(j);
-    const auto p2 = iterate(/*phase2=*/true, sol.iterations);
+    const auto p2 = primal(/*phase2=*/true, sol.iterations);
+    finalize(sol, p2);
+    return sol;
+  }
 
-    sol.status = p2;
-    sol.x.assign(value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(n_));
-    // Duals of the scaled rows map back by dividing by the row scale.
-    sol.duals = duals_;
-    for (std::size_t r = 0; r < sol.duals.size(); ++r)
-      sol.duals[r] /= row_scale_[r];
-    sol.objective = 0.0;
-    for (std::size_t j = 0; j < n_; ++j) sol.objective += model_.objective(j) * sol.x[j];
-    if (p2 == Status::Optimal) {
-      double viol = 0.0;
-      for (std::size_t r = 0; r < m_; ++r) {
-        const double act = model_.row_activity(r, sol.x);
-        if (model_.row_lower(r) != -kInf) viol = std::max(viol, model_.row_lower(r) - act);
-        if (model_.row_upper(r) != kInf) viol = std::max(viol, act - model_.row_upper(r));
-      }
-      sol.max_primal_violation = viol;
+  /// Warm solve: dual-simplex repair of the primal infeasibilities the bound
+  /// changes / appended rows introduced, then a primal cleanup phase.
+  /// Assumes init_warm succeeded.
+  Solution run_warm() {
+    Solution sol;
+    sol.warm_started = true;
+    for (std::size_t j = 0; j < n_; ++j) cost_[j] = model_.objective(j);
+
+    const auto repaired = dual_repair(sol.iterations);
+    if (repaired == Status::Infeasible) {
+      sol.status = Status::Infeasible;
+      return sol;
     }
+    if (repaired != Status::Optimal || singular_failure_) {
+      // Iteration trouble or a singular update: abandon the warm path; the
+      // caller falls back to a cold solve.
+      warm_trouble_ = true;
+      sol.status = Status::IterationLimit;
+      return sol;
+    }
+    const auto p2 = primal(/*phase2=*/true, sol.iterations);
+    if (p2 == Status::IterationLimit || singular_failure_) {
+      warm_trouble_ = true;
+      sol.status = Status::IterationLimit;
+      return sol;
+    }
+    finalize(sol, p2);
     return sol;
   }
 
@@ -174,20 +234,51 @@ class Tableau {
 
   void set_nonbasic_start(std::size_t j) {
     if (lb_[j] == -kInf && ub_[j] == kInf) {
-      status_[j] = VarStatus::Free;
+      status_[j] = BasisStatus::Free;
       value_[j] = 0.0;
     } else if (lb_[j] == -kInf) {
-      status_[j] = VarStatus::AtUpper;
+      status_[j] = BasisStatus::AtUpper;
       value_[j] = ub_[j];
     } else if (ub_[j] == kInf) {
-      status_[j] = VarStatus::AtLower;
+      status_[j] = BasisStatus::AtLower;
       value_[j] = lb_[j];
     } else {
       // Both bounds finite: start at the one with smaller magnitude.
       const bool lower = std::fabs(lb_[j]) <= std::fabs(ub_[j]);
-      status_[j] = lower ? VarStatus::AtLower : VarStatus::AtUpper;
+      status_[j] = lower ? BasisStatus::AtLower : BasisStatus::AtUpper;
       value_[j] = lower ? lb_[j] : ub_[j];
     }
+  }
+
+  /// Applies one snapshot status to variable j; nonbasic statuses that no
+  /// longer match the (possibly tightened) bounds degrade gracefully to the
+  /// cold nonbasic start for that variable.
+  void apply_status(std::size_t j, BasisStatus st,
+                    std::vector<std::size_t>& basics) {
+    switch (st) {
+      case BasisStatus::Basic:
+        status_[j] = BasisStatus::Basic;
+        basics.push_back(j);  // value filled in by refactorize()
+        return;
+      case BasisStatus::AtLower:
+        if (lb_[j] == -kInf) break;
+        status_[j] = BasisStatus::AtLower;
+        value_[j] = lb_[j];
+        return;
+      case BasisStatus::AtUpper:
+        if (ub_[j] == kInf) break;
+        status_[j] = BasisStatus::AtUpper;
+        value_[j] = ub_[j];
+        return;
+      case BasisStatus::Free:
+        if (lb_[j] == -kInf && ub_[j] == kInf) {
+          status_[j] = BasisStatus::Free;
+          value_[j] = 0.0;
+          return;
+        }
+        break;
+    }
+    set_nonbasic_start(j);
   }
 
   double phase1_objective() const {
@@ -196,68 +287,106 @@ class Tableau {
     return s;
   }
 
-  /// Recomputes basic values x_B = B^{-1} (-N x_N) and the factorization.
-  /// Returns false if the basis is numerically singular.
+  // -- Basis-inverse maintenance --------------------------------------------
+
+  /// Rebuilds the dense LU of the current basis, drops the eta file, and
+  /// recomputes basic values x_B = B^{-1} (-N x_N) exactly. Returns false
+  /// (leaving the previous factorization and values untouched) if the basis
+  /// is numerically singular.
   bool refactorize() {
     if (m_ == 0) return true;
     linalg::Matrix b(m_, m_);
     for (std::size_t i = 0; i < m_; ++i)
       for (const auto& [r, v] : cols_[basis_[i]]) b(r, i) = v;
-    factor_ = linalg::LU::factor(b);
-    if (!factor_) return false;
+    auto factor = linalg::LU::factor(b);
+    if (!factor) return false;
+    factor_ = std::move(factor);
+    etas_.clear();
 
     std::vector<double> rhs(m_, 0.0);
-    scale_ = 0.0;
     for (std::size_t j = 0; j < total_cols(); ++j) {
-      if (status_[j] == VarStatus::Basic || value_[j] == 0.0) continue;
+      if (status_[j] == BasisStatus::Basic || value_[j] == 0.0) continue;
       for (const auto& [r, v] : cols_[j]) rhs[r] -= v * value_[j];
-      scale_ = std::max(scale_, std::fabs(value_[j]));
     }
     const auto xb = factor_->solve(rhs);
-    for (std::size_t i = 0; i < m_; ++i) {
-      value_[basis_[i]] = xb[i];
-      scale_ = std::max(scale_, std::fabs(xb[i]));
-    }
+    for (std::size_t i = 0; i < m_; ++i) value_[basis_[i]] = xb[i];
     return true;
   }
 
-  /// One simplex phase. Updates `iterations` cumulatively.
-  Status iterate(bool phase2, std::size_t& iterations) {
+  /// Best-effort exact recomputation of basic values (used before reading
+  /// values after a run of eta updates); never flags failure.
+  void polish() {
+    if (!etas_.empty() || m_ == 0) refactorize();
+  }
+
+  /// v := B^{-1} v via the LU factor plus the eta file (in update order).
+  std::vector<double> ftran(std::vector<double> v) const {
+    if (m_ == 0) return v;
+    v = factor_->solve(v);
+    for (const Eta& e : etas_) {
+      const double t = v[e.p] / e.w[e.p];
+      for (std::size_t i = 0; i < m_; ++i) v[i] -= e.w[i] * t;
+      v[e.p] = t;
+    }
+    return v;
+  }
+
+  /// v := B^{-T} v (eta file in reverse order, then the LU transpose).
+  std::vector<double> btran(std::vector<double> v) const {
+    if (m_ == 0) return v;
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const Eta& e = *it;
+      double s = 0.0;
+      for (std::size_t i = 0; i < m_; ++i)
+        if (i != e.p) s += e.w[i] * v[i];
+      v[e.p] = (v[e.p] - s) / e.w[e.p];
+    }
+    return factor_->solve_transpose(v);
+  }
+
+  /// Records the pivot (row p, direction w) as an eta update; periodically
+  /// refactorizes for numerical safety. Returns false on a singular rebuild.
+  bool push_eta(std::size_t p, std::vector<double> w) {
+    etas_.push_back(Eta{p, std::move(w)});
+    if (etas_.size() >= opt_.refactor_interval) return refactorize();
+    return true;
+  }
+
+  void compute_duals() {
+    if (m_ == 0) {
+      duals_.clear();
+      return;
+    }
+    std::vector<double> cb(m_);
+    for (std::size_t i = 0; i < m_; ++i) cb[i] = cost_[basis_[i]];
+    duals_ = btran(std::move(cb));
+  }
+
+  // -- Primal simplex --------------------------------------------------------
+
+  /// One primal phase. Assumes a valid factorization and current values.
+  /// Updates `iterations` cumulatively.
+  Status primal(bool phase2, std::size_t& iterations) {
     std::size_t degenerate_run = 0;
     while (iterations < opt_.max_iterations) {
-      if (!refactorize()) {
-        // Numerical trouble: a pivot sequence drove the basis singular.
-        // Flag it so solve() can retry the whole solve with Bland's rule
-        // (shorter, more conservative pivot paths).
-        log::debug() << "simplex: singular basis (m=" << m_ << ", n=" << n_
-                     << ", iter=" << iterations << ", phase2=" << phase2 << ")";
-        singular_failure_ = true;
-        return Status::Infeasible;
-      }
-
-      // Duals y = B^{-T} c_B and pricing.
-      if (m_ > 0) {
-        std::vector<double> cb(m_);
-        for (std::size_t i = 0; i < m_; ++i) cb[i] = cost_[basis_[i]];
-        duals_ = factor_->solve_transpose(cb);
-      } else {
-        duals_.clear();
-      }
+      compute_duals();
 
       const bool bland = degenerate_run >= opt_.bland_threshold;
       std::optional<std::size_t> entering;
       int direction = 0;
       double best_score = opt_.optimality_tol;
       for (std::size_t j = 0; j < total_cols(); ++j) {
-        if (status_[j] == VarStatus::Basic) continue;
+        if (status_[j] == BasisStatus::Basic) continue;
         if (lb_[j] == ub_[j]) continue;  // fixed, cannot move
         double d = cost_[j];
         for (const auto& [r, v] : cols_[j]) d -= duals_[r] * v;
         int dir = 0;
-        if ((status_[j] == VarStatus::AtLower || status_[j] == VarStatus::Free) &&
+        if ((status_[j] == BasisStatus::AtLower ||
+             status_[j] == BasisStatus::Free) &&
             d < -opt_.optimality_tol)
           dir = +1;
-        else if ((status_[j] == VarStatus::AtUpper || status_[j] == VarStatus::Free) &&
+        else if ((status_[j] == BasisStatus::AtUpper ||
+                  status_[j] == BasisStatus::Free) &&
                  d > opt_.optimality_tol)
           dir = -1;
         if (dir == 0) continue;
@@ -275,14 +404,13 @@ class Tableau {
       if (!entering) return Status::Optimal;  // phase optimum reached
 
       const std::size_t q = *entering;
-      ++iterations;
 
       // Direction of basic variables: delta x_B = -dir * B^{-1} A_q.
       std::vector<double> w;
       if (m_ > 0) {
         std::vector<double> aq(m_, 0.0);
         for (const auto& [r, v] : cols_[q]) aq[r] = v;
-        w = factor_->solve(aq);
+        w = ftran(std::move(aq));
       }
 
       // Ratio test. The pivot tolerance is relative to the direction's
@@ -330,27 +458,239 @@ class Tableau {
         return phase2 ? Status::Unbounded : Status::Infeasible;
       }
 
+      // A pivot far below the direction's scale makes the eta update
+      // ill-conditioned; with a stale factorization, rebuild and retry the
+      // iteration from exact data before accepting it.
+      if (leaving_pos && t_star < t_own - 1e-12 && !etas_.empty() &&
+          std::fabs(w[*leaving_pos]) < 1e-7 * std::max(1.0, wmax)) {
+        if (!fresh_factor()) return Status::Infeasible;
+        continue;
+      }
+
+      ++iterations;
       degenerate_run = t_star <= 1e-10 ? degenerate_run + 1 : 0;
 
       if (!leaving_pos || t_star >= t_own - 1e-12) {
         // Bound flip: the entering variable runs to its opposite bound.
         HSLB_ASSERT(t_own != kInf);
-        status_[q] = status_[q] == VarStatus::AtLower ? VarStatus::AtUpper
-                                                      : VarStatus::AtLower;
-        value_[q] = status_[q] == VarStatus::AtLower ? lb_[q] : ub_[q];
+        const double old = value_[q];
+        status_[q] = status_[q] == BasisStatus::AtLower ? BasisStatus::AtUpper
+                                                        : BasisStatus::AtLower;
+        value_[q] = status_[q] == BasisStatus::AtLower ? lb_[q] : ub_[q];
+        const double delta = value_[q] - old;
+        for (std::size_t i = 0; i < m_; ++i)
+          value_[basis_[i]] -= w[i] * delta;
         continue;
       }
 
       // Pivot: entering becomes basic, leaving goes to the bound it hit.
       const std::size_t p = *leaving_pos;
       const std::size_t leave = basis_[p];
-      value_[q] = value_[q] + direction * t_star;
-      status_[q] = VarStatus::Basic;
-      status_[leave] = leaving_at_upper ? VarStatus::AtUpper : VarStatus::AtLower;
+      const double delta_q = direction * t_star;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (i == p) continue;
+        value_[basis_[i]] -= w[i] * delta_q;
+      }
+      value_[q] = value_[q] + delta_q;
+      status_[q] = BasisStatus::Basic;
+      status_[leave] =
+          leaving_at_upper ? BasisStatus::AtUpper : BasisStatus::AtLower;
       value_[leave] = leaving_at_upper ? ub_[leave] : lb_[leave];
       basis_[p] = q;
+      if (!push_eta(p, std::move(w))) return Status::Infeasible;
     }
     return Status::IterationLimit;
+  }
+
+  // -- Dual simplex ----------------------------------------------------------
+
+  /// Restores primal feasibility of a (near) dual-feasible basis: repeatedly
+  /// drives the most-violating basic variable to the bound it violates,
+  /// choosing the entering variable by the bounded-variable dual ratio test.
+  /// Returns Optimal when primal feasible, Infeasible on a certificate (the
+  /// violating row cannot be repaired by any in-bounds move of the
+  /// nonbasics), IterationLimit on trouble.
+  Status dual_repair(std::size_t& iterations) {
+    while (iterations < opt_.max_iterations) {
+      std::optional<std::size_t> pos;
+      double worst = 0.0;
+      bool above = false;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const std::size_t b = basis_[i];
+        const double v = value_[b];
+        if (ub_[b] != kInf) {
+          const double viol = v - ub_[b];
+          if (viol > opt_.feasibility_tol * (1.0 + std::fabs(ub_[b])) &&
+              viol > worst) {
+            worst = viol;
+            pos = i;
+            above = true;
+          }
+        }
+        if (lb_[b] != -kInf) {
+          const double viol = lb_[b] - v;
+          if (viol > opt_.feasibility_tol * (1.0 + std::fabs(lb_[b])) &&
+              viol > worst) {
+            worst = viol;
+            pos = i;
+            above = false;
+          }
+        }
+      }
+      if (!pos) return Status::Optimal;  // primal feasible
+
+      const std::size_t p = *pos;
+      const std::size_t leave = basis_[p];
+
+      // Row p of B^{-1} A for the nonbasic columns, via rho = B^{-T} e_p.
+      std::vector<double> e(m_, 0.0);
+      e[p] = 1.0;
+      const std::vector<double> rho = btran(std::move(e));
+      compute_duals();
+
+      std::vector<double> alpha(total_cols(), 0.0);
+      double alpha_max = 0.0;
+      for (std::size_t j = 0; j < total_cols(); ++j) {
+        if (status_[j] == BasisStatus::Basic || lb_[j] == ub_[j]) continue;
+        double a = 0.0;
+        for (const auto& [r, v] : cols_[j]) a += rho[r] * v;
+        alpha[j] = a;
+        alpha_max = std::max(alpha_max, std::fabs(a));
+      }
+      const double atol = 1e-9 * std::max(1.0, alpha_max);
+
+      // Dual ratio test: candidates are moves that reduce the violation;
+      // among them the smallest reduced-cost ratio keeps dual feasibility.
+      // Sign convention: with asign = alpha for an above-upper violation and
+      // -alpha below-lower, candidates are at-lower columns with asign > 0,
+      // at-upper columns with asign < 0, and free columns either way.
+      std::optional<std::size_t> entering;
+      double best_ratio = kInf;
+      for (std::size_t j = 0; j < total_cols(); ++j) {
+        if (status_[j] == BasisStatus::Basic || lb_[j] == ub_[j]) continue;
+        const double asign = above ? alpha[j] : -alpha[j];
+        bool candidate = false;
+        if (status_[j] == BasisStatus::Free) {
+          candidate = std::fabs(asign) > atol;
+        } else if (status_[j] == BasisStatus::AtLower) {
+          candidate = asign > atol;
+        } else {  // AtUpper
+          candidate = asign < -atol;
+        }
+        if (!candidate) continue;
+        double d = cost_[j];
+        for (const auto& [r, v] : cols_[j]) d -= duals_[r] * v;
+        // Dual feasibility makes d/asign >= 0 (free columns have d ~ 0);
+        // the max() guards round-off drift.
+        const double ratio = std::max(0.0, std::fabs(d) / std::fabs(asign));
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && entering && j < *entering)) {
+          best_ratio = ratio;
+          entering = j;
+        }
+      }
+      if (!entering) {
+        // Certificate: every in-bounds move of the nonbasics increases (or
+        // cannot change) the violated row value — the row is infeasible.
+        // Valid regardless of dual feasibility: it only reads the signs of
+        // row p of B^{-1} A at the current vertex.
+        return Status::Infeasible;
+      }
+
+      const std::size_t q = *entering;
+      std::vector<double> w;
+      {
+        std::vector<double> aq(m_, 0.0);
+        for (const auto& [r, v] : cols_[q]) aq[r] = v;
+        w = ftran(std::move(aq));
+      }
+      double wmax = 0.0;
+      for (double wi : w) wmax = std::max(wmax, std::fabs(wi));
+      if (std::fabs(w[p]) < 1e-7 * std::max(1.0, wmax)) {
+        if (!etas_.empty()) {
+          // The eta-updated row disagrees with the fresh direction: rebuild
+          // from exact data and retry this iteration.
+          if (!fresh_factor()) return Status::Infeasible;
+          continue;
+        }
+        return Status::IterationLimit;  // genuinely tiny pivot: abandon warm
+      }
+
+      const double target = above ? ub_[leave] : lb_[leave];
+      const double delta_q = (value_[leave] - target) / w[p];
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (i == p) continue;
+        value_[basis_[i]] -= w[i] * delta_q;
+      }
+      value_[q] += delta_q;
+      status_[q] = BasisStatus::Basic;
+      status_[leave] = above ? BasisStatus::AtUpper : BasisStatus::AtLower;
+      value_[leave] = target;
+      basis_[p] = q;
+      if (!push_eta(p, std::move(w))) return Status::Infeasible;
+      ++iterations;
+    }
+    return Status::IterationLimit;
+  }
+
+  /// Refactorizes from the current basis; flags singular_failure_ on
+  /// failure so callers can retry cold / under Bland's rule.
+  bool fresh_factor() {
+    if (refactorize()) return true;
+    log::debug() << "simplex: singular basis (m=" << m_ << ", n=" << n_ << ")";
+    singular_failure_ = true;
+    return false;
+  }
+
+  /// Shared phase-2 epilogue: extracts the solution, polishes values,
+  /// snapshots the basis.
+  void finalize(Solution& sol, Status p2) {
+    if (singular_failure_) {
+      sol.status = Status::Infeasible;
+      return;
+    }
+    sol.status = p2;
+    if (p2 == Status::Optimal) polish();
+    sol.x.assign(value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(n_));
+    compute_duals();
+    // Duals of the scaled rows map back by dividing by the row scale.
+    sol.duals = duals_;
+    for (std::size_t r = 0; r < sol.duals.size(); ++r)
+      sol.duals[r] /= row_scale_[r];
+    sol.objective = 0.0;
+    for (std::size_t j = 0; j < n_; ++j)
+      sol.objective += model_.objective(j) * sol.x[j];
+    if (p2 == Status::Optimal) {
+      double viol = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        const double act = model_.row_activity(r, sol.x);
+        if (model_.row_lower(r) != -kInf)
+          viol = std::max(viol, model_.row_lower(r) - act);
+        if (model_.row_upper(r) != kInf)
+          viol = std::max(viol, act - model_.row_upper(r));
+      }
+      // Variable bounds too: a solution inside every row but outside a box
+      // is just as infeasible (and is what a buggy warm repair would give).
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (lb_[j] != -kInf) viol = std::max(viol, lb_[j] - sol.x[j]);
+        if (ub_[j] != kInf) viol = std::max(viol, sol.x[j] - ub_[j]);
+      }
+      sol.max_primal_violation = viol;
+      snapshot_basis(sol.basis);
+    }
+  }
+
+  void snapshot_basis(Basis& out) const {
+    out.cols.assign(status_.begin(),
+                    status_.begin() + static_cast<std::ptrdiff_t>(n_));
+    out.rows.resize(m_);
+    for (std::size_t r = 0; r < m_; ++r) out.rows[r] = status_[slack(r)];
+    // A degenerate basic artificial (at zero) is recorded as its row's slack
+    // being basic: the slack column is the artificial's up to sign, so the
+    // recorded basis stays nonsingular and artificial-free.
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= n_ + m_) out.rows[basis_[i] - n_ - m_] = BasisStatus::Basic;
+    }
   }
 
   const Model& model_;
@@ -358,27 +698,73 @@ class Tableau {
   std::size_t n_, m_;
   std::vector<std::vector<Coeff>> cols_;
   std::vector<double> lb_, ub_, cost_, value_;
-  std::vector<VarStatus> status_;
+  std::vector<BasisStatus> status_;
   std::vector<std::size_t> basis_;
   std::vector<double> row_scale_;
   std::optional<linalg::LU> factor_;
+  std::vector<Eta> etas_;
   std::vector<double> duals_;
-  double scale_ = 0.0;
   bool singular_failure_ = false;
+  bool warm_trouble_ = false;
 };
 
 }  // namespace
 
 Solution solve(const Model& model, const Options& options) {
-  Tableau t(model, options);
-  Solution sol = t.run();
+  // Crossed boxes (branching artifacts) make the simplex loops meaningless;
+  // the model is trivially infeasible.
+  for (std::size_t j = 0; j < model.num_cols(); ++j) {
+    if (model.col_lower(j) > model.col_upper(j)) {
+      Solution sol;
+      sol.status = Status::Infeasible;
+      return sol;
+    }
+  }
+  for (std::size_t r = 0; r < model.num_rows(); ++r) {
+    if (model.row_lower(r) > model.row_upper(r)) {
+      Solution sol;
+      sol.status = Status::Infeasible;
+      return sol;
+    }
+  }
+
+  if (options.warm_start != nullptr && !options.warm_start->empty()) {
+    Tableau t(model, options);
+    if (t.init_warm(*options.warm_start)) {
+      Solution sol = t.run_warm();
+      // Audit the warm answer: dual repair plus primal cleanup must land on
+      // a genuinely feasible vertex. If it did not, the snapshot basis was
+      // stale in a way the ladder missed — discard and solve cold.
+      double bound_scale = 0.0;
+      for (std::size_t r = 0; r < model.num_rows(); ++r) {
+        if (model.row_lower(r) != -kInf)
+          bound_scale = std::max(bound_scale, std::fabs(model.row_lower(r)));
+        if (model.row_upper(r) != kInf)
+          bound_scale = std::max(bound_scale, std::fabs(model.row_upper(r)));
+      }
+      const bool feasible_enough =
+          sol.status != Status::Optimal ||
+          sol.max_primal_violation <=
+              100.0 * options.feasibility_tol * (1.0 + bound_scale);
+      if (!t.singular_failure() && !t.warm_trouble() && feasible_enough)
+        return sol;
+      log::debug() << "simplex: warm start abandoned; cold solve";
+    }
+  }
+
+  Options cold = options;
+  cold.warm_start = nullptr;
+  Tableau t(model, cold);
+  t.init_cold();
+  Solution sol = t.run_cold();
   if (t.singular_failure()) {
     // Retry once from scratch under Bland's rule: its conservative pivot
     // choices avoid the aggressive Dantzig path that went singular.
-    Options retry = options;
+    Options retry = cold;
     retry.bland_threshold = 0;
     Tableau t2(model, retry);
-    sol = t2.run();
+    t2.init_cold();
+    sol = t2.run_cold();
     if (t2.singular_failure()) {
       log::warn() << "simplex: singular basis persisted after Bland retry";
     }

@@ -1,15 +1,23 @@
-// Bounded-variable primal simplex solver.
+// Bounded-variable simplex solver with warm starts.
 //
-// Two-phase method with per-row artificial variables; range rows are
-// handled with bounded slacks; nonbasic variables sit at either bound
-// (or at zero when free). The basis is refactorized by dense LU each
-// iteration — the HSLB master problems have tens of rows, so dense
-// refactorization is both simple and fast enough (cf. DESIGN.md).
+// Cold solves run the classic two-phase primal method (per-row artificial
+// variables; range rows as bounded slacks; nonbasic variables at a bound or
+// at zero when free). Warm solves skip Phase I entirely: the caller passes
+// the basis of a previously solved, structurally compatible model (same
+// columns, a row prefix of the new model — branch-and-bound children differ
+// from their parent only by tightened bounds and appended cut rows), a dual
+// simplex phase repairs the handful of primal infeasibilities the changes
+// introduced, and a primal cleanup phase certifies optimality.
+//
+// The basis inverse is maintained by product-form (eta) rank-1 updates with
+// periodic dense-LU refactorization for numerical safety, instead of a full
+// refactorization per pivot (cf. DESIGN.md).
 //
 // Plays the role CLP plays under MINOTAUR in the paper (§III-E).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +35,20 @@ enum class Status {
 /// Human-readable status label.
 std::string to_string(Status s);
 
+/// Basis membership of one variable (structural column or row slack).
+enum class BasisStatus : std::uint8_t { Basic, AtLower, AtUpper, Free };
+
+/// Snapshot of an optimal basis, reusable as a warm start for a model with
+/// the same columns and whose rows extend this model's rows (appended rows
+/// start with their slack basic). Row-bound and column-bound changes are
+/// repaired by the dual simplex.
+struct Basis {
+  std::vector<BasisStatus> cols;  ///< one entry per structural column
+  std::vector<BasisStatus> rows;  ///< one entry per row (its slack)
+
+  bool empty() const { return cols.empty() && rows.empty(); }
+};
+
 struct Options {
   double feasibility_tol = 1e-8;    ///< row/column feasibility tolerance
   double optimality_tol = 1e-9;     ///< reduced-cost tolerance
@@ -34,6 +56,13 @@ struct Options {
   /// Switch from Dantzig pricing to Bland's rule after this many
   /// consecutive degenerate pivots (anti-cycling).
   std::size_t bland_threshold = 200;
+  /// Rebuild the dense LU of the basis after this many eta updates (and
+  /// whenever a pivot looks numerically risky).
+  std::size_t refactor_interval = 64;
+  /// Optional warm-start basis (not owned; must outlive the solve call).
+  /// Ignored — falling back to a cold solve — when structurally
+  /// incompatible or numerically singular.
+  const Basis* warm_start = nullptr;
 };
 
 struct Solution {
@@ -41,11 +70,17 @@ struct Solution {
   double objective = 0.0;
   std::vector<double> x;       ///< primal values (structural columns only)
   std::vector<double> duals;   ///< one multiplier per row (phase-2 y)
-  std::size_t iterations = 0;
+  std::size_t iterations = 0;  ///< total pivots (primal + dual)
   double max_primal_violation = 0.0;  ///< diagnostic, after polishing
+  /// Optimal basis snapshot (empty unless status == Optimal); feed back via
+  /// Options::warm_start to accelerate re-solves.
+  Basis basis;
+  /// True when the warm-start basis was actually used (false when absent,
+  /// incompatible, or abandoned for a cold solve).
+  bool warm_started = false;
 };
 
-/// Solves the LP; deterministic for a fixed model.
+/// Solves the LP; deterministic for a fixed model and options.
 Solution solve(const Model& model, const Options& options = {});
 
 }  // namespace hslb::lp

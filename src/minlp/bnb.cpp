@@ -5,9 +5,11 @@
 #include <cmath>
 #include <optional>
 #include <queue>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "lp/simplex.hpp"
 
 namespace hslb::minlp {
@@ -38,6 +40,9 @@ struct Node {
   std::ptrdiff_t branch_var = -1;
   int branch_dir = 0;                   ///< +1 = up child, -1 = down child
   double branch_frac = 0.0;             ///< parent fractional distance moved
+  /// Basis of the parent LP this node was branched from; warm-start seed
+  /// for this node's first LP re-solve.
+  lp::Basis basis;
 };
 
 /// Heap entry: best-bound-first, FIFO among equal bounds for determinism.
@@ -49,6 +54,30 @@ struct HeapEntry {
     if (bound != o.bound) return bound > o.bound;
     return order > o.order;
   }
+};
+
+/// A child produced by branching, before it gets an arena slot.
+struct ChildSpec {
+  std::vector<BoundChange> changes;
+  double bound;
+  std::ptrdiff_t branch_var = -1;
+  int branch_dir = 0;
+  double branch_frac = 0.0;
+};
+
+/// Everything one node expansion wants to do to shared state, recorded by
+/// the (read-only) worker and applied at the wave barrier in wave order so
+/// the search is identical for every thread count.
+struct Outcome {
+  std::vector<ChildSpec> children;
+  lp::Basis child_basis;  ///< basis of the branched LP, seed for children
+  std::vector<std::pair<double, std::vector<double>>> incumbents;  ///< obj, x
+  std::vector<Cut> new_cuts;  ///< cuts beyond the shared-pool prefix
+  std::optional<double> first_lp_obj;  ///< pass-0 objective (pseudocosts)
+  std::size_t lp_solves = 0;
+  std::size_t nlp_solves = 0;
+  std::size_t lp_pivots = 0;
+  std::size_t warm_solves = 0;
 };
 
 class Solver {
@@ -71,6 +100,7 @@ class Solver {
     // point" of §III-E) and gives the first global bound.
     KelleyResult root = solve_relaxation(model_, pool_, opt_.kelley);
     result_.lp_solves += root.lp_solves;
+    result_.lp_pivots += root.lp_pivots;
     result_.nlp_solves += 1;
     if (root.status == KelleyResult::Status::Infeasible) {
       result_.status = BnbStatus::Infeasible;
@@ -80,8 +110,15 @@ class Solver {
 
     nodes_.push_back(Node{});
     nodes_.back().bound = root.objective;
+    nodes_.back().basis = std::move(root.basis);
     heap_.push(HeapEntry{root.objective, next_order_++, 0});
 
+    // Nodes are expanded in synchronized best-bound waves: a wave's nodes
+    // are processed by read-only workers against the wave-start incumbent /
+    // pseudocosts / cut pool, and their outcomes are merged at the barrier
+    // in wave order. The wave composition depends only on wave_size, so the
+    // whole search is bit-identical for every solver_threads value.
+    ThreadPool threads(opt_.solver_threads);
     while (!heap_.empty()) {
       if (result_.nodes >= opt_.max_nodes) {
         result_.status = BnbStatus::NodeLimit;
@@ -94,14 +131,28 @@ class Solver {
         return result_;
       }
 
-      const HeapEntry top = heap_.top();
-      heap_.pop();
-      if (has_incumbent_ && top.bound >= incumbent_obj_ - opt_.gap_tol) {
-        // Best-bound order: everything remaining is also prunable.
-        break;
+      std::vector<std::size_t> wave;
+      const std::size_t wave_cap = std::max<std::size_t>(1, opt_.wave_size);
+      while (!heap_.empty() && wave.size() < wave_cap) {
+        const HeapEntry top = heap_.top();
+        // Best-bound order: once the top is prunable, so is everything
+        // below it *right now* — stop filling, but keep the outer loop
+        // going: merging this wave can push children with better bounds.
+        if (has_incumbent_ && top.bound >= incumbent_obj_ - opt_.gap_tol)
+          break;
+        heap_.pop();
+        wave.push_back(top.node);
       }
-      ++result_.nodes;
-      process(top.node);
+      if (wave.empty()) break;  // the whole frontier is prunable: done
+      result_.nodes += wave.size();
+      ++result_.waves;
+
+      std::vector<Outcome> outcomes(wave.size());
+      threads.parallel_for(wave.size(), [&](std::size_t i) {
+        outcomes[i] = process(wave[i]);
+      });
+      for (std::size_t i = 0; i < wave.size(); ++i)
+        merge(wave[i], std::move(outcomes[i]));
     }
 
     result_.status = has_incumbent_ ? BnbStatus::Optimal : BnbStatus::Infeasible;
@@ -136,6 +187,10 @@ class Solver {
                       ? std::max(0.0, incumbent_obj_ - bound)
                       : lp::kInf;
     if (result_.status == BnbStatus::Optimal) result_.gap = 0.0;
+    result_.rel_gap =
+        result_.has_solution
+            ? result_.gap / std::max(1.0, std::fabs(result_.objective))
+            : result_.gap;
   }
 
   BoundOverrides materialize(std::size_t node) const {
@@ -250,18 +305,8 @@ class Solver {
     return best;
   }
 
-  void push_child(std::size_t parent, std::vector<BoundChange> changes,
-                  double bound) {
-    Node child;
-    child.parent = static_cast<std::ptrdiff_t>(parent);
-    child.changes = std::move(changes);
-    child.bound = bound;
-    nodes_.push_back(std::move(child));
-    heap_.push(HeapEntry{bound, next_order_++, nodes_.size() - 1});
-  }
-
-  void branch_sos(std::size_t node, std::size_t sos_idx,
-                  const std::vector<double>& x, double bound) {
+  void branch_sos(std::size_t sos_idx, const std::vector<double>& x,
+                  double bound, Outcome& out) const {
     const Sos1& set = model_.sos1()[sos_idx];
     // Split at the weighted mean of the active members, clamped so that each
     // side keeps at least one member free.
@@ -277,54 +322,330 @@ class Solver {
     while (split < set.vars.size() && set.weights[split] <= pivot) ++split;
     split = std::clamp<std::size_t>(split, 1, set.vars.size() - 1);
 
-    std::vector<BoundChange> left, right;
+    ChildSpec left, right;
+    left.bound = right.bound = bound;
     for (std::size_t i = split; i < set.vars.size(); ++i)
-      left.push_back({set.vars[i], false, 0.0});  // right half pinned to 0
+      left.changes.push_back({set.vars[i], false, 0.0});  // right half to 0
     for (std::size_t i = 0; i < split; ++i)
-      right.push_back({set.vars[i], false, 0.0});  // left half pinned to 0
-    push_child(node, std::move(left), bound);
-    push_child(node, std::move(right), bound);
+      right.changes.push_back({set.vars[i], false, 0.0});  // left half to 0
+    out.children.push_back(std::move(left));
+    out.children.push_back(std::move(right));
   }
 
-  void branch_integer(std::size_t node, std::size_t var,
-                      const std::vector<double>& x, double bound) {
+  void branch_integer(std::size_t var, const std::vector<double>& x,
+                      double bound, Outcome& out) const {
     const double v = x[var];
     const double frac = v - std::floor(v);
-    push_child(node, {{var, false, std::floor(v)}}, bound);  // x <= floor
-    nodes_.back().branch_var = static_cast<std::ptrdiff_t>(var);
-    nodes_.back().branch_dir = -1;
-    nodes_.back().branch_frac = frac;
-    push_child(node, {{var, true, std::ceil(v)}}, bound);    // x >= ceil
-    nodes_.back().branch_var = static_cast<std::ptrdiff_t>(var);
-    nodes_.back().branch_dir = +1;
-    nodes_.back().branch_frac = 1.0 - frac;
+    ChildSpec down;  // x <= floor
+    down.bound = bound;
+    down.changes = {{var, false, std::floor(v)}};
+    down.branch_var = static_cast<std::ptrdiff_t>(var);
+    down.branch_dir = -1;
+    down.branch_frac = frac;
+    ChildSpec up;  // x >= ceil
+    up.bound = bound;
+    up.changes = {{var, true, std::ceil(v)}};
+    up.branch_var = static_cast<std::ptrdiff_t>(var);
+    up.branch_dir = +1;
+    up.branch_frac = 1.0 - frac;
+    out.children.push_back(std::move(down));
+    out.children.push_back(std::move(up));
   }
 
-  void process(std::size_t node) {
+  /// Strong branching with warm probes: evaluates the most fractional
+  /// candidates by solving both child LPs warm from the node basis (a few
+  /// dual-simplex pivots each) and picks the variable whose worse child
+  /// moves the bound the most — the classic plateau breaker. Returns
+  /// nullopt when no candidate actually moves the bound.
+  std::optional<std::size_t> strong_branch(const lp::Model& relax,
+                                           const std::vector<double>& x,
+                                           const lp::Basis& basis,
+                                           Outcome& out) const {
+    const std::size_t kCandidates = opt_.strong_branch_candidates;
+    // Most fractional first, index ascending among ties (determinism).
+    std::vector<std::pair<double, std::size_t>> frac;
+    for (std::size_t v = 0; v < model_.num_vars(); ++v) {
+      if (!model_.is_integer(v)) continue;
+      const double f = x[v] - std::floor(x[v]);
+      const double dist = std::min(f, 1.0 - f);
+      if (dist > opt_.int_tol) frac.emplace_back(-dist, v);
+    }
+    std::sort(frac.begin(), frac.end());
+    if (frac.size() > kCandidates) frac.resize(kCandidates);
+
+    std::optional<std::size_t> best;
+    double best_score = -lp::kInf;
+    for (const auto& [neg_dist, v] : frac) {
+      double worse_gain = lp::kInf;
+      for (const bool down : {true, false}) {
+        lp::Model child = relax;
+        if (down)
+          child.set_col_upper(v, std::floor(x[v]));
+        else
+          child.set_col_lower(v, std::ceil(x[v]));
+        lp::Options lp_opt = opt_.kelley.lp;
+        lp_opt.warm_start = &basis;
+        const lp::Solution sol = lp::solve(child, lp_opt);
+        ++out.lp_solves;
+        out.lp_pivots += sol.iterations;
+        if (sol.warm_started) ++out.warm_solves;
+        // An infeasible child is the best possible outcome: that side
+        // disappears outright.
+        const double gain = sol.status == lp::Status::Optimal
+                                ? sol.objective
+                                : lp::kInf;
+        worse_gain = std::min(worse_gain, gain);
+      }
+      // score = bound of the weaker child; kInf means both sides prune.
+      // First-wins on ties keeps the choice deterministic (candidate order
+      // is fixed: most fractional first, then index).
+      if (worse_gain > best_score + 1e-12) {
+        best_score = worse_gain;
+        best = v;
+      }
+      if (worse_gain == lp::kInf) break;  // cannot do better
+    }
+    return best;
+  }
+
+  /// LP diving heuristic: starting from a fractional relaxation point,
+  /// repeatedly fix the most fractional integer to its nearest value and
+  /// warm re-solve (each step is a single bound change, so the dual-simplex
+  /// repair makes these nearly free); when the point goes integral, the
+  /// fixed-integer NLP completes it into an incumbent candidate.
+  void round_and_complete(const lp::Model& relax, const std::vector<double>& x0,
+                          const lp::Basis& basis0, const BoundOverrides& bounds,
+                          CutPool& local, Outcome& out) const {
+    lp::Model dive = relax;
+    std::vector<double> x = x0;
+    lp::Basis basis = basis0;
+    // Each step pins at least one variable, so #fractional picks bounds the
+    // loop; the hard cap keeps a pathological model from stalling a node.
+    constexpr std::size_t kMaxDiveSteps = 128;
+
+    for (std::size_t step = 0; step < kMaxDiveSteps; ++step) {
+      // A violated SOS set is dived as a unit — pin everything but its
+      // dominant member to zero in one step. Per-binary diving would cost
+      // hundreds of LP solves on the selector-heavy layout models.
+      if (const auto s = violated_sos(x)) {
+        const Sos1& set = model_.sos1()[*s];
+        std::size_t keep = set.vars[0];
+        double keep_mass = -1.0;
+        for (std::size_t v : set.vars) {
+          if (std::fabs(x[v]) > keep_mass) {
+            keep_mass = std::fabs(x[v]);
+            keep = v;
+          }
+        }
+        lp::Model trial = dive;
+        for (std::size_t v : set.vars) {
+          if (v != keep) trial.set_col_upper(v, 0.0);
+        }
+        lp::Options lp_opt = opt_.kelley.lp;
+        if (opt_.warm_start && !basis.empty()) lp_opt.warm_start = &basis;
+        lp::Solution sol = lp::solve(trial, lp_opt);
+        ++out.lp_solves;
+        out.lp_pivots += sol.iterations;
+        if (sol.warm_started) ++out.warm_solves;
+        if (sol.status != lp::Status::Optimal) return;  // abandon the dive
+        if (has_incumbent_ && sol.objective >= incumbent_obj_ - opt_.gap_tol)
+          return;
+        dive = std::move(trial);
+        x = std::move(sol.x);
+        basis = std::move(sol.basis);
+        continue;
+      }
+
+      // Least fractional unfixed integer first: those fixes barely move the
+      // relaxation, so the genuinely contested variables are decided last,
+      // when the LP has the most information. None left means the dive
+      // point is integral and ready for NLP completion.
+      std::optional<std::size_t> pick;
+      double best_dist = 1.0;
+      for (std::size_t v = 0; v < model_.num_vars(); ++v) {
+        if (!model_.is_integer(v)) continue;
+        if (dive.col_lower(v) == dive.col_upper(v)) continue;
+        const double frac = x[v] - std::floor(x[v]);
+        const double dist = std::min(frac, 1.0 - frac);
+        if (dist > opt_.int_tol && dist < best_dist) {
+          best_dist = dist;
+          pick = v;
+        }
+      }
+      if (!pick) break;
+
+      // Steepest descent between the two roundings: fixing against the
+      // objective's pull (e.g. shrinking the binding task of a min-max
+      // model) compounds over a whole dive into a useless incumbent.
+      bool stepped = false;
+      double best_obj = lp::kInf;
+      lp::Model best_model;
+      lp::Solution best_sol;
+      for (const double r : {std::floor(x[*pick]), std::ceil(x[*pick])}) {
+        if (r < dive.col_lower(*pick) || r > dive.col_upper(*pick)) continue;
+        lp::Model trial = dive;
+        trial.set_col_lower(*pick, r);
+        trial.set_col_upper(*pick, r);
+        lp::Options lp_opt = opt_.kelley.lp;
+        if (opt_.warm_start && !basis.empty()) lp_opt.warm_start = &basis;
+        lp::Solution sol = lp::solve(trial, lp_opt);
+        ++out.lp_solves;
+        out.lp_pivots += sol.iterations;
+        if (sol.warm_started) ++out.warm_solves;
+        if (sol.status != lp::Status::Optimal) continue;
+        if (sol.objective < best_obj) {
+          best_obj = sol.objective;
+          best_model = std::move(trial);
+          best_sol = std::move(sol);
+          stepped = true;
+        }
+      }
+      if (!stepped) return;  // both roundings infeasible: abandon the dive
+      // The dive objective only rises as variables get pinned, and the NLP
+      // completion is tighter still — once it crosses the incumbent the
+      // rest of the dive cannot produce an improvement.
+      if (has_incumbent_ && best_obj >= incumbent_obj_ - opt_.gap_tol) return;
+      dive = std::move(best_model);
+      x = std::move(best_sol.x);
+      basis = std::move(best_sol.basis);
+    }
+
+    // Fix every integer at the dived point and complete with the NLP.
+    BoundOverrides fixed = bounds;
+    for (std::size_t v = 0; v < model_.num_vars(); ++v) {
+      if (!model_.is_integer(v)) continue;
+      const double r = std::clamp(std::round(x[v]), bounds.lb(model_, v),
+                                  bounds.ub(model_, v));
+      fixed.lower[v] = r;
+      fixed.upper[v] = r;
+    }
+    KelleyOptions nlp_opt = opt_.kelley;
+    if (opt_.warm_start && !basis.empty()) nlp_opt.lp.warm_start = &basis;
+    KelleyResult nlp = solve_relaxation(model_, local, fixed, nlp_opt);
+    out.lp_solves += nlp.lp_solves;
+    out.lp_pivots += nlp.lp_pivots;
+    ++out.nlp_solves;
+    if (nlp.status == KelleyResult::Status::Optimal &&
+        model_.is_feasible(nlp.x, 10 * opt_.feas_tol, opt_.int_tol)) {
+      out.incumbents.emplace_back(nlp.objective, nlp.x);
+    }
+  }
+
+  /// Expands one node. Read-only with respect to shared state (safe to run
+  /// concurrently within a wave); everything it wants to change is recorded
+  /// in the returned Outcome.
+  Outcome process(std::size_t node) const {
+    Outcome out;
+    CutPool local = pool_;  // wave-start prefix, appended to privately
+    const std::size_t prefix = local.size();
+    expand(node, local, out);
+    for (std::size_t c = prefix; c < local.size(); ++c)
+      out.new_cuts.push_back(local.cuts()[c]);
+    return out;
+  }
+
+  void expand(std::size_t node, CutPool& local, Outcome& out) const {
     BoundOverrides bounds = materialize(node);
+    // Branching can empty a variable's box; fathom before building the LP.
+    // (This also keeps the relaxation's rows the plain linear+cuts layout
+    // that warm-start basis snapshots assume.)
+    for (std::size_t v = 0; v < model_.num_vars(); ++v) {
+      if (bounds.lb(model_, v) > bounds.ub(model_, v)) return;
+    }
+
+    // Build the relaxation once; QG passes only append their new cut rows.
+    lp::Model relax = build_lp_relaxation(model_, local, bounds);
+    std::size_t cuts_in_relax = local.size();
+    lp::Basis basis = nodes_[node].basis;  // parent warm-start seed
 
     for (std::size_t pass = 0; pass < opt_.max_passes_per_node; ++pass) {
-      lp::Model relax = build_lp_relaxation(model_, pool_, bounds);
-      const lp::Solution sol = lp::solve(relax, opt_.kelley.lp);
-      ++result_.lp_solves;
+      for (std::size_t c = cuts_in_relax; c < local.size(); ++c) {
+        relax.add_constraint(local.cuts()[c].coeffs, -lp::kInf,
+                             local.cuts()[c].rhs, "oa");
+      }
+      cuts_in_relax = local.size();
+
+      lp::Options lp_opt = opt_.kelley.lp;
+      if (opt_.warm_start && !basis.empty()) lp_opt.warm_start = &basis;
+      lp::Solution sol = lp::solve(relax, lp_opt);
+      ++out.lp_solves;
+      out.lp_pivots += sol.iterations;
+      if (sol.warm_started) ++out.warm_solves;
 
       if (sol.status == lp::Status::Infeasible) return;  // fathom
       HSLB_ASSERT(sol.status == lp::Status::Optimal);
-      if (pass == 0) record_pseudocost(nodes_[node], sol.objective);
+      basis = sol.basis;
+      if (pass == 0) out.first_lp_obj = sol.objective;
+      // Fathom by bound against the wave-start incumbent (frozen for the
+      // whole wave, so the decision is thread-count independent).
       if (has_incumbent_ && sol.objective >= incumbent_obj_ - opt_.gap_tol)
-        return;  // fathom by bound
+        return;
 
       // Branch on SOS sets first: the paper found set branching on the
       // atmosphere allocation two orders of magnitude faster than binary
       // branching.
-      if (opt_.use_sos_branching) {
-        if (const auto s = violated_sos(sol.x)) {
-          branch_sos(node, *s, sol.x, sol.objective);
-          return;
+      auto sos = opt_.use_sos_branching ? violated_sos(sol.x)
+                                        : std::optional<std::size_t>{};
+      auto bv = sos ? std::optional<std::size_t>{} : pick_branch_var(sol.x);
+
+      // Degenerate warm-vertex guard. On dual-degenerate models the warm
+      // re-solve stops at whichever vertex of the optimal face the parent
+      // basis repairs into — typically a *fractional* one, since the parent
+      // basis keeps the branched integers basic. A cold solve from the slack
+      // basis enters only improving columns and so lands on a vertex with
+      // most integers sitting at their (integer) bounds; those vertices are
+      // what feeds the Quesada-Grossmann step and produces incumbents. So
+      // when a warm solve is about to integer-branch without having moved
+      // the bound past its parent, re-solve cold and branch from that
+      // vertex instead. SOS-branched nodes skip the guard: set branching
+      // works off the mass distribution and keeps its warm speedup.
+      const double parent_bound = nodes_[node].bound;
+      if (bv && sol.warm_started &&
+          sol.objective <=
+              parent_bound + 1e-9 * (1.0 + std::fabs(parent_bound))) {
+        lp::Solution cold = lp::solve(relax, opt_.kelley.lp);
+        ++out.lp_solves;
+        out.lp_pivots += cold.iterations;
+        if (cold.status == lp::Status::Optimal) {
+          sol = std::move(cold);
+          basis = sol.basis;
+          sos = opt_.use_sos_branching ? violated_sos(sol.x)
+                                       : std::optional<std::size_t>{};
+          bv = sos ? std::optional<std::size_t>{} : pick_branch_var(sol.x);
         }
       }
-      if (const auto v = pick_branch_var(sol.x)) {
-        branch_integer(node, *v, sol.x, sol.objective);
+      if (sos || bv) {
+        // Primal rounding heuristic: without it, best-bound search has
+        // nothing to prune with until an LP optimum happens to be integral,
+        // and on wide integer boxes (many fractional variables per vertex)
+        // that can take thousands of nodes. Fix the integers at the rounded
+        // relaxation point and let the fixed-integer NLP complete it. Runs
+        // while the node bound undercuts the wave-start incumbent by more
+        // than 1%, so the incumbent chases the bound down and the cost
+        // vanishes once they meet. Both inputs are frozen for the wave, so
+        // the decision is thread-count independent.
+        const bool worth_diving =
+            opt_.heuristic_dives &&
+            (!has_incumbent_ ||
+             sol.objective <
+                 incumbent_obj_ - 0.01 * (1.0 + std::fabs(incumbent_obj_)));
+        if (worth_diving)
+          round_and_complete(relax, sol.x, basis, bounds, local, out);
+        if (sos) {
+          branch_sos(*sos, sol.x, sol.objective, out);
+        } else {
+          // On dual-degenerate models most-fractional branching can walk a
+          // plateau: the child LP re-optimizes to another vertex of the
+          // same optimal face and the bound never moves. Warm re-solves
+          // make probing the candidates nearly free, so look before
+          // branching when warm starts are on.
+          std::size_t var = *bv;
+          if (opt_.strong_branch_candidates > 0 && opt_.warm_start &&
+              !basis.empty())
+            var = strong_branch(relax, sol.x, basis, out).value_or(*bv);
+          branch_integer(var, sol.x, sol.objective, out);
+        }
+        out.child_basis = std::move(basis);
         return;
       }
 
@@ -334,7 +655,7 @@ class Solver {
       const double scale = 1.0 + std::fabs(sol.objective);
       const double viol = model_.max_nonlinear_violation(sol.x);
       if (viol <= opt_.feas_tol * scale) {
-        maybe_update_incumbent(sol.x, sol.objective);
+        out.incumbents.emplace_back(sol.objective, sol.x);
         return;  // LP relaxation optimum is feasible: subtree solved
       }
 
@@ -348,18 +669,21 @@ class Solver {
         fixed.lower[v] = r;
         fixed.upper[v] = r;
       }
-      KelleyResult nlp = solve_relaxation(model_, pool_, fixed, opt_.kelley);
-      result_.lp_solves += nlp.lp_solves;
-      ++result_.nlp_solves;
+      KelleyOptions nlp_opt = opt_.kelley;
+      if (opt_.warm_start) nlp_opt.lp.warm_start = &basis;
+      KelleyResult nlp = solve_relaxation(model_, local, fixed, nlp_opt);
+      out.lp_solves += nlp.lp_solves;
+      out.lp_pivots += nlp.lp_pivots;
+      ++out.nlp_solves;
       if (nlp.status == KelleyResult::Status::Optimal &&
           model_.is_feasible(nlp.x, 10 * opt_.feas_tol, opt_.int_tol)) {
-        maybe_update_incumbent(nlp.x, nlp.objective);
+        out.incumbents.emplace_back(nlp.objective, nlp.x);
       }
 
       // Ensure the current integral point itself is cut off before
       // re-solving; otherwise a numerically stalled pool would loop.
       const std::size_t added =
-          pool_.add_violated(model_, sol.x, opt_.feas_tol * scale);
+          local.add_violated(model_, sol.x, opt_.feas_tol * scale);
       if (added == 0 && nlp.cuts_added == 0) {
         log::warn() << "bnb: cut generation stalled (violation " << viol
                     << "); fathoming node";
@@ -367,6 +691,31 @@ class Solver {
       }
     }
     log::warn() << "bnb: node pass limit reached; fathoming";
+  }
+
+  /// Applies one node's outcome to shared state. Called at the wave barrier
+  /// in wave order — the only place shared state mutates.
+  void merge(std::size_t node, Outcome out) {
+    result_.lp_solves += out.lp_solves;
+    result_.nlp_solves += out.nlp_solves;
+    result_.lp_pivots += out.lp_pivots;
+    result_.tree_lp_pivots += out.lp_pivots;
+    result_.warm_solves += out.warm_solves;
+    if (out.first_lp_obj) record_pseudocost(nodes_[node], *out.first_lp_obj);
+    for (Cut& c : out.new_cuts) pool_.add(std::move(c));
+    for (ChildSpec& spec : out.children) {
+      Node child;
+      child.parent = static_cast<std::ptrdiff_t>(node);
+      child.changes = std::move(spec.changes);
+      child.bound = spec.bound;
+      child.branch_var = spec.branch_var;
+      child.branch_dir = spec.branch_dir;
+      child.branch_frac = spec.branch_frac;
+      child.basis = out.child_basis;
+      nodes_.push_back(std::move(child));
+      heap_.push(HeapEntry{spec.bound, next_order_++, nodes_.size() - 1});
+    }
+    for (auto& [obj, x] : out.incumbents) maybe_update_incumbent(x, obj);
   }
 
   const Model& model_;

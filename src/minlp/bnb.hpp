@@ -51,6 +51,27 @@ struct BnbOptions {
   BranchRule branch_rule = BranchRule::MostFractional;
   std::size_t max_passes_per_node = 50;  ///< QG cut-and-resolve passes
   KelleyOptions kelley;         ///< used for root & fixed-integer NLP solves
+  /// Threads for node LP re-solves (1 = serial, 0 = hardware concurrency).
+  /// The search — incumbent, bound, branching sequence, node count — is
+  /// bit-identical for every value: nodes are expanded in synchronized
+  /// best-bound waves whose composition depends only on `wave_size`, and
+  /// wave outcomes are merged in deterministic wave order.
+  std::size_t solver_threads = 1;
+  /// Nodes per synchronized wave. Part of the search definition (NOT a
+  /// tuning knob tied to the thread count): changing it changes which nodes
+  /// are expanded, independently of solver_threads.
+  std::size_t wave_size = 16;
+  /// Warm-start node LPs from the parent basis (dual-simplex repair).
+  /// Results are identical either way; disable only for benchmarking.
+  bool warm_start = true;
+  /// Run the LP diving primal heuristic at fractional nodes whose bound
+  /// still undercuts the incumbent (finds incumbents early on wide integer
+  /// boxes where LP vertices are rarely integral).
+  bool heuristic_dives = true;
+  /// Strong-branching candidates probed per fractional node (0 disables).
+  /// Probes solve both child LPs warm from the node basis, so this only
+  /// takes effect when `warm_start` is on.
+  std::size_t strong_branch_candidates = 0;
 };
 
 struct BnbResult {
@@ -60,12 +81,17 @@ struct BnbResult {
   bool has_solution = false;
   double best_bound = 0.0;      ///< proven lower bound on the optimum
   double gap = 0.0;             ///< objective - best_bound (0 when Optimal)
+  double rel_gap = 0.0;         ///< gap / max(1, |objective|) (0 when Optimal)
   // Statistics.
   std::size_t nodes = 0;
   std::size_t lp_solves = 0;
   std::size_t nlp_solves = 0;
   std::size_t cuts = 0;
   double seconds = 0.0;
+  std::size_t lp_pivots = 0;       ///< simplex pivots over every LP solve
+  std::size_t tree_lp_pivots = 0;  ///< pivots excluding the root relaxation
+  std::size_t warm_solves = 0;     ///< LP solves that reused a prior basis
+  std::size_t waves = 0;           ///< synchronized node waves executed
 };
 
 /// Solves a convex MINLP to global optimality. Every variable must have

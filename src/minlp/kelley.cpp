@@ -38,12 +38,22 @@ lp::Model build_lp_relaxation(const Model& model, const CutPool& pool,
 KelleyResult solve_relaxation(const Model& model, CutPool& pool,
                               const BoundOverrides& bounds,
                               const KelleyOptions& options) {
-  KelleyResult result{KelleyResult::Status::RoundLimit, 0.0, {}, 0, 0};
+  KelleyResult result;
+  result.status = KelleyResult::Status::RoundLimit;
+
+  // Build the relaxation once; later rounds only append their new cut rows
+  // and warm-start from the previous round's basis, so each round costs a
+  // handful of dual/primal pivots instead of a full two-phase solve.
+  lp::Model relax = build_lp_relaxation(model, pool, bounds);
+  std::size_t cuts_in_relax = pool.size();
+  lp::Basis basis;
 
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
-    lp::Model relax = build_lp_relaxation(model, pool, bounds);
-    const lp::Solution sol = lp::solve(relax, options.lp);
+    lp::Options lp_opt = options.lp;
+    if (!basis.empty()) lp_opt.warm_start = &basis;
+    const lp::Solution sol = lp::solve(relax, lp_opt);
     ++result.lp_solves;
+    result.lp_pivots += sol.iterations;
 
     if (sol.status == lp::Status::Infeasible) {
       result.status = KelleyResult::Status::Infeasible;
@@ -52,6 +62,7 @@ KelleyResult solve_relaxation(const Model& model, CutPool& pool,
     // The model builders give every variable finite bounds (asserted by the
     // B&B driver), so the relaxation cannot be unbounded.
     HSLB_ASSERT(sol.status == lp::Status::Optimal);
+    basis = sol.basis;
 
     const double scale = 1.0 + std::fabs(sol.objective);
     const double worst = model.max_nonlinear_violation(sol.x);
@@ -59,6 +70,7 @@ KelleyResult solve_relaxation(const Model& model, CutPool& pool,
       result.status = KelleyResult::Status::Optimal;
       result.objective = sol.objective;
       result.x = sol.x;
+      result.basis = std::move(basis);
       return result;
     }
 
@@ -73,8 +85,14 @@ KelleyResult solve_relaxation(const Model& model, CutPool& pool,
       result.status = KelleyResult::Status::Optimal;
       result.objective = sol.objective;
       result.x = sol.x;
+      result.basis = std::move(basis);
       return result;
     }
+    for (std::size_t c = cuts_in_relax; c < pool.size(); ++c) {
+      relax.add_constraint(pool.cuts()[c].coeffs, -lp::kInf,
+                           pool.cuts()[c].rhs, "oa");
+    }
+    cuts_in_relax = pool.size();
   }
   return result;
 }

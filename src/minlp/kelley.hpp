@@ -29,6 +29,11 @@ struct KelleyResult {
   std::vector<double> x;
   std::size_t lp_solves = 0;
   std::size_t cuts_added = 0;
+  std::size_t lp_pivots = 0;  ///< simplex pivots summed over all rounds
+  /// Final LP basis (rows = model linear rows, then the pool cuts present
+  /// when the last round solved). Reusable as a warm start for any later
+  /// relaxation whose rows extend that prefix.
+  lp::Basis basis;
 };
 
 /// Per-variable bound overrides used by branch-and-bound nodes; an entry of

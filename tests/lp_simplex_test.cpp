@@ -301,5 +301,143 @@ TEST_P(SimplexRandomWide, SolutionFeasibleWhenOptimal) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SimplexRandomWide, ::testing::Range(0, 100));
 
+// ---------------------------------------------------------------------------
+// Warm-start property: a warm re-solve may take a different pivot path but
+// must reach the same status and objective as a cold solve of the same model.
+// The perturbations mirror what the branch-and-bound does to a parent LP:
+// tightened variable bounds (branching) and appended rows (OA cuts).
+// ---------------------------------------------------------------------------
+
+Model random_bounded_lp(Rng& rng) {
+  Model m;
+  const int n = static_cast<int>(rng.uniform_int(4, 10));
+  const int rows = static_cast<int>(rng.uniform_int(2, 6));
+  for (int j = 0; j < n; ++j)
+    m.add_variable(0.0, rng.uniform(2.0, 8.0), rng.uniform(-1.0, 1.0));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Coeff> coeffs;
+    for (int j = 0; j < n; ++j)
+      if (rng.uniform() < 0.7)
+        coeffs.push_back({static_cast<std::size_t>(j), rng.uniform(-1.0, 1.0)});
+    if (coeffs.empty()) coeffs.push_back({0, 1.0});
+    m.add_constraint(std::move(coeffs), -kInf, rng.uniform(0.5, 4.0));
+  }
+  return m;
+}
+
+void expect_warm_matches_cold(const Model& child, const Basis& parent_basis,
+                              int trial, int* warm_used, int* solved) {
+  const Solution cold = solve(child);
+  Options warm_opt;
+  warm_opt.warm_start = &parent_basis;
+  const Solution warm = solve(child, warm_opt);
+  ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+  if (warm.warm_started) ++*warm_used;
+  if (cold.status != Status::Optimal) return;
+  ++*solved;
+  const double scale = 1.0 + std::fabs(cold.objective);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6 * scale)
+      << "trial " << trial;
+  EXPECT_TRUE(child.is_feasible(warm.x, 1e-6)) << "trial " << trial;
+}
+
+class SimplexWarmBranch : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexWarmBranch, MatchesColdAfterBoundTightenings) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  const Model parent = random_bounded_lp(rng);
+  const Solution psol = solve(parent);
+  if (psol.status != Status::Optimal) return;
+
+  int warm_used = 0, solved = 0;
+  for (int variant = 0; variant < 4; ++variant) {
+    Model child = parent;
+    // Tighten 1-3 variables around the parent optimum, branch-style. Some
+    // variants go (detectably) infeasible — those exercise the status
+    // agreement, not the warm pivot path.
+    const int k = static_cast<int>(rng.uniform_int(1, 3));
+    for (int j = 0; j < k; ++j) {
+      const auto v = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<long long>(parent.num_cols()) - 1));
+      if (rng.uniform() < 0.5)
+        child.set_col_upper(v, std::floor(psol.x[v]));
+      else
+        child.set_col_lower(v, std::ceil(psol.x[v] + 0.5));
+    }
+    expect_warm_matches_cold(child, psol.basis, GetParam(), &warm_used,
+                             &solved);
+  }
+  if (solved > 0) {
+    EXPECT_GT(warm_used, 0);  // the warm path must actually be exercised
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexWarmBranch, ::testing::Range(0, 50));
+
+class SimplexWarmCuts : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexWarmCuts, MatchesColdAfterAppendedRows) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7673 + 11);
+  const Model parent = random_bounded_lp(rng);
+  const Solution psol = solve(parent);
+  if (psol.status != Status::Optimal) return;
+
+  Model child = parent;
+  // Append 1-3 rows, one of which cuts off the parent optimum (the OA-cut
+  // pattern: the appended row's slack starts basic and dual-infeasible).
+  const int k = static_cast<int>(rng.uniform_int(1, 3));
+  for (int r = 0; r < k; ++r) {
+    std::vector<Coeff> coeffs;
+    double activity = 0.0;
+    for (std::size_t j = 0; j < parent.num_cols(); ++j) {
+      if (rng.uniform() < 0.6) {
+        const double a = rng.uniform(-1.0, 1.0);
+        coeffs.push_back({j, a});
+        activity += a * psol.x[j];
+      }
+    }
+    if (coeffs.empty()) coeffs.push_back({0, 1.0});
+    const double rhs =
+        r == 0 ? activity - rng.uniform(0.05, 0.5)  // violated at optimum
+               : activity + rng.uniform(0.0, 1.0);
+    child.add_constraint(std::move(coeffs), -kInf, rhs);
+  }
+  int warm_used = 0;
+  { int solved = 0; expect_warm_matches_cold(child, psol.basis, GetParam(), &warm_used, &solved); }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexWarmCuts, ::testing::Range(0, 50));
+
+TEST(Simplex, WarmResolveOfUnchangedModelTakesNoPivots) {
+  Rng rng(99);
+  const Model m = random_bounded_lp(rng);
+  const Solution cold = solve(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  Options opt;
+  opt.warm_start = &cold.basis;
+  const Solution warm = solve(m, opt);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.iterations, 0u);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-12);
+}
+
+TEST(Simplex, CrossedBoundsAreInfeasible) {
+  // Branching can empty a variable's box; the solver must report it rather
+  // than "solve" the impossible model (warm or cold).
+  Model m;
+  const auto x = m.add_variable(0.0, 5.0, 1.0);
+  m.add_constraint({{x, 1.0}}, -kInf, 4.0);
+  const Solution parent = solve(m);
+  ASSERT_EQ(parent.status, Status::Optimal);
+  Model child = m;
+  child.set_col_lower(x, 3.0);
+  child.set_col_upper(x, 2.0);
+  EXPECT_EQ(solve(child).status, Status::Infeasible);
+  Options warm_opt;
+  warm_opt.warm_start = &parent.basis;
+  EXPECT_EQ(solve(child, warm_opt).status, Status::Infeasible);
+}
+
 }  // namespace
 }  // namespace hslb::lp

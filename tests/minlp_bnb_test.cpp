@@ -299,6 +299,59 @@ TEST(Bnb, ReportsStatistics) {
   EXPECT_GT(res.seconds, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Determinism contract: the search — incumbent, bound, tree size, solve
+// counts — is bit-identical for every solver_threads value, because nodes
+// are expanded in synchronized best-bound waves merged in wave order.
+// ---------------------------------------------------------------------------
+
+class BnbThreadDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbThreadDeterminism, BitIdenticalAcrossThreadCounts) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9973 + 5);
+  const auto p = make_random_minlp(rng);
+  BnbOptions opt;
+  opt.solver_threads = 1;
+  const auto serial = solve(p.model, opt);
+  for (std::size_t threads : {2u, 8u}) {
+    opt.solver_threads = threads;
+    const auto par = solve(p.model, opt);
+    ASSERT_EQ(par.status, serial.status) << "threads=" << threads;
+    // Bit-identical, not merely close: the wave schedule must make the
+    // parallel search indistinguishable from the serial one.
+    EXPECT_EQ(par.objective, serial.objective) << "threads=" << threads;
+    EXPECT_EQ(par.x, serial.x) << "threads=" << threads;
+    EXPECT_EQ(par.best_bound, serial.best_bound) << "threads=" << threads;
+    EXPECT_EQ(par.nodes, serial.nodes) << "threads=" << threads;
+    EXPECT_EQ(par.waves, serial.waves) << "threads=" << threads;
+    EXPECT_EQ(par.lp_solves, serial.lp_solves) << "threads=" << threads;
+    EXPECT_EQ(par.nlp_solves, serial.nlp_solves) << "threads=" << threads;
+    EXPECT_EQ(par.cuts, serial.cuts) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnbThreadDeterminism, ::testing::Range(0, 20));
+
+class BnbWarmVsCold : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbWarmVsCold, WarmStartsNeverChangeTheAnswer) {
+  // Warm bases change the pivot path, never the proven optimum.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 3571 + 17);
+  const auto p = make_random_minlp(rng);
+  const auto expected = enumerate_best(p);
+  ASSERT_TRUE(expected.has_value());
+  for (bool warm : {false, true}) {
+    BnbOptions opt;
+    opt.warm_start = warm;
+    const auto res = solve(p.model, opt);
+    ASSERT_EQ(res.status, BnbStatus::Optimal) << "warm=" << warm;
+    EXPECT_NEAR(res.objective, *expected, 1e-4) << "warm=" << warm;
+    EXPECT_TRUE(p.model.is_feasible(res.x, 1e-5, 1e-5)) << "warm=" << warm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnbWarmVsCold, ::testing::Range(0, 20));
+
 TEST(Bnb, NodeLimitReturnsIncumbentWithGap) {
   // Make a slightly larger instance and force a 1-node limit.
   Rng rng(777);
