@@ -8,6 +8,7 @@
 // incumbents (the warm basis and the wave schedule change the *path*, never
 // the answer); the parallel variant must additionally match the serial warm
 // run bit for bit. Headline numbers are merged into BENCH_solver.json.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -140,6 +141,69 @@ InstanceReport bench_instance(Table& t, const std::string& label,
   return rep;
 }
 
+struct SparseReport {
+  bool objectives_match = true;
+  double speedup = 0.0;         ///< dense wall / sparse wall
+  double flop_reduction = 0.0;  ///< dense kernel work / sparse kernel work
+};
+
+/// Dense-vs-sparse kernel comparison: the same warm serial search run once
+/// on the dense-equivalent kernels (Options::force_dense) and once on the
+/// sparse ones. The answer must not move; the kernel-work counters measure
+/// the flops-per-pivot reduction (acceptance target: >= 5x on the headline
+/// instances). Eta storage compression is reported alongside but does not
+/// gate: the min-max masters put the objective column in every OA cut row,
+/// so their eta vectors fill in regardless of kernel.
+SparseReport bench_sparse_kernels(Table& t, const std::string& label,
+                                  const minlp::Model& model, int reps) {
+  minlp::BnbOptions sparse_opt = variant_options(true, 1);
+  minlp::BnbOptions dense_opt = sparse_opt;
+  dense_opt.kelley.lp.force_dense = true;
+  std::fprintf(stderr, "[%s] dense kernels...", label.c_str());
+  const RunStats dense = run_model(model, dense_opt, reps);
+  std::fprintf(stderr, " %.3fs  sparse kernels...", dense.seconds);
+  const RunStats sparse = run_model(model, sparse_opt, reps);
+  std::fprintf(stderr, " %.3fs\n", sparse.seconds);
+
+  SparseReport rep;
+  const double scale = 1.0 + std::fabs(dense.obj);
+  rep.objectives_match = std::fabs(dense.obj - sparse.obj) / scale < 1e-9;
+  rep.speedup = sparse.seconds > 0.0 ? dense.seconds / sparse.seconds : 0.0;
+  rep.flop_reduction = sparse.stats.lp_stats.flop_reduction();
+
+  const struct {
+    const char* name;
+    const RunStats& r;
+  } rows[] = {{"dense", dense}, {"sparse", sparse}};
+  for (const auto& row : rows) {
+    const auto& s = row.r.stats.lp_stats;
+    const double per_pivot =
+        s.pivots > 0 ? static_cast<double>(s.eta_nnz) /
+                           static_cast<double>(s.pivots)
+                     : 0.0;
+    t.add_row({label, row.name, fmt(row.r.obj, "%.8g"),
+               fmt(row.r.seconds * 1e3), fmt(per_pivot, "%.1f"),
+               fmt(s.flop_reduction(), "%.1f")});
+  }
+  t.add_rule();
+
+  bench::merge_json(kJsonPath, "sparse/" + label,
+                    {{"dense_s", dense.seconds},
+                     {"sparse_s", sparse.seconds},
+                     {"speedup_sparse", rep.speedup},
+                     {"kernel_flop_reduction", rep.flop_reduction},
+                     {"eta_compression",
+                      sparse.stats.lp_stats.eta_compression()},
+                     {"eta_nnz", static_cast<double>(sparse.stats.lp_stats.eta_nnz)},
+                     {"eta_dense_nnz",
+                      static_cast<double>(sparse.stats.lp_stats.eta_dense_nnz)},
+                     {"lu_fill", static_cast<double>(sparse.stats.lp_stats.lu_fill)},
+                     {"basis_nnz",
+                      static_cast<double>(sparse.stats.lp_stats.basis_nnz)},
+                     {"objectives_match", rep.objectives_match ? 1.0 : 0.0}});
+  return rep;
+}
+
 minlp::Model layout1_model(long long n) {
   using namespace hslb::cesm;
   const Resolution r = n <= 4096 ? Resolution::Deg1 : Resolution::EighthDeg;
@@ -208,14 +272,44 @@ int main(int argc, char** argv) {
 
   std::printf("%s", t.str().c_str());
 
+  // -- Dense-vs-sparse kernel acceptance on the headline instances ----------
+  std::printf("\n=== Sparse vs dense-equivalent simplex kernels ===\n\n");
+  Table st({"instance", "kernels", "objective", "ms", "eta nnz/pivot",
+            "flops/pivot red."});
+  double min_flop_reduction = 1e30;
+  double min_sparse_speedup = 1e30;
+  {
+    Rng srng(424242);
+    const struct {
+      const char* label;
+      minlp::Model model;
+    } sparse_instances[] = {
+        {"layout1_N40960", layout1_model(40960)},
+        {"fmo_minmax_T32", fmo_minmax_model(32, srng)},
+    };
+    for (const auto& inst : sparse_instances) {
+      const auto rep = bench_sparse_kernels(st, inst.label, inst.model, reps);
+      all_match = all_match && rep.objectives_match;
+      min_flop_reduction = std::min(min_flop_reduction, rep.flop_reduction);
+      min_sparse_speedup = std::min(min_sparse_speedup, rep.speedup);
+    }
+  }
+  std::printf("%s", st.str().c_str());
+
   std::printf(
       "\nlayout1_N40960: warm speedup %.2fx, pivots/node reduced %.2fx\n",
       layout40960_speedup, layout40960_pivot_red);
+  std::printf("sparse kernels: flops/pivot reduced >= %.1fx, "
+              "wall speedup >= %.2fx\n",
+              min_flop_reduction, min_sparse_speedup);
   std::printf("objectives identical across variants: %s\n",
               all_match ? "yes" : "NO");
   std::printf("parallel bit-identical to serial:     %s\n",
               all_identical ? "yes" : "NO");
+  const bool flop_target_met = min_flop_reduction >= 5.0;
+  std::printf("flops-per-pivot target (>= 5x):       %s\n",
+              flop_target_met ? "yes" : "NO");
 
-  if (!all_match || !all_identical) return 1;
+  if (!all_match || !all_identical || !flop_target_met) return 1;
   return 0;
 }

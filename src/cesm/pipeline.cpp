@@ -122,6 +122,13 @@ class CesmApplication final : public Application {
     out.solver.lp_pivots = solution_.stats.lp_pivots;
     out.solver.warm_solves = solution_.stats.warm_solves;
     out.solver.waves = solution_.stats.waves;
+    out.solver.eta_nnz = solution_.stats.lp_stats.eta_nnz;
+    out.solver.eta_dense_nnz = solution_.stats.lp_stats.eta_dense_nnz;
+    out.solver.eta_compression = solution_.stats.lp_stats.eta_compression();
+    out.solver.flop_reduction = solution_.stats.lp_stats.flop_reduction();
+    out.solver.refactorizations = solution_.stats.lp_stats.refactorizations;
+    out.solver.basis_nnz = solution_.stats.lp_stats.basis_nnz;
+    out.solver.lu_fill = solution_.stats.lp_stats.lu_fill;
     return out;
   }
 

@@ -68,8 +68,8 @@ int cmd_fit(const Args& args) {
   const auto table = perf::BenchTable::load(*bench_path);
 
   perf::FitOptions opt;
-  opt.min_c = args.get("min-c", 1.0);
-  opt.num_starts = static_cast<std::size_t>(args.get("starts", 24LL));
+  opt.min_c = args.get_double("min-c", 1.0, 0.0);
+  opt.num_starts = static_cast<std::size_t>(args.get_int("starts", 24LL, 1));
   const auto fits = perf::fit_all(table, opt);
 
   Table out({"task", "a", "b", "c", "d", "R^2", "RMSE"});
@@ -91,8 +91,8 @@ int cmd_fit(const Args& args) {
 int cmd_solve(const Args& args) {
   const auto models_path = args.value("models");
   HSLB_EXPECTS(models_path.has_value());
-  const long long nodes = args.get("nodes", 0LL);
-  HSLB_EXPECTS(nodes >= 1);
+  const long long nodes = args.get_int("nodes", 0LL, 1);
+  HSLB_EXPECTS(nodes >= 1);  // --nodes is required; the fallback trips this
   const auto objective = parse_objective(args.get("objective", "min-max"));
 
   const auto named = perf::load_models(*models_path);
@@ -109,18 +109,17 @@ int cmd_solve(const Args& args) {
 }
 
 int cmd_cesm(const Args& args) {
-  const auto r = parse_resolution(args.get("resolution", 1LL));
-  const long long nodes = args.get("nodes", 128LL);
+  const auto r = parse_resolution(args.get_int("resolution", 1LL, 1));
+  const long long nodes = args.get_int("nodes", 128LL, 1);
   cesm::PipelineOptions opt;
-  opt.layout = static_cast<cesm::Layout>(args.get("layout", 1LL));
+  opt.layout = static_cast<cesm::Layout>(args.get_int("layout", 1LL, 1, 3));
   opt.ocean_constrained = !args.flag("unconstrained-ocean");
-  opt.tsync = args.get("tsync", std::numeric_limits<double>::infinity());
-  const long long threads = args.get("threads", 0LL);
-  HSLB_EXPECTS(threads >= 0);
-  opt.threads = static_cast<std::size_t>(threads);
-  const long long solver_threads = args.get("solver-threads", 1LL);
-  HSLB_EXPECTS(solver_threads >= 0);
-  opt.bnb.solver_threads = static_cast<std::size_t>(solver_threads);
+  opt.tsync = args.get_double(
+      "tsync", std::numeric_limits<double>::infinity(), 0.0);
+  // 0 = hardware concurrency for both thread counts.
+  opt.threads = static_cast<std::size_t>(args.get_int("threads", 0LL, 0));
+  opt.bnb.solver_threads =
+      static_cast<std::size_t>(args.get_int("solver-threads", 1LL, 0));
 
   const auto res = cesm::run_pipeline(r, nodes, opt);
 
@@ -166,18 +165,15 @@ int cmd_cesm(const Args& args) {
 }
 
 int cmd_fmo(const Args& args) {
-  const long long fragments = args.get("fragments", 48LL);
-  HSLB_EXPECTS(fragments >= 1);
-  const long long nodes = args.get("nodes", fragments * 16);
+  const long long fragments = args.get_int("fragments", 48LL, 1);
+  const long long nodes = args.get_int("nodes", fragments * 16, 1);
   fmo::PipelineOptions opt;
   opt.objective = parse_objective(args.get("objective", "min-max"));
-  const long long threads = args.get("threads", 0LL);
-  HSLB_EXPECTS(threads >= 0);
-  opt.threads = static_cast<std::size_t>(threads);
+  // 0 = hardware concurrency for both thread counts.
+  opt.threads = static_cast<std::size_t>(args.get_int("threads", 0LL, 0));
   opt.solve_with_minlp = args.flag("minlp");
-  const long long solver_threads = args.get("solver-threads", 1LL);
-  HSLB_EXPECTS(solver_threads >= 0);
-  opt.bnb.solver_threads = static_cast<std::size_t>(solver_threads);
+  opt.bnb.solver_threads =
+      static_cast<std::size_t>(args.get_int("solver-threads", 1LL, 0));
 
   const auto sys =
       args.flag("peptide")
@@ -208,17 +204,18 @@ int cmd_fmo(const Args& args) {
 }
 
 int cmd_advise(const Args& args) {
-  const auto r = parse_resolution(args.get("resolution", 1LL));
-  const auto layout = static_cast<cesm::Layout>(args.get("layout", 1LL));
+  const auto r = parse_resolution(args.get_int("resolution", 1LL, 1));
+  const auto layout =
+      static_cast<cesm::Layout>(args.get_int("layout", 1LL, 1, 3));
 
   std::array<perf::Model, 4> models;
   for (cesm::Component c : cesm::kComponents)
     models[cesm::index(c)] = cesm::ground_truth(r, c);
 
   cesm::AdvisorOptions opt;
-  opt.min_nodes = args.get("min-nodes", 128LL);
-  opt.max_nodes = args.get("max-nodes", 40960LL);
-  opt.efficiency_floor = args.get("efficiency", 0.5);
+  opt.min_nodes = args.get_int("min-nodes", 128LL, 1);
+  opt.max_nodes = args.get_int("max-nodes", 40960LL, 1);
+  opt.efficiency_floor = args.get_double("efficiency", 0.5, 0.0, 1.0);
   const auto advice =
       cesm::advise_node_count(r, layout, models, true, opt);
 

@@ -1,9 +1,38 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
 #include "common/contracts.hpp"
 #include "common/strings.hpp"
 
 namespace hslb::cli {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& text,
+                            const std::string& expected) {
+  throw std::invalid_argument("invalid value for --" + key + ": '" + text +
+                              "' (expected " + expected + ")");
+}
+
+std::string range_suffix(double lo, double hi) {
+  std::string out = " >= " + strings::format("%g", lo);
+  if (hi < std::numeric_limits<double>::infinity())
+    out += " and <= " + strings::format("%g", hi);
+  return out;
+}
+
+std::string range_suffix(long long lo, long long hi) {
+  std::string out = " >= " + std::to_string(lo);
+  if (hi < std::numeric_limits<long long>::max())
+    out += " and <= " + std::to_string(hi);
+  return out;
+}
+
+}  // namespace
 
 Args::Args(int argc, const char* const* argv, std::set<std::string> known_flags,
            std::set<std::string> known_keys)
@@ -57,6 +86,36 @@ long long Args::get(const std::string& key, long long fallback) const {
 double Args::get(const std::string& key, double fallback) const {
   const auto v = value(key);
   return v ? strings::to_double(*v) : fallback;
+}
+
+long long Args::get_int(const std::string& key, long long fallback,
+                        long long min_value, long long max_value) const {
+  const auto v = value(key);
+  if (!v) return fallback;
+  const std::string t = strings::trim(*v);
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = t.empty() ? 0 : std::strtoll(t.c_str(), &end, 10);
+  if (t.empty() || end != t.c_str() + t.size() || errno == ERANGE)
+    bad_value(key, *v, "an integer" + range_suffix(min_value, max_value));
+  if (parsed < min_value || parsed > max_value)
+    bad_value(key, *v, "an integer" + range_suffix(min_value, max_value));
+  return parsed;
+}
+
+double Args::get_double(const std::string& key, double fallback,
+                        double min_value, double max_value) const {
+  const auto v = value(key);
+  if (!v) return fallback;
+  const std::string t = strings::trim(*v);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = t.empty() ? 0.0 : std::strtod(t.c_str(), &end);
+  if (t.empty() || end != t.c_str() + t.size() || std::isnan(parsed))
+    bad_value(key, *v, "a number" + range_suffix(min_value, max_value));
+  if (parsed < min_value || parsed > max_value)
+    bad_value(key, *v, "a number" + range_suffix(min_value, max_value));
+  return parsed;
 }
 
 }  // namespace hslb::cli

@@ -4,6 +4,7 @@
 // arguments; unknown keys throw so typos fail loudly.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -28,6 +29,21 @@ class Args {
   std::string get(const std::string& key, const std::string& fallback) const;
   long long get(const std::string& key, long long fallback) const;
   double get(const std::string& key, double fallback) const;
+
+  /// Validated integer access: the value must parse *fully* as a base-10
+  /// integer and satisfy min_value <= v <= max_value; garbage ("abc",
+  /// "1.5", "", trailing junk) or out-of-range input throws
+  /// std::invalid_argument whose message names the flag, echoes the bad
+  /// text, and states the accepted range. The fallback is returned as-is
+  /// when the flag is absent (it is the caller's default, not user input).
+  long long get_int(
+      const std::string& key, long long fallback, long long min_value,
+      long long max_value = std::numeric_limits<long long>::max()) const;
+
+  /// Validated floating-point access (same contract; NaN is rejected).
+  double get_double(
+      const std::string& key, double fallback, double min_value,
+      double max_value = std::numeric_limits<double>::infinity()) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

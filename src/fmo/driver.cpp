@@ -95,6 +95,13 @@ class FmoApplication final : public Application {
       out.solver.lp_pivots = bnb.lp_pivots;
       out.solver.warm_solves = bnb.warm_solves;
       out.solver.waves = bnb.waves;
+      out.solver.eta_nnz = bnb.lp_stats.eta_nnz;
+      out.solver.eta_dense_nnz = bnb.lp_stats.eta_dense_nnz;
+      out.solver.eta_compression = bnb.lp_stats.eta_compression();
+      out.solver.flop_reduction = bnb.lp_stats.flop_reduction();
+      out.solver.refactorizations = bnb.lp_stats.refactorizations;
+      out.solver.basis_nnz = bnb.lp_stats.basis_nnz;
+      out.solver.lu_fill = bnb.lp_stats.lu_fill;
     } else {
       out.allocation = solve_budget(tasks, nodes_, options_.objective);
       out.solver.status = to_string(options_.objective) + " exact greedy";

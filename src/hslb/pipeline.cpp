@@ -60,6 +60,11 @@ std::string PipelineReport::str() const {
         "(%zu warm), %zu pivots\n",
         solver.threads, solver.threads == 1 ? "" : "s", solver.waves,
         solver.lp_solves, solver.warm_solves, solver.lp_pivots);
+    out += strings::format(
+        "           sparse: kernel flops %.1fx down, eta compression %.1fx "
+        "(%zu nz), %zu refactors, basis %zu nz -> LU %zu nz\n",
+        solver.flop_reduction, solver.eta_compression, solver.eta_nnz,
+        solver.refactorizations, solver.basis_nnz, solver.lu_fill);
   }
   out += strings::format("  execute  %8.3f s\n", execute_seconds);
   out += strings::format(
@@ -72,18 +77,23 @@ std::string PipelineReport::csv_header() {
   return "application,threads,gather_s,fit_s,solve_s,execute_s,probes,tasks,"
          "min_r2,mean_r2,solver_status,solver_nodes,solver_cuts,solver_gap,"
          "solver_rel_gap,solver_threads,solver_waves,solver_lp_solves,"
-         "solver_warm_solves,solver_lp_pivots,predicted_s,actual_s";
+         "solver_warm_solves,solver_lp_pivots,solver_eta_nnz,"
+         "solver_eta_compression,solver_flop_reduction,"
+         "solver_refactorizations,solver_basis_nnz,"
+         "solver_lu_fill,predicted_s,actual_s";
 }
 
 std::string PipelineReport::csv_row() const {
   return strings::format(
       "%s,%zu,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%.6f,%.6f,%s,%zu,%zu,%g,%g,%zu,%zu,"
-      "%zu,%zu,%zu,%.6f,%.6f",
+      "%zu,%zu,%zu,%zu,%.3f,%.3f,%zu,%zu,%zu,%.6f,%.6f",
       application.c_str(), threads, gather_seconds, fit_seconds, solve_seconds,
       execute_seconds, probes, fits.size(), min_r2(), mean_r2(),
       solver.status.c_str(), solver.nodes, solver.cuts, solver.gap,
       solver.rel_gap, solver.threads, solver.waves, solver.lp_solves,
-      solver.warm_solves, solver.lp_pivots, predicted_total, actual_total);
+      solver.warm_solves, solver.lp_pivots, solver.eta_nnz,
+      solver.eta_compression, solver.flop_reduction, solver.refactorizations,
+      solver.basis_nnz, solver.lu_fill, predicted_total, actual_total);
 }
 
 Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {

@@ -185,6 +185,235 @@ Vector LU::solve_transpose(std::span<const double> b) const {
   return x;
 }
 
+std::optional<SparseLU> SparseLU::factor(
+    std::size_t n, const std::vector<std::vector<SparseEntry>>& cols,
+    double threshold) {
+  HSLB_EXPECTS(cols.size() == n);
+  SparseLU lu;
+  lu.n_ = n;
+  lu.pivot_row_.resize(n);
+  lu.pivot_col_.resize(n);
+  lu.pivot_.resize(n);
+  lu.lcol_.resize(n);
+  lu.urow_.resize(n);
+  lu.ucol_.resize(n);
+  if (n == 0) return lu;
+
+  // Working copy of the active submatrix, column-wise. rowocc[r] lists the
+  // columns that may still hold an entry in row r (lazily cleaned: entries
+  // killed by cancellation are skipped at use time).
+  std::vector<std::vector<SparseEntry>> work(n);
+  std::vector<std::vector<std::size_t>> rowocc(n);
+  std::vector<std::size_t> rowcount(n, 0);
+  std::vector<bool> row_done(n, false), col_done(n, false);
+  double scale = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (const auto& [r, v] : cols[j]) {
+      HSLB_EXPECTS(r < n);
+      if (v == 0.0) continue;
+      work[j].push_back({r, v});
+      rowocc[r].push_back(j);
+      ++rowcount[r];
+      scale = std::max(scale, std::fabs(v));
+    }
+  }
+  const double abs_tol = std::max(1e-12, 1e-11 * scale);
+
+  // Step index the U fill by destination column, so the column-wise view
+  // (needed for the zero-skipping backward solve) assembles as we pivot.
+  std::vector<std::vector<SparseEntry>> ucol_by_col(n);
+  std::vector<SparseEntry> mults;
+  Scatter scatter(n);
+
+  // Singleton columns pivot at zero Markowitz cost and produce no fill, so
+  // they never need the full pivot scan. Simplex bases are dominated by
+  // slack/selector singletons, and every elimination step can shrink more
+  // columns to size one, so this stack handles almost every step; entries
+  // are validated lazily at pop time (a column may have grown stale).
+  std::vector<std::size_t> singletons;
+  for (std::size_t j = 0; j < n; ++j)
+    if (work[j].size() == 1) singletons.push_back(j);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t best_r = 0, best_c = 0;
+    double best_v = 0.0;
+    bool found = false;
+    // Fast path: any singleton column whose entry clears the absolute
+    // floor is an optimal (cost-0, fill-free) Markowitz pivot.
+    while (!singletons.empty() && !found) {
+      const std::size_t j = singletons.back();
+      singletons.pop_back();
+      if (col_done[j] || work[j].size() != 1) continue;  // stale entry
+      if (std::fabs(work[j][0].value) < abs_tol) continue;  // leave to scan
+      found = true;
+      best_c = j;
+      best_r = work[j][0].index;
+      best_v = work[j][0].value;
+    }
+    // General Markowitz search: minimize (rowcount-1)(colcount-1) over the
+    // entries passing both the relative column threshold and the absolute
+    // singularity floor. Deterministic tie-break: larger magnitude, then
+    // first seen (columns ascending, entries in storage order); a cost-0
+    // pivot cannot be improved on, so the scan stops there.
+    if (!found) {
+      std::size_t best_cost = 0;
+      for (std::size_t j = 0; j < n && (!found || best_cost > 0); ++j) {
+        if (col_done[j] || work[j].empty()) continue;
+        double colmax = 0.0;
+        for (const auto& e : work[j])
+          colmax = std::max(colmax, std::fabs(e.value));
+        const double accept = std::max(abs_tol, threshold * colmax);
+        const std::size_t ccost = work[j].size() - 1;
+        for (const auto& [r, v] : work[j]) {
+          if (std::fabs(v) < accept) continue;
+          const std::size_t cost = (rowcount[r] - 1) * ccost;
+          if (!found || cost < best_cost ||
+              (cost == best_cost && std::fabs(v) > std::fabs(best_v))) {
+            found = true;
+            best_cost = cost;
+            best_r = r;
+            best_c = j;
+            best_v = v;
+          }
+          if (best_cost == 0) break;
+        }
+      }
+    }
+    if (!found) return std::nullopt;  // singular to working precision
+
+    lu.pivot_row_[k] = best_r;
+    lu.pivot_col_[k] = best_c;
+    lu.pivot_[k] = best_v;
+    row_done[best_r] = true;
+    col_done[best_c] = true;
+
+    // Multipliers from the pivot column's remaining active entries.
+    mults.clear();
+    for (const auto& [r, v] : work[best_c]) {
+      if (r == best_r) continue;
+      mults.push_back({r, v / best_v});
+      --rowcount[r];
+    }
+    lu.lcol_[k] = mults;
+    --rowcount[best_r];
+    work[best_c].clear();
+
+    if (mults.empty()) {
+      // Fill-free elimination: dropping the pivot row from a column is a
+      // plain erase; no scatter pass and no occupancy updates needed.
+      for (const std::size_t j : rowocc[best_r]) {
+        if (col_done[j]) continue;
+        std::vector<SparseEntry>& wj = work[j];
+        for (std::size_t t = 0; t < wj.size(); ++t) {
+          if (wj[t].index != best_r) continue;
+          lu.urow_[k].push_back({j, wj[t].value});
+          ucol_by_col[j].push_back({k, wj[t].value});
+          wj.erase(wj.begin() + static_cast<std::ptrdiff_t>(t));
+          if (wj.size() == 1) singletons.push_back(j);
+          break;
+        }
+      }
+      rowocc[best_r].clear();
+      continue;
+    }
+
+    // Eliminate the pivot row from every column still holding it.
+    for (const std::size_t j : rowocc[best_r]) {
+      if (col_done[j]) continue;
+      double u = 0.0;
+      bool present = false;
+      for (const auto& [r, v] : work[j]) {
+        if (r == best_r) {
+          u = v;
+          present = true;
+          break;
+        }
+      }
+      if (!present) continue;  // stale occupancy entry (cancelled earlier)
+      lu.urow_[k].push_back({j, u});
+      ucol_by_col[j].push_back({k, u});
+
+      // column j := column j - (u / pivot) * pivot column, active rows only.
+      // Existing rows scatter first, so pattern positions >= old_count are
+      // fill-in that needs occupancy/count bookkeeping.
+      scatter.clear();
+      for (const auto& [r, v] : work[j]) {
+        if (r != best_r) scatter.add(r, v);
+      }
+      const std::size_t old_count = scatter.pattern().size();
+      for (const auto& [i, m] : mults) scatter.add(i, -m * u);
+      std::vector<SparseEntry>& out = work[j];
+      out.clear();
+      for (std::size_t t = 0; t < scatter.pattern().size(); ++t) {
+        const std::size_t r = scatter.pattern()[t];
+        const double v = scatter[r];
+        const bool is_fill = t >= old_count;
+        if (v == 0.0) {
+          if (!is_fill) --rowcount[r];  // cancellation killed an entry
+          continue;
+        }
+        if (is_fill) {
+          ++rowcount[r];
+          rowocc[r].push_back(j);
+        }
+        out.push_back({r, v});
+      }
+      if (out.size() == 1) singletons.push_back(j);
+    }
+    // Row best_r is resolved; its occupancy list is dead weight now.
+    rowocc[best_r].clear();
+  }
+
+  for (std::size_t k = 0; k < n; ++k) lu.ucol_[k] = std::move(ucol_by_col[lu.pivot_col_[k]]);
+  lu.fill_ = n;
+  for (std::size_t k = 0; k < n; ++k) lu.fill_ += lu.lcol_[k].size() + lu.urow_[k].size();
+  return lu;
+}
+
+Vector SparseLU::solve(Vector b) const {
+  HSLB_EXPECTS(b.size() == n_);
+  // Forward: apply L^{-1} (skip steps whose pivot-row value is exactly 0 —
+  // the hypersparsity fast path for unit/cut right-hand sides).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double t = b[pivot_row_[k]];
+    if (t == 0.0) continue;
+    for (const auto& [i, m] : lcol_[k]) b[i] -= m * t;
+  }
+  // Backward: U x = y in scatter form, descending steps; x indexed by the
+  // original column of each step.
+  Vector x(n_, 0.0);
+  for (std::size_t kk = n_; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    const double xv = b[pivot_row_[k]] / pivot_[k];
+    x[pivot_col_[k]] = xv;
+    if (xv == 0.0) continue;
+    for (const auto& [l, u] : ucol_[k]) b[pivot_row_[l]] -= u * xv;
+  }
+  return x;
+}
+
+Vector SparseLU::solve_transpose(Vector b) const {
+  HSLB_EXPECTS(b.size() == n_);
+  // U^T z = b in scatter form, ascending steps (z overwrites b at the
+  // step's pivot column slot).
+  Vector z(n_, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double zk = b[pivot_col_[k]] / pivot_[k];
+    z[k] = zk;
+    if (zk == 0.0) continue;
+    for (const auto& [j, u] : urow_[k]) b[j] -= u * zk;
+  }
+  // L^T w = z, descending steps, gather form; w indexed by original rows.
+  Vector w(n_, 0.0);
+  for (std::size_t kk = n_; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    double v = z[k];
+    for (const auto& [i, m] : lcol_[k]) v -= m * w[i];
+    w[pivot_row_[k]] = v;
+  }
+  return w;
+}
+
 Vector lstsq(const Matrix& a, std::span<const double> b) {
   return QR(a).solve(b);
 }

@@ -1,12 +1,16 @@
 // Matrix decompositions and linear solvers:
 //   - Cholesky (SPD solves for the Levenberg-Marquardt normal equations),
 //   - Householder QR (rank-revealing enough for our least-squares sizes),
-//   - LU with partial pivoting (general square solves: simplex basis).
+//   - LU with partial pivoting (general square solves: simplex basis),
+//   - SparseLU with Markowitz pivoting (simplex basis refactorization on
+//     the sparse column view; solves skip exact zeros, so hypersparse
+//     right-hand sides cost O(reached nonzeros), not O(n^2)).
 #pragma once
 
 #include <optional>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 
 namespace hslb::linalg {
 
@@ -61,6 +65,50 @@ class LU {
       : lu_(std::move(lu)), perm_(std::move(perm)) {}
   Matrix lu_;
   std::vector<std::size_t> perm_;
+};
+
+/// Sparse LU factorization with Markowitz pivoting.
+///
+/// Factors a square matrix given as sparse columns (the simplex basis: a
+/// mix of structural columns and slack singletons). The pivot at each
+/// elimination step minimizes the Markowitz count (r-1)(c-1) among entries
+/// passing a relative threshold test, which keeps fill-in — and therefore
+/// the flop count of every subsequent FTRAN/BTRAN — near the nonzero count
+/// of the basis itself. Both solves skip exact zeros in the right-hand
+/// side, so hypersparse inputs (a unit vector, a two-nonzero cut column)
+/// touch only the entries they can reach.
+class SparseLU {
+ public:
+  /// Returns std::nullopt when the matrix is singular to working
+  /// precision (no entry passes the threshold test at some step).
+  /// Each column's entries must carry strictly increasing row indices.
+  static std::optional<SparseLU> factor(
+      std::size_t n, const std::vector<std::vector<SparseEntry>>& cols,
+      double threshold = 0.1);
+
+  /// Solves A x = b; b is indexed by rows, the result by columns.
+  Vector solve(Vector b) const;
+
+  /// Solves A^T x = b; b is indexed by columns, the result by rows.
+  Vector solve_transpose(Vector b) const;
+
+  /// Fill: stored nonzeros of L and U including the n pivots.
+  std::size_t nnz() const { return fill_; }
+
+ private:
+  SparseLU() = default;
+
+  std::size_t n_ = 0;
+  std::size_t fill_ = 0;
+  std::vector<std::size_t> pivot_row_;  // r_k, original row of step k
+  std::vector<std::size_t> pivot_col_;  // c_k, original column of step k
+  std::vector<double> pivot_;           // U diagonal of step k
+  /// L column k: multipliers (original row i, m_ik), i pivotal later.
+  std::vector<std::vector<SparseEntry>> lcol_;
+  /// U row k: (original column j, u_kj), j pivotal later. U^T scatter solve.
+  std::vector<std::vector<SparseEntry>> urow_;
+  /// U column of step k: (earlier step l, u_lk). Backward scatter solve.
+  std::vector<std::vector<SparseEntry>> ucol_;
 };
 
 /// Convenience: least-squares solution via QR.

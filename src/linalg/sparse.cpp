@@ -1,0 +1,106 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+
+namespace hslb::linalg {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    HSLB_EXPECTS(t.row < rows && t.col < cols);
+  }
+  // Column-major, then row order within a column; duplicates end up adjacent.
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.col != b.col) return a.col < b.col;
+              return a.row < b.row;
+            });
+
+  SparseMatrix out;
+  out.rows_ = rows;
+  out.col_start_.assign(cols + 1, 0);
+  out.entries_.reserve(triplets.size());
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < cols; ++j) {
+    out.col_start_[j] = out.entries_.size();
+    while (i < triplets.size() && triplets[i].col == j) {
+      double v = triplets[i].value;
+      const std::size_t r = triplets[i].row;
+      ++i;
+      while (i < triplets.size() && triplets[i].col == j && triplets[i].row == r) {
+        v += triplets[i].value;
+        ++i;
+      }
+      if (v != 0.0) out.entries_.push_back({r, v});
+    }
+  }
+  out.col_start_[cols] = out.entries_.size();
+  return out;
+}
+
+SparseMatrix SparseMatrix::from_columns(
+    std::size_t rows, const std::vector<std::vector<SparseEntry>>& cols) {
+  SparseMatrix out;
+  out.rows_ = rows;
+  out.col_start_.assign(cols.size() + 1, 0);
+  std::size_t total = 0;
+  for (const auto& c : cols) total += c.size();
+  out.entries_.reserve(total);
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    out.col_start_[j] = out.entries_.size();
+    std::size_t prev = 0;
+    bool first = true;
+    for (const auto& [r, v] : cols[j]) {
+      HSLB_EXPECTS(r < rows);
+      HSLB_EXPECTS(first || r > prev);  // strictly increasing row indices
+      first = false;
+      prev = r;
+      if (v != 0.0) out.entries_.push_back({r, v});
+    }
+  }
+  out.col_start_[cols.size()] = out.entries_.size();
+  return out;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  SparseMatrix out;
+  out.rows_ = cols();
+  out.col_start_.assign(rows_ + 1, 0);
+  // Counting sort by row index: count, prefix-sum, scatter.
+  std::vector<std::size_t> count(rows_, 0);
+  for (const SparseEntry& e : entries_) ++count[e.index];
+  std::size_t acc = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out.col_start_[r] = acc;
+    acc += count[r];
+  }
+  out.col_start_[rows_] = acc;
+  out.entries_.resize(entries_.size());
+  std::vector<std::size_t> next(out.col_start_.begin(),
+                                out.col_start_.end() - 1);
+  for (std::size_t j = 0; j < cols(); ++j) {
+    for (const SparseEntry& e : col(j)) {
+      out.entries_[next[e.index]++] = {j, e.value};
+    }
+  }
+  return out;
+}
+
+Vector SparseMatrix::mul(std::span<const double> x) const {
+  HSLB_EXPECTS(x.size() == cols());
+  Vector y(rows_, 0.0);
+  for (std::size_t j = 0; j < cols(); ++j) {
+    if (x[j] == 0.0) continue;
+    axpy_scatter(x[j], col(j), y);
+  }
+  return y;
+}
+
+Vector SparseMatrix::mul_transpose(std::span<const double> x) const {
+  HSLB_EXPECTS(x.size() == rows_);
+  Vector y(cols(), 0.0);
+  for (std::size_t j = 0; j < cols(); ++j) y[j] = dot_gather(col(j), x);
+  return y;
+}
+
+}  // namespace hslb::linalg

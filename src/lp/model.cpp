@@ -14,6 +14,7 @@ std::size_t Model::add_variable(double lb, double ub, double objective,
   col_lb_.push_back(lb);
   col_ub_.push_back(ub);
   obj_.push_back(objective);
+  cols_.emplace_back();
   if (name.empty()) name = "x" + std::to_string(col_lb_.size() - 1);
   col_names_.push_back(std::move(name));
   return col_lb_.size() - 1;
@@ -22,13 +23,22 @@ std::size_t Model::add_variable(double lb, double ub, double objective,
 std::size_t Model::add_constraint(std::vector<Coeff> coeffs, double lb,
                                   double ub, std::string name) {
   HSLB_EXPECTS(lb <= ub);
-  // Merge duplicate columns, validate indices.
+  // Merge duplicate columns, validate indices, drop exact-zero sums (an
+  // explicit zero would otherwise sit in the sparsity pattern forever).
   std::map<std::size_t, double> merged;
   for (const auto& [col, v] : coeffs) {
     HSLB_EXPECTS(col < num_cols());
     merged[col] += v;
   }
-  std::vector<Coeff> clean(merged.begin(), merged.end());
+  std::vector<Coeff> clean;
+  clean.reserve(merged.size());
+  const std::size_t row_index = rows_.size();
+  for (const auto& [col, v] : merged) {
+    if (v == 0.0) continue;
+    clean.push_back({col, v});
+    cols_[col].push_back({row_index, v});  // rows append-only: stays ordered
+    ++nnz_;
+  }
   rows_.push_back(std::move(clean));
   row_lb_.push_back(lb);
   row_ub_.push_back(ub);
@@ -75,6 +85,11 @@ double Model::objective(std::size_t col) const {
 const std::vector<Coeff>& Model::row(std::size_t r) const {
   HSLB_EXPECTS(r < num_rows());
   return rows_[r];
+}
+
+const std::vector<ColEntry>& Model::col(std::size_t c) const {
+  HSLB_EXPECTS(c < num_cols());
+  return cols_[c];
 }
 
 double Model::row_lower(std::size_t r) const {

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/sparse.hpp"
+
 namespace hslb::lp {
 
 /// +infinity sentinel for free bounds.
@@ -22,6 +24,9 @@ inline constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// One sparse coefficient: (column index, value).
 using Coeff = std::pair<std::size_t, double>;
+
+/// One column-view entry: (.index = row, .value = coefficient).
+using ColEntry = linalg::SparseEntry;
 
 /// Mutable LP model; the solver reads it, branching mutates bound copies.
 class Model {
@@ -32,7 +37,8 @@ class Model {
 
   /// Adds a range constraint lb <= sum coeffs <= ub; returns its row index.
   /// Coefficients must reference existing columns; duplicate column entries
-  /// within one row are summed.
+  /// within one row are summed, and entries summing to exactly zero are
+  /// dropped (they would otherwise pollute the sparsity pattern).
   std::size_t add_constraint(std::vector<Coeff> coeffs, double lb, double ub,
                              std::string name = "");
 
@@ -56,6 +62,15 @@ class Model {
   double row_lower(std::size_t r) const;
   double row_upper(std::size_t r) const;
 
+  /// Column view of the constraint matrix: the nonzeros of column c ordered
+  /// by increasing row index. Maintained incrementally as constraints are
+  /// appended (rows are append-only, so entries arrive already ordered);
+  /// branch-and-bound children that add OA cut rows never pay a rebuild.
+  const std::vector<ColEntry>& col(std::size_t c) const;
+
+  /// Total nonzeros in the constraint matrix.
+  std::size_t nnz() const { return nnz_; }
+
   const std::string& col_name(std::size_t col) const;
   const std::string& row_name(std::size_t r) const;
 
@@ -69,6 +84,8 @@ class Model {
   std::vector<double> col_lb_, col_ub_, obj_;
   std::vector<std::string> col_names_;
   std::vector<std::vector<Coeff>> rows_;
+  std::vector<std::vector<ColEntry>> cols_;  // column view, kept in sync
+  std::size_t nnz_ = 0;
   std::vector<double> row_lb_, row_ub_;
   std::vector<std::string> row_names_;
 };

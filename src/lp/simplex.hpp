@@ -9,9 +9,12 @@
 // simplex phase repairs the handful of primal infeasibilities the changes
 // introduced, and a primal cleanup phase certifies optimality.
 //
-// The basis inverse is maintained by product-form (eta) rank-1 updates with
-// periodic dense-LU refactorization for numerical safety, instead of a full
-// refactorization per pivot (cf. DESIGN.md).
+// The basis inverse is maintained by product-form (eta) rank-1 updates —
+// stored sparse, applied with a hypersparsity fast path that skips exact
+// zeros — with periodic refactorization for numerical safety via a
+// Markowitz-pivoting sparse LU (dense LU behind Options::force_dense).
+// Entering variables are chosen by candidate-list partial pricing under a
+// Devex reference framework instead of a full Dantzig sweep (cf. DESIGN.md).
 //
 // Plays the role CLP plays under MINOTAUR in the paper (§III-E).
 #pragma once
@@ -56,13 +59,69 @@ struct Options {
   /// Switch from Dantzig pricing to Bland's rule after this many
   /// consecutive degenerate pivots (anti-cycling).
   std::size_t bland_threshold = 200;
-  /// Rebuild the dense LU of the basis after this many eta updates (and
+  /// Rebuild the basis factorization after this many eta updates (and
   /// whenever a pivot looks numerically risky).
   std::size_t refactor_interval = 64;
   /// Optional warm-start basis (not owned; must outlive the solve call).
   /// Ignored — falling back to a cold solve — when structurally
   /// incompatible or numerically singular.
   const Basis* warm_start = nullptr;
+  /// Use the dense kernels (dense LU refactorization, dense eta vectors)
+  /// instead of the sparse ones. Pricing and pivot rules are unchanged, so
+  /// this isolates the kernel arithmetic — used by the sparse/dense parity
+  /// tests and the benchmark baselines.
+  bool force_dense = false;
+};
+
+/// Nonzero / pivot-fill accounting for one solve. Two complementary
+/// measures: the eta counters compare stored eta nonzeros against dense
+/// eta vectors (m entries each) — a storage/compression view. The kernel
+/// counters compare the work the FTRAN/BTRAN passes actually perform
+/// (sparse LU nonzeros touched per triangular solve, eta entries touched
+/// with hypersparse zero-pivot skips counted as one probe) against what
+/// dense kernels spend on the same sequence of solves (m^2 per triangular
+/// solve pair, m per applied eta). The kernel ratio is the honest "flops
+/// per pivot" number: on OA master LPs the objective column appears in
+/// every cut row, so eta vectors fill in and compress barely at all, while
+/// the basis itself stays hypersparse and the LU solve work collapses.
+struct SolveStats {
+  std::size_t pivots = 0;            ///< eta updates recorded (primal + dual)
+  std::size_t eta_nnz = 0;           ///< stored eta nonzeros, summed
+  std::size_t eta_dense_nnz = 0;     ///< dense-equivalent eta entries, summed
+  std::size_t kernel_flops = 0;       ///< FTRAN/BTRAN work actually done
+  std::size_t kernel_dense_flops = 0; ///< dense-kernel work for same solves
+  std::size_t refactorizations = 0;  ///< basis factorizations performed
+  std::size_t basis_nnz = 0;         ///< nonzeros of the last factored basis
+  std::size_t lu_fill = 0;           ///< nonzeros of its L+U factors
+
+  /// Folds another solve into this one: work counters add up, the
+  /// basis/fill snapshot keeps the most recent nonzero reading.
+  void merge(const SolveStats& o) {
+    pivots += o.pivots;
+    eta_nnz += o.eta_nnz;
+    eta_dense_nnz += o.eta_dense_nnz;
+    kernel_flops += o.kernel_flops;
+    kernel_dense_flops += o.kernel_dense_flops;
+    refactorizations += o.refactorizations;
+    if (o.basis_nnz != 0) basis_nnz = o.basis_nnz;
+    if (o.lu_fill != 0) lu_fill = o.lu_fill;
+  }
+
+  /// Dense-equivalent eta entries per stored nonzero (eta storage
+  /// compression); 1.0 when nothing was pivoted.
+  double eta_compression() const {
+    return eta_nnz == 0 ? 1.0
+                        : static_cast<double>(eta_dense_nnz) /
+                              static_cast<double>(eta_nnz);
+  }
+
+  /// Dense-kernel work per unit of work the sparse kernels actually did
+  /// (the "flops per pivot" reduction factor); 1.0 when nothing ran.
+  double flop_reduction() const {
+    return kernel_flops == 0 ? 1.0
+                             : static_cast<double>(kernel_dense_flops) /
+                                   static_cast<double>(kernel_flops);
+  }
 };
 
 struct Solution {
@@ -78,6 +137,9 @@ struct Solution {
   /// True when the warm-start basis was actually used (false when absent,
   /// incompatible, or abandoned for a cold solve).
   bool warm_started = false;
+  /// Sparsity accounting for this solve (the tableau that produced the
+  /// returned answer; abandoned warm attempts are not included).
+  SolveStats stats;
 };
 
 /// Solves the LP; deterministic for a fixed model and options.

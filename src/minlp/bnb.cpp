@@ -78,6 +78,7 @@ struct Outcome {
   std::size_t nlp_solves = 0;
   std::size_t lp_pivots = 0;
   std::size_t warm_solves = 0;
+  lp::SolveStats lp_stats;
 };
 
 class Solver {
@@ -91,6 +92,12 @@ class Solver {
     pc_cnt_up_.assign(model.num_vars(), 0.0);
     pc_sum_dn_.assign(model.num_vars(), 0.0);
     pc_cnt_dn_.assign(model.num_vars(), 0.0);
+    // The integer columns are scanned on every node (branching candidates,
+    // dive picks, QG fixings); on the selector-heavy layout models they are
+    // a small slice of the variables, so cache the index list once.
+    for (std::size_t v = 0; v < model.num_vars(); ++v) {
+      if (model.is_integer(v)) int_vars_.push_back(v);
+    }
   }
 
   BnbResult run() {
@@ -101,6 +108,7 @@ class Solver {
     KelleyResult root = solve_relaxation(model_, pool_, opt_.kelley);
     result_.lp_solves += root.lp_solves;
     result_.lp_pivots += root.lp_pivots;
+    result_.lp_stats.merge(root.lp_stats);
     result_.nlp_solves += 1;
     if (root.status == KelleyResult::Status::Infeasible) {
       result_.status = BnbStatus::Infeasible;
@@ -234,8 +242,7 @@ class Solver {
   std::optional<std::size_t> pick_branch_var(const std::vector<double>& x) const {
     std::optional<std::size_t> best;
     double best_score = -1.0;
-    for (std::size_t v = 0; v < model_.num_vars(); ++v) {
-      if (!model_.is_integer(v)) continue;
+    for (const std::size_t v : int_vars_) {
       const double frac = x[v] - std::floor(x[v]);
       const double dist = std::min(frac, 1.0 - frac);
       if (dist <= opt_.int_tol) continue;
@@ -364,8 +371,7 @@ class Solver {
     const std::size_t kCandidates = opt_.strong_branch_candidates;
     // Most fractional first, index ascending among ties (determinism).
     std::vector<std::pair<double, std::size_t>> frac;
-    for (std::size_t v = 0; v < model_.num_vars(); ++v) {
-      if (!model_.is_integer(v)) continue;
+    for (const std::size_t v : int_vars_) {
       const double f = x[v] - std::floor(x[v]);
       const double dist = std::min(f, 1.0 - f);
       if (dist > opt_.int_tol) frac.emplace_back(-dist, v);
@@ -388,6 +394,7 @@ class Solver {
         const lp::Solution sol = lp::solve(child, lp_opt);
         ++out.lp_solves;
         out.lp_pivots += sol.iterations;
+        out.lp_stats.merge(sol.stats);
         if (sol.warm_started) ++out.warm_solves;
         // An infeasible child is the best possible outcome: that side
         // disappears outright.
@@ -446,6 +453,7 @@ class Solver {
         lp::Solution sol = lp::solve(trial, lp_opt);
         ++out.lp_solves;
         out.lp_pivots += sol.iterations;
+        out.lp_stats.merge(sol.stats);
         if (sol.warm_started) ++out.warm_solves;
         if (sol.status != lp::Status::Optimal) return;  // abandon the dive
         if (has_incumbent_ && sol.objective >= incumbent_obj_ - opt_.gap_tol)
@@ -462,8 +470,7 @@ class Solver {
       // point is integral and ready for NLP completion.
       std::optional<std::size_t> pick;
       double best_dist = 1.0;
-      for (std::size_t v = 0; v < model_.num_vars(); ++v) {
-        if (!model_.is_integer(v)) continue;
+      for (const std::size_t v : int_vars_) {
         if (dive.col_lower(v) == dive.col_upper(v)) continue;
         const double frac = x[v] - std::floor(x[v]);
         const double dist = std::min(frac, 1.0 - frac);
@@ -491,6 +498,7 @@ class Solver {
         lp::Solution sol = lp::solve(trial, lp_opt);
         ++out.lp_solves;
         out.lp_pivots += sol.iterations;
+        out.lp_stats.merge(sol.stats);
         if (sol.warm_started) ++out.warm_solves;
         if (sol.status != lp::Status::Optimal) continue;
         if (sol.objective < best_obj) {
@@ -512,8 +520,7 @@ class Solver {
 
     // Fix every integer at the dived point and complete with the NLP.
     BoundOverrides fixed = bounds;
-    for (std::size_t v = 0; v < model_.num_vars(); ++v) {
-      if (!model_.is_integer(v)) continue;
+    for (const std::size_t v : int_vars_) {
       const double r = std::clamp(std::round(x[v]), bounds.lb(model_, v),
                                   bounds.ub(model_, v));
       fixed.lower[v] = r;
@@ -524,6 +531,7 @@ class Solver {
     KelleyResult nlp = solve_relaxation(model_, local, fixed, nlp_opt);
     out.lp_solves += nlp.lp_solves;
     out.lp_pivots += nlp.lp_pivots;
+    out.lp_stats.merge(nlp.lp_stats);
     ++out.nlp_solves;
     if (nlp.status == KelleyResult::Status::Optimal &&
         model_.is_feasible(nlp.x, 10 * opt_.feas_tol, opt_.int_tol)) {
@@ -570,6 +578,7 @@ class Solver {
       lp::Solution sol = lp::solve(relax, lp_opt);
       ++out.lp_solves;
       out.lp_pivots += sol.iterations;
+      out.lp_stats.merge(sol.stats);
       if (sol.warm_started) ++out.warm_solves;
 
       if (sol.status == lp::Status::Infeasible) return;  // fathom
@@ -606,6 +615,7 @@ class Solver {
         lp::Solution cold = lp::solve(relax, opt_.kelley.lp);
         ++out.lp_solves;
         out.lp_pivots += cold.iterations;
+        out.lp_stats.merge(cold.stats);
         if (cold.status == lp::Status::Optimal) {
           sol = std::move(cold);
           basis = sol.basis;
@@ -663,8 +673,7 @@ class Solver {
       // fixed; a feasible completion becomes an incumbent and its cuts
       // tighten every node.
       BoundOverrides fixed = bounds;
-      for (std::size_t v = 0; v < model_.num_vars(); ++v) {
-        if (!model_.is_integer(v)) continue;
+      for (const std::size_t v : int_vars_) {
         const double r = std::round(sol.x[v]);
         fixed.lower[v] = r;
         fixed.upper[v] = r;
@@ -674,6 +683,7 @@ class Solver {
       KelleyResult nlp = solve_relaxation(model_, local, fixed, nlp_opt);
       out.lp_solves += nlp.lp_solves;
       out.lp_pivots += nlp.lp_pivots;
+      out.lp_stats.merge(nlp.lp_stats);
       ++out.nlp_solves;
       if (nlp.status == KelleyResult::Status::Optimal &&
           model_.is_feasible(nlp.x, 10 * opt_.feas_tol, opt_.int_tol)) {
@@ -701,6 +711,7 @@ class Solver {
     result_.lp_pivots += out.lp_pivots;
     result_.tree_lp_pivots += out.lp_pivots;
     result_.warm_solves += out.warm_solves;
+    result_.lp_stats.merge(out.lp_stats);
     if (out.first_lp_obj) record_pseudocost(nodes_[node], *out.first_lp_obj);
     for (Cut& c : out.new_cuts) pool_.add(std::move(c));
     for (ChildSpec& spec : out.children) {
@@ -728,6 +739,7 @@ class Solver {
   bool has_incumbent_ = false;
   double incumbent_obj_ = 0.0;
   std::vector<double> incumbent_;
+  std::vector<std::size_t> int_vars_;  ///< cached integer column indices
   // Pseudocost state (unit objective degradation per branching direction).
   std::vector<double> pc_sum_up_, pc_cnt_up_, pc_sum_dn_, pc_cnt_dn_;
   double pc_total_sum_ = 0.0;

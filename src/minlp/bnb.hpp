@@ -92,6 +92,9 @@ struct BnbResult {
   std::size_t tree_lp_pivots = 0;  ///< pivots excluding the root relaxation
   std::size_t warm_solves = 0;     ///< LP solves that reused a prior basis
   std::size_t waves = 0;           ///< synchronized node waves executed
+  /// Sparsity counters summed over every LP solve of the search (root
+  /// relaxation, node re-solves, dives, strong-branch probes).
+  lp::SolveStats lp_stats;
 };
 
 /// Solves a convex MINLP to global optimality. Every variable must have

@@ -54,6 +54,7 @@ KelleyResult solve_relaxation(const Model& model, CutPool& pool,
     const lp::Solution sol = lp::solve(relax, lp_opt);
     ++result.lp_solves;
     result.lp_pivots += sol.iterations;
+    result.lp_stats.merge(sol.stats);
 
     if (sol.status == lp::Status::Infeasible) {
       result.status = KelleyResult::Status::Infeasible;

@@ -30,6 +30,7 @@ struct KelleyResult {
   std::size_t lp_solves = 0;
   std::size_t cuts_added = 0;
   std::size_t lp_pivots = 0;  ///< simplex pivots summed over all rounds
+  lp::SolveStats lp_stats;    ///< sparsity counters summed over all rounds
   /// Final LP basis (rows = model linear rows, then the pool cuts present
   /// when the last round solved). Reusable as a warm start for any later
   /// relaxation whose rows extend that prefix.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/contracts.hpp"
 
 namespace hslb::cli {
@@ -59,6 +62,62 @@ TEST(Cli, QueryingUnknownNameIsAnError) {
 TEST(Cli, DoubleParsing) {
   const auto args = make({"--tsync", "2.5"}, {}, {"tsync"});
   EXPECT_DOUBLE_EQ(args.get("tsync", 0.0), 2.5);
+}
+
+TEST(Cli, ValidatedIntAcceptsInRangeValues) {
+  const auto args = make({"--threads", "4", "--solver-threads", "0"}, {},
+                         {"threads", "solver-threads"});
+  EXPECT_EQ(args.get_int("threads", 1, 0), 4);
+  // 0 is a *valid* thread count (hardware concurrency), not an error.
+  EXPECT_EQ(args.get_int("solver-threads", 1, 0), 0);
+}
+
+TEST(Cli, ValidatedIntRejectsNegativeAndOutOfRange) {
+  const auto neg = make({"--threads", "-2"}, {}, {"threads"});
+  EXPECT_THROW(neg.get_int("threads", 0, 0), std::invalid_argument);
+  const auto big = make({"--layout", "7"}, {}, {"layout"});
+  EXPECT_THROW(big.get_int("layout", 1, 1, 3), std::invalid_argument);
+}
+
+TEST(Cli, ValidatedIntRejectsGarbage) {
+  for (const char* bad : {"abc", "1.5", "12x", "", "  ", "0x10"}) {
+    const auto args = make({"--threads", bad}, {}, {"threads"});
+    EXPECT_THROW(args.get_int("threads", 0, 0), std::invalid_argument)
+        << "accepted garbage: '" << bad << "'";
+  }
+}
+
+TEST(Cli, ValidatedIntErrorNamesTheFlag) {
+  const auto args = make({"--solver-threads", "junk"}, {}, {"solver-threads"});
+  try {
+    args.get_int("solver-threads", 1, 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--solver-threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("junk"), std::string::npos) << msg;
+  }
+}
+
+TEST(Cli, ValidatedIntFallbackBypassesValidation) {
+  // The fallback is the programmer's default, not user input: it is
+  // returned untouched even when outside the accepted range.
+  const auto args = make({}, {}, {"nodes"});
+  EXPECT_EQ(args.get_int("nodes", 0, 1), 0);
+}
+
+TEST(Cli, ValidatedDoubleChecksRangeAndGarbage) {
+  const auto ok = make({"--efficiency", "0.75"}, {}, {"efficiency"});
+  EXPECT_DOUBLE_EQ(ok.get_double("efficiency", 0.5, 0.0, 1.0), 0.75);
+  const auto high = make({"--efficiency", "1.5"}, {}, {"efficiency"});
+  EXPECT_THROW(high.get_double("efficiency", 0.5, 0.0, 1.0),
+               std::invalid_argument);
+  const auto garbage = make({"--efficiency", "fast"}, {}, {"efficiency"});
+  EXPECT_THROW(garbage.get_double("efficiency", 0.5, 0.0, 1.0),
+               std::invalid_argument);
+  const auto nan = make({"--efficiency", "nan"}, {}, {"efficiency"});
+  EXPECT_THROW(nan.get_double("efficiency", 0.5, 0.0, 1.0),
+               std::invalid_argument);
 }
 
 }  // namespace

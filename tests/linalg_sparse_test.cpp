@@ -1,0 +1,250 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "linalg/decomp.hpp"
+
+namespace hslb::linalg {
+namespace {
+
+TEST(SparseMatrix, FromTripletsSumsDuplicatesAndDropsZeros) {
+  const auto m = SparseMatrix::from_triplets(
+      3, 3,
+      {{0, 0, 1.0}, {2, 0, 4.0}, {1, 1, 2.0}, {1, 1, -2.0}, {0, 2, 3.0},
+       {0, 2, 0.5}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 3u);  // (1,1) cancelled; (0,2) summed to 3.5
+  ASSERT_EQ(m.col(0).size(), 2u);
+  EXPECT_EQ(m.col(0)[0].index, 0u);
+  EXPECT_DOUBLE_EQ(m.col(0)[0].value, 1.0);
+  EXPECT_EQ(m.col(0)[1].index, 2u);
+  EXPECT_DOUBLE_EQ(m.col(0)[1].value, 4.0);
+  EXPECT_TRUE(m.col(1).empty());
+  ASSERT_EQ(m.col(2).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.col(2)[0].value, 3.5);
+}
+
+TEST(SparseMatrix, FromColumnsRejectsUnorderedRows) {
+  EXPECT_THROW(SparseMatrix::from_columns(3, {{{2, 1.0}, {1, 2.0}}}),
+               ContractViolation);
+  EXPECT_THROW(SparseMatrix::from_columns(3, {{{1, 1.0}, {1, 2.0}}}),
+               ContractViolation);
+}
+
+TEST(SparseMatrix, TransposedRoundTrip) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const std::size_t cols = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    std::vector<Triplet> trips;
+    Matrix dense(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.uniform(0.0, 1.0) < 0.3) {
+          const double v = rng.uniform(-2.0, 2.0);
+          trips.push_back({r, c, v});
+          dense(r, c) = v;
+        }
+      }
+    }
+    const auto m = SparseMatrix::from_triplets(rows, cols, trips);
+    const auto t = m.transposed();
+    EXPECT_EQ(t.rows(), cols);
+    EXPECT_EQ(t.cols(), rows);
+    EXPECT_EQ(t.nnz(), m.nnz());
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (const auto& [c, v] : t.col(r)) {
+        EXPECT_DOUBLE_EQ(v, dense(r, c));
+      }
+    }
+    // Transposing twice restores the original entry for entry.
+    const auto tt = t.transposed();
+    for (std::size_t c = 0; c < cols; ++c) {
+      ASSERT_EQ(tt.col(c).size(), m.col(c).size());
+      for (std::size_t k = 0; k < m.col(c).size(); ++k) {
+        EXPECT_EQ(tt.col(c)[k].index, m.col(c)[k].index);
+        EXPECT_DOUBLE_EQ(tt.col(c)[k].value, m.col(c)[k].value);
+      }
+    }
+  }
+}
+
+TEST(SparseMatrix, MulMatchesDense) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    const std::size_t cols = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    std::vector<Triplet> trips;
+    Matrix dense(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.uniform(0.0, 1.0) < 0.4) {
+          const double v = rng.uniform(-3.0, 3.0);
+          trips.push_back({r, c, v});
+          dense(r, c) = v;
+        }
+      }
+    }
+    const auto m = SparseMatrix::from_triplets(rows, cols, trips);
+    Vector x(cols), y(rows);
+    for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+    for (auto& v : y) v = rng.uniform(-2.0, 2.0);
+    const auto ax = m.mul(x);
+    const auto dax = dense.mul(x);
+    for (std::size_t i = 0; i < rows; ++i) EXPECT_NEAR(ax[i], dax[i], 1e-12);
+    const auto aty = m.mul_transpose(y);
+    const auto daty = dense.mul_transpose(y);
+    for (std::size_t i = 0; i < cols; ++i) EXPECT_NEAR(aty[i], daty[i], 1e-12);
+  }
+}
+
+TEST(Scatter, PatternTracksTouchedAndClearIsSparse) {
+  Scatter s(8);
+  s.add(3, 1.5);
+  s.add(6, 2.0);
+  s.add(3, -1.5);
+  ASSERT_EQ(s.pattern().size(), 2u);
+  EXPECT_EQ(s.pattern()[0], 3u);
+  EXPECT_EQ(s.pattern()[1], 6u);
+  EXPECT_DOUBLE_EQ(s[3], 0.0);  // cancelled but still in the pattern
+  EXPECT_DOUBLE_EQ(s[6], 2.0);
+  s.clear();
+  EXPECT_TRUE(s.pattern().empty());
+  EXPECT_DOUBLE_EQ(s[3], 0.0);
+  EXPECT_DOUBLE_EQ(s[6], 0.0);
+}
+
+std::vector<std::vector<SparseEntry>> to_columns(const Matrix& a) {
+  std::vector<std::vector<SparseEntry>> cols(a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      if (a(i, j) != 0.0) cols[j].push_back({i, a(i, j)});
+    }
+  }
+  return cols;
+}
+
+TEST(SparseLU, SolvesKnownSystemNeedingPivoting) {
+  const auto a = Matrix::from_rows({{0.0, 2.0}, {1.0, 1.0}});
+  const auto lu = SparseLU::factor(2, to_columns(a));
+  ASSERT_TRUE(lu.has_value());
+  const auto x = lu->solve({4.0, 3.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  const auto xt = lu->solve_transpose({4.0, 3.0});
+  // A^T x = b: x = (3, 1/2): row checks 0*3+1*0.5... solve numerically below.
+  const auto atx = a.mul_transpose(xt);
+  EXPECT_NEAR(atx[0], 4.0, 1e-12);
+  EXPECT_NEAR(atx[1], 3.0, 1e-12);
+}
+
+TEST(SparseLU, DetectsSingular) {
+  const auto a = Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_FALSE(SparseLU::factor(2, to_columns(a)).has_value());
+  // A structurally empty column is singular too.
+  EXPECT_FALSE(SparseLU::factor(2, {{{0, 1.0}, {1, 1.0}}, {}}).has_value());
+}
+
+TEST(SparseLU, PropertyRandomSparseSolveMatchesDenseLU) {
+  Rng rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 24));
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (rng.uniform(0.0, 1.0) < 0.25) a(i, j) = rng.uniform(-2.0, 2.0);
+      }
+      a(i, i) += 3.0;  // keep it nonsingular and well-conditioned
+    }
+    const auto slu = SparseLU::factor(n, to_columns(a));
+    ASSERT_TRUE(slu.has_value());
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+
+    const auto x = slu->solve(b);
+    const auto ax = a.mul(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+
+    const auto xt = slu->solve_transpose(b);
+    const auto atxt = a.mul_transpose(xt);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(atxt[i], b[i], 1e-8);
+  }
+}
+
+TEST(SparseLU, HypersparseUnitRhsSolves) {
+  // A basis-like matrix: identity plus a few couplings. Solving against
+  // unit vectors must reproduce columns/rows of the inverse.
+  Rng rng(9);
+  const std::size_t n = 30;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = 1.0 + rng.uniform(0.0, 1.0);
+  for (int k = 0; k < 15; ++k) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    if (i != j) a(i, j) = rng.uniform(-0.5, 0.5);
+  }
+  const auto slu = SparseLU::factor(n, to_columns(a));
+  ASSERT_TRUE(slu.has_value());
+  for (std::size_t k = 0; k < n; ++k) {
+    Vector e(n, 0.0);
+    e[k] = 1.0;
+    const auto x = slu->solve(e);
+    const auto ax = a.mul(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ax[i], i == k ? 1.0 : 0.0, 1e-9);
+    }
+    const auto xt = slu->solve_transpose(e);
+    const auto atxt = a.mul_transpose(xt);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(atxt[i], i == k ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(SparseLU, FillStaysNearBasisNnzOnSingletonHeavyBasis) {
+  // Slack-heavy simplex basis shape: mostly singleton columns, a few dense-ish
+  // structural columns. Markowitz should keep fill close to the input nnz.
+  const std::size_t n = 50;
+  std::vector<std::vector<SparseEntry>> cols(n);
+  std::size_t input_nnz = 0;
+  Rng rng(123);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j % 10 == 0) {
+      for (std::size_t i = 0; i < n; i += 7) {
+        cols[j].push_back({i, rng.uniform(0.5, 2.0)});
+      }
+    } else {
+      cols[j].push_back({j, -1.0});
+    }
+    input_nnz += cols[j].size();
+  }
+  // Make it nonsingular: ensure each structural column hits its own row hard.
+  for (std::size_t j = 0; j < n; j += 10) {
+    bool has_diag = false;
+    for (auto& e : cols[j]) {
+      if (e.index == j) {
+        e.value += 4.0;
+        has_diag = true;
+      }
+    }
+    if (!has_diag) cols[j].push_back({j, 4.0});
+    std::sort(cols[j].begin(), cols[j].end(),
+              [](const SparseEntry& a, const SparseEntry& b) {
+                return a.index < b.index;
+              });
+  }
+  input_nnz = 0;
+  for (const auto& c : cols) input_nnz += c.size();
+  const auto slu = SparseLU::factor(n, cols);
+  ASSERT_TRUE(slu.has_value());
+  EXPECT_LE(slu->nnz(), 2 * input_nnz + n);
+}
+
+}  // namespace
+}  // namespace hslb::linalg

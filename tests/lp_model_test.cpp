@@ -27,6 +27,42 @@ TEST(LpModel, ConstraintMergesDuplicates) {
   EXPECT_DOUBLE_EQ(m.row(r)[0].second, 3.0);
 }
 
+TEST(LpModel, ConstraintDropsExplicitAndCancelledZeros) {
+  Model m;
+  const auto x = m.add_variable(0.0, 10.0, 1.0);
+  const auto y = m.add_variable(0.0, 10.0, 1.0);
+  // An explicit zero coefficient and a pair that cancels to zero must both
+  // vanish from the stored row (and from the column view / nnz count).
+  const auto r = m.add_constraint({{x, 0.0}, {y, 2.0}, {x, 1.0}, {x, -1.0}},
+                                  0.0, 5.0);
+  ASSERT_EQ(m.row(r).size(), 1u);
+  EXPECT_EQ(m.row(r)[0].first, y);
+  EXPECT_DOUBLE_EQ(m.row(r)[0].second, 2.0);
+  EXPECT_TRUE(m.col(x).empty());
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(LpModel, ColumnViewTracksAppendedRows) {
+  Model m;
+  const auto x = m.add_variable(0.0, 1.0, 1.0);
+  const auto y = m.add_variable(0.0, 1.0, 1.0);
+  const auto r0 = m.add_constraint({{x, 1.0}, {y, 2.0}}, 0.0, 3.0);
+  const auto r1 = m.add_constraint({{y, -1.0}}, -kInf, 0.0);
+  const auto r2 = m.add_constraint({{x, 4.0}}, 0.0, kInf);
+  // Each column lists its rows in append order with the merged values —
+  // the invariant the simplex CSC build relies on after OA-row appends.
+  ASSERT_EQ(m.col(x).size(), 2u);
+  EXPECT_EQ(m.col(x)[0].index, r0);
+  EXPECT_DOUBLE_EQ(m.col(x)[0].value, 1.0);
+  EXPECT_EQ(m.col(x)[1].index, r2);
+  EXPECT_DOUBLE_EQ(m.col(x)[1].value, 4.0);
+  ASSERT_EQ(m.col(y).size(), 2u);
+  EXPECT_EQ(m.col(y)[0].index, r0);
+  EXPECT_EQ(m.col(y)[1].index, r1);
+  EXPECT_DOUBLE_EQ(m.col(y)[1].value, -1.0);
+  EXPECT_EQ(m.nnz(), 4u);
+}
+
 TEST(LpModel, ConstraintRejectsUnknownColumn) {
   Model m;
   EXPECT_THROW(m.add_constraint({{5, 1.0}}, 0.0, 1.0), ContractViolation);

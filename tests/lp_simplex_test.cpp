@@ -422,6 +422,67 @@ TEST(Simplex, WarmResolveOfUnchangedModelTakesNoPivots) {
   EXPECT_NEAR(warm.objective, cold.objective, 1e-12);
 }
 
+// ---------------------------------------------------------------------------
+// Sparse/dense parity: force_dense swaps the factorization and eta storage
+// for dense-equivalent kernels but leaves pricing untouched, so both modes
+// must walk the same pivot path and land on the identical vertex.
+// ---------------------------------------------------------------------------
+
+class SimplexSparseDenseParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexSparseDenseParity, IdenticalObjectiveBasisAndDuals) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9551 + 17);
+  const Model m = random_bounded_lp(rng);
+  Options dense_opt;
+  dense_opt.force_dense = true;
+  const Solution sparse = solve(m);
+  const Solution dense = solve(m, dense_opt);
+  ASSERT_EQ(sparse.status, dense.status);
+  if (sparse.status != Status::Optimal) return;
+
+  const double scale = 1.0 + std::fabs(dense.objective);
+  EXPECT_NEAR(sparse.objective, dense.objective, 1e-9 * scale);
+  EXPECT_EQ(sparse.iterations, dense.iterations);
+  ASSERT_EQ(sparse.basis.cols.size(), dense.basis.cols.size());
+  ASSERT_EQ(sparse.basis.rows.size(), dense.basis.rows.size());
+  for (std::size_t j = 0; j < sparse.basis.cols.size(); ++j)
+    EXPECT_EQ(sparse.basis.cols[j], dense.basis.cols[j]) << "col " << j;
+  for (std::size_t r = 0; r < sparse.basis.rows.size(); ++r)
+    EXPECT_EQ(sparse.basis.rows[r], dense.basis.rows[r]) << "row " << r;
+  ASSERT_EQ(sparse.duals.size(), dense.duals.size());
+  for (std::size_t r = 0; r < sparse.duals.size(); ++r)
+    EXPECT_NEAR(sparse.duals[r], dense.duals[r], 1e-7 * scale) << "row " << r;
+  for (std::size_t j = 0; j < sparse.x.size(); ++j)
+    EXPECT_NEAR(sparse.x[j], dense.x[j], 1e-7 * scale) << "col " << j;
+
+  // The counters must reflect the mode: dense etas store every off-pivot
+  // entry, sparse ones only nonzeros — never more than the dense count.
+  if (dense.stats.pivots > 0) {
+    EXPECT_EQ(dense.stats.eta_nnz, dense.stats.eta_dense_nnz);
+  }
+  EXPECT_LE(sparse.stats.eta_nnz, sparse.stats.eta_dense_nnz);
+  // Same invariant for the kernel-work counters: dense mode bills itself
+  // the dense cost exactly; sparse kernels never do more work than that.
+  EXPECT_EQ(dense.stats.kernel_flops, dense.stats.kernel_dense_flops);
+  EXPECT_LE(sparse.stats.kernel_flops, sparse.stats.kernel_dense_flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexSparseDenseParity,
+                         ::testing::Range(0, 60));
+
+TEST(Simplex, SparseStatsReportEtaCompression) {
+  Rng rng(4242);
+  const Model m = random_bounded_lp(rng);
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  ASSERT_GT(sol.stats.pivots, 0u);
+  EXPECT_GT(sol.stats.refactorizations, 0u);
+  EXPECT_GT(sol.stats.basis_nnz, 0u);
+  EXPECT_GE(sol.stats.eta_compression(), 1.0);
+  EXPECT_GE(sol.stats.flop_reduction(), 1.0);
+  EXPECT_GT(sol.stats.kernel_flops, 0u);
+}
+
 TEST(Simplex, CrossedBoundsAreInfeasible) {
   // Branching can empty a variable's box; the solver must report it rather
   // than "solve" the impossible model (warm or cold).

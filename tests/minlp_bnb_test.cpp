@@ -327,10 +327,52 @@ TEST_P(BnbThreadDeterminism, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(par.lp_solves, serial.lp_solves) << "threads=" << threads;
     EXPECT_EQ(par.nlp_solves, serial.nlp_solves) << "threads=" << threads;
     EXPECT_EQ(par.cuts, serial.cuts) << "threads=" << threads;
+    // The sparse-kernel counters are sums over a bit-identical set of LP
+    // solves, so they too must not depend on the thread count.
+    EXPECT_EQ(par.lp_pivots, serial.lp_pivots) << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.eta_nnz, serial.lp_stats.eta_nnz)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.eta_dense_nnz, serial.lp_stats.eta_dense_nnz)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.kernel_flops, serial.lp_stats.kernel_flops)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.kernel_dense_flops,
+              serial.lp_stats.kernel_dense_flops)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.refactorizations, serial.lp_stats.refactorizations)
+        << "threads=" << threads;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BnbThreadDeterminism, ::testing::Range(0, 20));
+
+class BnbSparseDenseKernels : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbSparseDenseKernels, SameOptimumOnDenseKernels) {
+  // force_dense swaps every LP kernel under the search for its
+  // dense-equivalent; the proven optimum must not move.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 8887 + 23);
+  const auto p = make_random_minlp(rng);
+  BnbOptions sparse_opt;
+  BnbOptions dense_opt;
+  dense_opt.kelley.lp.force_dense = true;
+  const auto sparse = solve(p.model, sparse_opt);
+  const auto dense = solve(p.model, dense_opt);
+  ASSERT_EQ(sparse.status, dense.status);
+  if (sparse.status != BnbStatus::Optimal) return;
+  EXPECT_NEAR(sparse.objective, dense.objective,
+              1e-6 * (1.0 + std::fabs(dense.objective)));
+  // Dense etas must report the dense-equivalent cost; the sparse run can
+  // only be cheaper per pivot.
+  if (dense.lp_stats.pivots > 0) {
+    EXPECT_EQ(dense.lp_stats.eta_nnz, dense.lp_stats.eta_dense_nnz);
+  }
+  EXPECT_LE(sparse.lp_stats.eta_nnz, sparse.lp_stats.eta_dense_nnz);
+  EXPECT_EQ(dense.lp_stats.kernel_flops, dense.lp_stats.kernel_dense_flops);
+  EXPECT_LE(sparse.lp_stats.kernel_flops, sparse.lp_stats.kernel_dense_flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnbSparseDenseKernels, ::testing::Range(0, 10));
 
 class BnbWarmVsCold : public ::testing::TestWithParam<int> {};
 
