@@ -129,6 +129,15 @@ class CesmApplication final : public Application {
     out.solver.refactorizations = solution_.stats.lp_stats.refactorizations;
     out.solver.basis_nnz = solution_.stats.lp_stats.basis_nnz;
     out.solver.lu_fill = solution_.stats.lp_stats.lu_fill;
+    out.solver.presolve_rows_removed =
+        solution_.stats.lp_stats.presolve_rows_removed;
+    out.solver.presolve_cols_removed =
+        solution_.stats.lp_stats.presolve_cols_removed;
+    out.solver.bounds_tightened = solution_.stats.bounds_tightened;
+    out.solver.nodes_propagated_infeasible =
+        solution_.stats.nodes_propagated_infeasible;
+    out.solver.cuts_retired = solution_.stats.cuts_retired;
+    out.solver.cuts_reactivated = solution_.stats.cuts_reactivated;
     return out;
   }
 

@@ -31,6 +31,15 @@ cesm::Resolution parse_resolution(long long r) {
   return r == 1 ? cesm::Resolution::Deg1 : cesm::Resolution::EighthDeg;
 }
 
+/// Solver knobs shared by the cesm and fmo subcommands.
+void apply_bnb_args(const Args& args, minlp::BnbOptions& bnb) {
+  bnb.solver_threads =
+      static_cast<std::size_t>(args.get_int("solver-threads", 1LL, 0));
+  bnb.presolve = !args.flag("no-presolve");
+  bnb.cut_age_limit = static_cast<std::size_t>(args.get_int(
+      "cut-age-limit", static_cast<long long>(bnb.cut_age_limit), 0));
+}
+
 }  // namespace
 
 int usage(int code) {
@@ -44,11 +53,13 @@ int usage(int code) {
       "                                 budgeted node allocation\n"
       "  hslb cesm   --resolution 1|8 --nodes N [--layout 1|2|3]\n"
       "              [--unconstrained-ocean] [--tsync S] [--threads T]\n"
-      "              [--solver-threads S] [--export-ampl out.mod]\n"
+      "              [--solver-threads S] [--no-presolve]\n"
+      "              [--cut-age-limit K] [--export-ampl out.mod]\n"
       "                                 full simulated pipeline\n"
       "  hslb fmo    --fragments F --nodes N [--peptide] [--minlp]\n"
       "              [--objective min-max] [--threads T]\n"
-      "              [--solver-threads S]   full simulated pipeline\n"
+      "              [--solver-threads S] [--no-presolve]\n"
+      "              [--cut-age-limit K]   full simulated pipeline\n"
       "\n"
       "  hslb advise --resolution 1|8 [--layout 1|2|3] [--efficiency 0.5]\n"
       "              [--min-nodes A] [--max-nodes B]  node-count planning\n"
@@ -58,7 +69,10 @@ int usage(int code) {
       "  --solver-threads S parallelizes the branch-and-bound node re-solves\n"
       "  (0 = hardware concurrency; results are bit-identical for any S).\n"
       "  For fmo, --minlp routes Solve through the branch-and-bound instead\n"
-      "  of the exact greedy (the path --solver-threads parallelizes).\n");
+      "  of the exact greedy (the path --solver-threads parallelizes).\n"
+      "  --no-presolve turns the LP presolve off for cold solver LPs;\n"
+      "  --cut-age-limit K retires an OA cut after K consecutive slack\n"
+      "  observations (0 keeps every cut forever).\n");
   return code;
 }
 
@@ -118,8 +132,7 @@ int cmd_cesm(const Args& args) {
       "tsync", std::numeric_limits<double>::infinity(), 0.0);
   // 0 = hardware concurrency for both thread counts.
   opt.threads = static_cast<std::size_t>(args.get_int("threads", 0LL, 0));
-  opt.bnb.solver_threads =
-      static_cast<std::size_t>(args.get_int("solver-threads", 1LL, 0));
+  apply_bnb_args(args, opt.bnb);
 
   const auto res = cesm::run_pipeline(r, nodes, opt);
 
@@ -172,8 +185,7 @@ int cmd_fmo(const Args& args) {
   // 0 = hardware concurrency for both thread counts.
   opt.threads = static_cast<std::size_t>(args.get_int("threads", 0LL, 0));
   opt.solve_with_minlp = args.flag("minlp");
-  opt.bnb.solver_threads =
-      static_cast<std::size_t>(args.get_int("solver-threads", 1LL, 0));
+  apply_bnb_args(args, opt.bnb);
 
   const auto sys =
       args.flag("peptide")

@@ -21,14 +21,17 @@ int main(int argc, char** argv) {
           Args(argc - 1, argv + 1, {}, {"models", "nodes", "objective"}));
     }
     if (cmd == "cesm") {
-      return cmd_cesm(Args(argc - 1, argv + 1, {"unconstrained-ocean"},
+      return cmd_cesm(Args(argc - 1, argv + 1,
+                           {"unconstrained-ocean", "no-presolve"},
                            {"resolution", "nodes", "layout", "tsync",
-                            "export-ampl", "threads", "solver-threads"}));
+                            "export-ampl", "threads", "solver-threads",
+                            "cut-age-limit"}));
     }
     if (cmd == "fmo") {
-      return cmd_fmo(Args(argc - 1, argv + 1, {"peptide", "minlp"},
+      return cmd_fmo(Args(argc - 1, argv + 1,
+                          {"peptide", "minlp", "no-presolve"},
                           {"fragments", "nodes", "objective", "threads",
-                           "solver-threads"}));
+                           "solver-threads", "cut-age-limit"}));
     }
     if (cmd == "advise") {
       return cmd_advise(Args(argc - 1, argv + 1, {},

@@ -102,6 +102,12 @@ class FmoApplication final : public Application {
       out.solver.refactorizations = bnb.lp_stats.refactorizations;
       out.solver.basis_nnz = bnb.lp_stats.basis_nnz;
       out.solver.lu_fill = bnb.lp_stats.lu_fill;
+      out.solver.presolve_rows_removed = bnb.lp_stats.presolve_rows_removed;
+      out.solver.presolve_cols_removed = bnb.lp_stats.presolve_cols_removed;
+      out.solver.bounds_tightened = bnb.bounds_tightened;
+      out.solver.nodes_propagated_infeasible = bnb.nodes_propagated_infeasible;
+      out.solver.cuts_retired = bnb.cuts_retired;
+      out.solver.cuts_reactivated = bnb.cuts_reactivated;
     } else {
       out.allocation = solve_budget(tasks, nodes_, options_.objective);
       out.solver.status = to_string(options_.objective) + " exact greedy";

@@ -65,6 +65,12 @@ std::string PipelineReport::str() const {
         "(%zu nz), %zu refactors, basis %zu nz -> LU %zu nz\n",
         solver.flop_reduction, solver.eta_compression, solver.eta_nnz,
         solver.refactorizations, solver.basis_nnz, solver.lu_fill);
+    out += strings::format(
+        "           presolve: %zu rows / %zu cols removed, %zu bounds "
+        "tightened, %zu nodes pruned; cuts %zu retired / %zu reactivated\n",
+        solver.presolve_rows_removed, solver.presolve_cols_removed,
+        solver.bounds_tightened, solver.nodes_propagated_infeasible,
+        solver.cuts_retired, solver.cuts_reactivated);
   }
   out += strings::format("  execute  %8.3f s\n", execute_seconds);
   out += strings::format(
@@ -80,20 +86,26 @@ std::string PipelineReport::csv_header() {
          "solver_warm_solves,solver_lp_pivots,solver_eta_nnz,"
          "solver_eta_compression,solver_flop_reduction,"
          "solver_refactorizations,solver_basis_nnz,"
-         "solver_lu_fill,predicted_s,actual_s";
+         "solver_lu_fill,solver_presolve_rows,solver_presolve_cols,"
+         "solver_bounds_tightened,solver_nodes_propagated_infeasible,"
+         "solver_cuts_retired,solver_cuts_reactivated,predicted_s,actual_s";
 }
 
 std::string PipelineReport::csv_row() const {
   return strings::format(
       "%s,%zu,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%.6f,%.6f,%s,%zu,%zu,%g,%g,%zu,%zu,"
-      "%zu,%zu,%zu,%zu,%.3f,%.3f,%zu,%zu,%zu,%.6f,%.6f",
+      "%zu,%zu,%zu,%zu,%.3f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%.6f,"
+      "%.6f",
       application.c_str(), threads, gather_seconds, fit_seconds, solve_seconds,
       execute_seconds, probes, fits.size(), min_r2(), mean_r2(),
       solver.status.c_str(), solver.nodes, solver.cuts, solver.gap,
       solver.rel_gap, solver.threads, solver.waves, solver.lp_solves,
       solver.warm_solves, solver.lp_pivots, solver.eta_nnz,
       solver.eta_compression, solver.flop_reduction, solver.refactorizations,
-      solver.basis_nnz, solver.lu_fill, predicted_total, actual_total);
+      solver.basis_nnz, solver.lu_fill, solver.presolve_rows_removed,
+      solver.presolve_cols_removed, solver.bounds_tightened,
+      solver.nodes_propagated_infeasible, solver.cuts_retired,
+      solver.cuts_reactivated, predicted_total, actual_total);
 }
 
 Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {

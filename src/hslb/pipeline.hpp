@@ -56,6 +56,13 @@ struct SolverStats {
   std::size_t refactorizations = 0;  ///< basis factorizations performed
   std::size_t basis_nnz = 0;         ///< last factored basis nonzeros
   std::size_t lu_fill = 0;           ///< its L+U factor nonzeros
+  // Presolve / propagation / cut-lifecycle accounting.
+  std::size_t presolve_rows_removed = 0;  ///< LP presolve rows, all solves
+  std::size_t presolve_cols_removed = 0;  ///< LP presolve columns, all solves
+  std::size_t bounds_tightened = 0;       ///< node domain-propagation hits
+  std::size_t nodes_propagated_infeasible = 0;  ///< nodes pruned pre-LP
+  std::size_t cuts_retired = 0;           ///< pool cuts aged out of node LPs
+  std::size_t cuts_reactivated = 0;       ///< retired cuts pulled back
 };
 
 /// What the Solve step hands to the Execute step.

@@ -1,0 +1,107 @@
+// Root-node LP presolve with postsolve recovery.
+//
+// `Presolve::run` applies the classic size reductions to a model copy until
+// a fixpoint (or a pass budget) is reached:
+//
+//   * empty rows          — dropped (or proven infeasible);
+//   * singleton rows      — converted into column bounds and dropped;
+//   * redundant rows      — rows whose activity range fits inside the row
+//                           bounds can never be violated and are dropped;
+//   * fixed columns       — lb == ub columns are substituted into the row
+//                           bounds and the objective;
+//   * dominated columns   — columns whose objective and row signs all pull
+//                           one way are fixed at the corresponding bound;
+//   * column singletons   — an implied-free column appearing in exactly one
+//                           equality row is substituted out together with
+//                           the row;
+//   * bound tightening    — variable bounds implied by row activity ranges.
+//
+// Every removal pushes an entry onto a reduction stack; `postsolve` replays
+// the stack in reverse to rebuild the *original-space* primal point, row
+// duals, and basis from the reduced solve, so callers can keep feeding the
+// recovered basis into warm starts exactly as before. Removed rows come
+// back with their slack basic (structurally always a valid completion);
+// singleton rows recover their dual from the reduced cost of the column
+// they used to bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace hslb::lp {
+
+struct PresolveOptions {
+  double feasibility_tol = 1e-8;  ///< infeasibility / redundancy tolerance
+  std::size_t max_passes = 10;    ///< reduction sweeps before giving up
+};
+
+class Presolve {
+ public:
+  enum class Status {
+    Reduced,     ///< reduced model is available (possibly unchanged)
+    Infeasible,  ///< presolve proved the model infeasible
+  };
+
+  /// Runs the reductions on (a working copy of) `model`.
+  static Presolve run(const Model& model, const PresolveOptions& opt = {});
+
+  Status status() const { return status_; }
+
+  /// The reduced model (valid when status() == Reduced).
+  const Model& reduced() const { return reduced_; }
+
+  std::size_t rows_removed() const { return rows_removed_; }
+  std::size_t cols_removed() const { return cols_removed_; }
+  std::size_t bounds_tightened() const { return bounds_tightened_; }
+
+  /// True when at least one reduction fired (solving the reduced model is
+  /// cheaper than solving the original).
+  bool effective() const {
+    return rows_removed_ + cols_removed_ + bounds_tightened_ > 0;
+  }
+
+  /// Maps a solution of reduced() back onto `original` (which must be the
+  /// model run() was called with): primal values, row duals, and basis are
+  /// rebuilt in the original index space; the objective and the primal
+  /// violation are re-evaluated against the original model.
+  Solution postsolve(const Model& original, const Solution& red) const;
+
+ private:
+  Presolve() = default;
+
+  struct Entry {
+    enum class Kind : std::uint8_t {
+      FixedCol,      ///< column pinned at `value` (fixed or dominated)
+      EmptyRow,      ///< row with no alive entries, verified satisfiable
+      RedundantRow,  ///< row activity range inside the row bounds
+      SingletonRow,  ///< row converted into bounds on column `col`
+      ColSingleton,  ///< implied-free column substituted out of an equality
+    };
+    Kind kind;
+    std::size_t row = static_cast<std::size_t>(-1);
+    std::size_t col = static_cast<std::size_t>(-1);
+    double value = 0.0;        ///< FixedCol: pinned value; else row coeff a
+    BasisStatus col_status = BasisStatus::AtLower;  ///< FixedCol basis side
+    double implied_lb = 0.0;   ///< SingletonRow: row-implied column bounds
+    double implied_ub = 0.0;
+    double rhs = 0.0;          ///< ColSingleton: adjusted equality rhs
+    std::vector<Coeff> others; ///< ColSingleton: alive row entries besides col
+  };
+
+  Status status_ = Status::Reduced;
+  Model reduced_;
+  std::vector<Entry> stack_;           ///< removal order
+  std::vector<std::size_t> col_map_;   ///< original col -> reduced col (or -1)
+  std::vector<std::size_t> row_map_;   ///< original row -> reduced row (or -1)
+  std::vector<std::size_t> kept_cols_; ///< reduced col -> original col
+  std::vector<std::size_t> kept_rows_; ///< reduced row -> original row
+  double tol_ = 1e-8;
+  std::size_t rows_removed_ = 0;
+  std::size_t cols_removed_ = 0;
+  std::size_t bounds_tightened_ = 0;
+};
+
+}  // namespace hslb::lp

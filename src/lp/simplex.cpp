@@ -11,6 +11,7 @@
 #include "linalg/decomp.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
+#include "lp/presolve.hpp"
 
 namespace hslb::lp {
 
@@ -1025,6 +1026,34 @@ Solution solve(const Model& model, const Options& options) {
 
   Options cold = options;
   cold.warm_start = nullptr;
+  if (cold.presolve) {
+    cold.presolve = false;  // the reduced model is solved plainly
+    PresolveOptions popt;
+    popt.feasibility_tol = options.feasibility_tol;
+    const Presolve pre = Presolve::run(model, popt);
+    if (pre.status() == Presolve::Status::Infeasible) {
+      Solution sol;
+      sol.status = Status::Infeasible;
+      sol.stats.presolve_rows_removed = pre.rows_removed();
+      sol.stats.presolve_cols_removed = pre.cols_removed();
+      sol.stats.presolve_bounds_tightened = pre.bounds_tightened();
+      return sol;
+    }
+    if (pre.effective()) {
+      Solution red;
+      if (pre.reduced().num_cols() == 0) {
+        // Everything was fixed or substituted out; the empty LP is solved.
+        red.status = Status::Optimal;
+      } else {
+        red = solve(pre.reduced(), cold);
+      }
+      Solution full = pre.postsolve(model, red);
+      full.stats.presolve_rows_removed += pre.rows_removed();
+      full.stats.presolve_cols_removed += pre.cols_removed();
+      full.stats.presolve_bounds_tightened += pre.bounds_tightened();
+      return full;
+    }
+  }
   Tableau t(model, cold);
   t.init_cold();
   Solution sol = t.run_cold();

@@ -71,6 +71,12 @@ struct Options {
   /// this isolates the kernel arithmetic — used by the sparse/dense parity
   /// tests and the benchmark baselines.
   bool force_dense = false;
+  /// Run the LP presolve (lp/presolve.hpp) before a *cold* solve and map
+  /// the answer back through postsolve. Warm starts bypass it: the caller's
+  /// basis is in the original space and the dual repair is already cheap.
+  /// Off by default at this layer; the MINLP solver turns it on for its
+  /// root and cold re-solves (minlp::BnbOptions::presolve).
+  bool presolve = false;
 };
 
 /// Nonzero / pivot-fill accounting for one solve. Two complementary
@@ -93,6 +99,10 @@ struct SolveStats {
   std::size_t refactorizations = 0;  ///< basis factorizations performed
   std::size_t basis_nnz = 0;         ///< nonzeros of the last factored basis
   std::size_t lu_fill = 0;           ///< nonzeros of its L+U factors
+  // Presolve accounting (cold solves with Options::presolve on).
+  std::size_t presolve_rows_removed = 0;     ///< rows dropped before solving
+  std::size_t presolve_cols_removed = 0;     ///< columns fixed/substituted out
+  std::size_t presolve_bounds_tightened = 0; ///< variable bounds sharpened
 
   /// Folds another solve into this one: work counters add up, the
   /// basis/fill snapshot keeps the most recent nonzero reading.
@@ -102,6 +112,9 @@ struct SolveStats {
     eta_dense_nnz += o.eta_dense_nnz;
     kernel_flops += o.kernel_flops;
     kernel_dense_flops += o.kernel_dense_flops;
+    presolve_rows_removed += o.presolve_rows_removed;
+    presolve_cols_removed += o.presolve_cols_removed;
+    presolve_bounds_tightened += o.presolve_bounds_tightened;
     refactorizations += o.refactorizations;
     if (o.basis_nnz != 0) basis_nnz = o.basis_nnz;
     if (o.lu_fill != 0) lu_fill = o.lu_fill;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <optional>
 #include <queue>
+#include <span>
+#include <unordered_map>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -22,6 +24,122 @@ std::string to_string(BnbStatus s) {
     case BnbStatus::TimeLimit: return "time-limit";
   }
   return "?";
+}
+
+bool propagate_bounds(const Model& model, BoundOverrides& bounds,
+                      double int_tol, std::size_t max_passes,
+                      std::size_t* tightened) {
+  const std::size_t n = model.num_vars();
+  std::vector<double> lb(n), ub(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    lb[v] = bounds.lb(model, v);
+    ub[v] = bounds.ub(model, v);
+    if (lb[v] > ub[v]) return false;
+  }
+  std::size_t improved = 0;
+  auto rel = [](double v) { return 1.0 + std::fabs(v); };
+  auto box_ok = [&](std::size_t v) {
+    return lb[v] <= ub[v] + 1e-9 * rel(ub[v]);
+  };
+  // Tightens one side of v's box; integer domains round the implied value
+  // inward. Returns false when the box empties.
+  auto tighten = [&](std::size_t v, double val, bool is_lower) {
+    if (!std::isfinite(val)) return true;
+    if (model.is_integer(v))
+      val = is_lower ? std::ceil(val - int_tol) : std::floor(val + int_tol);
+    if (is_lower) {
+      if (val > lb[v] + 1e-9 * rel(val)) {
+        lb[v] = val;
+        ++improved;
+      }
+    } else {
+      if (val < ub[v] - 1e-9 * rel(val)) {
+        ub[v] = val;
+        ++improved;
+      }
+    }
+    return box_ok(v);
+  };
+
+  bool changed = true;
+  for (std::size_t pass = 0; pass < max_passes && changed; ++pass) {
+    const std::size_t before = improved;
+    changed = false;
+
+    // Linear rows: with every other column at its extreme the row bound
+    // caps how far each column can move (the node-level analogue of the
+    // LP presolve's activity tightening, plus integer rounding).
+    for (std::size_t r = 0; r < model.num_linear(); ++r) {
+      const double rlb = model.linear_lower(r);
+      const double rub = model.linear_upper(r);
+      double amin = 0.0, amax = 0.0;
+      std::size_t inf_min = 0, inf_max = 0;
+      for (const auto& [v, c] : model.linear_coeffs(r)) {
+        const double at_lo = c > 0.0 ? lb[v] : ub[v];
+        const double at_hi = c > 0.0 ? ub[v] : lb[v];
+        if (std::isfinite(at_lo)) amin += c * at_lo; else ++inf_min;
+        if (std::isfinite(at_hi)) amax += c * at_hi; else ++inf_max;
+      }
+      if (inf_min == 0 && rub != kInf && amin > rub + 1e-7 * rel(rub))
+        return false;
+      if (inf_max == 0 && rlb != -kInf && amax < rlb - 1e-7 * rel(rlb))
+        return false;
+      for (const auto& [v, c] : model.linear_coeffs(r)) {
+        const double cmin = c > 0.0 ? c * lb[v] : c * ub[v];
+        const double cmax = c > 0.0 ? c * ub[v] : c * lb[v];
+        if (rub != kInf) {
+          const bool v_inf = !std::isfinite(cmin);
+          if (inf_min == 0 || (inf_min == 1 && v_inf)) {
+            const double rest = v_inf ? amin : amin - cmin;
+            double val = (rub - rest) / c;
+            val += (c > 0.0 ? 1.0 : -1.0) * 1e-9 * rel(val);
+            if (!tighten(v, val, c < 0.0)) return false;
+          }
+        }
+        if (rlb != -kInf) {
+          const bool v_inf = !std::isfinite(cmax);
+          if (inf_max == 0 || (inf_max == 1 && v_inf)) {
+            const double rest = v_inf ? amax : amax - cmax;
+            double val = (rlb - rest) / c;
+            val -= (c > 0.0 ? 1.0 : -1.0) * 1e-9 * rel(val);
+            if (!tighten(v, val, c > 0.0)) return false;
+          }
+        }
+      }
+    }
+
+    // SOS1 sets: two members forced away from zero is infeasible; exactly
+    // one forced member pins every sibling to zero.
+    for (const Sos1& set : model.sos1()) {
+      std::size_t forced = 0;
+      for (const std::size_t v : set.vars) {
+        if (lb[v] > int_tol || ub[v] < -int_tol) ++forced;
+      }
+      if (forced >= 2) return false;
+      if (forced != 1) continue;
+      for (const std::size_t v : set.vars) {
+        if (lb[v] > int_tol || ub[v] < -int_tol) continue;  // the forced one
+        if (lb[v] > 0.0) continue;  // zero is outside the (tiny) box: skip
+        if (ub[v] > 0.0) {
+          ub[v] = 0.0;
+          ++improved;
+        }
+        if (lb[v] < 0.0) {
+          lb[v] = 0.0;
+          ++improved;
+        }
+      }
+    }
+
+    changed = improved != before;
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (lb[v] != bounds.lb(model, v)) bounds.lower[v] = lb[v];
+    if (ub[v] != bounds.ub(model, v)) bounds.upper[v] = ub[v];
+  }
+  if (tightened != nullptr) *tightened += improved;
+  return true;
 }
 
 namespace {
@@ -43,6 +161,10 @@ struct Node {
   /// Basis of the parent LP this node was branched from; warm-start seed
   /// for this node's first LP re-solve.
   lp::Basis basis;
+  /// Pool cut ids of the basis's cut rows (rows beyond the linear ones), in
+  /// row order. Keying the rows by id lets a child remap the seed onto its
+  /// own wave's active-cut layout even after retirements/reactivations.
+  std::vector<std::size_t> basis_cuts;
 };
 
 /// Heap entry: best-bound-first, FIFO among equal bounds for determinism.
@@ -71,19 +193,32 @@ struct ChildSpec {
 struct Outcome {
   std::vector<ChildSpec> children;
   lp::Basis child_basis;  ///< basis of the branched LP, seed for children
+  /// Cut layout of child_basis's cut rows (shared ids or appended indices,
+  /// translated to final pool ids at merge time).
+  std::vector<CutLedger::Ref> child_layout;
   std::vector<std::pair<double, std::vector<double>>> incumbents;  ///< obj, x
-  std::vector<Cut> new_cuts;  ///< cuts beyond the shared-pool prefix
+  std::vector<Cut> new_cuts;  ///< cuts appended beyond the wave-start layout
+  std::vector<std::size_t> reactivated;  ///< retired pool ids found violated
+  /// Per wave-start active cut: was it observed at an LP optimum of this
+  /// node, and was it ever tight there? Feeds the pool's aging at merge.
+  std::vector<char> cut_observed, cut_tight;
   std::optional<double> first_lp_obj;  ///< pass-0 objective (pseudocosts)
   std::size_t lp_solves = 0;
   std::size_t nlp_solves = 0;
   std::size_t lp_pivots = 0;
   std::size_t warm_solves = 0;
+  std::size_t bounds_tightened = 0;   ///< domain-propagation improvements
+  bool propagated_infeasible = false;  ///< fathomed before any LP solve
   lp::SolveStats lp_stats;
 };
 
 class Solver {
  public:
   Solver(const Model& model, const BnbOptions& opt) : model_(model), opt_(opt) {
+    // Cold LP solves (root rounds, rejected warm starts, degenerate-vertex
+    // guards) run through the LP presolve when enabled; warm re-solves
+    // bypass it inside lp::solve.
+    opt_.kelley.lp.presolve = opt_.presolve;
     for (std::size_t v = 0; v < model.num_vars(); ++v) {
       HSLB_EXPECTS(std::isfinite(model.lower(v)));
       HSLB_EXPECTS(std::isfinite(model.upper(v)));
@@ -103,9 +238,20 @@ class Solver {
   BnbResult run() {
     const auto t0 = std::chrono::steady_clock::now();
 
+    // Root domain propagation: tighten the global boxes through the linear
+    // rows and SOS structure before the first relaxation is ever built.
+    BoundOverrides root_bounds(model_.num_vars());
+    if (!propagate_bounds(model_, root_bounds, opt_.int_tol, 4,
+                          &result_.bounds_tightened)) {
+      ++result_.nodes_propagated_infeasible;
+      result_.status = BnbStatus::Infeasible;
+      finish(t0);
+      return result_;
+    }
+
     // Root NLP relaxation: seeds the cut pool (the "initial linearization
     // point" of §III-E) and gives the first global bound.
-    KelleyResult root = solve_relaxation(model_, pool_, opt_.kelley);
+    KelleyResult root = solve_relaxation(model_, pool_, root_bounds, opt_.kelley);
     result_.lp_solves += root.lp_solves;
     result_.lp_pivots += root.lp_pivots;
     result_.lp_stats.merge(root.lp_stats);
@@ -119,6 +265,9 @@ class Solver {
     nodes_.push_back(Node{});
     nodes_.back().bound = root.objective;
     nodes_.back().basis = std::move(root.basis);
+    // The root solve started from an empty pool, so its basis cut rows are
+    // exactly the pool in insertion order.
+    nodes_.back().basis_cuts = pool_.active_ids();
     heap_.push(HeapEntry{root.objective, next_order_++, 0});
 
     // Nodes are expanded in synchronized best-bound waves: a wave's nodes
@@ -155,12 +304,16 @@ class Solver {
       result_.nodes += wave.size();
       ++result_.waves;
 
+      // Snapshot of the active-cut layout every node of this wave solves
+      // against; lifecycle changes apply at the merge barrier only, so the
+      // snapshot (and the whole search) is thread-count independent.
+      const std::vector<std::size_t> wave_active = pool_.active_ids();
       std::vector<Outcome> outcomes(wave.size());
       threads.parallel_for(wave.size(), [&](std::size_t i) {
-        outcomes[i] = process(wave[i]);
+        outcomes[i] = process(wave[i], wave_active);
       });
       for (std::size_t i = 0; i < wave.size(); ++i)
-        merge(wave[i], std::move(outcomes[i]));
+        merge(wave[i], wave_active, std::move(outcomes[i]));
     }
 
     result_.status = has_incumbent_ ? BnbStatus::Optimal : BnbStatus::Infeasible;
@@ -177,6 +330,8 @@ class Solver {
   void finish(std::chrono::steady_clock::time_point t0) {
     result_.seconds = elapsed(t0);
     result_.cuts = pool_.size();
+    result_.cuts_retired = pool_.retired_total();
+    result_.cuts_reactivated = pool_.reactivated_total();
     if (has_incumbent_) {
       result_.objective = incumbent_obj_;
       result_.x = incumbent_;
@@ -422,7 +577,7 @@ class Solver {
   /// fixed-integer NLP completes it into an incumbent candidate.
   void round_and_complete(const lp::Model& relax, const std::vector<double>& x0,
                           const lp::Basis& basis0, const BoundOverrides& bounds,
-                          CutPool& local, Outcome& out) const {
+                          CutLedger& local, Outcome& out) const {
     lp::Model dive = relax;
     std::vector<double> x = x0;
     lp::Basis basis = basis0;
@@ -542,36 +697,72 @@ class Solver {
   /// Expands one node. Read-only with respect to shared state (safe to run
   /// concurrently within a wave); everything it wants to change is recorded
   /// in the returned Outcome.
-  Outcome process(std::size_t node) const {
+  Outcome process(std::size_t node,
+                  std::span<const std::size_t> wave_active) const {
     Outcome out;
-    CutPool local = pool_;  // wave-start prefix, appended to privately
-    const std::size_t prefix = local.size();
-    expand(node, local, out);
-    for (std::size_t c = prefix; c < local.size(); ++c)
-      out.new_cuts.push_back(local.cuts()[c]);
+    CutLedger ledger(pool_, wave_active);  // wave-start layout, private tail
+    expand(node, ledger, wave_active, out);
+    out.new_cuts = ledger.take_appended();
+    out.reactivated = ledger.reactivated();
     return out;
   }
 
-  void expand(std::size_t node, CutPool& local, Outcome& out) const {
+  /// Remaps the parent basis onto this wave's cut layout: linear rows map
+  /// 1:1, cut rows are matched by pool id, and active cuts the parent never
+  /// saw come in slack-basic. A parent cut row that was retired leaves with
+  /// its (basic, since the cut was slack) slack variable, so the remapped
+  /// basis usually stays a valid warm start; when it does not, init_warm
+  /// rejects it and the node falls back to a cold (presolved) solve.
+  lp::Basis remap_parent_basis(std::size_t node,
+                               std::span<const std::size_t> wave_active) const {
+    const Node& nd = nodes_[node];
+    const lp::Basis& pb = nd.basis;
+    if (pb.empty()) return {};
+    const std::size_t nlin = model_.num_linear();
+    if (pb.rows.size() != nlin + nd.basis_cuts.size()) return {};
+    lp::Basis b;
+    b.cols = pb.cols;
+    b.rows.assign(pb.rows.begin(),
+                  pb.rows.begin() + static_cast<std::ptrdiff_t>(nlin));
+    std::unordered_map<std::size_t, lp::BasisStatus> by_id;
+    for (std::size_t i = 0; i < nd.basis_cuts.size(); ++i)
+      by_id.emplace(nd.basis_cuts[i], pb.rows[nlin + i]);
+    for (const std::size_t id : wave_active) {
+      const auto it = by_id.find(id);
+      b.rows.push_back(it == by_id.end() ? lp::BasisStatus::Basic
+                                         : it->second);
+    }
+    return b;
+  }
+
+  void expand(std::size_t node, CutLedger& ledger,
+              std::span<const std::size_t> wave_active, Outcome& out) const {
     BoundOverrides bounds = materialize(node);
-    // Branching can empty a variable's box; fathom before building the LP.
-    // (This also keeps the relaxation's rows the plain linear+cuts layout
-    // that warm-start basis snapshots assume.)
-    for (std::size_t v = 0; v < model_.num_vars(); ++v) {
-      if (bounds.lb(model_, v) > bounds.ub(model_, v)) return;
+    // Domain propagation: push the branching decision through the linear
+    // rows and SOS sets. An emptied domain fathoms the node before any
+    // simplex work; surviving nodes get tighter child boxes for free.
+    // (Infeasibility detection also keeps the relaxation's rows the plain
+    // linear+cuts layout that warm-start basis snapshots assume.)
+    if (!propagate_bounds(model_, bounds, opt_.int_tol, 4,
+                          &out.bounds_tightened)) {
+      out.propagated_infeasible = true;
+      return;
     }
 
     // Build the relaxation once; QG passes only append their new cut rows.
-    lp::Model relax = build_lp_relaxation(model_, local, bounds);
-    std::size_t cuts_in_relax = local.size();
-    lp::Basis basis = nodes_[node].basis;  // parent warm-start seed
+    lp::Model relax = build_lp_relaxation(model_, ledger, bounds);
+    std::size_t cuts_in_relax = ledger.num_cuts();
+    const std::size_t nlin = model_.num_linear();
+    lp::Basis basis = remap_parent_basis(node, wave_active);
+    out.cut_observed.assign(wave_active.size(), 0);
+    out.cut_tight.assign(wave_active.size(), 0);
 
     for (std::size_t pass = 0; pass < opt_.max_passes_per_node; ++pass) {
-      for (std::size_t c = cuts_in_relax; c < local.size(); ++c) {
-        relax.add_constraint(local.cuts()[c].coeffs, -lp::kInf,
-                             local.cuts()[c].rhs, "oa");
+      for (std::size_t c = cuts_in_relax; c < ledger.num_cuts(); ++c) {
+        relax.add_constraint(ledger.cut(c).coeffs, -lp::kInf,
+                             ledger.cut(c).rhs, "oa");
       }
-      cuts_in_relax = local.size();
+      cuts_in_relax = ledger.num_cuts();
 
       lp::Options lp_opt = opt_.kelley.lp;
       if (opt_.warm_start && !basis.empty()) lp_opt.warm_start = &basis;
@@ -585,10 +776,25 @@ class Solver {
       HSLB_ASSERT(sol.status == lp::Status::Optimal);
       basis = sol.basis;
       if (pass == 0) out.first_lp_obj = sol.objective;
+      // Activity observation for the pool's aging: a wave-start cut whose
+      // slack is nonbasic at this optimum is tight (supporting the vertex);
+      // one that stays basic-slack across a node's optima did no work here.
+      for (std::size_t i = 0; i < wave_active.size(); ++i) {
+        out.cut_observed[i] = 1;
+        if (sol.basis.rows[nlin + i] != lp::BasisStatus::Basic)
+          out.cut_tight[i] = 1;
+      }
       // Fathom by bound against the wave-start incumbent (frozen for the
       // whole wave, so the decision is thread-count independent).
       if (has_incumbent_ && sol.objective >= incumbent_obj_ - opt_.gap_tol)
         return;
+
+      // Retired cuts violated at this optimum come back into the LP before
+      // any branching decision is made off the point (their absence is the
+      // one way retirement could weaken a node bound).
+      const double cut_tol =
+          opt_.feas_tol * (1.0 + std::fabs(sol.objective));
+      if (ledger.reactivate_violated(sol.x, cut_tol) > 0) continue;
 
       // Branch on SOS sets first: the paper found set branching on the
       // atmosphere allocation two orders of magnitude faster than binary
@@ -640,7 +846,7 @@ class Solver {
              sol.objective <
                  incumbent_obj_ - 0.01 * (1.0 + std::fabs(incumbent_obj_)));
         if (worth_diving)
-          round_and_complete(relax, sol.x, basis, bounds, local, out);
+          round_and_complete(relax, sol.x, basis, bounds, ledger, out);
         if (sos) {
           branch_sos(*sos, sol.x, sol.objective, out);
         } else {
@@ -656,6 +862,12 @@ class Solver {
           branch_integer(var, sol.x, sol.objective, out);
         }
         out.child_basis = std::move(basis);
+        // The basis's cut rows are the layout slots present in `relax`
+        // (the dive may have grown the ledger past that).
+        out.child_layout.assign(
+            ledger.layout().begin(),
+            ledger.layout().begin() +
+                static_cast<std::ptrdiff_t>(cuts_in_relax));
         return;
       }
 
@@ -680,7 +892,7 @@ class Solver {
       }
       KelleyOptions nlp_opt = opt_.kelley;
       if (opt_.warm_start) nlp_opt.lp.warm_start = &basis;
-      KelleyResult nlp = solve_relaxation(model_, local, fixed, nlp_opt);
+      KelleyResult nlp = solve_relaxation(model_, ledger, fixed, nlp_opt);
       out.lp_solves += nlp.lp_solves;
       out.lp_pivots += nlp.lp_pivots;
       out.lp_stats.merge(nlp.lp_stats);
@@ -691,9 +903,10 @@ class Solver {
       }
 
       // Ensure the current integral point itself is cut off before
-      // re-solving; otherwise a numerically stalled pool would loop.
+      // re-solving; otherwise a numerically stalled pool would loop. Rows
+      // gained by reactivating a retired duplicate count as progress too.
       const std::size_t added =
-          local.add_violated(model_, sol.x, opt_.feas_tol * scale);
+          ledger.add_violated(model_, sol.x, opt_.feas_tol * scale);
       if (added == 0 && nlp.cuts_added == 0) {
         log::warn() << "bnb: cut generation stalled (violation " << viol
                     << "); fathoming node";
@@ -705,15 +918,43 @@ class Solver {
 
   /// Applies one node's outcome to shared state. Called at the wave barrier
   /// in wave order — the only place shared state mutates.
-  void merge(std::size_t node, Outcome out) {
+  void merge(std::size_t node, std::span<const std::size_t> wave_active,
+             Outcome out) {
     result_.lp_solves += out.lp_solves;
     result_.nlp_solves += out.nlp_solves;
     result_.lp_pivots += out.lp_pivots;
     result_.tree_lp_pivots += out.lp_pivots;
     result_.warm_solves += out.warm_solves;
     result_.lp_stats.merge(out.lp_stats);
+    result_.bounds_tightened += out.bounds_tightened;
+    if (out.propagated_infeasible) ++result_.nodes_propagated_infeasible;
     if (out.first_lp_obj) record_pseudocost(nodes_[node], *out.first_lp_obj);
-    for (Cut& c : out.new_cuts) pool_.add(std::move(c));
+
+    // Cut lifecycle, applied in wave order: reactivations this node asked
+    // for, then its fresh cuts (a duplicate of a retired cut reactivates
+    // instead of copying), then its tight/slack observations age the
+    // wave-start rows. `appended_ids` keeps the worker-local appended index
+    // -> final pool id translation for the children's basis layouts.
+    for (const std::size_t id : out.reactivated) pool_.reactivate(id);
+    std::vector<std::size_t> appended_ids;
+    appended_ids.reserve(out.new_cuts.size());
+    for (Cut& c : out.new_cuts) {
+      const std::size_t id = pool_.insert(std::move(c));
+      pool_.reactivate(id);  // no-op unless it deduped onto a retired cut
+      appended_ids.push_back(id);
+    }
+    for (std::size_t i = 0; i < out.cut_observed.size(); ++i) {
+      if (out.cut_observed[i])
+        pool_.observe(wave_active[i], out.cut_tight[i] != 0,
+                      opt_.cut_age_limit);
+    }
+
+    std::vector<std::size_t> basis_cuts;
+    basis_cuts.reserve(out.child_layout.size());
+    for (const CutLedger::Ref& ref : out.child_layout) {
+      basis_cuts.push_back(ref.is_appended ? appended_ids[ref.index]
+                                           : ref.index);
+    }
     for (ChildSpec& spec : out.children) {
       Node child;
       child.parent = static_cast<std::ptrdiff_t>(node);
@@ -723,6 +964,7 @@ class Solver {
       child.branch_dir = spec.branch_dir;
       child.branch_frac = spec.branch_frac;
       child.basis = out.child_basis;
+      child.basis_cuts = basis_cuts;
       nodes_.push_back(std::move(child));
       heap_.push(HeapEntry{spec.bound, next_order_++, nodes_.size() - 1});
     }
@@ -730,7 +972,7 @@ class Solver {
   }
 
   const Model& model_;
-  const BnbOptions& opt_;
+  BnbOptions opt_;  ///< by value: the ctor folds `presolve` into kelley.lp
   CutPool pool_;
   std::vector<Node> nodes_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;

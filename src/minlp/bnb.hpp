@@ -72,6 +72,14 @@ struct BnbOptions {
   /// Probes solve both child LPs warm from the node basis, so this only
   /// takes effect when `warm_start` is on.
   std::size_t strong_branch_candidates = 0;
+  /// Run the LP presolve (lp::Presolve) on cold solves: the root relaxation
+  /// and every node LP whose warm start is rejected. Warm re-solves bypass
+  /// it — their cost is a handful of dual pivots already.
+  bool presolve = true;
+  /// Consecutive slack observations before an OA cut is retired from node
+  /// LPs (0 keeps every cut forever). Retired cuts stay in the pool and
+  /// reactivate on violation, so bounds are never weakened silently.
+  std::size_t cut_age_limit = 12;
 };
 
 struct BnbResult {
@@ -92,10 +100,25 @@ struct BnbResult {
   std::size_t tree_lp_pivots = 0;  ///< pivots excluding the root relaxation
   std::size_t warm_solves = 0;     ///< LP solves that reused a prior basis
   std::size_t waves = 0;           ///< synchronized node waves executed
-  /// Sparsity counters summed over every LP solve of the search (root
-  /// relaxation, node re-solves, dives, strong-branch probes).
+  /// Sparsity and presolve counters summed over every LP solve of the
+  /// search (root relaxation, node re-solves, dives, strong-branch probes).
   lp::SolveStats lp_stats;
+  // Domain propagation and cut lifecycle counters.
+  std::size_t bounds_tightened = 0;  ///< propagation bound improvements
+  std::size_t nodes_propagated_infeasible = 0;  ///< pruned before any LP
+  std::size_t cuts_retired = 0;      ///< pool cuts aged out of node LPs
+  std::size_t cuts_reactivated = 0;  ///< retired cuts pulled back on violation
 };
+
+/// Propagates the node's bound overrides through the model's linear rows
+/// (activity-based implied bounds, rounded on integer variables) and SOS1
+/// sets (a forced-nonzero member fixes its siblings to zero). Tightens
+/// `bounds` in place; `tightened`, when non-null, accumulates the number of
+/// improvements. Returns false when some domain empties — the node is
+/// infeasible without a single LP solve.
+bool propagate_bounds(const Model& model, BoundOverrides& bounds,
+                      double int_tol, std::size_t max_passes = 4,
+                      std::size_t* tightened = nullptr);
 
 /// Solves a convex MINLP to global optimality. Every variable must have
 /// finite bounds (the HSLB model builders guarantee this; violations throw).

@@ -6,6 +6,44 @@
 
 namespace hslb::minlp {
 
+namespace {
+
+/// FNV-1a over the cut's discrete identity: source constraint plus the
+/// sparsity pattern. Coefficient *values* are excluded — they are compared
+/// with a tolerance inside the bucket, and hashing them would scatter
+/// near-duplicates across buckets.
+std::uint64_t cut_signature(const Cut& cut) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(cut.source_constraint);
+  mix(cut.coeffs.size());
+  for (const auto& [v, c] : cut.coeffs) {
+    (void)c;
+    mix(v);
+  }
+  return h;
+}
+
+bool near_duplicate(const Cut& a, const Cut& b) {
+  if (a.source_constraint != b.source_constraint) return false;
+  if (a.coeffs.size() != b.coeffs.size()) return false;
+  if (std::fabs(a.rhs - b.rhs) > 1e-9 * (1.0 + std::fabs(a.rhs))) return false;
+  for (std::size_t i = 0; i < a.coeffs.size(); ++i) {
+    if (a.coeffs[i].first != b.coeffs[i].first) return false;
+    if (std::fabs(a.coeffs[i].second - b.coeffs[i].second) >
+        1e-9 * (1.0 + std::fabs(a.coeffs[i].second)))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 double Cut::violation(std::span<const double> x) const {
   double activity = 0.0;
   for (const auto& [v, c] : coeffs) activity += c * x[v];
@@ -32,25 +70,35 @@ Cut make_oa_cut(const Model& model, std::size_t k, std::span<const double> x) {
   return cut;
 }
 
-bool CutPool::add(Cut cut) {
-  // Duplicate suppression: same source, same sparsity pattern, coefficients
-  // and rhs within a relative tolerance. Linearizing twice at (nearly) the
-  // same point is common when the solver revisits an incumbent.
-  for (const Cut& c : cuts_) {
-    if (c.source_constraint != cut.source_constraint) continue;
-    if (c.coeffs.size() != cut.coeffs.size()) continue;
-    const double scale = 1.0 + std::fabs(c.rhs);
-    if (std::fabs(c.rhs - cut.rhs) > 1e-9 * scale) continue;
-    bool same = true;
-    for (std::size_t i = 0; i < c.coeffs.size() && same; ++i) {
-      same = c.coeffs[i].first == cut.coeffs[i].first &&
-             std::fabs(c.coeffs[i].second - cut.coeffs[i].second) <=
-                 1e-9 * (1.0 + std::fabs(c.coeffs[i].second));
-    }
-    if (same) return false;
+std::size_t CutPool::find_duplicate(const Cut& cut) const {
+  const auto it = by_signature_.find(cut_signature(cut));
+  if (it == by_signature_.end()) return npos;
+  for (const std::size_t id : it->second) {
+    if (near_duplicate(cuts_[id], cut)) return id;
   }
+  return npos;
+}
+
+std::size_t CutPool::insert(Cut cut) {
+  const std::size_t dup = find_duplicate(cut);
+  if (dup != npos) return dup;
+  const std::size_t id = cuts_.size();
+  by_signature_[cut_signature(cut)].push_back(id);
   cuts_.push_back(std::move(cut));
-  return true;
+  age_.push_back(0);
+  active_.push_back(1);
+  ++num_active_;
+  return id;
+}
+
+bool CutPool::add(Cut cut) {
+  const std::size_t before = cuts_.size();
+  const std::size_t id = insert(std::move(cut));
+  if (cuts_.size() != before) return true;
+  // Duplicate of a retired cut: the caller is re-deriving it, so it is
+  // violated again — put it back in play instead of dropping the request.
+  reactivate(id);
+  return false;
 }
 
 std::size_t CutPool::add_violated(const Model& model, std::span<const double> x,
@@ -62,6 +110,99 @@ std::size_t CutPool::add_violated(const Model& model, std::span<const double> x,
     }
   }
   return added;
+}
+
+std::vector<std::size_t> CutPool::active_ids() const {
+  std::vector<std::size_t> ids;
+  ids.reserve(num_active_);
+  for (std::size_t id = 0; id < cuts_.size(); ++id) {
+    if (active_[id]) ids.push_back(id);
+  }
+  return ids;
+}
+
+bool CutPool::observe(std::size_t id, bool tight, std::size_t age_limit) {
+  HSLB_EXPECTS(id < cuts_.size());
+  if (!active_[id]) return false;
+  if (tight) {
+    age_[id] = 0;
+    return false;
+  }
+  ++age_[id];
+  if (age_limit == 0 || age_[id] <= age_limit) return false;
+  active_[id] = 0;
+  --num_active_;
+  ++retired_total_;
+  return true;
+}
+
+bool CutPool::reactivate(std::size_t id) {
+  HSLB_EXPECTS(id < cuts_.size());
+  if (active_[id]) return false;
+  active_[id] = 1;
+  age_[id] = 0;
+  ++num_active_;
+  ++reactivated_total_;
+  return true;
+}
+
+CutLedger::CutLedger(const CutPool& shared,
+                     std::span<const std::size_t> wave_active)
+    : shared_(shared), in_layout_(shared.size(), 0) {
+  layout_.reserve(wave_active.size());
+  for (const std::size_t id : wave_active) {
+    layout_.push_back({id, false});
+    in_layout_[id] = 1;
+  }
+}
+
+const Cut& CutLedger::cut(std::size_t layout_pos) const {
+  const Ref& ref = layout_[layout_pos];
+  return ref.is_appended ? appended_[ref.index] : shared_.cuts()[ref.index];
+}
+
+bool CutLedger::add(Cut cut) {
+  const std::size_t dup = shared_.find_duplicate(cut);
+  if (dup != CutPool::npos) {
+    if (in_layout_[dup]) return false;  // already a row of this node's LP
+    // Re-derived a retired cut: reactivate it rather than storing a copy.
+    layout_.push_back({dup, false});
+    in_layout_[dup] = 1;
+    reactivated_.push_back(dup);
+    return true;
+  }
+  for (const Cut& c : appended_) {
+    if (near_duplicate(c, cut)) return false;
+  }
+  layout_.push_back({appended_.size(), true});
+  appended_.push_back(std::move(cut));
+  return true;
+}
+
+std::size_t CutLedger::add_violated(const Model& model,
+                                    std::span<const double> x, double tol) {
+  std::size_t gained = 0;
+  for (std::size_t k = 0; k < model.nonlinear().size(); ++k) {
+    if (model.nonlinear()[k].value(x) > tol) {
+      if (add(make_oa_cut(model, k, x))) ++gained;
+    }
+  }
+  return gained;
+}
+
+std::size_t CutLedger::reactivate_violated(std::span<const double> x,
+                                           double tol) {
+  std::size_t gained = 0;
+  for (std::size_t id = 0; id < shared_.size(); ++id) {
+    if (shared_.is_active(id) || in_layout_[id]) continue;
+    if (shared_.cuts()[id].violation(x) > tol) {
+      layout_.push_back({id, false});
+      in_layout_[id] = 1;
+      reactivated_.push_back(id);
+      ++gained;
+    }
+  }
+  return gained;
 }
 
 }  // namespace hslb::minlp

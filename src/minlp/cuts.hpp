@@ -7,9 +7,17 @@
 // is globally valid (convexity) and cuts off any point with f > 0 at x_k.
 // Cuts live in a pool shared by the whole branch-and-bound tree, because
 // convexity makes them valid at every node.
+//
+// The pool manages a *lifecycle* per cut: a cut that stays slack at node
+// relaxation optima ages, and past an age limit it is retired from the
+// active set (its row stops being generated into node LPs). Retired cuts
+// remain in the pool and are reactivated the moment a node finds them
+// violated again — validity is never lost, only LP size is reclaimed.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "lp/model.hpp"
@@ -30,23 +38,111 @@ struct Cut {
 /// Builds the OA cut for nonlinear constraint `k` of `model` at point `x`.
 Cut make_oa_cut(const Model& model, std::size_t k, std::span<const double> x);
 
-/// Shared pool of globally valid cuts with simple duplicate suppression.
+/// Shared pool of globally valid cuts with duplicate suppression and
+/// age-based deactivation. Cut ids are stable indices into cuts().
 class CutPool {
  public:
-  /// Adds a cut unless an (almost) identical one is already present.
-  /// Returns true if the cut was added.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Adds the cut (active, age 0) unless an (almost) identical one is
+  /// already present; returns the id of the stored cut either way.
+  std::size_t insert(Cut cut);
+
+  /// Legacy interface: insert, report whether the cut was new. A duplicate
+  /// of a retired cut reactivates it (the caller saw it violated).
   bool add(Cut cut);
+
+  /// Id of a stored near-duplicate of `cut` (same source constraint, same
+  /// sparsity pattern, coefficients and rhs within relative 1e-9), or npos.
+  std::size_t find_duplicate(const Cut& cut) const;
 
   const std::vector<Cut>& cuts() const { return cuts_; }
   std::size_t size() const { return cuts_.size(); }
 
   /// Adds OA cuts at x for every nonlinear constraint violated beyond tol.
-  /// Returns the number of cuts actually added.
+  /// Returns the number of cuts actually added (or reactivated).
   std::size_t add_violated(const Model& model, std::span<const double> x,
                            double tol);
 
+  // --- Lifecycle ---------------------------------------------------------
+  bool is_active(std::size_t id) const { return active_[id] != 0; }
+  std::size_t num_active() const { return num_active_; }
+  /// Active cut ids in ascending order (the canonical node-LP row layout).
+  std::vector<std::size_t> active_ids() const;
+
+  /// Records one node observation of an active cut: tight resets its age,
+  /// slack ages it, and an age beyond `age_limit` retires it (age_limit of
+  /// 0 disables retirement). Observations of retired cuts are dropped.
+  /// Returns true when this observation retired the cut.
+  bool observe(std::size_t id, bool tight, std::size_t age_limit);
+
+  /// Puts a retired cut back in the active set with a fresh age. No-op on
+  /// active cuts. Returns true when the state actually flipped.
+  bool reactivate(std::size_t id);
+
+  std::size_t retired_total() const { return retired_total_; }
+  std::size_t reactivated_total() const { return reactivated_total_; }
+
  private:
   std::vector<Cut> cuts_;
+  std::vector<std::uint32_t> age_;
+  std::vector<char> active_;
+  std::size_t num_active_ = 0;
+  std::size_t retired_total_ = 0;
+  std::size_t reactivated_total_ = 0;
+  /// Hash of (source, sparsity pattern) -> cut ids with that signature.
+  /// Exact-match candidates only; the tolerance compare runs per bucket.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_signature_;
+};
+
+/// Worker-side overlay of a shared CutPool for one node expansion. The
+/// ledger never mutates the shared pool (node workers run concurrently
+/// within a wave); it records what the node wants — appended cuts and
+/// reactivations — for the serial wave-order merge to apply.
+///
+/// The ledger's *layout* is the node LP's cut-row order: the wave-start
+/// active ids (ascending) first, then every cut gained during the node
+/// (fresh or reactivated) in discovery order.
+class CutLedger {
+ public:
+  /// One layout slot: a shared pool id, or an index into appended().
+  struct Ref {
+    std::size_t index;
+    bool is_appended;
+  };
+
+  CutLedger(const CutPool& shared, std::span<const std::size_t> wave_active);
+
+  std::size_t num_cuts() const { return layout_.size(); }
+  const Cut& cut(std::size_t layout_pos) const;
+  const std::vector<Ref>& layout() const { return layout_; }
+
+  /// Adds a cut to the layout unless already present: a fresh cut is
+  /// appended; a duplicate of a retired shared cut is reactivated instead
+  /// (both count as a row gained). Returns true if the layout grew.
+  bool add(Cut cut);
+
+  /// OA cuts at x for every violated nonlinear constraint; returns rows
+  /// gained (appended + reactivated), the progress measure the node's
+  /// stall check relies on.
+  std::size_t add_violated(const Model& model, std::span<const double> x,
+                           double tol);
+
+  /// Scans the shared pool's *retired* cuts for violation at x and pulls
+  /// every violated one back into the layout. Returns how many.
+  std::size_t reactivate_violated(std::span<const double> x, double tol);
+
+  const std::vector<Cut>& appended() const { return appended_; }
+  std::vector<Cut> take_appended() { return std::move(appended_); }
+  /// Shared ids this node wants reactivated, in discovery order.
+  const std::vector<std::size_t>& reactivated() const { return reactivated_; }
+
+ private:
+  const CutPool& shared_;
+  std::vector<Ref> layout_;
+  std::vector<Cut> appended_;
+  std::vector<std::size_t> reactivated_;
+  std::vector<char> in_layout_;  ///< per shared id: already a layout slot?
 };
 
 }  // namespace hslb::minlp

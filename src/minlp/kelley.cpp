@@ -8,8 +8,10 @@
 
 namespace hslb::minlp {
 
-lp::Model build_lp_relaxation(const Model& model, const CutPool& pool,
-                              const BoundOverrides& bounds) {
+namespace {
+
+lp::Model build_variables_and_linear_rows(const Model& model,
+                                          const BoundOverrides& bounds) {
   lp::Model out;
   for (std::size_t v = 0; v < model.num_vars(); ++v) {
     const double lb = bounds.lb(model, v);
@@ -29,13 +31,32 @@ lp::Model build_lp_relaxation(const Model& model, const CutPool& pool,
     out.add_constraint(model.linear_coeffs(r), model.linear_lower(r),
                        model.linear_upper(r));
   }
-  for (const Cut& c : pool.cuts()) {
+  return out;
+}
+
+}  // namespace
+
+lp::Model build_lp_relaxation(const Model& model, const CutLedger& ledger,
+                              const BoundOverrides& bounds) {
+  lp::Model out = build_variables_and_linear_rows(model, bounds);
+  for (std::size_t i = 0; i < ledger.num_cuts(); ++i) {
+    const Cut& c = ledger.cut(i);
     out.add_constraint(c.coeffs, -lp::kInf, c.rhs, "oa");
   }
   return out;
 }
 
-KelleyResult solve_relaxation(const Model& model, CutPool& pool,
+lp::Model build_lp_relaxation(const Model& model, const CutPool& pool,
+                              const BoundOverrides& bounds) {
+  lp::Model out = build_variables_and_linear_rows(model, bounds);
+  for (const std::size_t id : pool.active_ids()) {
+    const Cut& c = pool.cuts()[id];
+    out.add_constraint(c.coeffs, -lp::kInf, c.rhs, "oa");
+  }
+  return out;
+}
+
+KelleyResult solve_relaxation(const Model& model, CutLedger& ledger,
                               const BoundOverrides& bounds,
                               const KelleyOptions& options) {
   KelleyResult result;
@@ -44,8 +65,8 @@ KelleyResult solve_relaxation(const Model& model, CutPool& pool,
   // Build the relaxation once; later rounds only append their new cut rows
   // and warm-start from the previous round's basis, so each round costs a
   // handful of dual/primal pivots instead of a full two-phase solve.
-  lp::Model relax = build_lp_relaxation(model, pool, bounds);
-  std::size_t cuts_in_relax = pool.size();
+  lp::Model relax = build_lp_relaxation(model, ledger, bounds);
+  std::size_t cuts_in_relax = ledger.num_cuts();
   lp::Basis basis;
 
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
@@ -76,7 +97,7 @@ KelleyResult solve_relaxation(const Model& model, CutPool& pool,
     }
 
     const std::size_t added =
-        pool.add_violated(model, sol.x, options.feas_tol * scale);
+        ledger.add_violated(model, sol.x, options.feas_tol * scale);
     result.cuts_added += added;
     if (added == 0) {
       // Numerically stalled: violation persists but the linearization no
@@ -89,12 +110,24 @@ KelleyResult solve_relaxation(const Model& model, CutPool& pool,
       result.basis = std::move(basis);
       return result;
     }
-    for (std::size_t c = cuts_in_relax; c < pool.size(); ++c) {
-      relax.add_constraint(pool.cuts()[c].coeffs, -lp::kInf,
-                           pool.cuts()[c].rhs, "oa");
+    for (std::size_t c = cuts_in_relax; c < ledger.num_cuts(); ++c) {
+      relax.add_constraint(ledger.cut(c).coeffs, -lp::kInf, ledger.cut(c).rhs,
+                           "oa");
     }
-    cuts_in_relax = pool.size();
+    cuts_in_relax = ledger.num_cuts();
   }
+  return result;
+}
+
+KelleyResult solve_relaxation(const Model& model, CutPool& pool,
+                              const BoundOverrides& bounds,
+                              const KelleyOptions& options) {
+  const std::vector<std::size_t> active = pool.active_ids();
+  CutLedger ledger(pool, active);
+  KelleyResult result = solve_relaxation(model, ledger, bounds, options);
+  // Serial caller: fold the ledger straight back into the pool.
+  for (const std::size_t id : ledger.reactivated()) pool.reactivate(id);
+  for (Cut& c : ledger.take_appended()) pool.insert(std::move(c));
   return result;
 }
 

@@ -51,13 +51,25 @@ struct BoundOverrides {
   }
 };
 
-/// Builds the LP relaxation (linear rows + pool cuts) with the given bound
-/// overrides. Shared by Kelley and branch-and-bound.
+/// Builds the LP relaxation (linear rows + the ledger's cut layout) with
+/// the given bound overrides. Shared by Kelley and branch-and-bound.
+lp::Model build_lp_relaxation(const Model& model, const CutLedger& ledger,
+                              const BoundOverrides& bounds);
+
+/// Builds the LP relaxation over the pool's *active* cuts (ascending id).
 lp::Model build_lp_relaxation(const Model& model, const CutPool& pool,
                               const BoundOverrides& bounds);
 
+/// Solves the continuous relaxation against a node ledger; cuts gained
+/// along the way land in the ledger (appended or reactivated), never in
+/// the shared pool — the caller merges them in deterministic order.
+KelleyResult solve_relaxation(const Model& model, CutLedger& ledger,
+                              const BoundOverrides& bounds,
+                              const KelleyOptions& options = {});
+
 /// Solves the continuous relaxation; new cuts are appended to `pool` (they
-/// are globally valid and reused by the caller's tree search).
+/// are globally valid and reused by the caller's tree search) and retired
+/// pool cuts found violated are reactivated.
 KelleyResult solve_relaxation(const Model& model, CutPool& pool,
                               const BoundOverrides& bounds,
                               const KelleyOptions& options = {});

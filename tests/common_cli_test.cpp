@@ -106,6 +106,25 @@ TEST(Cli, ValidatedIntFallbackBypassesValidation) {
   EXPECT_EQ(args.get_int("nodes", 0, 1), 0);
 }
 
+TEST(Cli, SolverPresolveAndCutAgeFlags) {
+  // The knob set the fmo/cesm subcommands expose for the solver's presolve
+  // and cut lifecycle (see cli/commands.cpp apply_bnb_args).
+  const auto on = make({"--no-presolve", "--cut-age-limit", "5"},
+                       {"no-presolve"}, {"cut-age-limit"});
+  EXPECT_TRUE(on.flag("no-presolve"));
+  EXPECT_EQ(on.get_int("cut-age-limit", 12, 0), 5);
+
+  const auto off = make({}, {"no-presolve"}, {"cut-age-limit"});
+  EXPECT_FALSE(off.flag("no-presolve"));
+  EXPECT_EQ(off.get_int("cut-age-limit", 12, 0), 12);
+
+  // 0 disables retirement and must be accepted; negatives must not.
+  const auto zero = make({"--cut-age-limit=0"}, {}, {"cut-age-limit"});
+  EXPECT_EQ(zero.get_int("cut-age-limit", 12, 0), 0);
+  const auto neg = make({"--cut-age-limit", "-3"}, {}, {"cut-age-limit"});
+  EXPECT_THROW(neg.get_int("cut-age-limit", 12, 0), std::invalid_argument);
+}
+
 TEST(Cli, ValidatedDoubleChecksRangeAndGarbage) {
   const auto ok = make({"--efficiency", "0.75"}, {}, {"efficiency"});
   EXPECT_DOUBLE_EQ(ok.get_double("efficiency", 0.5, 0.0, 1.0), 0.75);

@@ -200,6 +200,13 @@ TEST(PipelineEngine, ReportCarriesInstrumentation) {
   EXPECT_EQ(static_cast<std::size_t>(
                 std::count(header.begin(), header.end(), ',')),
             static_cast<std::size_t>(std::count(row.begin(), row.end(), ',')));
+  // The solver-reduction counters are part of the CSV contract.
+  for (const char* col :
+       {"solver_presolve_rows", "solver_presolve_cols",
+        "solver_bounds_tightened", "solver_nodes_propagated_infeasible",
+        "solver_cuts_retired", "solver_cuts_reactivated"}) {
+    EXPECT_NE(header.find(col), std::string::npos) << col;
+  }
 }
 
 TEST(PipelineEngine, DefaultPredictedTotalFallsBackToAllocation) {

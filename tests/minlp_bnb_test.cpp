@@ -341,6 +341,22 @@ TEST_P(BnbThreadDeterminism, BitIdenticalAcrossThreadCounts) {
         << "threads=" << threads;
     EXPECT_EQ(par.lp_stats.refactorizations, serial.lp_stats.refactorizations)
         << "threads=" << threads;
+    // Presolve, propagation, and cut lifecycle all run on the same
+    // deterministic wave schedule, so their counters cannot drift either.
+    EXPECT_EQ(par.lp_stats.presolve_rows_removed,
+              serial.lp_stats.presolve_rows_removed)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.presolve_cols_removed,
+              serial.lp_stats.presolve_cols_removed)
+        << "threads=" << threads;
+    EXPECT_EQ(par.bounds_tightened, serial.bounds_tightened)
+        << "threads=" << threads;
+    EXPECT_EQ(par.nodes_propagated_infeasible,
+              serial.nodes_propagated_infeasible)
+        << "threads=" << threads;
+    EXPECT_EQ(par.cuts_retired, serial.cuts_retired) << "threads=" << threads;
+    EXPECT_EQ(par.cuts_reactivated, serial.cuts_reactivated)
+        << "threads=" << threads;
   }
 }
 
@@ -393,6 +409,268 @@ TEST_P(BnbWarmVsCold, WarmStartsNeverChangeTheAnswer) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BnbWarmVsCold, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Presolve + domain propagation + cut lifecycle (ISSUE 4).
+// ---------------------------------------------------------------------------
+
+class BnbPresolveParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbPresolveParity, SameOptimumWithAndWithoutPresolve) {
+  // Presolve and cut retirement change the LP path, never the proven
+  // optimum: on/off must both land on the enumerated optimum.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 4241 + 29);
+  const auto p = make_random_minlp(rng);
+  const auto expected = enumerate_best(p);
+  ASSERT_TRUE(expected.has_value());
+  BnbOptions on;  // presolve + cut_age_limit defaults
+  BnbOptions off;
+  off.presolve = false;
+  off.cut_age_limit = 0;  // keep every cut forever
+  const auto r_on = solve(p.model, on);
+  const auto r_off = solve(p.model, off);
+  ASSERT_EQ(r_on.status, BnbStatus::Optimal);
+  ASSERT_EQ(r_off.status, BnbStatus::Optimal);
+  EXPECT_NEAR(r_on.objective, *expected, 1e-4);
+  EXPECT_NEAR(r_off.objective, *expected, 1e-4);
+  EXPECT_TRUE(p.model.is_feasible(r_on.x, 1e-5, 1e-5));
+  EXPECT_TRUE(p.model.is_feasible(r_off.x, 1e-5, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnbPresolveParity, ::testing::Range(0, 10));
+
+class BnbAggressiveRetirement : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbAggressiveRetirement, RetirementNeverLosesValidity) {
+  // age limit 1 retires a cut after a single slack observation — maximal
+  // churn through retire/reactivate, yet the optimum must not move.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 5087 + 41);
+  const auto p = make_random_minlp(rng);
+  const auto expected = enumerate_best(p);
+  ASSERT_TRUE(expected.has_value());
+  BnbOptions opt;
+  opt.cut_age_limit = 1;
+  const auto res = solve(p.model, opt);
+  ASSERT_EQ(res.status, BnbStatus::Optimal);
+  EXPECT_NEAR(res.objective, *expected, 1e-4);
+  EXPECT_TRUE(p.model.is_feasible(res.x, 1e-5, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnbAggressiveRetirement,
+                         ::testing::Range(0, 10));
+
+TEST(Propagation, TightensThroughLinearRows) {
+  // x + y <= 3 with x,y integer in [0,10]: both uppers drop to 3.
+  Model m;
+  const auto x = m.add_integer(0.0, 10.0, "x");
+  const auto y = m.add_integer(0.0, 10.0, "y");
+  m.add_linear({{x, 1.0}, {y, 1.0}}, -kInf, 3.0);
+  BoundOverrides b(m.num_vars());
+  std::size_t tightened = 0;
+  ASSERT_TRUE(propagate_bounds(m, b, 1e-6, 4, &tightened));
+  EXPECT_DOUBLE_EQ(b.ub(m, x), 3.0);
+  EXPECT_DOUBLE_EQ(b.ub(m, y), 3.0);
+  EXPECT_GE(tightened, 2u);
+}
+
+TEST(Propagation, RoundsIntegerBounds) {
+  // 2x <= 5 -> x <= 2.5 -> x <= 2 for integer x.
+  Model m;
+  const auto x = m.add_integer(0.0, 10.0, "x");
+  m.add_linear({{x, 2.0}}, -kInf, 5.0);
+  BoundOverrides b(m.num_vars());
+  ASSERT_TRUE(propagate_bounds(m, b, 1e-6));
+  EXPECT_DOUBLE_EQ(b.ub(m, x), 2.0);
+  // Lower side: 3x >= 7 -> x >= 7/3 -> x >= 3.
+  Model m2;
+  const auto z = m2.add_integer(0.0, 10.0, "z");
+  m2.add_linear({{z, 3.0}}, 7.0, kInf);
+  BoundOverrides b2(m2.num_vars());
+  ASSERT_TRUE(propagate_bounds(m2, b2, 1e-6));
+  EXPECT_DOUBLE_EQ(b2.lb(m2, z), 3.0);
+}
+
+TEST(Propagation, DetectsRowInfeasibility) {
+  // Node branching pinned x <= 4, but a row demands x >= 5.
+  Model m;
+  const auto x = m.add_integer(0.0, 10.0, "x");
+  m.add_linear({{x, 1.0}}, 5.0, kInf);
+  BoundOverrides b(m.num_vars());
+  b.upper[x] = 4.0;
+  EXPECT_FALSE(propagate_bounds(m, b, 1e-6));
+}
+
+TEST(Propagation, ChainsAcrossRows) {
+  // x <= 2 forces y >= 4 via x + y >= 6; y >= 4 then forces w <= 1 via
+  // y + 2w <= 6 — one call must reach the fixpoint across both rows.
+  Model m;
+  const auto x = m.add_integer(0.0, 10.0, "x");
+  const auto y = m.add_integer(0.0, 10.0, "y");
+  const auto w = m.add_integer(0.0, 10.0, "w");
+  m.add_linear({{x, 1.0}, {y, 1.0}}, 6.0, kInf);
+  m.add_linear({{y, 1.0}, {w, 2.0}}, -kInf, 6.0);
+  BoundOverrides b(m.num_vars());
+  b.upper[x] = 2.0;
+  ASSERT_TRUE(propagate_bounds(m, b, 1e-6));
+  EXPECT_DOUBLE_EQ(b.lb(m, y), 4.0);
+  EXPECT_DOUBLE_EQ(b.ub(m, w), 1.0);
+}
+
+TEST(Propagation, Sos1FixesSiblingsOfForcedMember) {
+  Model m;
+  std::vector<std::size_t> zs;
+  for (int k = 0; k < 3; ++k)
+    zs.push_back(m.add_binary("z" + std::to_string(k)));
+  m.add_sos1(Sos1{"s", zs, {1.0, 2.0, 3.0}});
+  BoundOverrides b(m.num_vars());
+  b.lower[zs[1]] = 1.0;  // branching forced z1 on
+  ASSERT_TRUE(propagate_bounds(m, b, 1e-6));
+  EXPECT_DOUBLE_EQ(b.ub(m, zs[0]), 0.0);
+  EXPECT_DOUBLE_EQ(b.ub(m, zs[2]), 0.0);
+  EXPECT_DOUBLE_EQ(b.ub(m, zs[1]), 1.0);
+}
+
+TEST(Propagation, Sos1TwoForcedMembersIsInfeasible) {
+  Model m;
+  std::vector<std::size_t> zs;
+  for (int k = 0; k < 3; ++k)
+    zs.push_back(m.add_binary("z" + std::to_string(k)));
+  m.add_sos1(Sos1{"s", zs, {1.0, 2.0, 3.0}});
+  BoundOverrides b(m.num_vars());
+  b.lower[zs[0]] = 1.0;
+  b.lower[zs[2]] = 1.0;
+  EXPECT_FALSE(propagate_bounds(m, b, 1e-6));
+}
+
+TEST(CutLifecycle, InsertDeduplicatesBySignature) {
+  CutPool pool;
+  Cut c{{{0, 1.0}, {2, -2.0}}, 1.5, 0};
+  const auto id = pool.insert(c);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(pool.insert(c), id);  // exact duplicate
+  Cut nudged = c;
+  nudged.coeffs[0].second += 1e-12;  // within relative 1e-9
+  EXPECT_EQ(pool.find_duplicate(nudged), id);
+  Cut other_source = c;
+  other_source.source_constraint = 1;
+  EXPECT_EQ(pool.find_duplicate(other_source), CutPool::npos);
+  Cut other_pattern = c;
+  other_pattern.coeffs[1].first = 3;
+  EXPECT_EQ(pool.find_duplicate(other_pattern), CutPool::npos);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(CutLifecycle, SlackObservationsRetireAndViolationReactivates) {
+  CutPool pool;
+  const auto id = pool.insert(Cut{{{0, 1.0}}, 0.5, 0});
+  ASSERT_TRUE(pool.is_active(id));
+  // age limit 2: slack -> age 1, 2, then 3 > 2 retires.
+  EXPECT_FALSE(pool.observe(id, /*tight=*/false, 2));
+  EXPECT_FALSE(pool.observe(id, false, 2));
+  EXPECT_TRUE(pool.observe(id, false, 2));
+  EXPECT_FALSE(pool.is_active(id));
+  EXPECT_EQ(pool.num_active(), 0u);
+  EXPECT_EQ(pool.retired_total(), 1u);
+  EXPECT_TRUE(pool.active_ids().empty());
+  // Observations of retired cuts are dropped; reactivation flips once.
+  EXPECT_FALSE(pool.observe(id, true, 2));
+  EXPECT_TRUE(pool.reactivate(id));
+  EXPECT_FALSE(pool.reactivate(id));
+  EXPECT_TRUE(pool.is_active(id));
+  EXPECT_EQ(pool.reactivated_total(), 1u);
+  // A tight observation resets the age: two slacks no longer retire.
+  EXPECT_FALSE(pool.observe(id, false, 2));
+  EXPECT_FALSE(pool.observe(id, true, 2));
+  EXPECT_FALSE(pool.observe(id, false, 2));
+  EXPECT_FALSE(pool.observe(id, false, 2));
+  EXPECT_TRUE(pool.is_active(id));
+}
+
+TEST(CutLifecycle, AgeLimitZeroNeverRetires) {
+  CutPool pool;
+  const auto id = pool.insert(Cut{{{0, 1.0}}, 0.5, 0});
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(pool.observe(id, false, 0));
+  EXPECT_TRUE(pool.is_active(id));
+  EXPECT_EQ(pool.retired_total(), 0u);
+}
+
+TEST(CutLifecycle, LegacyAddReactivatesRetiredDuplicate) {
+  CutPool pool;
+  Cut c{{{0, 1.0}}, 0.5, 0};
+  ASSERT_TRUE(pool.add(c));
+  EXPECT_FALSE(pool.observe(0, false, 1));
+  EXPECT_TRUE(pool.observe(0, false, 1));  // second slack retires
+  ASSERT_FALSE(pool.is_active(0));
+  // Re-adding the retired cut (a node saw it violated) reactivates it.
+  EXPECT_FALSE(pool.add(c));  // not new...
+  EXPECT_TRUE(pool.is_active(0));  // ...but active again
+}
+
+TEST(CutLifecycle, LedgerOverlaysSharedPoolWithoutMutatingIt) {
+  CutPool pool;
+  const auto keep = pool.insert(Cut{{{0, 1.0}}, 0.5, 0});
+  const auto retired = pool.insert(Cut{{{1, 1.0}}, 0.25, 1});
+  pool.observe(retired, false, 1);
+  pool.observe(retired, false, 1);
+  ASSERT_FALSE(pool.is_active(retired));
+
+  const auto active = pool.active_ids();
+  ASSERT_EQ(active, std::vector<std::size_t>{keep});
+  CutLedger ledger(pool, active);
+  EXPECT_EQ(ledger.num_cuts(), 1u);
+
+  // A duplicate of an active shared cut adds nothing.
+  EXPECT_FALSE(ledger.add(Cut{{{0, 1.0}}, 0.5, 0}));
+  // A duplicate of the *retired* shared cut grows the layout and records a
+  // reactivation request — the shared pool itself stays untouched.
+  EXPECT_TRUE(ledger.add(Cut{{{1, 1.0}}, 0.25, 1}));
+  EXPECT_EQ(ledger.num_cuts(), 2u);
+  ASSERT_EQ(ledger.reactivated().size(), 1u);
+  EXPECT_EQ(ledger.reactivated()[0], retired);
+  EXPECT_FALSE(pool.is_active(retired));
+  // A fresh cut is appended; its layout slot refers into appended().
+  EXPECT_TRUE(ledger.add(Cut{{{2, 1.0}}, 1.0, 0}));
+  EXPECT_EQ(ledger.num_cuts(), 3u);
+  ASSERT_EQ(ledger.appended().size(), 1u);
+  EXPECT_TRUE(ledger.layout().back().is_appended);
+  EXPECT_DOUBLE_EQ(ledger.cut(2).rhs, 1.0);
+  // The same fresh cut again is a duplicate of the appended one.
+  EXPECT_FALSE(ledger.add(Cut{{{2, 1.0}}, 1.0, 0}));
+}
+
+TEST(CutLifecycle, LedgerReactivatesRetiredCutsViolatedAtPoint) {
+  CutPool pool;
+  const auto id = pool.insert(Cut{{{0, 1.0}}, 0.5, 0});  // x0 <= 0.5
+  pool.observe(id, false, 1);
+  pool.observe(id, false, 1);
+  ASSERT_FALSE(pool.is_active(id));
+
+  CutLedger ledger(pool, pool.active_ids());
+  EXPECT_EQ(ledger.num_cuts(), 0u);
+  const std::vector<double> satisfied{0.25};
+  EXPECT_EQ(ledger.reactivate_violated(satisfied, 1e-9), 0u);
+  const std::vector<double> violated{1.0};
+  EXPECT_EQ(ledger.reactivate_violated(violated, 1e-9), 1u);
+  EXPECT_EQ(ledger.num_cuts(), 1u);
+  ASSERT_EQ(ledger.reactivated().size(), 1u);
+  EXPECT_EQ(ledger.reactivated()[0], id);
+  // Already in the layout: a second scan must not duplicate it.
+  EXPECT_EQ(ledger.reactivate_violated(violated, 1e-9), 0u);
+}
+
+TEST(Bnb, CountersFlowThroughResult) {
+  // A model with a redundant row (presolve fodder), a binding budget
+  // (propagation fodder), and curvature (cut fodder).
+  Rng rng(99);
+  const auto p = make_random_minlp(rng);
+  BnbOptions opt;
+  opt.cut_age_limit = 1;  // maximal retirement churn
+  const auto res = solve(p.model, opt);
+  ASSERT_EQ(res.status, BnbStatus::Optimal);
+  // Retired plus reactivated are internally consistent: a cut cannot be
+  // reactivated more often than it was retired.
+  EXPECT_LE(res.cuts_reactivated, res.cuts_retired);
+}
 
 TEST(Bnb, NodeLimitReturnsIncumbentWithGap) {
   // Make a slightly larger instance and force a 1-node limit.
