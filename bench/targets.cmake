@@ -41,6 +41,10 @@ target_compile_features(hslb_benchjson PUBLIC cxx_std_20)
 # Solver acceptance bench: cold vs warm vs parallel branch-and-bound.
 hslb_add_bench(minlp_warmstart hslb_cesm hslb_fmo hslb_benchjson)
 
+# Execution robustness: HSLB static vs DLB dynamic under stragglers and
+# fail-stop, plus the trace-export round-trip gate.
+hslb_add_bench(execution_robustness hslb_fmo hslb_benchjson)
+
 # Microbenchmarks (google-benchmark).
 hslb_add_bench(minlp_solvetime hslb_cesm hslb_benchjson benchmark::benchmark)
 hslb_add_bench(lp_simplex_bench hslb_lp hslb_benchjson benchmark::benchmark)

@@ -27,7 +27,7 @@
 #include "hslb/pipeline.hpp"
 #include "minlp/bnb.hpp"
 #include "sim/noise.hpp"
-#include "sim/taskgraph.hpp"
+#include "sim/runtime.hpp"
 
 namespace {
 
@@ -119,32 +119,47 @@ class SeismicImaging final : public Application {
     return out;
   }
 
-  // --- step 4: execute (here: simulated) and visualize ---------------------
+  // --- step 4: execute on the runtime (here: simulated) and visualize ------
+  // Durations are the ground-truth models; execution-time variability comes
+  // from the runtime's keyed Perturbation rather than ad-hoc noise draws,
+  // so the trace the pipeline reports is the schedule that actually ran.
   double execute(const SolveOutcome& solution) override {
-    sim::NoiseModel noise(0.03, derive_seed(kSeed, 1000));
     std::array<long long, 3> alloc{};
     for (std::size_t i = 0; i < 3; ++i)
       alloc[i] = solution.allocation.find(kTasks[i]).nodes;
 
-    sim::TaskGraph g(kNodes);
-    g.add_task("wavefield",
-               noise.perturb(truth_[0].eval(static_cast<double>(alloc[0]))),
-               {0, static_cast<std::size_t>(alloc[0])});
-    const auto mig = g.add_task(
-        "migration",
-        noise.perturb(truth_[1].eval(static_cast<double>(alloc[1]))),
-        {static_cast<std::size_t>(alloc[0]), static_cast<std::size_t>(alloc[1])});
-    g.add_task("qc",
-               noise.perturb(truth_[2].eval(static_cast<double>(alloc[2]))),
-               {static_cast<std::size_t>(alloc[0]),
-                static_cast<std::size_t>(alloc[2])},
-               {mig});
-    const auto schedule = g.run();
-    std::printf("\nexecuted schedule:\n%s", g.gantt(schedule).c_str());
-    return schedule.makespan;
+    sim::Runtime rt(machine());
+    rt.add_task("wavefield", truth_[0].eval(static_cast<double>(alloc[0])),
+                {0, static_cast<std::size_t>(alloc[0])}, {}, "imaging");
+    const auto mig = rt.add_task(
+        "migration", truth_[1].eval(static_cast<double>(alloc[1])),
+        {static_cast<std::size_t>(alloc[0]), static_cast<std::size_t>(alloc[1])},
+        {}, "imaging");
+    rt.add_task("qc", truth_[2].eval(static_cast<double>(alloc[2])),
+                {static_cast<std::size_t>(alloc[0]),
+                 static_cast<std::size_t>(alloc[2])},
+                {mig}, "imaging");
+
+    sim::Perturbation perturb;
+    perturb.noise_cv = 0.03;
+    perturb.seed = derive_seed(kSeed, 1000);
+    run_ = rt.run(perturb);
+    std::printf("\nexecuted schedule:\n%s", run_.trace.gantt().c_str());
+    return run_.makespan;
   }
 
+  // Exposing the machine and trace lets the engine's report print runtime
+  // occupancy/imbalance next to the Gather/Fit/Solve instrumentation.
+  sim::Machine machine() const override {
+    return sim::Machine{"cluster", static_cast<std::size_t>(kNodes), 1};
+  }
+  const sim::Trace* execution_trace() const override {
+    return run_.trace.events.empty() ? nullptr : &run_.trace;
+  }
+  bool execution_completed() const override { return run_.completed; }
+
  private:
+  sim::RunResult run_;
   static std::size_t task_index(const std::string& task) {
     for (std::size_t t = 0; t < kTasks.size(); ++t)
       if (kTasks[t] == task) return t;

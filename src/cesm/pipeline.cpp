@@ -142,15 +142,42 @@ class CesmApplication final : public Application {
   }
 
   double execute(const SolveOutcome&) override {
-    actual_seconds_ = sim_.run_components(solution_.nodes);
-    actual_total_ = layout_total(options_.layout, actual_seconds_);
+    sim::Perturbation perturb;
+    perturb.seed = options_.sim.seed;
+    if (options_.straggler_cv > 0.0) {
+      const auto machine =
+          Simulator::machine_for(options_.layout, solution_.nodes);
+      perturb.node_slowdown = sim::Perturbation::stragglers(
+          machine.nodes, options_.straggler_cv, options_.sim.seed);
+    }
+    perturb.fail_node = options_.fail_node;
+    perturb.fail_time = options_.fail_time;
+    perturb.fail_downtime = options_.fail_downtime;
+    run_ = sim_.run_coupled(options_.layout, solution_.nodes,
+                            options_.coupling_intervals, perturb);
+    actual_seconds_ = run_.component_seconds;
+    actual_total_ = run_.total_seconds;
+    executed_ = true;
     return actual_total_;
   }
 
+  sim::Machine machine() const override {
+    if (!executed_) return {};
+    return Simulator::machine_for(options_.layout, solution_.nodes);
+  }
+
+  const sim::Trace* execution_trace() const override {
+    return executed_ ? &run_.trace : nullptr;
+  }
+
+  bool execution_completed() const override { return run_.completed; }
+
   // Substrate-specific outputs copied into PipelineResult by run_pipeline.
   Solution solution_;
+  Simulator::CoupledRun run_;
   std::array<double, 4> actual_seconds_{};
   double actual_total_ = 0.0;
+  bool executed_ = false;
 
  private:
   Resolution resolution_;
@@ -176,6 +203,7 @@ PipelineResult run_pipeline(Resolution r, long long total_nodes,
   out.solution = std::move(app.solution_);
   out.actual_seconds = app.actual_seconds_;
   out.actual_total = app.actual_total_;
+  out.coupled = std::move(app.run_);
   out.report = std::move(run.report);
   return out;
 }

@@ -32,6 +32,15 @@ struct PipelineOptions {
   /// Worker threads for the Gather and Fit stages (0 = hardware
   /// concurrency); allocations are identical for every thread count.
   std::size_t threads = 1;
+
+  /// Coupling periods of the Execute step's coupled run.
+  int coupling_intervals = 24;
+  /// Execute-step perturbations (see sim::Perturbation): straggler severity
+  /// and an optional node fail-stop on the coupled run's machine.
+  double straggler_cv = 0.0;
+  long long fail_node = -1;
+  double fail_time = 0.0;
+  double fail_downtime = std::numeric_limits<double>::infinity();
 };
 
 struct PipelineResult {
@@ -40,6 +49,9 @@ struct PipelineResult {
   Solution solution;                       ///< Solve output (predicted)
   std::array<double, 4> actual_seconds{};  ///< Execute output
   double actual_total = 0.0;
+
+  /// Execute-step coupled run (trace, barrier loss, robustness outcome).
+  Simulator::CoupledRun coupled;
 
   /// Per-stage instrumentation from the hslb::Pipeline engine.
   PipelineReport report;

@@ -1,11 +1,12 @@
 #include "cesm/simulator.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <cmath>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.hpp"
-#include "sim/engine.hpp"
 
 namespace hslb::cesm {
 
@@ -48,65 +49,114 @@ double Simulator::run_total(Layout layout,
   return layout_total(layout, run_components(nodes));
 }
 
+sim::Machine Simulator::machine_for(Layout layout,
+                                    const std::array<long long, 4>& nodes) {
+  for (Component c : kComponents) HSLB_EXPECTS(nodes[index(c)] >= 1);
+  const long long lnd = nodes[index(Component::Lnd)];
+  const long long ice = nodes[index(Component::Ice)];
+  const long long atm = nodes[index(Component::Atm)];
+  const long long ocn = nodes[index(Component::Ocn)];
+  long long total = 0;
+  switch (layout) {
+    case Layout::Hybrid:
+      // ice || lnd share the atmosphere block; ocean runs beside it.
+      total = std::max(atm, ice + lnd) + ocn;
+      break;
+    case Layout::SequentialAtmGroup:
+      total = std::max({ice, lnd, atm}) + ocn;
+      break;
+    case Layout::FullySequential:
+      total = std::max({ice, lnd, atm, ocn});
+      break;
+  }
+  return sim::Machine{"intrepid", static_cast<std::size_t>(total), 4};
+}
+
 Simulator::CoupledRun Simulator::run_coupled(
-    Layout layout, const std::array<long long, 4>& nodes, int intervals) {
+    Layout layout, const std::array<long long, 4>& nodes, int intervals,
+    const sim::Perturbation& perturb) const {
   HSLB_EXPECTS(intervals >= 1);
   CoupledRun out;
   out.intervals = intervals;
 
-  // Per-interval noisy durations, drawn up front so the event logic below
-  // stays readable. benchmark() already applies the per-component noise.
+  const sim::Machine machine = machine_for(layout, nodes);
+  sim::Runtime rt(machine);
+
+  const auto count = [&](Component c) {
+    return static_cast<std::size_t>(nodes[index(c)]);
+  };
+  // Processor blocks (Figure 1), packed from node 0. In the hybrid layout
+  // ice and lnd split the atmosphere block; in layout 2 the chain reuses
+  // one block; layout 3 runs everything on overlapping full-machine sets.
+  const std::size_t atm_block =
+      layout == Layout::Hybrid
+          ? std::max(count(Component::Atm),
+                     count(Component::Ice) + count(Component::Lnd))
+          : std::max({count(Component::Ice), count(Component::Lnd),
+                      count(Component::Atm)});
+  const sim::NodeSet ice_nodes{0, count(Component::Ice)};
+  const sim::NodeSet lnd_nodes{
+      layout == Layout::Hybrid ? count(Component::Ice) : 0,
+      count(Component::Lnd)};
+  const sim::NodeSet atm_nodes{0, count(Component::Atm)};
+  const sim::NodeSet ocn_nodes{
+      layout == Layout::FullySequential ? 0 : atm_block,
+      count(Component::Ocn)};
+
+  // Per-interval durations are keyed (order-independent) draws — the same
+  // convention as benchmark_at probes, offset into a dedicated rep range.
   const double inv = 1.0 / static_cast<double>(intervals);
-  std::vector<std::array<double, 4>> slice(static_cast<std::size_t>(intervals));
-  for (auto& s : slice) {
-    for (Component c : kComponents) {
-      s[index(c)] = benchmark(c, nodes[index(c)]) * inv;
-      out.component_seconds[index(c)] += s[index(c)];
+  const auto slice = [&](Component c, int k) {
+    return benchmark_at(c, nodes[index(c)],
+                        (1ull << 20) + static_cast<std::uint64_t>(k)) *
+           inv;
+  };
+
+  std::vector<std::pair<std::size_t, Component>> placed;
+  placed.reserve(static_cast<std::size_t>(intervals) * kComponents.size());
+  std::vector<std::size_t> barrier;  // what the next interval waits on
+  for (int k = 0; k < intervals; ++k) {
+    const std::string phase = "interval" + std::to_string(k);
+    const auto add = [&](Component c, const sim::NodeSet& where,
+                         std::vector<std::size_t> deps) {
+      const std::size_t id = rt.add_task(to_string(c), slice(c, k), where,
+                                         std::move(deps), phase, false);
+      placed.emplace_back(id, c);
+      return id;
+    };
+    if (layout == Layout::FullySequential) {
+      const auto ice = add(Component::Ice, ice_nodes, barrier);
+      const auto lnd = add(Component::Lnd, lnd_nodes, {ice});
+      const auto atm = add(Component::Atm, atm_nodes, {lnd});
+      const auto ocn = add(Component::Ocn, ocn_nodes, {atm});
+      barrier = {ocn};
+    } else {
+      const auto ice = add(Component::Ice, ice_nodes, barrier);
+      const auto lnd =
+          add(Component::Lnd, lnd_nodes,
+              layout == Layout::Hybrid ? barrier : std::vector<std::size_t>{ice});
+      const auto atm = add(Component::Atm, atm_nodes,
+                           layout == Layout::Hybrid
+                               ? std::vector<std::size_t>{ice, lnd}
+                               : std::vector<std::size_t>{lnd});
+      const auto ocn = add(Component::Ocn, ocn_nodes, barrier);
+      // The coupler barrier: both processor blocks join before the next
+      // coupling period.
+      barrier = {atm, ocn};
     }
   }
 
-  // Event-driven execution: within each coupling period the layout's
-  // sequencing applies; the coupler barrier joins both processor blocks
-  // before the next period starts.
-  sim::Engine engine;
-  struct State {
-    int interval = 0;
-    int pending = 0;          // blocks still running in this interval
-    double icelnd_done = 0;   // completed ice/lnd count (layout 1)
-  } st;
-
-  std::function<void()> start_interval = [&] {
-    if (st.interval == intervals) return;  // finished
-    const auto& s = slice[static_cast<std::size_t>(st.interval)];
-    const double lnd = s[index(Component::Lnd)];
-    const double ice = s[index(Component::Ice)];
-    const double atm = s[index(Component::Atm)];
-    const double ocn = s[index(Component::Ocn)];
-    ++st.interval;
-    st.pending = 2;  // the atm-side chain and the ocean block
-    auto block_done = [&] {
-      if (--st.pending == 0) start_interval();  // coupler barrier passed
-    };
-    double atm_chain = 0.0;
-    switch (layout) {
-      case Layout::Hybrid:
-        atm_chain = std::max(ice, lnd) + atm;
-        break;
-      case Layout::SequentialAtmGroup:
-        atm_chain = ice + lnd + atm;
-        break;
-      case Layout::FullySequential:
-        // One block runs everything; the "ocean block" is instantaneous.
-        atm_chain = ice + lnd + atm + ocn;
-        break;
-    }
-    engine.schedule_in(atm_chain, block_done);
-    engine.schedule_in(layout == Layout::FullySequential ? 0.0 : ocn,
-                       block_done);
-  };
-  start_interval();
-  out.total_seconds = engine.run();
-  out.events = engine.events_processed();
+  const auto rr = rt.run(perturb);
+  out.trace = rr.trace;
+  out.completed = rr.completed;
+  out.restarts = rr.restarts;
+  out.total_seconds = rr.makespan;
+  out.events = rr.trace.events.size();
+  for (const auto& [id, c] : placed) {
+    const auto& s = rr.tasks[id];
+    if (std::isfinite(s.end))
+      out.component_seconds[index(c)] += s.end - s.start;
+  }
 
   // Barrier-free reference: the paper's formula on the summed times.
   out.coupling_loss_seconds =

@@ -14,7 +14,10 @@
 
 #include "cesm/data.hpp"
 #include "cesm/layouts.hpp"
+#include "sim/machine.hpp"
 #include "sim/noise.hpp"
+#include "sim/runtime.hpp"
+#include "sim/trace.hpp"
 
 namespace hslb::cesm {
 
@@ -53,21 +56,34 @@ class Simulator {
     std::array<double, 4> component_seconds{};  ///< summed over intervals
     double total_seconds = 0.0;                 ///< makespan with barriers
     int intervals = 0;
-    std::size_t events = 0;                     ///< DES events processed
+    std::size_t events = 0;  ///< trace events (one per component interval)
     /// total_seconds minus the barrier-free layout total: the time lost to
     /// per-interval synchronization under run-to-run noise.
     double coupling_loss_seconds = 0.0;
+
+    /// Per-interval execution trace on machine_for(layout, nodes).
+    sim::Trace trace;
+    bool completed = true;   ///< false when a permanent failure wedged it
+    std::size_t restarts = 0;
   };
+
+  /// The machine a coupled run occupies: the layout's processor blocks
+  /// packed contiguously (Figure 1) on Intrepid-like nodes.
+  static sim::Machine machine_for(Layout layout,
+                                  const std::array<long long, 4>& nodes);
 
   /// Simulates the run the way the coupler actually drives it: the 5-day
   /// simulation is split into `intervals` coupling periods; within each
-  /// period the components execute under the layout's sequencing
-  /// (discrete-event simulation), and a coupler barrier joins everything
+  /// period the components execute under the layout's sequencing as a task
+  /// graph on the sim::Runtime, and a coupler barrier joins everything
   /// before the next period. With noisy per-period times the barriers cost
   /// real time that the paper's wall-clock formula (layout_total) cannot
-  /// see — run_coupled measures that loss.
+  /// see — run_coupled measures that loss. Per-interval durations are keyed
+  /// (order-independent) draws; `perturb` adds stragglers and fail-stop on
+  /// top (its own noise_cv is usually left 0).
   CoupledRun run_coupled(Layout layout, const std::array<long long, 4>& nodes,
-                         int intervals = 24);
+                         int intervals = 24,
+                         const sim::Perturbation& perturb = {}) const;
 
  private:
   Resolution resolution_;

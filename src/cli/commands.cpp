@@ -13,6 +13,7 @@
 #include "minlp/ampl.hpp"
 #include "perf/fit.hpp"
 #include "perf/modelio.hpp"
+#include "sim/trace.hpp"
 
 namespace hslb::cli {
 
@@ -40,6 +41,27 @@ void apply_bnb_args(const Args& args, minlp::BnbOptions& bnb) {
       "cut-age-limit", static_cast<long long>(bnb.cut_age_limit), 0));
 }
 
+/// Execute-step perturbation knobs shared by the cesm and fmo subcommands
+/// (both option structs carry the same four fields).
+void apply_execution_args(const Args& args, double& straggler_cv,
+                          long long& fail_node, double& fail_time,
+                          double& fail_downtime) {
+  straggler_cv = args.get_double("straggler-cv", straggler_cv, 0.0);
+  fail_node = args.get_int("fail-node", fail_node, -1);
+  fail_time = args.get_double("fail-time", fail_time, 0.0);
+  fail_downtime = args.get_double("fail-downtime", fail_downtime, 0.0);
+}
+
+/// --trace <path>: export the Execute step's trace (CSV, or JSON when the
+/// path ends in .json).
+void maybe_save_trace(const Args& args, const sim::Trace& trace) {
+  if (const auto path = args.value("trace")) {
+    trace.save(*path);
+    std::printf("trace (%zu events) written to %s\n", trace.events.size(),
+                path->c_str());
+  }
+}
+
 }  // namespace
 
 int usage(int code) {
@@ -55,11 +77,16 @@ int usage(int code) {
       "              [--unconstrained-ocean] [--tsync S] [--threads T]\n"
       "              [--solver-threads S] [--no-presolve]\n"
       "              [--cut-age-limit K] [--export-ampl out.mod]\n"
+      "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
+      "              [--fail-time S] [--fail-downtime S]\n"
       "                                 full simulated pipeline\n"
       "  hslb fmo    --fragments F --nodes N [--peptide] [--minlp]\n"
       "              [--objective min-max] [--threads T]\n"
       "              [--solver-threads S] [--no-presolve]\n"
-      "              [--cut-age-limit K]   full simulated pipeline\n"
+      "              [--cut-age-limit K]\n"
+      "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
+      "              [--fail-time S] [--fail-downtime S]\n"
+      "                                 full simulated pipeline\n"
       "\n"
       "  hslb advise --resolution 1|8 [--layout 1|2|3] [--efficiency 0.5]\n"
       "              [--min-nodes A] [--max-nodes B]  node-count planning\n"
@@ -72,7 +99,11 @@ int usage(int code) {
       "  of the exact greedy (the path --solver-threads parallelizes).\n"
       "  --no-presolve turns the LP presolve off for cold solver LPs;\n"
       "  --cut-age-limit K retires an OA cut after K consecutive slack\n"
-      "  observations (0 keeps every cut forever).\n");
+      "  observations (0 keeps every cut forever).\n"
+      "  --trace exports the Execute step's per-task trace (CSV, or JSON\n"
+      "  when the path ends in .json). --straggler-cv slows random nodes\n"
+      "  down; --fail-node I [--fail-time S] [--fail-downtime S] injects a\n"
+      "  node fail-stop (downtime omitted = permanent).\n");
   return code;
 }
 
@@ -133,6 +164,8 @@ int cmd_cesm(const Args& args) {
   // 0 = hardware concurrency for both thread counts.
   opt.threads = static_cast<std::size_t>(args.get_int("threads", 0LL, 0));
   apply_bnb_args(args, opt.bnb);
+  apply_execution_args(args, opt.straggler_cv, opt.fail_node, opt.fail_time,
+                       opt.fail_downtime);
 
   const auto res = cesm::run_pipeline(r, nodes, opt);
 
@@ -156,6 +189,10 @@ int cmd_cesm(const Args& args) {
               res.solution.stats.seconds,
               minlp::to_string(res.solution.stats.status).c_str());
   std::printf("\n%s", res.report.str().c_str());
+  if (!res.coupled.completed)
+    std::printf("WARNING: the coupled run could not complete (permanent node "
+                "failure)\n");
+  maybe_save_trace(args, res.coupled.trace);
 
   if (const auto path = args.value("export-ampl")) {
     std::array<perf::Model, 4> models;
@@ -186,6 +223,8 @@ int cmd_fmo(const Args& args) {
   opt.threads = static_cast<std::size_t>(args.get_int("threads", 0LL, 0));
   opt.solve_with_minlp = args.flag("minlp");
   apply_bnb_args(args, opt.bnb);
+  apply_execution_args(args, opt.run.straggler_cv, opt.run.fail_node,
+                       opt.run.fail_time, opt.run.fail_downtime);
 
   const auto sys =
       args.flag("peptide")
@@ -212,6 +251,11 @@ int cmd_fmo(const Args& args) {
               res.dlb.total_seconds, res.dlb.efficiency(nodes),
               res.dlb.total_seconds / res.hslb.total_seconds);
   std::printf("\n%s", res.report.str().c_str());
+  if (!res.hslb.completed)
+    std::printf("WARNING: the static HSLB run could not complete (permanent "
+                "node failure); DLB completed: %s\n",
+                res.dlb.completed ? "yes" : "no");
+  maybe_save_trace(args, res.hslb.trace);
   return 0;
 }
 

@@ -25,13 +25,16 @@ int main(int argc, char** argv) {
                            {"unconstrained-ocean", "no-presolve"},
                            {"resolution", "nodes", "layout", "tsync",
                             "export-ampl", "threads", "solver-threads",
-                            "cut-age-limit"}));
+                            "cut-age-limit", "trace", "straggler-cv",
+                            "fail-node", "fail-time", "fail-downtime"}));
     }
     if (cmd == "fmo") {
       return cmd_fmo(Args(argc - 1, argv + 1,
                           {"peptide", "minlp", "no-presolve"},
                           {"fragments", "nodes", "objective", "threads",
-                           "solver-threads", "cut-age-limit"}));
+                           "solver-threads", "cut-age-limit", "trace",
+                           "straggler-cv", "fail-node", "fail-time",
+                           "fail-downtime"}));
     }
     if (cmd == "advise") {
       return cmd_advise(Args(argc - 1, argv + 1, {},

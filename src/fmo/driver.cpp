@@ -134,6 +134,15 @@ class FmoApplication final : public Application {
     return hslb_.scc_seconds;
   }
 
+  sim::Machine machine() const override {
+    if (options_.run.machine.nodes > 0) return options_.run.machine;
+    return sim::Machine{"intrepid", static_cast<std::size_t>(nodes_), 4};
+  }
+
+  const sim::Trace* execution_trace() const override { return &hslb_.trace; }
+
+  bool execution_completed() const override { return hslb_.completed; }
+
   // Substrate-specific outputs copied into PipelineResult by run_pipeline.
   double predicted_scc_seconds_ = 0.0;
   DimerPredictions dimer_predictions_;

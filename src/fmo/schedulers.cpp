@@ -4,12 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <queue>
+#include <string>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
 #include "hslb/budget.hpp"
-#include "sim/noise.hpp"
+#include "sim/runtime.hpp"
 
 namespace hslb::fmo {
 
@@ -27,36 +28,48 @@ std::vector<std::size_t> descending_order(std::size_t count, SizeOf&& size_of) {
   return order;
 }
 
-/// One dynamically-balanced phase: tasks pulled by the earliest-free group.
-/// Returns the phase makespan; adds per-group busy time into `busy` and
-/// node-seconds into `busy_node_seconds`.
-double dlb_phase(const std::vector<perf::Model>& task_models,
-                 const std::vector<std::size_t>& order,
-                 const GroupLayout& layout, sim::NoiseModel& noise,
-                 std::vector<double>& busy, double& busy_node_seconds) {
-  using Entry = std::pair<double, std::size_t>;  // (free time, group)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> groups;
-  for (std::size_t g = 0; g < layout.num_groups(); ++g) groups.push({0.0, g});
-
-  double makespan = 0.0;
-  for (std::size_t t : order) {
-    auto [free_at, g] = groups.top();
-    groups.pop();
-    const double duration = noise.perturb(
-        task_models[t].eval(static_cast<double>(layout.sizes[g])));
-    busy[g] += duration;
-    busy_node_seconds += duration * static_cast<double>(layout.sizes[g]);
-    const double end = free_at + duration;
-    makespan = std::max(makespan, end);
-    groups.push({end, g});
-  }
-  return makespan;
-}
-
 /// Combined dimer size key (basis functions).
 double dimer_nbf(const System& sys, std::size_t d) {
   return static_cast<double>(sys.fragments[sys.scf_dimers[d].i].basis_functions +
                              sys.fragments[sys.scf_dimers[d].j].basis_functions);
+}
+
+/// Trace/noise label for an SCF dimer: both fragment names.
+std::string dimer_name(const System& sys, std::size_t d) {
+  return sys.fragments[sys.scf_dimers[d].i].name + "+" +
+         sys.fragments[sys.scf_dimers[d].j].name;
+}
+
+/// The machine the run executes on: either the one the caller provided
+/// (must cover the layout) or an Intrepid-like partition derived from it.
+sim::Machine run_machine(const RunOptions& options, long long total_nodes) {
+  HSLB_EXPECTS(total_nodes >= 1);
+  if (options.machine.nodes == 0)
+    return sim::Machine{"intrepid", static_cast<std::size_t>(total_nodes), 4};
+  HSLB_EXPECTS(options.machine.nodes >=
+               static_cast<std::size_t>(total_nodes));
+  return options.machine;
+}
+
+sim::Perturbation make_perturbation(const RunOptions& options,
+                                    std::size_t machine_nodes) {
+  sim::Perturbation p;
+  p.noise_cv = options.noise_cv;
+  p.seed = options.seed;
+  if (options.straggler_cv > 0.0)
+    p.node_slowdown = sim::Perturbation::stragglers(
+        machine_nodes, options.straggler_cv, options.seed);
+  p.fail_node = options.fail_node;
+  p.fail_time = options.fail_time;
+  p.fail_downtime = options.fail_downtime;
+  return p;
+}
+
+/// Records a fixed full-machine overhead event (sync barrier, ES tail).
+void add_overhead(sim::Trace& trace, const std::string& name,
+                  const std::string& phase, double start, double seconds) {
+  trace.events.push_back(
+      {name, phase, 0, trace.nodes, start, start + seconds, false});
 }
 
 }  // namespace
@@ -77,12 +90,25 @@ ExecutionResult run_dlb(const System& sys, const CostModel& cost,
   HSLB_EXPECTS(!sys.fragments.empty());
   HSLB_EXPECTS(layout.num_groups() >= 1);
   HSLB_EXPECTS(options.scc_iterations >= 1);
-  sim::NoiseModel noise(options.noise_cv, options.seed);
+  const sim::Machine machine = run_machine(options, layout.total_nodes());
+  const sim::Perturbation perturb = make_perturbation(options, machine.nodes);
 
   ExecutionResult out;
   out.scc_iterations = options.scc_iterations;
   out.group_busy.assign(layout.num_groups(), 0.0);
   out.group_nodes = layout.sizes;
+  out.trace.machine = machine.name;
+  out.trace.nodes = machine.nodes;
+  out.trace.cores_per_node = machine.cores_per_node;
+
+  // Groups occupy contiguous node blocks in layout order from node 0.
+  std::vector<sim::NodeSet> groups;
+  groups.reserve(layout.num_groups());
+  std::size_t offset = 0;
+  for (long long size : layout.sizes) {
+    groups.push_back({offset, static_cast<std::size_t>(size)});
+    offset += static_cast<std::size_t>(size);
+  }
 
   // Monomer models are reused every SCC iteration.
   std::vector<perf::Model> monomers;
@@ -92,10 +118,39 @@ ExecutionResult run_dlb(const System& sys, const CostModel& cost,
       sys.fragments.size(),
       [&](std::size_t i) { return sys.fragments[i].basis_functions; });
 
+  // Drains one queue phase on the machine clock and folds the result into
+  // the accumulators; returns the phase-end time (= queue makespan).
+  auto drain = [&](const std::vector<sim::Runtime::QueueTask>& queue,
+                   double clock) {
+    const auto res =
+        sim::Runtime::run_queue(machine, groups, queue, perturb, clock);
+    out.trace.append(res.trace);
+    out.restarts += res.restarts;
+    if (!res.completed) out.completed = false;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      out.group_busy[g] += res.group_busy[g];
+      out.busy_node_seconds +=
+          res.group_busy[g] * static_cast<double>(layout.sizes[g]);
+    }
+    return res.makespan;
+  };
+
+  double clock = 0.0;
   for (int iter = 0; iter < options.scc_iterations; ++iter) {
-    out.scc_seconds += dlb_phase(monomers, monomer_order, layout, noise,
-                                 out.group_busy, out.busy_node_seconds) +
-                       options.sync_overhead;
+    const std::string phase = "scc" + std::to_string(iter);
+    std::vector<sim::Runtime::QueueTask> queue;
+    queue.reserve(monomer_order.size());
+    for (std::size_t f : monomer_order) {
+      const perf::Model model = monomers[f];
+      queue.push_back(
+          {sys.fragments[f].name,
+           [model](long long n) { return model.eval(static_cast<double>(n)); },
+           phase});
+    }
+    const double end = drain(queue, clock);
+    out.scc_seconds += (end - clock) + options.sync_overhead;
+    add_overhead(out.trace, "sync", phase, end, options.sync_overhead);
+    clock = end + options.sync_overhead;
     if (iter + 1 == options.scc_iterations) {
       // Converged densities: record the monomer energies in pull order.
       for (std::size_t f : monomer_order)
@@ -111,15 +166,27 @@ ExecutionResult run_dlb(const System& sys, const CostModel& cost,
   const auto dimer_order = descending_order(
       dimers.size(), [&](std::size_t i) { return dimer_nbf(sys, i); });
   if (!dimers.empty()) {
-    out.dimer_seconds = dlb_phase(dimers, dimer_order, layout, noise,
-                                  out.group_busy, out.busy_node_seconds);
+    std::vector<sim::Runtime::QueueTask> queue;
+    queue.reserve(dimer_order.size());
+    for (std::size_t i : dimer_order) {
+      const perf::Model model = dimers[i];
+      queue.push_back(
+          {dimer_name(sys, i),
+           [model](long long n) { return model.eval(static_cast<double>(n)); },
+           "dimer"});
+    }
+    const double end = drain(queue, clock);
+    out.dimer_seconds = end - clock;
+    clock = end;
     for (std::size_t i : dimer_order) {
       const auto& d = sys.scf_dimers[i];
       out.energy.scf_dimer += scf_dimer_correction(
           sys.fragments[d.i], sys.fragments[d.j], d.separation);
     }
   }
-  out.dimer_seconds += cost.es_dimer_time(sys, layout.total_nodes());
+  const double es = cost.es_dimer_time(sys, layout.total_nodes());
+  out.dimer_seconds += es;
+  add_overhead(out.trace, "es-dimers", "dimer", clock, es);
   out.energy.es_dimer = fmo2_energy(sys).es_dimer;
 
   out.total_seconds = out.scc_seconds + out.dimer_seconds;
@@ -136,7 +203,8 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
   HSLB_EXPECTS(total_nodes >= allocation.total_nodes());
   HSLB_EXPECTS(dimers.models.empty() ||
                dimers.models.size() == sys.scf_dimers.size());
-  sim::NoiseModel noise(options.noise_cv, options.seed);
+  const sim::Machine machine = run_machine(options, total_nodes);
+  const sim::Perturbation perturb = make_perturbation(options, machine.nodes);
 
   ExecutionResult out;
   out.scc_iterations = options.scc_iterations;
@@ -152,18 +220,38 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
     out.group_nodes[f] = entry.nodes;
   }
 
-  // SCC loop: one concurrent wave per iteration; the wave ends when the
-  // slowest fragment finishes.
+  // Fragment groups occupy contiguous node blocks in fragment order.
+  std::vector<sim::NodeSet> frag_nodes(sys.fragments.size());
+  std::size_t offset = 0;
+  for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+    frag_nodes[f] = {offset, static_cast<std::size_t>(out.group_nodes[f])};
+    offset += static_cast<std::size_t>(out.group_nodes[f]);
+  }
+
+  sim::Runtime rt(machine);
+  const sim::NodeSet all{0, machine.nodes};
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // SCC loop: one concurrent wave of fragment tasks per iteration, closed
+  // by a full-machine synchronization barrier (charge exchange).
+  std::vector<std::pair<std::size_t, std::size_t>> monomer_ids;  // (task, f)
+  std::size_t last_sync = kNone;
   for (int iter = 0; iter < options.scc_iterations; ++iter) {
-    double wave = 0.0;
+    const std::string phase = "scc" + std::to_string(iter);
+    std::vector<std::size_t> wave;
+    wave.reserve(sys.fragments.size());
     for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
-      const double t = noise.perturb(
-          monomers[f].eval(static_cast<double>(out.group_nodes[f])));
-      out.group_busy[f] += t;
-      out.busy_node_seconds += t * static_cast<double>(out.group_nodes[f]);
-      wave = std::max(wave, t);
+      std::vector<std::size_t> deps;
+      if (last_sync != kNone) deps.push_back(last_sync);
+      const std::size_t id = rt.add_task(
+          sys.fragments[f].name,
+          monomers[f].eval(static_cast<double>(out.group_nodes[f])),
+          frag_nodes[f], std::move(deps), phase, false);
+      monomer_ids.emplace_back(id, f);
+      wave.push_back(id);
     }
-    out.scc_seconds += wave + options.sync_overhead;
+    last_sync = rt.add_task("sync", options.sync_overhead, all,
+                            std::move(wave), phase, true);
     if (iter + 1 == options.scc_iterations) {
       for (std::size_t f = 0; f < sys.fragments.size(); ++f)
         out.energy.monomer += monomer_energy(sys.fragments[f]);
@@ -171,6 +259,9 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
   }
 
   // Dimer phase.
+  std::vector<std::pair<std::size_t, long long>> wave_dimer_ids;  // (task, n)
+  std::vector<std::pair<std::size_t, std::size_t>> ect_dimer_ids;  // (task, g)
+  std::vector<std::size_t> dimer_ids;
   if (!sys.scf_dimers.empty()) {
     const bool can_repartition =
         !dimers.models.empty() &&
@@ -179,7 +270,8 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
       // GDDI re-split: a fresh min-max allocation runs every SCF dimer as
       // one concurrent wave, sized by the *predicted* dimer models (the
       // greedy caps each group at the predicted argmin, so communication
-      // growth is respected).
+      // growth is respected). Dimer groups occupy contiguous blocks in
+      // dimer-index order.
       std::vector<BudgetTask> tasks;
       tasks.reserve(sys.scf_dimers.size());
       for (std::size_t d = 0; d < sys.scf_dimers.size(); ++d) {
@@ -187,27 +279,32 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
                                    1, total_nodes});
       }
       const auto wave_alloc = solve_min_max(tasks, total_nodes);
-      double wave = 0.0;
+      std::size_t dimer_offset = 0;
       for (std::size_t d = 0; d < sys.scf_dimers.size(); ++d) {
         const auto& pair = sys.scf_dimers[d];
-        const auto model = cost.dimer(sys.fragments[pair.i], sys.fragments[pair.j]);
+        const auto model =
+            cost.dimer(sys.fragments[pair.i], sys.fragments[pair.j]);
         const long long n = wave_alloc.tasks[d].nodes;
-        const double t = noise.perturb(model.eval(static_cast<double>(n)));
-        out.busy_node_seconds += t * static_cast<double>(n);
-        wave = std::max(wave, t);
+        const std::size_t id = rt.add_task(
+            dimer_name(sys, d), model.eval(static_cast<double>(n)),
+            {dimer_offset, static_cast<std::size_t>(n)}, {last_sync}, "dimer",
+            false);
+        dimer_offset += static_cast<std::size_t>(n);
+        wave_dimer_ids.emplace_back(id, n);
+        dimer_ids.push_back(id);
         out.energy.scf_dimer += scf_dimer_correction(
             sys.fragments[pair.i], sys.fragments[pair.j], pair.separation);
       }
-      out.dimer_seconds = wave;
     } else {
       // Static earliest-completion-time assignment onto the monomer groups,
       // longest dimer first, using predicted times when available and the
-      // (nbf^3 / nodes) size proxy otherwise.
+      // (nbf^3 / nodes) size proxy otherwise. Each group's dimers form a
+      // chain after the last synchronization.
       const auto order = descending_order(
           sys.scf_dimers.size(), [&](std::size_t i) { return dimer_nbf(sys, i); });
       const std::size_t groups = out.group_nodes.size();
       std::vector<double> pred_finish(groups, 0.0);
-      std::vector<double> actual_finish(groups, 0.0);
+      std::vector<std::size_t> tail(groups, kNone);
       for (std::size_t i : order) {
         const auto& d = sys.scf_dimers[i];
         // Static choice: group with the earliest predicted completion.
@@ -227,22 +324,59 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
         }
         pred_finish[best] = best_eta;
         const auto model = cost.dimer(sys.fragments[d.i], sys.fragments[d.j]);
-        const double t = noise.perturb(
-            model.eval(static_cast<double>(out.group_nodes[best])));
-        out.group_busy[best] += t;
-        out.busy_node_seconds += t * static_cast<double>(out.group_nodes[best]);
-        actual_finish[best] += t;
+        const std::size_t prev = tail[best] == kNone ? last_sync : tail[best];
+        const std::size_t id = rt.add_task(
+            dimer_name(sys, i),
+            model.eval(static_cast<double>(out.group_nodes[best])),
+            frag_nodes[best], {prev}, "dimer", false);
+        tail[best] = id;
+        ect_dimer_ids.emplace_back(id, best);
+        dimer_ids.push_back(id);
         out.energy.scf_dimer += scf_dimer_correction(
             sys.fragments[d.i], sys.fragments[d.j], d.separation);
       }
-      out.dimer_seconds =
-          *std::max_element(actual_finish.begin(), actual_finish.end());
     }
   }
-  out.dimer_seconds += cost.es_dimer_time(sys, total_nodes);
+  // Aggregated ES dimers: an analytic full-machine tail after every SCF
+  // dimer (fixed: no noise, no stragglers).
+  const double es = cost.es_dimer_time(sys, total_nodes);
+  const std::size_t es_id =
+      rt.add_task("es-dimers", es, all,
+                  dimer_ids.empty() ? std::vector<std::size_t>{last_sync}
+                                    : dimer_ids,
+                  "dimer", true);
   out.energy.es_dimer = fmo2_energy(sys).es_dimer;
 
-  out.total_seconds = out.scc_seconds + out.dimer_seconds;
+  const auto rr = rt.run(perturb);
+  out.trace = rr.trace;
+  out.completed = rr.completed;
+  out.restarts = rr.restarts;
+
+  // Reconstruct the work accounting from the placements; sync barriers and
+  // the ES tail occupy nodes but are overhead, not work. Tasks a permanent
+  // failure kept from running contribute nothing.
+  auto ran_for = [&](std::size_t id) {
+    const auto& s = rr.tasks[id];
+    return std::isfinite(s.end) ? s.end - s.start : 0.0;
+  };
+  for (const auto& [id, f] : monomer_ids) {
+    const double t = ran_for(id);
+    out.group_busy[f] += t;
+    out.busy_node_seconds += t * static_cast<double>(out.group_nodes[f]);
+  }
+  for (const auto& [id, n] : wave_dimer_ids)
+    out.busy_node_seconds += ran_for(id) * static_cast<double>(n);
+  for (const auto& [id, g] : ect_dimer_ids) {
+    const double t = ran_for(id);
+    out.group_busy[g] += t;
+    out.busy_node_seconds += t * static_cast<double>(out.group_nodes[g]);
+  }
+
+  const double scc_end = rr.tasks[last_sync].end;
+  out.scc_seconds = std::isfinite(scc_end) ? scc_end : rr.makespan;
+  const double run_end = rr.tasks[es_id].end;
+  out.total_seconds = std::isfinite(run_end) ? run_end : rr.makespan;
+  out.dimer_seconds = out.total_seconds - out.scc_seconds;
   return out;
 }
 

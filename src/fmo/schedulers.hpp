@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "fmo/cost.hpp"
@@ -29,6 +30,8 @@
 #include "fmo/gddi.hpp"
 #include "hslb/allocation.hpp"
 #include "perf/model.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
 
 namespace hslb::fmo {
 
@@ -36,9 +39,23 @@ struct RunOptions {
   int scc_iterations = 10;
   /// Per-iteration global synchronization / charge-exchange overhead (s).
   double sync_overhead = 0.05;
-  /// Coefficient of variation of per-task execution noise.
+  /// Coefficient of variation of per-task execution noise. Draws are keyed
+  /// by (seed, phase, task, attempt) so they are invariant to scheduling
+  /// order and shared between HSLB and DLB runs of the same system.
   double noise_cv = 0.02;
   std::uint64_t seed = 7;
+
+  /// Machine the run is placed on. A zero-node machine (the default) means
+  /// "derive an Intrepid-like partition exactly covering the layout".
+  sim::Machine machine;
+  /// Coefficient of variation of per-node straggler slowdown factors
+  /// (>= 1, keyed off `seed`); 0 disables stragglers.
+  double straggler_cv = 0.0;
+  /// Fail-stop injection: `fail_node` (-1 = none) goes down at `fail_time`
+  /// for `fail_downtime` seconds (infinity = permanent).
+  long long fail_node = -1;
+  double fail_time = 0.0;
+  double fail_downtime = std::numeric_limits<double>::infinity();
 };
 
 struct ExecutionResult {
@@ -60,6 +77,15 @@ struct ExecutionResult {
   /// schedulers report the same energy as the pure fmo2_energy() reference
   /// (up to floating-point summation order).
   EnergyBreakdown energy;
+
+  /// Per-attempt execution trace over both phases. Synchronization events
+  /// and the analytic ES-dimer tail appear in the trace but are excluded
+  /// from group_busy / busy_node_seconds (they are overhead, not work).
+  sim::Trace trace;
+  /// False when a permanent node failure left work that could never run.
+  bool completed = true;
+  /// Attempts aborted by the fail-stop and re-run.
+  std::size_t restarts = 0;
 
   /// Node-weighted parallel efficiency: busy node-seconds over
   /// total-node-seconds of the whole run.

@@ -73,6 +73,16 @@ std::string PipelineReport::str() const {
         solver.cuts_retired, solver.cuts_reactivated);
   }
   out += strings::format("  execute  %8.3f s\n", execute_seconds);
+  if (!machine.empty())
+    out += strings::format("           machine: %s\n", machine.c_str());
+  if (exec_events > 0) {
+    out += strings::format(
+        "           runtime: makespan %.3f s, %zu events, occupancy %.1f%% "
+        "(imbalance %.3f), %zu restart%s%s\n",
+        exec_makespan, exec_events, 100.0 * exec_efficiency, exec_imbalance,
+        exec_restarts, exec_restarts == 1 ? "" : "s",
+        exec_completed ? "" : ", INCOMPLETE");
+  }
   out += strings::format(
       "  predicted %.3f s, actual %.3f s (error %+.1f%%)\n", predicted_total,
       actual_total, 100.0 * prediction_error());
@@ -88,11 +98,13 @@ std::string PipelineReport::csv_header() {
          "solver_refactorizations,solver_basis_nnz,"
          "solver_lu_fill,solver_presolve_rows,solver_presolve_cols,"
          "solver_bounds_tightened,solver_nodes_propagated_infeasible,"
-         "solver_cuts_retired,solver_cuts_reactivated,predicted_s,actual_s";
+         "solver_cuts_retired,solver_cuts_reactivated,predicted_s,actual_s,"
+         "machine,exec_makespan_s,exec_busy_node_s,exec_efficiency,"
+         "exec_imbalance,exec_events,exec_restarts,exec_completed";
 }
 
 std::string PipelineReport::csv_row() const {
-  return strings::format(
+  std::string row = strings::format(
       "%s,%zu,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%.6f,%.6f,%s,%zu,%zu,%g,%g,%zu,%zu,"
       "%zu,%zu,%zu,%zu,%.3f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%.6f,"
       "%.6f",
@@ -106,6 +118,12 @@ std::string PipelineReport::csv_row() const {
       solver.presolve_cols_removed, solver.bounds_tightened,
       solver.nodes_propagated_infeasible, solver.cuts_retired,
       solver.cuts_reactivated, predicted_total, actual_total);
+  HSLB_ASSERT(machine.find(',') == std::string::npos);
+  row += strings::format(",%s,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%d", machine.c_str(),
+                         exec_makespan, exec_busy_node_seconds, exec_efficiency,
+                         exec_imbalance, exec_events, exec_restarts,
+                         exec_completed ? 1 : 0);
+  return row;
 }
 
 Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
@@ -168,6 +186,26 @@ PipelineRun Pipeline::run(Application& app) const {
   out.actual_total = app.execute(out.solution);
   out.report.actual_total = out.actual_total;
   out.report.execute_seconds = seconds_since(t0);
+
+  // Execution-runtime observability: where the run was placed and what the
+  // trace says about it.
+  const sim::Machine machine = app.machine();
+  if (machine.nodes > 0) {
+    out.report.machine =
+        strings::format("%s (%zu nodes x %zu cores)", machine.name.c_str(),
+                        machine.nodes, machine.cores_per_node);
+  }
+  if (const sim::Trace* trace = app.execution_trace()) {
+    out.trace = *trace;
+    out.report.exec_makespan = trace->makespan();
+    out.report.exec_busy_node_seconds = trace->busy_node_seconds();
+    out.report.exec_efficiency = trace->efficiency();
+    out.report.exec_imbalance = trace->imbalance();
+    out.report.exec_events = trace->events.size();
+    for (const auto& e : trace->events)
+      if (e.aborted) ++out.report.exec_restarts;
+  }
+  out.report.exec_completed = app.execution_completed();
 
   return out;
 }

@@ -24,6 +24,8 @@
 #include "hslb/allocation.hpp"
 #include "hslb/gather.hpp"
 #include "perf/fit.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
 
 namespace hslb {
 
@@ -107,6 +109,19 @@ struct PipelineReport {
   /// (actual - predicted) / predicted; 0 when predicted is 0.
   double prediction_error() const;
 
+  /// Machine the Execute step ran on ("name (N nodes x C cores)"); empty
+  /// when the application does not describe one.
+  std::string machine;
+  // Execution-runtime metrics, derived from the application's trace
+  /// (zeros when no trace is exposed).
+  double exec_makespan = 0.0;
+  double exec_busy_node_seconds = 0.0;  ///< node occupancy incl. overheads
+  double exec_efficiency = 0.0;
+  double exec_imbalance = 0.0;
+  std::size_t exec_events = 0;
+  std::size_t exec_restarts = 0;  ///< attempts aborted by a fail-stop
+  bool exec_completed = true;     ///< false when a failure wedged the run
+
   /// Human-readable multi-line rendering (what `hslb fmo/cesm` print).
   std::string str() const;
 
@@ -145,6 +160,19 @@ class Application {
   /// Runs the application under the allocation; returns the actual value of
   /// the metric `SolveOutcome::predicted_total` predicts.
   virtual double execute(const SolveOutcome& solution) = 0;
+
+  /// Machine the Execute step runs on; a zero-node machine (the default)
+  /// means "not described" and is omitted from the report.
+  virtual sim::Machine machine() const { return {}; }
+
+  /// Per-task execution trace of the last execute() call, or nullptr when
+  /// the application does not record one. The pointer must stay valid
+  /// until the next execute() call.
+  virtual const sim::Trace* execution_trace() const { return nullptr; }
+
+  /// False when the last execute() could not finish (e.g. a permanent
+  /// node failure under a static schedule).
+  virtual bool execution_completed() const { return true; }
 };
 
 struct PipelineOptions {
@@ -158,6 +186,8 @@ struct PipelineRun {
   std::vector<std::pair<std::string, perf::FitResult>> fits;  ///< Fit output
   SolveOutcome solution;   ///< Solve output
   double actual_total = 0.0;  ///< Execute output
+  /// Execute-step trace (empty when the application records none).
+  sim::Trace trace;
   PipelineReport report;
 };
 

@@ -1,0 +1,282 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "sim/noise.hpp"
+
+namespace hslb::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// FNV-1a over a task/phase name: turns the string into a stream index for
+/// derive_seed so noise keys are stable under scheduling order.
+std::uint64_t hash_name(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool Perturbation::hits(const NodeSet& nodes) const {
+  if (!fails()) return false;
+  const auto f = static_cast<std::size_t>(fail_node);
+  return f >= nodes.first && f < nodes.end();
+}
+
+double Perturbation::slowdown(const NodeSet& nodes) const {
+  double worst = 1.0;
+  const std::size_t hi = std::min(nodes.end(), node_slowdown.size());
+  for (std::size_t n = nodes.first; n < hi; ++n)
+    worst = std::max(worst, node_slowdown[n]);
+  return worst;
+}
+
+double Perturbation::noise(const std::string& phase, const std::string& task,
+                           std::uint64_t attempt) const {
+  if (noise_cv <= 0.0) return 1.0;
+  const std::uint64_t key = derive_seed(
+      derive_seed(derive_seed(seed, hash_name(phase)), hash_name(task)),
+      attempt);
+  NoiseModel model(noise_cv, key);
+  return model.perturb(1.0);
+}
+
+std::vector<double> Perturbation::stragglers(std::size_t nodes, double cv,
+                                             std::uint64_t seed) {
+  HSLB_EXPECTS(cv >= 0.0);
+  std::vector<double> factors(nodes, 1.0);
+  Rng rng(derive_seed(seed, 0x5742a6c1u));  // fixed straggler stream
+  for (auto& f : factors) f = std::max(1.0, rng.lognormal_unit_mean(cv));
+  return factors;
+}
+
+Runtime::Runtime(Machine machine) : machine_(std::move(machine)) {
+  HSLB_EXPECTS(machine_.nodes >= 1);
+}
+
+std::size_t Runtime::add_task(std::string name, double duration, NodeSet nodes,
+                              std::vector<std::size_t> deps, std::string phase,
+                              bool fixed) {
+  HSLB_EXPECTS(duration >= 0.0);
+  HSLB_EXPECTS(nodes.count >= 1);
+  HSLB_EXPECTS(nodes.end() <= machine_.nodes);
+  for (std::size_t d : deps) HSLB_EXPECTS(d < tasks_.size());
+  tasks_.push_back(Task{std::move(name), duration, nodes, std::move(deps),
+                        std::move(phase), fixed});
+  return tasks_.size() - 1;
+}
+
+const Task& Runtime::task(std::size_t id) const {
+  HSLB_EXPECTS(id < tasks_.size());
+  return tasks_[id];
+}
+
+RunResult Runtime::run(const Perturbation& perturbation) const {
+  RunResult out;
+  out.trace.machine = machine_.name;
+  out.trace.nodes = machine_.nodes;
+  out.trace.cores_per_node = machine_.cores_per_node;
+  out.tasks.assign(tasks_.size(), ScheduledTask{kInf, kInf});
+
+  std::vector<double> node_free(machine_.nodes, 0.0);
+  enum class State { Pending, Done, Failed };
+  std::vector<State> state(tasks_.size(), State::Pending);
+  const double fail_at = perturbation.fail_time;
+  const double recover = perturbation.fail_time + perturbation.fail_downtime;
+
+  std::size_t resolved = 0;
+  while (resolved < tasks_.size()) {
+    // A ready task with a failed dependency can never run; resolve those
+    // first so the pick below only sees runnable candidates.
+    bool progressed = false;
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      if (state[t] != State::Pending) continue;
+      bool ready = true, blocked = false;
+      for (std::size_t d : tasks_[t].deps) {
+        if (state[d] == State::Pending) {
+          ready = false;
+          break;
+        }
+        if (state[d] == State::Failed) blocked = true;
+      }
+      if (ready && blocked) {
+        state[t] = State::Failed;
+        ++resolved;
+        progressed = true;
+      }
+    }
+    if (progressed) continue;
+
+    // Pick the ready task that can start earliest; FIFO tie-break by id
+    // (identical to the original TaskGraph scheduling when unperturbed).
+    std::size_t best = tasks_.size();
+    double best_start = kInf;
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      if (state[t] != State::Pending) continue;
+      bool ready = true;
+      double start = 0.0;
+      for (std::size_t d : tasks_[t].deps) {
+        if (state[d] == State::Pending) {
+          ready = false;
+          break;
+        }
+        start = std::max(start, out.tasks[d].end);
+      }
+      if (!ready) continue;
+      for (std::size_t n = tasks_[t].nodes.first; n < tasks_[t].nodes.end();
+           ++n)
+        start = std::max(start, node_free[n]);
+      if (start < best_start) {
+        best_start = start;
+        best = t;
+      }
+    }
+    // A dependency cycle is impossible because deps reference earlier ids.
+    HSLB_ASSERT(best < tasks_.size());
+
+    const Task& t = tasks_[best];
+    const bool hit = perturbation.hits(t.nodes);
+    const double slow = t.fixed ? 1.0 : perturbation.slowdown(t.nodes);
+    double start = best_start;
+    double end = 0.0;
+    std::uint64_t attempt = 0;
+    bool infeasible = false;
+    while (true) {
+      if (hit && start >= fail_at && start < recover) {
+        if (std::isinf(recover)) {
+          infeasible = true;
+          break;
+        }
+        start = recover;  // wait out the downtime
+      }
+      const double factor =
+          t.fixed ? 1.0 : perturbation.noise(t.phase, t.name, attempt);
+      end = start + t.duration * factor * slow;
+      if (hit && start < fail_at && end > fail_at) {
+        // The fail-stop interrupts this attempt: the work is lost and the
+        // task re-runs (fresh noise draw) once the node recovers.
+        out.trace.events.push_back({t.name, t.phase, t.nodes.first,
+                                    t.nodes.count, start, fail_at, true});
+        ++out.restarts;
+        if (std::isinf(recover)) {
+          infeasible = true;
+          break;
+        }
+        start = recover;
+        ++attempt;
+        continue;
+      }
+      break;
+    }
+    if (infeasible) {
+      // Permanent loss of a node the task is pinned to: a static schedule
+      // cannot complete (the dynamic queue would re-dispatch instead).
+      state[best] = State::Failed;
+      ++resolved;
+      continue;
+    }
+    out.tasks[best] = {start, end};
+    for (std::size_t n = t.nodes.first; n < t.nodes.end(); ++n)
+      node_free[n] = end;
+    out.trace.events.push_back(
+        {t.name, t.phase, t.nodes.first, t.nodes.count, start, end, false});
+    state[best] = State::Done;
+    ++resolved;
+    out.makespan = std::max(out.makespan, end);
+  }
+  for (State s : state)
+    if (s == State::Failed) out.completed = false;
+  return out;
+}
+
+QueueRunResult Runtime::run_queue(const Machine& machine,
+                                  const std::vector<NodeSet>& groups,
+                                  const std::vector<QueueTask>& queue,
+                                  const Perturbation& perturbation,
+                                  double start_time) {
+  HSLB_EXPECTS(machine.nodes >= 1);
+  HSLB_EXPECTS(!groups.empty());
+  HSLB_EXPECTS(start_time >= 0.0);
+  for (const auto& g : groups) {
+    HSLB_EXPECTS(g.count >= 1);
+    HSLB_EXPECTS(g.end() <= machine.nodes);
+  }
+
+  QueueRunResult out;
+  out.trace.machine = machine.name;
+  out.trace.nodes = machine.nodes;
+  out.trace.cores_per_node = machine.cores_per_node;
+  out.tasks.assign(queue.size(), ScheduledTask{kInf, kInf});
+  out.task_group.assign(queue.size(), groups.size());
+  out.group_busy.assign(groups.size(), 0.0);
+  out.makespan = start_time;
+
+  // Earliest-free group pulls the next task; ties go to the lowest group
+  // id — the GAMESS shared-counter regime the DLB baseline reproduces.
+  using Entry = std::pair<double, std::size_t>;  // (free time, group)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pool;
+  for (std::size_t g = 0; g < groups.size(); ++g) pool.push({start_time, g});
+
+  const double fail_at = perturbation.fail_time;
+  const double recover = perturbation.fail_time + perturbation.fail_downtime;
+  std::vector<std::uint64_t> attempt(queue.size(), 0);
+
+  for (std::size_t t = 0; t < queue.size(); ++t) {
+    for (bool placed = false; !placed;) {
+      if (pool.empty()) {
+        // Every group has retired with work remaining.
+        out.completed = false;
+        return out;
+      }
+      const auto [free, g] = pool.top();
+      pool.pop();
+      const NodeSet& nodes = groups[g];
+      const bool hit = perturbation.hits(nodes);
+      if (hit && free >= fail_at && free < recover) {
+        // The group is down; it rejoins the pool when the node recovers,
+        // or retires for good under a permanent failure.
+        if (!std::isinf(recover)) pool.push({recover, g});
+        continue;
+      }
+      const double duration =
+          queue[t].seconds(static_cast<long long>(nodes.count)) *
+          perturbation.noise(queue[t].phase, queue[t].name, attempt[t]) *
+          perturbation.slowdown(nodes);
+      const double start = free;
+      const double end = start + duration;
+      if (hit && start < fail_at && end > fail_at) {
+        // Abort; the task goes back to the queue head and is re-dispatched
+        // to whichever group frees up next — dynamic dispatch shrugs off
+        // the failure that would wedge a static schedule.
+        out.trace.events.push_back({queue[t].name, queue[t].phase, nodes.first,
+                                    nodes.count, start, fail_at, true});
+        ++out.restarts;
+        ++attempt[t];
+        if (!std::isinf(recover)) pool.push({recover, g});
+        continue;
+      }
+      out.trace.events.push_back({queue[t].name, queue[t].phase, nodes.first,
+                                  nodes.count, start, end, false});
+      out.tasks[t] = {start, end};
+      out.task_group[t] = g;
+      out.group_busy[g] += duration;
+      out.makespan = std::max(out.makespan, end);
+      pool.push({end, g});
+      placed = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace hslb::sim

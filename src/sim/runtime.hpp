@@ -1,0 +1,140 @@
+// The discrete-event execution runtime behind the Execute step.
+//
+// One engine, two dispatch modes:
+//
+//   * static dependency-driven scheduling (Runtime::run): tasks are placed
+//     on fixed node sets with explicit dependencies — the HSLB regime,
+//     where the Solve step already decided who runs where;
+//   * dynamic shared-queue dispatch (Runtime::run_queue): a work queue is
+//     drained by the earliest-free processor group — the stock DLB
+//     baseline the paper argues against.
+//
+// Both modes run on a sim::Machine, record a per-attempt sim::Trace, and
+// accept a Perturbation: keyed multiplicative noise per (phase, task,
+// attempt), per-node straggler slowdown factors, and a single node
+// fail-stop at a scheduled time (tasks running on the failed node abort
+// and restart; with infinite downtime a static task pinned to that node
+// can never run, while the dynamic queue simply re-dispatches elsewhere —
+// the brittleness-vs-resilience trade the robustness bench measures).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/taskgraph.hpp"
+#include "sim/trace.hpp"
+
+namespace hslb::sim {
+
+/// What can go wrong between benchmarking and the production run.
+struct Perturbation {
+  /// Keyed multiplicative lognormal noise (0 = exact durations).
+  double noise_cv = 0.0;
+  std::uint64_t seed = 0;
+
+  /// Per-node slowdown factors (>= 1); empty = no stragglers. Nodes past
+  /// the vector's size run at full speed. A task runs at the speed of the
+  /// slowest node in its set.
+  std::vector<double> node_slowdown;
+
+  static constexpr long long kNoFail = -1;
+  /// Node that fail-stops at `fail_time` for `fail_downtime` seconds
+  /// (infinity = permanent). kNoFail disables failure injection.
+  long long fail_node = kNoFail;
+  double fail_time = 0.0;
+  double fail_downtime = std::numeric_limits<double>::infinity();
+
+  bool fails() const { return fail_node >= 0; }
+  /// True when the failed node lies inside `nodes`.
+  bool hits(const NodeSet& nodes) const;
+
+  /// max slowdown factor over the node set (1 when no stragglers).
+  double slowdown(const NodeSet& nodes) const;
+
+  /// One keyed noise factor: deterministic in (seed, phase, task, attempt)
+  /// so results are invariant to scheduling order — the same convention as
+  /// cesm::Simulator::benchmark_at.
+  double noise(const std::string& phase, const std::string& task,
+               std::uint64_t attempt) const;
+
+  /// Draws per-node straggler factors max(1, lognormal(cv)) from one
+  /// seeded stream; use to share factors between runs being compared.
+  static std::vector<double> stragglers(std::size_t nodes, double cv,
+                                        std::uint64_t seed);
+};
+
+/// Outcome of a static Runtime::run.
+struct RunResult {
+  Trace trace;
+  /// Final (successful) placement per task id; tasks that never ran have
+  /// start == end == infinity.
+  std::vector<ScheduledTask> tasks;
+  bool completed = true;   ///< every task ran to completion
+  std::size_t restarts = 0;  ///< aborted attempts re-run after the failure
+  double makespan = 0.0;   ///< latest successful task end
+};
+
+/// Outcome of a dynamic Runtime::run_queue.
+struct QueueRunResult {
+  Trace trace;
+  /// Final placement per queue index (unrun = infinity, as in RunResult).
+  std::vector<ScheduledTask> tasks;
+  /// Group each queue entry ultimately ran on (undefined when unrun).
+  std::vector<std::size_t> task_group;
+  /// Useful busy seconds per group (aborted attempts excluded).
+  std::vector<double> group_busy;
+  bool completed = true;
+  std::size_t restarts = 0;
+  double makespan = 0.0;  ///< latest event end (>= the given start time)
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Machine machine);
+
+  /// Adds a task; deps must reference earlier ids. `phase` keys the noise
+  /// draw and labels the trace; `fixed` exempts the task from noise and
+  /// stragglers (synchronization barriers, analytic phases).
+  std::size_t add_task(std::string name, double duration, NodeSet nodes,
+                       std::vector<std::size_t> deps = {},
+                       std::string phase = {}, bool fixed = false);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const Task& task(std::size_t id) const;
+  const Machine& machine() const { return machine_; }
+
+  /// Static dependency-driven execution: event-driven list scheduling (the
+  /// ready task that can start earliest runs next; FIFO tie-break by id),
+  /// with the perturbation applied per attempt.
+  RunResult run(const Perturbation& perturbation = {}) const;
+
+  /// A task pulled from the shared queue: duration is a function of the
+  /// pulling group's node count (groups differ in size).
+  struct QueueTask {
+    std::string name;
+    std::function<double(long long)> seconds;
+    std::string phase;
+  };
+
+  /// Dynamic dispatch: `queue` is drained in order by the earliest-free
+  /// group (ties broken by group id), all groups free at `start_time`.
+  /// A group containing the failed node retires for the downtime (forever
+  /// when it is infinite); its running task aborts and re-enters the queue
+  /// front. Returns completed = false only when every group has retired
+  /// with work remaining.
+  static QueueRunResult run_queue(const Machine& machine,
+                                  const std::vector<NodeSet>& groups,
+                                  const std::vector<QueueTask>& queue,
+                                  const Perturbation& perturbation = {},
+                                  double start_time = 0.0);
+
+ private:
+  Machine machine_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace hslb::sim

@@ -1,12 +1,11 @@
 #include "sim/taskgraph.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <sstream>
 
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
+#include "sim/runtime.hpp"
+#include "sim/trace.hpp"
 
 namespace hslb::sim {
 
@@ -39,7 +38,8 @@ std::size_t TaskGraph::add_task(std::string name, double duration,
   HSLB_EXPECTS(nodes.count >= 1);
   HSLB_EXPECTS(nodes.end() <= num_nodes_);
   for (std::size_t d : deps) HSLB_EXPECTS(d < tasks_.size());
-  tasks_.push_back(Task{std::move(name), duration, nodes, std::move(deps)});
+  tasks_.push_back(
+      Task{std::move(name), duration, nodes, std::move(deps), {}, false});
   return tasks_.size() - 1;
 }
 
@@ -49,74 +49,28 @@ const Task& TaskGraph::task(std::size_t id) const {
 }
 
 Schedule TaskGraph::run() const {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Runtime rt(Machine{"", num_nodes_, 1});
+  for (const auto& t : tasks_)
+    rt.add_task(t.name, t.duration, t.nodes, t.deps, t.phase, t.fixed);
+  const auto rr = rt.run();
   Schedule out;
-  out.tasks.assign(tasks_.size(), ScheduledTask{});
-  out.node_busy.assign(num_nodes_, 0.0);
-
-  std::vector<double> node_free(num_nodes_, 0.0);
-  std::vector<bool> done(tasks_.size(), false);
-
-  for (std::size_t scheduled = 0; scheduled < tasks_.size(); ++scheduled) {
-    // Pick the ready task that can start earliest; FIFO tie-break by id.
-    std::size_t best = tasks_.size();
-    double best_start = kInf;
-    for (std::size_t t = 0; t < tasks_.size(); ++t) {
-      if (done[t]) continue;
-      bool ready = true;
-      double start = 0.0;
-      for (std::size_t d : tasks_[t].deps) {
-        if (!done[d]) {
-          ready = false;
-          break;
-        }
-        start = std::max(start, out.tasks[d].end);
-      }
-      if (!ready) continue;
-      for (std::size_t n = tasks_[t].nodes.first; n < tasks_[t].nodes.end(); ++n)
-        start = std::max(start, node_free[n]);
-      if (start < best_start) {
-        best_start = start;
-        best = t;
-      }
-    }
-    // A dependency cycle is impossible because deps reference earlier ids.
-    HSLB_ASSERT(best < tasks_.size());
-
-    const Task& t = tasks_[best];
-    out.tasks[best].start = best_start;
-    out.tasks[best].end = best_start + t.duration;
-    for (std::size_t n = t.nodes.first; n < t.nodes.end(); ++n) {
-      node_free[n] = out.tasks[best].end;
-      out.node_busy[n] += t.duration;
-    }
-    done[best] = true;
-    out.makespan = std::max(out.makespan, out.tasks[best].end);
-  }
+  out.tasks = rr.tasks;
+  out.makespan = rr.makespan;
+  out.node_busy = rr.trace.node_busy();
   return out;
 }
 
 std::string TaskGraph::gantt(const Schedule& s, std::size_t width) const {
   HSLB_EXPECTS(s.tasks.size() == tasks_.size());
-  HSLB_EXPECTS(width >= 10);
-  std::ostringstream out;
-  const double span = std::max(s.makespan, 1e-12);
-  std::size_t name_width = 4;
-  for (const auto& t : tasks_) name_width = std::max(name_width, t.name.size());
+  Trace trace;
+  trace.nodes = num_nodes_;
+  trace.events.reserve(tasks_.size());
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    const auto begin = static_cast<std::size_t>(
-        std::floor(s.tasks[i].start / span * static_cast<double>(width)));
-    auto finish = static_cast<std::size_t>(
-        std::ceil(s.tasks[i].end / span * static_cast<double>(width)));
-    finish = std::min(finish, width);
-    out << tasks_[i].name
-        << std::string(name_width - tasks_[i].name.size(), ' ') << " |"
-        << std::string(begin, ' ')
-        << std::string(std::max<std::size_t>(finish - begin, 1), '#')
-        << std::string(width - std::max(finish, begin + 1), ' ') << "| "
-        << s.tasks[i].start << " - " << s.tasks[i].end << "\n";
+    trace.events.push_back({tasks_[i].name, tasks_[i].phase,
+                            tasks_[i].nodes.first, tasks_[i].nodes.count,
+                            s.tasks[i].start, s.tasks[i].end, false});
   }
-  return out.str();
+  return trace.gantt(width);
 }
 
 }  // namespace hslb::sim

@@ -29,6 +29,11 @@ struct Task {
   double duration = 0.0;
   NodeSet nodes;
   std::vector<std::size_t> deps;  ///< indices of prerequisite tasks
+  /// Runtime extensions (see sim/runtime.hpp): `phase` keys the noise draw
+  /// and labels trace events; `fixed` exempts the task from noise and
+  /// straggler slowdowns (synchronization barriers, analytic phases).
+  std::string phase;
+  bool fixed = false;
 };
 
 struct ScheduledTask {
@@ -63,10 +68,12 @@ class TaskGraph {
   const Task& task(std::size_t id) const;
   std::size_t nodes() const { return num_nodes_; }
 
-  /// Deterministic event-driven schedule of all tasks.
+  /// Deterministic event-driven schedule of all tasks. Delegates to the
+  /// unperturbed sim::Runtime — one scheduling implementation serves both.
   Schedule run() const;
 
   /// ASCII Gantt chart of a schedule (one row per task), for the examples.
+  /// Delegates to sim::Trace::gantt.
   std::string gantt(const Schedule& s, std::size_t width = 60) const;
 
  private:

@@ -1,0 +1,171 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace hslb::sim {
+
+double Trace::makespan() const {
+  double end = 0.0;
+  for (const auto& e : events) end = std::max(end, e.end);
+  return end;
+}
+
+double Trace::busy_node_seconds() const {
+  double busy = 0.0;
+  for (const auto& e : events)
+    if (!e.aborted) busy += e.seconds() * static_cast<double>(e.count);
+  return busy;
+}
+
+std::vector<double> Trace::node_busy() const {
+  std::vector<double> busy(nodes, 0.0);
+  for (const auto& e : events) {
+    if (e.aborted) continue;
+    const std::size_t hi = std::min(e.first + e.count, nodes);
+    for (std::size_t n = e.first; n < hi; ++n) busy[n] += e.seconds();
+  }
+  return busy;
+}
+
+double Trace::efficiency() const {
+  const double span = makespan();
+  if (nodes == 0 || span <= 0.0) return 1.0;
+  return busy_node_seconds() / (span * static_cast<double>(nodes));
+}
+
+double Trace::imbalance() const {
+  std::vector<double> used;
+  for (double b : node_busy())
+    if (b > 0.0) used.push_back(b);
+  if (used.empty()) return 0.0;
+  return stats::imbalance(used);
+}
+
+void Trace::append(const Trace& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+}
+
+std::string Trace::gantt(std::size_t width) const {
+  HSLB_EXPECTS(width >= 10);
+  std::ostringstream out;
+  const double span = std::max(makespan(), 1e-12);
+  std::size_t name_width = 4;
+  for (const auto& e : events) name_width = std::max(name_width, e.task.size());
+  for (const auto& e : events) {
+    // Clamp so zero-duration events at the makespan still get one cell and
+    // the trailing pad never underflows: begin <= width-1, finish <= width.
+    auto begin = static_cast<std::size_t>(
+        std::floor(e.start / span * static_cast<double>(width)));
+    begin = std::min(begin, width - 1);
+    auto finish = static_cast<std::size_t>(
+        std::ceil(e.end / span * static_cast<double>(width)));
+    finish = std::min(finish, width);
+    const std::size_t bar = std::max<std::size_t>(finish - begin, 1);
+    out << e.task << std::string(name_width - e.task.size(), ' ') << " |"
+        << std::string(begin, ' ') << std::string(bar, e.aborted ? 'x' : '#')
+        << std::string(width - std::max(finish, begin + 1), ' ') << "| "
+        << e.start << " - " << e.end << "\n";
+  }
+  return out.str();
+}
+
+std::string Trace::to_csv() const {
+  std::string out = strings::format(
+      "# machine=%s nodes=%zu cores_per_node=%zu\n"
+      "task,phase,first,count,start,end,aborted\n",
+      machine.c_str(), nodes, cores_per_node);
+  for (const auto& e : events) {
+    HSLB_EXPECTS(e.task.find(',') == std::string::npos &&
+                 e.phase.find(',') == std::string::npos);
+    out += strings::format("%s,%s,%zu,%zu,%.17g,%.17g,%d\n", e.task.c_str(),
+                           e.phase.c_str(), e.first, e.count, e.start, e.end,
+                           e.aborted ? 1 : 0);
+  }
+  return out;
+}
+
+Trace Trace::from_csv(const std::string& text) {
+  Trace out;
+  for (const auto& raw : strings::split(text, '\n')) {
+    const auto line = strings::trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      for (const auto& token : strings::split(line.substr(1), ' ')) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos) continue;
+        const auto key = token.substr(0, eq);
+        const auto value = token.substr(eq + 1);
+        if (key == "machine") out.machine = value;
+        if (key == "nodes")
+          out.nodes = static_cast<std::size_t>(strings::to_int(value));
+        if (key == "cores_per_node")
+          out.cores_per_node = static_cast<std::size_t>(strings::to_int(value));
+      }
+      continue;
+    }
+    if (line.rfind("task,", 0) == 0) continue;  // header row
+    const auto fields = strings::split(line, ',');
+    HSLB_EXPECTS(fields.size() == 7);
+    TraceEvent e;
+    e.task = fields[0];
+    e.phase = fields[1];
+    e.first = static_cast<std::size_t>(strings::to_int(fields[2]));
+    e.count = static_cast<std::size_t>(strings::to_int(fields[3]));
+    e.start = strings::to_double(fields[4]);
+    e.end = strings::to_double(fields[5]);
+    e.aborted = strings::to_int(fields[6]) != 0;
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string Trace::to_json() const {
+  std::string out = strings::format(
+      "{\n"
+      "  \"machine\": \"%s\",\n"
+      "  \"nodes\": %zu,\n"
+      "  \"cores_per_node\": %zu,\n"
+      "  \"makespan_s\": %.17g,\n"
+      "  \"busy_node_s\": %.17g,\n"
+      "  \"efficiency\": %.17g,\n"
+      "  \"imbalance\": %.17g,\n"
+      "  \"events\": [\n",
+      machine.c_str(), nodes, cores_per_node, makespan(), busy_node_seconds(),
+      efficiency(), imbalance());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    out += strings::format(
+        "    {\"task\": \"%s\", \"phase\": \"%s\", \"first\": %zu, "
+        "\"count\": %zu, \"start\": %.17g, \"end\": %.17g, \"aborted\": %s}%s\n",
+        e.task.c_str(), e.phase.c_str(), e.first, e.count, e.start, e.end,
+        e.aborted ? "true" : "false", i + 1 < events.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out(path);
+  HSLB_EXPECTS(out.good());
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  out << (json ? to_json() : to_csv());
+  HSLB_EXPECTS(out.good());
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path);
+  HSLB_EXPECTS(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_csv(text.str());
+}
+
+}  // namespace hslb::sim

@@ -1,0 +1,74 @@
+// Per-task execution traces: what the runtime records while executing the
+// Execute step, and the exchange format behind the CLI's `--trace`.
+//
+// A trace is a flat list of (task, phase, node range, start, end) events on
+// one machine. Aborted attempts (a node fail-stop interrupting a running
+// task) are kept in the trace with `aborted = true` so perturbation studies
+// can see the wasted work, but they do not count as useful busy time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hslb::sim {
+
+struct TraceEvent {
+  std::string task;
+  std::string phase;
+  std::size_t first = 0;  ///< node range [first, first + count)
+  std::size_t count = 0;
+  double start = 0.0;
+  double end = 0.0;
+  bool aborted = false;  ///< interrupted by a fail-stop; work was lost
+
+  double seconds() const { return end - start; }
+};
+
+struct Trace {
+  std::string machine;  ///< machine name the run was placed on
+  std::size_t nodes = 0;
+  std::size_t cores_per_node = 1;
+  std::vector<TraceEvent> events;
+
+  /// Latest event end (0 for an empty trace).
+  double makespan() const;
+
+  /// Useful node-seconds: sum of duration * node count over completed
+  /// (non-aborted) events.
+  double busy_node_seconds() const;
+
+  /// Useful busy seconds per node (size = nodes).
+  std::vector<double> node_busy() const;
+
+  /// busy_node_seconds / (nodes * makespan); 1 for an empty trace.
+  double efficiency() const;
+
+  /// max/mean - 1 of busy time over nodes that were ever busy.
+  double imbalance() const;
+
+  /// Appends another trace's events (times must already be absolute).
+  void append(const Trace& other);
+
+  /// ASCII Gantt chart, one row per event; aborted attempts render as 'x'.
+  /// Handles empty traces and zero-duration events.
+  std::string gantt(std::size_t width = 60) const;
+
+  /// CSV with a `# machine=... nodes=... cores_per_node=...` comment line;
+  /// doubles use %.17g so a round-trip is exact. Task and phase names must
+  /// not contain commas or newlines.
+  std::string to_csv() const;
+  static Trace from_csv(const std::string& text);
+
+  /// JSON object with machine metadata, summary metrics, and the event
+  /// list (export only; load() reads CSV).
+  std::string to_json() const;
+
+  /// Writes to `path`: ".json" suffix selects JSON, anything else CSV.
+  void save(const std::string& path) const;
+
+  /// Reads a CSV trace previously written by save()/to_csv().
+  static Trace load(const std::string& path);
+};
+
+}  // namespace hslb::sim

@@ -179,7 +179,7 @@ TEST(Simulator, CoupledRunZeroNoiseMatchesFormula) {
                 1e-9 * run.total_seconds)
         << to_string(layout);
     EXPECT_NEAR(run.coupling_loss_seconds, 0.0, 1e-9 * run.total_seconds);
-    EXPECT_EQ(run.events, 48u);  // 2 blocks x 24 coupling periods
+    EXPECT_EQ(run.events, 96u);  // 4 components x 24 coupling periods
     EXPECT_EQ(run.intervals, 24);
   }
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "common/contracts.hpp"
 #include "fmo/driver.hpp"
 #include "fmo/molecule.hpp"
@@ -113,6 +116,129 @@ TEST(Hslb, RequiresAllFragmentsAllocated) {
   Allocation partial;
   partial.tasks.push_back({sys.fragments[0].name, 2, 0.0});
   EXPECT_THROW(run_hslb(sys, cost, partial, 8, RunOptions{}), ContractViolation);
+}
+
+/// Noise factor per fragment recovered from the first-iteration monomer
+/// events: duration / model(node count). Keyed draws make this depend only
+/// on (seed, phase, task, attempt), never on who ran where or when.
+std::map<std::string, double> scc0_noise_factors(const System& sys,
+                                                 const CostModel& cost,
+                                                 const ExecutionResult& res) {
+  std::map<std::string, perf::Model> models;
+  for (const auto& f : sys.fragments) models[f.name] = cost.monomer(f);
+  std::map<std::string, double> out;
+  for (const auto& e : res.trace.events) {
+    if (e.phase != "scc0" || e.aborted) continue;
+    const auto it = models.find(e.task);
+    if (it == models.end()) continue;  // synchronization overhead
+    out[e.task] = e.seconds() / it->second.eval(static_cast<double>(e.count));
+  }
+  return out;
+}
+
+TEST(Schedulers, NoiseKeyedByTaskNotScheduleOrder) {
+  const auto sys = small_system(12);
+  CostModel cost;
+  RunOptions opt;
+  opt.scc_iterations = 1;
+  opt.noise_cv = 0.3;
+  // Three runs with completely different schedules: two DLB group shapes
+  // (different pull order and node counts) and the HSLB wave. Every run
+  // must draw the identical noise factor for each fragment.
+  const auto a =
+      scc0_noise_factors(sys, cost, run_dlb(sys, cost, GroupLayout::uniform(32, 8), opt));
+  const auto b =
+      scc0_noise_factors(sys, cost, run_dlb(sys, cost, GroupLayout::uniform(48, 4), opt));
+  const auto h = scc0_noise_factors(
+      sys, cost, run_hslb(sys, cost, even_allocation(sys, 2), 24, opt));
+  ASSERT_EQ(a.size(), sys.num_fragments());
+  ASSERT_EQ(b.size(), sys.num_fragments());
+  ASSERT_EQ(h.size(), sys.num_fragments());
+  for (const auto& [name, factor] : a) {
+    EXPECT_GT(factor, 0.0);
+    EXPECT_NEAR(b.at(name), factor, 1e-9);
+    EXPECT_NEAR(h.at(name), factor, 1e-9);
+  }
+}
+
+TEST(Schedulers, TraceMatchesTotalsNoiseFree) {
+  const auto sys = small_system(8);
+  CostModel cost;
+  RunOptions opt;
+  opt.noise_cv = 0.0;
+  const auto hslb = run_hslb(sys, cost, even_allocation(sys, 3), 24, opt);
+  EXPECT_NEAR(hslb.trace.makespan(), hslb.total_seconds, 1e-9);
+  EXPECT_EQ(hslb.trace.machine, "intrepid");
+  EXPECT_EQ(hslb.trace.nodes, 24u);
+  EXPECT_FALSE(hslb.trace.events.empty());
+  const auto dlb = run_dlb(sys, cost, GroupLayout::uniform(24, 4), opt);
+  EXPECT_NEAR(dlb.trace.makespan(), dlb.total_seconds, 1e-9);
+  EXPECT_EQ(dlb.trace.nodes, 24u);
+  EXPECT_TRUE(hslb.completed);
+  EXPECT_TRUE(dlb.completed);
+  EXPECT_EQ(hslb.restarts, 0u);
+  EXPECT_EQ(dlb.restarts, 0u);
+}
+
+TEST(Schedulers, ExplicitMachineIsHonored) {
+  const auto sys = small_system(8);
+  CostModel cost;
+  RunOptions opt;
+  opt.noise_cv = 0.0;
+  opt.machine = sim::Machine{"big", 64, 1};
+  const auto res = run_dlb(sys, cost, GroupLayout::uniform(32, 4), opt);
+  EXPECT_EQ(res.trace.machine, "big");
+  EXPECT_EQ(res.trace.nodes, 64u);
+  opt.machine = sim::Machine{"tiny", 16, 1};  // smaller than the layout
+  EXPECT_THROW(run_dlb(sys, cost, GroupLayout::uniform(32, 4), opt),
+               ContractViolation);
+}
+
+TEST(Schedulers, StragglersOnlySlowDown) {
+  const auto sys = small_system(8);
+  CostModel cost;
+  RunOptions opt;
+  opt.noise_cv = 0.0;
+  const auto hslb0 = run_hslb(sys, cost, even_allocation(sys, 3), 24, opt);
+  const auto dlb0 = run_dlb(sys, cost, GroupLayout::uniform(24, 4), opt);
+  opt.straggler_cv = 0.3;
+  const auto hslb = run_hslb(sys, cost, even_allocation(sys, 3), 24, opt);
+  const auto dlb = run_dlb(sys, cost, GroupLayout::uniform(24, 4), opt);
+  EXPECT_GE(hslb.total_seconds, hslb0.total_seconds - 1e-9);
+  EXPECT_GE(dlb.total_seconds, dlb0.total_seconds - 1e-9);
+  EXPECT_TRUE(hslb.completed);
+  EXPECT_TRUE(dlb.completed);
+  // The energy must not depend on execution-time perturbations.
+  EXPECT_NEAR(hslb.energy.total(), hslb0.energy.total(), 1e-9);
+}
+
+TEST(Schedulers, TransientFailureRestartsBothSchedulers) {
+  const auto sys = small_system(8);
+  CostModel cost;
+  RunOptions opt;
+  opt.noise_cv = 0.0;
+  opt.fail_node = 0;
+  opt.fail_time = 1e-4;  // interrupts whatever starts at t = 0 on node 0
+  opt.fail_downtime = 5.0;
+  const auto hslb = run_hslb(sys, cost, even_allocation(sys, 3), 24, opt);
+  const auto dlb = run_dlb(sys, cost, GroupLayout::uniform(24, 4), opt);
+  EXPECT_TRUE(hslb.completed);
+  EXPECT_TRUE(dlb.completed);
+  EXPECT_GE(hslb.restarts, 1u);
+  EXPECT_GE(dlb.restarts, 1u);
+}
+
+TEST(Schedulers, PermanentFailureWedgesStaticButNotDynamic) {
+  const auto sys = small_system(8);
+  CostModel cost;
+  RunOptions opt;
+  opt.noise_cv = 0.0;
+  opt.fail_node = 0;
+  opt.fail_time = 1e-4;  // default downtime: infinite (permanent)
+  const auto hslb = run_hslb(sys, cost, even_allocation(sys, 3), 24, opt);
+  const auto dlb = run_dlb(sys, cost, GroupLayout::uniform(24, 4), opt);
+  EXPECT_FALSE(hslb.completed);
+  EXPECT_TRUE(dlb.completed);
 }
 
 TEST(HslbVsDlb, HslbWinsOnDiverseFragments) {

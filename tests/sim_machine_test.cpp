@@ -1,0 +1,47 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace hslb::sim {
+namespace {
+
+TEST(Machine, IntrepidMatchesPaperScale) {
+  const Machine m = Machine::intrepid();
+  EXPECT_EQ(m.name, "intrepid");
+  EXPECT_EQ(m.nodes, 40960u);
+  EXPECT_EQ(m.cores_per_node, 4u);
+  EXPECT_EQ(m.total_cores(), 163840u);
+}
+
+TEST(Machine, PartitionKeepsCoresPerNode) {
+  const Machine p = Machine::intrepid_partition(32768);
+  EXPECT_EQ(p.nodes, 32768u);
+  EXPECT_EQ(p.cores_per_node, 4u);
+  EXPECT_EQ(p.total_cores(), 131072u);
+}
+
+TEST(Machine, PartitionBoundsEnforced) {
+  EXPECT_THROW(Machine::intrepid_partition(0), ContractViolation);
+  EXPECT_THROW(Machine::intrepid_partition(40961), ContractViolation);
+  EXPECT_NO_THROW(Machine::intrepid_partition(1));
+  EXPECT_NO_THROW(Machine::intrepid_partition(40960));
+}
+
+TEST(Machine, WorkstationDefaults) {
+  const Machine w = Machine::workstation();
+  EXPECT_EQ(w.name, "workstation");
+  EXPECT_EQ(w.nodes, 16u);
+  EXPECT_EQ(w.cores_per_node, 1u);
+  EXPECT_THROW(Machine::workstation(0), ContractViolation);
+}
+
+TEST(Machine, DefaultIsEmpty) {
+  const Machine m;
+  EXPECT_EQ(m.nodes, 0u);
+  EXPECT_EQ(m.total_cores(), 0u);
+}
+
+}  // namespace
+}  // namespace hslb::sim

@@ -1,0 +1,282 @@
+#include "sim/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "sim/taskgraph.hpp"
+#include "sim/trace.hpp"
+
+namespace hslb::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Runtime diamond_runtime() {
+  // a on [0,2), b on [2,2), c on [0,4) after both, d on [1,2) after c.
+  Runtime rt(Machine::workstation(4));
+  const auto a = rt.add_task("a", 2.0, {0, 2});
+  const auto b = rt.add_task("b", 3.0, {2, 2});
+  const auto c = rt.add_task("c", 1.0, {0, 4}, {a, b});
+  rt.add_task("d", 2.0, {1, 2}, {c});
+  return rt;
+}
+
+TEST(Runtime, UnperturbedMatchesTaskGraph) {
+  TaskGraph g(4);
+  const auto a = g.add_task("a", 2.0, {0, 2});
+  const auto b = g.add_task("b", 3.0, {2, 2});
+  const auto c = g.add_task("c", 1.0, {0, 4}, {a, b});
+  g.add_task("d", 2.0, {1, 2}, {c});
+  const Schedule s = g.run();
+
+  const RunResult r = diamond_runtime().run();
+  ASSERT_EQ(r.tasks.size(), s.tasks.size());
+  for (std::size_t t = 0; t < r.tasks.size(); ++t) {
+    EXPECT_DOUBLE_EQ(r.tasks[t].start, s.tasks[t].start);
+    EXPECT_DOUBLE_EQ(r.tasks[t].end, s.tasks[t].end);
+  }
+  EXPECT_DOUBLE_EQ(r.makespan, s.makespan);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.restarts, 0u);
+  EXPECT_EQ(r.trace.events.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.trace.makespan(), r.makespan);
+}
+
+/// Schedule invariants that must hold under any perturbation: tasks on
+/// overlapping node sets never overlap in time, and no task starts before
+/// its dependencies end.
+void expect_valid_schedule(const Runtime& rt, const RunResult& r) {
+  for (std::size_t t = 0; t < rt.num_tasks(); ++t) {
+    if (std::isinf(r.tasks[t].start)) continue;
+    for (std::size_t d : rt.task(t).deps) {
+      ASSERT_FALSE(std::isinf(r.tasks[d].end));
+      EXPECT_GE(r.tasks[t].start, r.tasks[d].end);
+    }
+    for (std::size_t u = 0; u < t; ++u) {
+      if (std::isinf(r.tasks[u].start)) continue;
+      if (!rt.task(t).nodes.overlaps(rt.task(u).nodes)) continue;
+      const bool disjoint = r.tasks[t].start >= r.tasks[u].end ||
+                            r.tasks[u].start >= r.tasks[t].end;
+      EXPECT_TRUE(disjoint) << "tasks " << t << " and " << u
+                            << " overlap on shared nodes";
+    }
+  }
+}
+
+TEST(Runtime, PerturbedScheduleKeepsInvariants) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Perturbation p;
+    p.noise_cv = 0.5;
+    p.seed = seed;
+    p.node_slowdown = Perturbation::stragglers(4, 0.3, seed);
+    const Runtime rt = diamond_runtime();
+    const RunResult r = rt.run(p);
+    EXPECT_TRUE(r.completed);
+    expect_valid_schedule(rt, r);
+  }
+}
+
+TEST(Runtime, NoiseIsKeyedNotOrdered) {
+  Perturbation p;
+  p.noise_cv = 0.3;
+  p.seed = 42;
+  // Same (phase, task, attempt) => same factor regardless of call order.
+  const double f1 = p.noise("scc0", "w1", 0);
+  p.noise("dimer", "w1.w2", 0);
+  p.noise("scc0", "w2", 3);
+  const double f2 = p.noise("scc0", "w1", 0);
+  EXPECT_DOUBLE_EQ(f1, f2);
+  // Distinct keys draw distinct factors.
+  EXPECT_NE(p.noise("scc0", "w1", 0), p.noise("scc0", "w1", 1));
+  EXPECT_NE(p.noise("scc0", "w1", 0), p.noise("scc1", "w1", 0));
+  // cv = 0 disables noise entirely.
+  Perturbation off;
+  EXPECT_DOUBLE_EQ(off.noise("p", "t", 0), 1.0);
+}
+
+TEST(Runtime, StragglerFactorsAtLeastOneAndDeterministic) {
+  const auto f1 = Perturbation::stragglers(64, 0.2, 9);
+  const auto f2 = Perturbation::stragglers(64, 0.2, 9);
+  ASSERT_EQ(f1.size(), 64u);
+  EXPECT_EQ(f1, f2);
+  double mx = 1.0;
+  for (double f : f1) {
+    EXPECT_GE(f, 1.0);
+    mx = std::max(mx, f);
+  }
+  EXPECT_GT(mx, 1.0);  // cv = 0.2 over 64 nodes surely produces a straggler
+  // No stragglers at cv = 0.
+  for (double f : Perturbation::stragglers(8, 0.0, 9)) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(Runtime, StragglersOnlySlowDown) {
+  const Runtime rt = diamond_runtime();
+  const double base = rt.run().makespan;
+  Perturbation p;
+  p.node_slowdown = {2.0, 1.0, 1.0, 1.0};
+  const RunResult r = rt.run(p);
+  EXPECT_GE(r.makespan, base);
+  // Task "a" spans node 0 and runs at the slowest node's speed.
+  EXPECT_DOUBLE_EQ(r.tasks[0].end - r.tasks[0].start, 4.0);
+  // Task "b" avoids node 0 entirely.
+  EXPECT_DOUBLE_EQ(r.tasks[1].end - r.tasks[1].start, 3.0);
+}
+
+TEST(Runtime, FixedTasksExemptFromNoiseAndStragglers) {
+  Runtime rt(Machine::workstation(2));
+  rt.add_task("sync", 0.5, {0, 2}, {}, "phase", /*fixed=*/true);
+  Perturbation p;
+  p.noise_cv = 0.9;
+  p.seed = 3;
+  p.node_slowdown = {5.0, 5.0};
+  const RunResult r = rt.run(p);
+  EXPECT_DOUBLE_EQ(r.tasks[0].end, 0.5);
+}
+
+TEST(Runtime, TransientFailureRestartsAndCompletes) {
+  Runtime rt(Machine::workstation(2));
+  rt.add_task("t", 4.0, {0, 1});
+  Perturbation p;
+  p.fail_node = 0;
+  p.fail_time = 1.0;
+  p.fail_downtime = 2.0;  // node back at t = 3
+  const RunResult r = rt.run(p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.restarts, 1u);
+  EXPECT_DOUBLE_EQ(r.tasks[0].start, 3.0);
+  EXPECT_DOUBLE_EQ(r.tasks[0].end, 7.0);
+  // The aborted attempt stays in the trace but not in the busy accounting.
+  ASSERT_EQ(r.trace.events.size(), 2u);
+  EXPECT_TRUE(r.trace.events[0].aborted);
+  EXPECT_DOUBLE_EQ(r.trace.events[0].end, 1.0);
+  EXPECT_DOUBLE_EQ(r.trace.busy_node_seconds(), 4.0);
+}
+
+TEST(Runtime, PermanentFailureWedgesStaticScheduleAndDependents) {
+  Runtime rt(Machine::workstation(2));
+  const auto a = rt.add_task("a", 2.0, {0, 1});
+  const auto b = rt.add_task("b", 1.0, {1, 1});
+  rt.add_task("c", 1.0, {0, 2}, {a, b});
+  Perturbation p;
+  p.fail_node = 0;
+  p.fail_time = 1.0;  // permanent: default downtime is infinite
+  const RunResult r = rt.run(p);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(std::isinf(r.tasks[0].start));  // pinned to the dead node
+  EXPECT_DOUBLE_EQ(r.tasks[1].end, 1.0);      // untouched node still runs
+  EXPECT_TRUE(std::isinf(r.tasks[2].start));  // dependent can never start
+}
+
+TEST(Runtime, QueueDrainsLargestFirstByEarliestFreeGroup) {
+  const Machine m = Machine::workstation(4);
+  const std::vector<NodeSet> groups{{0, 2}, {2, 2}};
+  std::vector<Runtime::QueueTask> queue;
+  for (double d : {5.0, 3.0, 2.0, 1.0}) {
+    queue.push_back({"t" + std::to_string(queue.size()),
+                     [d](long long) { return d; }, "q"});
+  }
+  const QueueRunResult r = Runtime::run_queue(m, groups, queue);
+  EXPECT_TRUE(r.completed);
+  // Both groups free at 0: tie goes to group 0, so t0 -> g0, t1 -> g1;
+  // g1 frees at 3 < 5, pulls t2 (ends 5); tie at 5 goes to group 0 -> t3.
+  EXPECT_EQ(r.task_group, (std::vector<std::size_t>{0, 1, 1, 0}));
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(r.group_busy[0], 6.0);
+  EXPECT_DOUBLE_EQ(r.group_busy[1], 5.0);
+}
+
+TEST(Runtime, QueuePhasesShiftWithStartTime) {
+  const Machine m = Machine::workstation(4);
+  const std::vector<NodeSet> groups{{0, 2}, {2, 2}};
+  std::vector<Runtime::QueueTask> queue;
+  for (double d : {5.0, 3.0, 2.0, 1.0}) {
+    queue.push_back({"t" + std::to_string(queue.size()),
+                     [d](long long) { return d; }, "q"});
+  }
+  const QueueRunResult a = Runtime::run_queue(m, groups, queue);
+  const QueueRunResult b = Runtime::run_queue(m, groups, queue, {}, 10.0);
+  EXPECT_DOUBLE_EQ(b.makespan - 10.0, a.makespan);
+  for (std::size_t t = 0; t < queue.size(); ++t) {
+    EXPECT_DOUBLE_EQ(b.tasks[t].start - 10.0, a.tasks[t].start);
+    EXPECT_EQ(b.task_group[t], a.task_group[t]);
+  }
+}
+
+TEST(Runtime, QueueRedispatchesAroundDeadGroup) {
+  const Machine m = Machine::workstation(4);
+  const std::vector<NodeSet> groups{{0, 2}, {2, 2}};
+  std::vector<Runtime::QueueTask> queue;
+  for (int t = 0; t < 4; ++t) {
+    queue.push_back({"t" + std::to_string(t),
+                     [](long long) { return 2.0; }, "q"});
+  }
+  Perturbation p;
+  p.fail_node = 0;
+  p.fail_time = 1.0;  // permanent: group 0 aborts t0 and retires
+  const QueueRunResult r = Runtime::run_queue(m, groups, queue, p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.restarts, 1u);
+  for (std::size_t t = 0; t < queue.size(); ++t)
+    EXPECT_EQ(r.task_group[t], 1u);  // everything lands on the live group
+  EXPECT_DOUBLE_EQ(r.makespan, 8.0);
+  // Aborted attempts don't count as useful busy time.
+  EXPECT_DOUBLE_EQ(r.group_busy[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.group_busy[1], 8.0);
+}
+
+TEST(Runtime, QueueIncompleteWhenAllGroupsRetire) {
+  const Machine m = Machine::workstation(2);
+  const std::vector<NodeSet> groups{{0, 1}, {1, 1}};
+  std::vector<Runtime::QueueTask> queue{
+      {"t0", [](long long) { return 2.0; }, "q"}};
+  Perturbation p;
+  p.fail_node = 0;
+  p.fail_time = 0.5;
+  // Only group 0 contains the failed node, so the run still completes...
+  EXPECT_TRUE(Runtime::run_queue(m, groups, queue, p).completed);
+  // ...but with a single group covering the failed node it cannot.
+  const std::vector<NodeSet> one{{0, 2}};
+  const QueueRunResult r = Runtime::run_queue(m, one, queue, p);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(std::isinf(r.tasks[0].start));
+}
+
+TEST(Runtime, TraceCsvRoundTripIsExact) {
+  Perturbation p;
+  p.noise_cv = 0.2;
+  p.seed = 11;
+  p.fail_node = 1;
+  p.fail_time = 1.5;
+  p.fail_downtime = 1.0;
+  const Runtime rt = diamond_runtime();
+  const RunResult r = rt.run(p);
+  const Trace parsed = Trace::from_csv(r.trace.to_csv());
+  EXPECT_EQ(parsed.machine, r.trace.machine);
+  EXPECT_EQ(parsed.nodes, r.trace.nodes);
+  EXPECT_EQ(parsed.cores_per_node, r.trace.cores_per_node);
+  ASSERT_EQ(parsed.events.size(), r.trace.events.size());
+  for (std::size_t e = 0; e < parsed.events.size(); ++e) {
+    EXPECT_EQ(parsed.events[e].task, r.trace.events[e].task);
+    EXPECT_EQ(parsed.events[e].aborted, r.trace.events[e].aborted);
+    EXPECT_DOUBLE_EQ(parsed.events[e].start, r.trace.events[e].start);
+    EXPECT_DOUBLE_EQ(parsed.events[e].end, r.trace.events[e].end);
+  }
+  EXPECT_DOUBLE_EQ(parsed.makespan(), r.trace.makespan());
+  EXPECT_DOUBLE_EQ(parsed.busy_node_seconds(), r.trace.busy_node_seconds());
+}
+
+TEST(Runtime, AddTaskValidatesPlacementAndDeps) {
+  Runtime rt(Machine::workstation(4));
+  EXPECT_THROW(rt.add_task("t", 1.0, {0, 0}), ContractViolation);
+  EXPECT_THROW(rt.add_task("t", 1.0, {3, 2}), ContractViolation);
+  EXPECT_THROW(rt.add_task("t", -1.0, {0, 1}), ContractViolation);
+  EXPECT_THROW(rt.add_task("t", 1.0, {0, 1}, {0}), ContractViolation);
+  EXPECT_THROW(Runtime(Machine{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hslb::sim

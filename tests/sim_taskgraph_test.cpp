@@ -127,5 +127,35 @@ TEST(TaskGraph, GanttRendersEveryTask) {
   EXPECT_NE(chart.find('#'), std::string::npos);
 }
 
+TEST(TaskGraph, GanttHandlesZeroDurationTasks) {
+  TaskGraph g(4);
+  g.add_task("work", 2.0, {0, 2});
+  g.add_task("marker", 0.0, {2, 2});       // instantaneous event
+  g.add_task("tail", 0.0, {0, 4}, {0, 1});  // zero-duration at the makespan
+  const auto s = g.run();
+  EXPECT_DOUBLE_EQ(s.tasks[1].end, s.tasks[1].start);
+  EXPECT_DOUBLE_EQ(s.tasks[2].start, s.makespan);
+  const auto chart = g.gantt(s);
+  EXPECT_NE(chart.find("marker"), std::string::npos);
+  EXPECT_NE(chart.find("tail"), std::string::npos);
+}
+
+TEST(TaskGraph, GanttHandlesEmptySchedule) {
+  TaskGraph g(4);
+  const auto s = g.run();
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  EXPECT_NO_THROW(g.gantt(s));
+}
+
+TEST(TaskGraph, GanttHandlesAllZeroDurations) {
+  TaskGraph g(2);
+  g.add_task("a", 0.0, {0, 1});
+  g.add_task("b", 0.0, {1, 1});
+  const auto s = g.run();
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  const auto chart = g.gantt(s);
+  EXPECT_NE(chart.find('a'), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hslb::sim
