@@ -1,0 +1,170 @@
+// Communication/memory-aware cost model acceptance bench.
+//
+// Two gates:
+//
+//   1. On a communication-dominated family (fmo::comm_cluster fragments
+//      carrying halo volume and working-set memory, machines with finite
+//      link bandwidth and node memory), the extended model — fitted
+//      compute terms plus pinned comm/memory terms from the machine spec —
+//      must beat the compute-only model (the paper's original, blind to
+//      those charges at Solve time) by at least 1.2x simulated makespan.
+//      The mechanism: the compute-only solver over-allocates nodes to big
+//      fragments because compute time only ever falls with n, but the halo
+//      is replicated per spanning rank, so every extra node adds link
+//      serialization time the model never saw.
+//
+//   2. On the existing compute-only acceptance set (water clusters on
+//      unmodeled machines), the extended path must be *bit-identical* to
+//      the compute-only path: machine terms degenerate to nothing when the
+//      machine models neither link nor memory, so enabling them must not
+//      move a single allocation or makespan bit.
+//
+// Headline numbers merge into BENCH_solver.json under "comm_model/...";
+// exits non-zero when either gate fails, so CI smoke enforces both.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "common/table.hpp"
+#include "fmo/cost.hpp"
+#include "fmo/driver.hpp"
+#include "fmo/molecule.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace hslb;
+
+constexpr const char* kJsonPath = "BENCH_solver.json";
+constexpr double kGate = 1.2;
+
+struct CommScenario {
+  std::string name;
+  fmo::CommClusterOptions system;
+  long long nodes;
+  double link_gb_per_s;
+  double memory_gb_per_node;
+  double page_s_per_gb;
+};
+
+struct ABResult {
+  double extended_s = 0.0;
+  double compute_only_s = 0.0;
+  double ratio = 0.0;
+  double comm_extended_s = 0.0;
+  double comm_compute_only_s = 0.0;
+};
+
+fmo::PipelineResult run_one(const fmo::System& sys, long long nodes,
+                            const sim::Machine& machine, bool extended) {
+  fmo::PipelineOptions opt;
+  opt.threads = 1;
+  opt.run.machine = machine;
+  opt.machine_cost_terms = extended;
+  const fmo::CostModel cost;
+  return fmo::run_pipeline(sys, cost, nodes, opt);
+}
+
+ABResult run_ab(const CommScenario& s) {
+  const auto sys = fmo::comm_cluster(s.system);
+  sim::Machine m =
+      sim::Machine::intrepid_partition(static_cast<std::size_t>(s.nodes));
+  m.link_gb_per_s = s.link_gb_per_s;
+  m.memory_gb_per_node = s.memory_gb_per_node;
+  m.page_s_per_gb = s.page_s_per_gb;
+
+  const auto ext = run_one(sys, s.nodes, m, /*extended=*/true);
+  const auto blind = run_one(sys, s.nodes, m, /*extended=*/false);
+  ABResult r;
+  r.extended_s = ext.hslb.total_seconds;
+  r.compute_only_s = blind.hslb.total_seconds;
+  r.ratio = r.compute_only_s / r.extended_s;
+  r.comm_extended_s = ext.hslb.comm_seconds + ext.hslb.page_seconds;
+  r.comm_compute_only_s = blind.hslb.comm_seconds + blind.hslb.page_seconds;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // --- Gate 1: the communication-dominated family.
+  const std::vector<CommScenario> family = {
+      // Moderate link: halo replication already punishes over-allocation.
+      {"comm_link2", {.fragments = 8, .seed = 5}, 64, 2.0, 1.0, 0.5},
+      // Slow link: communication dominates outright.
+      {"comm_link05", {.fragments = 8, .seed = 5}, 64, 0.5, 1.0, 0.5},
+      // Bigger system on a slow link.
+      {"comm_16frag", {.fragments = 16, .seed = 9}, 128, 1.0, 1.0, 0.5},
+      // Memory-pressured: working sets exceed node memory, so the blind
+      // model also pays paging charges the extended model designs around.
+      {"comm_paging",
+       {.fragments = 8, .memory_gb_per_100bf = 8.0, .seed = 5},
+       64, 2.0, 1.0, 0.5},
+  };
+
+  Table t({"scenario", "extended s", "compute-only s", "ratio",
+           "charges ext s", "charges blind s"});
+  double min_ratio = 1e9;
+  for (const auto& s : family) {
+    const ABResult r = run_ab(s);
+    min_ratio = std::min(min_ratio, r.ratio);
+    t.add_row({s.name, Table::num(r.extended_s, 3),
+               Table::num(r.compute_only_s, 3), Table::num(r.ratio, 3),
+               Table::num(r.comm_extended_s, 3),
+               Table::num(r.comm_compute_only_s, 3)});
+    bench::merge_json(kJsonPath, "comm_model/" + s.name,
+                      {{"extended_total_s", r.extended_s},
+                       {"compute_only_total_s", r.compute_only_s},
+                       {"ratio", r.ratio},
+                       {"extended_charges_s", r.comm_extended_s},
+                       {"compute_only_charges_s", r.comm_compute_only_s}});
+  }
+  std::printf("communication-dominated family (extended vs compute-only "
+              "Solve, same machine):\n\n%s\n", t.str().c_str());
+  std::printf("minimum ratio %.3f (gate: >= %.2f)\n\n", min_ratio, kGate);
+
+  // --- Gate 2: never worse on the existing compute-only acceptance set.
+  bool identical = true;
+  for (const auto& [fragments, nodes] :
+       std::vector<std::pair<std::size_t, long long>>{{12, 96}, {24, 192}}) {
+    const auto sys = fmo::water_cluster({.fragments = fragments,
+                                         .merge_fraction = 0.4,
+                                         .scf_cutoff_angstrom = 4.5,
+                                         .seed = 3});
+    // Default machine: unmodeled link/memory — the compute-only regime.
+    const auto on = run_one(sys, nodes, sim::Machine{}, /*extended=*/true);
+    const auto off = run_one(sys, nodes, sim::Machine{}, /*extended=*/false);
+    bool same = on.hslb.total_seconds == off.hslb.total_seconds &&
+                on.predicted_scc_seconds == off.predicted_scc_seconds;
+    for (std::size_t f = 0; f < on.allocation.tasks.size() && same; ++f)
+      same = on.allocation.tasks[f].nodes == off.allocation.tasks[f].nodes;
+    std::printf("acceptance %zu fragments / %lld nodes: %s\n", fragments,
+                nodes, same ? "bit-identical" : "DIVERGED");
+    identical = identical && same;
+    bench::merge_json(
+        kJsonPath,
+        "comm_model/acceptance_" + std::to_string(fragments) + "frag",
+        {{"bit_identical", same ? 1.0 : 0.0},
+         {"total_s", on.hslb.total_seconds}});
+  }
+  bench::merge_json(kJsonPath, "comm_model/gate",
+                    {{"min_ratio", min_ratio},
+                     {"gate", kGate},
+                     {"acceptance_bit_identical", identical ? 1.0 : 0.0}});
+
+  if (min_ratio < kGate) {
+    std::fprintf(stderr,
+                 "FAIL: extended model only %.3fx better than compute-only "
+                 "on the communication-dominated family (gate %.2fx)\n",
+                 min_ratio, kGate);
+    return 1;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: extended path diverged from compute-only on "
+                         "an unmodeled machine\n");
+    return 1;
+  }
+  std::printf("results merged into %s\n", kJsonPath);
+  return 0;
+}

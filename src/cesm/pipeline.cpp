@@ -138,6 +138,9 @@ class CesmApplication final : public Application {
         solution_.stats.nodes_propagated_infeasible;
     out.solver.cuts_retired = solution_.stats.cuts_retired;
     out.solver.cuts_reactivated = solution_.stats.cuts_reactivated;
+    // The CESM layout model is compute-only: one aggregate term.
+    out.term_predictions.push_back(
+        {"compute", solution_.predicted_total, 0.0});
     return out;
   }
 
@@ -171,6 +174,11 @@ class CesmApplication final : public Application {
   }
 
   bool execution_completed() const override { return run_.completed; }
+
+  std::vector<std::pair<std::string, double>> execution_term_seconds()
+      const override {
+    return {{"compute", actual_total_}};
+  }
 
   // Substrate-specific outputs copied into PipelineResult by run_pipeline.
   Solution solution_;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 #include "cesm/advisor.hpp"
 #include "cesm/pipeline.hpp"
@@ -47,6 +48,21 @@ void apply_execution_args(const Args& args, double& straggler_cv,
                           long long& fail_node, double& fail_time,
                           double& fail_downtime) {
   straggler_cv = args.get_double("straggler-cv", straggler_cv, 0.0);
+  const bool has_node = args.value("fail-node").has_value();
+  const bool has_time = args.value("fail-time").has_value();
+  const bool has_downtime = args.value("fail-downtime").has_value();
+  if (has_node && !has_time) {
+    throw std::invalid_argument(
+        "--fail-node requires --fail-time (when does the node go down?)");
+  }
+  if (has_time && !has_node) {
+    throw std::invalid_argument(
+        "--fail-time requires --fail-node (which node fails?)");
+  }
+  if (has_downtime && !has_node) {
+    throw std::invalid_argument(
+        "--fail-downtime requires --fail-node (which node fails?)");
+  }
   fail_node = args.get_int("fail-node", fail_node, -1);
   fail_time = args.get_double("fail-time", fail_time, 0.0);
   fail_downtime = args.get_double("fail-downtime", fail_downtime, 0.0);
@@ -80,10 +96,11 @@ int usage(int code) {
       "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
       "              [--fail-time S] [--fail-downtime S]\n"
       "                                 full simulated pipeline\n"
-      "  hslb fmo    --fragments F --nodes N [--peptide] [--minlp]\n"
-      "              [--objective min-max] [--threads T]\n"
+      "  hslb fmo    --fragments F --nodes N [--peptide|--comm-bound]\n"
+      "              [--minlp] [--objective min-max] [--threads T]\n"
       "              [--solver-threads S] [--no-presolve]\n"
-      "              [--cut-age-limit K]\n"
+      "              [--cut-age-limit K] [--link-gb GB/s] [--mem-gb GB]\n"
+      "              [--page-s-per-gb S] [--compute-only-model]\n"
       "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
       "              [--fail-time S] [--fail-downtime S]\n"
       "                                 full simulated pipeline\n"
@@ -100,9 +117,16 @@ int usage(int code) {
       "  --no-presolve turns the LP presolve off for cold solver LPs;\n"
       "  --cut-age-limit K retires an OA cut after K consecutive slack\n"
       "  observations (0 keeps every cut forever).\n"
+      "  For fmo, --comm-bound builds the communication-dominated cluster\n"
+      "  (fragments carry halo volume and working-set memory); --link-gb /\n"
+      "  --mem-gb / --page-s-per-gb give the machine a finite link and node\n"
+      "  memory so the run charges for halo exchange and paging, and the\n"
+      "  Solve step extends the fitted models with matching comm/memory\n"
+      "  terms; --compute-only-model suppresses those terms (the paper's\n"
+      "  compute-only regime) while the charges still apply at execution.\n"
       "  --trace exports the Execute step's per-task trace (CSV, or JSON\n"
       "  when the path ends in .json). --straggler-cv slows random nodes\n"
-      "  down; --fail-node I [--fail-time S] [--fail-downtime S] injects a\n"
+      "  down; --fail-node I --fail-time S [--fail-downtime S] injects a\n"
       "  node fail-stop (downtime omitted = permanent).\n");
   return code;
 }
@@ -226,8 +250,34 @@ int cmd_fmo(const Args& args) {
   apply_execution_args(args, opt.run.straggler_cv, opt.run.fail_node,
                        opt.run.fail_time, opt.run.fail_downtime);
 
+  // Machine extensions: finite link bandwidth / node memory make the run
+  // charge for halo exchange and paging; --compute-only-model keeps the
+  // Solve step blind to those charges (the paper's original model).
+  const bool has_link = args.value("link-gb").has_value();
+  const bool has_mem = args.value("mem-gb").has_value();
+  if (args.value("page-s-per-gb").has_value() && !has_mem) {
+    throw std::invalid_argument(
+        "--page-s-per-gb requires --mem-gb (paging needs a memory capacity)");
+  }
+  if (has_link || has_mem) {
+    sim::Machine m =
+        sim::Machine::intrepid_partition(static_cast<std::size_t>(nodes));
+    if (has_link) m.link_gb_per_s = args.get_double("link-gb", 0.0, 0.0);
+    if (has_mem) m.memory_gb_per_node = args.get_double("mem-gb", 0.0, 0.0);
+    m.page_s_per_gb = args.get_double("page-s-per-gb", 0.0, 0.0);
+    opt.run.machine = m;
+  }
+  opt.machine_cost_terms = !args.flag("compute-only-model");
+
+  if (args.flag("comm-bound") && args.flag("peptide")) {
+    throw std::invalid_argument(
+        "--comm-bound and --peptide are mutually exclusive (pick one system)");
+  }
   const auto sys =
-      args.flag("peptide")
+      args.flag("comm-bound")
+          ? fmo::comm_cluster({.fragments = static_cast<std::size_t>(fragments),
+                               .seed = 3})
+          : args.flag("peptide")
           ? fmo::polypeptide({.residues = static_cast<std::size_t>(fragments),
                               .scf_cutoff_angstrom = 6.0,
                               .seed = 3})
@@ -250,6 +300,10 @@ int cmd_fmo(const Args& args) {
   std::printf("DLB : %.3f s total, efficiency %.3f  =>  HSLB speedup %.2fx\n",
               res.dlb.total_seconds, res.dlb.efficiency(nodes),
               res.dlb.total_seconds / res.hslb.total_seconds);
+  if (res.hslb.comm_seconds > 0.0 || res.hslb.page_seconds > 0.0) {
+    std::printf("machine charges: comm %.3f s, paging %.3f s (task-seconds)\n",
+                res.hslb.comm_seconds, res.hslb.page_seconds);
+  }
   std::printf("\n%s", res.report.str().c_str());
   if (!res.hslb.completed)
     std::printf("WARNING: the static HSLB run could not complete (permanent "

@@ -30,11 +30,13 @@ int main(int argc, char** argv) {
     }
     if (cmd == "fmo") {
       return cmd_fmo(Args(argc - 1, argv + 1,
-                          {"peptide", "minlp", "no-presolve"},
+                          {"peptide", "comm-bound", "minlp", "no-presolve",
+                           "compute-only-model"},
                           {"fragments", "nodes", "objective", "threads",
                            "solver-threads", "cut-age-limit", "trace",
                            "straggler-cv", "fail-node", "fail-time",
-                           "fail-downtime"}));
+                           "fail-downtime", "link-gb", "mem-gb",
+                           "page-s-per-gb"}));
     }
     if (cmd == "advise") {
       return cmd_advise(Args(argc - 1, argv + 1, {},

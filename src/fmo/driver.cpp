@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "perf/terms.hpp"
 #include "sim/noise.hpp"
 
 namespace hslb::fmo {
@@ -77,7 +78,8 @@ class FmoApplication final : public Application {
   SolveOutcome solve(const std::vector<std::pair<std::string, perf::FitResult>>&
                          fits) override {
     SolveOutcome out;
-    const auto tasks = make_budget_tasks(sys_, fits, hi_);
+    auto tasks = make_budget_tasks(sys_, fits, hi_);
+    add_machine_terms(tasks);
     if (options_.solve_with_minlp) {
       const auto model = build_budget_minlp(tasks, nodes_, options_.objective);
       const auto bnb = minlp::solve(model, options_.bnb);
@@ -120,6 +122,24 @@ class FmoApplication final : public Application {
         static_cast<double>(options_.run.scc_iterations) *
         (wave + options_.run.sync_overhead);
     out.predicted_total = predicted_scc_seconds_;
+    // Term-wise predicted task-seconds over the SCC loop (allocation
+    // entries are in task order for both solver paths).
+    const double iters = static_cast<double>(options_.run.scc_iterations);
+    for (std::size_t f = 0; f < tasks.size(); ++f) {
+      const double n = static_cast<double>(out.allocation.tasks[f].nodes);
+      const auto& m = tasks[f].model;
+      for (std::size_t i = 0; i < m.num_terms(); ++i) {
+        const std::string& tn = m.term(i).name();
+        auto it = std::find_if(
+            out.term_predictions.begin(), out.term_predictions.end(),
+            [&](const TermReport& r) { return r.term == tn; });
+        if (it == out.term_predictions.end()) {
+          out.term_predictions.push_back({tn, 0.0, 0.0});
+          it = std::prev(out.term_predictions.end());
+        }
+        it->predicted_seconds += iters * m.term_seconds(i, n);
+      }
+    }
     return out;
   }
 
@@ -143,6 +163,23 @@ class FmoApplication final : public Application {
 
   bool execution_completed() const override { return hslb_.completed; }
 
+  std::vector<std::pair<std::string, double>> execution_term_seconds()
+      const override {
+    // Monomer task-seconds split into the machine charges and the rest
+    // (the compute share the fitted power law predicts). Comm/memory rows
+    // are reported whenever the machine models them — even when the Solve
+    // step ignored those charges (machine_cost_terms = false), which is
+    // exactly the predicted-0 / actual-nonzero gap the report surfaces.
+    std::vector<std::pair<std::string, double>> out;
+    out.emplace_back("powerlaw", hslb_.monomer_task_seconds -
+                                     hslb_.comm_seconds - hslb_.page_seconds);
+    const sim::Machine mach = machine();
+    if (mach.models_communication())
+      out.emplace_back("comm", hslb_.comm_seconds);
+    if (mach.models_memory()) out.emplace_back("memory", hslb_.page_seconds);
+    return out;
+  }
+
   // Substrate-specific outputs copied into PipelineResult by run_pipeline.
   double predicted_scc_seconds_ = 0.0;
   DimerPredictions dimer_predictions_;
@@ -151,6 +188,31 @@ class FmoApplication final : public Application {
   ExecutionResult dlb_;
 
  private:
+  /// Extends each fragment's fitted model with pinned machine terms: comm
+  /// slope 1/bandwidth over the fragment's replicated halo volume (halo_gb
+  /// per SCF neighbour, matching the runtime's charge), and the working
+  /// set against node memory capacity. A no-op on unmodeled machines
+  /// (infinite bandwidth/memory), so compute-only configurations keep the
+  /// pre-refactor models bit-identically.
+  void add_machine_terms(std::vector<BudgetTask>& tasks) const {
+    if (!options_.machine_cost_terms) return;
+    const sim::Machine mach = machine();
+    if (!mach.models_communication() && !mach.models_memory()) return;
+    const auto pairs = sys_.scf_neighbor_counts();
+    for (std::size_t f = 0; f < tasks.size(); ++f) {
+      const auto& frag = sys_.fragments[f];
+      if (mach.models_communication() && frag.halo_gb > 0.0) {
+        tasks[f].model.add(perf::make_comm_term(
+            frag.halo_gb * static_cast<double>(pairs[f]),
+            1.0 / mach.link_gb_per_s));
+      }
+      if (mach.models_memory() && frag.memory_gb > 0.0) {
+        tasks[f].model.add(perf::make_memory_term(
+            frag.memory_gb, mach.memory_gb_per_node, mach.page_s_per_gb));
+      }
+    }
+  }
+
   /// One noise draw derived from (stream, node count, repetition).
   double noisy(double true_seconds, std::size_t stream, long long n,
                std::uint64_t rep) const {

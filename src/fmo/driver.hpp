@@ -49,6 +49,15 @@ struct PipelineOptions {
   /// phase then falls back to size-proxy ECT on the monomer groups).
   std::size_t dimer_probe_count = 8;
 
+  /// Solve with machine-derived cost terms: when the run machine models
+  /// link bandwidth or node memory (sim::Machine), each fragment's fitted
+  /// compute model is extended with pinned comm (halo volume times SCF
+  /// neighbour count over link bandwidth) and memory (working set against
+  /// node capacity) terms before the Solve step. False = the paper's
+  /// compute-only model, even on machines that charge for communication
+  /// and paging at execution time.
+  bool machine_cost_terms = true;
+
   /// Execution options (shared by the HSLB run and the DLB baseline).
   RunOptions run;
   /// DLB baseline group count; 0 means one group per fragment.

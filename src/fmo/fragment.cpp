@@ -12,6 +12,16 @@ long long System::total_basis_functions() const {
   return total;
 }
 
+std::vector<std::size_t> System::scf_neighbor_counts() const {
+  std::vector<std::size_t> counts(fragments.size(), 0);
+  for (const auto& d : scf_dimers) {
+    HSLB_EXPECTS(d.i < counts.size() && d.j < counts.size());
+    ++counts[d.i];
+    ++counts[d.j];
+  }
+  return counts;
+}
+
 double System::size_diversity() const {
   HSLB_EXPECTS(!fragments.empty());
   int lo = fragments.front().basis_functions;

@@ -28,6 +28,13 @@ struct Fragment {
   int basis_functions = 0;
   /// Centroid coordinates in Angstrom (for dimer cutoffs).
   std::array<double, 3> center{};
+  /// GB of density/ESP halo data exchanged with *each* SCF neighbour per
+  /// SCC iteration. 0 (the default) = communication-free workload; only
+  /// the comm_cluster generator populates it.
+  double halo_gb = 0.0;
+  /// GB of working set (integrals, density matrices) the fragment's SCF
+  /// spreads over its processor group. 0 = memory-free workload.
+  double memory_gb = 0.0;
 };
 
 /// A pair of fragments requiring a full dimer SCF.
@@ -52,6 +59,11 @@ struct System {
   /// max/min fragment basis functions: the "diverse size" ratio that makes
   /// DLB struggle and motivates HSLB.
   double size_diversity() const;
+
+  /// Per-fragment count of SCF dimer partners — how many neighbours each
+  /// fragment exchanges halo data with (the `pairs` factor of the comm
+  /// cost term).
+  std::vector<std::size_t> scf_neighbor_counts() const;
 };
 
 }  // namespace hslb::fmo

@@ -71,6 +71,22 @@ System water_cluster(const WaterClusterOptions& options) {
   return sys;
 }
 
+System comm_cluster(const CommClusterOptions& options) {
+  HSLB_EXPECTS(options.halo_gb_per_100bf >= 0.0);
+  HSLB_EXPECTS(options.memory_gb_per_100bf >= 0.0);
+  System sys = water_cluster({.fragments = options.fragments,
+                              .merge_fraction = options.merge_fraction,
+                              .scf_cutoff_angstrom = options.scf_cutoff_angstrom,
+                              .seed = options.seed});
+  sys.name = strings::format("comm_cluster_%zu", options.fragments);
+  for (auto& f : sys.fragments) {
+    const double size = static_cast<double>(f.basis_functions) / 100.0;
+    f.halo_gb = options.halo_gb_per_100bf * size;
+    f.memory_gb = options.memory_gb_per_100bf * size;
+  }
+  return sys;
+}
+
 System polypeptide(const PolypeptideOptions& options) {
   HSLB_EXPECTS(options.residues >= 1);
   Rng rng(options.seed);

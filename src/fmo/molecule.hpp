@@ -40,4 +40,28 @@ struct PolypeptideOptions {
 /// i/i+2 neighbours fall inside the SCF dimer cutoff.
 System polypeptide(const PolypeptideOptions& options = {});
 
+struct CommClusterOptions {
+  std::size_t fragments = 32;
+  double merge_fraction = 0.3;
+  /// Generous cutoff so each fragment has many SCF neighbours — the dense
+  /// dimer graph that makes halo exchange dominate.
+  double scf_cutoff_angstrom = 6.5;
+  /// Halo volume per neighbour pair, GB per 100 basis functions; each
+  /// fragment's halo_gb scales with its own size (bigger fragments ship
+  /// bigger density blocks).
+  double halo_gb_per_100bf = 0.02;
+  /// Working-set GB per 100 basis functions (integral + density storage),
+  /// stressing per-node memory when a fragment runs on few nodes.
+  double memory_gb_per_100bf = 1.0;
+  std::uint64_t seed = 7;
+};
+
+/// Communication-dominated scenario family: a water cluster whose
+/// fragments carry explicit halo and working-set footprints. Benchmark
+/// probes run fragments in isolation (no neighbours exchanging), so a
+/// compute-only model fits the probes perfectly yet over-allocates in
+/// production, where every extra node multiplies halo traffic — the regime
+/// where the extended cost model measurably wins (bench/comm_model).
+System comm_cluster(const CommClusterOptions& options = {});
+
 }  // namespace hslb::fmo

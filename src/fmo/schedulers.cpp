@@ -117,20 +117,26 @@ ExecutionResult run_dlb(const System& sys, const CostModel& cost,
   const auto monomer_order = descending_order(
       sys.fragments.size(),
       [&](std::size_t i) { return sys.fragments[i].basis_functions; });
+  // Per-fragment demand: one replicated halo per SCF neighbour, plus the
+  // fragment's working set (both zero outside the comm scenario family).
+  const auto pairs = sys.scf_neighbor_counts();
 
   // Drains one queue phase on the machine clock and folds the result into
   // the accumulators; returns the phase-end time (= queue makespan).
   auto drain = [&](const std::vector<sim::Runtime::QueueTask>& queue,
-                   double clock) {
+                   double clock, bool monomer_phase) {
     const auto res =
         sim::Runtime::run_queue(machine, groups, queue, perturb, clock);
     out.trace.append(res.trace);
     out.restarts += res.restarts;
     if (!res.completed) out.completed = false;
+    out.comm_seconds += res.comm_seconds;
+    out.page_seconds += res.page_seconds;
     for (std::size_t g = 0; g < groups.size(); ++g) {
       out.group_busy[g] += res.group_busy[g];
       out.busy_node_seconds +=
           res.group_busy[g] * static_cast<double>(layout.sizes[g]);
+      if (monomer_phase) out.monomer_task_seconds += res.group_busy[g];
     }
     return res.makespan;
   };
@@ -145,9 +151,11 @@ ExecutionResult run_dlb(const System& sys, const CostModel& cost,
       queue.push_back(
           {sys.fragments[f].name,
            [model](long long n) { return model.eval(static_cast<double>(n)); },
-           phase});
+           phase,
+           sys.fragments[f].halo_gb * static_cast<double>(pairs[f]),
+           sys.fragments[f].memory_gb});
     }
-    const double end = drain(queue, clock);
+    const double end = drain(queue, clock, true);
     out.scc_seconds += (end - clock) + options.sync_overhead;
     add_overhead(out.trace, "sync", phase, end, options.sync_overhead);
     clock = end + options.sync_overhead;
@@ -175,7 +183,7 @@ ExecutionResult run_dlb(const System& sys, const CostModel& cost,
            [model](long long n) { return model.eval(static_cast<double>(n)); },
            "dimer"});
     }
-    const double end = drain(queue, clock);
+    const double end = drain(queue, clock, false);
     out.dimer_seconds = end - clock;
     clock = end;
     for (std::size_t i : dimer_order) {
@@ -231,6 +239,7 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
   sim::Runtime rt(machine);
   const sim::NodeSet all{0, machine.nodes};
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  const auto pairs = sys.scf_neighbor_counts();
 
   // SCC loop: one concurrent wave of fragment tasks per iteration, closed
   // by a full-machine synchronization barrier (charge exchange).
@@ -246,7 +255,9 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
       const std::size_t id = rt.add_task(
           sys.fragments[f].name,
           monomers[f].eval(static_cast<double>(out.group_nodes[f])),
-          frag_nodes[f], std::move(deps), phase, false);
+          frag_nodes[f], std::move(deps), phase, false,
+          {sys.fragments[f].halo_gb * static_cast<double>(pairs[f]),
+           sys.fragments[f].memory_gb});
       monomer_ids.emplace_back(id, f);
       wave.push_back(id);
     }
@@ -351,6 +362,8 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
   out.trace = rr.trace;
   out.completed = rr.completed;
   out.restarts = rr.restarts;
+  out.comm_seconds = rr.comm_seconds;
+  out.page_seconds = rr.page_seconds;
 
   // Reconstruct the work accounting from the placements; sync barriers and
   // the ES tail occupy nodes but are overhead, not work. Tasks a permanent
@@ -363,6 +376,7 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
     const double t = ran_for(id);
     out.group_busy[f] += t;
     out.busy_node_seconds += t * static_cast<double>(out.group_nodes[f]);
+    out.monomer_task_seconds += t;
   }
   for (const auto& [id, n] : wave_dimer_ids)
     out.busy_node_seconds += ran_for(id) * static_cast<double>(n);

@@ -87,6 +87,15 @@ struct ExecutionResult {
   /// Attempts aborted by the fail-stop and re-run.
   std::size_t restarts = 0;
 
+  /// Communication / paging charges the machine levied over the whole run
+  /// (zero on machines that model neither — the compute-only regime).
+  double comm_seconds = 0.0;
+  double page_seconds = 0.0;
+  /// Monomer (SCC-phase) task-seconds including those charges: the actual
+  /// the fitted per-fragment models predict, term-attributed in the
+  /// pipeline report.
+  double monomer_task_seconds = 0.0;
+
   /// Node-weighted parallel efficiency: busy node-seconds over
   /// total-node-seconds of the whole run.
   double efficiency(long long total_nodes) const;

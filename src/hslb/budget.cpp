@@ -10,13 +10,21 @@ namespace hslb {
 
 namespace {
 
+/// A knapsack (memory) term can force more nodes than the caller's
+/// min_nodes: the effective floor every solver and the MINLP builder use.
+/// Compute-only models report min_feasible_nodes() == 1, so the floor
+/// degenerates to min_nodes there.
+long long effective_min(const BudgetTask& t) {
+  return std::max(t.min_nodes, t.model.min_feasible_nodes());
+}
+
 void validate(std::span<const BudgetTask> tasks, long long budget) {
   HSLB_EXPECTS(!tasks.empty());
   long long min_total = 0;
   for (const auto& t : tasks) {
     HSLB_EXPECTS(t.min_nodes >= 1);
-    HSLB_EXPECTS(t.max_nodes >= t.min_nodes);
-    min_total += t.min_nodes;
+    HSLB_EXPECTS(t.max_nodes >= effective_min(t));
+    min_total += effective_min(t);
   }
   HSLB_EXPECTS(min_total <= budget);
 }
@@ -43,16 +51,10 @@ double evaluate_objective(std::span<const BudgetTask> tasks,
                           Objective objective) {
   HSLB_EXPECTS(tasks.size() == nodes.size());
   HSLB_EXPECTS(!tasks.empty());
-  double acc = objective == Objective::MinSum ? 0.0 : eval(tasks[0], nodes[0]);
-  for (std::size_t f = 0; f < tasks.size(); ++f) {
-    const double t = eval(tasks[f], nodes[f]);
-    switch (objective) {
-      case Objective::MinMax: acc = f == 0 ? t : std::max(acc, t); break;
-      case Objective::MaxMin: acc = f == 0 ? t : std::min(acc, t); break;
-      case Objective::MinSum: acc += t; break;
-    }
-  }
-  return acc;
+  std::vector<double> times(tasks.size());
+  for (std::size_t f = 0; f < tasks.size(); ++f)
+    times[f] = eval(tasks[f], nodes[f]);
+  return fold_objective(objective, times);
 }
 
 Allocation solve_min_max(std::span<const BudgetTask> tasks, long long budget) {
@@ -63,8 +65,9 @@ Allocation solve_min_max(std::span<const BudgetTask> tasks, long long budget) {
   std::vector<long long> nodes(tasks.size());
   long long used = 0;
   for (std::size_t f = 0; f < tasks.size(); ++f) {
-    cap[f] = tasks[f].model.argmin_int(tasks[f].min_nodes, tasks[f].max_nodes).first;
-    nodes[f] = tasks[f].min_nodes;
+    const long long lo = effective_min(tasks[f]);
+    cap[f] = tasks[f].model.argmin_int(lo, tasks[f].max_nodes).first;
+    nodes[f] = lo;
     used += nodes[f];
   }
 
@@ -91,7 +94,7 @@ Allocation solve_min_sum(std::span<const BudgetTask> tasks, long long budget) {
   std::vector<long long> nodes(tasks.size());
   long long used = 0;
   for (std::size_t f = 0; f < tasks.size(); ++f) {
-    nodes[f] = tasks[f].min_nodes;
+    nodes[f] = effective_min(tasks[f]);
     used += nodes[f];
   }
   // Marginal gains are non-increasing for convex models, so a gain heap
@@ -159,7 +162,7 @@ Allocation solve_max_min(std::span<const BudgetTask> tasks, long long budget) {
     double round_best = best;
     std::size_t best_from = tasks.size(), best_to = tasks.size();
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      if (nodes[i] <= tasks[i].min_nodes) continue;
+      if (nodes[i] <= effective_min(tasks[i])) continue;
       for (std::size_t j = 0; j < tasks.size(); ++j) {
         if (i == j || nodes[j] >= tasks[j].max_nodes) continue;
         --nodes[i];
@@ -199,43 +202,84 @@ minlp::Model build_budget_minlp(std::span<const BudgetTask> tasks,
   validate(tasks, budget);
   minlp::Model m;
 
-  // n_f variables first (task order), epigraph variable(s) after.
+  // n_f variables first (task order), epigraph variable(s) after, then any
+  // auxiliary split variables — so compute-only instances lay out exactly
+  // as the power-law-only builder did (warm starts, presolve, and the cut
+  // pool see an unchanged model).
   std::vector<std::size_t> n_vars;
   double worst_total = 0.0;
   for (const auto& t : tasks) {
-    n_vars.push_back(m.add_integer(static_cast<double>(t.min_nodes),
+    n_vars.push_back(m.add_integer(static_cast<double>(effective_min(t)),
                                    static_cast<double>(t.max_nodes),
                                    "n_" + t.name));
-    worst_total += t.model.eval(static_cast<double>(t.min_nodes));
+    worst_total += t.model.eval(static_cast<double>(effective_min(t)));
   }
 
-  auto add_epigraph = [&m](std::size_t n_var, const perf::Model& pm,
-                           std::size_t t_var, const std::string& name) {
-    // pm(n) - t <= 0 (convex because pm is convex and t enters linearly).
+  // Convex nonlinear epigraph for the non-affine part of a cost model:
+  //   nonlinear(n) - epi <= 0
+  // where `epi` is either the task time variable itself (no affine terms —
+  // the classic case) or an auxiliary split variable s.
+  auto add_epigraph = [&m](std::size_t n_var, const perf::CostModel& cm,
+                           std::size_t epi_var, const std::string& name) {
     minlp::NonlinearConstraint c;
     c.name = name;
-    c.formula = pm.expr(m.var_name(n_var)) + " - " + m.var_name(t_var) + " <= 0";
-    c.vars = {n_var, t_var};
-    c.value = [n_var, t_var, pm](std::span<const double> x) {
-      return pm.eval(x[n_var]) - x[t_var];
+    c.formula =
+        cm.expr_nonlinear(m.var_name(n_var)) + " - " + m.var_name(epi_var) +
+        " <= 0";
+    c.vars = {n_var, epi_var};
+    c.value = [n_var, epi_var, cm](std::span<const double> x) {
+      return cm.eval_nonlinear(x[n_var]) - x[epi_var];
     };
-    c.gradient = [n_var, t_var, pm](std::span<const double> x) {
-      return std::vector<minlp::GradEntry>{{n_var, pm.deriv_n(x[n_var])},
-                                           {t_var, -1.0}};
+    c.gradient = [n_var, epi_var, cm](std::span<const double> x) {
+      return std::vector<minlp::GradEntry>{{n_var, cm.deriv_nonlinear(x[n_var])},
+                                           {epi_var, -1.0}};
     };
     m.add_nonlinear(std::move(c));
+  };
+
+  // Per-task constraint assembly: the affine part (communication, serial
+  // floors of linear terms) goes in as an exact linear row, the rest as
+  // the nonlinear epigraph; memory terms add their knapsack row.
+  auto add_task_rows = [&](std::size_t f, std::size_t t_var) {
+    const auto& task = tasks[f];
+    const std::size_t n_var = n_vars[f];
+    double slope = 0.0, intercept = 0.0;
+    const bool has_lin = task.model.linear_part(slope, intercept);
+    if (!has_lin) {
+      add_epigraph(n_var, task.model, t_var, "T_" + task.name);
+    } else if (task.model.has_nonlinear()) {
+      // Split: nonlinear(n) <= s and s + slope*n <= t - intercept. The
+      // linearized communication cost rides in the LP relaxation exactly,
+      // so outer-approximation cuts only chase the genuinely curved part.
+      const auto s_var =
+          m.add_continuous(0.0, worst_total, "s_" + task.name);
+      add_epigraph(n_var, task.model, s_var, "S_" + task.name);
+      m.add_linear({{s_var, 1.0}, {n_var, slope}, {t_var, -1.0}},
+                   -minlp::kInf, -intercept, "lin_" + task.name);
+    } else {
+      // Fully affine model: no nonlinear constraint at all.
+      m.add_linear({{n_var, slope}, {t_var, -1.0}}, -minlp::kInf, -intercept,
+                   "lin_" + task.name);
+    }
+    for (std::size_t i = 0; i < task.model.num_terms(); ++i) {
+      double cap = 0.0, demand = 0.0;
+      if (task.model.term(i).knapsack_row(cap, demand)) {
+        // capacity * n >= working set: the memory knapsack.
+        m.add_linear({{n_var, cap}}, demand, minlp::kInf,
+                     "mem_" + task.name);
+      }
+    }
   };
 
   if (objective == Objective::MinMax) {
     const auto t_var = m.add_continuous(0.0, worst_total, "T");
     m.set_objective(t_var, 1.0);
-    for (std::size_t f = 0; f < tasks.size(); ++f)
-      add_epigraph(n_vars[f], tasks[f].model, t_var, "T_" + tasks[f].name);
+    for (std::size_t f = 0; f < tasks.size(); ++f) add_task_rows(f, t_var);
   } else {
     for (std::size_t f = 0; f < tasks.size(); ++f) {
       const auto t_var = m.add_continuous(0.0, worst_total, "t_" + tasks[f].name);
       m.set_objective(t_var, 1.0);
-      add_epigraph(n_vars[f], tasks[f].model, t_var, "T_" + tasks[f].name);
+      add_task_rows(f, t_var);
     }
   }
 

@@ -25,13 +25,19 @@
 #include "hslb/allocation.hpp"
 #include "hslb/objective.hpp"
 #include "minlp/model.hpp"
-#include "perf/model.hpp"
+#include "perf/terms.hpp"
 
 namespace hslb {
 
 struct BudgetTask {
   std::string name;
-  perf::Model model;
+  /// The task's cost model: any sum of registered terms (perf/terms.hpp).
+  /// Implicitly constructible from the classic perf::Model, in which case
+  /// every solver below behaves bit-identically to the power-law-only
+  /// implementation. Knapsack terms (memory) raise the effective node
+  /// floor; affine terms (communication) enter the MINLP as exact linear
+  /// rows rather than outer-approximated nonlinear constraints.
+  perf::CostModel model;
   long long min_nodes = 1;
   long long max_nodes = 0;  ///< inclusive upper bound (e.g. total nodes)
 };

@@ -1,6 +1,23 @@
 #include "hslb/objective.hpp"
 
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
 namespace hslb {
+
+double fold_objective(Objective o, std::span<const double> times) {
+  HSLB_EXPECTS(!times.empty());
+  double acc = o == Objective::MinSum ? 0.0 : times[0];
+  for (std::size_t f = 0; f < times.size(); ++f) {
+    switch (o) {
+      case Objective::MinMax: acc = f == 0 ? times[f] : std::max(acc, times[f]); break;
+      case Objective::MaxMin: acc = f == 0 ? times[f] : std::min(acc, times[f]); break;
+      case Objective::MinSum: acc += times[f]; break;
+    }
+  }
+  return acc;
+}
 
 std::string to_string(Objective o) {
   switch (o) {

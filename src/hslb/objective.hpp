@@ -7,6 +7,7 @@
 //       the concurrent structure entirely).
 #pragma once
 
+#include <span>
 #include <string>
 
 namespace hslb {
@@ -14,5 +15,10 @@ namespace hslb {
 enum class Objective { MinMax, MaxMin, MinSum };
 
 std::string to_string(Objective o);
+
+/// Folds per-task times into the scalar objective value: max, min, or sum.
+/// The accumulation order matches the original inline loops bit for bit
+/// (min-sum starts from 0.0, the others from the first element).
+double fold_objective(Objective o, std::span<const double> times);
 
 }  // namespace hslb

@@ -40,6 +40,18 @@ double PipelineReport::prediction_error() const {
   return (actual_total - predicted_total) / predicted_total;
 }
 
+double PipelineReport::term_predicted(const std::string& term) const {
+  for (const auto& t : terms)
+    if (t.term == term) return t.predicted_seconds;
+  return 0.0;
+}
+
+double PipelineReport::term_actual(const std::string& term) const {
+  for (const auto& t : terms)
+    if (t.term == term) return t.actual_seconds;
+  return 0.0;
+}
+
 std::string PipelineReport::str() const {
   std::string out = strings::format(
       "pipeline report — %s (%zu thread%s)\n", application.c_str(), threads,
@@ -83,6 +95,14 @@ std::string PipelineReport::str() const {
         exec_restarts, exec_restarts == 1 ? "" : "s",
         exec_completed ? "" : ", INCOMPLETE");
   }
+  if (!terms.empty()) {
+    out += "           terms (task-seconds):";
+    for (const auto& t : terms) {
+      out += strings::format(" %s %.3f/%.3f", t.term.c_str(),
+                             t.predicted_seconds, t.actual_seconds);
+    }
+    out += " (predicted/actual)\n";
+  }
   out += strings::format(
       "  predicted %.3f s, actual %.3f s (error %+.1f%%)\n", predicted_total,
       actual_total, 100.0 * prediction_error());
@@ -100,7 +120,8 @@ std::string PipelineReport::csv_header() {
          "solver_bounds_tightened,solver_nodes_propagated_infeasible,"
          "solver_cuts_retired,solver_cuts_reactivated,predicted_s,actual_s,"
          "machine,exec_makespan_s,exec_busy_node_s,exec_efficiency,"
-         "exec_imbalance,exec_events,exec_restarts,exec_completed";
+         "exec_imbalance,exec_events,exec_restarts,exec_completed,"
+         "comm_pred_s,comm_actual_s,mem_pred_s,mem_actual_s";
 }
 
 std::string PipelineReport::csv_row() const {
@@ -123,6 +144,9 @@ std::string PipelineReport::csv_row() const {
                          exec_makespan, exec_busy_node_seconds, exec_efficiency,
                          exec_imbalance, exec_events, exec_restarts,
                          exec_completed ? 1 : 0);
+  row += strings::format(",%.6f,%.6f,%.6f,%.6f", term_predicted("comm"),
+                         term_actual("comm"), term_predicted("memory"),
+                         term_actual("memory"));
   return row;
 }
 
@@ -206,6 +230,22 @@ PipelineRun Pipeline::run(Application& app) const {
       if (e.aborted) ++out.report.exec_restarts;
   }
   out.report.exec_completed = app.execution_completed();
+
+  // Term-wise breakdown: Solve's predictions merged with Execute's actuals
+  // by term name (actual-only terms get a zero-prediction row, so model
+  // blind spots show up instead of vanishing).
+  out.report.terms = out.solution.term_predictions;
+  for (const auto& [term, seconds] : app.execution_term_seconds()) {
+    bool merged = false;
+    for (auto& row : out.report.terms) {
+      if (row.term == term) {
+        row.actual_seconds = seconds;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.report.terms.push_back({term, 0.0, seconds});
+  }
 
   return out;
 }

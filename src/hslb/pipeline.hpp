@@ -67,6 +67,16 @@ struct SolverStats {
   std::size_t cuts_reactivated = 0;       ///< retired cuts pulled back
 };
 
+/// Predicted-vs-actual seconds attributed to one cost term (powerlaw /
+/// compute / comm / memory / ...). Semantics are task-seconds summed over
+/// the allocation — work volume, not makespan — so the comparison is
+/// placement-independent.
+struct TermReport {
+  std::string term;
+  double predicted_seconds = 0.0;
+  double actual_seconds = 0.0;
+};
+
 /// What the Solve step hands to the Execute step.
 struct SolveOutcome {
   Allocation allocation;
@@ -74,6 +84,9 @@ struct SolveOutcome {
   /// (defaults to allocation.predicted_total when left at 0).
   double predicted_total = 0.0;
   SolverStats solver;
+  /// Term-wise prediction breakdown (empty = model not term-attributed).
+  /// Execute-side actuals are merged in by Pipeline::run.
+  std::vector<TermReport> term_predictions;
 };
 
 /// Fit quality of one task (report row).
@@ -121,6 +134,13 @@ struct PipelineReport {
   std::size_t exec_events = 0;
   std::size_t exec_restarts = 0;  ///< attempts aborted by a fail-stop
   bool exec_completed = true;     ///< false when a failure wedged the run
+
+  /// Term-wise predicted vs actual task-seconds: Solve's term_predictions
+  /// merged with the application's execution_term_seconds() by term name.
+  std::vector<TermReport> terms;
+  /// Predicted/actual seconds of a named term (0 when not reported).
+  double term_predicted(const std::string& term) const;
+  double term_actual(const std::string& term) const;
 
   /// Human-readable multi-line rendering (what `hslb fmo/cesm` print).
   std::string str() const;
@@ -173,6 +193,14 @@ class Application {
   /// False when the last execute() could not finish (e.g. a permanent
   /// node failure under a static schedule).
   virtual bool execution_completed() const { return true; }
+
+  /// Actual task-seconds of the last execute() attributed per cost term
+  /// (e.g. {"powerlaw", ...}, {"comm", ...}); empty when the application
+  /// does not attribute execution time. Merged into PipelineReport::terms.
+  virtual std::vector<std::pair<std::string, double>> execution_term_seconds()
+      const {
+    return {};
+  }
 };
 
 struct PipelineOptions {

@@ -11,7 +11,24 @@
 
 namespace hslb::perf {
 
-FitResult fit(const SampleSet& samples, const FitOptions& options) {
+namespace {
+
+CostModel bind_params(const CostModelSpec& spec, std::span<const double> p) {
+  CostModel cm;
+  std::size_t off = 0;
+  for (const auto& term : spec) {
+    const std::size_t k = term->num_params();
+    cm.add(term, std::vector<double>(p.begin() + off, p.begin() + off + k));
+    off += k;
+  }
+  return cm;
+}
+
+}  // namespace
+
+FitResult fit_cost(const SampleSet& samples, const CostModelSpec& spec,
+                   const FitOptions& options) {
+  HSLB_EXPECTS(!spec.empty());
   HSLB_EXPECTS(samples.size() >= 2);
   std::set<double> distinct;
   double max_y = 0.0, min_y = samples.front().seconds;
@@ -26,69 +43,109 @@ FitResult fit(const SampleSet& samples, const FitOptions& options) {
   }
   HSLB_EXPECTS(distinct.size() >= 2);
 
-  nlsq::Problem problem;
-  problem.num_params = 4;
-  problem.num_residuals = samples.size();
-  problem.residuals = [&samples](std::span<const double> p) {
-    const Model m{p[0], p[1], p[2], p[3]};
-    linalg::Vector r(samples.size());
-    for (std::size_t i = 0; i < samples.size(); ++i)
-      r[i] = samples[i].seconds - m.eval(samples[i].nodes);
-    return r;
-  };
-  problem.jacobian = [&samples](std::span<const double> p) {
-    const Model m{p[0], p[1], p[2], p[3]};
-    linalg::Matrix jac(samples.size(), 4);
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-      const auto g = m.grad_params(samples[i].nodes);
-      for (std::size_t j = 0; j < 4; ++j) jac(i, j) = -g[j];
-    }
-    return jac;
-  };
+  const FitScales scales{options.min_c, options.max_c, options.a_scale,
+                         options.d_scale, max_y,       min_y,
+                         max_an};
 
-  // Positivity constraints (Table II, line 11) and the convexity-preserving
-  // exponent window.
-  const double a_hi = options.a_scale * max_an;
-  const double d_hi = options.d_scale * min_y;
-  const double b_hi = std::max(max_y, 1.0);
-  problem.lower = {0.0, 0.0, options.min_c, 0.0};
-  problem.upper = {a_hi, b_hi, options.max_c, d_hi};
-
-  // Start box strictly inside the positive orthant (log-uniform sampling).
-  const linalg::Vector start_lo = {1e-6 * std::max(max_an, 1.0), 1e-12,
-                                   options.min_c, 1e-9 * std::max(min_y, 1e-3)};
-  const linalg::Vector start_hi = {a_hi, 1e-2 * b_hi, options.max_c,
-                                   std::max(d_hi, 2e-9)};
-
-  nlsq::MultistartOptions ms;
-  ms.num_starts = options.num_starts;
-  ms.seed = options.seed;
-  const auto res = nlsq::minimize_multistart(problem, start_lo, start_hi, ms);
+  std::size_t num_params = 0;
+  for (const auto& term : spec) num_params += term->num_params();
 
   FitResult out;
-  out.model = Model{res.best.params[0], res.best.params[1], res.best.params[2],
-                    res.best.params[3]};
-  out.sse = res.best.cost;
-  out.starts_tried = res.starts_tried;
-  out.starts_converged = res.starts_converged;
-  out.converged = res.best.converged;
+  if (num_params == 0) {
+    // Every term pinned — nothing to optimize, just score the model.
+    out.cost = bind_params(spec, {});
+    out.converged = true;
+    for (const auto& s : samples) {
+      const double r = s.seconds - out.cost.eval(s.nodes);
+      out.sse += r * r;
+    }
+  } else {
+    nlsq::Problem problem;
+    problem.num_params = num_params;
+    problem.num_residuals = samples.size();
+    problem.residuals = [&samples, &spec](std::span<const double> p) {
+      const CostModel m = bind_params(spec, p);
+      linalg::Vector r(samples.size());
+      for (std::size_t i = 0; i < samples.size(); ++i)
+        r[i] = samples[i].seconds - m.eval(samples[i].nodes);
+      return r;
+    };
+    problem.jacobian = [&samples, &spec,
+                        num_params](std::span<const double> p) {
+      linalg::Matrix jac(samples.size(), num_params);
+      std::vector<double> g(num_params);
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        std::size_t off = 0;
+        for (const auto& term : spec) {
+          const std::size_t k = term->num_params();
+          if (k > 0) {
+            term->grad_params(p.subspan(off, k), samples[i].nodes,
+                              std::span<double>(g).subspan(off, k));
+          }
+          off += k;
+        }
+        for (std::size_t j = 0; j < num_params; ++j) jac(i, j) = -g[j];
+      }
+      return jac;
+    };
+
+    // Positivity constraints (Table II, line 11) and each term's own bound
+    // windows, concatenated in spec order.
+    problem.lower = linalg::Vector(num_params);
+    problem.upper = linalg::Vector(num_params);
+    linalg::Vector start_lo(num_params), start_hi(num_params);
+    {
+      std::size_t off = 0;
+      for (const auto& term : spec) {
+        const std::size_t k = term->num_params();
+        if (k > 0) {
+          term->fit_bounds(scales,
+                           std::span<double>(problem.lower).subspan(off, k),
+                           std::span<double>(problem.upper).subspan(off, k));
+          term->start_box(scales, std::span<double>(start_lo).subspan(off, k),
+                          std::span<double>(start_hi).subspan(off, k));
+        }
+        off += k;
+      }
+    }
+
+    nlsq::MultistartOptions ms;
+    ms.num_starts = options.num_starts;
+    ms.seed = options.seed;
+    const auto res = nlsq::minimize_multistart(problem, start_lo, start_hi, ms);
+
+    out.cost = bind_params(spec, res.best.params);
+    out.sse = res.best.cost;
+    out.starts_tried = res.starts_tried;
+    out.starts_converged = res.starts_converged;
+    out.converged = res.best.converged;
+  }
+
+  out.model = out.cost.power_law().value_or(Model{0.0, 0.0, 1.0, 0.0});
 
   std::vector<double> observed, predicted;
   for (const auto& s : samples) {
     observed.push_back(s.seconds);
-    predicted.push_back(out.model.eval(s.nodes));
+    predicted.push_back(out.cost.eval(s.nodes));
   }
   out.r2 = stats::r_squared(observed, predicted);
   out.rmse = stats::rmse(observed, predicted);
   return out;
 }
 
+FitResult fit(const SampleSet& samples, const FitOptions& options) {
+  return fit_cost(samples, {power_law_term()}, options);
+}
+
 std::vector<std::pair<std::string, FitResult>> fit_all(
-    const BenchTable& table, const FitOptions& options, ThreadPool* pool) {
+    const BenchTable& table, const FitOptions& options, ThreadPool* pool,
+    const CostModelSpec& spec) {
+  static const CostModelSpec classic{power_law_term()};
+  const CostModelSpec& use = spec.empty() ? classic : spec;
   std::vector<std::pair<std::string, FitResult>> out(table.tasks.size());
   const auto fit_one = [&](std::size_t i) {
     const auto& t = table.tasks[i];
-    out[i] = {t.task, fit(t.samples, options)};
+    out[i] = {t.task, fit_cost(t.samples, use, options)};
   };
   if (pool != nullptr) {
     pool->parallel_for(out.size(), fit_one);

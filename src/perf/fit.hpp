@@ -1,23 +1,36 @@
-// The Fit step of HSLB (Table II, line 10):
+// The Fit step of HSLB (Table II, line 10), generalized to a sum of
+// registered cost terms:
 //
-//   min_{a,b,c,d >= 0}  sum_i ( y_i - a/n_i - b*n_i^c - d )^2
+//   min_{p >= 0}  sum_i ( y_i - sum_k term_k(p_k, n_i) )^2
 //
 // solved by box-constrained Levenberg-Marquardt with multistart, with
-// data-driven start boxes. By default the exponent c is constrained to
-// [1, c_max] so that the fitted model is convex and the allocation MINLP is
-// solved to proven global optimality (§III-E); the paper observed b, c
-// "almost equal to zero" on Intrepid, which the convex fit reproduces with
-// b ~ 0.
+// data-driven start boxes supplied per term. The classic spec is the single
+// `powerlaw` term a/n + b*n^c + d, which delegates to perf::Model verbatim,
+// so fit() is bit-identical to the pre-refactor power-law fit. By default
+// the exponent c is constrained to [1, c_max] so that the fitted model is
+// convex and the allocation MINLP is solved to proven global optimality
+// (§III-E); the paper observed b, c "almost equal to zero" on Intrepid,
+// which the convex fit reproduces with b ~ 0.
+//
+// Terms with zero fitted parameters (pinned analytic terms, e.g. a comm
+// term with beta = 1/bandwidth from the machine spec) are subtracted from
+// the data rather than optimized; a spec made only of pinned terms skips
+// the optimizer entirely and just reports goodness of fit.
 #pragma once
 
 #include "perf/benchdata.hpp"
 #include "perf/model.hpp"
+#include "perf/terms.hpp"
 
 namespace hslb {
 class ThreadPool;
 }
 
 namespace hslb::perf {
+
+/// The terms a fit should compose; parameter values come out in the
+/// resulting CostModel, laid out in spec order.
+using CostModelSpec = std::vector<TermPtr>;
 
 struct FitOptions {
   std::size_t num_starts = 24;
@@ -29,13 +42,19 @@ struct FitOptions {
   /// min_c < 1 to reproduce the paper's unconstrained-c discussion.
   double min_c = 1.0;
   double max_c = 3.0;
-  /// Upper bounds as multiples of data scales (see fit() implementation).
+  /// Upper bounds as multiples of data scales (see FitScales).
   double a_scale = 50.0;
   double d_scale = 2.0;
 };
 
 struct FitResult {
+  /// Power-law view of the fit: the first powerlaw term's parameters, or
+  /// all zeros (with c = 1) when the spec has none. Kept so existing
+  /// consumers of (a, b, c, d) — model I/O, reports, benches — read the
+  /// classic fit unchanged.
   Model model;
+  /// The fitted cost model: one entry per spec term with bound parameters.
+  CostModel cost;
   double sse = 0.0;
   double rmse = 0.0;
   double r2 = 0.0;             ///< the paper's fit-quality criterion (§III-C)
@@ -44,17 +63,22 @@ struct FitResult {
   bool converged = false;
 };
 
-/// Fits one component's samples. Requires >= 2 distinct node counts; the
-/// paper recommends >= 4 samples ("at least greater than four") — fewer is
-/// allowed but flagged by the returned diagnostics (r2 of a saturated fit
-/// is trivially 1).
+/// Fits one component's samples against an explicit term spec. Requires
+/// >= 2 distinct node counts; the paper recommends >= 4 samples ("at least
+/// greater than four") — fewer is allowed but flagged by the returned
+/// diagnostics (r2 of a saturated fit is trivially 1).
+FitResult fit_cost(const SampleSet& samples, const CostModelSpec& spec,
+                   const FitOptions& options = {});
+
+/// Classic power-law fit: fit_cost with the single `powerlaw` term.
 FitResult fit(const SampleSet& samples, const FitOptions& options = {});
 
 /// Fits every task in a gather table, `options.threads` tasks at a time.
 /// Passing an existing `pool` reuses its workers (options.threads is then
 /// ignored); otherwise a transient pool is built when threads != 1.
+/// A non-empty `spec` applies to every task; empty = classic power law.
 std::vector<std::pair<std::string, FitResult>> fit_all(
     const BenchTable& table, const FitOptions& options = {},
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, const CostModelSpec& spec = {});
 
 }  // namespace hslb::perf

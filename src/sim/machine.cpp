@@ -1,8 +1,33 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 
 namespace hslb::sim {
+
+double Machine::comm_seconds(double volume_gb, double span) const {
+  HSLB_EXPECTS(volume_gb >= 0.0);
+  HSLB_EXPECTS(span >= 0.0);
+  const double traffic = volume_gb * span;
+  if (traffic == 0.0) return 0.0;  // exact zero even on a zero-bandwidth link
+  return traffic / link_gb_per_s;
+}
+
+double Machine::page_seconds(double memory_gb, double span) const {
+  HSLB_EXPECTS(memory_gb >= 0.0);
+  HSLB_EXPECTS(span >= 1.0);
+  const double spill = std::max(0.0, memory_gb / span - memory_gb_per_node);
+  if (spill == 0.0) return 0.0;
+  return page_s_per_gb * spill * span;
+}
+
+bool Machine::memory_feasible(double memory_gb, double span) const {
+  HSLB_EXPECTS(memory_gb >= 0.0);
+  HSLB_EXPECTS(span >= 1.0);
+  if (memory_gb / span <= memory_gb_per_node) return true;
+  return page_s_per_gb > 0.0;  // paging machines penalize instead of reject
+}
 
 Machine Machine::intrepid() { return Machine{"intrepid", 40960, 4}; }
 

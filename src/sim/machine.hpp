@@ -3,9 +3,16 @@
 // §III-C: "nodes were used to represent the physical computing unit in our
 // algorithm. On Intrepid, there are 4 cores per node and CESM is run with
 // 1 MPI task and 4 threads per task on each node."
+//
+// Beyond the paper's compute-only view, a machine optionally models the
+// per-node interconnect link and memory capacity. The defaults (infinite
+// bandwidth, infinite memory, zero paging cost) mean "unmodeled": every
+// communication or memory charge evaluates to exactly zero, so compute-only
+// configurations are bit-identical to the pre-extension behavior.
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 
 namespace hslb::sim {
@@ -15,7 +22,43 @@ struct Machine {
   std::size_t nodes = 0;
   std::size_t cores_per_node = 1;
 
+  /// Injection bandwidth of one node's link, GB/s. Infinite = communication
+  /// unmodeled; zero = a degenerate machine that cannot communicate at all
+  /// (any nonzero exchange is infeasible).
+  double link_gb_per_s = std::numeric_limits<double>::infinity();
+
+  /// Usable memory per node, GB. Infinite = memory unmodeled.
+  double memory_gb_per_node = std::numeric_limits<double>::infinity();
+
+  /// Seconds per GB of working set spilled past node memory. Zero (the
+  /// default) makes overcommit a hard infeasibility; positive values model
+  /// soft paging/out-of-core penalties instead of rejection.
+  double page_s_per_gb = 0.0;
+
   std::size_t total_cores() const { return nodes * cores_per_node; }
+
+  bool models_communication() const {
+    return link_gb_per_s != std::numeric_limits<double>::infinity();
+  }
+  bool models_memory() const {
+    return memory_gb_per_node != std::numeric_limits<double>::infinity();
+  }
+
+  /// Seconds to deliver `volume_gb` to each of `span` ranks over this
+  /// machine's links: the sending side serializes one replicated halo per
+  /// destination, so the charge grows linearly with the span. Zero volume
+  /// or span charges exactly 0.0; zero bandwidth with nonzero traffic is
+  /// infinite (the placement is infeasible).
+  double comm_seconds(double volume_gb, double span) const;
+
+  /// Paging penalty for a task whose `memory_gb` working set is split
+  /// across `span` nodes: page_s_per_gb * max(0, memory_gb/span - capacity)
+  /// per node, summed over the span. Exactly 0.0 when within capacity.
+  double page_seconds(double memory_gb, double span) const;
+
+  /// True when a task needing `memory_gb` across `span` nodes fits in node
+  /// memory, or the machine pages instead of rejecting (page_s_per_gb > 0).
+  bool memory_feasible(double memory_gb, double span) const;
 
   /// Intrepid: IBM Blue Gene/P at the Argonne Leadership Computing
   /// Facility — 40,960 quad-core nodes (163,840 cores). The paper's runs

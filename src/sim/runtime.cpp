@@ -44,11 +44,18 @@ double Perturbation::slowdown(const NodeSet& nodes) const {
 
 double Perturbation::noise(const std::string& phase, const std::string& task,
                            std::uint64_t attempt) const {
+  return noise_keyed(noise_key(phase, task), attempt);
+}
+
+std::uint64_t Perturbation::noise_key(const std::string& phase,
+                                      const std::string& task) const {
+  return derive_seed(derive_seed(seed, hash_name(phase)), hash_name(task));
+}
+
+double Perturbation::noise_keyed(std::uint64_t key,
+                                 std::uint64_t attempt) const {
   if (noise_cv <= 0.0) return 1.0;
-  const std::uint64_t key = derive_seed(
-      derive_seed(derive_seed(seed, hash_name(phase)), hash_name(task)),
-      attempt);
-  NoiseModel model(noise_cv, key);
+  NoiseModel model(noise_cv, derive_seed(key, attempt));
   return model.perturb(1.0);
 }
 
@@ -67,13 +74,15 @@ Runtime::Runtime(Machine machine) : machine_(std::move(machine)) {
 
 std::size_t Runtime::add_task(std::string name, double duration, NodeSet nodes,
                               std::vector<std::size_t> deps, std::string phase,
-                              bool fixed) {
+                              bool fixed, TaskDemand demand) {
   HSLB_EXPECTS(duration >= 0.0);
   HSLB_EXPECTS(nodes.count >= 1);
   HSLB_EXPECTS(nodes.end() <= machine_.nodes);
+  HSLB_EXPECTS(demand.comm_gb >= 0.0 && demand.memory_gb >= 0.0);
   for (std::size_t d : deps) HSLB_EXPECTS(d < tasks_.size());
   tasks_.push_back(Task{std::move(name), duration, nodes, std::move(deps),
-                        std::move(phase), fixed});
+                        std::move(phase), fixed, demand.comm_gb,
+                        demand.memory_gb});
   return tasks_.size() - 1;
 }
 
@@ -96,6 +105,18 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
   const double recover = perturbation.fail_time + perturbation.fail_downtime;
 
   std::size_t resolved = 0;
+  // Placements the machine cannot legally run — working set past node
+  // memory on a non-paging machine, or nonzero traffic on a dead link —
+  // are rejected up front; their dependents resolve as Failed below.
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    const auto span = static_cast<double>(tasks_[t].nodes.count);
+    if (!machine_.memory_feasible(tasks_[t].memory_gb, span) ||
+        std::isinf(machine_.comm_seconds(tasks_[t].comm_gb, span))) {
+      state[t] = State::Failed;
+      ++resolved;
+      ++out.rejected;
+    }
+  }
   while (resolved < tasks_.size()) {
     // A ready task with a failed dependency can never run; resolve those
     // first so the pick below only sees runnable candidates.
@@ -148,6 +169,13 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
     const Task& t = tasks_[best];
     const bool hit = perturbation.hits(t.nodes);
     const double slow = t.fixed ? 1.0 : perturbation.slowdown(t.nodes);
+    const auto span = static_cast<double>(t.nodes.count);
+    const double comm = machine_.comm_seconds(t.comm_gb, span);
+    const double page = machine_.page_seconds(t.memory_gb, span);
+    // Intern the (phase, task) noise key once; attempts re-draw from it
+    // without re-hashing the strings.
+    const std::uint64_t nkey =
+        t.fixed ? 0 : perturbation.noise_key(t.phase, t.name);
     double start = best_start;
     double end = 0.0;
     std::uint64_t attempt = 0;
@@ -161,8 +189,13 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
         start = recover;  // wait out the downtime
       }
       const double factor =
-          t.fixed ? 1.0 : perturbation.noise(t.phase, t.name, attempt);
-      end = start + t.duration * factor * slow;
+          t.fixed ? 1.0 : perturbation.noise_keyed(nkey, attempt);
+#ifndef NDEBUG
+      // Keyed draws must match the string-keyed path bit for bit.
+      HSLB_ASSERT(t.fixed ||
+                  factor == perturbation.noise(t.phase, t.name, attempt));
+#endif
+      end = start + t.duration * factor * slow + comm + page;
       if (hit && start < fail_at && end > fail_at) {
         // The fail-stop interrupts this attempt: the work is lost and the
         // task re-runs (fresh noise draw) once the node recovers.
@@ -187,6 +220,8 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
       continue;
     }
     out.tasks[best] = {start, end};
+    out.comm_seconds += comm;
+    out.page_seconds += page;
     for (std::size_t n = t.nodes.first; n < t.nodes.end(); ++n)
       node_free[n] = end;
     out.trace.events.push_back(
@@ -231,13 +266,29 @@ QueueRunResult Runtime::run_queue(const Machine& machine,
   const double fail_at = perturbation.fail_time;
   const double recover = perturbation.fail_time + perturbation.fail_downtime;
   std::vector<std::uint64_t> attempt(queue.size(), 0);
+  // Intern every (phase, task) noise key up front — one hash per queue
+  // entry instead of one per dispatch attempt.
+  std::vector<std::uint64_t> nkey(queue.size());
+  for (std::size_t t = 0; t < queue.size(); ++t)
+    nkey[t] = perturbation.noise_key(queue[t].phase, queue[t].name);
 
   for (std::size_t t = 0; t < queue.size(); ++t) {
+    // Groups the machine cannot legally run this task on (overcommitted
+    // memory, dead link) are set aside — skipped for this task only, not
+    // retired — and rejoin the pool once the task is placed or given up.
+    std::vector<Entry> unfit;
     for (bool placed = false; !placed;) {
       if (pool.empty()) {
-        // Every group has retired with work remaining.
+        if (unfit.empty()) {
+          // Every group has retired with work remaining.
+          out.completed = false;
+          return out;
+        }
+        // No surviving group can run this task; it stays unrun while the
+        // rest of the queue drains on the groups that remain.
         out.completed = false;
-        return out;
+        ++out.rejected;
+        break;
       }
       const auto [free, g] = pool.top();
       pool.pop();
@@ -249,12 +300,24 @@ QueueRunResult Runtime::run_queue(const Machine& machine,
         if (!std::isinf(recover)) pool.push({recover, g});
         continue;
       }
+      const auto span = static_cast<double>(nodes.count);
+      const double comm = machine.comm_seconds(queue[t].comm_gb, span);
+      const double page = machine.page_seconds(queue[t].memory_gb, span);
+      if (!machine.memory_feasible(queue[t].memory_gb, span) ||
+          std::isinf(comm)) {
+        unfit.push_back({free, g});
+        continue;
+      }
+      const double factor = perturbation.noise_keyed(nkey[t], attempt[t]);
+#ifndef NDEBUG
+      HSLB_ASSERT(factor == perturbation.noise(queue[t].phase, queue[t].name,
+                                               attempt[t]));
+#endif
       const double duration =
-          queue[t].seconds(static_cast<long long>(nodes.count)) *
-          perturbation.noise(queue[t].phase, queue[t].name, attempt[t]) *
+          queue[t].seconds(static_cast<long long>(nodes.count)) * factor *
           perturbation.slowdown(nodes);
       const double start = free;
-      const double end = start + duration;
+      const double end = start + duration + comm + page;
       if (hit && start < fail_at && end > fail_at) {
         // Abort; the task goes back to the queue head and is re-dispatched
         // to whichever group frees up next — dynamic dispatch shrugs off
@@ -270,11 +333,14 @@ QueueRunResult Runtime::run_queue(const Machine& machine,
                                   nodes.count, start, end, false});
       out.tasks[t] = {start, end};
       out.task_group[t] = g;
-      out.group_busy[g] += duration;
+      out.group_busy[g] += duration + comm + page;
+      out.comm_seconds += comm;
+      out.page_seconds += page;
       out.makespan = std::max(out.makespan, end);
       pool.push({end, g});
       placed = true;
     }
+    for (const auto& e : unfit) pool.push(e);
   }
   return out;
 }

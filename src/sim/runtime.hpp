@@ -57,9 +57,19 @@ struct Perturbation {
 
   /// One keyed noise factor: deterministic in (seed, phase, task, attempt)
   /// so results are invariant to scheduling order — the same convention as
-  /// cesm::Simulator::benchmark_at.
+  /// cesm::Simulator::benchmark_at. Equivalent to
+  /// noise_keyed(noise_key(phase, task), attempt).
   double noise(const std::string& phase, const std::string& task,
                std::uint64_t attempt) const;
+
+  /// Interned (phase, task) noise key: hash the strings once, then draw
+  /// per attempt with noise_keyed. The runtime computes this once per task
+  /// instead of re-hashing both strings on every attempt.
+  std::uint64_t noise_key(const std::string& phase,
+                          const std::string& task) const;
+
+  /// The attempt draw for an interned key; bitwise identical to noise().
+  double noise_keyed(std::uint64_t key, std::uint64_t attempt) const;
 
   /// Draws per-node straggler factors max(1, lognormal(cv)) from one
   /// seeded stream; use to share factors between runs being compared.
@@ -76,6 +86,11 @@ struct RunResult {
   bool completed = true;   ///< every task ran to completion
   std::size_t restarts = 0;  ///< aborted attempts re-run after the failure
   double makespan = 0.0;   ///< latest successful task end
+  /// Tasks whose placement the machine rejected outright (memory overcommit
+  /// on a non-paging machine, nonzero traffic on a zero-bandwidth link).
+  std::size_t rejected = 0;
+  double comm_seconds = 0.0;  ///< total link-serialization charge
+  double page_seconds = 0.0;  ///< total paging charge
 };
 
 /// Outcome of a dynamic Runtime::run_queue.
@@ -90,6 +105,10 @@ struct QueueRunResult {
   bool completed = true;
   std::size_t restarts = 0;
   double makespan = 0.0;  ///< latest event end (>= the given start time)
+  /// Queue entries no group could legally run (see RunResult::rejected).
+  std::size_t rejected = 0;
+  double comm_seconds = 0.0;
+  double page_seconds = 0.0;
 };
 
 class Runtime {
@@ -98,10 +117,13 @@ class Runtime {
 
   /// Adds a task; deps must reference earlier ids. `phase` keys the noise
   /// draw and labels the trace; `fixed` exempts the task from noise and
-  /// stragglers (synchronization barriers, analytic phases).
+  /// stragglers (synchronization barriers, analytic phases); `demand` is
+  /// the task's communication/memory footprint, charged and checked
+  /// against the machine (zero demand = pure compute, no charge).
   std::size_t add_task(std::string name, double duration, NodeSet nodes,
                        std::vector<std::size_t> deps = {},
-                       std::string phase = {}, bool fixed = false);
+                       std::string phase = {}, bool fixed = false,
+                       TaskDemand demand = {});
 
   std::size_t num_tasks() const { return tasks_.size(); }
   const Task& task(std::size_t id) const;
@@ -118,6 +140,11 @@ class Runtime {
     std::string name;
     std::function<double(long long)> seconds;
     std::string phase;
+    /// Communication/memory demand, checked per candidate group: a group
+    /// that cannot legally run the task is skipped (not retired) and the
+    /// task goes to the next free group instead.
+    double comm_gb = 0.0;
+    double memory_gb = 0.0;
   };
 
   /// Dynamic dispatch: `queue` is drained in order by the earliest-free

@@ -24,6 +24,19 @@ struct NodeSet {
   bool overlaps(const NodeSet& other) const;
 };
 
+/// Communication and memory footprint of one task — what the extended cost
+/// terms model and sim::Machine charges for. Zero (the default) keeps the
+/// task purely compute: no charge, no feasibility check, bit-identical to
+/// the demand-free runtime.
+struct TaskDemand {
+  /// GB of halo data each of the task's nodes must receive from off-node
+  /// neighbours per execution (charged via Machine::comm_seconds).
+  double comm_gb = 0.0;
+  /// GB of working set the task spreads across its node span (checked and
+  /// charged via Machine::memory_feasible / page_seconds).
+  double memory_gb = 0.0;
+};
+
 struct Task {
   std::string name;
   double duration = 0.0;
@@ -34,6 +47,9 @@ struct Task {
   /// straggler slowdowns (synchronization barriers, analytic phases).
   std::string phase;
   bool fixed = false;
+  /// Runtime extensions: per-execution communication and memory demand.
+  double comm_gb = 0.0;
+  double memory_gb = 0.0;
 };
 
 struct ScheduledTask {

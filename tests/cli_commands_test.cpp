@@ -1,0 +1,65 @@
+// Contradictory-flag rejection: the tool must fail loudly, before any
+// pipeline work, when perturbation or machine flags make no sense together.
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace hslb::cli {
+namespace {
+
+// Mirrors the fmo registration in main.cpp.
+Args fmo_args(std::vector<const char*> extra) {
+  std::vector<const char*> argv = {"fmo", "--fragments", "4", "--nodes", "32"};
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  return Args(static_cast<int>(argv.size()), argv.data(),
+              {"peptide", "comm-bound", "minlp", "no-presolve",
+               "compute-only-model"},
+              {"fragments", "nodes", "objective", "threads", "solver-threads",
+               "cut-age-limit", "trace", "straggler-cv", "fail-node",
+               "fail-time", "fail-downtime", "link-gb", "mem-gb",
+               "page-s-per-gb"});
+}
+
+TEST(CliCommands, FailNodeWithoutFailTimeRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--fail-node", "3"})), std::invalid_argument);
+}
+
+TEST(CliCommands, FailTimeWithoutFailNodeRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--fail-time", "2.5"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, FailDowntimeWithoutFailNodeRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--fail-downtime", "1.0"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, NegativeStragglerCvRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--straggler-cv", "-0.1"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, PagingWithoutMemoryCapacityRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--page-s-per-gb", "0.5"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, CommBoundAndPeptideRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--comm-bound", "--peptide"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, ConsistentFailFlagsAccepted) {
+  // A complete fail-stop spec passes validation and runs the pipeline.
+  EXPECT_EQ(cmd_fmo(fmo_args({"--fail-node", "3", "--fail-time", "2.5",
+                              "--fail-downtime", "1.0"})),
+            0);
+}
+
+}  // namespace
+}  // namespace hslb::cli

@@ -1,5 +1,7 @@
 #include "sim/machine.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/contracts.hpp"
@@ -41,6 +43,54 @@ TEST(Machine, DefaultIsEmpty) {
   const Machine m;
   EXPECT_EQ(m.nodes, 0u);
   EXPECT_EQ(m.total_cores(), 0u);
+}
+
+TEST(Machine, DefaultsAreUnmodeled) {
+  const Machine m = Machine::workstation();
+  EXPECT_FALSE(m.models_communication());
+  EXPECT_FALSE(m.models_memory());
+  // Unmodeled charges are exactly zero — the compute-only regime.
+  EXPECT_EQ(m.comm_seconds(123.0, 7.0), 0.0);
+  EXPECT_EQ(m.page_seconds(123.0, 7.0), 0.0);
+  EXPECT_TRUE(m.memory_feasible(1e9, 1.0));
+}
+
+TEST(Machine, CommSecondsSerializesPerDestination) {
+  Machine m = Machine::workstation();
+  m.link_gb_per_s = 2.0;
+  EXPECT_TRUE(m.models_communication());
+  // 0.5 GB replicated to each of 4 spanning ranks at 2 GB/s = 1 s.
+  EXPECT_DOUBLE_EQ(m.comm_seconds(0.5, 4.0), 1.0);
+  // Linear in both volume and span.
+  EXPECT_DOUBLE_EQ(m.comm_seconds(1.0, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.comm_seconds(0.5, 8.0), 2.0);
+  // Zero traffic charges exactly 0.0 regardless of span.
+  EXPECT_EQ(m.comm_seconds(0.0, 64.0), 0.0);
+}
+
+TEST(Machine, ZeroBandwidthDegenerate) {
+  Machine m = Machine::workstation();
+  m.link_gb_per_s = 0.0;
+  EXPECT_TRUE(m.models_communication());
+  // No traffic is still free; any traffic is infeasible (infinite time).
+  EXPECT_EQ(m.comm_seconds(0.0, 4.0), 0.0);
+  EXPECT_TRUE(std::isinf(m.comm_seconds(1e-9, 1.0)));
+}
+
+TEST(Machine, MemoryFeasibilityAndPaging) {
+  Machine m = Machine::workstation();
+  m.memory_gb_per_node = 2.0;
+  EXPECT_TRUE(m.models_memory());
+  // 8 GB over 4 nodes exactly fits 2 GB/node; no paging charge.
+  EXPECT_TRUE(m.memory_feasible(8.0, 4.0));
+  EXPECT_EQ(m.page_seconds(8.0, 4.0), 0.0);
+  // Overcommit with page_s_per_gb == 0 is a hard rejection.
+  EXPECT_FALSE(m.memory_feasible(8.0, 3.0));
+  // A paging machine accepts and charges for the spilled GB instead:
+  // 8/2 - 2 = 2 GB spilled per node over 2 nodes at 0.5 s/GB = 2 s.
+  m.page_s_per_gb = 0.5;
+  EXPECT_TRUE(m.memory_feasible(8.0, 2.0));
+  EXPECT_DOUBLE_EQ(m.page_seconds(8.0, 2.0), 2.0);
 }
 
 }  // namespace

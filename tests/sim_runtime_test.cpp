@@ -276,6 +276,106 @@ TEST(Runtime, AddTaskValidatesPlacementAndDeps) {
   EXPECT_THROW(rt.add_task("t", -1.0, {0, 1}), ContractViolation);
   EXPECT_THROW(rt.add_task("t", 1.0, {0, 1}, {0}), ContractViolation);
   EXPECT_THROW(Runtime(Machine{}), ContractViolation);
+  EXPECT_THROW(rt.add_task("t", 1.0, {0, 1}, {}, "", false, {-1.0, 0.0}),
+               ContractViolation);
+  EXPECT_THROW(rt.add_task("t", 1.0, {0, 1}, {}, "", false, {0.0, -1.0}),
+               ContractViolation);
+}
+
+TEST(Runtime, KeyedNoiseMatchesStringNoise) {
+  Perturbation p;
+  p.noise_cv = 0.3;
+  p.seed = 17;
+  for (std::uint64_t attempt : {0u, 1u, 5u}) {
+    EXPECT_DOUBLE_EQ(p.noise("scc3", "w7(x2)", attempt),
+                     p.noise_keyed(p.noise_key("scc3", "w7(x2)"), attempt));
+  }
+}
+
+TEST(Runtime, CommChargeExtendsTaskExactly) {
+  Machine m = Machine::workstation(4);
+  m.link_gb_per_s = 2.0;
+  Runtime rt(m);
+  // 0.5 GB to each of 2 spanning nodes at 2 GB/s = 0.5 s on top of 1 s.
+  rt.add_task("halo", 1.0, {0, 2}, {}, "", false, {0.5, 0.0});
+  rt.add_task("local", 1.0, {2, 2});  // no demand: exactly 1 s
+  const RunResult r = rt.run();
+  EXPECT_DOUBLE_EQ(r.tasks[0].end, 1.5);
+  EXPECT_DOUBLE_EQ(r.tasks[1].end, 1.0);
+  EXPECT_DOUBLE_EQ(r.comm_seconds, 0.5);
+  EXPECT_EQ(r.page_seconds, 0.0);
+  EXPECT_EQ(r.rejected, 0u);
+}
+
+TEST(Runtime, PagingChargeExtendsTaskExactly) {
+  Machine m = Machine::workstation(4);
+  m.memory_gb_per_node = 1.0;
+  m.page_s_per_gb = 0.25;
+  Runtime rt(m);
+  // 4 GB over 2 nodes spills 1 GB/node; 2 GB at 0.25 s/GB = 0.5 s extra.
+  rt.add_task("big", 1.0, {0, 2}, {}, "", false, {0.0, 4.0});
+  const RunResult r = rt.run();
+  EXPECT_DOUBLE_EQ(r.tasks[0].end, 1.5);
+  EXPECT_DOUBLE_EQ(r.page_seconds, 0.5);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Runtime, MemoryOvercommitRejectsStaticPlacement) {
+  Machine m = Machine::workstation(4);
+  m.memory_gb_per_node = 1.0;  // page_s_per_gb = 0: overcommit is fatal
+  Runtime rt(m);
+  const auto big = rt.add_task("big", 1.0, {0, 2}, {}, "", false, {0.0, 4.0});
+  rt.add_task("child", 1.0, {0, 2}, {big});
+  rt.add_task("fits", 1.0, {2, 2}, {}, "", false, {0.0, 2.0});
+  const RunResult r = rt.run();
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rejected, 1u);
+  // The infeasible task and its dependant never ran; the fitting one did.
+  EXPECT_TRUE(std::isinf(r.tasks[0].start));
+  EXPECT_TRUE(std::isinf(r.tasks[1].start));
+  EXPECT_DOUBLE_EQ(r.tasks[2].end, 1.0);
+}
+
+TEST(Runtime, ZeroBandwidthRejectsCommunicatingTask) {
+  Machine m = Machine::workstation(2);
+  m.link_gb_per_s = 0.0;
+  Runtime rt(m);
+  rt.add_task("halo", 1.0, {0, 2}, {}, "", false, {0.5, 0.0});
+  const RunResult r = rt.run();
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rejected, 1u);
+}
+
+TEST(Runtime, QueueSkipsGroupsThatCannotFitTask) {
+  Machine m = Machine::workstation(4);
+  m.memory_gb_per_node = 1.0;
+  // Group 0 has 1 node (1 GB), group 1 has 3 nodes (3 GB).
+  const std::vector<NodeSet> groups = {{0, 1}, {1, 3}};
+  std::vector<Runtime::QueueTask> queue;
+  // Big task (2 GB) only fits group 1, though group 0 is free first (tie
+  // broken by id): the unfit group is skipped, not retired.
+  queue.push_back({"big", [](long long) { return 1.0; }, "", 0.0, 2.0});
+  queue.push_back({"small", [](long long) { return 1.0; }, "", 0.0, 0.5});
+  const auto r = Runtime::run_queue(m, groups, queue);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.task_group[0], 1u);
+  EXPECT_EQ(r.task_group[1], 0u);  // skipped group still takes later work
+}
+
+TEST(Runtime, QueueRejectsTaskNoGroupCanRun) {
+  Machine m = Machine::workstation(4);
+  m.memory_gb_per_node = 1.0;
+  const std::vector<NodeSet> groups = {{0, 2}, {2, 2}};
+  std::vector<Runtime::QueueTask> queue;
+  queue.push_back({"huge", [](long long) { return 1.0; }, "", 0.0, 100.0});
+  queue.push_back({"ok", [](long long) { return 1.0; }, "", 0.0, 1.0});
+  const auto r = Runtime::run_queue(m, groups, queue);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_TRUE(std::isinf(r.tasks[0].start));
+  // The queue keeps draining past the rejected entry.
+  EXPECT_FALSE(std::isinf(r.tasks[1].start));
 }
 
 }  // namespace
