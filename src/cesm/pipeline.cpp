@@ -129,6 +129,17 @@ class CesmApplication final : public Application {
     out.solver.refactorizations = solution_.stats.lp_stats.refactorizations;
     out.solver.basis_nnz = solution_.stats.lp_stats.basis_nnz;
     out.solver.lu_fill = solution_.stats.lp_stats.lu_fill;
+    out.solver.ft_updates = solution_.stats.lp_stats.ft_updates;
+    out.solver.ft_fill_nnz = solution_.stats.lp_stats.ft_fill_nnz;
+    out.solver.refactor_interval_hits =
+        solution_.stats.lp_stats.refactor_interval_hits;
+    out.solver.refactor_fill_hits = solution_.stats.lp_stats.refactor_fill_hits;
+    out.solver.refactor_drift_hits =
+        solution_.stats.lp_stats.refactor_drift_hits;
+    out.solver.dual_pivots = solution_.stats.lp_stats.dual_pivots;
+    out.solver.phase1_pivots = solution_.stats.lp_stats.phase1_pivots;
+    out.solver.dual_phase1_avoided =
+        solution_.stats.lp_stats.dual_phase1_avoided;
     out.solver.presolve_rows_removed =
         solution_.stats.lp_stats.presolve_rows_removed;
     out.solver.presolve_cols_removed =

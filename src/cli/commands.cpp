@@ -40,6 +40,11 @@ void apply_bnb_args(const Args& args, minlp::BnbOptions& bnb) {
   bnb.presolve = !args.flag("no-presolve");
   bnb.cut_age_limit = static_cast<std::size_t>(args.get_int(
       "cut-age-limit", static_cast<long long>(bnb.cut_age_limit), 0));
+  bnb.kelley.lp.refactor_interval = static_cast<std::size_t>(args.get_int(
+      "refactor-interval",
+      static_cast<long long>(bnb.kelley.lp.refactor_interval), 1));
+  bnb.kelley.lp.refactor_fill_ratio = args.get_double(
+      "refactor-fill-ratio", bnb.kelley.lp.refactor_fill_ratio, 1.0);
 }
 
 /// Execute-step perturbation knobs shared by the cesm and fmo subcommands
@@ -92,14 +97,16 @@ int usage(int code) {
       "  hslb cesm   --resolution 1|8 --nodes N [--layout 1|2|3]\n"
       "              [--unconstrained-ocean] [--tsync S] [--threads T]\n"
       "              [--solver-threads S] [--no-presolve]\n"
-      "              [--cut-age-limit K] [--export-ampl out.mod]\n"
+      "              [--cut-age-limit K] [--refactor-interval R]\n"
+      "              [--refactor-fill-ratio F] [--export-ampl out.mod]\n"
       "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
       "              [--fail-time S] [--fail-downtime S]\n"
       "                                 full simulated pipeline\n"
       "  hslb fmo    --fragments F --nodes N [--peptide|--comm-bound]\n"
       "              [--minlp] [--objective min-max] [--threads T]\n"
       "              [--solver-threads S] [--no-presolve]\n"
-      "              [--cut-age-limit K] [--link-gb GB/s] [--mem-gb GB]\n"
+      "              [--cut-age-limit K] [--refactor-interval R]\n"
+      "              [--refactor-fill-ratio F] [--link-gb GB/s] [--mem-gb GB]\n"
       "              [--page-s-per-gb S] [--compute-only-model]\n"
       "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
       "              [--fail-time S] [--fail-downtime S]\n"
@@ -117,6 +124,9 @@ int usage(int code) {
       "  --no-presolve turns the LP presolve off for cold solver LPs;\n"
       "  --cut-age-limit K retires an OA cut after K consecutive slack\n"
       "  observations (0 keeps every cut forever).\n"
+      "  --refactor-interval R caps basis updates between LP refactorizations\n"
+      "  (>= 1); --refactor-fill-ratio F (>= 1.0) refactorizes earlier when\n"
+      "  the Forrest-Tomlin updated factors grow past F times the fresh fill.\n"
       "  For fmo, --comm-bound builds the communication-dominated cluster\n"
       "  (fragments carry halo volume and working-set memory); --link-gb /\n"
       "  --mem-gb / --page-s-per-gb give the machine a finite link and node\n"

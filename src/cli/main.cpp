@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
                            {"unconstrained-ocean", "no-presolve"},
                            {"resolution", "nodes", "layout", "tsync",
                             "export-ampl", "threads", "solver-threads",
-                            "cut-age-limit", "trace", "straggler-cv",
+                            "cut-age-limit", "refactor-interval",
+                            "refactor-fill-ratio", "trace", "straggler-cv",
                             "fail-node", "fail-time", "fail-downtime"}));
     }
     if (cmd == "fmo") {
@@ -33,8 +34,9 @@ int main(int argc, char** argv) {
                           {"peptide", "comm-bound", "minlp", "no-presolve",
                            "compute-only-model"},
                           {"fragments", "nodes", "objective", "threads",
-                           "solver-threads", "cut-age-limit", "trace",
-                           "straggler-cv", "fail-node", "fail-time",
+                           "solver-threads", "cut-age-limit",
+                           "refactor-interval", "refactor-fill-ratio",
+                           "trace", "straggler-cv", "fail-node", "fail-time",
                            "fail-downtime", "link-gb", "mem-gb",
                            "page-s-per-gb"}));
     }

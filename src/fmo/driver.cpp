@@ -104,6 +104,14 @@ class FmoApplication final : public Application {
       out.solver.refactorizations = bnb.lp_stats.refactorizations;
       out.solver.basis_nnz = bnb.lp_stats.basis_nnz;
       out.solver.lu_fill = bnb.lp_stats.lu_fill;
+      out.solver.ft_updates = bnb.lp_stats.ft_updates;
+      out.solver.ft_fill_nnz = bnb.lp_stats.ft_fill_nnz;
+      out.solver.refactor_interval_hits = bnb.lp_stats.refactor_interval_hits;
+      out.solver.refactor_fill_hits = bnb.lp_stats.refactor_fill_hits;
+      out.solver.refactor_drift_hits = bnb.lp_stats.refactor_drift_hits;
+      out.solver.dual_pivots = bnb.lp_stats.dual_pivots;
+      out.solver.phase1_pivots = bnb.lp_stats.phase1_pivots;
+      out.solver.dual_phase1_avoided = bnb.lp_stats.dual_phase1_avoided;
       out.solver.presolve_rows_removed = bnb.lp_stats.presolve_rows_removed;
       out.solver.presolve_cols_removed = bnb.lp_stats.presolve_cols_removed;
       out.solver.bounds_tightened = bnb.bounds_tightened;

@@ -78,6 +78,13 @@ std::string PipelineReport::str() const {
         solver.flop_reduction, solver.eta_compression, solver.eta_nnz,
         solver.refactorizations, solver.basis_nnz, solver.lu_fill);
     out += strings::format(
+        "           basis: %zu FT updates (+%zu nz), refactor triggers "
+        "%zu fill / %zu drift / %zu interval; %zu dual / %zu phase-1 pivots, "
+        "%zu warm re-solves dual-only\n",
+        solver.ft_updates, solver.ft_fill_nnz, solver.refactor_fill_hits,
+        solver.refactor_drift_hits, solver.refactor_interval_hits,
+        solver.dual_pivots, solver.phase1_pivots, solver.dual_phase1_avoided);
+    out += strings::format(
         "           presolve: %zu rows / %zu cols removed, %zu bounds "
         "tightened, %zu nodes pruned; cuts %zu retired / %zu reactivated\n",
         solver.presolve_rows_removed, solver.presolve_cols_removed,
@@ -116,7 +123,11 @@ std::string PipelineReport::csv_header() {
          "solver_warm_solves,solver_lp_pivots,solver_eta_nnz,"
          "solver_eta_compression,solver_flop_reduction,"
          "solver_refactorizations,solver_basis_nnz,"
-         "solver_lu_fill,solver_presolve_rows,solver_presolve_cols,"
+         "solver_lu_fill,solver_ft_updates,solver_ft_fill_nnz,"
+         "solver_refactor_fill_hits,solver_refactor_drift_hits,"
+         "solver_refactor_interval_hits,solver_dual_pivots,"
+         "solver_phase1_pivots,solver_dual_phase1_avoided,"
+         "solver_presolve_rows,solver_presolve_cols,"
          "solver_bounds_tightened,solver_nodes_propagated_infeasible,"
          "solver_cuts_retired,solver_cuts_reactivated,predicted_s,actual_s,"
          "machine,exec_makespan_s,exec_busy_node_s,exec_efficiency,"
@@ -127,15 +138,18 @@ std::string PipelineReport::csv_header() {
 std::string PipelineReport::csv_row() const {
   std::string row = strings::format(
       "%s,%zu,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%.6f,%.6f,%s,%zu,%zu,%g,%g,%zu,%zu,"
-      "%zu,%zu,%zu,%zu,%.3f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%.6f,"
-      "%.6f",
+      "%zu,%zu,%zu,%zu,%.3f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,"
+      "%zu,%zu,%zu,%zu,%zu,%zu,%.6f,%.6f",
       application.c_str(), threads, gather_seconds, fit_seconds, solve_seconds,
       execute_seconds, probes, fits.size(), min_r2(), mean_r2(),
       solver.status.c_str(), solver.nodes, solver.cuts, solver.gap,
       solver.rel_gap, solver.threads, solver.waves, solver.lp_solves,
       solver.warm_solves, solver.lp_pivots, solver.eta_nnz,
       solver.eta_compression, solver.flop_reduction, solver.refactorizations,
-      solver.basis_nnz, solver.lu_fill, solver.presolve_rows_removed,
+      solver.basis_nnz, solver.lu_fill, solver.ft_updates, solver.ft_fill_nnz,
+      solver.refactor_fill_hits, solver.refactor_drift_hits,
+      solver.refactor_interval_hits, solver.dual_pivots, solver.phase1_pivots,
+      solver.dual_phase1_avoided, solver.presolve_rows_removed,
       solver.presolve_cols_removed, solver.bounds_tightened,
       solver.nodes_propagated_infeasible, solver.cuts_retired,
       solver.cuts_reactivated, predicted_total, actual_total);

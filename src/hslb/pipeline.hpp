@@ -58,6 +58,15 @@ struct SolverStats {
   std::size_t refactorizations = 0;  ///< basis factorizations performed
   std::size_t basis_nnz = 0;         ///< last factored basis nonzeros
   std::size_t lu_fill = 0;           ///< its L+U factor nonzeros
+  // Forrest-Tomlin / dual-simplex accounting, summed over every LP solve.
+  std::size_t ft_updates = 0;        ///< FT column replacements applied
+  std::size_t ft_fill_nnz = 0;       ///< factor nonzeros those updates added
+  std::size_t refactor_interval_hits = 0;  ///< interval-backstop refactors
+  std::size_t refactor_fill_hits = 0;      ///< fill-ratio-trigger refactors
+  std::size_t refactor_drift_hits = 0;     ///< drift/instability refactors
+  std::size_t dual_pivots = 0;       ///< pivots made by the dual simplex
+  std::size_t phase1_pivots = 0;     ///< pivots made by primal phase 1
+  std::size_t dual_phase1_avoided = 0;  ///< warm re-solves with no phase 1
   // Presolve / propagation / cut-lifecycle accounting.
   std::size_t presolve_rows_removed = 0;  ///< LP presolve rows, all solves
   std::size_t presolve_cols_removed = 0;  ///< LP presolve columns, all solves

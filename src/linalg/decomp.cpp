@@ -1,6 +1,9 @@
 #include "linalg/decomp.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 namespace hslb::linalg {
 
@@ -412,6 +415,219 @@ Vector SparseLU::solve_transpose(Vector b) const {
     w[pivot_row_[k]] = v;
   }
   return w;
+}
+
+UpdatableLU::UpdatableLU(const SparseLU& base)
+    : n_(base.n_),
+      base_fill_(base.fill_),
+      lrow_(base.pivot_row_),
+      lcol_(base.lcol_),
+      diag_(base.pivot_),
+      col_of_step_(base.pivot_col_) {
+  rowgen_.assign(n_, 0);
+  colgen_.assign(n_, 0);
+  urows_.resize(n_);
+  ucols_.resize(n_);
+  seq_.resize(n_);
+  pos_.resize(n_);
+  step_of_col_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    seq_[k] = k;
+    pos_[k] = k;
+    step_of_col_[col_of_step_[k]] = k;
+  }
+  // Base U entries arrive column-wise as (earlier step l, u_lk); mirror them
+  // into the row-wise view so row-spike elimination can walk row contents.
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (const auto& [l, u] : base.ucol_[k]) {
+      ucols_[k].push_back({l, u, 0});
+      urows_[l].push_back({k, u, 0});
+    }
+  }
+  spike_.assign(n_, 0.0);
+  rowval_.assign(n_, 0.0);
+  inrow_.assign(n_, 0);
+}
+
+Vector UpdatableLU::solve(Vector b) const {
+  HSLB_EXPECTS(b.size() == n_);
+  // y = R L^{-1} b, kept row-indexed (step s lives at b[lrow_[s]]); zero
+  // pivot-row values skip their L column — the hypersparsity fast path.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double t = b[lrow_[k]];
+    if (t == 0.0) continue;
+    for (const auto& [i, m] : lcol_[k]) b[i] -= m * t;
+  }
+  for (const RowEta& e : retas_) {
+    double acc = 0.0;
+    for (const auto& [s, mult] : e.terms) acc += mult * b[lrow_[s]];
+    if (acc != 0.0) b[lrow_[e.target]] -= acc;
+  }
+  // Backward: U x = y along the current elimination order, descending.
+  Vector x(n_, 0.0);
+  for (std::size_t kk = n_; kk > 0; --kk) {
+    const std::size_t s = seq_[kk - 1];
+    const double xv = b[lrow_[s]] / diag_[s];
+    x[col_of_step_[s]] = xv;
+    if (xv == 0.0) continue;
+    for (const UEntry& e : ucols_[s]) {
+      if (e.gen == rowgen_[e.other]) b[lrow_[e.other]] -= e.value * xv;
+    }
+  }
+  return x;
+}
+
+Vector UpdatableLU::solve_entering(Vector b) {
+  HSLB_EXPECTS(b.size() == n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double t = b[lrow_[k]];
+    if (t == 0.0) continue;
+    for (const auto& [i, m] : lcol_[k]) b[i] -= m * t;
+  }
+  for (const RowEta& e : retas_) {
+    double acc = 0.0;
+    for (const auto& [s, mult] : e.terms) acc += mult * b[lrow_[s]];
+    if (acc != 0.0) b[lrow_[e.target]] -= acc;
+  }
+  spike_ = b;  // the post-L, post-R vector IS the Forrest-Tomlin spike
+  spike_valid_ = true;
+  Vector x(n_, 0.0);
+  for (std::size_t kk = n_; kk > 0; --kk) {
+    const std::size_t s = seq_[kk - 1];
+    const double xv = b[lrow_[s]] / diag_[s];
+    x[col_of_step_[s]] = xv;
+    if (xv == 0.0) continue;
+    for (const UEntry& e : ucols_[s]) {
+      if (e.gen == rowgen_[e.other]) b[lrow_[e.other]] -= e.value * xv;
+    }
+  }
+  return x;
+}
+
+Vector UpdatableLU::solve_transpose(Vector b) const {
+  HSLB_EXPECTS(b.size() == n_);
+  // U^T z = b along the elimination order, ascending; z in step space.
+  Vector z(n_, 0.0);
+  for (std::size_t kk = 0; kk < n_; ++kk) {
+    const std::size_t s = seq_[kk];
+    const double zk = b[col_of_step_[s]] / diag_[s];
+    z[s] = zk;
+    if (zk == 0.0) continue;
+    for (const UEntry& e : urows_[s]) {
+      if (e.gen == colgen_[e.other]) b[col_of_step_[e.other]] -= e.value * zk;
+    }
+  }
+  // R^T: each eta (I - e_t m^T) transposes to z[s] -= m_s z[t], reverse order.
+  for (auto it = retas_.rbegin(); it != retas_.rend(); ++it) {
+    const double zt = z[it->target];
+    if (zt == 0.0) continue;
+    for (const auto& [s, mult] : it->terms) z[s] -= mult * zt;
+  }
+  // L^T w = z, descending creation order, gather form.
+  Vector w(n_, 0.0);
+  for (std::size_t kk = n_; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    double v = z[k];
+    for (const auto& [i, m] : lcol_[k]) v -= m * w[i];
+    w[lrow_[k]] = v;
+  }
+  return w;
+}
+
+UpdatableLU::UpdateResult UpdatableLU::update(std::size_t basis_pos) {
+  HSLB_EXPECTS(spike_valid_);
+  HSLB_EXPECTS(basis_pos < n_);
+  spike_valid_ = false;
+  // Steps keep their basis position for life, so the step to replace is a
+  // direct inverse lookup.
+  const std::size_t t = step_of_col_[basis_pos];
+
+  // Live entries of row t seed the row-spike scatter; they are processed in
+  // current elimination order (a min-heap on pos_), which is exactly the
+  // order triangularity demands — fill from eliminating against row c only
+  // lands at positions beyond pos_[c].
+  heap_.clear();
+  for (const UEntry& e : urows_[t]) {
+    if (e.gen != colgen_[e.other]) continue;
+    if (!inrow_[e.other]) {
+      inrow_[e.other] = 1;
+      rowval_[e.other] = e.value;
+      heap_.emplace_back(pos_[e.other], e.other);
+      std::push_heap(heap_.begin(), heap_.end(),
+                     std::greater<std::pair<std::size_t, std::size_t>>{});
+    } else {
+      rowval_[e.other] += e.value;
+    }
+  }
+  // Row t and (old) column t are dead from here on; bumping the stamps
+  // before eliminating keeps their stale entries out of the fill walk.
+  ++rowgen_[t];
+  ++colgen_[t];
+
+  double newdiag = spike_[lrow_[t]];
+  double spike_max = 0.0;
+  RowEta eta;
+  eta.target = t;
+  const auto cmp = std::greater<std::pair<std::size_t, std::size_t>>{};
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const std::size_t c = heap_.back().second;
+    heap_.pop_back();
+    const double val = rowval_[c];
+    rowval_[c] = 0.0;
+    inrow_[c] = 0;
+    if (val == 0.0) continue;
+    const double mult = val / diag_[c];
+    eta.terms.push_back({c, mult});
+    // Row c's entry in the incoming spike column cancels into the diagonal.
+    newdiag -= mult * spike_[lrow_[c]];
+    for (const UEntry& e : urows_[c]) {
+      if (e.gen != colgen_[e.other]) continue;
+      if (!inrow_[e.other]) {
+        inrow_[e.other] = 1;
+        rowval_[e.other] = -mult * e.value;
+        heap_.emplace_back(pos_[e.other], e.other);
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
+      } else {
+        rowval_[e.other] -= mult * e.value;
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < n_; ++s)
+    spike_max = std::max(spike_max, std::fabs(spike_[lrow_[s]]));
+  if (!std::isfinite(newdiag) ||
+      std::fabs(newdiag) <= 1e-10 * std::max(1.0, spike_max)) {
+    return UpdateResult::Unstable;  // factorization now invalid
+  }
+
+  // Commit: new diagonal, spike column, cyclic permutation of t to the end.
+  // The elimination left row t with only its diagonal, and the old column t
+  // is fully replaced; drop both stored lists (their entries in OTHER
+  // rows/columns die by the generation bumps, but the lists owned by t
+  // itself carry stamps of the surviving partners and must go explicitly,
+  // or a later re-update of this step would seed from ghost entries).
+  diag_[t] = newdiag;
+  urows_[t].clear();
+  ucols_[t].clear();
+  std::size_t added = 0;
+  for (std::size_t s = 0; s < n_; ++s) {
+    if (s == t) continue;
+    const double v = spike_[lrow_[s]];
+    if (v == 0.0) continue;
+    ucols_[t].push_back({s, v, rowgen_[s]});
+    urows_[s].push_back({t, v, colgen_[t]});
+    ++added;
+  }
+  const std::size_t old_pos = pos_[t];
+  seq_.erase(seq_.begin() + static_cast<std::ptrdiff_t>(old_pos));
+  seq_.push_back(t);
+  for (std::size_t i = old_pos; i < n_; ++i) pos_[seq_[i]] = i;
+
+  update_fill_ += added + eta.terms.size();
+  if (!eta.terms.empty()) retas_.push_back(std::move(eta));
+  ++updates_;
+  return UpdateResult::Ok;
 }
 
 Vector lstsq(const Matrix& a, std::span<const double> b) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -78,7 +79,7 @@ class SparseMatrix {
 /// indices makes iteration and reset proportional to the nonzero count.
 class Scatter {
  public:
-  explicit Scatter(std::size_t n) : value_(n, 0.0), touched_(n, false) {}
+  explicit Scatter(std::size_t n) : value_(n, 0.0), touched_(n, 0) {}
 
   std::size_t size() const { return value_.size(); }
 
@@ -86,7 +87,7 @@ class Scatter {
   void add(std::size_t i, double v) {
     HSLB_EXPECTS(i < value_.size());
     if (!touched_[i]) {
-      touched_[i] = true;
+      touched_[i] = 1;
       pattern_.push_back(i);
     }
     value_[i] += v;
@@ -104,35 +105,48 @@ class Scatter {
   void clear() {
     for (std::size_t i : pattern_) {
       value_[i] = 0.0;
-      touched_[i] = false;
+      touched_[i] = 0;
     }
     pattern_.clear();
   }
 
  private:
   std::vector<double> value_;
-  std::vector<bool> touched_;
+  // Byte-wide occupancy: the simplex dual-repair row builder hammers add()
+  // hard enough that std::vector<bool>'s bit masking shows up in profiles.
+  std::vector<std::uint8_t> touched_;
   std::vector<std::size_t> pattern_;
 };
 
-/// y += s * x for a sparse x scattered into a dense y.
+/// y += s * x for a sparse x scattered into a dense y. Requires x's indices
+/// ascending (every builder in this module emits them that way), which lets
+/// the bounds contract collapse to one check on the last entry instead of a
+/// throwing branch inside the hot loop.
 inline void axpy_scatter(double s, std::span<const SparseEntry> x,
                          std::span<double> y) {
-  for (const auto& [i, v] : x) {
-    HSLB_EXPECTS(i < y.size());
-    y[i] += s * v;
-  }
+  if (x.empty()) return;
+  HSLB_EXPECTS(x.back().index < y.size());
+  double* const yd = y.data();
+  for (const auto& [i, v] : x) yd[i] += s * v;
 }
 
-/// Dot product of a sparse x against a dense y (gather).
+/// Dot product of a sparse x against a dense y (gather). Requires x's
+/// indices ascending, like axpy_scatter; the two independent accumulators
+/// let the multiply-add chains overlap instead of serializing on one sum.
 inline double dot_gather(std::span<const SparseEntry> x,
                          std::span<const double> y) {
-  double acc = 0.0;
-  for (const auto& [i, v] : x) {
-    HSLB_EXPECTS(i < y.size());
-    acc += v * y[i];
+  if (x.empty()) return 0.0;
+  HSLB_EXPECTS(x.back().index < y.size());
+  const double* const yd = y.data();
+  const std::size_t nx = x.size();
+  double acc0 = 0.0, acc1 = 0.0;
+  std::size_t k = 0;
+  for (; k + 1 < nx; k += 2) {
+    acc0 += x[k].value * yd[x[k].index];
+    acc1 += x[k + 1].value * yd[x[k + 1].index];
   }
-  return acc;
+  if (k < nx) acc0 += x[k].value * yd[x[k].index];
+  return acc0 + acc1;
 }
 
 }  // namespace hslb::linalg

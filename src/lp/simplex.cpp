@@ -331,17 +331,34 @@ class Tableau {
       sol.status = Status::IterationLimit;
       return sol;
     }
+    // The warm ladder went dual repair -> primal phase 2 and held: one node
+    // re-solve that never ran primal phase 1 (abandoned attempts never
+    // reach this point, and their stats are discarded by the caller).
+    if (p2 == Status::Optimal) ++stats_.dual_phase1_avoided;
     finalize(sol, p2);
     return sol;
   }
 
   // -- Basis-inverse maintenance --------------------------------------------
 
+  /// True when pivots use Forrest-Tomlin factor updates; false on the
+  /// product-form eta paths (requested explicitly, or forced dense).
+  bool use_ft() const {
+    return !opt_.force_dense &&
+           opt_.basis_update == BasisUpdate::ForrestTomlin;
+  }
+
+  /// True when the factorization carries any post-refactorization updates
+  /// (eta or FT), i.e. solves are no longer against fresh factors.
+  bool stale_factor() const {
+    return !etas_.empty() || (ft_factor_ && ft_factor_->updates() > 0);
+  }
+
   /// Rebuilds the factorization of the current basis (Markowitz sparse LU,
-  /// or dense LU under force_dense), drops the eta file, and recomputes
-  /// basic values x_B = B^{-1} (-N x_N) exactly. Returns false (leaving the
-  /// previous factorization and values untouched) if the basis is
-  /// numerically singular.
+  /// or dense LU under force_dense), drops the eta file / accumulated FT
+  /// updates, and recomputes basic values x_B = B^{-1} (-N x_N) exactly.
+  /// Returns false (leaving the previous factorization and values
+  /// untouched) if the basis is numerically singular.
   bool refactorize() {
     if (m_ == 0) return true;
     std::size_t bnnz = 0;
@@ -357,6 +374,7 @@ class Tableau {
       if (!factor) return false;
       dense_factor_ = std::move(factor);
       sparse_factor_.reset();
+      ft_factor_.reset();
       stats_.lu_fill = m_ * m_;
     } else {
       std::vector<std::vector<linalg::SparseEntry>> bcols(m_);
@@ -368,9 +386,17 @@ class Tableau {
       }
       auto factor = linalg::SparseLU::factor(m_, bcols);
       if (!factor) return false;
-      sparse_factor_ = std::move(factor);
       dense_factor_.reset();
-      stats_.lu_fill = sparse_factor_->nnz();
+      stats_.lu_fill = factor->nnz();
+      if (use_ft()) {
+        // The updatable wrapper owns a copy of the factors; the plain
+        // SparseLU is not kept around.
+        ft_factor_.emplace(*factor);
+        sparse_factor_.reset();
+      } else {
+        sparse_factor_ = std::move(factor);
+        ft_factor_.reset();
+      }
     }
     ++stats_.refactorizations;
     stats_.basis_nnz = bnnz;
@@ -388,17 +414,19 @@ class Tableau {
   }
 
   /// Best-effort exact recomputation of basic values (used before reading
-  /// values after a run of eta updates); never flags failure.
+  /// values after a run of basis updates); never flags failure.
   void polish() {
-    if (!etas_.empty() || m_ == 0) refactorize();
+    if (stale_factor() || m_ == 0) refactorize();
   }
 
   std::vector<double> base_solve(std::vector<double> v) const {
+    if (ft_factor_) return ft_factor_->solve(std::move(v));
     if (sparse_factor_) return sparse_factor_->solve(std::move(v));
     return dense_factor_->solve(v);
   }
 
   std::vector<double> base_solve_transpose(std::vector<double> v) const {
+    if (ft_factor_) return ft_factor_->solve_transpose(std::move(v));
     if (sparse_factor_) return sparse_factor_->solve_transpose(std::move(v));
     return dense_factor_->solve_transpose(v);
   }
@@ -406,16 +434,26 @@ class Tableau {
   /// Work (factor entries touched, i.e. multiply-adds) of one triangular
   /// solve pair, and the cost a dense kernel pays for the same call. The
   /// L+U nonzero count is at most m^2, so sparse never bills more than
-  /// dense. A forced-dense run is billed the dense cost by definition —
+  /// dense (FT factors, whose stored fill can transiently exceed that, are
+  /// clamped). A forced-dense run is billed the dense cost by definition —
   /// it models the dense baseline.
   std::size_t base_solve_work() const {
+    if (ft_factor_) return std::min(ft_factor_->nnz(), m_ * m_);
     if (sparse_factor_ && !opt_.force_dense) return sparse_factor_->nnz();
     return m_ * m_;
   }
 
+  /// Basis updates currently folded into the solves: FT column
+  /// replacements, or the eta-file length. Sets the dense-kernel baseline
+  /// (a dense code pays m per product-form update on every solve).
+  std::size_t update_count() const {
+    return ft_factor_ ? ft_factor_->updates() : etas_.size();
+  }
+
   /// v := B^{-1} v via the factorization plus the eta file (in update
-  /// order). Etas whose pivot component is exactly zero are skipped — the
-  /// hypersparsity fast path that makes unit-vector solves cheap.
+  /// order; empty under FT updates, which live inside the factors). Etas
+  /// whose pivot component is exactly zero are skipped — the hypersparsity
+  /// fast path that makes unit-vector solves cheap.
   std::vector<double> ftran(std::vector<double> v) const {
     if (m_ == 0) return v;
     std::size_t work = base_solve_work();
@@ -428,9 +466,19 @@ class Tableau {
       work += e.nz.size();
       for (const auto& [i, w] : e.nz) v[i] -= w * t;
     }
-    const std::size_t dense_work = m_ * m_ + etas_.size() * m_;
-    stats_.kernel_flops += opt_.force_dense ? dense_work : work;
-    stats_.kernel_dense_flops += dense_work;
+    bill_kernel(work);
+    return v;
+  }
+
+  /// ftran for the entering column: identical solve, but under FT updates
+  /// the factor also captures the partially transformed column (the spike)
+  /// a following push_update(p, ...) will splice into U.
+  std::vector<double> ftran_entering(std::vector<double> v) {
+    if (m_ == 0) return v;
+    if (!ft_factor_) return ftran(std::move(v));
+    const std::size_t work = base_solve_work();
+    v = ft_factor_->solve_entering(std::move(v));
+    bill_kernel(work);
     return v;
   }
 
@@ -445,15 +493,46 @@ class Tableau {
       v[e.p] = (v[e.p] - s) / e.wp;
       work += e.nz.size() + 1;
     }
-    const std::size_t dense_work = m_ * m_ + etas_.size() * m_;
-    stats_.kernel_flops += opt_.force_dense ? dense_work : work;
-    stats_.kernel_dense_flops += dense_work;
+    bill_kernel(work);
     return base_solve_transpose(std::move(v));
   }
 
-  /// Records the pivot (row p, direction w) as an eta update; periodically
-  /// refactorizes for numerical safety. Returns false on a singular rebuild.
-  bool push_eta(std::size_t p, const std::vector<double>& w) {
+  void bill_kernel(std::size_t work) const {
+    const std::size_t dense_work = m_ * m_ + update_count() * m_;
+    stats_.kernel_flops +=
+        opt_.force_dense ? dense_work : std::min(work, dense_work);
+    stats_.kernel_dense_flops += dense_work;
+  }
+
+  /// Records the pivot (row p, direction w) in the basis factorization: a
+  /// Forrest-Tomlin column replacement (with adaptive refactorization on
+  /// fill growth or an unstable update, and the interval as backstop), or a
+  /// product-form eta with the fixed-interval rebuild. Returns false on a
+  /// singular rebuild.
+  bool push_update(std::size_t p, const std::vector<double>& w) {
+    ++stats_.pivots;
+    if (ft_factor_) {
+      const std::size_t fill_before = ft_factor_->update_fill();
+      if (ft_factor_->update(p) == linalg::UpdatableLU::UpdateResult::Ok) {
+        ++stats_.ft_updates;
+        stats_.ft_fill_nnz += ft_factor_->update_fill() - fill_before;
+        if (ft_factor_->nnz() >
+            static_cast<double>(ft_factor_->base_fill()) *
+                opt_.refactor_fill_ratio) {
+          ++stats_.refactor_fill_hits;
+          return refactorize();
+        }
+        if (ft_factor_->updates() >= opt_.refactor_interval) {
+          ++stats_.refactor_interval_hits;
+          return refactorize();
+        }
+        return true;
+      }
+      // The replacement left a negligible diagonal: the updated factors are
+      // unusable, so rebuild from the (already pivoted) basis.
+      ++stats_.refactor_drift_hits;
+      return refactorize();
+    }
     Eta e;
     e.p = p;
     e.wp = w[p];
@@ -461,7 +540,6 @@ class Tableau {
       if (i == p) continue;
       if (w[i] != 0.0 || opt_.force_dense) e.nz.push_back({i, w[i]});
     }
-    ++stats_.pivots;
     stats_.eta_nnz += e.nz.size() + 1;
     stats_.eta_dense_nnz += m_;
     etas_.push_back(std::move(e));
@@ -660,7 +738,7 @@ class Tableau {
       if (m_ > 0) {
         std::vector<double> aq(m_, 0.0);
         for_col(q, [&](std::size_t r, double v) { aq[r] = v; });
-        w = ftran(std::move(aq));
+        w = ftran_entering(std::move(aq));
       }
 
       // Ratio test. The pivot tolerance is relative to the direction's
@@ -708,11 +786,12 @@ class Tableau {
         return phase2 ? Status::Unbounded : Status::Infeasible;
       }
 
-      // A pivot far below the direction's scale makes the eta update
+      // A pivot far below the direction's scale makes the basis update
       // ill-conditioned; with a stale factorization, rebuild and retry the
       // iteration from exact data before accepting it.
-      if (leaving_pos && t_star < t_own - 1e-12 && !etas_.empty() &&
+      if (leaving_pos && t_star < t_own - 1e-12 && stale_factor() &&
           std::fabs(w[*leaving_pos]) < 1e-7 * std::max(1.0, wmax)) {
+        ++stats_.refactor_drift_hits;
         if (!fresh_factor()) return Status::Infeasible;
         continue;
       }
@@ -749,7 +828,8 @@ class Tableau {
       value_[leave] = leaving_at_upper ? ub_[leave] : lb_[leave];
       basis_[p] = q;
       if (!bland) devex_update(p, q, leave, w);
-      if (!push_eta(p, w)) return Status::Infeasible;
+      if (!phase2) ++stats_.phase1_pivots;
+      if (!push_update(p, w)) return Status::Infeasible;
     }
     return Status::IterationLimit;
   }
@@ -865,14 +945,15 @@ class Tableau {
       {
         std::vector<double> aq(m_, 0.0);
         for_col(q, [&](std::size_t r, double v) { aq[r] = v; });
-        w = ftran(std::move(aq));
+        w = ftran_entering(std::move(aq));
       }
       double wmax = 0.0;
       for (double wi : w) wmax = std::max(wmax, std::fabs(wi));
       if (std::fabs(w[p]) < 1e-7 * std::max(1.0, wmax)) {
-        if (!etas_.empty()) {
-          // The eta-updated row disagrees with the fresh direction: rebuild
+        if (stale_factor()) {
+          // The updated factors disagree with the fresh direction: rebuild
           // from exact data and retry this iteration.
+          ++stats_.refactor_drift_hits;
           if (!fresh_factor()) return Status::Infeasible;
           continue;
         }
@@ -890,7 +971,8 @@ class Tableau {
       status_[leave] = above ? BasisStatus::AtUpper : BasisStatus::AtLower;
       value_[leave] = target;
       basis_[p] = q;
-      if (!push_eta(p, w)) return Status::Infeasible;
+      ++stats_.dual_pivots;
+      if (!push_update(p, w)) return Status::Infeasible;
       ++iterations;
     }
     return Status::IterationLimit;
@@ -968,6 +1050,7 @@ class Tableau {
   std::vector<double> row_scale_;
   std::optional<linalg::LU> dense_factor_;
   std::optional<linalg::SparseLU> sparse_factor_;
+  std::optional<linalg::UpdatableLU> ft_factor_;
   std::vector<Eta> etas_;
   std::vector<double> duals_;
   // Pricing state.

@@ -9,10 +9,14 @@
 // simplex phase repairs the handful of primal infeasibilities the changes
 // introduced, and a primal cleanup phase certifies optimality.
 //
-// The basis inverse is maintained by product-form (eta) rank-1 updates —
-// stored sparse, applied with a hypersparsity fast path that skips exact
-// zeros — with periodic refactorization for numerical safety via a
-// Markowitz-pivoting sparse LU (dense LU behind Options::force_dense).
+// The basis inverse is maintained by Forrest-Tomlin updates of the sparse
+// Markowitz LU factors (linalg::UpdatableLU): each pivot replaces one
+// column of U in place, so FTRAN/BTRAN keep solving against a compact
+// factorization instead of a growing product-form eta file. Refactorization
+// is adaptive — triggered by update-fill growth or a numerically unstable
+// update, with the interval as a backstop cap. The classic product-form
+// (eta) scheme survives behind Options::basis_update for baseline
+// comparisons, and the dense path (Options::force_dense) always uses it.
 // Entering variables are chosen by candidate-list partial pricing under a
 // Devex reference framework instead of a full Dantzig sweep (cf. DESIGN.md).
 //
@@ -52,6 +56,16 @@ struct Basis {
   bool empty() const { return cols.empty() && rows.empty(); }
 };
 
+/// Basis-inverse maintenance scheme between refactorizations.
+enum class BasisUpdate : std::uint8_t {
+  /// Forrest-Tomlin LU column replacement (default): solves stay against an
+  /// updated sparse factorization; refactorization is adaptive.
+  ForrestTomlin,
+  /// Product-form eta file (the historical scheme, kept as the benchmark
+  /// baseline); refactorization every `refactor_interval` updates.
+  ProductFormEta,
+};
+
 struct Options {
   double feasibility_tol = 1e-8;    ///< row/column feasibility tolerance
   double optimality_tol = 1e-9;     ///< reduced-cost tolerance
@@ -59,9 +73,17 @@ struct Options {
   /// Switch from Dantzig pricing to Bland's rule after this many
   /// consecutive degenerate pivots (anti-cycling).
   std::size_t bland_threshold = 200;
-  /// Rebuild the basis factorization after this many eta updates (and
-  /// whenever a pivot looks numerically risky).
+  /// Upper cap on basis updates between refactorizations. The eta scheme
+  /// refactorizes exactly at this count; the Forrest-Tomlin scheme usually
+  /// refactorizes earlier on its fill / drift triggers and uses this as the
+  /// numerical-safety backstop.
   std::size_t refactor_interval = 64;
+  /// Forrest-Tomlin fill trigger: refactorize when the updated factors grow
+  /// beyond this multiple of the fresh-factorization fill. Must be >= 1.
+  double refactor_fill_ratio = 2.0;
+  /// How the basis inverse is maintained between refactorizations. The
+  /// dense kernels (force_dense) always use the product-form scheme.
+  BasisUpdate basis_update = BasisUpdate::ForrestTomlin;
   /// Optional warm-start basis (not owned; must outlive the solve call).
   /// Ignored — falling back to a cold solve — when structurally
   /// incompatible or numerically singular.
@@ -91,7 +113,7 @@ struct Options {
 /// every cut row, so eta vectors fill in and compress barely at all, while
 /// the basis itself stays hypersparse and the LU solve work collapses.
 struct SolveStats {
-  std::size_t pivots = 0;            ///< eta updates recorded (primal + dual)
+  std::size_t pivots = 0;            ///< basis changes recorded (primal + dual)
   std::size_t eta_nnz = 0;           ///< stored eta nonzeros, summed
   std::size_t eta_dense_nnz = 0;     ///< dense-equivalent eta entries, summed
   std::size_t kernel_flops = 0;       ///< FTRAN/BTRAN work actually done
@@ -99,6 +121,19 @@ struct SolveStats {
   std::size_t refactorizations = 0;  ///< basis factorizations performed
   std::size_t basis_nnz = 0;         ///< nonzeros of the last factored basis
   std::size_t lu_fill = 0;           ///< nonzeros of its L+U factors
+  // Forrest-Tomlin accounting (basis_update == BasisUpdate::ForrestTomlin).
+  std::size_t ft_updates = 0;        ///< successful FT column replacements
+  std::size_t ft_fill_nnz = 0;       ///< factor nonzeros the updates appended
+  // Why each refactorization beyond the initial factor fired.
+  std::size_t refactor_interval_hits = 0;  ///< update-count backstop reached
+  std::size_t refactor_fill_hits = 0;      ///< fill-ratio trigger
+  std::size_t refactor_drift_hits = 0;     ///< unstable update / risky pivot
+  // Pivot provenance: the dual/primal split of `pivots`.
+  std::size_t dual_pivots = 0;       ///< pivots made by the dual simplex
+  std::size_t phase1_pivots = 0;     ///< pivots made by primal phase 1
+  /// Warm node re-solves that went dual repair -> primal phase 2 without
+  /// ever entering primal phase 1 (the dual path paying off).
+  std::size_t dual_phase1_avoided = 0;
   // Presolve accounting (cold solves with Options::presolve on).
   std::size_t presolve_rows_removed = 0;     ///< rows dropped before solving
   std::size_t presolve_cols_removed = 0;     ///< columns fixed/substituted out
@@ -112,6 +147,14 @@ struct SolveStats {
     eta_dense_nnz += o.eta_dense_nnz;
     kernel_flops += o.kernel_flops;
     kernel_dense_flops += o.kernel_dense_flops;
+    ft_updates += o.ft_updates;
+    ft_fill_nnz += o.ft_fill_nnz;
+    refactor_interval_hits += o.refactor_interval_hits;
+    refactor_fill_hits += o.refactor_fill_hits;
+    refactor_drift_hits += o.refactor_drift_hits;
+    dual_pivots += o.dual_pivots;
+    phase1_pivots += o.phase1_pivots;
+    dual_phase1_avoided += o.dual_phase1_avoided;
     presolve_rows_removed += o.presolve_rows_removed;
     presolve_cols_removed += o.presolve_cols_removed;
     presolve_bounds_tightened += o.presolve_bounds_tightened;

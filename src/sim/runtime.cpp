@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <queue>
+#include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -14,6 +17,75 @@ namespace hslb::sim {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Node free times under range-assign / range-max: scheduling a task sets
+/// every node of its range to the task's end time, and a candidate's start
+/// is the max free time over its range. Both are O(log nodes), which is
+/// what keeps the list scheduler viable at 10^5-10^6 nodes where the dense
+/// per-node scan of the original implementation dominated.
+class NodeFreeTree {
+ public:
+  explicit NodeFreeTree(std::size_t n) : n_(n) {
+    size_ = 1;
+    while (size_ < n_) size_ <<= 1;
+    max_.assign(2 * size_, 0.0);
+    lazy_.assign(2 * size_, -1.0);  // < 0: no pending assignment
+  }
+
+  /// Max free time over nodes [lo, hi).
+  double range_max(std::size_t lo, std::size_t hi) {
+    HSLB_EXPECTS(lo < hi && hi <= n_);
+    return query(1, 0, size_, lo, hi);
+  }
+
+  /// Sets every node in [lo, hi) free at time v.
+  void assign(std::size_t lo, std::size_t hi, double v) {
+    HSLB_EXPECTS(lo < hi && hi <= n_);
+    update(1, 0, size_, lo, hi, v);
+  }
+
+ private:
+  void apply(std::size_t node, double v) {
+    max_[node] = v;
+    if (node < size_) lazy_[node] = v;
+  }
+
+  void push(std::size_t node) {
+    if (lazy_[node] >= 0.0) {
+      apply(2 * node, lazy_[node]);
+      apply(2 * node + 1, lazy_[node]);
+      lazy_[node] = -1.0;
+    }
+  }
+
+  double query(std::size_t node, std::size_t l, std::size_t r, std::size_t lo,
+               std::size_t hi) {
+    if (hi <= l || r <= lo) return 0.0;
+    if (lo <= l && r <= hi) return max_[node];
+    push(node);
+    const std::size_t mid = (l + r) / 2;
+    return std::max(query(2 * node, l, mid, lo, hi),
+                    query(2 * node + 1, mid, r, lo, hi));
+  }
+
+  void update(std::size_t node, std::size_t l, std::size_t r, std::size_t lo,
+              std::size_t hi, double v) {
+    if (hi <= l || r <= lo) return;
+    if (lo <= l && r <= hi) {
+      apply(node, v);
+      return;
+    }
+    push(node);
+    const std::size_t mid = (l + r) / 2;
+    update(2 * node, l, mid, lo, hi, v);
+    update(2 * node + 1, mid, r, lo, hi, v);
+    max_[node] = std::max(max_[2 * node], max_[2 * node + 1]);
+  }
+
+  std::size_t n_ = 0, size_ = 0;
+  std::vector<double> max_;
+  std::vector<double> lazy_;
+};
 
 /// FNV-1a over a task/phase name: turns the string into a stream index for
 /// derive_seed so noise keys are stable under scheduling order.
@@ -97,74 +169,173 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
   out.trace.nodes = machine_.nodes;
   out.trace.cores_per_node = machine_.cores_per_node;
   out.tasks.assign(tasks_.size(), ScheduledTask{kInf, kInf});
+  // One event per task plus the occasional fail-stop abort: reserving the
+  // common case up front kills the doubling reallocations that dominated
+  // trace accumulation at 10^6 tasks.
+  out.trace.events.reserve(tasks_.size());
 
-  std::vector<double> node_free(machine_.nodes, 0.0);
-  enum class State { Pending, Done, Failed };
-  std::vector<State> state(tasks_.size(), State::Pending);
+  const std::size_t nt = tasks_.size();
+  enum class State : std::uint8_t { Pending, Done, Failed };
+  std::vector<State> state(nt, State::Pending);
   const double fail_at = perturbation.fail_time;
   const double recover = perturbation.fail_time + perturbation.fail_downtime;
 
-  std::size_t resolved = 0;
+  // Event-driven list scheduling, semantically identical to a full rescan:
+  // the next task to run is the ready task minimizing (start time, id).
+  // Ready tasks are bucketed by node range; within a bucket, tasks whose
+  // ready time is at or below the range's free time F all start at F (the
+  // released heap orders them by id), the rest start at their own ready
+  // time (the pending heap orders them by (ready, id)), so a bucket's best
+  // candidate is the lexicographic min of the two heads. A global heap
+  // holds one active claim per bucket — a lower bound on the bucket's best,
+  // because F (hence every candidate key) only moves forward and insertions
+  // refresh the claim. A popped claim that matches a fresh recompute is
+  // therefore the true global argmin; otherwise the recompute is pushed
+  // back. Total cost O((tasks + claims) log) instead of the O(tasks^2)
+  // rescan this replaces (bit-identical traces; see sim_runtime_test).
+  struct Bucket {
+    std::size_t first = 0, count = 0;
+    std::priority_queue<std::size_t, std::vector<std::size_t>,
+                        std::greater<>> released;
+    std::priority_queue<std::pair<double, std::size_t>,
+                        std::vector<std::pair<double, std::size_t>>,
+                        std::greater<>> pending;
+    std::pair<double, std::size_t> claim{kInf, SIZE_MAX};
+  };
+  std::vector<Bucket> buckets;
+  std::unordered_map<std::uint64_t, std::size_t> bucket_of;
+  NodeFreeTree node_free(machine_.nodes);
+  using Claim = std::tuple<double, std::size_t, std::size_t>;  // start, id, bkt
+  std::priority_queue<Claim, std::vector<Claim>, std::greater<>> claims;
+
+  // Reverse adjacency (CSR) for event-driven dependency release.
+  std::vector<std::size_t> out_start(nt + 1, 0);
+  std::vector<std::size_t> remaining(nt, 0);
+  for (std::size_t t = 0; t < nt; ++t) {
+    remaining[t] = tasks_[t].deps.size();
+    for (std::size_t d : tasks_[t].deps) ++out_start[d + 1];
+  }
+  for (std::size_t t = 0; t < nt; ++t) out_start[t + 1] += out_start[t];
+  std::vector<std::size_t> out_edges(out_start[nt]);
+  {
+    std::vector<std::size_t> next(out_start.begin(), out_start.end() - 1);
+    for (std::size_t t = 0; t < nt; ++t)
+      for (std::size_t d : tasks_[t].deps) out_edges[next[d]++] = t;
+  }
+  std::vector<double> ready_at(nt, 0.0);
+  std::vector<std::uint8_t> dep_failed(nt, 0);
+
+  // Fresh best candidate of a bucket, promoting newly released tasks.
+  auto bucket_best = [&](Bucket& b) {
+    const double f = node_free.range_max(b.first, b.first + b.count);
+    while (!b.pending.empty() && b.pending.top().first <= f) {
+      b.released.push(b.pending.top().second);
+      b.pending.pop();
+    }
+    std::pair<double, std::size_t> best{kInf, SIZE_MAX};
+    if (!b.released.empty()) best = {f, b.released.top()};
+    if (!b.pending.empty() && b.pending.top() < best) best = b.pending.top();
+    return best;
+  };
+
+  // Files a task (all deps done, none failed) into its node-range bucket
+  // and refreshes the bucket's claim if the newcomer undercuts it.
+  auto insert_ready = [&](std::size_t t) {
+    const NodeSet& ns = tasks_[t].nodes;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(ns.first) * (machine_.nodes + 1) + ns.count;
+    const auto [it, fresh] = bucket_of.try_emplace(key, buckets.size());
+    if (fresh) {
+      buckets.emplace_back();
+      buckets.back().first = ns.first;
+      buckets.back().count = ns.count;
+    }
+    Bucket& b = buckets[it->second];
+    const double f = node_free.range_max(b.first, b.first + b.count);
+    const double r = ready_at[t];
+    if (r <= f) {
+      b.released.push(t);
+    } else {
+      b.pending.push({r, t});
+    }
+    const std::pair<double, std::size_t> cand{std::max(f, r), t};
+    if (cand < b.claim) {
+      b.claim = cand;
+      claims.push({cand.first, cand.second, it->second});
+    }
+  };
+
+  // Marks a task resolved and walks its dependents; the worklist carries
+  // (task, failed) so failure cascades never recurse.
+  std::vector<std::pair<std::size_t, bool>> worklist;
+  auto resolve = [&](std::size_t t, bool failed) {
+    worklist.emplace_back(t, failed);
+    while (!worklist.empty()) {
+      const auto [d, dead] = worklist.back();
+      worklist.pop_back();
+      for (std::size_t e = out_start[d]; e < out_start[d + 1]; ++e) {
+        const std::size_t u = out_edges[e];
+        if (dead) {
+          dep_failed[u] = 1;
+        } else {
+          ready_at[u] = std::max(ready_at[u], out.tasks[d].end);
+        }
+        if (--remaining[u] != 0 || state[u] != State::Pending) continue;
+        if (dep_failed[u]) {
+          // A ready task with a failed dependency can never run.
+          state[u] = State::Failed;
+          worklist.emplace_back(u, true);
+        } else {
+          insert_ready(u);
+        }
+      }
+    }
+  };
+
   // Placements the machine cannot legally run — working set past node
   // memory on a non-paging machine, or nonzero traffic on a dead link —
-  // are rejected up front; their dependents resolve as Failed below.
-  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+  // are rejected up front; their dependents resolve as Failed.
+  for (std::size_t t = 0; t < nt; ++t) {
     const auto span = static_cast<double>(tasks_[t].nodes.count);
     if (!machine_.memory_feasible(tasks_[t].memory_gb, span) ||
         std::isinf(machine_.comm_seconds(tasks_[t].comm_gb, span))) {
       state[t] = State::Failed;
-      ++resolved;
       ++out.rejected;
     }
   }
-  while (resolved < tasks_.size()) {
-    // A ready task with a failed dependency can never run; resolve those
-    // first so the pick below only sees runnable candidates.
-    bool progressed = false;
-    for (std::size_t t = 0; t < tasks_.size(); ++t) {
-      if (state[t] != State::Pending) continue;
-      bool ready = true, blocked = false;
-      for (std::size_t d : tasks_[t].deps) {
-        if (state[d] == State::Pending) {
-          ready = false;
-          break;
-        }
-        if (state[d] == State::Failed) blocked = true;
-      }
-      if (ready && blocked) {
-        state[t] = State::Failed;
-        ++resolved;
-        progressed = true;
-      }
-    }
-    if (progressed) continue;
+  for (std::size_t t = 0; t < nt; ++t) {
+    if (state[t] == State::Pending && remaining[t] == 0) insert_ready(t);
+  }
+  for (std::size_t t = 0; t < nt; ++t) {
+    if (state[t] == State::Failed) resolve(t, /*failed=*/true);
+  }
 
-    // Pick the ready task that can start earliest; FIFO tie-break by id
-    // (identical to the original TaskGraph scheduling when unperturbed).
-    std::size_t best = tasks_.size();
-    double best_start = kInf;
-    for (std::size_t t = 0; t < tasks_.size(); ++t) {
-      if (state[t] != State::Pending) continue;
-      bool ready = true;
-      double start = 0.0;
-      for (std::size_t d : tasks_[t].deps) {
-        if (state[d] == State::Pending) {
-          ready = false;
-          break;
-        }
-        start = std::max(start, out.tasks[d].end);
-      }
-      if (!ready) continue;
-      for (std::size_t n = tasks_[t].nodes.first; n < tasks_[t].nodes.end();
-           ++n)
-        start = std::max(start, node_free[n]);
-      if (start < best_start) {
-        best_start = start;
-        best = t;
-      }
+  while (!claims.empty()) {
+    const auto [c_start, c_id, c_bkt] = claims.top();
+    claims.pop();
+    Bucket& b = buckets[c_bkt];
+    const std::pair<double, std::size_t> popped{c_start, c_id};
+    if (popped != b.claim) continue;  // superseded claim
+    const auto fresh = bucket_best(b);
+    if (fresh != popped) {
+      // The range's free time moved since the claim: re-bid and retry.
+      b.claim = fresh;
+      claims.push({fresh.first, fresh.second, c_bkt});
+      continue;
     }
-    // A dependency cycle is impossible because deps reference earlier ids.
-    HSLB_ASSERT(best < tasks_.size());
+    const std::size_t best = fresh.second;
+    const double best_start = fresh.first;
+    if (!b.released.empty() && b.released.top() == best) {
+      b.released.pop();
+    } else {
+      b.pending.pop();
+    }
+    {
+      const auto next = bucket_best(b);
+      b.claim = next;
+      if (next.second != SIZE_MAX)
+        claims.push({next.first, next.second, c_bkt});
+    }
 
     const Task& t = tasks_[best];
     const bool hit = perturbation.hits(t.nodes);
@@ -216,19 +387,20 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
       // Permanent loss of a node the task is pinned to: a static schedule
       // cannot complete (the dynamic queue would re-dispatch instead).
       state[best] = State::Failed;
-      ++resolved;
+      resolve(best, /*failed=*/true);
       continue;
     }
     out.tasks[best] = {start, end};
     out.comm_seconds += comm;
     out.page_seconds += page;
-    for (std::size_t n = t.nodes.first; n < t.nodes.end(); ++n)
-      node_free[n] = end;
+    node_free.assign(t.nodes.first, t.nodes.end(), end);
     out.trace.events.push_back(
         {t.name, t.phase, t.nodes.first, t.nodes.count, start, end, false});
     state[best] = State::Done;
-    ++resolved;
     out.makespan = std::max(out.makespan, end);
+    // Release dependents before the next pop so their bucket claims join
+    // the auction for the next pick, exactly like the full rescan saw them.
+    resolve(best, /*failed=*/false);
   }
   for (State s : state)
     if (s == State::Failed) out.completed = false;
@@ -256,11 +428,15 @@ QueueRunResult Runtime::run_queue(const Machine& machine,
   out.task_group.assign(queue.size(), groups.size());
   out.group_busy.assign(groups.size(), 0.0);
   out.makespan = start_time;
+  out.trace.events.reserve(queue.size());
 
   // Earliest-free group pulls the next task; ties go to the lowest group
   // id — the GAMESS shared-counter regime the DLB baseline reproduces.
   using Entry = std::pair<double, std::size_t>;  // (free time, group)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pool;
+  std::vector<Entry> pool_storage;
+  pool_storage.reserve(groups.size() + 1);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pool(
+      std::greater<>{}, std::move(pool_storage));
   for (std::size_t g = 0; g < groups.size(); ++g) pool.push({start_time, g});
 
   const double fail_at = perturbation.fail_time;
@@ -272,11 +448,13 @@ QueueRunResult Runtime::run_queue(const Machine& machine,
   for (std::size_t t = 0; t < queue.size(); ++t)
     nkey[t] = perturbation.noise_key(queue[t].phase, queue[t].name);
 
+  // Groups the machine cannot legally run a task on (overcommitted memory,
+  // dead link) are set aside — skipped for that task only, not retired —
+  // and rejoin the pool once the task is placed or given up. One backing
+  // allocation serves the whole queue.
+  std::vector<Entry> unfit;
   for (std::size_t t = 0; t < queue.size(); ++t) {
-    // Groups the machine cannot legally run this task on (overcommitted
-    // memory, dead link) are set aside — skipped for this task only, not
-    // retired — and rejoin the pool once the task is placed or given up.
-    std::vector<Entry> unfit;
+    unfit.clear();
     for (bool placed = false; !placed;) {
       if (pool.empty()) {
         if (unfit.empty()) {

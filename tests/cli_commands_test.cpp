@@ -20,9 +20,9 @@ Args fmo_args(std::vector<const char*> extra) {
               {"peptide", "comm-bound", "minlp", "no-presolve",
                "compute-only-model"},
               {"fragments", "nodes", "objective", "threads", "solver-threads",
-               "cut-age-limit", "trace", "straggler-cv", "fail-node",
-               "fail-time", "fail-downtime", "link-gb", "mem-gb",
-               "page-s-per-gb"});
+               "cut-age-limit", "refactor-interval", "refactor-fill-ratio",
+               "trace", "straggler-cv", "fail-node", "fail-time",
+               "fail-downtime", "link-gb", "mem-gb", "page-s-per-gb"});
 }
 
 TEST(CliCommands, FailNodeWithoutFailTimeRejected) {
@@ -52,6 +52,22 @@ TEST(CliCommands, PagingWithoutMemoryCapacityRejected) {
 TEST(CliCommands, CommBoundAndPeptideRejected) {
   EXPECT_THROW(cmd_fmo(fmo_args({"--comm-bound", "--peptide"})),
                std::invalid_argument);
+}
+
+TEST(CliCommands, RefactorIntervalBelowOneRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--refactor-interval", "0"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, RefactorFillRatioBelowOneRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--refactor-fill-ratio", "0.5"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, RefactorKnobsAccepted) {
+  EXPECT_EQ(cmd_fmo(fmo_args({"--refactor-interval", "16",
+                              "--refactor-fill-ratio", "1.5"})),
+            0);
 }
 
 TEST(CliCommands, ConsistentFailFlagsAccepted) {

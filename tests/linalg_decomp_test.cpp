@@ -129,5 +129,113 @@ TEST(LU, PropertyRandomSolveAndTranspose) {
   }
 }
 
+std::vector<std::vector<SparseEntry>> to_columns(const Matrix& a) {
+  std::vector<std::vector<SparseEntry>> cols(a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      if (a(i, j) != 0.0) cols[j].push_back({i, a(i, j)});
+  return cols;
+}
+
+/// Random sparse square matrix with a boosted diagonal so every draw is
+/// comfortably nonsingular (the FT tests replace columns repeatedly; we
+/// want instability to be the exception we trigger deliberately).
+Matrix random_sparse_square(Rng& rng, std::size_t n) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.uniform(2.0, 4.0) * (rng.uniform(0.0, 1.0) < 0.5 ? -1 : 1);
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i && rng.uniform(0.0, 1.0) < 0.3) a(i, j) = rng.uniform(-1, 1);
+  }
+  return a;
+}
+
+TEST(UpdatableLU, MatchesBaseFactorBeforeUpdates) {
+  Rng rng(202);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const auto a = random_sparse_square(rng, n);
+    const auto base = SparseLU::factor(n, to_columns(a));
+    ASSERT_TRUE(base.has_value());
+    const UpdatableLU lu(*base);
+    EXPECT_EQ(lu.nnz(), base->nnz());
+    EXPECT_EQ(lu.updates(), 0u);
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+    const auto x = lu.solve(b);
+    const auto xb = base->solve(b);
+    const auto xt = lu.solve_transpose(b);
+    const auto xtb = base->solve_transpose(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], xb[i], 1e-12);
+      EXPECT_NEAR(xt[i], xtb[i], 1e-12);
+    }
+  }
+}
+
+TEST(UpdatableLU, PropertyColumnReplacementTracksRefactoredMatrix) {
+  // Replace several columns via solve_entering + update and check both
+  // solves against a dense LU of the explicitly modified matrix.
+  Rng rng(303);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    auto a = random_sparse_square(rng, n);
+    const auto base = SparseLU::factor(n, to_columns(a));
+    ASSERT_TRUE(base.has_value());
+    UpdatableLU lu(*base);
+
+    const int rounds = static_cast<int>(rng.uniform_int(1, 6));
+    for (int round = 0; round < rounds; ++round) {
+      const auto p = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      Vector aq(n, 0.0);
+      aq[p] = rng.uniform(2.0, 4.0);  // keep the replacement well-posed
+      for (std::size_t i = 0; i < n; ++i)
+        if (i != p && rng.uniform(0.0, 1.0) < 0.4) aq[i] = rng.uniform(-1, 1);
+
+      const auto dir = lu.solve_entering(aq);
+      ASSERT_GT(std::abs(dir[p]), 1e-8);  // replacement keeps B nonsingular
+      ASSERT_EQ(lu.update(p), UpdatableLU::UpdateResult::Ok);
+      for (std::size_t i = 0; i < n; ++i) a(i, p) = aq[i];
+
+      const auto dense = LU::factor(a);
+      ASSERT_TRUE(dense.has_value());
+      Vector b(n);
+      for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+      const auto x = lu.solve(b);
+      const auto xd = dense->solve(b);
+      const auto xt = lu.solve_transpose(b);
+      const auto xtd = dense->solve_transpose(b);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], xd[i], 1e-7);
+        EXPECT_NEAR(xt[i], xtd[i], 1e-7);
+      }
+    }
+    EXPECT_EQ(lu.updates(), static_cast<std::size_t>(rounds));
+    EXPECT_GE(lu.nnz(), lu.base_fill());
+  }
+}
+
+TEST(UpdatableLU, RejectsSingularReplacement) {
+  // Replacing column 1 with a copy of column 0 makes the basis singular;
+  // the update must report Unstable instead of committing garbage.
+  const auto a = Matrix::from_rows(
+      {{3.0, 1.0, 0.0}, {1.0, 4.0, 1.0}, {0.0, 1.0, 3.0}});
+  const auto base = SparseLU::factor(3, to_columns(a));
+  ASSERT_TRUE(base.has_value());
+  UpdatableLU lu(*base);
+  const Vector col0{3.0, 1.0, 0.0};
+  lu.solve_entering(col0);
+  EXPECT_EQ(lu.update(1), UpdatableLU::UpdateResult::Unstable);
+}
+
+TEST(UpdatableLU, UpdateWithoutEnteringSolveThrows) {
+  const auto a = Matrix::from_rows({{2.0, 0.0}, {0.0, 2.0}});
+  const auto base = SparseLU::factor(2, to_columns(a));
+  ASSERT_TRUE(base.has_value());
+  UpdatableLU lu(*base);
+  EXPECT_THROW(lu.update(0), ContractViolation);
+}
+
 }  // namespace
 }  // namespace hslb::linalg

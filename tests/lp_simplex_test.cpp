@@ -470,6 +470,101 @@ TEST_P(SimplexSparseDenseParity, IdenticalObjectiveBasisAndDuals) {
 INSTANTIATE_TEST_SUITE_P(Sweep, SimplexSparseDenseParity,
                          ::testing::Range(0, 60));
 
+// ---------------------------------------------------------------------------
+// Basis-update parity: the Forrest-Tomlin scheme (default) and the
+// product-form eta baseline maintain the same basis inverse, so under
+// identical pricing they must walk the same pivot path to the same vertex.
+// ---------------------------------------------------------------------------
+
+class SimplexBasisUpdateParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexBasisUpdateParity, FtAndEtaWalkTheSamePath) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9551 + 17);
+  const Model m = random_bounded_lp(rng);
+  Options eta_opt;
+  eta_opt.basis_update = BasisUpdate::ProductFormEta;
+  const Solution ft = solve(m);
+  const Solution eta = solve(m, eta_opt);
+  ASSERT_EQ(ft.status, eta.status);
+  if (ft.status != Status::Optimal) return;
+
+  const double scale = 1.0 + std::fabs(eta.objective);
+  EXPECT_NEAR(ft.objective, eta.objective, 1e-9 * scale);
+  EXPECT_EQ(ft.iterations, eta.iterations);
+  ASSERT_EQ(ft.basis.cols.size(), eta.basis.cols.size());
+  for (std::size_t j = 0; j < ft.basis.cols.size(); ++j)
+    EXPECT_EQ(ft.basis.cols[j], eta.basis.cols[j]) << "col " << j;
+  for (std::size_t r = 0; r < ft.basis.rows.size(); ++r)
+    EXPECT_EQ(ft.basis.rows[r], eta.basis.rows[r]) << "row " << r;
+  for (std::size_t j = 0; j < ft.x.size(); ++j)
+    EXPECT_NEAR(ft.x[j], eta.x[j], 1e-7 * scale) << "col " << j;
+
+  // Each scheme's counters stay in its own lane.
+  EXPECT_EQ(ft.stats.eta_nnz, 0u);
+  EXPECT_EQ(eta.stats.ft_updates, 0u);
+  if (ft.stats.pivots > ft.stats.refactor_drift_hits)
+    EXPECT_GT(ft.stats.ft_updates, 0u);
+  // FT solves never bill more kernel work than the dense equivalent.
+  EXPECT_LE(ft.stats.kernel_flops, ft.stats.kernel_dense_flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexBasisUpdateParity,
+                         ::testing::Range(0, 60));
+
+TEST(Simplex, ForrestTomlinReportsUpdateFillAndTriggers) {
+  Rng rng(4242);
+  const Model m = random_bounded_lp(rng);
+  Options opt;
+  opt.refactor_interval = 1;  // force the backstop to fire on every update
+  const Solution sol = solve(m, opt);
+  ASSERT_EQ(sol.status, Status::Optimal);
+  ASSERT_GT(sol.stats.pivots, 1u);
+  EXPECT_GT(sol.stats.ft_updates, 0u);
+  EXPECT_GT(sol.stats.refactor_interval_hits, 0u);
+  // Every refactorization beyond the initial factor has a recorded reason.
+  EXPECT_GE(sol.stats.refactorizations,
+            sol.stats.refactor_interval_hits + sol.stats.refactor_fill_hits);
+}
+
+// ---------------------------------------------------------------------------
+// Dual-simplex property: a warm re-solve of a bound-change-only child (the
+// branch-and-bound's hot path) repairs primal feasibility entirely inside
+// the dual phase — primal phase 1 must never run.
+// ---------------------------------------------------------------------------
+
+class SimplexDualOnlyWarm : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexDualOnlyWarm, BoundChangeChildrenSkipPrimalPhase1) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  const Model parent = random_bounded_lp(rng);
+  const Solution psol = solve(parent);
+  if (psol.status != Status::Optimal) return;
+
+  for (int variant = 0; variant < 4; ++variant) {
+    Model child = parent;
+    const int k = static_cast<int>(rng.uniform_int(1, 3));
+    for (int j = 0; j < k; ++j) {
+      const auto v = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<long long>(parent.num_cols()) - 1));
+      if (rng.uniform() < 0.5)
+        child.set_col_upper(v, std::floor(psol.x[v]));
+      else
+        child.set_col_lower(v, std::ceil(psol.x[v] + 0.5));
+    }
+    Options warm_opt;
+    warm_opt.warm_start = &psol.basis;
+    const Solution warm = solve(child, warm_opt);
+    if (!warm.warm_started || warm.status != Status::Optimal) continue;
+    // The dual repair + primal cleanup never needed artificial variables.
+    EXPECT_EQ(warm.stats.phase1_pivots, 0u) << "variant " << variant;
+    EXPECT_EQ(warm.stats.dual_phase1_avoided, 1u) << "variant " << variant;
+    // And every pivot is attributed to exactly one of the two phases seen.
+    EXPECT_GE(warm.stats.pivots, warm.stats.dual_pivots);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexDualOnlyWarm, ::testing::Range(0, 50));
+
 TEST(Simplex, SparseStatsReportEtaCompression) {
   Rng rng(4242);
   const Model m = random_bounded_lp(rng);

@@ -341,6 +341,28 @@ TEST_P(BnbThreadDeterminism, BitIdenticalAcrossThreadCounts) {
         << "threads=" << threads;
     EXPECT_EQ(par.lp_stats.refactorizations, serial.lp_stats.refactorizations)
         << "threads=" << threads;
+    // Forrest-Tomlin update and dual-simplex counters ride the same
+    // deterministic pivot paths.
+    EXPECT_EQ(par.lp_stats.ft_updates, serial.lp_stats.ft_updates)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.ft_fill_nnz, serial.lp_stats.ft_fill_nnz)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.refactor_interval_hits,
+              serial.lp_stats.refactor_interval_hits)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.refactor_fill_hits,
+              serial.lp_stats.refactor_fill_hits)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.refactor_drift_hits,
+              serial.lp_stats.refactor_drift_hits)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.dual_pivots, serial.lp_stats.dual_pivots)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.phase1_pivots, serial.lp_stats.phase1_pivots)
+        << "threads=" << threads;
+    EXPECT_EQ(par.lp_stats.dual_phase1_avoided,
+              serial.lp_stats.dual_phase1_avoided)
+        << "threads=" << threads;
     // Presolve, propagation, and cut lifecycle all run on the same
     // deterministic wave schedule, so their counters cannot drift either.
     EXPECT_EQ(par.lp_stats.presolve_rows_removed,
@@ -389,6 +411,32 @@ TEST_P(BnbSparseDenseKernels, SameOptimumOnDenseKernels) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BnbSparseDenseKernels, ::testing::Range(0, 10));
+
+class BnbBasisUpdateParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbBasisUpdateParity, SameOptimumOnEtaBaseline) {
+  // The Forrest-Tomlin and product-form-eta schemes maintain the same basis
+  // inverse; swapping one for the other under the whole search must not
+  // move the proven optimum.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6121 + 29);
+  const auto p = make_random_minlp(rng);
+  BnbOptions ft_opt;  // ForrestTomlin is the default
+  BnbOptions eta_opt;
+  eta_opt.kelley.lp.basis_update = lp::BasisUpdate::ProductFormEta;
+  const auto ft = solve(p.model, ft_opt);
+  const auto eta = solve(p.model, eta_opt);
+  ASSERT_EQ(ft.status, eta.status);
+  if (ft.status != BnbStatus::Optimal) return;
+  EXPECT_NEAR(ft.objective, eta.objective,
+              1e-6 * (1.0 + std::fabs(eta.objective)));
+  // Each scheme's counters stay in its own lane: FT runs record no eta
+  // file, the baseline records no FT updates.
+  EXPECT_EQ(ft.lp_stats.eta_nnz, 0u);
+  EXPECT_EQ(eta.lp_stats.ft_updates, 0u);
+  if (ft.lp_stats.pivots > 0) EXPECT_GT(ft.lp_stats.ft_updates, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnbBasisUpdateParity, ::testing::Range(0, 10));
 
 class BnbWarmVsCold : public ::testing::TestWithParam<int> {};
 
