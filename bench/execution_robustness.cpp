@@ -28,10 +28,8 @@
 #include <vector>
 
 #include "bench/bench_json.hpp"
-#include "common/strings.hpp"
+#include "bench/robustness_scenarios.hpp"
 #include "common/table.hpp"
-#include "fmo/cost.hpp"
-#include "fmo/molecule.hpp"
 #include "fmo/schedulers.hpp"
 #include "hslb/budget.hpp"
 #include "sim/trace.hpp"
@@ -39,15 +37,11 @@
 namespace {
 
 using namespace hslb;
+using scenario::cv_label;
+using scenario::kDlbGroups;
+using scenario::kNodes;
 
 constexpr const char* kJsonPath = "BENCH_solver.json";
-constexpr long long kNodes = 192;
-constexpr std::size_t kDlbGroups = 24;
-
-std::string cv_label(double cv) {
-  std::string s = strings::format("%g", cv);
-  return s;
-}
 
 bool close(double a, double b) {
   return std::fabs(a - b) <= 1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
@@ -78,23 +72,15 @@ int main() {
   // System and allocation from the noise-free oracle: this bench isolates
   // execution-time perturbations, so Gather/Fit are skipped and the Solve
   // step runs directly on the true monomer models.
-  const auto sys = fmo::water_cluster({.fragments = 24,
-                                       .merge_fraction = 0.5,
-                                       .scf_cutoff_angstrom = 4.5,
-                                       .seed = 30});
+  const auto sys = scenario::water24();
   const fmo::CostModel cost;
-  std::vector<BudgetTask> tasks;
-  tasks.reserve(sys.fragments.size());
-  for (const auto& f : sys.fragments)
-    tasks.push_back(BudgetTask{f.name, cost.monomer(f), 1, kNodes});
+  const auto tasks = scenario::oracle_tasks(sys, cost);
   const Allocation alloc = solve_min_max(tasks, kNodes);
-  const auto layout = fmo::GroupLayout::uniform(kNodes, kDlbGroups);
+  const auto layout = scenario::dlb_layout();
 
-  fmo::RunOptions base;
-  base.noise_cv = 0.0;  // isolate stragglers from run-to-run noise
-  base.seed = 17;
+  const fmo::RunOptions base = scenario::noise_free_run();
 
-  const std::vector<double> severities{0.0, 0.05, 0.1, 0.2, 0.4};
+  const std::vector<double> severities = scenario::straggler_severities();
   Table t({"straggler cv", "HSLB s", "DLB s", "HSLB degr", "DLB degr",
            "DLB/HSLB"});
   double hslb0 = 0.0, dlb0 = 0.0;
@@ -136,8 +122,7 @@ int main() {
   // schedule has work pinned to it and cannot finish; the dynamic queue
   // retires one group and completes.
   fmo::RunOptions fail = base;
-  fail.fail_node = 0;
-  fail.fail_time = 1.0;
+  scenario::inject_fail_stop(fail);
   const auto hslb_fail = run_hslb(sys, cost, alloc, kNodes, fail);
   const auto dlb_fail = run_dlb(sys, cost, layout, fail);
   std::printf("permanent fail-stop of node 0 at t=1s: HSLB %s (%zu restarts), "

@@ -1,0 +1,74 @@
+// The shared perturbation scenario used by the robustness benches
+// (execution_robustness, adaptive_rebalance): one water cluster, one node
+// budget, one straggler-severity ladder, one fail-stop injection. Keeping
+// the construction in one place guarantees the static-vs-DLB bench and the
+// closed-loop bench stress the *same* world, so their headline numbers in
+// BENCH_solver.json are directly comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "fmo/cost.hpp"
+#include "fmo/molecule.hpp"
+#include "fmo/schedulers.hpp"
+#include "hslb/budget.hpp"
+
+namespace hslb::scenario {
+
+constexpr long long kNodes = 192;
+constexpr std::size_t kDlbGroups = 24;
+constexpr long long kFailNode = 0;
+constexpr double kFailTime = 1.0;  // seconds; downtime stays infinite
+
+/// The benchmark system: 24 merged water fragments, SCF dimers within
+/// 4.5 Å. Large enough that the min-max allocation is non-trivial on 192
+/// nodes, small enough that a full severity sweep stays in CI budget.
+inline fmo::System water24() {
+  return fmo::water_cluster({.fragments = 24,
+                             .merge_fraction = 0.5,
+                             .scf_cutoff_angstrom = 4.5,
+                             .seed = 30});
+}
+
+/// Straggler severities swept by both benches (cv of the per-node
+/// max(1, lognormal) slowdown factors).
+inline std::vector<double> straggler_severities() {
+  return {0.0, 0.05, 0.1, 0.2, 0.4};
+}
+
+inline std::string cv_label(double cv) { return strings::format("%g", cv); }
+
+/// Noise-free execution baseline: isolates the injected perturbation
+/// (stragglers, fail-stop, drift) from run-to-run task noise.
+inline fmo::RunOptions noise_free_run() {
+  fmo::RunOptions base;
+  base.noise_cv = 0.0;
+  base.seed = 17;
+  return base;
+}
+
+/// Permanent fail-stop of node 0 early in the SCC loop.
+inline void inject_fail_stop(fmo::RunOptions& opt) {
+  opt.fail_node = kFailNode;
+  opt.fail_time = kFailTime;
+}
+
+/// Budget tasks from the true (oracle) monomer costs — no gather noise —
+/// for benches that run the Solve step directly.
+inline std::vector<BudgetTask> oracle_tasks(const fmo::System& sys,
+                                            const fmo::CostModel& cost) {
+  std::vector<BudgetTask> tasks;
+  tasks.reserve(sys.fragments.size());
+  for (const auto& f : sys.fragments)
+    tasks.push_back(BudgetTask{f.name, cost.monomer(f), 1, kNodes});
+  return tasks;
+}
+
+/// The DLB baseline's group layout: 24 uniform groups over the budget.
+inline fmo::GroupLayout dlb_layout() {
+  return fmo::GroupLayout::uniform(kNodes, kDlbGroups);
+}
+
+}  // namespace hslb::scenario

@@ -45,6 +45,10 @@ hslb_add_bench(minlp_warmstart hslb_cesm hslb_fmo hslb_benchjson)
 # fail-stop, plus the trace-export round-trip gate.
 hslb_add_bench(execution_robustness hslb_fmo hslb_benchjson)
 
+# Closed-loop adaptive rebalancing vs static and DLB on the same scenario,
+# plus the warm-vs-cold re-solve gate.
+hslb_add_bench(adaptive_rebalance hslb_fmo hslb_minlp hslb_benchjson)
+
 # Communication/memory-aware cost model: extended vs compute-only Solve on
 # the communication-dominated family, plus the compute-only parity gate.
 hslb_add_bench(comm_model hslb_fmo hslb_benchjson)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "common/contracts.hpp"
@@ -91,84 +92,100 @@ class CesmApplication final : public Application {
 
   SolveOutcome solve(const std::vector<std::pair<std::string, perf::FitResult>>&
                          fits) override {
-    std::array<perf::Model, 4> models;
-    for (const auto& [task, fit] : fits)
-      models[index(component_from_string(task))] = fit.model;
-
     LayoutProblem problem = make_problem(resolution_, options_.layout,
-                                         total_nodes_, models,
+                                         total_nodes_, models_from(fits),
                                          options_.ocean_constrained);
     problem.tsync = options_.tsync;
     solution_ = solve_layout(problem, options_.bnb);
-
-    SolveOutcome out;
-    for (Component c : kComponents) {
-      out.allocation.tasks.push_back(
-          {to_string(c), solution_.nodes[index(c)],
-           solution_.predicted_seconds[index(c)]});
-    }
-    out.allocation.predicted_total = solution_.predicted_total;
-    out.predicted_total = solution_.predicted_total;
-    out.solver.status = minlp::to_string(solution_.stats.status);
-    out.solver.nodes = solution_.stats.nodes;
-    out.solver.cuts = solution_.stats.cuts;
-    out.solver.gap = solution_.stats.gap;
-    out.solver.rel_gap = solution_.stats.rel_gap;
-    out.solver.seconds = solution_.stats.seconds;
-    out.solver.threads = options_.bnb.solver_threads == 0
-                             ? ThreadPool::hardware_threads()
-                             : options_.bnb.solver_threads;
-    out.solver.lp_solves = solution_.stats.lp_solves;
-    out.solver.lp_pivots = solution_.stats.lp_pivots;
-    out.solver.warm_solves = solution_.stats.warm_solves;
-    out.solver.waves = solution_.stats.waves;
-    out.solver.eta_nnz = solution_.stats.lp_stats.eta_nnz;
-    out.solver.eta_dense_nnz = solution_.stats.lp_stats.eta_dense_nnz;
-    out.solver.eta_compression = solution_.stats.lp_stats.eta_compression();
-    out.solver.flop_reduction = solution_.stats.lp_stats.flop_reduction();
-    out.solver.refactorizations = solution_.stats.lp_stats.refactorizations;
-    out.solver.basis_nnz = solution_.stats.lp_stats.basis_nnz;
-    out.solver.lu_fill = solution_.stats.lp_stats.lu_fill;
-    out.solver.ft_updates = solution_.stats.lp_stats.ft_updates;
-    out.solver.ft_fill_nnz = solution_.stats.lp_stats.ft_fill_nnz;
-    out.solver.refactor_interval_hits =
-        solution_.stats.lp_stats.refactor_interval_hits;
-    out.solver.refactor_fill_hits = solution_.stats.lp_stats.refactor_fill_hits;
-    out.solver.refactor_drift_hits =
-        solution_.stats.lp_stats.refactor_drift_hits;
-    out.solver.dual_pivots = solution_.stats.lp_stats.dual_pivots;
-    out.solver.phase1_pivots = solution_.stats.lp_stats.phase1_pivots;
-    out.solver.dual_phase1_avoided =
-        solution_.stats.lp_stats.dual_phase1_avoided;
-    out.solver.presolve_rows_removed =
-        solution_.stats.lp_stats.presolve_rows_removed;
-    out.solver.presolve_cols_removed =
-        solution_.stats.lp_stats.presolve_cols_removed;
-    out.solver.bounds_tightened = solution_.stats.bounds_tightened;
-    out.solver.nodes_propagated_infeasible =
-        solution_.stats.nodes_propagated_infeasible;
-    out.solver.cuts_retired = solution_.stats.cuts_retired;
-    out.solver.cuts_reactivated = solution_.stats.cuts_reactivated;
-    // The CESM layout model is compute-only: one aggregate term.
-    out.term_predictions.push_back(
-        {"compute", solution_.predicted_total, 0.0});
-    return out;
+    return outcome_from(solution_);
   }
 
   double execute(const SolveOutcome&) override {
-    sim::Perturbation perturb;
-    perturb.seed = options_.sim.seed;
-    if (options_.straggler_cv > 0.0) {
-      const auto machine =
-          Simulator::machine_for(options_.layout, solution_.nodes);
-      perturb.node_slowdown = sim::Perturbation::stragglers(
-          machine.nodes, options_.straggler_cv, options_.sim.seed);
-    }
-    perturb.fail_node = options_.fail_node;
-    perturb.fail_time = options_.fail_time;
-    perturb.fail_downtime = options_.fail_downtime;
+    const auto machine =
+        Simulator::machine_for(options_.layout, solution_.nodes);
     run_ = sim_.run_coupled(options_.layout, solution_.nodes,
-                            options_.coupling_intervals, perturb);
+                            options_.coupling_intervals,
+                            make_perturb(machine.nodes));
+    actual_seconds_ = run_.component_seconds;
+    actual_total_ = run_.total_seconds;
+    executed_ = true;
+    return actual_total_;
+  }
+
+  // --- Closed-loop hooks: the coupled run in intervals_per_epoch chunks ---
+
+  bool supports_epochs() const override { return true; }
+
+  void begin_epochs(const SolveOutcome&) override {
+    sim::Machine machine =
+        Simulator::machine_for(options_.layout, solution_.nodes);
+    machine.link_gb_per_s = options_.link_gb_per_s;
+    auto perturb = make_perturb(machine.nodes);
+    runner_ = std::make_unique<CoupledChunkRunner>(
+        sim_, options_.layout, options_.coupling_intervals,
+        options_.intervals_per_epoch, std::move(machine), std::move(perturb));
+    runner_->install(solution_.nodes);
+  }
+
+  EpochOutcome execute_epoch(std::size_t) override {
+    const auto chunk = runner_->step();
+    EpochOutcome out;
+    out.done = chunk.done;
+    out.failure_detected = chunk.failure;
+    out.epoch_seconds = chunk.epoch_seconds;
+    out.imbalance = chunk.imbalance;
+    out.epochs_remaining = chunk.epochs_remaining;
+    // Each completed interval slice, scaled back to a full-run observation
+    // so it is commensurable with the fitted models.
+    const double scale = static_cast<double>(options_.coupling_intervals);
+    for (const auto& s : chunk.slices) {
+      out.observations.push_back({to_string(s.component),
+                                  static_cast<double>(s.nodes),
+                                  s.seconds * scale, 0});
+    }
+    return out;
+  }
+
+  ResolveOutcome resolve(
+      const std::vector<std::pair<std::string, perf::FitResult>>& fits,
+      const SolveOutcome& incumbent) override {
+    const auto models = models_from(fits);
+    LayoutProblem problem =
+        make_problem(resolution_, options_.layout, runner_->budget(), models,
+                     options_.ocean_constrained);
+    problem.tsync = options_.tsync;
+    // Cold re-solve: the four-variable layout MINLP is small enough that
+    // warm seeding buys nothing (the FMO substrate exercises that path).
+    const Solution proposal = solve_layout(problem, options_.bnb);
+    ResolveOutcome out;
+    out.solution = outcome_from(proposal);
+    // Re-predict the incumbent under the same refitted models so the
+    // controller's accept test compares like with like.
+    std::array<double, 4> inc{};
+    for (const auto& t : incumbent.allocation.tasks) {
+      const auto i = index(component_from_string(t.task));
+      inc[i] = models[i].eval(static_cast<double>(t.nodes));
+    }
+    out.incumbent_predicted = layout_total(options_.layout, inc);
+    return out;
+  }
+
+  double migration_cost(const SolveOutcome&,
+                        const SolveOutcome& to) const override {
+    return runner_->machine().migration_seconds(runner_->migration_volume(
+        nodes_of(to.allocation), options_.migrate_gb_per_node));
+  }
+
+  double apply_allocation(const SolveOutcome& solution) override {
+    const auto nodes = nodes_of(solution.allocation);
+    const double stall = runner_->migrate(runner_->migration_volume(
+        nodes, options_.migrate_gb_per_node));
+    runner_->install(nodes);
+    return stall;
+  }
+
+  double finish_epochs() override {
+    run_ = runner_->finish();
     actual_seconds_ = run_.component_seconds;
     actual_total_ = run_.total_seconds;
     executed_ = true;
@@ -199,10 +216,88 @@ class CesmApplication final : public Application {
   bool executed_ = false;
 
  private:
+  static std::array<perf::Model, 4> models_from(
+      const std::vector<std::pair<std::string, perf::FitResult>>& fits) {
+    std::array<perf::Model, 4> models;
+    for (const auto& [task, fit] : fits)
+      models[index(component_from_string(task))] = fit.model;
+    return models;
+  }
+
+  static std::array<long long, 4> nodes_of(const Allocation& allocation) {
+    std::array<long long, 4> nodes{};
+    for (const auto& t : allocation.tasks)
+      nodes[index(component_from_string(t.task))] = t.nodes;
+    return nodes;
+  }
+
+  sim::Perturbation make_perturb(std::size_t machine_nodes) const {
+    sim::Perturbation perturb;
+    perturb.seed = options_.sim.seed;
+    if (options_.straggler_cv > 0.0) {
+      perturb.node_slowdown = sim::Perturbation::stragglers(
+          machine_nodes, options_.straggler_cv, options_.sim.seed);
+    }
+    perturb.fail_node = options_.fail_node;
+    perturb.fail_time = options_.fail_time;
+    perturb.fail_downtime = options_.fail_downtime;
+    return perturb;
+  }
+
+  /// Solution -> engine SolveOutcome (allocation, prediction, solver stats).
+  SolveOutcome outcome_from(const Solution& s) const {
+    SolveOutcome out;
+    for (Component c : kComponents) {
+      out.allocation.tasks.push_back(
+          {to_string(c), s.nodes[index(c)], s.predicted_seconds[index(c)]});
+    }
+    out.allocation.predicted_total = s.predicted_total;
+    out.predicted_total = s.predicted_total;
+    out.solver.status = minlp::to_string(s.stats.status);
+    out.solver.nodes = s.stats.nodes;
+    out.solver.cuts = s.stats.cuts;
+    out.solver.gap = s.stats.gap;
+    out.solver.rel_gap = s.stats.rel_gap;
+    out.solver.seconds = s.stats.seconds;
+    out.solver.threads = options_.bnb.solver_threads == 0
+                             ? ThreadPool::hardware_threads()
+                             : options_.bnb.solver_threads;
+    out.solver.lp_solves = s.stats.lp_solves;
+    out.solver.lp_pivots = s.stats.lp_pivots;
+    out.solver.warm_solves = s.stats.warm_solves;
+    out.solver.waves = s.stats.waves;
+    out.solver.eta_nnz = s.stats.lp_stats.eta_nnz;
+    out.solver.eta_dense_nnz = s.stats.lp_stats.eta_dense_nnz;
+    out.solver.eta_compression = s.stats.lp_stats.eta_compression();
+    out.solver.flop_reduction = s.stats.lp_stats.flop_reduction();
+    out.solver.refactorizations = s.stats.lp_stats.refactorizations;
+    out.solver.basis_nnz = s.stats.lp_stats.basis_nnz;
+    out.solver.lu_fill = s.stats.lp_stats.lu_fill;
+    out.solver.ft_updates = s.stats.lp_stats.ft_updates;
+    out.solver.ft_fill_nnz = s.stats.lp_stats.ft_fill_nnz;
+    out.solver.refactor_interval_hits = s.stats.lp_stats.refactor_interval_hits;
+    out.solver.refactor_fill_hits = s.stats.lp_stats.refactor_fill_hits;
+    out.solver.refactor_drift_hits = s.stats.lp_stats.refactor_drift_hits;
+    out.solver.dual_pivots = s.stats.lp_stats.dual_pivots;
+    out.solver.phase1_pivots = s.stats.lp_stats.phase1_pivots;
+    out.solver.dual_phase1_avoided = s.stats.lp_stats.dual_phase1_avoided;
+    out.solver.presolve_rows_removed = s.stats.lp_stats.presolve_rows_removed;
+    out.solver.presolve_cols_removed = s.stats.lp_stats.presolve_cols_removed;
+    out.solver.bounds_tightened = s.stats.bounds_tightened;
+    out.solver.nodes_propagated_infeasible =
+        s.stats.nodes_propagated_infeasible;
+    out.solver.cuts_retired = s.stats.cuts_retired;
+    out.solver.cuts_reactivated = s.stats.cuts_reactivated;
+    // The CESM layout model is compute-only: one aggregate term.
+    out.term_predictions.push_back({"compute", s.predicted_total, 0.0});
+    return out;
+  }
+
   Resolution resolution_;
   long long total_nodes_;
   const PipelineOptions& options_;
   Simulator sim_;
+  std::unique_ptr<CoupledChunkRunner> runner_;
 };
 
 }  // namespace
@@ -213,6 +308,7 @@ PipelineResult run_pipeline(Resolution r, long long total_nodes,
   hslb::PipelineOptions engine_options;
   engine_options.threads = options.threads;
   engine_options.gather_repetitions = options.repetitions;
+  engine_options.rebalance = options.rebalance;
   auto run = Pipeline(engine_options).run(app);
 
   PipelineResult out;

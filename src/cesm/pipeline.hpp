@@ -41,6 +41,21 @@ struct PipelineOptions {
   long long fail_node = -1;
   double fail_time = 0.0;
   double fail_downtime = std::numeric_limits<double>::infinity();
+
+  /// Closed-loop rebalancing (hslb::Controller): when `rebalance.adaptive`
+  /// is set, the Execute step runs the coupled simulation in chunks of
+  /// `intervals_per_epoch` coupling intervals and the monitor -> refit ->
+  /// re-solve -> migrate loop reacts between chunks. Off, or on but never
+  /// triggered, the run is bit-identical to the static pipeline.
+  RebalancePolicy rebalance;
+  int intervals_per_epoch = 4;
+  /// Data each re-placed node drags along when the layout moves (restart
+  /// state, GB per node); 0 makes migrations free.
+  double migrate_gb_per_node = 0.0;
+  /// Link bandwidth of the coupled run's machine (GB/s); infinity (the
+  /// default) leaves communication unmodeled and migrations therefore
+  /// unpriced, exactly as machine_for builds it.
+  double link_gb_per_s = std::numeric_limits<double>::infinity();
 };
 
 struct PipelineResult {

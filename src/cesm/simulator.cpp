@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <initializer_list>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/stats.hpp"
 
 namespace hslb::cesm {
 
@@ -49,28 +52,113 @@ double Simulator::run_total(Layout layout,
   return layout_total(layout, run_components(nodes));
 }
 
-sim::Machine Simulator::machine_for(Layout layout,
-                                    const std::array<long long, 4>& nodes) {
+long long Simulator::layout_width(Layout layout,
+                                  const std::array<long long, 4>& nodes) {
   for (Component c : kComponents) HSLB_EXPECTS(nodes[index(c)] >= 1);
   const long long lnd = nodes[index(Component::Lnd)];
   const long long ice = nodes[index(Component::Ice)];
   const long long atm = nodes[index(Component::Atm)];
   const long long ocn = nodes[index(Component::Ocn)];
-  long long total = 0;
   switch (layout) {
     case Layout::Hybrid:
       // ice || lnd share the atmosphere block; ocean runs beside it.
-      total = std::max(atm, ice + lnd) + ocn;
-      break;
+      return std::max(atm, ice + lnd) + ocn;
     case Layout::SequentialAtmGroup:
-      total = std::max({ice, lnd, atm}) + ocn;
-      break;
+      return std::max({ice, lnd, atm}) + ocn;
     case Layout::FullySequential:
-      total = std::max({ice, lnd, atm, ocn});
-      break;
+      return std::max({ice, lnd, atm, ocn});
   }
-  return sim::Machine{"intrepid", static_cast<std::size_t>(total), 4};
+  return 0;
 }
+
+sim::Machine Simulator::machine_for(Layout layout,
+                                    const std::array<long long, 4>& nodes) {
+  return sim::Machine{
+      "intrepid", static_cast<std::size_t>(layout_width(layout, nodes)), 4};
+}
+
+std::array<sim::NodeSet, 4> Simulator::blocks_for(
+    Layout layout, const std::array<long long, 4>& nodes, std::size_t offset) {
+  for (Component c : kComponents) HSLB_EXPECTS(nodes[index(c)] >= 1);
+  const auto count = [&](Component c) {
+    return static_cast<std::size_t>(nodes[index(c)]);
+  };
+  // Processor blocks (Figure 1), packed from `offset`. In the hybrid layout
+  // ice and lnd split the atmosphere block; in layout 2 the chain reuses
+  // one block; layout 3 runs everything on overlapping full-machine sets.
+  const std::size_t atm_block =
+      layout == Layout::Hybrid
+          ? std::max(count(Component::Atm),
+                     count(Component::Ice) + count(Component::Lnd))
+          : std::max({count(Component::Ice), count(Component::Lnd),
+                      count(Component::Atm)});
+  std::array<sim::NodeSet, 4> blocks;
+  blocks[index(Component::Ice)] = {offset, count(Component::Ice)};
+  blocks[index(Component::Lnd)] = {
+      layout == Layout::Hybrid ? offset + count(Component::Ice) : offset,
+      count(Component::Lnd)};
+  blocks[index(Component::Atm)] = {offset, count(Component::Atm)};
+  blocks[index(Component::Ocn)] = {
+      layout == Layout::FullySequential ? offset : offset + atm_block,
+      count(Component::Ocn)};
+  return blocks;
+}
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Adds one coupling interval's tasks for the components still `pending`,
+/// chained under the layout's sequencing. Dependencies on components that
+/// already completed (a failure re-run) are dropped — the run clock covers
+/// them. `barrier` carries the previous interval's coupler-barrier tasks
+/// in and leaves this interval's behind. Returns runtime ids (kNone = not
+/// added); both run_coupled and the chunk runner build through here, so
+/// the mono and epoch-split schedules cannot drift apart.
+std::array<std::size_t, 4> add_interval(sim::Runtime& rt, Layout layout,
+                                        const std::array<sim::NodeSet, 4>& blocks,
+                                        const std::array<double, 4>& seconds,
+                                        const std::string& phase,
+                                        const std::array<char, 4>& pending,
+                                        std::vector<std::size_t>& barrier) {
+  std::array<std::size_t, 4> ids;
+  ids.fill(kNone);
+  const auto filter = [](std::initializer_list<std::size_t> deps) {
+    std::vector<std::size_t> kept;
+    for (std::size_t d : deps)
+      if (d != kNone) kept.push_back(d);
+    return kept;
+  };
+  const auto add = [&](Component c, std::vector<std::size_t> deps) {
+    const std::size_t i = index(c);
+    if (!pending[i]) return kNone;
+    ids[i] = rt.add_task(to_string(c), seconds[i], blocks[i], std::move(deps),
+                         phase, false);
+    return ids[i];
+  };
+  if (layout == Layout::FullySequential) {
+    const auto ice = add(Component::Ice, barrier);
+    const auto lnd = add(Component::Lnd, filter({ice}));
+    const auto atm = add(Component::Atm, filter({lnd}));
+    const auto ocn = add(Component::Ocn, filter({atm}));
+    barrier = filter({ocn});
+  } else {
+    const auto ice = add(Component::Ice, barrier);
+    const auto lnd = add(Component::Lnd, layout == Layout::Hybrid
+                                             ? barrier
+                                             : filter({ice}));
+    const auto atm = add(Component::Atm, layout == Layout::Hybrid
+                                             ? filter({ice, lnd})
+                                             : filter({lnd}));
+    const auto ocn = add(Component::Ocn, barrier);
+    // The coupler barrier: both processor blocks join before the next
+    // coupling period.
+    barrier = filter({atm, ocn});
+  }
+  return ids;
+}
+
+}  // namespace
 
 Simulator::CoupledRun Simulator::run_coupled(
     Layout layout, const std::array<long long, 4>& nodes, int intervals,
@@ -81,69 +169,28 @@ Simulator::CoupledRun Simulator::run_coupled(
 
   const sim::Machine machine = machine_for(layout, nodes);
   sim::Runtime rt(machine);
-
-  const auto count = [&](Component c) {
-    return static_cast<std::size_t>(nodes[index(c)]);
-  };
-  // Processor blocks (Figure 1), packed from node 0. In the hybrid layout
-  // ice and lnd split the atmosphere block; in layout 2 the chain reuses
-  // one block; layout 3 runs everything on overlapping full-machine sets.
-  const std::size_t atm_block =
-      layout == Layout::Hybrid
-          ? std::max(count(Component::Atm),
-                     count(Component::Ice) + count(Component::Lnd))
-          : std::max({count(Component::Ice), count(Component::Lnd),
-                      count(Component::Atm)});
-  const sim::NodeSet ice_nodes{0, count(Component::Ice)};
-  const sim::NodeSet lnd_nodes{
-      layout == Layout::Hybrid ? count(Component::Ice) : 0,
-      count(Component::Lnd)};
-  const sim::NodeSet atm_nodes{0, count(Component::Atm)};
-  const sim::NodeSet ocn_nodes{
-      layout == Layout::FullySequential ? 0 : atm_block,
-      count(Component::Ocn)};
+  const auto blocks = blocks_for(layout, nodes, 0);
 
   // Per-interval durations are keyed (order-independent) draws — the same
   // convention as benchmark_at probes, offset into a dedicated rep range.
   const double inv = 1.0 / static_cast<double>(intervals);
-  const auto slice = [&](Component c, int k) {
-    return benchmark_at(c, nodes[index(c)],
-                        (1ull << 20) + static_cast<std::uint64_t>(k)) *
-           inv;
-  };
+  constexpr std::array<char, 4> kAllPending{1, 1, 1, 1};
 
   std::vector<std::pair<std::size_t, Component>> placed;
   placed.reserve(static_cast<std::size_t>(intervals) * kComponents.size());
   std::vector<std::size_t> barrier;  // what the next interval waits on
   for (int k = 0; k < intervals; ++k) {
-    const std::string phase = "interval" + std::to_string(k);
-    const auto add = [&](Component c, const sim::NodeSet& where,
-                         std::vector<std::size_t> deps) {
-      const std::size_t id = rt.add_task(to_string(c), slice(c, k), where,
-                                         std::move(deps), phase, false);
-      placed.emplace_back(id, c);
-      return id;
-    };
-    if (layout == Layout::FullySequential) {
-      const auto ice = add(Component::Ice, ice_nodes, barrier);
-      const auto lnd = add(Component::Lnd, lnd_nodes, {ice});
-      const auto atm = add(Component::Atm, atm_nodes, {lnd});
-      const auto ocn = add(Component::Ocn, ocn_nodes, {atm});
-      barrier = {ocn};
-    } else {
-      const auto ice = add(Component::Ice, ice_nodes, barrier);
-      const auto lnd =
-          add(Component::Lnd, lnd_nodes,
-              layout == Layout::Hybrid ? barrier : std::vector<std::size_t>{ice});
-      const auto atm = add(Component::Atm, atm_nodes,
-                           layout == Layout::Hybrid
-                               ? std::vector<std::size_t>{ice, lnd}
-                               : std::vector<std::size_t>{lnd});
-      const auto ocn = add(Component::Ocn, ocn_nodes, barrier);
-      // The coupler barrier: both processor blocks join before the next
-      // coupling period.
-      barrier = {atm, ocn};
+    std::array<double, 4> seconds;
+    for (Component c : kComponents) {
+      seconds[index(c)] =
+          benchmark_at(c, nodes[index(c)],
+                       (1ull << 20) + static_cast<std::uint64_t>(k)) *
+          inv;
     }
+    const auto ids =
+        add_interval(rt, layout, blocks, seconds,
+                     "interval" + std::to_string(k), kAllPending, barrier);
+    for (Component c : kComponents) placed.emplace_back(ids[index(c)], c);
   }
 
   const auto rr = rt.run(perturb);
@@ -162,6 +209,194 @@ Simulator::CoupledRun Simulator::run_coupled(
   out.coupling_loss_seconds =
       out.total_seconds - layout_total(layout, out.component_seconds);
   return out;
+}
+
+CoupledChunkRunner::CoupledChunkRunner(const Simulator& sim, Layout layout,
+                                       int intervals, int intervals_per_epoch,
+                                       sim::Machine machine,
+                                       sim::Perturbation perturb)
+    : sim_(&sim),
+      layout_(layout),
+      intervals_(intervals),
+      chunk_(intervals_per_epoch),
+      mach_(std::move(machine)),
+      perturb_(std::move(perturb)) {
+  HSLB_EXPECTS(intervals_ >= 1);
+  HSLB_EXPECTS(chunk_ >= 1);
+  HSLB_EXPECTS(mach_.nodes >= 1);
+  seg_count_ = mach_.nodes;
+  pending_.assign(static_cast<std::size_t>(intervals_),
+                  std::array<char, 4>{1, 1, 1, 1});
+  out_.trace.machine = mach_.name;
+  out_.trace.nodes = mach_.nodes;
+  out_.trace.cores_per_node = mach_.cores_per_node;
+}
+
+long long CoupledChunkRunner::budget() const {
+  return std::min<long long>(static_cast<long long>(mach_.nodes),
+                             static_cast<long long>(seg_count_));
+}
+
+void CoupledChunkRunner::install(const std::array<long long, 4>& nodes) {
+  HSLB_EXPECTS(Simulator::layout_width(layout_, nodes) <= budget());
+  nodes_ = nodes;
+  blocks_ = Simulator::blocks_for(layout_, nodes, seg_first_);
+  installed_ = true;
+}
+
+/// Shrinks the world to the largest contiguous segment of surviving nodes
+/// and advances the clock past all in-flight work. Returns false when the
+/// survivors fall below the pipeline's minimum partition.
+bool CoupledChunkRunner::handle_failure(const sim::EpochState& state) {
+  failed_ = true;
+  const auto fn = static_cast<std::size_t>(perturb_.fail_node);
+  const std::size_t end = seg_first_ + seg_count_;
+  HSLB_ASSERT(fn >= seg_first_ && fn < end);
+  // Larger of the two halves either side of the failed node (ties keep the
+  // low half, so layouts stay anchored at the machine front).
+  const std::size_t left = fn - seg_first_;
+  const std::size_t right = end - fn - 1;
+  if (left >= right) {
+    seg_count_ = left;
+  } else {
+    seg_first_ = fn + 1;
+    seg_count_ = right;
+  }
+  for (std::size_t n = seg_first_; n < seg_first_ + seg_count_; ++n)
+    clock_ = std::max(clock_, state.node_free[n]);
+  // gather_plan's floor: a partition under 8 nodes cannot host a re-solved
+  // CESM layout.
+  if (budget() < 8) {
+    unrecoverable_ = true;
+    done_ = true;
+    out_.completed = false;
+    return false;
+  }
+  return true;
+}
+
+CoupledChunkRunner::ChunkReport CoupledChunkRunner::step() {
+  HSLB_EXPECTS(installed_);
+  ChunkReport r;
+  if (done_) {
+    r.done = true;
+    return r;
+  }
+  const double epoch_start = clock_;
+  const int end_k = std::min(cursor_ + chunk_, intervals_);
+
+  sim::Runtime rt(mach_);
+  const double inv = 1.0 / static_cast<double>(intervals_);
+  std::vector<std::tuple<std::size_t, Component, int>> placed;
+  std::vector<std::size_t> barrier;
+  for (int k = cursor_; k < end_k; ++k) {
+    std::array<double, 4> seconds;
+    for (Component c : kComponents) {
+      seconds[index(c)] =
+          sim_->benchmark_at(c, nodes_[index(c)],
+                             (1ull << 20) + static_cast<std::uint64_t>(k)) *
+          inv;
+    }
+    const auto ids = add_interval(rt, layout_, blocks_, seconds,
+                                  "interval" + std::to_string(k),
+                                  pending_[static_cast<std::size_t>(k)],
+                                  barrier);
+    for (Component c : kComponents)
+      if (ids[index(c)] != kNone) placed.emplace_back(ids[index(c)], c, k);
+  }
+
+  sim::EpochOptions eo;
+  eo.initial_node_free.assign(mach_.nodes, clock_);
+  eo.stop_on_failure = true;
+  sim::EpochState state;
+  const auto rr = rt.run(perturb_, eo, &state);
+  out_.trace.append(rr.trace);
+  out_.restarts += rr.restarts;
+
+  // Per-(interval, component) completed durations, for the block paths.
+  std::vector<std::array<double, 4>> dur(
+      static_cast<std::size_t>(end_k - cursor_), std::array<double, 4>{});
+  for (const auto& [id, c, k] : placed) {
+    if (!state.ran[id]) continue;
+    const auto& ts = rr.tasks[id];
+    const double t = ts.end - ts.start;
+    out_.component_seconds[index(c)] += t;
+    pending_[static_cast<std::size_t>(k)][index(c)] = 0;
+    r.slices.push_back({c, nodes_[index(c)], t, k});
+    dur[static_cast<std::size_t>(k - cursor_)][index(c)] = t;
+  }
+
+  const auto chunks_left = [&](int from) {
+    return std::ceil(static_cast<double>(intervals_ - from) /
+                     static_cast<double>(chunk_));
+  };
+
+  if (rr.failure_paused) {
+    r.failure = true;
+    r.done = !handle_failure(state);
+    r.epochs_remaining = chunks_left(cursor_);
+    r.epoch_seconds = clock_ - epoch_start;
+    return r;
+  }
+
+  clock_ = rr.makespan;
+  cursor_ = end_k;
+  if (cursor_ >= intervals_) done_ = true;
+
+  // Imbalance between the layout's two parallel block paths: the
+  // atmosphere-group chain vs the ocean (exactly the split Table I's
+  // min-max balances). The fully sequential layout has a single path.
+  if (layout_ != Layout::FullySequential) {
+    double path_atm = 0.0, path_ocn = 0.0;
+    for (const auto& d : dur) {
+      const double lnd = d[index(Component::Lnd)];
+      const double ice = d[index(Component::Ice)];
+      const double atm = d[index(Component::Atm)];
+      path_atm += layout_ == Layout::Hybrid ? std::max(ice, lnd) + atm
+                                            : ice + lnd + atm;
+      path_ocn += d[index(Component::Ocn)];
+    }
+    const std::array<double, 2> paths{path_atm, path_ocn};
+    r.imbalance = stats::imbalance(paths);
+  }
+
+  r.done = done_;
+  r.epochs_remaining = chunks_left(cursor_);
+  r.epoch_seconds = clock_ - epoch_start;
+  return r;
+}
+
+double CoupledChunkRunner::migrate(double volume_gb) {
+  const double stall = mach_.migration_seconds(volume_gb);
+  if (stall > 0.0) {
+    out_.trace.events.push_back({"migrate", "rebalance", seg_first_,
+                                 seg_count_, clock_, clock_ + stall, false});
+    clock_ += stall;
+  }
+  return stall;
+}
+
+double CoupledChunkRunner::migration_volume(
+    const std::array<long long, 4>& next, double gb_per_node) const {
+  HSLB_EXPECTS(installed_);
+  if (gb_per_node <= 0.0) return 0.0;
+  const auto moved = Simulator::blocks_for(layout_, next, seg_first_);
+  double volume = 0.0;
+  for (Component c : kComponents) {
+    const std::size_t i = index(c);
+    if (moved[i].first != blocks_[i].first || moved[i].count != blocks_[i].count)
+      volume += gb_per_node * static_cast<double>(moved[i].count);
+  }
+  return volume;
+}
+
+Simulator::CoupledRun CoupledChunkRunner::finish() {
+  out_.intervals = intervals_;
+  out_.total_seconds = clock_;
+  out_.events = out_.trace.events.size();
+  out_.coupling_loss_seconds =
+      out_.total_seconds - layout_total(layout_, out_.component_seconds);
+  return out_;
 }
 
 }  // namespace hslb::cesm

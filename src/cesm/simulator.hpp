@@ -72,6 +72,17 @@ class Simulator {
   static sim::Machine machine_for(Layout layout,
                                   const std::array<long long, 4>& nodes);
 
+  /// Node count the layout's packed blocks occupy (machine_for's size).
+  static long long layout_width(Layout layout,
+                                const std::array<long long, 4>& nodes);
+
+  /// Per-component processor blocks of a layout, packed from node `offset`
+  /// (Figure 1). Exposed so the closed-loop chunk runner can re-place a
+  /// re-solved allocation inside a surviving node segment.
+  static std::array<sim::NodeSet, 4> blocks_for(
+      Layout layout, const std::array<long long, 4>& nodes,
+      std::size_t offset);
+
   /// Simulates the run the way the coupler actually drives it: the 5-day
   /// simulation is split into `intervals` coupling periods; within each
   /// period the components execute under the layout's sequencing as a task
@@ -90,6 +101,105 @@ class Simulator {
   SimulatorOptions options_;
   sim::NoiseModel noise_;
   sim::NoiseModel ice_noise_;
+};
+
+/// Epoch-by-epoch coupled run for the closed-loop controller: each step()
+/// runs a chunk of coupling intervals on a fresh sim::Runtime whose node
+/// clocks all start at the previous coupler barrier — the barrier joins
+/// every node, so a run that never rebalances reproduces run_coupled's
+/// schedule, trace and accounting bit-identically (per-interval durations
+/// are keyed by the absolute interval index, which the chunk split
+/// preserves).
+///
+/// On a permanent node failure the chunk pauses (failure = true): the
+/// caller re-solves the layout over budget() — the largest contiguous
+/// surviving segment — installs the new allocation, charges the stall
+/// (migrate), and the next step() re-runs only the component intervals the
+/// failure left unfinished, with blocks packed inside the segment.
+class CoupledChunkRunner {
+ public:
+  /// One completed component interval: `seconds` is the noisy slice time
+  /// (the full-run time divided by the interval count).
+  struct Slice {
+    Component component = Component::Lnd;
+    long long nodes = 0;
+    double seconds = 0.0;
+    int interval = 0;
+  };
+
+  /// What one step() reported (mirrors hslb::EpochOutcome).
+  struct ChunkReport {
+    bool done = false;     ///< all coupling intervals have run
+    bool failure = false;  ///< a permanent failure paused this chunk
+    double epoch_seconds = 0.0;  ///< run-clock time this chunk consumed
+    /// max/mean - 1 over the layout's two parallel block paths (the
+    /// atmosphere-group chain vs the ocean); 0 for the fully sequential
+    /// layout, which has no parallel blocks to imbalance.
+    double imbalance = 0.0;
+    double epochs_remaining = 0.0;  ///< chunks left, this one included
+    std::vector<Slice> slices;      ///< completed intervals this chunk
+  };
+
+  /// `machine` is the partition the run occupies (machine_for, optionally
+  /// with finite link bandwidth so migration has a price); `perturb` adds
+  /// stragglers / fail-stop exactly as run_coupled would.
+  CoupledChunkRunner(const Simulator& sim, Layout layout, int intervals,
+                     int intervals_per_epoch, sim::Machine machine,
+                     sim::Perturbation perturb);
+
+  /// Installs `nodes` for subsequent chunks: blocks packed from the
+  /// surviving segment's start. Must be called once before the first
+  /// step() and after every accepted rebalance.
+  void install(const std::array<long long, 4>& nodes);
+
+  /// Runs the next chunk (or re-runs what a failure left unfinished).
+  ChunkReport step();
+
+  /// Charges a mid-run migration of `volume_gb` to the run clock and
+  /// records a "migrate" trace event over the surviving segment. Returns
+  /// the stall in seconds.
+  double migrate(double volume_gb);
+
+  /// Data volume (GB) a switch to `next` would move: `gb_per_node` for
+  /// every node of a component whose processor block would change.
+  double migration_volume(const std::array<long long, 4>& next,
+                          double gb_per_node) const;
+
+  /// Nodes available for re-solving: the machine, clipped to the largest
+  /// contiguous segment a permanent failure left.
+  long long budget() const;
+
+  const sim::Machine& machine() const { return mach_; }
+
+  /// Finalizes accounting (same shape run_coupled returns). Call once,
+  /// after step() reported done.
+  Simulator::CoupledRun finish();
+
+ private:
+  bool handle_failure(const sim::EpochState& state);
+
+  const Simulator* sim_;
+  Layout layout_;
+  int intervals_;
+  int chunk_;
+  sim::Machine mach_;
+  sim::Perturbation perturb_;
+
+  std::array<long long, 4> nodes_{};
+  std::array<sim::NodeSet, 4> blocks_{};
+  bool installed_ = false;
+
+  std::size_t seg_first_ = 0;  ///< surviving contiguous segment
+  std::size_t seg_count_ = 0;
+  bool failed_ = false;
+
+  int cursor_ = 0;  ///< first interval not yet fully completed
+  std::vector<std::array<char, 4>> pending_;  ///< [interval][component]
+  bool done_ = false;
+  bool unrecoverable_ = false;
+
+  double clock_ = 0.0;
+  Simulator::CoupledRun out_;
 };
 
 }  // namespace hslb::cesm

@@ -73,6 +73,32 @@ void apply_execution_args(const Args& args, double& straggler_cv,
   fail_downtime = args.get_double("fail-downtime", fail_downtime, 0.0);
 }
 
+/// Closed-loop rebalancing knobs shared by the cesm and fmo subcommands.
+/// The sub-flags only make sense once --adaptive turns the controller on.
+void apply_rebalance_args(const Args& args, RebalancePolicy& rebalance) {
+  rebalance.adaptive = args.flag("adaptive");
+  const bool has_threshold = args.value("rebalance-threshold").has_value();
+  const bool has_window = args.value("refit-window").has_value();
+  const bool has_epochs = args.value("max-epochs").has_value();
+  if (!rebalance.adaptive && (has_threshold || has_window || has_epochs)) {
+    throw std::invalid_argument(
+        "--rebalance-threshold/--refit-window/--max-epochs require "
+        "--adaptive (they tune the closed-loop controller)");
+  }
+  if (has_threshold) {
+    // One sensitivity knob for both monitors: execution imbalance and
+    // prediction drift trigger at the same relative level.
+    const double t = args.get_double("rebalance-threshold",
+                                     rebalance.imbalance_threshold, 0.0);
+    rebalance.imbalance_threshold = t;
+    rebalance.drift_threshold = t;
+  }
+  rebalance.refit_window = static_cast<std::size_t>(args.get_int(
+      "refit-window", static_cast<long long>(rebalance.refit_window), 1));
+  rebalance.max_epochs = static_cast<std::size_t>(args.get_int(
+      "max-epochs", static_cast<long long>(rebalance.max_epochs), 0));
+}
+
 /// --trace <path>: export the Execute step's trace (CSV, or JSON when the
 /// path ends in .json).
 void maybe_save_trace(const Args& args, const sim::Trace& trace) {
@@ -100,7 +126,9 @@ int usage(int code) {
       "              [--cut-age-limit K] [--refactor-interval R]\n"
       "              [--refactor-fill-ratio F] [--export-ampl out.mod]\n"
       "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
-      "              [--fail-time S] [--fail-downtime S]\n"
+      "              [--fail-time S] [--fail-downtime S] [--adaptive]\n"
+      "              [--rebalance-threshold X] [--refit-window K]\n"
+      "              [--max-epochs N]\n"
       "                                 full simulated pipeline\n"
       "  hslb fmo    --fragments F --nodes N [--peptide|--comm-bound]\n"
       "              [--minlp] [--objective min-max] [--threads T]\n"
@@ -109,7 +137,9 @@ int usage(int code) {
       "              [--refactor-fill-ratio F] [--link-gb GB/s] [--mem-gb GB]\n"
       "              [--page-s-per-gb S] [--compute-only-model]\n"
       "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
-      "              [--fail-time S] [--fail-downtime S]\n"
+      "              [--fail-time S] [--fail-downtime S] [--adaptive]\n"
+      "              [--rebalance-threshold X] [--refit-window K]\n"
+      "              [--max-epochs N]\n"
       "                                 full simulated pipeline\n"
       "\n"
       "  hslb advise --resolution 1|8 [--layout 1|2|3] [--efficiency 0.5]\n"
@@ -137,7 +167,15 @@ int usage(int code) {
       "  --trace exports the Execute step's per-task trace (CSV, or JSON\n"
       "  when the path ends in .json). --straggler-cv slows random nodes\n"
       "  down; --fail-node I --fail-time S [--fail-downtime S] injects a\n"
-      "  node fail-stop (downtime omitted = permanent).\n");
+      "  node fail-stop (downtime omitted = permanent).\n"
+      "  --adaptive closes the loop: the Execute step runs in epochs and a\n"
+      "  monitor -> refit -> re-solve -> migrate controller reacts to\n"
+      "  imbalance, cost drift and node failures (never triggered, the run\n"
+      "  is bit-identical to the static pipeline). --rebalance-threshold X\n"
+      "  sets both trigger levels (relative imbalance and drift, default\n"
+      "  0.25/0.10); --refit-window K refits over the last K epochs'\n"
+      "  observations (default 4); --max-epochs N stops monitoring after N\n"
+      "  epochs (0 = the whole run).\n");
   return code;
 }
 
@@ -200,6 +238,7 @@ int cmd_cesm(const Args& args) {
   apply_bnb_args(args, opt.bnb);
   apply_execution_args(args, opt.straggler_cv, opt.fail_node, opt.fail_time,
                        opt.fail_downtime);
+  apply_rebalance_args(args, opt.rebalance);
 
   const auto res = cesm::run_pipeline(r, nodes, opt);
 
@@ -259,6 +298,7 @@ int cmd_fmo(const Args& args) {
   apply_bnb_args(args, opt.bnb);
   apply_execution_args(args, opt.run.straggler_cv, opt.run.fail_node,
                        opt.run.fail_time, opt.run.fail_downtime);
+  apply_rebalance_args(args, opt.rebalance);
 
   // Machine extensions: finite link bandwidth / node memory make the run
   // charge for halo exchange and paging; --compute-only-model keeps the

@@ -22,23 +22,26 @@ int main(int argc, char** argv) {
     }
     if (cmd == "cesm") {
       return cmd_cesm(Args(argc - 1, argv + 1,
-                           {"unconstrained-ocean", "no-presolve"},
+                           {"unconstrained-ocean", "no-presolve", "adaptive"},
                            {"resolution", "nodes", "layout", "tsync",
                             "export-ampl", "threads", "solver-threads",
                             "cut-age-limit", "refactor-interval",
                             "refactor-fill-ratio", "trace", "straggler-cv",
-                            "fail-node", "fail-time", "fail-downtime"}));
+                            "fail-node", "fail-time", "fail-downtime",
+                            "rebalance-threshold", "refit-window",
+                            "max-epochs"}));
     }
     if (cmd == "fmo") {
       return cmd_fmo(Args(argc - 1, argv + 1,
                           {"peptide", "comm-bound", "minlp", "no-presolve",
-                           "compute-only-model"},
+                           "compute-only-model", "adaptive"},
                           {"fragments", "nodes", "objective", "threads",
                            "solver-threads", "cut-age-limit",
                            "refactor-interval", "refactor-fill-ratio",
                            "trace", "straggler-cv", "fail-node", "fail-time",
                            "fail-downtime", "link-gb", "mem-gb",
-                           "page-s-per-gb"}));
+                           "page-s-per-gb", "rebalance-threshold",
+                           "refit-window", "max-epochs"}));
     }
     if (cmd == "advise") {
       return cmd_advise(Args(argc - 1, argv + 1, {},

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 #include "common/contracts.hpp"
@@ -35,6 +36,59 @@ std::vector<BudgetTask> make_budget_tasks(
 }
 
 namespace {
+
+/// Copies branch-and-bound diagnostics into the report row shape.
+void copy_bnb_stats(SolverStats& out, const minlp::BnbResult& bnb,
+                    std::size_t solver_threads) {
+  out.status = minlp::to_string(bnb.status);
+  out.nodes = bnb.nodes;
+  out.cuts = bnb.cuts;
+  out.gap = bnb.gap;
+  out.rel_gap = bnb.rel_gap;
+  out.seconds = bnb.seconds;
+  out.threads =
+      solver_threads == 0 ? ThreadPool::hardware_threads() : solver_threads;
+  out.lp_solves = bnb.lp_solves;
+  out.lp_pivots = bnb.lp_pivots;
+  out.warm_solves = bnb.warm_solves;
+  out.waves = bnb.waves;
+  out.eta_nnz = bnb.lp_stats.eta_nnz;
+  out.eta_dense_nnz = bnb.lp_stats.eta_dense_nnz;
+  out.eta_compression = bnb.lp_stats.eta_compression();
+  out.flop_reduction = bnb.lp_stats.flop_reduction();
+  out.refactorizations = bnb.lp_stats.refactorizations;
+  out.basis_nnz = bnb.lp_stats.basis_nnz;
+  out.lu_fill = bnb.lp_stats.lu_fill;
+  out.ft_updates = bnb.lp_stats.ft_updates;
+  out.ft_fill_nnz = bnb.lp_stats.ft_fill_nnz;
+  out.refactor_interval_hits = bnb.lp_stats.refactor_interval_hits;
+  out.refactor_fill_hits = bnb.lp_stats.refactor_fill_hits;
+  out.refactor_drift_hits = bnb.lp_stats.refactor_drift_hits;
+  out.dual_pivots = bnb.lp_stats.dual_pivots;
+  out.phase1_pivots = bnb.lp_stats.phase1_pivots;
+  out.dual_phase1_avoided = bnb.lp_stats.dual_phase1_avoided;
+  out.presolve_rows_removed = bnb.lp_stats.presolve_rows_removed;
+  out.presolve_cols_removed = bnb.lp_stats.presolve_cols_removed;
+  out.bounds_tightened = bnb.bounds_tightened;
+  out.nodes_propagated_infeasible = bnb.nodes_propagated_infeasible;
+  out.cuts_retired = bnb.cuts_retired;
+  out.cuts_reactivated = bnb.cuts_reactivated;
+}
+
+/// Fitted parameters of every task's cost model, concatenated — equality
+/// means the MINLP's nonlinear constraints are unchanged, which is the
+/// validity condition for reusing a previous solve's cut pool verbatim.
+std::vector<double> flatten_fit_params(
+    const std::vector<std::pair<std::string, perf::FitResult>>& fits) {
+  std::vector<double> out;
+  for (const auto& [name, fit] : fits) {
+    for (std::size_t i = 0; i < fit.cost.num_terms(); ++i) {
+      const auto p = fit.cost.params(i);
+      out.insert(out.end(), p.begin(), p.end());
+    }
+  }
+  return out;
+}
 
 /// The FMO substrate behind the hslb::Pipeline engine. Probe noise is
 /// derived per (fragment, node count, repetition) so Gather parallelizes
@@ -84,40 +138,11 @@ class FmoApplication final : public Application {
       const auto model = build_budget_minlp(tasks, nodes_, options_.objective);
       const auto bnb = minlp::solve(model, options_.bnb);
       out.allocation = allocation_from_minlp(tasks, bnb.x, options_.objective);
-      out.solver.status = minlp::to_string(bnb.status);
-      out.solver.nodes = bnb.nodes;
-      out.solver.cuts = bnb.cuts;
-      out.solver.gap = bnb.gap;
-      out.solver.rel_gap = bnb.rel_gap;
-      out.solver.seconds = bnb.seconds;
-      out.solver.threads = options_.bnb.solver_threads == 0
-                               ? ThreadPool::hardware_threads()
-                               : options_.bnb.solver_threads;
-      out.solver.lp_solves = bnb.lp_solves;
-      out.solver.lp_pivots = bnb.lp_pivots;
-      out.solver.warm_solves = bnb.warm_solves;
-      out.solver.waves = bnb.waves;
-      out.solver.eta_nnz = bnb.lp_stats.eta_nnz;
-      out.solver.eta_dense_nnz = bnb.lp_stats.eta_dense_nnz;
-      out.solver.eta_compression = bnb.lp_stats.eta_compression();
-      out.solver.flop_reduction = bnb.lp_stats.flop_reduction();
-      out.solver.refactorizations = bnb.lp_stats.refactorizations;
-      out.solver.basis_nnz = bnb.lp_stats.basis_nnz;
-      out.solver.lu_fill = bnb.lp_stats.lu_fill;
-      out.solver.ft_updates = bnb.lp_stats.ft_updates;
-      out.solver.ft_fill_nnz = bnb.lp_stats.ft_fill_nnz;
-      out.solver.refactor_interval_hits = bnb.lp_stats.refactor_interval_hits;
-      out.solver.refactor_fill_hits = bnb.lp_stats.refactor_fill_hits;
-      out.solver.refactor_drift_hits = bnb.lp_stats.refactor_drift_hits;
-      out.solver.dual_pivots = bnb.lp_stats.dual_pivots;
-      out.solver.phase1_pivots = bnb.lp_stats.phase1_pivots;
-      out.solver.dual_phase1_avoided = bnb.lp_stats.dual_phase1_avoided;
-      out.solver.presolve_rows_removed = bnb.lp_stats.presolve_rows_removed;
-      out.solver.presolve_cols_removed = bnb.lp_stats.presolve_cols_removed;
-      out.solver.bounds_tightened = bnb.bounds_tightened;
-      out.solver.nodes_propagated_infeasible = bnb.nodes_propagated_infeasible;
-      out.solver.cuts_retired = bnb.cuts_retired;
-      out.solver.cuts_reactivated = bnb.cuts_reactivated;
+      copy_bnb_stats(out.solver, bnb, options_.bnb.solver_threads);
+      // Remember what the search learned for closed-loop warm re-solves.
+      last_x_ = bnb.x;
+      last_pool_ = bnb.pool_cuts;
+      last_fit_params_ = flatten_fit_params(fits);
     } else {
       out.allocation = solve_budget(tasks, nodes_, options_.objective);
       out.solver.status = to_string(options_.objective) + " exact greedy";
@@ -188,12 +213,118 @@ class FmoApplication final : public Application {
     return out;
   }
 
+  // -- Adaptive execution (closed loop) -------------------------------------
+  // One SCC iteration (wave + sync) per epoch, then one dimer-phase epoch,
+  // driven through fmo::EpochRunner so an untriggered adaptive run matches
+  // execute() bit-exactly.
+
+  bool supports_epochs() const override { return true; }
+
+  void begin_epochs(const SolveOutcome& solution) override {
+    probe_and_fit_dimers();
+    runner_ = std::make_unique<EpochRunner>(sys_, cost_, nodes_,
+                                            dimer_predictions_, options_.run);
+    runner_->install(solution.allocation);
+  }
+
+  EpochOutcome execute_epoch(std::size_t epoch) override {
+    (void)epoch;
+    EpochRunner::EpochReport er = runner_->step();
+    EpochOutcome eo;
+    eo.done = er.done;
+    eo.failure_detected = er.failure;
+    eo.epoch_seconds = er.epoch_seconds;
+    eo.imbalance = er.imbalance;
+    eo.epochs_remaining = er.epochs_remaining;
+    eo.observations = std::move(er.observations);
+    return eo;
+  }
+
+  ResolveOutcome resolve(
+      const std::vector<std::pair<std::string, perf::FitResult>>& fits,
+      const SolveOutcome& incumbent) override {
+    const long long budget = runner_->budget();
+    auto tasks = make_budget_tasks(sys_, fits, std::min(hi_, budget));
+    add_machine_terms(tasks);
+    std::vector<long long> inc_nodes;
+    inc_nodes.reserve(tasks.size());
+    for (const auto& t : tasks)
+      inc_nodes.push_back(incumbent.allocation.find(t.name).nodes);
+
+    SolveOutcome out;
+    if (options_.solve_with_minlp) {
+      const auto model = build_budget_minlp(tasks, budget, options_.objective);
+      minlp::BnbOptions bnb_opt = options_.bnb;
+      // Warm seeding: the running allocation lifted into the new variable
+      // space (candidate incumbent + fresh linearization point), the
+      // previous optimum re-linearized under the refitted models, and —
+      // when the models are unchanged (pure budget/bounds change, e.g. a
+      // node failure before any observation) — the previous cut pool
+      // verbatim.
+      bnb_opt.seed_incumbent =
+          minlp_warm_start(tasks, inc_nodes, options_.objective);
+      bnb_opt.seed_points.push_back(bnb_opt.seed_incumbent);
+      if (!last_x_.empty()) bnb_opt.seed_points.push_back(last_x_);
+      if (!last_pool_.empty() && flatten_fit_params(fits) == last_fit_params_)
+        bnb_opt.seed_cuts = last_pool_;
+      const auto bnb = minlp::solve(model, bnb_opt);
+      out.allocation = allocation_from_minlp(tasks, bnb.x, options_.objective);
+      copy_bnb_stats(out.solver, bnb, options_.bnb.solver_threads);
+      last_x_ = bnb.x;
+      last_pool_ = bnb.pool_cuts;
+      last_fit_params_ = flatten_fit_params(fits);
+    } else {
+      out.allocation = solve_budget(tasks, budget, options_.objective);
+      out.solver.status =
+          to_string(options_.objective) + " exact greedy (warm)";
+    }
+    resolve_stats_.push_back(out.solver);
+
+    // Per-epoch predictions for the accept test: one wave plus its sync.
+    std::vector<long long> new_nodes;
+    new_nodes.reserve(out.allocation.tasks.size());
+    for (const auto& t : out.allocation.tasks) new_nodes.push_back(t.nodes);
+    ResolveOutcome rr;
+    out.predicted_total =
+        evaluate_objective(tasks, new_nodes, options_.objective) +
+        options_.run.sync_overhead;
+    rr.incumbent_predicted =
+        evaluate_objective(tasks, inc_nodes, options_.objective) +
+        options_.run.sync_overhead;
+    rr.solution = std::move(out);
+    return rr;
+  }
+
+  double migration_cost(const SolveOutcome& from,
+                        const SolveOutcome& to) const override {
+    (void)from;  // the runner compares against the installed layout
+    return runner_->machine().migration_seconds(
+        runner_->migration_volume(to.allocation));
+  }
+
+  double apply_allocation(const SolveOutcome& solution) override {
+    const double stall =
+        runner_->migrate(runner_->migration_volume(solution.allocation));
+    runner_->install(solution.allocation);
+    return stall;
+  }
+
+  double finish_epochs() override {
+    hslb_ = runner_->finish();
+    const std::size_t dlb_groups =
+        options_.dlb_groups == 0 ? sys_.num_fragments() : options_.dlb_groups;
+    dlb_ = run_dlb(sys_, cost_, GroupLayout::uniform(nodes_, dlb_groups),
+                   options_.run);
+    return hslb_.scc_seconds;
+  }
+
   // Substrate-specific outputs copied into PipelineResult by run_pipeline.
   double predicted_scc_seconds_ = 0.0;
   DimerPredictions dimer_predictions_;
   double dimer_min_r2_ = 1.0;
   ExecutionResult hslb_;
   ExecutionResult dlb_;
+  std::vector<SolverStats> resolve_stats_;
 
  private:
   /// Extends each fragment's fitted model with pinned machine terms: comm
@@ -310,6 +441,11 @@ class FmoApplication final : public Application {
   std::vector<perf::Model> truth_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, std::size_t> index_of_;
+  // Closed-loop state.
+  std::unique_ptr<EpochRunner> runner_;
+  std::vector<double> last_x_;         ///< previous MINLP optimum
+  std::vector<minlp::Cut> last_pool_;  ///< previous solve's cut pool
+  std::vector<double> last_fit_params_;
 };
 
 }  // namespace
@@ -323,6 +459,7 @@ PipelineResult run_pipeline(const System& sys, const CostModel& cost,
   hslb::PipelineOptions engine_options;
   engine_options.threads = options.threads;
   engine_options.gather_repetitions = options.repetitions;
+  engine_options.rebalance = options.rebalance;
   auto run = Pipeline(engine_options).run(app);
 
   PipelineResult out;
@@ -342,6 +479,7 @@ PipelineResult run_pipeline(const System& sys, const CostModel& cost,
   out.hslb = std::move(app.hslb_);
   out.dlb = std::move(app.dlb_);
   out.report = std::move(run.report);
+  out.resolve_stats = std::move(app.resolve_stats_);
   return out;
 }
 

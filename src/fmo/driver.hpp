@@ -67,6 +67,14 @@ struct PipelineOptions {
   /// concurrency). Allocations are identical for every thread count:
   /// probe noise is derived per (fragment, node count, repetition).
   std::size_t threads = 1;
+
+  /// Closed-loop rebalancing (hslb::Controller): when `rebalance.adaptive`
+  /// is set, the Execute step runs epoch by epoch (one SCC iteration per
+  /// epoch, then the dimer phase) and the monitor -> refit -> warm
+  /// re-solve -> migrate loop reacts to stragglers, cost drift and node
+  /// failures. Off (the default), or on but never triggered, the run is
+  /// bit-identical to the static pipeline.
+  RebalancePolicy rebalance;
 };
 
 struct PipelineResult {
@@ -92,7 +100,12 @@ struct PipelineResult {
 
   /// Per-stage instrumentation from the hslb::Pipeline engine (stage wall
   /// times, per-fragment R², solver stats, predicted-vs-actual SCC).
+  /// Adaptive runs also fill report.epochs/rebalances/migration_seconds.
   PipelineReport report;
+
+  /// Solver diagnostics of every warm re-solve the closed-loop controller
+  /// ran (empty for static runs and for adaptive runs that never tripped).
+  std::vector<SolverStats> resolve_stats;
 };
 
 /// Runs the full pipeline on `nodes` nodes via the shared hslb::Pipeline

@@ -72,6 +72,14 @@ void add_overhead(sim::Trace& trace, const std::string& name,
       {name, phase, 0, trace.nodes, start, start + seconds, false});
 }
 
+/// Truth multiplier of fragment `f`'s monomer cost at SCC iteration `iter`
+/// (RunOptions::task_scale drift injection; 1.0 outside the drift regime).
+double drift_scale(const RunOptions& options, std::size_t f, int iter) {
+  if (options.task_scale.empty() || iter < options.drift_onset) return 1.0;
+  HSLB_ASSERT(f < options.task_scale.size());
+  return options.task_scale[f];
+}
+
 }  // namespace
 
 double ExecutionResult::efficiency(long long total_nodes) const {
@@ -148,9 +156,12 @@ ExecutionResult run_dlb(const System& sys, const CostModel& cost,
     queue.reserve(monomer_order.size());
     for (std::size_t f : monomer_order) {
       const perf::Model model = monomers[f];
+      const double scale = drift_scale(options, f, iter);
       queue.push_back(
           {sys.fragments[f].name,
-           [model](long long n) { return model.eval(static_cast<double>(n)); },
+           [model, scale](long long n) {
+             return model.eval(static_cast<double>(n)) * scale;
+           },
            phase,
            sys.fragments[f].halo_gb * static_cast<double>(pairs[f]),
            sys.fragments[f].memory_gb});
@@ -254,7 +265,8 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
       if (last_sync != kNone) deps.push_back(last_sync);
       const std::size_t id = rt.add_task(
           sys.fragments[f].name,
-          monomers[f].eval(static_cast<double>(out.group_nodes[f])),
+          monomers[f].eval(static_cast<double>(out.group_nodes[f])) *
+              drift_scale(options, f, iter),
           frag_nodes[f], std::move(deps), phase, false,
           {sys.fragments[f].halo_gb * static_cast<double>(pairs[f]),
            sys.fragments[f].memory_gb});
@@ -399,5 +411,433 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
                          const RunOptions& options) {
   return run_hslb(sys, cost, allocation, total_nodes, DimerPredictions{}, options);
 }
+
+// ---------------------------------------------------------------------------
+// EpochRunner: run_hslb's DAG, executed one barrier-aligned epoch at a time.
+
+struct EpochRunner::Impl {
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  const System& sys;
+  const CostModel& cost;
+  const long long total_nodes;
+  const DimerPredictions dimers;
+  const RunOptions options;
+  const sim::Machine mach;
+  const sim::Perturbation perturb;
+
+  std::vector<perf::Model> monomers;
+  std::vector<std::size_t> pairs;
+
+  // Installed layout: contiguous fragment blocks from the segment start.
+  std::vector<long long> group_nodes;
+  std::vector<sim::NodeSet> frag_nodes;
+  bool installed = false;
+
+  // Surviving contiguous node segment (shrinks on permanent failure).
+  std::size_t seg_first = 0;
+  std::size_t seg_count = 0;
+  bool failed = false;
+
+  // Progress cursors.
+  int iter = 0;  ///< next (or in-flight) SCC iteration
+  bool in_dimer = false;
+  bool done = false;
+  bool unrecoverable = false;
+  std::vector<char> pending_monomers;  ///< current iteration's open wave
+  std::vector<char> pending_dimers;
+
+  double clock = 0.0;
+  ExecutionResult out;
+  std::vector<char> monomer_energy_added;
+  std::vector<char> dimer_energy_added;
+
+  Impl(const System& s, const CostModel& c, long long nodes,
+       const DimerPredictions& d, const RunOptions& o)
+      : sys(s),
+        cost(c),
+        total_nodes(nodes),
+        dimers(d),
+        options(o),
+        mach(run_machine(o, nodes)),
+        perturb(make_perturbation(o, mach.nodes)) {
+    HSLB_EXPECTS(!sys.fragments.empty());
+    HSLB_EXPECTS(options.scc_iterations >= 1);
+    HSLB_EXPECTS(dimers.models.empty() ||
+                 dimers.models.size() == sys.scf_dimers.size());
+    HSLB_EXPECTS(options.task_scale.empty() ||
+                 options.task_scale.size() == sys.fragments.size());
+    seg_count = mach.nodes;
+    monomers.reserve(sys.fragments.size());
+    for (const auto& f : sys.fragments) monomers.push_back(cost.monomer(f));
+    const auto counts = sys.scf_neighbor_counts();
+    pairs.assign(counts.begin(), counts.end());
+    pending_monomers.assign(sys.fragments.size(), 1);
+    pending_dimers.assign(sys.scf_dimers.size(), 1);
+    monomer_energy_added.assign(sys.fragments.size(), 0);
+    dimer_energy_added.assign(sys.scf_dimers.size(), 0);
+    out.scc_iterations = options.scc_iterations;
+    out.group_busy.assign(sys.fragments.size(), 0.0);
+    out.trace.machine = mach.name;
+    out.trace.nodes = mach.nodes;
+    out.trace.cores_per_node = mach.cores_per_node;
+  }
+
+  long long budget() const {
+    return std::min<long long>(total_nodes, static_cast<long long>(seg_count));
+  }
+
+  /// Barriers span the whole machine until a failure confines the run to
+  /// the surviving segment.
+  sim::NodeSet barrier_set() const {
+    if (failed) return {seg_first, seg_count};
+    return {0, mach.nodes};
+  }
+
+  void install(const Allocation& allocation) {
+    HSLB_EXPECTS(allocation.tasks.size() == sys.fragments.size());
+    HSLB_EXPECTS(allocation.total_nodes() <= budget());
+    group_nodes.resize(sys.fragments.size());
+    frag_nodes.resize(sys.fragments.size());
+    std::size_t offset = seg_first;
+    for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+      const auto& entry = allocation.find(sys.fragments[f].name);
+      HSLB_EXPECTS(entry.nodes >= 1);
+      group_nodes[f] = entry.nodes;
+      frag_nodes[f] = {offset, static_cast<std::size_t>(entry.nodes)};
+      offset += static_cast<std::size_t>(entry.nodes);
+    }
+    out.group_nodes = group_nodes;
+    installed = true;
+  }
+
+  /// One epoch on a fresh runtime: every node's clock starts at the
+  /// current barrier time, so the schedule continues run_hslb's exactly.
+  sim::RunResult run_epoch(const sim::Runtime& rt, sim::EpochState* state) {
+    sim::EpochOptions eo;
+    eo.initial_node_free.assign(mach.nodes, clock);
+    eo.stop_on_failure = true;
+    return rt.run(perturb, eo, state);
+  }
+
+  void fold(const sim::RunResult& rr) {
+    out.trace.append(rr.trace);
+    out.restarts += rr.restarts;
+    out.comm_seconds += rr.comm_seconds;
+    out.page_seconds += rr.page_seconds;
+  }
+
+  /// Shrinks the world to the largest contiguous segment of surviving
+  /// nodes and advances the clock past all in-flight work. Returns false
+  /// when the survivors cannot host one node per fragment.
+  bool handle_failure(const sim::EpochState& state) {
+    failed = true;
+    const auto fn = static_cast<std::size_t>(options.fail_node);
+    const std::size_t end = seg_first + seg_count;
+    HSLB_ASSERT(fn >= seg_first && fn < end);
+    // Larger of the two halves either side of the failed node (ties keep
+    // the low half, so layouts stay anchored at the machine front).
+    const std::size_t left = fn - seg_first;
+    const std::size_t right = end - fn - 1;
+    if (left >= right) {
+      seg_count = left;
+    } else {
+      seg_first = fn + 1;
+      seg_count = right;
+    }
+    for (std::size_t n = seg_first; n < seg_first + seg_count; ++n)
+      clock = std::max(clock, state.node_free[n]);
+    if (budget() < static_cast<long long>(sys.fragments.size())) {
+      unrecoverable = true;
+      done = true;
+      out.completed = false;
+      return false;
+    }
+    return true;
+  }
+
+  EpochReport step() {
+    HSLB_EXPECTS(installed);
+    EpochReport r;
+    if (done) {
+      r.done = true;
+      return r;
+    }
+    return in_dimer ? run_dimer_unit() : run_scc_unit();
+  }
+
+  EpochReport run_scc_unit() {
+    EpochReport r;
+    const double epoch_start = clock;
+    sim::Runtime rt(mach);
+    const std::string phase = "scc" + std::to_string(iter);
+    std::vector<std::size_t> ids(sys.fragments.size(), kNone);
+    std::vector<std::size_t> wave;
+    for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+      if (!pending_monomers[f]) continue;
+      ids[f] = rt.add_task(
+          sys.fragments[f].name,
+          monomers[f].eval(static_cast<double>(group_nodes[f])) *
+              drift_scale(options, f, iter),
+          frag_nodes[f], {}, phase, false,
+          {sys.fragments[f].halo_gb * static_cast<double>(pairs[f]),
+           sys.fragments[f].memory_gb});
+      wave.push_back(ids[f]);
+      // Converged densities: the final iteration records monomer energies
+      // (at build, as the static scheduler does; flags stop a re-run after
+      // a failure from double-counting).
+      if (iter + 1 == options.scc_iterations && !monomer_energy_added[f]) {
+        out.energy.monomer += monomer_energy(sys.fragments[f]);
+        monomer_energy_added[f] = 1;
+      }
+    }
+    const std::size_t sync_id = rt.add_task(
+        "sync", options.sync_overhead, barrier_set(), std::move(wave), phase,
+        true);
+
+    sim::EpochState state;
+    const auto rr = run_epoch(rt, &state);
+    fold(rr);
+
+    std::vector<double> durations;
+    for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+      if (ids[f] == kNone || !state.ran[ids[f]]) continue;
+      const auto& ts = rr.tasks[ids[f]];
+      const double t = ts.end - ts.start;
+      out.group_busy[f] += t;
+      out.busy_node_seconds += t * static_cast<double>(group_nodes[f]);
+      out.monomer_task_seconds += t;
+      durations.push_back(t);
+      pending_monomers[f] = 0;
+    }
+    for (const auto& [id, seconds] : state.observed) {
+      for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+        if (ids[f] != id) continue;
+        r.observations.push_back({sys.fragments[f].name,
+                                  static_cast<double>(group_nodes[f]), seconds,
+                                  0});
+        break;
+      }
+    }
+
+    if (rr.failure_paused) {
+      r.failure = true;
+      r.done = !handle_failure(state);
+      r.epochs_remaining =
+          static_cast<double>(options.scc_iterations - iter) + 1.0;
+      r.epoch_seconds = clock - epoch_start;
+      return r;
+    }
+
+    clock = rr.tasks[sync_id].end;
+    out.scc_seconds = clock;
+    ++iter;
+    pending_monomers.assign(sys.fragments.size(), 1);
+    if (iter >= options.scc_iterations) in_dimer = true;
+    r.imbalance = durations.empty() ? 0.0 : stats::imbalance(durations);
+    r.epochs_remaining =
+        static_cast<double>(options.scc_iterations - iter) + 1.0;
+    r.epoch_seconds = clock - epoch_start;
+    return r;
+  }
+
+  EpochReport run_dimer_unit() {
+    EpochReport r;
+    const double epoch_start = clock;
+    sim::Runtime rt(mach);
+
+    std::vector<std::size_t> active;
+    for (std::size_t d = 0; d < pending_dimers.size(); ++d)
+      if (pending_dimers[d]) active.push_back(d);
+
+    std::vector<std::pair<std::size_t, std::size_t>> built;  // (id, d)
+    std::vector<long long> built_nodes;   // wave path: group size per task
+    std::vector<std::size_t> built_group; // ECT path: monomer group (kNone = wave)
+    std::vector<std::size_t> dimer_ids;
+    if (!active.empty()) {
+      const bool can_repartition =
+          !dimers.models.empty() &&
+          static_cast<long long>(active.size()) <= budget();
+      if (can_repartition) {
+        // GDDI re-split: min-max wave over the pending dimers' predicted
+        // models, blocks packed from the segment start.
+        std::vector<BudgetTask> tasks;
+        tasks.reserve(active.size());
+        for (std::size_t d : active) {
+          tasks.push_back(BudgetTask{"d" + std::to_string(d),
+                                     dimers.models[d], 1, budget()});
+        }
+        const auto wave_alloc = solve_min_max(tasks, budget());
+        std::size_t offset = seg_first;
+        for (std::size_t k = 0; k < active.size(); ++k) {
+          const std::size_t d = active[k];
+          const auto& pair = sys.scf_dimers[d];
+          const auto model =
+              cost.dimer(sys.fragments[pair.i], sys.fragments[pair.j]);
+          const long long n = wave_alloc.tasks[k].nodes;
+          const std::size_t id = rt.add_task(
+              dimer_name(sys, d), model.eval(static_cast<double>(n)),
+              {offset, static_cast<std::size_t>(n)}, {}, "dimer", false);
+          offset += static_cast<std::size_t>(n);
+          built.emplace_back(id, d);
+          built_nodes.push_back(n);
+          built_group.push_back(kNone);
+          dimer_ids.push_back(id);
+        }
+      } else {
+        // ECT fallback onto the monomer groups, longest dimer first.
+        const auto order = descending_order(active.size(), [&](std::size_t k) {
+          return dimer_nbf(sys, active[k]);
+        });
+        const std::size_t groups = group_nodes.size();
+        std::vector<double> pred_finish(groups, 0.0);
+        std::vector<std::size_t> tail(groups, kNone);
+        for (std::size_t k : order) {
+          const std::size_t i = active[k];
+          const auto& d = sys.scf_dimers[i];
+          std::size_t best = 0;
+          double best_eta = std::numeric_limits<double>::infinity();
+          for (std::size_t g = 0; g < groups; ++g) {
+            const double ng = static_cast<double>(group_nodes[g]);
+            const double pred =
+                dimers.models.empty()
+                    ? dimer_nbf(sys, i) * dimer_nbf(sys, i) * dimer_nbf(sys, i) /
+                          ng
+                    : dimers.models[i].eval(ng);
+            const double eta = pred_finish[g] + pred;
+            if (eta < best_eta) {
+              best_eta = eta;
+              best = g;
+            }
+          }
+          pred_finish[best] = best_eta;
+          const auto model =
+              cost.dimer(sys.fragments[d.i], sys.fragments[d.j]);
+          std::vector<std::size_t> deps;
+          if (tail[best] != kNone) deps.push_back(tail[best]);
+          const std::size_t id = rt.add_task(
+              dimer_name(sys, i),
+              model.eval(static_cast<double>(group_nodes[best])),
+              frag_nodes[best], std::move(deps), "dimer", false);
+          tail[best] = id;
+          built.emplace_back(id, i);
+          built_nodes.push_back(group_nodes[best]);
+          built_group.push_back(best);
+          dimer_ids.push_back(id);
+        }
+      }
+      for (std::size_t d : active) {
+        if (dimer_energy_added[d]) continue;
+        const auto& pair = sys.scf_dimers[d];
+        out.energy.scf_dimer += scf_dimer_correction(
+            sys.fragments[pair.i], sys.fragments[pair.j], pair.separation);
+        dimer_energy_added[d] = 1;
+      }
+    }
+    // Aggregated ES dimers: analytic tail over the barrier span. After a
+    // failure the tail is re-scaled to the surviving budget.
+    const double es =
+        cost.es_dimer_time(sys, failed ? budget() : total_nodes);
+    const std::size_t es_id =
+        rt.add_task("es-dimers", es, barrier_set(), std::move(dimer_ids),
+                    "dimer", true);
+
+    sim::EpochState state;
+    const auto rr = run_epoch(rt, &state);
+    fold(rr);
+
+    for (std::size_t k = 0; k < built.size(); ++k) {
+      const auto [id, d] = built[k];
+      if (!state.ran[id]) continue;
+      const auto& ts = rr.tasks[id];
+      const double t = ts.end - ts.start;
+      if (built_group[k] == kNone) {
+        out.busy_node_seconds += t * static_cast<double>(built_nodes[k]);
+      } else {
+        out.group_busy[built_group[k]] += t;
+        out.busy_node_seconds += t * static_cast<double>(built_nodes[k]);
+      }
+      pending_dimers[d] = 0;
+    }
+
+    if (rr.failure_paused) {
+      r.failure = true;
+      r.done = !handle_failure(state);
+      r.epochs_remaining = 1.0;
+      r.epoch_seconds = clock - epoch_start;
+      return r;
+    }
+
+    clock = rr.tasks[es_id].end;
+    done = true;
+    r.done = true;
+    r.epoch_seconds = clock - epoch_start;
+    return r;
+  }
+
+  double migration_volume(const Allocation& next) const {
+    HSLB_EXPECTS(installed);
+    HSLB_EXPECTS(next.tasks.size() == sys.fragments.size());
+    double volume = 0.0;
+    std::size_t offset = seg_first;
+    for (std::size_t f = 0; f < sys.fragments.size(); ++f) {
+      const auto& frag = sys.fragments[f];
+      const auto n =
+          static_cast<std::size_t>(next.find(frag.name).nodes);
+      if (offset != frag_nodes[f].first || n != frag_nodes[f].count) {
+        volume += frag.memory_gb > 0.0
+                      ? frag.memory_gb
+                      : 8e-9 * static_cast<double>(frag.basis_functions) *
+                            static_cast<double>(frag.basis_functions);
+      }
+      offset += n;
+    }
+    return volume;
+  }
+
+  double migrate(double volume_gb) {
+    const double stall = mach.migration_seconds(volume_gb);
+    if (stall > 0.0) {
+      out.trace.events.push_back({"migrate", "rebalance", seg_first, seg_count,
+                                  clock, clock + stall, false});
+      clock += stall;
+    }
+    return stall;
+  }
+
+  ExecutionResult finish() {
+    out.energy.es_dimer = fmo2_energy(sys).es_dimer;
+    out.total_seconds = clock;
+    if (unrecoverable && !in_dimer) out.scc_seconds = clock;
+    out.dimer_seconds = out.total_seconds - out.scc_seconds;
+    out.completed = !unrecoverable;
+    return std::move(out);
+  }
+};
+
+EpochRunner::EpochRunner(const System& sys, const CostModel& cost,
+                         long long total_nodes, const DimerPredictions& dimers,
+                         const RunOptions& options)
+    : impl_(new Impl(sys, cost, total_nodes, dimers, options)) {}
+
+EpochRunner::~EpochRunner() { delete impl_; }
+
+void EpochRunner::install(const Allocation& allocation) {
+  impl_->install(allocation);
+}
+
+EpochRunner::EpochReport EpochRunner::step() { return impl_->step(); }
+
+double EpochRunner::migrate(double volume_gb) { return impl_->migrate(volume_gb); }
+
+double EpochRunner::migration_volume(const Allocation& next) const {
+  return impl_->migration_volume(next);
+}
+
+long long EpochRunner::budget() const { return impl_->budget(); }
+
+const sim::Machine& EpochRunner::machine() const { return impl_->mach; }
+
+ExecutionResult EpochRunner::finish() { return impl_->finish(); }
 
 }  // namespace hslb::fmo

@@ -29,6 +29,7 @@
 #include "fmo/fragment.hpp"
 #include "fmo/gddi.hpp"
 #include "hslb/allocation.hpp"
+#include "perf/fit.hpp"
 #include "perf/model.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace.hpp"
@@ -56,6 +57,14 @@ struct RunOptions {
   long long fail_node = -1;
   double fail_time = 0.0;
   double fail_downtime = std::numeric_limits<double>::infinity();
+
+  /// Mid-run cost drift: per-fragment multipliers (size = #fragments)
+  /// applied to the true monomer cost from SCC iteration `drift_onset`
+  /// onwards; empty = no drift. Every scheduler (static HSLB, DLB, the
+  /// adaptive epoch runner) sees the same drifted truth, so adaptive gains
+  /// come from reacting, not from a different workload.
+  std::vector<double> task_scale;
+  int drift_onset = 0;
 };
 
 struct ExecutionResult {
@@ -128,5 +137,71 @@ ExecutionResult run_hslb(const System& sys, const CostModel& cost,
 ExecutionResult run_hslb(const System& sys, const CostModel& cost,
                          const Allocation& allocation, long long total_nodes,
                          const RunOptions& options);
+
+/// Epoch-by-epoch HSLB execution for the closed-loop controller: each
+/// step() runs one SCC iteration (one concurrent wave + its sync barrier),
+/// and the final step runs the dimer phase plus the ES tail. Each epoch is
+/// a fresh sim::Runtime whose node clocks start at the previous barrier's
+/// end, so a run that never rebalances reproduces run_hslb's schedule —
+/// trace, accounting and energy — bit-identically (noise draws are keyed
+/// by (phase, task, attempt), which the epoch split preserves).
+///
+/// On a permanent node failure the epoch pauses (failure = true): the
+/// caller re-solves over budget() — the largest contiguous surviving node
+/// segment — installs the new allocation (install), charges the stall
+/// (migrate), and the next step() re-runs only the work the failure left
+/// unfinished, with barriers packed inside the surviving segment.
+class EpochRunner {
+ public:
+  /// What one epoch reported (mirrors hslb::EpochOutcome).
+  struct EpochReport {
+    bool done = false;     ///< the run (incl. dimer phase) is finished
+    bool failure = false;  ///< a permanent failure paused this epoch
+    double epoch_seconds = 0.0;  ///< run-clock time this epoch consumed
+    double imbalance = 0.0;      ///< fragment busy imbalance (max/mean - 1)
+    double epochs_remaining = 0.0;
+    /// Observed monomer compute seconds, machine charges excluded:
+    /// (fragment name, nodes, seconds); the epoch stamp is left to the
+    /// controller.
+    std::vector<perf::Observed> observations;
+  };
+
+  EpochRunner(const System& sys, const CostModel& cost, long long total_nodes,
+              const DimerPredictions& dimers, const RunOptions& options);
+  ~EpochRunner();
+
+  /// Installs `allocation` (one entry per fragment) for subsequent epochs:
+  /// fragment groups occupy contiguous blocks in fragment order from the
+  /// surviving segment's start. Must be called once before the first
+  /// step() and after every accepted rebalance.
+  void install(const Allocation& allocation);
+
+  /// Runs the next epoch (or re-runs what a failure left unfinished).
+  EpochReport step();
+
+  /// Charges a mid-run migration of `volume_gb` to the run clock
+  /// (sim::Machine::migration_seconds) and records a fixed "migrate" trace
+  /// event over the surviving segment. Returns the stall in seconds.
+  double migrate(double volume_gb);
+
+  /// Data volume (GB) a switch to `next` would move: the working set of
+  /// every fragment whose absolute node block would change (memory_gb, or
+  /// an nbf^2 density-matrix estimate when the fragment models no memory).
+  double migration_volume(const Allocation& next) const;
+
+  /// Nodes currently available for allocation: the run's node budget,
+  /// clipped to the largest contiguous segment a permanent failure left.
+  long long budget() const;
+
+  const sim::Machine& machine() const;
+
+  /// Finalizes accounting and returns the accumulated execution result
+  /// (same shape run_hslb returns). Call once, after step() reported done.
+  ExecutionResult finish();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
 
 }  // namespace hslb::fmo

@@ -289,6 +289,37 @@ minlp::Model build_budget_minlp(std::span<const BudgetTask> tasks,
   return m;
 }
 
+std::vector<double> minlp_warm_start(std::span<const BudgetTask> tasks,
+                                     std::span<const long long> nodes,
+                                     Objective objective) {
+  HSLB_EXPECTS(objective == Objective::MinMax || objective == Objective::MinSum);
+  HSLB_EXPECTS(tasks.size() == nodes.size());
+  std::vector<double> x;
+  for (long long n : nodes) x.push_back(static_cast<double>(n));
+  // Mirror build_budget_minlp's variable order: epigraph variable(s) after
+  // the node counts, split variables appended as each task's rows are
+  // assembled.
+  auto push_split = [&x](const BudgetTask& t, long long n) {
+    double slope = 0.0, intercept = 0.0;
+    if (t.model.linear_part(slope, intercept) && t.model.has_nonlinear())
+      x.push_back(t.model.eval_nonlinear(static_cast<double>(n)));
+  };
+  if (objective == Objective::MinMax) {
+    double worst = 0.0;
+    for (std::size_t f = 0; f < tasks.size(); ++f)
+      worst = std::max(worst, eval(tasks[f], nodes[f]));
+    x.push_back(worst);
+    for (std::size_t f = 0; f < tasks.size(); ++f)
+      push_split(tasks[f], nodes[f]);
+  } else {
+    for (std::size_t f = 0; f < tasks.size(); ++f) {
+      x.push_back(eval(tasks[f], nodes[f]));
+      push_split(tasks[f], nodes[f]);
+    }
+  }
+  return x;
+}
+
 Allocation allocation_from_minlp(std::span<const BudgetTask> tasks,
                                  std::span<const double> x,
                                  Objective objective) {

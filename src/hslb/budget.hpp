@@ -75,6 +75,17 @@ Allocation allocation_from_minlp(std::span<const BudgetTask> tasks,
                                  std::span<const double> x,
                                  Objective objective);
 
+/// Lifts per-task node counts into a full solution vector for the MINLP
+/// build_budget_minlp builds over the SAME task list: the node counts
+/// verbatim, with epigraph and split variables re-evaluated against the
+/// current models. Used to seed a warm re-solve (BnbOptions::seed_incumbent
+/// / seed_points) from a previous allocation — the point is feasible
+/// whenever the node counts respect the new bounds and budget, and the B&B
+/// re-checks that before accepting it.
+std::vector<double> minlp_warm_start(std::span<const BudgetTask> tasks,
+                                     std::span<const long long> nodes,
+                                     Objective objective);
+
 /// Objective value of an allocation under the given criterion.
 double evaluate_objective(std::span<const BudgetTask> tasks,
                           std::span<const long long> nodes,

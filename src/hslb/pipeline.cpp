@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "hslb/controller.hpp"
 
 namespace hslb {
 
@@ -102,6 +103,15 @@ std::string PipelineReport::str() const {
         exec_restarts, exec_restarts == 1 ? "" : "s",
         exec_completed ? "" : ", INCOMPLETE");
   }
+  // Printed only when the closed loop actually acted, so a static run and
+  // an untriggered adaptive run render byte-identically.
+  if (rebalances > 0 || migration_seconds > 0.0) {
+    out += strings::format(
+        "           adaptive: %zu epochs, %zu rebalance%s, migration "
+        "%.3f s, percent imbalance %.1f%%\n",
+        epochs, rebalances, rebalances == 1 ? "" : "s", migration_seconds,
+        exec_percent_imbalance);
+  }
   if (!terms.empty()) {
     out += "           terms (task-seconds):";
     for (const auto& t : terms) {
@@ -132,7 +142,8 @@ std::string PipelineReport::csv_header() {
          "solver_cuts_retired,solver_cuts_reactivated,predicted_s,actual_s,"
          "machine,exec_makespan_s,exec_busy_node_s,exec_efficiency,"
          "exec_imbalance,exec_events,exec_restarts,exec_completed,"
-         "comm_pred_s,comm_actual_s,mem_pred_s,mem_actual_s";
+         "comm_pred_s,comm_actual_s,mem_pred_s,mem_actual_s,"
+         "exec_percent_imbalance,epochs,rebalances,migration_s";
 }
 
 std::string PipelineReport::csv_row() const {
@@ -161,6 +172,8 @@ std::string PipelineReport::csv_row() const {
   row += strings::format(",%.6f,%.6f,%.6f,%.6f", term_predicted("comm"),
                          term_actual("comm"), term_predicted("memory"),
                          term_actual("memory"));
+  row += strings::format(",%.6f,%zu,%zu,%.6f", exec_percent_imbalance, epochs,
+                         rebalances, migration_seconds);
   return row;
 }
 
@@ -205,7 +218,7 @@ PipelineRun Pipeline::run(Application& app) const {
   t0 = std::chrono::steady_clock::now();
   perf::FitOptions fit_opt = app.fit_options();
   fit_opt.threads = pool.size();
-  out.fits = perf::fit_all(out.bench, fit_opt, &pool);
+  out.fits = perf::fit_all(out.bench, fit_opt, &pool, app.fit_spec());
   for (const auto& [task, fit] : out.fits)
     out.report.fits.push_back({task, fit.r2, fit.converged});
   out.report.fit_seconds = seconds_since(t0);
@@ -220,8 +233,22 @@ PipelineRun Pipeline::run(Application& app) const {
   out.report.solve_seconds = seconds_since(t0);
 
   // -- Step 4: Execute -------------------------------------------------------
+  // The adaptive path routes execution through the closed-loop controller;
+  // one-shot execute() is the degenerate no-rebalance case of the same
+  // machinery, and an adaptive run whose monitor never trips produces a
+  // byte-identical report.
   t0 = std::chrono::steady_clock::now();
-  out.actual_total = app.execute(out.solution);
+  if (options_.rebalance.adaptive && app.supports_epochs()) {
+    const Controller controller(options_.rebalance, fit_opt, app.fit_spec());
+    const AdaptiveResult adaptive =
+        controller.run(app, out.bench, out.fits, out.solution);
+    out.actual_total = adaptive.actual_total;
+    out.report.rebalances = adaptive.rebalances;
+    out.report.epochs = adaptive.rebalances + 1;
+    out.report.migration_seconds = adaptive.migration_seconds;
+  } else {
+    out.actual_total = app.execute(out.solution);
+  }
   out.report.actual_total = out.actual_total;
   out.report.execute_seconds = seconds_since(t0);
 
@@ -239,6 +266,7 @@ PipelineRun Pipeline::run(Application& app) const {
     out.report.exec_busy_node_seconds = trace->busy_node_seconds();
     out.report.exec_efficiency = trace->efficiency();
     out.report.exec_imbalance = trace->imbalance();
+    out.report.exec_percent_imbalance = trace->percent_imbalance();
     out.report.exec_events = trace->events.size();
     for (const auto& e : trace->events)
       if (e.aborted) ++out.report.exec_restarts;

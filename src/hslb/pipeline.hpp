@@ -98,6 +98,36 @@ struct SolveOutcome {
   std::vector<TermReport> term_predictions;
 };
 
+/// What one execution epoch reported back to the closed-loop controller
+/// (hslb::Controller): progress, the monitor signals, and the observed
+/// durations the refit folds into the models.
+struct EpochOutcome {
+  bool done = false;  ///< the run finished; no epochs remain
+  /// A permanent node failure wedged the epoch: the controller must
+  /// reallocate over the surviving nodes (bypasses hysteresis and the
+  /// migration-aware accept test) and the application re-runs the epoch.
+  bool failure_detected = false;
+  double epoch_seconds = 0.0;  ///< wall time this epoch added to the run clock
+  /// Busy-time imbalance across groups this epoch (max/mean - 1), the
+  /// monitor's load signal.
+  double imbalance = 0.0;
+  /// Predicted epochs still to run — scales the per-epoch gain in the
+  /// migration-aware accept test.
+  double epochs_remaining = 0.0;
+  /// Durations observed this epoch: (task, nodes, seconds). The controller
+  /// stamps the epoch index and folds them into the refit window.
+  std::vector<perf::Observed> observations;
+};
+
+/// What a warm re-solve proposes to the controller.
+struct ResolveOutcome {
+  SolveOutcome solution;  ///< proposed allocation from the warm re-solve
+  /// The *incumbent* allocation's predicted per-epoch time under the same
+  /// refitted models — the baseline the proposal's predicted_total is
+  /// compared against in the accept test.
+  double incumbent_predicted = 0.0;
+};
+
 /// Fit quality of one task (report row).
 struct TaskFitReport {
   std::string task;
@@ -134,15 +164,26 @@ struct PipelineReport {
   /// Machine the Execute step ran on ("name (N nodes x C cores)"); empty
   /// when the application does not describe one.
   std::string machine;
-  // Execution-runtime metrics, derived from the application's trace
+  /// Execution-runtime metrics, derived from the application's trace
   /// (zeros when no trace is exposed).
   double exec_makespan = 0.0;
   double exec_busy_node_seconds = 0.0;  ///< node occupancy incl. overheads
   double exec_efficiency = 0.0;
   double exec_imbalance = 0.0;
+  /// Percent imbalance lambda = (max node busy / mean over ALL nodes - 1)
+  /// x 100 (arXiv:2104.01688) — unlike exec_imbalance its mean includes
+  /// idle nodes, so unallocated capacity counts against the schedule.
+  double exec_percent_imbalance = 0.0;
   std::size_t exec_events = 0;
   std::size_t exec_restarts = 0;  ///< attempts aborted by a fail-stop
   bool exec_completed = true;     ///< false when a failure wedged the run
+
+  // Closed-loop execution (hslb::Controller). A static run — and an
+  // adaptive run that never trips the monitor — reports exactly one epoch
+  // and zeros below, so its report is byte-identical to the one-shot path.
+  std::size_t epochs = 1;          ///< allocation regimes executed (rebalances + 1)
+  std::size_t rebalances = 0;      ///< accepted mid-run reallocations
+  double migration_seconds = 0.0;  ///< total stall charged by migrations
 
   /// Term-wise predicted vs actual task-seconds: Solve's term_predictions
   /// merged with the application's execution_term_seconds() by term name.
@@ -210,11 +251,105 @@ class Application {
       const {
     return {};
   }
+
+  // -- Adaptive execution (closed loop) -------------------------------------
+  // Substrates that can run Execute as a sequence of epochs implement the
+  // hooks below; hslb::Controller then drives monitor -> refit -> warm
+  // re-solve -> migrate between epochs. The defaults keep the one-shot
+  // execute() path, so existing applications are untouched.
+
+  /// True when the epoch hooks are implemented. An adaptive Pipeline run
+  /// routes Execute through hslb::Controller only when this returns true.
+  virtual bool supports_epochs() const { return false; }
+
+  /// Cost-model spec the Fit step fitted (empty = the classic power law).
+  /// The controller refits observed durations against the same spec, warm
+  /// from the previous parameters (perf::refit_cost).
+  virtual perf::CostModelSpec fit_spec() const { return {}; }
+
+  /// Prepares epoch execution under the initial allocation. Called once,
+  /// before the first execute_epoch.
+  virtual void begin_epochs(const SolveOutcome& solution) { (void)solution; }
+
+  /// Runs the next epoch under the allocation most recently installed by
+  /// begin_epochs / apply_allocation. `epoch` is the controller's monotone
+  /// call counter (used to stamp observations); the application keeps its
+  /// own progress cursor — after a failure_detected pause it re-runs the
+  /// wedged work on the next call, and when a failure is unrecoverable it
+  /// reports done with execution_completed() false. An epoch split must
+  /// align with the run's synchronization barriers so that executing
+  /// epoch-by-epoch without rebalancing reproduces execute() bit-exactly.
+  virtual EpochOutcome execute_epoch(std::size_t epoch) {
+    (void)epoch;
+    return {};
+  }
+
+  /// Warm re-solve against refitted models. Implementations should seed
+  /// their solver from `incumbent` (minlp_warm_start, BnbOptions seeds) so
+  /// the re-solve reuses what the previous search learned.
+  virtual ResolveOutcome resolve(
+      const std::vector<std::pair<std::string, perf::FitResult>>& fits,
+      const SolveOutcome& incumbent) {
+    (void)fits;
+    return ResolveOutcome{incumbent, incumbent.predicted_total};
+  }
+
+  /// Predicted stall (seconds) of migrating from `from` to `to` mid-run —
+  /// bytes moved over link bandwidth (sim::Machine::migration_seconds).
+  virtual double migration_cost(const SolveOutcome& from,
+                                const SolveOutcome& to) const {
+    (void)from;
+    (void)to;
+    return 0.0;
+  }
+
+  /// Installs `solution` for subsequent epochs; returns the migration
+  /// seconds actually charged to the run clock.
+  virtual double apply_allocation(const SolveOutcome& solution) {
+    (void)solution;
+    return 0.0;
+  }
+
+  /// Ends epoch execution; returns the actual value of the metric
+  /// SolveOutcome::predicted_total predicts (execute()'s return).
+  virtual double finish_epochs() { return 0.0; }
+};
+
+/// When and how the closed-loop controller rebalances a running
+/// application. `adaptive = false` (the default) keeps the classic
+/// one-shot pipeline byte-identically.
+struct RebalancePolicy {
+  bool adaptive = false;  ///< route Execute through hslb::Controller
+  /// Rebalance when an epoch's busy-time imbalance (max/mean - 1) exceeds
+  /// this...
+  double imbalance_threshold = 0.25;
+  /// ...or when the mean relative prediction error over the refit window
+  /// exceeds this.
+  double drift_threshold = 0.10;
+  /// Hysteresis: epochs that must pass after an accepted rebalance before
+  /// the monitor may trip again (failure triggers bypass the gate).
+  std::size_t min_epoch_gap = 1;
+  /// Monitored-epoch cap: 0 monitors every epoch; otherwise triggers are
+  /// only evaluated during the first max_epochs epochs (execution always
+  /// continues to completion).
+  std::size_t max_epochs = 0;
+  /// Observation window (epochs) folded into each refit.
+  std::size_t refit_window = 4;
+  /// Replication weight of one observed duration against one gather probe
+  /// (perf::fold_observations).
+  double observation_weight = 4.0;
+  /// Accept a proposal only when predicted gain x remaining epochs exceeds
+  /// its migration stall (failures bypass the test).
+  bool migration_aware = true;
 };
 
 struct PipelineOptions {
   std::size_t threads = 1;  ///< worker threads; 0 = hardware concurrency
   std::size_t gather_repetitions = 1;  ///< timed runs per (task, node count)
+  /// Closed-loop rebalancing policy. Takes effect only when
+  /// `rebalance.adaptive` is set AND the application supports epochs; a
+  /// static run is the degenerate one-epoch case of the same machinery.
+  RebalancePolicy rebalance;
 };
 
 /// Everything a run produced, stage by stage.
@@ -228,8 +363,12 @@ struct PipelineRun {
   PipelineReport report;
 };
 
-/// The engine. Stateless apart from its options; run() may be called
-/// repeatedly (each call builds its own thread pool).
+/// The engine. Stateless apart from its options: run() may be called
+/// repeatedly — on the same Application or different ones — and each call
+/// builds its own thread pool and PipelineRun from scratch, sharing no
+/// state with previous calls. Two runs over the same (deterministic)
+/// application and options therefore produce identical results; only the
+/// wall-time fields differ.
 class Pipeline {
  public:
   explicit Pipeline(PipelineOptions options = {});

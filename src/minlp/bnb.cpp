@@ -249,6 +249,23 @@ class Solver {
       return result_;
     }
 
+    // Cross-solve warm seeding: a previous solve's cut pool (valid when the
+    // nonlinear constraints are unchanged), fresh linearizations at prior
+    // solution points (valid by convexity even after a refit), and the
+    // previous incumbent, feasibility-checked against *this* model. All
+    // land before the root solve, so the root LP already carries them.
+    for (const Cut& c : opt_.seed_cuts) pool_.insert(c);
+    for (const auto& point : opt_.seed_points) {
+      if (point.size() != model_.num_vars()) continue;
+      for (std::size_t k = 0; k < model_.nonlinear().size(); ++k)
+        pool_.insert(make_oa_cut(model_, k, point));
+    }
+    if (!opt_.seed_incumbent.empty() &&
+        opt_.seed_incumbent.size() == model_.num_vars()) {
+      maybe_update_incumbent(opt_.seed_incumbent,
+                             model_.objective_value(opt_.seed_incumbent));
+    }
+
     // Root NLP relaxation: seeds the cut pool (the "initial linearization
     // point" of §III-E) and gives the first global bound.
     KelleyResult root = solve_relaxation(model_, pool_, root_bounds, opt_.kelley);
@@ -265,8 +282,9 @@ class Solver {
     nodes_.push_back(Node{});
     nodes_.back().bound = root.objective;
     nodes_.back().basis = std::move(root.basis);
-    // The root solve started from an empty pool, so its basis cut rows are
-    // exactly the pool in insertion order.
+    // The root LP was built over the pool's active cuts in ascending id
+    // order (seeded cuts included) and Kelley appends, so its basis cut
+    // rows are exactly the active pool in insertion order.
     nodes_.back().basis_cuts = pool_.active_ids();
     heap_.push(HeapEntry{root.objective, next_order_++, 0});
 
@@ -332,6 +350,7 @@ class Solver {
     result_.cuts = pool_.size();
     result_.cuts_retired = pool_.retired_total();
     result_.cuts_reactivated = pool_.reactivated_total();
+    result_.pool_cuts = pool_.cuts();
     if (has_incumbent_) {
       result_.objective = incumbent_obj_;
       result_.x = incumbent_;

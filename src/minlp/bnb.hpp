@@ -80,6 +80,28 @@ struct BnbOptions {
   /// LPs (0 keeps every cut forever). Retired cuts stay in the pool and
   /// reactivate on violation, so bounds are never weakened silently.
   std::size_t cut_age_limit = 12;
+
+  // -- Cross-solve warm seeding (closed-loop re-solves) ---------------------
+  // A rebalance controller re-solves a model that differs from the previous
+  // solve only in bounds, a budget row, or slightly-refitted nonlinear
+  // constraints. Seeding the new search with what the previous one learned
+  // prunes most of the tree up front.
+
+  /// Candidate incumbent checked against the *new* model before the root
+  /// solve (sized num_vars; empty = none). An infeasible seed is silently
+  /// rejected — seeding can never produce a wrong answer, only pruning.
+  std::vector<double> seed_incumbent;
+
+  /// Cuts from a previous solve's pool, inserted before the root solve.
+  /// Only valid when the nonlinear constraints are UNCHANGED (bounds and
+  /// linear rows may differ — OA cuts do not depend on them); the caller
+  /// guarantees this.
+  std::vector<Cut> seed_cuts;
+
+  /// Points to re-linearize at: one fresh OA cut per nonlinear constraint
+  /// per point, generated against the new model — valid by convexity even
+  /// when the constraints were refitted since the cuts' source solve.
+  std::vector<std::vector<double>> seed_points;
 };
 
 struct BnbResult {
@@ -108,6 +130,9 @@ struct BnbResult {
   std::size_t nodes_propagated_infeasible = 0;  ///< pruned before any LP
   std::size_t cuts_retired = 0;      ///< pool cuts aged out of node LPs
   std::size_t cuts_reactivated = 0;  ///< retired cuts pulled back on violation
+  /// The final cut pool, exported for seeding a later warm re-solve
+  /// (BnbOptions::seed_cuts) when the nonlinear constraints are unchanged.
+  std::vector<Cut> pool_cuts;
 };
 
 /// Propagates the node's bound overrides through the model's linear rows

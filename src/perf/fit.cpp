@@ -24,11 +24,8 @@ CostModel bind_params(const CostModelSpec& spec, std::span<const double> p) {
   return cm;
 }
 
-}  // namespace
-
-FitResult fit_cost(const SampleSet& samples, const CostModelSpec& spec,
-                   const FitOptions& options) {
-  HSLB_EXPECTS(!spec.empty());
+/// Validates the sample set and derives the data-driven fit scales.
+FitScales make_scales(const SampleSet& samples, const FitOptions& options) {
   HSLB_EXPECTS(samples.size() >= 2);
   std::set<double> distinct;
   double max_y = 0.0, min_y = samples.front().seconds;
@@ -42,10 +39,91 @@ FitResult fit_cost(const SampleSet& samples, const CostModelSpec& spec,
     max_an = std::max(max_an, s.seconds * s.nodes);
   }
   HSLB_EXPECTS(distinct.size() >= 2);
+  return FitScales{options.min_c, options.max_c, options.a_scale,
+                   options.d_scale, max_y,       min_y,
+                   max_an};
+}
 
-  const FitScales scales{options.min_c, options.max_c, options.a_scale,
-                         options.d_scale, max_y,       min_y,
-                         max_an};
+/// The nlsq least-squares problem plus the multistart sampling box, built
+/// once and shared between the cold multistart fit and the warm refit. The
+/// returned lambdas reference `samples`/`spec`, which must outlive the
+/// problem.
+struct FitProblem {
+  nlsq::Problem problem;
+  linalg::Vector start_lo, start_hi;
+};
+
+FitProblem build_problem(const SampleSet& samples, const CostModelSpec& spec,
+                         const FitScales& scales, std::size_t num_params) {
+  FitProblem fp;
+  nlsq::Problem& problem = fp.problem;
+  problem.num_params = num_params;
+  problem.num_residuals = samples.size();
+  problem.residuals = [&samples, &spec](std::span<const double> p) {
+    const CostModel m = bind_params(spec, p);
+    linalg::Vector r(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      r[i] = samples[i].seconds - m.eval(samples[i].nodes);
+    return r;
+  };
+  problem.jacobian = [&samples, &spec,
+                      num_params](std::span<const double> p) {
+    linalg::Matrix jac(samples.size(), num_params);
+    std::vector<double> g(num_params);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      std::size_t off = 0;
+      for (const auto& term : spec) {
+        const std::size_t k = term->num_params();
+        if (k > 0) {
+          term->grad_params(p.subspan(off, k), samples[i].nodes,
+                            std::span<double>(g).subspan(off, k));
+        }
+        off += k;
+      }
+      for (std::size_t j = 0; j < num_params; ++j) jac(i, j) = -g[j];
+    }
+    return jac;
+  };
+
+  // Positivity constraints (Table II, line 11) and each term's own bound
+  // windows, concatenated in spec order.
+  problem.lower = linalg::Vector(num_params);
+  problem.upper = linalg::Vector(num_params);
+  fp.start_lo = linalg::Vector(num_params);
+  fp.start_hi = linalg::Vector(num_params);
+  std::size_t off = 0;
+  for (const auto& term : spec) {
+    const std::size_t k = term->num_params();
+    if (k > 0) {
+      term->fit_bounds(scales,
+                       std::span<double>(problem.lower).subspan(off, k),
+                       std::span<double>(problem.upper).subspan(off, k));
+      term->start_box(scales, std::span<double>(fp.start_lo).subspan(off, k),
+                      std::span<double>(fp.start_hi).subspan(off, k));
+    }
+    off += k;
+  }
+  return fp;
+}
+
+/// Fills the derived fields (power-law view, R², RMSE) from `out.cost`.
+void score(const SampleSet& samples, FitResult& out) {
+  out.model = out.cost.power_law().value_or(Model{0.0, 0.0, 1.0, 0.0});
+  std::vector<double> observed, predicted;
+  for (const auto& s : samples) {
+    observed.push_back(s.seconds);
+    predicted.push_back(out.cost.eval(s.nodes));
+  }
+  out.r2 = stats::r_squared(observed, predicted);
+  out.rmse = stats::rmse(observed, predicted);
+}
+
+}  // namespace
+
+FitResult fit_cost(const SampleSet& samples, const CostModelSpec& spec,
+                   const FitOptions& options) {
+  HSLB_EXPECTS(!spec.empty());
+  const FitScales scales = make_scales(samples, options);
 
   std::size_t num_params = 0;
   for (const auto& term : spec) num_params += term->num_params();
@@ -60,59 +138,13 @@ FitResult fit_cost(const SampleSet& samples, const CostModelSpec& spec,
       out.sse += r * r;
     }
   } else {
-    nlsq::Problem problem;
-    problem.num_params = num_params;
-    problem.num_residuals = samples.size();
-    problem.residuals = [&samples, &spec](std::span<const double> p) {
-      const CostModel m = bind_params(spec, p);
-      linalg::Vector r(samples.size());
-      for (std::size_t i = 0; i < samples.size(); ++i)
-        r[i] = samples[i].seconds - m.eval(samples[i].nodes);
-      return r;
-    };
-    problem.jacobian = [&samples, &spec,
-                        num_params](std::span<const double> p) {
-      linalg::Matrix jac(samples.size(), num_params);
-      std::vector<double> g(num_params);
-      for (std::size_t i = 0; i < samples.size(); ++i) {
-        std::size_t off = 0;
-        for (const auto& term : spec) {
-          const std::size_t k = term->num_params();
-          if (k > 0) {
-            term->grad_params(p.subspan(off, k), samples[i].nodes,
-                              std::span<double>(g).subspan(off, k));
-          }
-          off += k;
-        }
-        for (std::size_t j = 0; j < num_params; ++j) jac(i, j) = -g[j];
-      }
-      return jac;
-    };
-
-    // Positivity constraints (Table II, line 11) and each term's own bound
-    // windows, concatenated in spec order.
-    problem.lower = linalg::Vector(num_params);
-    problem.upper = linalg::Vector(num_params);
-    linalg::Vector start_lo(num_params), start_hi(num_params);
-    {
-      std::size_t off = 0;
-      for (const auto& term : spec) {
-        const std::size_t k = term->num_params();
-        if (k > 0) {
-          term->fit_bounds(scales,
-                           std::span<double>(problem.lower).subspan(off, k),
-                           std::span<double>(problem.upper).subspan(off, k));
-          term->start_box(scales, std::span<double>(start_lo).subspan(off, k),
-                          std::span<double>(start_hi).subspan(off, k));
-        }
-        off += k;
-      }
-    }
+    const FitProblem fp = build_problem(samples, spec, scales, num_params);
 
     nlsq::MultistartOptions ms;
     ms.num_starts = options.num_starts;
     ms.seed = options.seed;
-    const auto res = nlsq::minimize_multistart(problem, start_lo, start_hi, ms);
+    const auto res =
+        nlsq::minimize_multistart(fp.problem, fp.start_lo, fp.start_hi, ms);
 
     out.cost = bind_params(spec, res.best.params);
     out.sse = res.best.cost;
@@ -121,15 +153,7 @@ FitResult fit_cost(const SampleSet& samples, const CostModelSpec& spec,
     out.converged = res.best.converged;
   }
 
-  out.model = out.cost.power_law().value_or(Model{0.0, 0.0, 1.0, 0.0});
-
-  std::vector<double> observed, predicted;
-  for (const auto& s : samples) {
-    observed.push_back(s.seconds);
-    predicted.push_back(out.cost.eval(s.nodes));
-  }
-  out.r2 = stats::r_squared(observed, predicted);
-  out.rmse = stats::rmse(observed, predicted);
+  score(samples, out);
   return out;
 }
 
@@ -154,6 +178,72 @@ std::vector<std::pair<std::string, FitResult>> fit_all(
   } else {
     parallel_for(options.threads, out.size(), fit_one);
   }
+  return out;
+}
+
+SampleSet fold_observations(const SampleSet& gathered,
+                            const std::vector<Observed>& observations,
+                            const std::string& task, std::size_t epoch,
+                            std::size_t window, double weight) {
+  HSLB_EXPECTS(window >= 1);
+  HSLB_EXPECTS(weight >= 1.0);
+  const std::size_t oldest = epoch + 1 >= window ? epoch + 1 - window : 0;
+  const auto reps = static_cast<std::size_t>(std::llround(weight));
+  SampleSet out = gathered;
+  for (const auto& o : observations) {
+    if (o.task != task || o.epoch < oldest || o.epoch > epoch) continue;
+    HSLB_EXPECTS(o.nodes >= 1.0 && o.seconds > 0.0);
+    for (std::size_t r = 0; r < reps; ++r)
+      out.push_back({o.nodes, o.seconds});
+  }
+  return out;
+}
+
+double prediction_drift(const CostModel& model,
+                        const std::vector<Observed>& observations,
+                        const std::string& task) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& o : observations) {
+    if (o.task != task) continue;
+    const double predicted = model.eval(o.nodes);
+    if (predicted <= 0.0) continue;
+    sum += std::fabs(o.seconds - predicted) / predicted;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+FitResult refit_cost(const SampleSet& samples, const CostModelSpec& spec,
+                     const FitResult& previous, const FitOptions& options) {
+  HSLB_EXPECTS(!spec.empty());
+  HSLB_EXPECTS(previous.cost.num_terms() == spec.size());
+
+  std::size_t num_params = 0;
+  for (const auto& term : spec) num_params += term->num_params();
+  if (num_params == 0) return fit_cost(samples, spec, options);
+
+  // Previous parameters concatenated in spec order — the warm start.
+  std::vector<double> warm;
+  warm.reserve(num_params);
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const auto p = previous.cost.params(i);
+    HSLB_EXPECTS(p.size() == spec[i]->num_params());
+    warm.insert(warm.end(), p.begin(), p.end());
+  }
+
+  const FitScales scales = make_scales(samples, options);
+  const FitProblem fp = build_problem(samples, spec, scales, num_params);
+  const auto res = nlsq::minimize(fp.problem, warm);
+  if (!res.converged) return fit_cost(samples, spec, options);
+
+  FitResult out;
+  out.cost = bind_params(spec, res.params);
+  out.sse = res.cost;
+  out.starts_tried = 1;
+  out.starts_converged = 1;
+  out.converged = true;
+  score(samples, out);
   return out;
 }
 

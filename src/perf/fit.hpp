@@ -81,4 +81,44 @@ std::vector<std::pair<std::string, FitResult>> fit_all(
     const BenchTable& table, const FitOptions& options = {},
     ThreadPool* pool = nullptr, const CostModelSpec& spec = {});
 
+// ---- Incremental refit: fold epoch observations, re-fit warm ------------
+//
+// The closed-loop controller re-estimates models mid-run: each epoch's
+// trace yields observed (task, nodes, seconds) samples, which are folded
+// into the original gather table over a sliding window and re-fitted warm
+// from the previous parameters.
+
+/// One observed execution sample from an epoch trace.
+struct Observed {
+  std::string task;
+  double nodes = 0.0;
+  double seconds = 0.0;
+  std::size_t epoch = 0;  ///< epoch the observation was made in
+};
+
+/// Merges one task's gather samples with its epoch observations: gather
+/// samples enter at weight 1, each observation inside the window
+/// [epoch + 1 - window, epoch] is replicated round(weight) times so a
+/// handful of in-situ measurements can move a fit anchored by the gather
+/// sweep. Observations for other tasks are ignored.
+SampleSet fold_observations(const SampleSet& gathered,
+                            const std::vector<Observed>& observations,
+                            const std::string& task, std::size_t epoch,
+                            std::size_t window, double weight);
+
+/// Mean relative prediction error mean_i |y_i - T(n_i)| / T(n_i) of a
+/// fitted model over a task's observations — the drift statistic the
+/// rebalance policy thresholds on. 0 when no observation matches `task`.
+double prediction_drift(const CostModel& model,
+                        const std::vector<Observed>& observations,
+                        const std::string& task);
+
+/// Re-fits warm from a previous result: a single Levenberg-Marquardt run
+/// started at the previous parameters (projected into the data-driven fit
+/// box). When the warm descent fails to converge, falls back to the full
+/// fit_cost multistart. `previous.cost` must have been fitted against the
+/// same spec (same terms, same parameter counts).
+FitResult refit_cost(const SampleSet& samples, const CostModelSpec& spec,
+                     const FitResult& previous, const FitOptions& options = {});
+
 }  // namespace hslb::perf

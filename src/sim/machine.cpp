@@ -22,6 +22,12 @@ double Machine::page_seconds(double memory_gb, double span) const {
   return page_s_per_gb * spill * span;
 }
 
+double Machine::migration_seconds(double volume_gb) const {
+  HSLB_EXPECTS(volume_gb >= 0.0);
+  if (!models_communication() || volume_gb == 0.0) return 0.0;
+  return volume_gb / link_gb_per_s;
+}
+
 bool Machine::memory_feasible(double memory_gb, double span) const {
   HSLB_EXPECTS(memory_gb >= 0.0);
   HSLB_EXPECTS(span >= 1.0);

@@ -60,6 +60,12 @@ struct Machine {
   /// memory, or the machine pages instead of rejecting (page_s_per_gb > 0).
   bool memory_feasible(double memory_gb, double span) const;
 
+  /// Seconds to move `volume_gb` of task state between node sets when a
+  /// rebalance changes a placement: bytes moved / link bandwidth. Exactly
+  /// 0.0 on machines that do not model communication, so compute-only
+  /// configurations charge nothing for migration.
+  double migration_seconds(double volume_gb) const;
+
   /// Intrepid: IBM Blue Gene/P at the Argonne Leadership Computing
   /// Facility — 40,960 quad-core nodes (163,840 cores). The paper's runs
   /// use up to 32,768 nodes (131,072 cores) of it.

@@ -44,6 +44,9 @@ class NodeFreeTree {
     update(1, 0, size_, lo, hi, v);
   }
 
+  /// Free time of a single node.
+  double at(std::size_t i) { return range_max(i, i + 1); }
+
  private:
   void apply(std::size_t node, double v) {
     max_[node] = v;
@@ -164,6 +167,13 @@ const Task& Runtime::task(std::size_t id) const {
 }
 
 RunResult Runtime::run(const Perturbation& perturbation) const {
+  return run(perturbation, EpochOptions{});
+}
+
+RunResult Runtime::run(const Perturbation& perturbation,
+                       const EpochOptions& epoch, EpochState* epoch_out) const {
+  HSLB_EXPECTS(epoch.initial_node_free.empty() ||
+               epoch.initial_node_free.size() == machine_.nodes);
   RunResult out;
   out.trace.machine = machine_.name;
   out.trace.nodes = machine_.nodes;
@@ -205,6 +215,19 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
   std::vector<Bucket> buckets;
   std::unordered_map<std::uint64_t, std::size_t> bucket_of;
   NodeFreeTree node_free(machine_.nodes);
+  if (!epoch.initial_node_free.empty()) {
+    // Carried-in free times, applied as runs of equal values so the common
+    // barrier-aligned case (every node free at the same clock) is one
+    // range assign.
+    const auto& init = epoch.initial_node_free;
+    for (std::size_t lo = 0; lo < init.size();) {
+      HSLB_EXPECTS(init[lo] >= 0.0);
+      std::size_t hi = lo + 1;
+      while (hi < init.size() && init[hi] == init[lo]) ++hi;
+      if (init[lo] > 0.0) node_free.assign(lo, hi, init[lo]);
+      lo = hi;
+    }
+  }
   using Claim = std::tuple<double, std::size_t, std::size_t>;  // start, id, bkt
   std::priority_queue<Claim, std::vector<Claim>, std::greater<>> claims;
 
@@ -323,6 +346,10 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
       claims.push({fresh.first, fresh.second, c_bkt});
       continue;
     }
+    // Claims pop in (start, id) order, so once the global argmin's start
+    // reaches the horizon every remaining task would too: stop dispatching
+    // and leave the rest deferred for the next epoch.
+    if (fresh.first >= epoch.horizon) break;
     const std::size_t best = fresh.second;
     const double best_start = fresh.first;
     if (!b.released.empty() && b.released.top() == best) {
@@ -384,6 +411,14 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
       break;
     }
     if (infeasible) {
+      if (epoch.stop_on_failure) {
+        // Pause for the controller: the task stays pending (deferred, to be
+        // re-placed by a new allocation) instead of cascading failure
+        // through its dependents. Aborted-attempt events stay in the trace.
+        out.failure_paused = true;
+        out.paused_task = best;
+        break;
+      }
       // Permanent loss of a node the task is pinned to: a static schedule
       // cannot complete (the dynamic queue would re-dispatch instead).
       state[best] = State::Failed;
@@ -402,8 +437,28 @@ RunResult Runtime::run(const Perturbation& perturbation) const {
     // the auction for the next pick, exactly like the full rescan saw them.
     resolve(best, /*failed=*/false);
   }
-  for (State s : state)
+  for (State s : state) {
     if (s == State::Failed) out.completed = false;
+    if (s == State::Pending) ++out.deferred;
+  }
+  if (out.failure_paused) out.completed = false;
+  if (epoch_out != nullptr) {
+    epoch_out->node_free.resize(machine_.nodes);
+    for (std::size_t n = 0; n < machine_.nodes; ++n)
+      epoch_out->node_free[n] = node_free.at(n);
+    epoch_out->ran.assign(nt, 0);
+    epoch_out->observed.clear();
+    for (std::size_t t = 0; t < nt; ++t) {
+      if (state[t] != State::Done) continue;
+      epoch_out->ran[t] = 1;
+      if (tasks_[t].fixed) continue;
+      const auto span = static_cast<double>(tasks_[t].nodes.count);
+      const double overhead = machine_.comm_seconds(tasks_[t].comm_gb, span) +
+                              machine_.page_seconds(tasks_[t].memory_gb, span);
+      epoch_out->observed.emplace_back(
+          t, out.tasks[t].end - out.tasks[t].start - overhead);
+    }
+  }
   return out;
 }
 

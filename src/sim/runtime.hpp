@@ -77,6 +77,41 @@ struct Perturbation {
                                         std::uint64_t seed);
 };
 
+/// Epoch controls for Runtime::run: resume from carried node free times,
+/// stop dispatching at a time horizon, pause on a permanent failure. The
+/// defaults reproduce the one-shot run exactly (same code path).
+struct EpochOptions {
+  /// Initial per-node free times carried in from a previous epoch. Empty =
+  /// all nodes free at 0; otherwise size must equal the machine's nodes.
+  std::vector<double> initial_node_free;
+
+  /// Tasks whose start would land at or past the horizon are deferred (left
+  /// unrun, counted in RunResult::deferred) instead of scheduled.
+  double horizon = std::numeric_limits<double>::infinity();
+
+  /// When a task becomes permanently infeasible (its node set lost a node
+  /// forever), pause the run — defer the task and everything after it — so
+  /// a controller can reallocate, instead of cascading failure through the
+  /// dependents the way the one-shot scheduler does.
+  bool stop_on_failure = false;
+};
+
+/// Resumable state returned by an epoch run: what finished, where every
+/// node's clock stands, and what was observed for refitting.
+struct EpochState {
+  /// Per-node free time after the epoch (successful task ends applied over
+  /// the initial free times).
+  std::vector<double> node_free;
+
+  /// Per task id: 1 when the task ran to completion this epoch.
+  std::vector<std::uint8_t> ran;
+
+  /// Observed (task id, seconds) durations of successful non-fixed tasks —
+  /// the final attempt's wall time minus communication/paging charges, i.e.
+  /// the quantity the compute cost model predicts.
+  std::vector<std::pair<std::size_t, double>> observed;
+};
+
 /// Outcome of a static Runtime::run.
 struct RunResult {
   Trace trace;
@@ -91,6 +126,13 @@ struct RunResult {
   std::size_t rejected = 0;
   double comm_seconds = 0.0;  ///< total link-serialization charge
   double page_seconds = 0.0;  ///< total paging charge
+  /// Tasks left unrun by an epoch horizon or a stop_on_failure pause (their
+  /// placements stay at infinity); always 0 for a one-shot run.
+  std::size_t deferred = 0;
+  /// The run paused at a permanently infeasible task (stop_on_failure);
+  /// `completed` is false and the task id is in `paused_task`.
+  bool failure_paused = false;
+  std::size_t paused_task = 0;  ///< valid only when failure_paused
 };
 
 /// Outcome of a dynamic Runtime::run_queue.
@@ -133,6 +175,14 @@ class Runtime {
   /// ready task that can start earliest runs next; FIFO tie-break by id),
   /// with the perturbation applied per attempt.
   RunResult run(const Perturbation& perturbation = {}) const;
+
+  /// Epoch execution: the same scheduler resumed from carried node free
+  /// times, cut off at a horizon, and pausable on permanent failure. With
+  /// default EpochOptions this is bit-identical to run(perturbation) — the
+  /// one-shot path is the degenerate single epoch. `state`, when non-null,
+  /// receives the resumable epoch state.
+  RunResult run(const Perturbation& perturbation, const EpochOptions& epoch,
+                EpochState* state = nullptr) const;
 
   /// A task pulled from the shared queue: duration is a function of the
   /// pulling group's node count (groups differ in size).

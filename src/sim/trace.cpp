@@ -48,6 +48,15 @@ double Trace::imbalance() const {
   return stats::imbalance(used);
 }
 
+double Trace::percent_imbalance() const {
+  if (nodes == 0) return 0.0;
+  const std::vector<double> busy = node_busy();
+  const double max = *std::max_element(busy.begin(), busy.end());
+  const double mean = busy_node_seconds() / static_cast<double>(nodes);
+  if (mean <= 0.0) return 0.0;
+  return (max / mean - 1.0) * 100.0;
+}
+
 void Trace::append(const Trace& other) {
   events.insert(events.end(), other.events.begin(), other.events.end());
 }

@@ -47,6 +47,12 @@ struct Trace {
   /// max/mean - 1 of busy time over nodes that were ever busy.
   double imbalance() const;
 
+  /// Percent imbalance λ of arXiv:2104.01688: (max/mean - 1) × 100 with the
+  /// mean taken over *all* allocated nodes (idle ones included), so unused
+  /// capacity shows up as imbalance rather than vanishing. 0 for an empty
+  /// trace or a machine with no nodes.
+  double percent_imbalance() const;
+
   /// Appends another trace's events (times must already be absolute).
   void append(const Trace& other);
 

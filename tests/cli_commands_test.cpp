@@ -18,11 +18,12 @@ Args fmo_args(std::vector<const char*> extra) {
   argv.insert(argv.end(), extra.begin(), extra.end());
   return Args(static_cast<int>(argv.size()), argv.data(),
               {"peptide", "comm-bound", "minlp", "no-presolve",
-               "compute-only-model"},
+               "compute-only-model", "adaptive"},
               {"fragments", "nodes", "objective", "threads", "solver-threads",
                "cut-age-limit", "refactor-interval", "refactor-fill-ratio",
                "trace", "straggler-cv", "fail-node", "fail-time",
-               "fail-downtime", "link-gb", "mem-gb", "page-s-per-gb"});
+               "fail-downtime", "link-gb", "mem-gb", "page-s-per-gb",
+               "rebalance-threshold", "refit-window", "max-epochs"});
 }
 
 TEST(CliCommands, FailNodeWithoutFailTimeRejected) {
@@ -74,6 +75,28 @@ TEST(CliCommands, ConsistentFailFlagsAccepted) {
   // A complete fail-stop spec passes validation and runs the pipeline.
   EXPECT_EQ(cmd_fmo(fmo_args({"--fail-node", "3", "--fail-time", "2.5",
                               "--fail-downtime", "1.0"})),
+            0);
+}
+
+TEST(CliCommands, RebalanceThresholdWithoutAdaptiveRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--rebalance-threshold", "0.2"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, RefitWindowWithoutAdaptiveRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--refit-window", "2"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, MaxEpochsWithoutAdaptiveRejected) {
+  EXPECT_THROW(cmd_fmo(fmo_args({"--max-epochs", "5"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, AdaptiveFlagsAccepted) {
+  // The full closed-loop spec passes validation and runs the pipeline.
+  EXPECT_EQ(cmd_fmo(fmo_args({"--adaptive", "--rebalance-threshold", "0.2",
+                              "--refit-window", "2", "--max-epochs", "8"})),
             0);
 }
 

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fmo/driver.hpp"
+#include "fmo/molecule.hpp"
+
+namespace hslb::fmo {
+namespace {
+
+System small_system(std::uint64_t seed = 50) {
+  return water_cluster({.fragments = 10, .merge_fraction = 0.4,
+                        .scf_cutoff_angstrom = 4.5, .seed = seed});
+}
+
+// ADPT-1: an adaptive run whose monitor never trips is the static pipeline
+// — same schedule, same trace bytes, same accounting, same report fields.
+TEST(FmoAdaptive, OneEpochParityWithStatic) {
+  const auto sys = small_system();
+  CostModel cost;
+  PipelineOptions stat;
+  PipelineOptions adap = stat;
+  adap.rebalance.adaptive = true;
+  adap.rebalance.imbalance_threshold = 1e9;  // never trigger
+  adap.rebalance.drift_threshold = 1e9;
+
+  const auto a = run_pipeline(sys, cost, 80, stat);
+  const auto b = run_pipeline(sys, cost, 80, adap);
+
+  // Execution: bit-identical trace and accounting.
+  EXPECT_EQ(a.hslb.trace.to_csv(), b.hslb.trace.to_csv());
+  EXPECT_EQ(a.hslb.total_seconds, b.hslb.total_seconds);
+  EXPECT_EQ(a.hslb.scc_seconds, b.hslb.scc_seconds);
+  EXPECT_EQ(a.hslb.dimer_seconds, b.hslb.dimer_seconds);
+  EXPECT_EQ(a.hslb.busy_node_seconds, b.hslb.busy_node_seconds);
+  EXPECT_EQ(a.hslb.group_busy, b.hslb.group_busy);
+  EXPECT_EQ(a.hslb.group_nodes, b.hslb.group_nodes);
+  EXPECT_EQ(a.hslb.energy.total(), b.hslb.energy.total());
+  EXPECT_EQ(a.hslb.comm_seconds, b.hslb.comm_seconds);
+  EXPECT_EQ(a.hslb.page_seconds, b.hslb.page_seconds);
+  EXPECT_EQ(a.hslb.monomer_task_seconds, b.hslb.monomer_task_seconds);
+  EXPECT_TRUE(a.hslb.completed && b.hslb.completed);
+
+  // The DLB baseline is untouched by the adaptive flag.
+  EXPECT_EQ(a.dlb.trace.to_csv(), b.dlb.trace.to_csv());
+
+  // Report: every deterministic field matches; the closed-loop columns
+  // report exactly one epoch, zero rebalances, zero migration.
+  EXPECT_EQ(a.report.predicted_total, b.report.predicted_total);
+  EXPECT_EQ(a.report.actual_total, b.report.actual_total);
+  EXPECT_EQ(a.report.exec_makespan, b.report.exec_makespan);
+  EXPECT_EQ(a.report.exec_busy_node_seconds, b.report.exec_busy_node_seconds);
+  EXPECT_EQ(a.report.exec_imbalance, b.report.exec_imbalance);
+  EXPECT_EQ(a.report.exec_percent_imbalance, b.report.exec_percent_imbalance);
+  EXPECT_EQ(a.report.epochs, 1u);
+  EXPECT_EQ(b.report.epochs, 1u);
+  EXPECT_EQ(b.report.rebalances, 0u);
+  EXPECT_EQ(b.report.migration_seconds, 0.0);
+  EXPECT_TRUE(b.resolve_stats.empty());
+}
+
+// ADPT-2: parity holds on every worker-thread count (gather/fit threading
+// must not leak into the closed-loop decisions).
+TEST(FmoAdaptive, ParityAcrossThreadCounts) {
+  const auto sys = small_system(51);
+  CostModel cost;
+  PipelineOptions adap;
+  adap.rebalance.adaptive = true;
+  adap.rebalance.imbalance_threshold = 1e9;
+  adap.rebalance.drift_threshold = 1e9;
+  adap.threads = 1;
+  const auto t1 = run_pipeline(sys, cost, 64, adap);
+  adap.threads = 4;
+  const auto t4 = run_pipeline(sys, cost, 64, adap);
+  EXPECT_EQ(t1.hslb.trace.to_csv(), t4.hslb.trace.to_csv());
+  EXPECT_EQ(t1.hslb.total_seconds, t4.hslb.total_seconds);
+  EXPECT_EQ(t1.report.rebalances, t4.report.rebalances);
+}
+
+// ADPT-3: a permanent node failure the static schedule cannot survive is
+// completed by the closed loop — re-solve over the surviving segment,
+// migration charged on a communication-modelling machine.
+TEST(FmoAdaptive, CompletesPermanentFailureStaticCannot) {
+  const auto sys = small_system(52);
+  CostModel cost;
+  PipelineOptions opt;
+  opt.run.fail_node = 0;
+  opt.run.fail_time = 1.0;  // permanent (default downtime = infinity)
+  // A machine that models communication, so migration has a real price.
+  opt.run.machine = sim::Machine{"intrepid", 64, 4};
+  opt.run.machine.link_gb_per_s = 0.425;  // BG/P injection bandwidth
+
+  const auto stat = run_pipeline(sys, cost, 64, opt);
+  EXPECT_FALSE(stat.hslb.completed);
+
+  PipelineOptions adap = opt;
+  adap.rebalance.adaptive = true;
+  const auto res = run_pipeline(sys, cost, 64, adap);
+  EXPECT_TRUE(res.hslb.completed);
+  EXPECT_GE(res.report.rebalances, 1u);
+  EXPECT_GT(res.report.migration_seconds, 0.0);
+  EXPECT_GT(res.hslb.restarts, 0u);
+  // Re-solve diagnostics surfaced for every controller re-solve.
+  EXPECT_EQ(res.resolve_stats.size(), res.report.rebalances);
+  // The chemistry is unchanged: energy matches the static reference.
+  EXPECT_NEAR(res.hslb.energy.total(), stat.hslb.energy.total(), 1e-9);
+}
+
+// ADPT-4: rebalance decisions are identical across thread counts even when
+// the loop does trigger.
+TEST(FmoAdaptive, FailureDecisionsDeterministicAcrossThreads) {
+  const auto sys = small_system(53);
+  CostModel cost;
+  PipelineOptions adap;
+  adap.rebalance.adaptive = true;
+  adap.run.fail_node = 0;
+  adap.run.fail_time = 1.0;
+  adap.threads = 1;
+  const auto t1 = run_pipeline(sys, cost, 64, adap);
+  adap.threads = 4;
+  const auto t4 = run_pipeline(sys, cost, 64, adap);
+  EXPECT_EQ(t1.hslb.trace.to_csv(), t4.hslb.trace.to_csv());
+  EXPECT_EQ(t1.report.rebalances, t4.report.rebalances);
+  EXPECT_EQ(t1.report.migration_seconds, t4.report.migration_seconds);
+  EXPECT_EQ(t1.hslb.completed, t4.hslb.completed);
+}
+
+// ADPT-5: mid-run cost drift trips the drift monitor and the refitted
+// re-solve reacts; the run still completes and reports its rebalances.
+TEST(FmoAdaptive, DriftTriggersRebalance) {
+  const auto sys = small_system(54);
+  CostModel cost;
+  PipelineOptions opt;
+  // Slow the first three fragments 4x from iteration 3 onwards.
+  opt.run.task_scale.assign(sys.fragments.size(), 1.0);
+  opt.run.task_scale[0] = opt.run.task_scale[1] = opt.run.task_scale[2] = 4.0;
+  opt.run.drift_onset = 3;
+
+  PipelineOptions adap = opt;
+  adap.rebalance.adaptive = true;
+  adap.rebalance.imbalance_threshold = 0.15;
+  adap.rebalance.drift_threshold = 0.10;
+
+  const auto stat = run_pipeline(sys, cost, 64, opt);
+  const auto res = run_pipeline(sys, cost, 64, adap);
+  EXPECT_TRUE(res.hslb.completed);
+  EXPECT_GE(res.report.rebalances, 1u);
+  // Reacting to the drift must not be worse than riding it out statically
+  // (beyond the migration stalls it chose to pay).
+  EXPECT_LE(res.hslb.total_seconds,
+            stat.hslb.total_seconds + res.report.migration_seconds + 1e-9);
+}
+
+}  // namespace
+}  // namespace hslb::fmo
