@@ -53,6 +53,10 @@ hslb_add_bench(adaptive_rebalance hslb_fmo hslb_minlp hslb_benchjson)
 # the communication-dominated family, plus the compute-only parity gate.
 hslb_add_bench(comm_model hslb_fmo hslb_benchjson)
 
+# Allocation service: exact-repeat hit latency, cross-instance warm-start
+# node counts, mixed-stream throughput, and the thread-replay gate.
+hslb_add_bench(server_throughput hslb_service hslb_benchjson)
+
 # Microbenchmarks (google-benchmark).
 hslb_add_bench(minlp_solvetime hslb_cesm hslb_benchjson benchmark::benchmark)
 hslb_add_bench(lp_simplex_bench hslb_lp hslb_benchjson benchmark::benchmark)

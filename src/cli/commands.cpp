@@ -14,6 +14,7 @@
 #include "minlp/ampl.hpp"
 #include "perf/fit.hpp"
 #include "perf/modelio.hpp"
+#include "service/service.hpp"
 #include "sim/trace.hpp"
 
 namespace hslb::cli {
@@ -144,6 +145,28 @@ int usage(int code) {
       "\n"
       "  hslb advise --resolution 1|8 [--layout 1|2|3] [--efficiency 0.5]\n"
       "              [--min-nodes A] [--max-nodes B]  node-count planning\n"
+      "\n"
+      "  hslb serve  --script reqs.txt [--threads T] [--batch B]\n"
+      "              [--cache-capacity N] [--no-warm-start]\n"
+      "              [--solver-threads S] [--responses out.txt]\n"
+      "                                 allocation service (batched, cached)\n"
+      "  hslb client --kind solve|fmo [--objective O] [--nodes N]\n"
+      "              [--tasks name:a:b:c:d:min:max;...]\n"
+      "              [--family water|peptide|comm] [--fragments F]\n"
+      "              [--system-seed S] [--bench-seed S] [--noise-cv CV]\n"
+      "              [--fit-points P] [--reps R] [--link-gb GB/s]\n"
+      "              [--mem-gb GB] [--page-s-per-gb S] [--out reqs.txt]\n"
+      "                                 format one service request line\n"
+      "\n"
+      "  serve replays a request script through the long-running allocation\n"
+      "  service: exact repeats hit a bounded LRU solution cache, and every\n"
+      "  miss warm-starts its branch-and-bound from the nearest cached\n"
+      "  instance (--no-warm-start solves every miss cold). Requests are\n"
+      "  processed in --batch-sized groups (part of the service definition,\n"
+      "  like the B&B wave size); response payloads and the hit/miss\n"
+      "  sequence are identical for every --threads value. client formats\n"
+      "  one request per call and appends it to --out, so scripts are built\n"
+      "  incrementally and replayed with serve.\n"
       "\n"
       "  --threads T parallelizes the Gather and Fit stages (0 = hardware\n"
       "  concurrency; allocations are identical for any T).\n"
@@ -392,6 +415,91 @@ int cmd_advise(const Args& args) {
               advice.cost_efficient_seconds);
   std::printf("shortest time to solution: %lld nodes (%.2f s predicted)\n",
               advice.fastest_nodes, advice.fastest_seconds);
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  const auto script_path = args.value("script");
+  if (!script_path.has_value())
+    throw std::invalid_argument("serve requires --script requests.txt");
+  const auto script = service::load_script_file(*script_path);
+
+  service::ServiceOptions opt;
+  opt.threads = static_cast<std::size_t>(args.get_int("threads", 1LL, 0));
+  opt.batch = static_cast<std::size_t>(args.get_int("batch", 8LL, 1));
+  opt.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache-capacity", 64LL, 1));
+  opt.warm_start = !args.flag("no-warm-start");
+  apply_bnb_args(args, opt.bnb);
+
+  service::AllocationService server(opt);
+  const auto responses = server.run_script(script);
+
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const auto& r = responses[i];
+    std::printf("[%3zu] %-4s %s\n", i,
+                r.cache_hit ? "HIT" : (r.warm_seeded ? "WARM" : "COLD"),
+                r.to_line().c_str());
+  }
+  std::printf("\n%s", server.report().str().c_str());
+
+  if (const auto out_path = args.value("responses")) {
+    std::ofstream out(*out_path);
+    if (!out)
+      throw std::invalid_argument("cannot write responses to " + *out_path);
+    // Payload lines only — the replay-determinism artifact: identical for
+    // every --threads value.
+    for (const auto& r : responses) out << r.to_line() << "\n";
+  }
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  service::Request r;
+  const std::string kind = args.get("kind", "solve");
+  if (kind == "solve") {
+    r.kind = service::RequestKind::Solve;
+  } else if (kind == "fmo") {
+    r.kind = service::RequestKind::Fmo;
+  } else {
+    throw std::invalid_argument("--kind must be solve or fmo");
+  }
+  r.objective = parse_objective(args.get("objective", "min-max"));
+  r.budget = args.get_int("nodes", r.budget, 1);
+  if (r.kind == service::RequestKind::Solve) {
+    const auto tasks = args.value("tasks");
+    if (!tasks.has_value()) {
+      throw std::invalid_argument(
+          "solve requests need --tasks name:a:b:c:d:min:max[;...]");
+    }
+    // Round-trip through the parser so malformed specs fail here, in the
+    // client, not later in the server.
+    r.tasks = service::parse_request("solve tasks=" + *tasks).tasks;
+  } else {
+    r.family = args.get("family", "water");
+    r.fragments = args.get_int("fragments", 24LL, 1);
+    r.system_seed =
+        static_cast<std::uint64_t>(args.get_int("system-seed", 3LL, 0));
+    r.bench_seed =
+        static_cast<std::uint64_t>(args.get_int("bench-seed", 42LL, 0));
+    r.noise_cv = args.get_double("noise-cv", 0.03, 0.0);
+    r.fit_points = args.get_int("fit-points", 5LL, 2);
+    r.repetitions = args.get_int("reps", 1LL, 1);
+    r.link_gb = args.get_double("link-gb", r.link_gb, 0.0);
+    r.mem_gb = args.get_double("mem-gb", r.mem_gb, 0.0);
+    r.page_s_per_gb = args.get_double("page-s-per-gb", 0.0, 0.0);
+  }
+
+  // Canonicalize first: the client validates and normalizes, so scripts
+  // contain exactly what the server will hash.
+  const auto line = service::format_request(service::canonicalize(r));
+  std::printf("%s\n", line.c_str());
+  if (const auto out_path = args.value("out")) {
+    std::ofstream out(*out_path, std::ios::app);
+    if (!out)
+      throw std::invalid_argument("cannot append request to " + *out_path);
+    out << line << "\n";
+  }
   return 0;
 }
 

@@ -23,6 +23,13 @@ int cmd_solve(const Args& args);
 int cmd_cesm(const Args& args);
 int cmd_fmo(const Args& args);
 int cmd_advise(const Args& args);
+/// Allocation service: replays a request script through the batched,
+/// cache-backed AllocationService (in-process harness; deterministic for
+/// any --threads).
+int cmd_serve(const Args& args);
+/// Formats one service request line (and optionally appends it to a script
+/// file) — the composable counterpart of `hslb serve --script`.
+int cmd_client(const Args& args);
 
 /// Prints usage to stdout; returns the given exit code.
 int usage(int code);

@@ -48,6 +48,21 @@ int main(int argc, char** argv) {
                              {"resolution", "layout", "min-nodes", "max-nodes",
                               "efficiency"}));
     }
+    if (cmd == "serve") {
+      return cmd_serve(Args(argc - 1, argv + 1,
+                            {"no-warm-start", "no-presolve"},
+                            {"script", "threads", "batch", "cache-capacity",
+                             "solver-threads", "cut-age-limit",
+                             "refactor-interval", "refactor-fill-ratio",
+                             "responses"}));
+    }
+    if (cmd == "client") {
+      return cmd_client(Args(argc - 1, argv + 1, {},
+                             {"kind", "objective", "nodes", "tasks", "family",
+                              "fragments", "system-seed", "bench-seed",
+                              "noise-cv", "fit-points", "reps", "link-gb",
+                              "mem-gb", "page-s-per-gb", "out"}));
+    }
     std::fprintf(stderr, "unknown command: %s\n\n", cmd.c_str());
     return usage(1);
   } catch (const std::exception& e) {

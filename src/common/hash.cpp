@@ -1,0 +1,14 @@
+#include "common/hash.hpp"
+
+namespace hslb::hash {
+
+std::uint64_t fnv1a_bytes(std::string_view s) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace hslb::hash

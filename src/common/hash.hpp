@@ -1,0 +1,71 @@
+// 64-bit FNV-1a hashing, shared by every signature scheme in the tree.
+//
+// The cut pool (minlp/cuts.cpp) buckets outer-approximation cuts by their
+// discrete identity, and the allocation service (service/protocol.hpp) keys
+// its solution cache by a canonicalized instance signature. Both need the
+// same thing: an order-sensitive, deterministic, dependency-free hash of a
+// mixed integer/float/string identity. This header is that one
+// implementation — do not re-implement the constants elsewhere.
+//
+// Mixing conventions (stable across platforms, part of the on-disk /
+// cross-run contract):
+//   * integers are mixed as 8 little-endian bytes, so values hash the same
+//     on any host this code compiles on;
+//   * doubles are mixed by IEEE-754 bit pattern with -0.0 normalized to
+//     +0.0 (callers quantize before mixing when tolerance matters — see
+//     service::canonicalize);
+//   * strings are mixed length-first, so {"ab","c"} and {"a","bc"} never
+//     collide by concatenation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace hslb::hash {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Incremental FNV-1a accumulator.
+class Fnv1a {
+ public:
+  Fnv1a& mix_byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= kFnvPrime;
+    return *this;
+  }
+
+  /// Mixes 8 little-endian bytes (matches the cut pool's historical
+  /// per-byte loop bit for bit).
+  Fnv1a& mix(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) mix_byte((v >> (8 * b)) & 0xffu);
+    return *this;
+  }
+
+  Fnv1a& mix(std::int64_t v) { return mix(static_cast<std::uint64_t>(v)); }
+
+  /// Mixes the IEEE-754 bit pattern; -0.0 hashes as +0.0 so the two equal
+  /// values cannot land in different buckets.
+  Fnv1a& mix(double v) {
+    return mix(std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
+  }
+
+  /// Length-prefixed bytes.
+  Fnv1a& mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+    return *this;
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+/// Plain FNV-1a over a byte string (no length prefix): the textbook
+/// definition, for tests and simple string keys.
+std::uint64_t fnv1a_bytes(std::string_view s);
+
+}  // namespace hslb::hash

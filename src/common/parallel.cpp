@@ -4,6 +4,25 @@
 
 namespace hslb {
 
+namespace {
+
+/// Innermost pool whose job body this thread is currently executing.
+/// Catches same-pool reentrancy (which would deadlock behind the caller's
+/// own in-flight job) while still allowing a body to drive a *different*
+/// pool.
+thread_local const ThreadPool* g_running_pool = nullptr;
+
+struct RunningPoolScope {
+  explicit RunningPoolScope(const ThreadPool* pool)
+      : previous(g_running_pool) {
+    g_running_pool = pool;
+  }
+  ~RunningPoolScope() { g_running_pool = previous; }
+  const ThreadPool* previous;
+};
+
+}  // namespace
+
 std::size_t ThreadPool::hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
@@ -34,7 +53,10 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       seen = generation_;
     }
-    run_indices();
+    {
+      const RunningPoolScope scope(this);
+      run_indices();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--active_workers_ == 0) done_cv_.notify_all();
@@ -58,14 +80,20 @@ void ThreadPool::run_indices() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   HSLB_EXPECTS(static_cast<bool>(body));
+  HSLB_EXPECTS(g_running_pool != this);  // reentrancy would self-deadlock
   if (n == 0) return;
   if (size_ == 1 || n == 1) {
+    const RunningPoolScope scope(this);
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  // Concurrent-caller guard: jobs from overlapping callers (e.g. two
+  // Pipeline runs batched onto one service pool) run one at a time, in
+  // submission order, each with the whole pool.
+  std::lock_guard<std::mutex> submit(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    HSLB_EXPECTS(body_ == nullptr);  // not reentrant
+    HSLB_ASSERT(body_ == nullptr);  // submit_mutex_ guarantees exclusivity
     body_ = &body;
     job_size_ = n;
     next_index_.store(0, std::memory_order_relaxed);
@@ -74,7 +102,10 @@ void ThreadPool::parallel_for(std::size_t n,
     ++generation_;
   }
   start_cv_.notify_all();
-  run_indices();  // the calling thread works too
+  {
+    const RunningPoolScope scope(this);
+    run_indices();  // the calling thread works too
+  }
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);

@@ -9,6 +9,16 @@
 // Workers are started once and reused across parallel_for calls; the
 // calling thread participates in the work, so a pool of size 1 degenerates
 // to a plain serial loop with no synchronization beyond one atomic.
+//
+// Concurrent external callers are safe: parallel_for calls issued from
+// different threads against one pool are serialized in submission order
+// (each job runs to completion with the full pool before the next starts),
+// so overlapping hslb::Pipeline runs may share a pool and each still
+// computes exactly what it would have computed alone — index-addressed
+// writes plus job-at-a-time execution keep every caller's results
+// identical for any thread count. What stays forbidden is *reentrancy*:
+// a job body calling parallel_for on the pool that is running it would
+// deadlock behind its own job, so that is rejected loudly.
 #pragma once
 
 #include <atomic>
@@ -38,7 +48,9 @@ class ThreadPool {
   /// Runs body(i) for every i in [0, n), distributing indices over the pool
   /// (atomic work-stealing counter). Blocks until all indices finished.
   /// The first exception thrown by any body is rethrown on the caller.
-  /// Not reentrant: body must not call parallel_for on the same pool.
+  /// Safe to call from multiple threads at once — overlapping jobs are
+  /// serialized in submission order. Not reentrant: a body must not call
+  /// parallel_for on the pool that is currently running it (asserts).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// Like parallel_for, but collects fn(i) into a vector ordered by index.
@@ -60,6 +72,10 @@ class ThreadPool {
   std::size_t size_ = 1;
   std::vector<std::thread> workers_;
 
+  /// Serializes external parallel_for callers: held from submission to
+  /// completion, so concurrent jobs queue instead of clobbering the
+  /// single-job state below.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

@@ -136,9 +136,36 @@ class FmoApplication final : public Application {
     add_machine_terms(tasks);
     if (options_.solve_with_minlp) {
       const auto model = build_budget_minlp(tasks, nodes_, options_.objective);
-      const auto bnb = minlp::solve(model, options_.bnb);
+      minlp::BnbOptions bnb_opt = options_.bnb;
+      // Cross-instance warm seeding (same idiom as resolve()'s closed-loop
+      // seeds, but the donor is a *previous pipeline* found by the
+      // allocation service): the donor allocation clamped into this
+      // instance's boxes becomes the candidate incumbent and a fresh
+      // linearization point; the donor optimum is re-linearized too; the
+      // donor cut pool is reused only when the fits are bitwise equal.
+      const SolveSeed& seed = options_.solve_seed;
+      if (!seed.empty() &&
+          (options_.objective == Objective::MinMax ||
+           options_.objective == Objective::MinSum)) {
+        if (seed.nodes_by_task.size() == tasks.size()) {
+          std::vector<long long> warm_nodes = seed.nodes_by_task;
+          for (std::size_t f = 0; f < tasks.size(); ++f) {
+            warm_nodes[f] = std::clamp(warm_nodes[f], tasks[f].min_nodes,
+                                       tasks[f].max_nodes);
+          }
+          bnb_opt.seed_incumbent =
+              minlp_warm_start(tasks, warm_nodes, options_.objective);
+          bnb_opt.seed_points.push_back(bnb_opt.seed_incumbent);
+        }
+        if (!seed.x.empty()) bnb_opt.seed_points.push_back(seed.x);
+        if (!seed.cuts.empty() &&
+            seed.fit_params == flatten_fit_params(fits))
+          bnb_opt.seed_cuts = seed.cuts;
+      }
+      const auto bnb = minlp::solve(model, bnb_opt);
       out.allocation = allocation_from_minlp(tasks, bnb.x, options_.objective);
       copy_bnb_stats(out.solver, bnb, options_.bnb.solver_threads);
+      seed_accepted_ = bnb.seed_accepted;
       // Remember what the search learned for closed-loop warm re-solves.
       last_x_ = bnb.x;
       last_pool_ = bnb.pool_cuts;
@@ -325,6 +352,13 @@ class FmoApplication final : public Application {
   ExecutionResult hslb_;
   ExecutionResult dlb_;
   std::vector<SolverStats> resolve_stats_;
+  bool seed_accepted_ = false;
+
+  const std::vector<double>& last_x() const { return last_x_; }
+  const std::vector<minlp::Cut>& last_pool() const { return last_pool_; }
+  const std::vector<double>& last_fit_params() const {
+    return last_fit_params_;
+  }
 
  private:
   /// Extends each fragment's fitted model with pinned machine terms: comm
@@ -480,6 +514,17 @@ PipelineResult run_pipeline(const System& sys, const CostModel& cost,
   out.dlb = std::move(app.dlb_);
   out.report = std::move(run.report);
   out.resolve_stats = std::move(app.resolve_stats_);
+  out.seed_accepted = app.seed_accepted_;
+  if (options.solve_with_minlp) {
+    // Export what the search learned so a later run can start warm (the
+    // allocation service caches this next to the allocation). Node counts
+    // come from the final allocation, in task order.
+    for (const auto& t : out.allocation.tasks)
+      out.solve_export.nodes_by_task.push_back(t.nodes);
+    out.solve_export.x = app.last_x();
+    out.solve_export.cuts = app.last_pool();
+    out.solve_export.fit_params = app.last_fit_params();
+  }
   return out;
 }
 

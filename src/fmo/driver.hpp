@@ -24,6 +24,30 @@
 
 namespace hslb::fmo {
 
+/// What one MINLP solve learned, exported for seeding a *later* pipeline's
+/// Solve step (the allocation service's cross-instance warm starts). The
+/// same idiom the closed-loop resolve() uses between epochs, lifted across
+/// pipeline runs: the donor's node counts become the candidate incumbent,
+/// its optimum a re-linearization point, and its cut pool is reused
+/// verbatim only when the fitted parameters match exactly.
+struct SolveSeed {
+  /// Donor allocation, one node count per task in task order (empty = no
+  /// incumbent seed). Clamped to the new instance's per-task bounds.
+  std::vector<long long> nodes_by_task;
+  /// Donor MINLP optimum in its variable space — re-linearized against the
+  /// new model (valid by convexity even when the fits moved).
+  std::vector<double> x;
+  /// Donor cut pool — applied only when `fit_params` equals the new
+  /// instance's flattened fit parameters (the validity condition for
+  /// reusing OA cuts verbatim).
+  std::vector<minlp::Cut> cuts;
+  std::vector<double> fit_params;
+
+  bool empty() const {
+    return nodes_by_task.empty() && x.empty() && cuts.empty();
+  }
+};
+
 struct PipelineOptions {
   /// Gather: node counts per fragment (geometric between 1 and the
   /// per-fragment probe ceiling) and repeated measurements per count.
@@ -42,6 +66,12 @@ struct PipelineOptions {
   /// parallelizes. Requires objective != MaxMin (no MINLP encoding).
   bool solve_with_minlp = false;
   minlp::BnbOptions bnb;
+
+  /// Cross-instance warm seed for the Solve step (MINLP path only; ignored
+  /// by the greedy solver). Seeding never changes the optimum — an
+  /// infeasible incumbent is rejected by the B&B audit and stale cuts are
+  /// excluded by the fit-params equality check — it only prunes the tree.
+  SolveSeed solve_seed;
 
   /// Number of representative SCF dimers probed during Gather (spread over
   /// the combined-size range); models for the remaining dimers are scaled
@@ -106,6 +136,13 @@ struct PipelineResult {
   /// Solver diagnostics of every warm re-solve the closed-loop controller
   /// ran (empty for static runs and for adaptive runs that never tripped).
   std::vector<SolverStats> resolve_stats;
+
+  /// What the Solve step learned, exported for seeding a later run
+  /// (PipelineOptions::solve_seed). Empty on the greedy path.
+  SolveSeed solve_export;
+  /// True when options.solve_seed's incumbent passed the B&B feasibility
+  /// audit and the search actually started warm (minlp path only).
+  bool seed_accepted = false;
 };
 
 /// Runs the full pipeline on `nodes` nodes via the shared hslb::Pipeline

@@ -182,8 +182,12 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
 }
 
 PipelineRun Pipeline::run(Application& app) const {
-  PipelineRun out;
   ThreadPool pool(options_.threads);
+  return run(app, pool);
+}
+
+PipelineRun Pipeline::run(Application& app, ThreadPool& pool) const {
+  PipelineRun out;
   out.report.application = app.name();
   out.report.threads = pool.size();
 

@@ -363,6 +363,8 @@ struct PipelineRun {
   PipelineReport report;
 };
 
+class ThreadPool;
+
 /// The engine. Stateless apart from its options: run() may be called
 /// repeatedly — on the same Application or different ones — and each call
 /// builds its own thread pool and PipelineRun from scratch, sharing no
@@ -374,6 +376,15 @@ class Pipeline {
   explicit Pipeline(PipelineOptions options = {});
 
   PipelineRun run(Application& app) const;
+
+  /// Same engine over a caller-owned pool, so long-running hosts (the
+  /// allocation service) can batch many pipeline runs onto one set of
+  /// workers. Safe to call concurrently from several threads with the
+  /// same pool — overlapping runs serialize their parallel stages through
+  /// the pool (see ThreadPool::parallel_for) and each computes exactly
+  /// what it would have computed alone. `options_.threads` is ignored;
+  /// the pool's size is reported instead.
+  PipelineRun run(Application& app, ThreadPool& pool) const;
 
  private:
   PipelineOptions options_;

@@ -133,6 +133,12 @@ struct BnbResult {
   /// The final cut pool, exported for seeding a later warm re-solve
   /// (BnbOptions::seed_cuts) when the nonlinear constraints are unchanged.
   std::vector<Cut> pool_cuts;
+  /// True when BnbOptions::seed_incumbent passed the feasibility audit
+  /// against this model and became the starting incumbent. False when no
+  /// seed was given or the audit rejected it — callers (the allocation
+  /// service) use this to distinguish a genuinely warm solve from a silent
+  /// fallback to cold.
+  bool seed_accepted = false;
 };
 
 /// Propagates the node's bound overrides through the model's linear rows

@@ -3,30 +3,25 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "common/hash.hpp"
 
 namespace hslb::minlp {
 
 namespace {
 
-/// FNV-1a over the cut's discrete identity: source constraint plus the
-/// sparsity pattern. Coefficient *values* are excluded — they are compared
-/// with a tolerance inside the bucket, and hashing them would scatter
-/// near-duplicates across buckets.
+/// FNV-1a (common/hash.hpp) over the cut's discrete identity: source
+/// constraint plus the sparsity pattern. Coefficient *values* are excluded
+/// — they are compared with a tolerance inside the bucket, and hashing
+/// them would scatter near-duplicates across buckets.
 std::uint64_t cut_signature(const Cut& cut) {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint64_t v) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (v >> (8 * b)) & 0xffull;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(cut.source_constraint);
-  mix(cut.coeffs.size());
+  hash::Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(cut.source_constraint));
+  h.mix(static_cast<std::uint64_t>(cut.coeffs.size()));
   for (const auto& [v, c] : cut.coeffs) {
     (void)c;
-    mix(v);
+    h.mix(static_cast<std::uint64_t>(v));
   }
-  return h;
+  return h.value();
 }
 
 bool near_duplicate(const Cut& a, const Cut& b) {

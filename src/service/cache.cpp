@@ -1,0 +1,55 @@
+#include "service/cache.hpp"
+
+#include "common/contracts.hpp"
+
+namespace hslb::service {
+
+SolutionCache::SolutionCache(std::size_t capacity) : capacity_(capacity) {
+  HSLB_EXPECTS(capacity >= 1);
+}
+
+const CacheEntry* SolutionCache::find(std::uint64_t signature) const {
+  const auto it = index_.find(signature);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+void SolutionCache::touch(std::uint64_t signature) {
+  const auto it = index_.find(signature);
+  if (it == index_.end()) return;
+  entries_.splice(entries_.begin(), entries_, it->second);
+}
+
+const CacheEntry* SolutionCache::nearest(const Request& canonical,
+                                         double* distance_out) const {
+  const CacheEntry* best = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  // Recency order: a strict '<' keeps the most recently used of any tied
+  // set, making donor selection a deterministic function of cache state.
+  for (const auto& e : entries_) {
+    const double d = signature_distance(canonical, e.request);
+    if (d < best_distance) {
+      best_distance = d;
+      best = &e;
+    }
+  }
+  if (best != nullptr && distance_out != nullptr) *distance_out = best_distance;
+  return best;
+}
+
+void SolutionCache::insert(CacheEntry entry) {
+  const auto it = index_.find(entry.signature);
+  if (it != index_.end()) {
+    *it->second = std::move(entry);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  entries_.push_front(std::move(entry));
+  index_[entries_.front().signature] = entries_.begin();
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().signature);
+    entries_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace hslb::service

@@ -1,0 +1,76 @@
+// FNV-1a contract tests: the constants and mixing conventions are shared
+// by the cut pool's duplicate buckets and the allocation service's
+// instance signatures, so they are pinned here against known vectors and
+// ambiguity classes.
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace hslb::hash {
+namespace {
+
+TEST(Fnv1a, EmptyIsOffsetBasis) {
+  EXPECT_EQ(Fnv1a().value(), kFnvOffset);
+  EXPECT_EQ(fnv1a_bytes(""), kFnvOffset);
+}
+
+TEST(Fnv1a, KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a_bytes("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a_bytes("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, MixUint64MatchesByteLoop) {
+  // The cut pool historically mixed integers as 8 little-endian bytes;
+  // Fnv1a::mix(uint64) must reproduce that bit for bit.
+  const std::uint64_t v = 0x0123456789abcdefull;
+  std::uint64_t h = kFnvOffset;
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffull;
+    h *= kFnvPrime;
+  }
+  EXPECT_EQ(Fnv1a().mix(v).value(), h);
+}
+
+TEST(Fnv1a, OrderSensitive) {
+  const auto ab = Fnv1a().mix(std::uint64_t{1}).mix(std::uint64_t{2}).value();
+  const auto ba = Fnv1a().mix(std::uint64_t{2}).mix(std::uint64_t{1}).value();
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Fnv1a, StringsAreLengthPrefixed) {
+  // {"ab","c"} vs {"a","bc"}: same concatenation, different identity.
+  const auto x =
+      Fnv1a().mix(std::string_view{"ab"}).mix(std::string_view{"c"}).value();
+  const auto y =
+      Fnv1a().mix(std::string_view{"a"}).mix(std::string_view{"bc"}).value();
+  EXPECT_NE(x, y);
+}
+
+TEST(Fnv1a, NegativeZeroHashesAsPositiveZero) {
+  EXPECT_EQ(Fnv1a().mix(0.0).value(), Fnv1a().mix(-0.0).value());
+  EXPECT_NE(Fnv1a().mix(0.0).value(), Fnv1a().mix(1.0).value());
+}
+
+TEST(Fnv1a, DoublesUseBitPattern) {
+  // Distinct but close doubles must hash differently (quantization is the
+  // caller's job, not the hash's).
+  EXPECT_NE(Fnv1a().mix(1.0).value(),
+            Fnv1a().mix(1.0 + 1e-15).value());
+}
+
+TEST(Fnv1a, IncrementalEqualsOneShot) {
+  Fnv1a a;
+  a.mix(std::string_view{"task"});
+  a.mix(std::uint64_t{42});
+  a.mix(2.5);
+  Fnv1a b;
+  b.mix(std::string_view{"task"}).mix(std::uint64_t{42}).mix(2.5);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace hslb::hash

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
@@ -76,6 +77,69 @@ TEST(ThreadPool, PropagatesException) {
   std::atomic<int> count{0};
   pool.parallel_for(10, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ConcurrentCallersSerializeWithoutInterference) {
+  // Two external threads hammer one pool at once; every job must cover its
+  // own index range exactly once (the allocation service batches pipeline
+  // runs onto a shared pool this way).
+  ThreadPool pool(4);
+  constexpr int kRounds = 25;
+  std::vector<std::atomic<int>> hits_a(97), hits_b(131);
+  auto caller = [&](std::vector<std::atomic<int>>& hits) {
+    for (int round = 0; round < kRounds; ++round) {
+      pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    }
+  };
+  std::thread ta(caller, std::ref(hits_a));
+  std::thread tb(caller, std::ref(hits_b));
+  ta.join();
+  tb.join();
+  for (const auto& h : hits_a) EXPECT_EQ(h.load(), kRounds);
+  for (const auto& h : hits_b) EXPECT_EQ(h.load(), kRounds);
+}
+
+TEST(ThreadPool, ConcurrentCallersPropagateTheirOwnExceptions) {
+  ThreadPool pool(4);
+  std::atomic<int> ok_sum{0};
+  auto thrower = [&] {
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [](std::size_t i) {
+                            if (i == 13) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+  };
+  auto worker = [&] {
+    for (int round = 0; round < 10; ++round)
+      pool.parallel_for(32, [&](std::size_t) { ++ok_sum; });
+  };
+  std::thread ta(thrower), tb(worker);
+  ta.join();
+  tb.join();
+  // The healthy caller's jobs were untouched by the neighbor's failure.
+  EXPECT_EQ(ok_sum.load(), 320);
+}
+
+TEST(ThreadPool, ReentrantCallIsRejected) {
+  // A body calling parallel_for on the pool running it would deadlock
+  // behind its own job, so the pool rejects it loudly instead.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [&](std::size_t) { pool.parallel_for(2, [](std::size_t) {}); }),
+               ContractViolation);
+  // ...including on the serial fast path, where it would silently recurse.
+  ThreadPool serial(1);
+  EXPECT_THROW(
+      serial.parallel_for(
+          1, [&](std::size_t) { serial.parallel_for(1, [](std::size_t) {}); }),
+      ContractViolation);
+  // Nesting across *different* pools stays legal.
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(
+      2, [&](std::size_t) { inner.parallel_for(3, [&](std::size_t) { ++count; }); });
+  EXPECT_EQ(count.load(), 6);
 }
 
 TEST(ParallelForHelper, MatchesSerialLoop) {

@@ -7,8 +7,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "hslb/budget.hpp"
 #include "sim/noise.hpp"
@@ -218,6 +220,76 @@ TEST(PipelineEngine, DefaultPredictedTotalFallsBackToAllocation) {
                    run.solution.allocation.predicted_total);
   EXPECT_DOUBLE_EQ(run.report.predicted_total,
                    run.solution.allocation.predicted_total);
+}
+
+TEST(PipelineEngine, SharedPoolMatchesOwnedPool) {
+  // The shared-pool overload is the same engine: identical results, and the
+  // report names the pool's size rather than options_.threads.
+  ToyApp owned_app;
+  PipelineOptions opt;
+  opt.threads = 3;
+  const auto owned = Pipeline(opt).run(owned_app);
+
+  ToyApp shared_app;
+  ThreadPool pool(3);
+  const auto shared = Pipeline(opt).run(shared_app, pool);
+
+  EXPECT_EQ(shared.report.threads, 3u);
+  ASSERT_EQ(shared.bench.tasks.size(), owned.bench.tasks.size());
+  for (std::size_t t = 0; t < owned.bench.tasks.size(); ++t) {
+    for (std::size_t s = 0; s < owned.bench.tasks[t].samples.size(); ++s) {
+      EXPECT_DOUBLE_EQ(shared.bench.tasks[t].samples[s].seconds,
+                       owned.bench.tasks[t].samples[s].seconds);
+    }
+  }
+  for (const auto& t : owned.solution.allocation.tasks)
+    EXPECT_EQ(shared.solution.allocation.find(t.task).nodes, t.nodes);
+  EXPECT_DOUBLE_EQ(shared.actual_total, owned.actual_total);
+}
+
+TEST(PipelineEngine, InterleavedRunsOnSharedPoolMatchSequential) {
+  // The concurrent-reuse guarantee the allocation service depends on: two
+  // pipelines racing on one pool must each produce exactly the run they
+  // produce alone.
+  PipelineOptions opt;
+  opt.threads = 4;
+  opt.gather_repetitions = 2;
+  const Pipeline pipeline(opt);
+
+  ToyApp seq_a, seq_b;
+  const auto expect_a = pipeline.run(seq_a);
+  const auto expect_b = pipeline.run(seq_b);
+
+  ThreadPool pool(4);
+  ToyApp par_a, par_b;
+  PipelineRun got_a, got_b;
+  std::thread ta([&] { got_a = pipeline.run(par_a, pool); });
+  std::thread tb([&] { got_b = pipeline.run(par_b, pool); });
+  ta.join();
+  tb.join();
+
+  auto expect_same = [](const PipelineRun& got, const PipelineRun& want) {
+    ASSERT_EQ(got.bench.tasks.size(), want.bench.tasks.size());
+    for (std::size_t t = 0; t < want.bench.tasks.size(); ++t) {
+      ASSERT_EQ(got.bench.tasks[t].samples.size(),
+                want.bench.tasks[t].samples.size());
+      for (std::size_t s = 0; s < want.bench.tasks[t].samples.size(); ++s) {
+        EXPECT_DOUBLE_EQ(got.bench.tasks[t].samples[s].seconds,
+                         want.bench.tasks[t].samples[s].seconds);
+      }
+    }
+    ASSERT_EQ(got.fits.size(), want.fits.size());
+    for (std::size_t i = 0; i < want.fits.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got.fits[i].second.model.a, want.fits[i].second.model.a);
+      EXPECT_DOUBLE_EQ(got.fits[i].second.r2, want.fits[i].second.r2);
+    }
+    for (const auto& t : want.solution.allocation.tasks)
+      EXPECT_EQ(got.solution.allocation.find(t.task).nodes, t.nodes);
+    EXPECT_DOUBLE_EQ(got.solution.predicted_total, want.solution.predicted_total);
+    EXPECT_DOUBLE_EQ(got.actual_total, want.actual_total);
+  };
+  expect_same(got_a, expect_a);
+  expect_same(got_b, expect_b);
 }
 
 TEST(PipelineEngine, PropagatesProbeFailure) {
