@@ -1,6 +1,6 @@
 // Closed-loop adaptive rebalancing vs the static schedule and the DLB
 // dynamic baseline, on the shared robustness scenario
-// (bench/robustness_scenarios.hpp).
+// (fmo/scenario.hpp).
 //
 // Four experiments, three of them gated so CI smoke enforces the closed
 // loop's value proposition:
@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "bench/bench_json.hpp"
-#include "bench/robustness_scenarios.hpp"
+#include "fmo/scenario.hpp"
 #include "common/table.hpp"
 #include "fmo/driver.hpp"
 #include "hslb/budget.hpp"
@@ -38,6 +38,7 @@
 namespace {
 
 using namespace hslb;
+namespace scenario = hslb::fmo::scenario;
 using scenario::cv_label;
 using scenario::kDlbGroups;
 using scenario::kNodes;

@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "bench/bench_json.hpp"
-#include "bench/robustness_scenarios.hpp"
+#include "fmo/scenario.hpp"
 #include "common/table.hpp"
 #include "fmo/schedulers.hpp"
 #include "hslb/budget.hpp"
@@ -37,6 +37,7 @@
 namespace {
 
 using namespace hslb;
+namespace scenario = hslb::fmo::scenario;
 using scenario::cv_label;
 using scenario::kDlbGroups;
 using scenario::kNodes;

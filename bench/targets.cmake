@@ -57,6 +57,12 @@ hslb_add_bench(comm_model hslb_fmo hslb_benchjson)
 # node counts, mixed-stream throughput, and the thread-replay gate.
 hslb_add_bench(server_throughput hslb_service hslb_benchjson)
 
+# Seeded randomized scenario fuzzer over the substrate registry: gates
+# "HSLB never loses to DLB by more than --bound on any drawn scenario"
+# and failure recovery under the adaptive controller; prints the
+# counterexample seed on failure. Merges fuzz/* into BENCH_solver.json.
+hslb_add_bench(scenario_fuzz hslb_substrates hslb_benchjson)
+
 # Microbenchmarks (google-benchmark).
 hslb_add_bench(minlp_solvetime hslb_cesm hslb_benchjson benchmark::benchmark)
 hslb_add_bench(lp_simplex_bench hslb_lp hslb_benchjson benchmark::benchmark)

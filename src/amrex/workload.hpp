@@ -1,0 +1,44 @@
+// AMReX-style mesh+particle workload: per-block fluid + particle cost.
+//
+// Models the load shape of block-structured AMR codes coupled to
+// particles (AMReX; HemoCell's fluid+cell-mechanics steps): the domain is
+// a fixed grid of mesh blocks, each timestep advances every block's fluid
+// for a cost proportional to its cells PLUS a particle cost proportional
+// to the particles living in the block, and a regrid/halo barrier joins
+// the step — a wave. Fluid cost alone is perfectly uniform; the particles
+// are where imbalance comes from.
+//
+// The "uniform" variant spreads particles evenly (near-balanced blocks —
+// the regime where any balancer looks fine); "clustered" concentrates
+// them with a seeded Gaussian cluster (a dense suspension / plasma bunch),
+// producing the heavy blocks that static cost-aware allocation handles
+// and uniform decomposition does not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hslb/waveapp.hpp"
+
+namespace hslb::amrex {
+
+struct MeshOptions {
+  /// Allocatable mesh blocks (one task per block).
+  long long blocks = 16;
+  /// Cells per block (fluid cost ~ cells).
+  long long cells_per_block = 32768;
+  /// Total particles distributed over the blocks.
+  long long particles = 2000000;
+  /// "uniform" or "clustered".
+  std::string variant = "clustered";
+  std::uint64_t seed = 3;
+  /// Timesteps (waves).
+  long long waves = 8;
+};
+
+/// Builds the mesh workload: per-block fluid+particle cost ->
+/// ground-truth scaling models. Deterministic in the options.
+WaveWorkload mesh_workload(const MeshOptions& options = {});
+
+}  // namespace hslb::amrex

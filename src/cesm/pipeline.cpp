@@ -8,6 +8,7 @@
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
 #include "hslb/gather.hpp"
+#include "hslb/registry.hpp"
 
 namespace hslb::cesm {
 
@@ -65,7 +66,7 @@ namespace {
 /// per-component node counts, order-independent simulator probes, the
 /// Table I layout MINLP as the Solve step, and a full simulated coupled
 /// run as Execute.
-class CesmApplication final : public Application {
+class CesmApplication final : public Application, public BaselineReporter {
  public:
   CesmApplication(Resolution r, long long total_nodes,
                   const PipelineOptions& options)
@@ -208,12 +209,38 @@ class CesmApplication final : public Application {
     return {{"compute", actual_total_}};
   }
 
+  // -- BaselineReporter -------------------------------------------------
+  double hslb_total_seconds() override { return actual_total_; }
+
+  /// Naive static baseline: the node budget split evenly over the four
+  /// components (remainder to the first), same layout, intervals, and
+  /// perturbation — what an allocation-blind launch of the coupled model
+  /// costs. Computed lazily (run_coupled is const and keyed, so this never
+  /// perturbs the HSLB run's results).
+  double dlb_total_seconds() override {
+    if (!dlb_ran_) {
+      const long long q = std::max<long long>(1, total_nodes_ / 4);
+      const std::array<long long, 4> nodes{
+          std::max<long long>(1, total_nodes_ - 3 * q), q, q, q};
+      const auto machine = Simulator::machine_for(options_.layout, nodes);
+      dlb_total_ = sim_
+                       .run_coupled(options_.layout, nodes,
+                                    options_.coupling_intervals,
+                                    make_perturb(machine.nodes))
+                       .total_seconds;
+      dlb_ran_ = true;
+    }
+    return dlb_total_;
+  }
+
   // Substrate-specific outputs copied into PipelineResult by run_pipeline.
   Solution solution_;
   Simulator::CoupledRun run_;
   std::array<double, 4> actual_seconds_{};
   double actual_total_ = 0.0;
   bool executed_ = false;
+  bool dlb_ran_ = false;
+  double dlb_total_ = 0.0;
 
  private:
   static std::array<perf::Model, 4> models_from(
@@ -301,6 +328,21 @@ class CesmApplication final : public Application {
 };
 
 }  // namespace
+
+std::shared_ptr<Application> make_application(Resolution r,
+                                              long long total_nodes,
+                                              PipelineOptions options) {
+  // CesmApplication holds a const reference to its options; the aliasing
+  // shared_ptr keeps one State alive that owns both.
+  struct State {
+    PipelineOptions options;
+    CesmApplication app;
+    State(Resolution res, long long nodes, PipelineOptions o)
+        : options(std::move(o)), app(res, nodes, options) {}
+  };
+  auto state = std::make_shared<State>(r, total_nodes, std::move(options));
+  return std::shared_ptr<Application>(state, &state->app);
+}
 
 PipelineResult run_pipeline(Resolution r, long long total_nodes,
                             const PipelineOptions& options) {

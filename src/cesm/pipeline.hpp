@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 
 #include "cesm/layouts.hpp"
 #include "cesm/simulator.hpp"
@@ -77,6 +78,15 @@ struct PipelineResult {
 /// Runs the full pipeline for one configuration.
 PipelineResult run_pipeline(Resolution r, long long total_nodes,
                             const PipelineOptions& options = {});
+
+/// The CESM substrate as a self-contained hslb::Application (owns a copy
+/// of its options), for registry-driven pipelines. Also implements
+/// hslb::BaselineReporter (the DLB side is a uniform even split of the
+/// budget). A run through the shared engine with equal options produces
+/// results bit-identical to run_pipeline.
+std::shared_ptr<Application> make_application(Resolution r,
+                                              long long total_nodes,
+                                              PipelineOptions options = {});
 
 /// The Gather plan the pipeline uses: per-component benchmark node counts
 /// (exposed for tests and the data-gathering ablation bench).

@@ -10,12 +10,15 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "fmo/driver.hpp"
+#include "fmo/scenario.hpp"
 #include "hslb/budget.hpp"
+#include "hslb/registry.hpp"
 #include "minlp/ampl.hpp"
 #include "perf/fit.hpp"
 #include "perf/modelio.hpp"
 #include "service/service.hpp"
 #include "sim/trace.hpp"
+#include "substrates/registry_builtins.hpp"
 
 namespace hslb::cli {
 
@@ -142,6 +145,17 @@ int usage(int code) {
       "              [--rebalance-threshold X] [--refit-window K]\n"
       "              [--max-epochs N]\n"
       "                                 full simulated pipeline\n"
+      "  hslb run    --substrate NAME [--variant V] [--tasks T] [--nodes N]\n"
+      "              [--minlp] [--objective min-max] [--threads T]\n"
+      "              [--fit-points P] [--system-seed S] [--bench-seed S]\n"
+      "              [--bench-noise-cv CV] [--noise-cv CV] [--run-seed S]\n"
+      "              [--link-gb GB/s] [--mem-gb GB] [--page-s-per-gb S]\n"
+      "              [--trace out.csv] [--straggler-cv CV] [--fail-node I]\n"
+      "              [--fail-time S] [--fail-downtime S] [--adaptive]\n"
+      "              [--rebalance-threshold X] [--refit-window K]\n"
+      "              [--max-epochs N]\n"
+      "                                 any registered substrate, one engine\n"
+      "  hslb substrates                list registered substrates/variants\n"
       "\n"
       "  hslb advise --resolution 1|8 [--layout 1|2|3] [--efficiency 0.5]\n"
       "              [--min-nodes A] [--max-nodes B]  node-count planning\n"
@@ -187,6 +201,11 @@ int usage(int code) {
       "  Solve step extends the fitted models with matching comm/memory\n"
       "  terms; --compute-only-model suppresses those terms (the paper's\n"
       "  compute-only regime) while the charges still apply at execution.\n"
+      "  run drives the same four-step engine over any substrate registered\n"
+      "  with the SubstrateRegistry (fmo, cesm, fmm, amrex out of the box;\n"
+      "  `hslb substrates` lists them with their variants). --tasks/--nodes\n"
+      "  size the scenario (0 = the substrate's defaults); substrates that\n"
+      "  track a dynamic baseline also print HSLB vs DLB totals.\n"
       "  --trace exports the Execute step's per-task trace (CSV, or JSON\n"
       "  when the path ends in .json). --straggler-cv slows random nodes\n"
       "  down; --fail-node I --fail-time S [--fail-downtime S] injects a\n"
@@ -346,18 +365,10 @@ int cmd_fmo(const Args& args) {
     throw std::invalid_argument(
         "--comm-bound and --peptide are mutually exclusive (pick one system)");
   }
+  const std::string variant =
+      args.flag("comm-bound") ? "comm" : args.flag("peptide") ? "peptide" : "water";
   const auto sys =
-      args.flag("comm-bound")
-          ? fmo::comm_cluster({.fragments = static_cast<std::size_t>(fragments),
-                               .seed = 3})
-          : args.flag("peptide")
-          ? fmo::polypeptide({.residues = static_cast<std::size_t>(fragments),
-                              .scf_cutoff_angstrom = 6.0,
-                              .seed = 3})
-          : fmo::water_cluster({.fragments = static_cast<std::size_t>(fragments),
-                                .merge_fraction = 0.4,
-                                .scf_cutoff_angstrom = 4.5,
-                                .seed = 3});
+      fmo::make_system(variant, static_cast<std::size_t>(fragments));
   fmo::CostModel cost;
   const auto res = fmo::run_pipeline(sys, cost, nodes, opt);
 
@@ -383,6 +394,80 @@ int cmd_fmo(const Args& args) {
                 "node failure); DLB completed: %s\n",
                 res.dlb.completed ? "yes" : "no");
   maybe_save_trace(args, res.hslb.trace);
+  return 0;
+}
+
+int cmd_substrates(const Args& args) {
+  (void)args;
+  substrates::register_builtin_substrates();
+  Table t({"substrate", "variants", "description"});
+  for (const auto& info : SubstrateRegistry::instance().list()) {
+    std::string variants;
+    for (const auto& v : info.variants) {
+      if (!variants.empty()) variants += ", ";
+      variants += v;
+    }
+    t.add_row({info.name, variants, info.description});
+  }
+  std::printf("%s\nrun one with: hslb run --substrate NAME [--variant V]\n",
+              t.str().c_str());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  substrates::register_builtin_substrates();
+  const auto substrate = args.value("substrate");
+  if (!substrate.has_value()) {
+    throw std::invalid_argument(
+        "run requires --substrate NAME (list them with `hslb substrates`)");
+  }
+
+  ScenarioSpec spec;
+  spec.substrate = *substrate;
+  spec.variant = args.get("variant", std::string());
+  spec.tasks = args.get_int("tasks", 0LL, 0);
+  spec.nodes = args.get_int("nodes", 0LL, 0);
+  spec.system_seed =
+      static_cast<std::uint64_t>(args.get_int("system-seed", 3LL, 0));
+  spec.bench_seed =
+      static_cast<std::uint64_t>(args.get_int("bench-seed", 42LL, 0));
+  spec.bench_noise_cv =
+      args.get_double("bench-noise-cv", spec.bench_noise_cv, 0.0);
+  spec.fit_points = args.get_int("fit-points", spec.fit_points, 2);
+  spec.minlp = args.flag("minlp");
+  spec.objective = parse_objective(args.get("objective", "min-max"));
+  spec.noise_cv = args.get_double("noise-cv", spec.noise_cv, 0.0);
+  spec.run_seed = static_cast<std::uint64_t>(args.get_int("run-seed", 7LL, 0));
+  apply_execution_args(args, spec.straggler_cv, spec.fail_node, spec.fail_time,
+                       spec.fail_downtime);
+  apply_rebalance_args(args, spec.rebalance);
+  if (args.value("page-s-per-gb").has_value() &&
+      !args.value("mem-gb").has_value()) {
+    throw std::invalid_argument(
+        "--page-s-per-gb requires --mem-gb (paging needs a memory capacity)");
+  }
+  spec.link_gb_per_s = args.get_double("link-gb", spec.link_gb_per_s, 0.0);
+  spec.memory_gb_per_node = args.get_double("mem-gb", spec.memory_gb_per_node, 0.0);
+  spec.page_s_per_gb = args.get_double("page-s-per-gb", 0.0, 0.0);
+
+  const auto app = SubstrateRegistry::instance().make(spec);
+
+  PipelineOptions opt;
+  opt.threads = static_cast<std::size_t>(args.get_int("threads", 0LL, 0));
+  opt.rebalance = spec.rebalance;
+  const auto run = Pipeline(opt).run(*app);
+
+  std::printf("%s\n\n%s", spec.str().c_str(), run.report.str().c_str());
+  if (auto* baseline = dynamic_cast<BaselineReporter*>(app.get())) {
+    const double hslb = baseline->hslb_total_seconds();
+    const double dlb = baseline->dlb_total_seconds();
+    std::printf("HSLB %.3f s vs DLB %.3f s  =>  speedup %.2fx\n", hslb, dlb,
+                dlb / hslb);
+  }
+  if (!run.report.exec_completed)
+    std::printf("WARNING: the run could not complete (permanent node "
+                "failure under a static schedule)\n");
+  maybe_save_trace(args, run.trace);
   return 0;
 }
 

@@ -22,6 +22,12 @@ int cmd_fit(const Args& args);
 int cmd_solve(const Args& args);
 int cmd_cesm(const Args& args);
 int cmd_fmo(const Args& args);
+/// Runs the four-step pipeline over any substrate registered with the
+/// hslb::SubstrateRegistry (--substrate NAME), replacing per-substrate
+/// dispatch chains with one registry lookup.
+int cmd_run(const Args& args);
+/// Lists the registered substrates and their variants.
+int cmd_substrates(const Args& args);
 int cmd_advise(const Args& args);
 /// Allocation service: replays a request script through the batched,
 /// cache-backed AllocationService (in-process harness; deterministic for

@@ -43,6 +43,20 @@ int main(int argc, char** argv) {
                            "page-s-per-gb", "rebalance-threshold",
                            "refit-window", "max-epochs"}));
     }
+    if (cmd == "run") {
+      return cmd_run(Args(argc - 1, argv + 1,
+                          {"minlp", "no-presolve", "adaptive"},
+                          {"substrate", "variant", "tasks", "nodes",
+                           "objective", "threads", "fit-points", "system-seed",
+                           "bench-seed", "bench-noise-cv", "noise-cv",
+                           "run-seed", "trace", "straggler-cv", "fail-node",
+                           "fail-time", "fail-downtime", "link-gb", "mem-gb",
+                           "page-s-per-gb", "rebalance-threshold",
+                           "refit-window", "max-epochs"}));
+    }
+    if (cmd == "substrates") {
+      return cmd_substrates(Args(argc - 1, argv + 1, {}, {}));
+    }
     if (cmd == "advise") {
       return cmd_advise(Args(argc - 1, argv + 1, {},
                              {"resolution", "layout", "min-nodes", "max-nodes",

@@ -1,0 +1,48 @@
+// FMM-style tree workload: data-driven octree traversal tasks with
+// parent/child-weighted costs.
+//
+// Models the load-balancing shape of adaptive fast-multipole / multiresolution
+// tree codes (arXiv:1203.0889; madness's LBDeuxPmap): the spatial octree is
+// cut at a shallow level into per-subtree tasks, each task's work is the
+// madness `lbcost`-style weighted sum of its leaf and interior nodes, and
+// the top of the tree (root + first levels) is global coupling work every
+// task synchronizes on — which is exactly a wave barrier. A traversal
+// timestep = one wave; a run = `waves` timesteps.
+//
+// The "uniform" variant refines every subtree to the same depth (mild load
+// spread from the cost weights alone); "adaptive" draws per-subtree
+// refinement depths from a seeded heavy-tailed distribution — the deep
+// subtrees dominate, which is the regime where static per-task allocation
+// beats uniform block decomposition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hslb/waveapp.hpp"
+
+namespace hslb::fmm {
+
+struct TreeOptions {
+  /// Number of allocatable subtree tasks the level-2 cells are folded into.
+  long long tasks = 16;
+  /// Refinement depth below the cut level (uniform variant; the adaptive
+  /// variant draws per-cell depths in [2, depth + 2]).
+  long long depth = 5;
+  /// "uniform" or "adaptive".
+  std::string variant = "adaptive";
+  std::uint64_t seed = 3;
+  /// lbcost weights: per-leaf and per-interior-node work (madness's
+  /// LBDeuxPmap cost functional).
+  double leaf_value = 1.0;
+  double parent_value = 0.1;
+  /// Traversal timesteps (waves).
+  long long waves = 8;
+};
+
+/// Builds the tree workload: octree cells -> per-task lbcost work ->
+/// ground-truth scaling models. Deterministic in the options.
+WaveWorkload tree_workload(const TreeOptions& options = {});
+
+}  // namespace hslb::fmm

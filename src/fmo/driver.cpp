@@ -8,6 +8,7 @@
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "hslb/registry.hpp"
 #include "perf/terms.hpp"
 #include "sim/noise.hpp"
 
@@ -94,7 +95,7 @@ std::vector<double> flatten_fit_params(
 /// derived per (fragment, node count, repetition) so Gather parallelizes
 /// with identical results for every thread count; stream indices
 /// [0, F) are the monomer fragments, [F, F + #dimers) the probed dimers.
-class FmoApplication final : public Application {
+class FmoApplication final : public Application, public BaselineReporter {
  public:
   FmoApplication(const System& sys, const CostModel& cost, long long nodes,
                  const PipelineOptions& options)
@@ -345,6 +346,10 @@ class FmoApplication final : public Application {
     return hslb_.scc_seconds;
   }
 
+  // -- BaselineReporter -------------------------------------------------
+  double hslb_total_seconds() override { return hslb_.total_seconds; }
+  double dlb_total_seconds() override { return dlb_.total_seconds; }
+
   // Substrate-specific outputs copied into PipelineResult by run_pipeline.
   double predicted_scc_seconds_ = 0.0;
   DimerPredictions dimer_predictions_;
@@ -483,6 +488,30 @@ class FmoApplication final : public Application {
 };
 
 }  // namespace
+
+std::shared_ptr<Application> make_application(System sys, CostModel cost,
+                                              long long nodes,
+                                              PipelineOptions options) {
+  HSLB_EXPECTS(nodes >= static_cast<long long>(sys.num_fragments()));
+  HSLB_EXPECTS(options.fit_points >= 2);
+  // FmoApplication holds const references; the aliasing shared_ptr keeps
+  // one State alive that owns both the referenced inputs and the app.
+  struct State {
+    System sys;
+    CostModel cost;
+    PipelineOptions options;
+    FmoApplication app;
+    State(System s, CostModel c, long long n, PipelineOptions o)
+        : sys(std::move(s)),
+          cost(std::move(c)),
+          options(std::move(o)),
+          app(sys, cost, n, options) {}
+  };
+  auto state =
+      std::make_shared<State>(std::move(sys), std::move(cost), nodes,
+                              std::move(options));
+  return std::shared_ptr<Application>(state, &state->app);
+}
 
 PipelineResult run_pipeline(const System& sys, const CostModel& cost,
                             long long nodes, const PipelineOptions& options) {

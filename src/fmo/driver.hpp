@@ -12,6 +12,8 @@
 //                allocation; run the DLB baseline on the same system.
 #pragma once
 
+#include <memory>
+
 #include "fmo/cost.hpp"
 #include "fmo/molecule.hpp"
 #include "fmo/schedulers.hpp"
@@ -150,6 +152,15 @@ struct PipelineResult {
 /// least one node).
 PipelineResult run_pipeline(const System& sys, const CostModel& cost,
                             long long nodes, const PipelineOptions& options = {});
+
+/// The FMO substrate as a self-contained hslb::Application (by value: the
+/// returned application owns copies of its inputs), for registry-driven
+/// pipelines. Also implements hslb::BaselineReporter (HSLB vs DLB totals).
+/// A run through the shared engine with equal options produces results
+/// bit-identical to run_pipeline.
+std::shared_ptr<Application> make_application(System sys, CostModel cost,
+                                              long long nodes,
+                                              PipelineOptions options = {});
 
 /// The Solve step in isolation: budget tasks from fitted models.
 /// Probe ceiling / model validity range is [1, max_nodes_per_fragment].

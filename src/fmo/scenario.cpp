@@ -1,0 +1,32 @@
+#include "fmo/scenario.hpp"
+
+#include <stdexcept>
+
+namespace hslb::fmo {
+
+System make_system(const std::string& variant, std::size_t fragments,
+                   std::uint64_t seed) {
+  // Parameter choices match what `hslb fmo` has always built, so routing
+  // the CLI through this factory keeps its output byte-identical.
+  if (variant.empty() || variant == "water") {
+    return water_cluster({.fragments = fragments,
+                          .merge_fraction = 0.4,
+                          .scf_cutoff_angstrom = 4.5,
+                          .seed = seed});
+  }
+  if (variant == "peptide") {
+    return polypeptide(
+        {.residues = fragments, .scf_cutoff_angstrom = 6.0, .seed = seed});
+  }
+  if (variant == "comm") {
+    return comm_cluster({.fragments = fragments, .seed = seed});
+  }
+  throw std::invalid_argument("unknown fmo system variant '" + variant +
+                              "' (known: water, peptide, comm)");
+}
+
+std::vector<std::string> system_variants() {
+  return {"water", "peptide", "comm"};
+}
+
+}  // namespace hslb::fmo

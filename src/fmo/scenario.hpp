@@ -1,0 +1,98 @@
+// FMO scenario factory: the one place FMO systems and perturbation
+// scenarios are constructed.
+//
+// Two layers live here:
+//
+//  * make_system(variant, ...) — the named molecular-system variants the
+//    CLI, the registry, and the service all build from ("water",
+//    "peptide", "comm"); hoisted out of src/cli/commands.cpp so every
+//    entry point constructs byte-identical systems.
+//  * scenario:: — the shared robustness scenario the perturbation benches
+//    (execution_robustness, adaptive_rebalance) stress: one water
+//    cluster, one node budget, one straggler ladder, one fail-stop
+//    injection. Keeping the construction in one place guarantees the
+//    static-vs-DLB bench and the closed-loop bench stress the *same*
+//    world, so their headline numbers in BENCH_solver.json are directly
+//    comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "fmo/cost.hpp"
+#include "fmo/molecule.hpp"
+#include "fmo/schedulers.hpp"
+#include "hslb/budget.hpp"
+
+namespace hslb::fmo {
+
+/// Named system variants: "water" (default; merged water cluster, SCF
+/// dimers within 4.5 Å), "peptide" (polypeptide chain, 6.0 Å cutoff),
+/// "comm" (communication-dominated cluster with halo/memory footprints).
+/// `fragments` is residues for the peptide variant. Throws
+/// std::invalid_argument on an unknown variant.
+System make_system(const std::string& variant, std::size_t fragments,
+                   std::uint64_t seed = 3);
+
+/// The variant names make_system accepts, in display order.
+std::vector<std::string> system_variants();
+
+namespace scenario {
+
+constexpr long long kNodes = 192;
+constexpr std::size_t kDlbGroups = 24;
+constexpr long long kFailNode = 0;
+constexpr double kFailTime = 1.0;  // seconds; downtime stays infinite
+
+/// The benchmark system: 24 merged water fragments, SCF dimers within
+/// 4.5 Å. Large enough that the min-max allocation is non-trivial on 192
+/// nodes, small enough that a full severity sweep stays in CI budget.
+inline System water24() {
+  return water_cluster({.fragments = 24,
+                        .merge_fraction = 0.5,
+                        .scf_cutoff_angstrom = 4.5,
+                        .seed = 30});
+}
+
+/// Straggler severities swept by both benches (cv of the per-node
+/// max(1, lognormal) slowdown factors).
+inline std::vector<double> straggler_severities() {
+  return {0.0, 0.05, 0.1, 0.2, 0.4};
+}
+
+inline std::string cv_label(double cv) { return strings::format("%g", cv); }
+
+/// Noise-free execution baseline: isolates the injected perturbation
+/// (stragglers, fail-stop, drift) from run-to-run task noise.
+inline RunOptions noise_free_run() {
+  RunOptions base;
+  base.noise_cv = 0.0;
+  base.seed = 17;
+  return base;
+}
+
+/// Permanent fail-stop of node 0 early in the SCC loop.
+inline void inject_fail_stop(RunOptions& opt) {
+  opt.fail_node = kFailNode;
+  opt.fail_time = kFailTime;
+}
+
+/// Budget tasks from the true (oracle) monomer costs — no gather noise —
+/// for benches that run the Solve step directly.
+inline std::vector<BudgetTask> oracle_tasks(const System& sys,
+                                            const CostModel& cost) {
+  std::vector<BudgetTask> tasks;
+  tasks.reserve(sys.fragments.size());
+  for (const auto& f : sys.fragments)
+    tasks.push_back(BudgetTask{f.name, cost.monomer(f), 1, kNodes});
+  return tasks;
+}
+
+/// The DLB baseline's group layout: 24 uniform groups over the budget.
+inline GroupLayout dlb_layout() {
+  return GroupLayout::uniform(kNodes, kDlbGroups);
+}
+
+}  // namespace scenario
+}  // namespace hslb::fmo

@@ -1,0 +1,301 @@
+#include "hslb/balancer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace hslb {
+
+namespace {
+
+/// Index of the least-loaded group (smallest index wins ties, so results
+/// are deterministic and independent of container iteration quirks).
+long long least_loaded(const std::vector<double>& load) {
+  long long best = 0;
+  for (long long g = 1; g < static_cast<long long>(load.size()); ++g)
+    if (load[g] < load[best]) best = g;
+  return best;
+}
+
+BalanceResult result_from(std::vector<long long> owner,
+                          const std::vector<double>& loads,
+                          long long groups) {
+  BalanceResult out;
+  out.owner = std::move(owner);
+  out.group_load.assign(groups, 0.0);
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    out.group_load[out.owner[i]] += loads[i];
+  return out;
+}
+
+/// Items sorted largest-load-first; ties broken by original index so the
+/// order (and thus the placement) is fully deterministic.
+std::vector<long long> largest_first(const std::vector<double>& loads) {
+  std::vector<long long> order(loads.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](long long a, long long b) {
+    return loads[a] > loads[b];
+  });
+  return order;
+}
+
+/// Arrival-order greedy: each item goes to the currently least-loaded
+/// group.  The weakest reasonable baseline — sensitive to input order.
+class GreedyBalancer final : public Balancer {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::string description() const override {
+    return "arrival-order greedy: each item to the least-loaded group";
+  }
+  BalanceResult balance(const std::vector<double>& loads,
+                        const NodeGraph& graph) const override {
+    std::vector<double> load(graph.groups, 0.0);
+    std::vector<long long> owner(loads.size(), 0);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      const long long g = least_loaded(load);
+      owner[i] = g;
+      load[g] += loads[i];
+    }
+    return result_from(std::move(owner), loads, graph.groups);
+  }
+};
+
+/// Largest-first list scheduling (LPT).  For identical groups this is
+/// exactly what the dynamic-queue DLB runtime converges to when every
+/// group draws the largest remaining task the moment it goes idle, so it
+/// stands in for DLB in placement-quality comparisons.
+class DlbBalancer final : public Balancer {
+ public:
+  std::string name() const override { return "dlb"; }
+  std::string description() const override {
+    return "largest-first list scheduling (dynamic-queue equivalent)";
+  }
+  BalanceResult balance(const std::vector<double>& loads,
+                        const NodeGraph& graph) const override {
+    std::vector<double> load(graph.groups, 0.0);
+    std::vector<long long> owner(loads.size(), 0);
+    for (long long i : largest_first(loads)) {
+      const long long g = least_loaded(load);
+      owner[i] = g;
+      load[g] += loads[i];
+    }
+    return result_from(std::move(owner), loads, graph.groups);
+  }
+};
+
+/// Static HSLB-style placement: LPT seed, then pairwise refinement (single
+///-item moves and two-item swaps between the most- and less-loaded groups)
+/// until no move lowers the makespan.  This mirrors the paper's "plan the
+/// whole schedule up front from known costs" stance: more solve-time work
+/// than DLB, strictly no worse a placement.
+class HslbStaticBalancer final : public Balancer {
+ public:
+  std::string name() const override { return "hslb-static"; }
+  std::string description() const override {
+    return "static HSLB placement: LPT + pairwise move/swap refinement";
+  }
+  BalanceResult balance(const std::vector<double>& loads,
+                        const NodeGraph& graph) const override {
+    BalanceResult out = DlbBalancer().balance(loads, graph);
+    const long long n = static_cast<long long>(loads.size());
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      ++out.rounds;
+      const long long src = static_cast<long long>(
+          std::max_element(out.group_load.begin(), out.group_load.end()) -
+          out.group_load.begin());
+      const double span = out.group_load[src];
+      // Best single-item move off the critical group.
+      long long best_item = -1, best_dst = -1;
+      double best_span = span;
+      for (long long i = 0; i < n; ++i) {
+        if (out.owner[i] != src) continue;
+        for (long long g = 0; g < graph.groups; ++g) {
+          if (g == src) continue;
+          const double new_span =
+              std::max(span - loads[i], out.group_load[g] + loads[i]);
+          if (new_span < best_span - 1e-12) {
+            best_span = new_span;
+            best_item = i;
+            best_dst = g;
+          }
+        }
+      }
+      if (best_item >= 0) {
+        out.group_load[src] -= loads[best_item];
+        out.group_load[best_dst] += loads[best_item];
+        out.owner[best_item] = best_dst;
+        ++out.moves;
+        improved = true;
+        continue;
+      }
+      // Best swap of one critical-group item with a lighter item elsewhere.
+      long long swap_a = -1, swap_b = -1;
+      for (long long a = 0; a < n; ++a) {
+        if (out.owner[a] != src) continue;
+        for (long long b = 0; b < n; ++b) {
+          const long long dst = out.owner[b];
+          if (dst == src || loads[b] >= loads[a]) continue;
+          const double delta = loads[a] - loads[b];
+          const double new_span =
+              std::max(span - delta, out.group_load[dst] + delta);
+          if (new_span < best_span - 1e-12) {
+            best_span = new_span;
+            swap_a = a;
+            swap_b = b;
+          }
+        }
+      }
+      if (swap_a >= 0) {
+        const long long dst = out.owner[swap_b];
+        const double delta = loads[swap_a] - loads[swap_b];
+        out.group_load[src] -= delta;
+        out.group_load[dst] += delta;
+        std::swap(out.owner[swap_a], out.owner[swap_b]);
+        out.moves += 2;
+        improved = true;
+      }
+    }
+    return out;
+  }
+};
+
+/// Diffusion-based neighbour balancing of indivisible real-valued loads
+/// (arXiv:1308.0148).  Items start in contiguous index blocks; each round
+/// sweeps the groups in index order and, for each overloaded group, moves
+/// the largest item whose transfer to a lighter graph neighbour strictly
+/// lowers the sum of squared group loads (load[h] + w < load[g] implies
+/// the potential drops by 2w(load[g] - load[h] - w) > 0).  The potential
+/// is bounded below and every move decreases it by a positive amount, so
+/// the sweep terminates; a round cap guards degenerate float cases.
+class DiffusionBalancer final : public Balancer {
+ public:
+  std::string name() const override { return "diffusion"; }
+  std::string description() const override {
+    return "neighbour diffusion of indivisible loads on the node graph";
+  }
+  BalanceResult balance(const std::vector<double>& loads,
+                        const NodeGraph& graph) const override {
+    const long long n = static_cast<long long>(loads.size());
+    std::vector<long long> owner(n, 0);
+    for (long long i = 0; i < n; ++i)
+      owner[i] = n == 0 ? 0 : i * graph.groups / n;
+    BalanceResult out = result_from(std::move(owner), loads, graph.groups);
+    // items[g] holds the indices owned by g, kept sorted by load
+    // descending so "largest movable item" is a linear scan.
+    std::vector<std::vector<long long>> items(graph.groups);
+    for (long long i = 0; i < n; ++i) items[out.owner[i]].push_back(i);
+    for (auto& v : items)
+      std::stable_sort(v.begin(), v.end(), [&](long long a, long long b) {
+        return loads[a] > loads[b];
+      });
+    constexpr long long kMaxRounds = 200;
+    for (long long round = 0; round < kMaxRounds; ++round) {
+      bool moved = false;
+      ++out.rounds;
+      for (long long g = 0; g < graph.groups; ++g) {
+        for (long long h : graph.neighbors[g]) {
+          if (out.group_load[h] >= out.group_load[g]) continue;
+          // Largest item on g that still fits strictly under g's load
+          // once placed on h.
+          for (std::size_t k = 0; k < items[g].size(); ++k) {
+            const long long i = items[g][k];
+            const double w = loads[i];
+            if (out.group_load[h] + w < out.group_load[g] - 1e-12) {
+              items[g].erase(items[g].begin() + static_cast<long long>(k));
+              auto pos = std::find_if(
+                  items[h].begin(), items[h].end(),
+                  [&](long long j) { return loads[j] < w; });
+              items[h].insert(pos, i);
+              out.group_load[g] -= w;
+              out.group_load[h] += w;
+              out.owner[i] = h;
+              ++out.moves;
+              moved = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!moved) break;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+NodeGraph NodeGraph::complete(long long groups) {
+  NodeGraph g;
+  g.groups = groups;
+  g.neighbors.resize(groups);
+  for (long long a = 0; a < groups; ++a)
+    for (long long b = 0; b < groups; ++b)
+      if (a != b) g.neighbors[a].push_back(b);
+  return g;
+}
+
+NodeGraph NodeGraph::ring(long long groups) {
+  NodeGraph g;
+  g.groups = groups;
+  g.neighbors.resize(groups);
+  for (long long a = 0; a < groups; ++a) {
+    if (groups <= 1) continue;
+    g.neighbors[a].push_back((a + 1) % groups);
+    g.neighbors[a].push_back((a + groups - 1) % groups);
+  }
+  return g;
+}
+
+NodeGraph NodeGraph::torus2d(long long rows, long long cols) {
+  NodeGraph g;
+  g.groups = rows * cols;
+  g.neighbors.resize(g.groups);
+  for (long long r = 0; r < rows; ++r)
+    for (long long c = 0; c < cols; ++c) {
+      const long long a = r * cols + c;
+      g.neighbors[a] = {((r + 1) % rows) * cols + c,
+                        ((r + rows - 1) % rows) * cols + c,
+                        r * cols + (c + 1) % cols,
+                        r * cols + (c + cols - 1) % cols};
+      std::sort(g.neighbors[a].begin(), g.neighbors[a].end());
+      g.neighbors[a].erase(
+          std::unique(g.neighbors[a].begin(), g.neighbors[a].end()),
+          g.neighbors[a].end());
+      g.neighbors[a].erase(
+          std::remove(g.neighbors[a].begin(), g.neighbors[a].end(), a),
+          g.neighbors[a].end());
+    }
+  return g;
+}
+
+double BalanceResult::makespan() const {
+  if (group_load.empty()) return 0.0;
+  return *std::max_element(group_load.begin(), group_load.end());
+}
+
+Metrics BalanceResult::metrics() const {
+  return Metrics::from_loads(group_load, makespan());
+}
+
+std::vector<std::unique_ptr<Balancer>> make_balancers() {
+  std::vector<std::unique_ptr<Balancer>> out;
+  out.push_back(std::make_unique<HslbStaticBalancer>());
+  out.push_back(std::make_unique<DlbBalancer>());
+  out.push_back(std::make_unique<GreedyBalancer>());
+  out.push_back(std::make_unique<DiffusionBalancer>());
+  return out;
+}
+
+std::unique_ptr<Balancer> make_balancer(const std::string& name) {
+  for (auto& b : make_balancers())
+    if (b->name() == name) return std::move(b);
+  throw std::invalid_argument(strings::format(
+      "unknown balancer '%s' (known: hslb-static, dlb, greedy, diffusion)",
+      name.c_str()));
+}
+
+}  // namespace hslb

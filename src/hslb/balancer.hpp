@@ -1,0 +1,81 @@
+// Pluggable baseline schedulers: one interface, N balancers, one
+// comparison code path.
+//
+// A Balancer places indivisible real-valued loads onto groups of a node
+// graph.  The repo's reports and benches used to compare HSLB against a
+// bespoke DLB implementation wired into each substrate; this seam lets any
+// report compare the static HSLB placement, the dynamic-queue-equivalent
+// LPT baseline, a naive greedy, and a diffusion-based neighbour balancer
+// (arXiv:1308.0148: iterative local moves of indivisible loads between
+// graph neighbours) through the same `balance()` call.
+//
+// Balancers here operate on abstract loads (seconds of work per item);
+// substrates that simulate execution keep their own end-to-end baselines
+// (fmo::run_dlb and friends) and the fuzzer gates those.  This layer is
+// for placement-quality comparisons: same loads, same graph, different
+// algorithms, shared hslb::Metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hslb/metrics.hpp"
+
+namespace hslb {
+
+/// Topology the balancer may move load across.  `groups` is the number of
+/// load-bearing units; `neighbors[g]` lists the units g may exchange load
+/// with directly (used by diffusion; global balancers ignore it).
+struct NodeGraph {
+  long long groups = 0;
+  std::vector<std::vector<long long>> neighbors;
+
+  /// Every group adjacent to every other group.
+  static NodeGraph complete(long long groups);
+  /// Ring: g <-> (g+1) mod groups.
+  static NodeGraph ring(long long groups);
+  /// rows x cols torus with 4-neighbour wraparound links.
+  static NodeGraph torus2d(long long rows, long long cols);
+};
+
+/// Placement produced by a Balancer.
+struct BalanceResult {
+  /// owner[i] = group assigned to load item i.
+  std::vector<long long> owner;
+  /// Total load per group under `owner`.
+  std::vector<double> group_load;
+  /// Number of item moves performed after the initial placement
+  /// (0 for single-pass balancers).
+  long long moves = 0;
+  /// Number of sweeps/rounds an iterative balancer ran.
+  long long rounds = 0;
+
+  /// Largest group load (the schedule length if groups run in parallel).
+  double makespan() const;
+  /// Shared metrics of `group_load` under `makespan()`.
+  Metrics metrics() const;
+};
+
+/// A load-balancing algorithm for indivisible real-valued loads.
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+  /// Stable identifier ("greedy", "dlb", "hslb-static", "diffusion").
+  virtual std::string name() const = 0;
+  /// One-line human-readable description.
+  virtual std::string description() const = 0;
+  /// Place `loads` (one indivisible item per entry, load in seconds) onto
+  /// the groups of `graph`.  Deterministic: same inputs, same result.
+  virtual BalanceResult balance(const std::vector<double>& loads,
+                                const NodeGraph& graph) const = 0;
+};
+
+/// All built-in balancers, in a fixed report order.
+std::vector<std::unique_ptr<Balancer>> make_balancers();
+
+/// A single balancer by name; throws std::invalid_argument listing the
+/// known names when `name` is not one of them.
+std::unique_ptr<Balancer> make_balancer(const std::string& name);
+
+}  // namespace hslb

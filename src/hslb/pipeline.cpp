@@ -266,11 +266,15 @@ PipelineRun Pipeline::run(Application& app, ThreadPool& pool) const {
   }
   if (const sim::Trace* trace = app.execution_trace()) {
     out.trace = *trace;
-    out.report.exec_makespan = trace->makespan();
-    out.report.exec_busy_node_seconds = trace->busy_node_seconds();
-    out.report.exec_efficiency = trace->efficiency();
-    out.report.exec_imbalance = trace->imbalance();
-    out.report.exec_percent_imbalance = trace->percent_imbalance();
+    // One shared metric definition: the report's exec_* scalars are copies
+    // of the Metrics members (bit-identical to the old per-field reads —
+    // from_trace delegates to the trace's own accessors).
+    out.report.exec = Metrics::from_trace(*trace);
+    out.report.exec_makespan = out.report.exec.makespan;
+    out.report.exec_busy_node_seconds = out.report.exec.busy_unit_seconds;
+    out.report.exec_efficiency = out.report.exec.efficiency;
+    out.report.exec_imbalance = out.report.exec.imbalance;
+    out.report.exec_percent_imbalance = out.report.exec.percent_imbalance;
     out.report.exec_events = trace->events.size();
     for (const auto& e : trace->events)
       if (e.aborted) ++out.report.exec_restarts;

@@ -23,6 +23,7 @@
 
 #include "hslb/allocation.hpp"
 #include "hslb/gather.hpp"
+#include "hslb/metrics.hpp"
 #include "perf/fit.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace.hpp"
@@ -164,6 +165,12 @@ struct PipelineReport {
   /// Machine the Execute step ran on ("name (N nodes x C cores)"); empty
   /// when the application does not describe one.
   std::string machine;
+  /// Shared execution metrics (hslb::Metrics) derived from the
+  /// application's trace — the one place the optimal-LB criteria of
+  /// arXiv:2104.01688 are computed. The exec_* scalar fields below are
+  /// copies of its members, kept so existing consumers (CSV rows, benches,
+  /// parity tests) read the classic layout unchanged.
+  Metrics exec;
   /// Execution-runtime metrics, derived from the application's trace
   /// (zeros when no trace is exposed).
   double exec_makespan = 0.0;

@@ -1,0 +1,11 @@
+// Registers every built-in substrate (fmo, cesm, fmm, amrex) with the
+// process-wide hslb::SubstrateRegistry. Idempotent; call once from any
+// entry point (the CLI, benches, tests, the fuzzer) before looking
+// substrates up by name.
+#pragma once
+
+namespace hslb::substrates {
+
+void register_builtin_substrates();
+
+}  // namespace hslb::substrates

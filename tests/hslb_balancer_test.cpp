@@ -1,0 +1,159 @@
+// The pluggable Balancer seam: fixed catalogue, determinism, placement
+// quality ordering on heavy-tailed loads, and the diffusion balancer's
+// convergence/conservation properties on ring and torus graphs
+// (arXiv:1308.0148: local moves of indivisible loads between neighbours).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "hslb/balancer.hpp"
+
+namespace hslb {
+namespace {
+
+/// Heavy-tailed item loads: a few dominant items over a noisy background.
+std::vector<double> heavy_tailed(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> loads(n);
+  for (auto& l : loads) {
+    l = 0.1 + rng.uniform();
+    if (rng.uniform() < 0.15) l *= 20.0;
+  }
+  return loads;
+}
+
+double total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+/// owner[] is a valid assignment and group_load matches it exactly.
+void check_consistent(const BalanceResult& r, const std::vector<double>& loads,
+                      const NodeGraph& graph) {
+  ASSERT_EQ(r.owner.size(), loads.size());
+  std::vector<double> recomputed(static_cast<std::size_t>(graph.groups), 0.0);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    ASSERT_GE(r.owner[i], 0);
+    ASSERT_LT(r.owner[i], graph.groups);
+    recomputed[static_cast<std::size_t>(r.owner[i])] += loads[i];
+  }
+  ASSERT_EQ(r.group_load.size(), recomputed.size());
+  for (std::size_t g = 0; g < recomputed.size(); ++g)
+    EXPECT_NEAR(r.group_load[g], recomputed[g], 1e-9);
+  EXPECT_NEAR(total(r.group_load), total(loads), 1e-9);
+}
+
+TEST(Balancer, CatalogueIsFixed) {
+  const auto all = make_balancers();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name(), "hslb-static");
+  EXPECT_EQ(all[1]->name(), "dlb");
+  EXPECT_EQ(all[2]->name(), "greedy");
+  EXPECT_EQ(all[3]->name(), "diffusion");
+  for (const auto& b : all) EXPECT_FALSE(b->description().empty());
+}
+
+TEST(Balancer, MakeByNameAndUnknownThrows) {
+  EXPECT_EQ(make_balancer("diffusion")->name(), "diffusion");
+  try {
+    make_balancer("simulated-annealing");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error lists the known names.
+    EXPECT_NE(std::string(e.what()).find("diffusion"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("hslb-static"), std::string::npos);
+  }
+}
+
+TEST(Balancer, AllBalancersProduceConsistentPlacements) {
+  const auto loads = heavy_tailed(40, 11);
+  const auto graph = NodeGraph::complete(6);
+  for (const auto& b : make_balancers()) {
+    const auto r = b->balance(loads, graph);
+    check_consistent(r, loads, graph);
+    EXPECT_GT(r.makespan(), 0.0) << b->name();
+    // Shared metrics derive from the same group loads.
+    EXPECT_DOUBLE_EQ(r.metrics().makespan, r.makespan()) << b->name();
+  }
+}
+
+TEST(Balancer, Deterministic) {
+  const auto loads = heavy_tailed(64, 7);
+  const auto graph = NodeGraph::complete(8);
+  for (const auto& b : make_balancers()) {
+    const auto r1 = b->balance(loads, graph);
+    const auto r2 = b->balance(loads, graph);
+    EXPECT_EQ(r1.owner, r2.owner) << b->name();
+  }
+}
+
+TEST(Balancer, QualityOrderingOnHeavyTails) {
+  // hslb-static (LPT + refinement) <= dlb (LPT) <= greedy (arrival order)
+  // on makespan: each is a strict superset of the other's effort.
+  const auto graph = NodeGraph::complete(8);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto loads = heavy_tailed(60, seed);
+    const double hslb = make_balancer("hslb-static")->balance(loads, graph).makespan();
+    const double dlb = make_balancer("dlb")->balance(loads, graph).makespan();
+    const double greedy = make_balancer("greedy")->balance(loads, graph).makespan();
+    EXPECT_LE(hslb, dlb + 1e-9) << "seed " << seed;
+    EXPECT_LE(dlb, greedy + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Balancer, DiffusionImprovesContiguousInitOnRing) {
+  const auto loads = heavy_tailed(48, 3);
+  const auto graph = NodeGraph::ring(6);
+  const auto r = make_balancer("diffusion")->balance(loads, graph);
+  check_consistent(r, loads, graph);
+  EXPECT_GT(r.moves, 0);
+  EXPECT_GT(r.rounds, 0);
+
+  // The initial contiguous placement (item i -> group i*G/n) must not be
+  // better: diffusion only accepts strictly improving moves.
+  std::vector<double> contiguous(6, 0.0);
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    contiguous[i * 6 / loads.size()] += loads[i];
+  const double init_makespan =
+      *std::max_element(contiguous.begin(), contiguous.end());
+  EXPECT_LE(r.makespan(), init_makespan + 1e-9);
+}
+
+TEST(Balancer, DiffusionTerminatesOnTorus) {
+  const auto loads = heavy_tailed(100, 9);
+  const auto graph = NodeGraph::torus2d(3, 4);
+  const auto r = make_balancer("diffusion")->balance(loads, graph);
+  check_consistent(r, loads, graph);
+  // The sum-of-squares potential strictly decreases per accepted move, so
+  // the sweep loop converges well below the round cap.
+  EXPECT_LT(r.rounds, 200);
+}
+
+TEST(NodeGraph, Factories) {
+  const auto complete = NodeGraph::complete(4);
+  ASSERT_EQ(complete.neighbors.size(), 4u);
+  EXPECT_EQ(complete.neighbors[0].size(), 3u);
+
+  const auto ring = NodeGraph::ring(5);
+  ASSERT_EQ(ring.neighbors.size(), 5u);
+  EXPECT_EQ(ring.neighbors[0].size(), 2u);
+  EXPECT_EQ(ring.neighbors[4].size(), 2u);
+
+  const auto torus = NodeGraph::torus2d(2, 3);
+  ASSERT_EQ(torus.groups, 6);
+  for (const auto& ns : torus.neighbors) {
+    for (long long n : ns) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 6);
+    }
+    // No self-links after wraparound dedup.
+    for (std::size_t a = 0; a < ns.size(); ++a)
+      for (std::size_t b = a + 1; b < ns.size(); ++b)
+        EXPECT_NE(ns[a], ns[b]);
+  }
+}
+
+}  // namespace
+}  // namespace hslb
